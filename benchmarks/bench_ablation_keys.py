@@ -1,0 +1,29 @@
+"""Ablation A1 — PK/FK input encoding (T5-Picard vs T5-Picard_Keys).
+
+Paper: keys add up to 12 points and the gain persists across all data
+models; the improvement is what lets the medium model exploit the v3
+redesign.
+"""
+
+from repro.evaluation import keys_ablation, render_table
+
+from conftest import print_artifact
+
+
+def test_keys_ablation(benchmark, harness):
+    report = benchmark.pedantic(lambda: keys_ablation(harness), rounds=1, iterations=1)
+    rows = [
+        [
+            version,
+            f"{cells['without_keys'] * 100:.2f}%",
+            f"{cells['with_keys'] * 100:.2f}%",
+            f"{cells['gain'] * 100:+.2f}%",
+        ]
+        for version, cells in report.items()
+    ]
+    print_artifact(
+        "Ablation A1 — PK/FK serialization in the T5 input (300 train samples)",
+        render_table(["Data Model", "without keys", "with keys", "gain"], rows),
+    )
+    for version, cells in report.items():
+        assert cells["gain"] > 0, version

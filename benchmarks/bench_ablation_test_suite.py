@@ -1,0 +1,53 @@
+"""Extension E13 — EX vs distilled test-suite accuracy.
+
+The paper could not run the test-suite evaluation (its parser rejects
+FootballDB queries); this repo implements it natively.  The bench
+quantifies how many of EX's "correct" verdicts are coincidental: wrong
+queries whose result happens to match on the single evaluation
+database but diverges on event-perturbed variants.
+"""
+
+from repro.evaluation import TestSuiteEvaluator, render_table
+from repro.systems import GoldOracle, T5PicardKeys
+
+from conftest import print_artifact
+
+
+def test_execution_accuracy_vs_test_suite(benchmark, universe, football, dataset, harness):
+    def run():
+        version = "v1"
+        suite = TestSuiteEvaluator.build(
+            universe, version, football[version], variant_seeds=(7_001, 7_002)
+        )
+        system = harness.build_system(T5PicardKeys, version)
+        system.fine_tune(dataset.train_pairs(version))
+        plain_correct = 0
+        suite_correct = 0
+        false_positives = 0
+        for example in dataset.test_examples:
+            prediction = system.predict(example.question)
+            verdict = suite.verdict(prediction.sql, example.gold[version])
+            plain_correct += verdict.matches_primary
+            suite_correct += verdict.matches_suite
+            false_positives += verdict.false_positive
+        total = len(dataset.test_examples)
+        return {
+            "ex": plain_correct / total,
+            "suite": suite_correct / total,
+            "false_positives": false_positives,
+        }
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_artifact(
+        "Extension — single-DB EX vs distilled test suite (T5-Picard_Keys, v1)",
+        render_table(
+            ["metric", "value"],
+            [
+                ["EX (single database)", f"{report['ex'] * 100:.2f}%"],
+                ["test-suite accuracy", f"{report['suite'] * 100:.2f}%"],
+                ["EX false positives", report["false_positives"]],
+            ],
+        ),
+    )
+    # The suite can only remove correctness, never add it.
+    assert report["suite"] <= report["ex"]

@@ -1,0 +1,28 @@
+"""Ablation A3 — ValueNet's value finder on/off.
+
+The value finder grounds misspelled entities against DB content — the
+paper's "multitude of spelling errors for player names" is exactly the
+input it rescues.  Without it, typo questions produce unmatched
+literals and empty results.
+"""
+
+from repro.evaluation import render_table, value_finder_ablation
+
+from conftest import print_artifact
+
+
+def test_value_finder_ablation(benchmark, harness):
+    report = benchmark.pedantic(
+        lambda: value_finder_ablation(harness), rounds=1, iterations=1
+    )
+    print_artifact(
+        "Ablation A3 — ValueNet value finder (v3, 300 train samples)",
+        render_table(
+            ["configuration", "EX accuracy"],
+            [
+                ["with value finder", f"{report['with_value_finder'] * 100:.2f}%"],
+                ["without", f"{report['without_value_finder'] * 100:.2f}%"],
+            ],
+        ),
+    )
+    assert report["with_value_finder"] >= report["without_value_finder"]

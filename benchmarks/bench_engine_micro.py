@@ -1,0 +1,74 @@
+"""M1 — SQL engine micro-benchmarks (the substrate's own throughput).
+
+These are genuine multi-round pytest-benchmark measurements (unlike the
+table/figure regenerations, which run once): parsing, point lookups,
+hash joins, aggregation and the Figure 4 UNION query on the full
+~100K-row v1 instance.
+"""
+
+from repro.sqlengine import parse_sql
+from repro.workload import compile_intent, make_intent
+
+FIGURE4_SQL = None  # assembled lazily from the intent compiler
+
+
+def test_parse_throughput(benchmark):
+    sql = (
+        "SELECT T2.teamname, count(*) FROM match AS T1 "
+        "JOIN national_team AS T2 ON T1.home_team_id = T2.team_id "
+        "WHERE T1.year BETWEEN 1990 AND 2022 AND T2.confederation = 'UEFA' "
+        "GROUP BY T2.teamname HAVING count(*) > 3 ORDER BY count(*) DESC LIMIT 5"
+    )
+    benchmark(parse_sql, sql)
+
+
+def test_point_lookup(benchmark, football):
+    db = football["v1"]
+    result = benchmark(db.execute, "SELECT teamname FROM national_team WHERE team_id = 7")
+    assert len(result.rows) == 1
+
+
+def test_filtered_scan_large_table(benchmark, football):
+    db = football["v1"]
+    result = benchmark(
+        db.execute, "SELECT count(*) FROM club_league_hist WHERE season_year = 2010"
+    )
+    assert result.rows[0][0] > 0
+
+
+def test_hash_join_three_tables(benchmark, football):
+    db = football["v1"]
+    sql = (
+        "SELECT T3.full_name FROM player_fact AS T1 "
+        "JOIN national_team AS T2 ON T1.team_id = T2.team_id "
+        "JOIN player AS T3 ON T1.player_id = T3.player_id "
+        "WHERE T2.teamname ILIKE '%Brazil%' AND T1.year = 2002"
+    )
+    result = benchmark(db.execute, sql)
+    assert len(result.rows) == 23
+
+
+def test_aggregation_group_by(benchmark, football):
+    db = football["v1"]
+    sql = (
+        "SELECT year, count(*) FROM match GROUP BY year ORDER BY year"
+    )
+    result = benchmark(db.execute, sql)
+    assert len(result.rows) == 22
+
+
+def test_figure4_union_query(benchmark, football):
+    intent = make_intent("match_score", team_a="Germany", team_b="Brazil", year=2014)
+    sql = compile_intent(intent, "v1")
+    result = benchmark(football["v1"].execute, sql)
+    assert result.rows == [("Germany", "Brazil", 7, 1)]
+
+
+def test_subquery_with_cache(benchmark, football):
+    """Uncorrelated scalar subqueries must amortize (executor cache)."""
+    sql = (
+        "SELECT count(*) FROM player WHERE height_cm > "
+        "(SELECT avg(height_cm) FROM player)"
+    )
+    result = benchmark(football["v1"].execute, sql)
+    assert result.rows[0][0] > 0

@@ -1,0 +1,40 @@
+"""Regenerates Figure 4 — the running example in all three data models.
+
+"What was the score between Germany and Brazil in 2014?" — UNION +
+repeated table instances in v1/v2, one flat join in v3; the v3 query is
+the shortest and all three return Germany 7:1 Brazil.
+"""
+
+from repro.analysis import analyze_query
+from repro.footballdb import VERSIONS
+from repro.workload import compile_intent, make_intent
+
+from conftest import print_artifact
+
+
+def test_figure4_example_query(benchmark, football):
+    intent = make_intent("match_score", team_a="Germany", team_b="Brazil", year=2014)
+
+    def run():
+        return {version: compile_intent(intent, version) for version in VERSIONS}
+
+    queries = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["NL question: What was the score between Germany and Brazil in 2014?\n"]
+    for version in VERSIONS:
+        characteristics = analyze_query(queries[version])
+        lines.append(f"--- SQL in {version} "
+                     f"({characteristics.length} chars, "
+                     f"{characteristics.joins} joins, "
+                     f"{characteristics.set_operations} set ops)")
+        lines.append(queries[version])
+        result = football[version].execute(queries[version])
+        lines.append(f"    result: {result.rows}\n")
+    print_artifact("Figure 4 — one question, three data models", "\n".join(lines))
+
+    assert "UNION" in queries["v1"]
+    assert "UNION" in queries["v2"]
+    assert "UNION" not in queries["v3"]
+    assert len(queries["v3"]) < len(queries["v1"]) < len(queries["v2"])
+    for version in VERSIONS:
+        rows = football[version].execute(queries[version]).rows
+        assert any(set(row[-2:]) == {7, 1} for row in rows), version

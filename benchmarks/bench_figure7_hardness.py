@@ -1,0 +1,45 @@
+"""Regenerates Figure 7 — execution accuracy per Spider hardness level.
+
+Paper: accuracy decreases with hardness for every system and data
+model; easy reaches up to ~77%, extra-hard stays near/below ~20%; the
+number of extra-hard queries falls from 46 (v1) / 52 (v2) to 36 (v3).
+"""
+
+import statistics
+
+from repro.evaluation import figure7, render_bar_chart
+from repro.footballdb import VERSIONS
+
+from conftest import print_artifact
+
+LEVELS = ("easy", "medium", "hard", "extra")
+
+
+def test_figure7_accuracy_per_hardness(benchmark, harness, dataset):
+    report = benchmark.pedantic(lambda: figure7(harness), rounds=1, iterations=1)
+    for version in VERSIONS:
+        print_artifact(
+            f"Figure 7 — EX per hardness level, data model {version}",
+            render_bar_chart(report[version], LEVELS,
+                             title="(n = test queries per level)"),
+        )
+    # Shape: mean accuracy over systems decreases from easy to extra.
+    for version in VERSIONS:
+        level_means = []
+        for level in LEVELS:
+            values = [
+                report[version][system][level][0]
+                for system in report[version]
+                if level in report[version][system]
+            ]
+            level_means.append(statistics.fmean(values) if values else 0.0)
+        assert level_means[0] > level_means[-1], version
+        # Easy questions are answerable; extra-hard mostly are not.
+        assert level_means[0] >= 0.4
+        assert level_means[-1] <= 0.30
+    # Extra-hard counts shrink with the v3 redesign (paper: 46/52/36).
+    extra_counts = {
+        version: dataset.hardness_distribution(version)["extra"]
+        for version in VERSIONS
+    }
+    assert extra_counts["v3"] < extra_counts["v1"] < extra_counts["v2"]

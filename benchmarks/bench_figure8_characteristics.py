@@ -1,0 +1,49 @@
+"""Regenerates Figure 8 — execution accuracy per query characteristic.
+
+Paper: set-operation queries perform poorly everywhere and vanish in
+v3 (count 17/19/0); multi-filter queries grow from v1 to v3 while
+their accuracy holds; single-join counts rise in v3.
+"""
+
+from repro.analysis.characteristics import FIGURE8_BUCKETS
+from repro.evaluation import figure8, render_bar_chart
+from repro.footballdb import VERSIONS
+
+from conftest import print_artifact
+
+
+def test_figure8_accuracy_per_characteristic(benchmark, harness, dataset):
+    report = benchmark.pedantic(lambda: figure8(harness), rounds=1, iterations=1)
+    for version in VERSIONS:
+        print_artifact(
+            f"Figure 8 — EX per query characteristic, data model {version}",
+            render_bar_chart(report[version], FIGURE8_BUCKETS,
+                             title="(n = test queries per bucket)"),
+        )
+
+    def bucket_count(version, bucket):
+        counts = {}
+        for example in dataset.test_examples:
+            for label in example.characteristics(version).bucket_labels():
+                counts[label] = counts.get(label, 0) + 1
+        return counts.get(bucket, 0)
+
+    # v3 eliminates the set-operation bucket entirely (paper: 17/19/0).
+    assert bucket_count("v1", ">=1 set") > 0
+    assert bucket_count("v2", ">=1 set") > 0
+    assert bucket_count("v3", ">=1 set") == 0
+    # Set-operation queries are a weak bucket where they exist (the
+    # claim is about the mean across systems; with a small bucket a
+    # single system can spike).
+    import statistics
+
+    for version in ("v1", "v2"):
+        set_accuracies = [
+            report[version][system][">=1 set"][0]
+            for system in report[version]
+            if ">=1 set" in report[version][system]
+        ]
+        assert set_accuracies, version
+        assert statistics.fmean(set_accuracies) <= 0.45, version
+    # Single-join count rises from v2 to v3 (paper: 32 -> 38).
+    assert bucket_count("v3", "1 join") > bucket_count("v2", "1 join")

@@ -1,0 +1,24 @@
+"""Regenerates Table 1 — statistics of live user logs.
+
+Paper values: 5,900 issued / 5,275 generated / 625 failed / 174 up /
+949 down / 1,287 corrected.
+"""
+
+from repro.evaluation import render_table
+from repro.workload import DeploymentSimulator, summarize
+
+from conftest import print_artifact
+
+
+def test_table1_live_user_logs(benchmark, universe):
+    def run():
+        records = DeploymentSimulator(universe, seed=2022).run(5_900)
+        return summarize(records)
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_artifact(
+        "Table 1 — statistics of live user logs (paper: 5900/5275/625/174/949/1287)",
+        render_table(["Type of User Log", "Amount of Logs"], stats.rows()),
+    )
+    assert stats.questions_issued == 5_900
+    assert 0.85 <= stats.generation_rate <= 0.93

@@ -1,0 +1,42 @@
+"""Regenerates Table 2 — characteristics of the three data models.
+
+Paper: v1 13 tables/97 cols/104,531 rows/14 FKs; v2 16/98/106,547/13;
+v3 15/107/106,111/16.
+"""
+
+from repro.evaluation import render_table
+from repro.footballdb import VERSIONS, load_all, table2
+
+from conftest import print_artifact
+
+
+def test_table2_data_model_characteristics(benchmark, universe, football):
+    def run():
+        return table2(football.databases)
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        ["#Tables"] + [stats[v].tables for v in VERSIONS],
+        ["#Columns"] + [stats[v].columns for v in VERSIONS],
+        ["#Rows"] + [stats[v].rows for v in VERSIONS],
+        ["#FKs"] + [stats[v].foreign_keys for v in VERSIONS],
+        ["Mean #Columns per Table"]
+        + [round(stats[v].mean_columns_per_table, 2) for v in VERSIONS],
+        ["Mean #Rows per Table"]
+        + [round(stats[v].mean_rows_per_table) for v in VERSIONS],
+    ]
+    print_artifact(
+        "Table 2 — FootballDB characteristics across data models",
+        render_table(["", "DB v1", "DB v2", "DB v3"], rows),
+    )
+    assert [stats[v].tables for v in VERSIONS] == [13, 16, 15]
+    assert [stats[v].foreign_keys for v in VERSIONS] == [14, 13, 16]
+    assert [stats[v].columns for v in VERSIONS] == [97, 98, 107]
+
+
+def test_full_database_load(benchmark, universe):
+    """Throughput of materializing all three ~100K-row databases."""
+    result = benchmark.pedantic(
+        lambda: load_all(universe=universe), rounds=1, iterations=1
+    )
+    assert result["v1"].row_count() > 90_000

@@ -1,0 +1,40 @@
+"""Regenerates Table 3 — query characteristics of train and test sets.
+
+Paper (test): joins 1.78/2.63/1.45, set ops 0.17/0.19/0.00, hardness
+3.10/3.18/3.02, length 232/282/193 for v1/v2/v3.
+"""
+
+from repro.evaluation import render_table
+from repro.footballdb import VERSIONS
+
+from conftest import print_artifact
+
+METRICS = (
+    ("joins", "#Joins"),
+    ("projections", "#Projections"),
+    ("filters", "#Filters"),
+    ("aggregations", "#Aggregations"),
+    ("set_operations", "#Set Operations"),
+    ("subqueries", "#Subqueries"),
+    ("hardness", "Mean Hardness"),
+    ("length", "Mean Query Length"),
+)
+
+
+def test_table3_query_characteristics(benchmark, dataset):
+    table3 = benchmark.pedantic(dataset.table3, rounds=1, iterations=1)
+    for split in ("train", "test"):
+        rows = [
+            [label] + [round(table3[split][v][key], 2) for v in VERSIONS]
+            for key, label in METRICS
+        ]
+        print_artifact(
+            f"Table 3 — query characteristics ({split} set)",
+            render_table(["metric", "v1", "v2", "v3"], rows),
+        )
+    # The load-bearing shape constraints of the paper's analysis:
+    for split in ("train", "test"):
+        assert table3[split]["v3"]["set_operations"] == 0.0
+        assert table3[split]["v2"]["joins"] > table3[split]["v1"]["joins"]
+        assert table3[split]["v3"]["joins"] < table3[split]["v1"]["joins"]
+        assert table3[split]["v3"]["length"] < table3[split]["v1"]["length"]

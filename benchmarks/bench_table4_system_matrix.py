@@ -1,0 +1,34 @@
+"""Regenerates Table 4 — characteristics of the five Text-to-SQL systems."""
+
+from repro.evaluation import render_table
+from repro.systems import ALL_SYSTEMS
+
+from conftest import print_artifact
+
+DIMENSIONS = (
+    "Scale (#Params)",
+    "DB Schema w/ FK",
+    "DB Content",
+    "Output Specification",
+    "Query Normalization",
+    "Value Finder",
+    "Conversion to IR",
+    "Post-processing",
+)
+
+
+def test_table4_system_matrix(benchmark):
+    def run():
+        return {cls.spec.name: cls.spec.table4_row() for cls in ALL_SYSTEMS}
+
+    matrix = benchmark.pedantic(run, rounds=1, iterations=1)
+    names = [cls.spec.name for cls in ALL_SYSTEMS]
+    rows = [[dim] + [matrix[name][dim] for name in names] for dim in DIMENSIONS]
+    print_artifact(
+        "Table 4 — system characteristics",
+        render_table(["Dimension"] + names, rows),
+    )
+    assert matrix["ValueNet"]["Output Specification"] == "IR"
+    assert matrix["T5-Picard"]["DB Schema w/ FK"] == "Yes (without)"
+    assert matrix["T5-Picard_Keys"]["DB Schema w/ FK"] == "Yes (with)"
+    assert matrix["GPT-3.5"]["Post-processing"] == "N/A"

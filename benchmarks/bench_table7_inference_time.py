@@ -1,0 +1,32 @@
+"""Regenerates Table 7 — inference time per system.
+
+Paper: ValueNet 1.06±0.14s, T5-Picard 652±166s, T5-Picard_Keys
+294±76s, GPT-3.5 2.51±1.06s, LLaMA2-70B 37.03±17.30s.
+"""
+
+from repro.evaluation import render_table, table7
+from repro.systems import ALL_SYSTEMS
+
+from conftest import print_artifact
+
+HARDWARE = {cls.spec.name: (cls.spec.hardware, cls.spec.gpu_count) for cls in ALL_SYSTEMS}
+
+
+def test_table7_inference_time(benchmark, harness):
+    latencies = benchmark.pedantic(lambda: table7(harness), rounds=1, iterations=1)
+    rows = []
+    for name, (mean, std) in latencies.items():
+        hardware, gpus = HARDWARE[name]
+        rows.append([name, f"{mean:.2f} ± {std:.2f}", hardware, gpus or "-"])
+    print_artifact(
+        "Table 7 — inference time per query (seconds, simulated hardware model)",
+        render_table(["System", "Time (sec)", "Hardware", "#GPUs"], rows),
+    )
+    # The paper's ordering and rough magnitudes:
+    assert latencies["T5-Picard"][0] > latencies["T5-Picard_Keys"][0]
+    assert latencies["T5-Picard_Keys"][0] > latencies["LLaMA2-70B"][0]
+    assert latencies["LLaMA2-70B"][0] > latencies["GPT-3.5"][0]
+    assert latencies["GPT-3.5"][0] > latencies["ValueNet"][0]
+    assert 0.6 <= latencies["ValueNet"][0] <= 1.6
+    assert 400 <= latencies["T5-Picard"][0] <= 900
+    assert latencies["GPT-3.5"][0] < 4.0  # interactive; T5 systems are not

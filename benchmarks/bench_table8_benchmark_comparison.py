@@ -1,0 +1,26 @@
+"""Regenerates Table 8 — FootballDB vs existing Text-to-SQL datasets."""
+
+from repro.benchmark.compare import table8
+from repro.evaluation import render_table
+
+from conftest import print_artifact
+
+
+def test_table8_benchmark_comparison(benchmark, football, dataset):
+    rows = benchmark.pedantic(
+        lambda: table8(football, dataset), rounds=1, iterations=1
+    )
+    print_artifact(
+        "Table 8 — comparison between FootballDB and existing datasets",
+        render_table(
+            ["Dataset", "#Examples (#DBs)", "#Tables (#Rows)/DB",
+             "#Tokens/Query", "Multi-Schema", "Live Users"],
+            [row.cells() for row in rows],
+        ),
+    )
+    footballdb = rows[-1]
+    assert footballdb.name == "FootballDB"
+    assert footballdb.examples == 1_200
+    assert footballdb.multi_schema and footballdb.live_users
+    # Highest query complexity (tokens/query) of any dataset.
+    assert footballdb.tokens_per_query == max(r.tokens_per_query for r in rows)

@@ -1,0 +1,40 @@
+"""Shared session fixtures for the benchmark harness.
+
+Every bench reuses one universe, one set of databases, one benchmark
+dataset and one :class:`Harness` (whose per-version EX caches make the
+multi-table sweeps tractable).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchmark import BenchmarkDataset, build_benchmark
+from repro.evaluation import Harness
+from repro.footballdb import FootballDB, Universe, build_universe, load_all
+
+
+def print_artifact(title: str, body: str) -> None:
+    """Uniform rendering of regenerated tables/figures in bench output."""
+    bar = "=" * 72
+    print(f"\n{bar}\n{title}\n{bar}\n{body}\n")
+
+
+@pytest.fixture(scope="session")
+def universe() -> Universe:
+    return build_universe(seed=2022)
+
+
+@pytest.fixture(scope="session")
+def football(universe) -> FootballDB:
+    return load_all(universe=universe)
+
+
+@pytest.fixture(scope="session")
+def dataset(universe) -> BenchmarkDataset:
+    return build_benchmark(universe)
+
+
+@pytest.fixture(scope="session")
+def harness(football, dataset) -> Harness:
+    return Harness(football, dataset)

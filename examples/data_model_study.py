@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Mini data-model robustness study (the paper's RQ1 in one script).
+
+Evaluates two systems that bracket the paper's finding — ValueNet
+(small LM, IR pipeline: *sensitive* to the data model) and GPT-3.5
+(large LM: *robust* to it) — on the same 100 test questions under all
+three data models, and shows where ValueNet's predictions die.
+
+Run:  python examples/data_model_study.py
+"""
+
+from repro.benchmark import build_benchmark
+from repro.evaluation import Harness, format_percent, render_table
+from repro.footballdb import VERSIONS, build_universe, load_all, table2
+from repro.systems import GPT35, ValueNet
+
+
+def main() -> None:
+    universe = build_universe(seed=2022)
+    football = load_all(universe=universe)
+    dataset = build_benchmark(universe)
+    harness = Harness(football, dataset)
+
+    # -- the three data models (Table 2) ---------------------------------
+    stats = table2(football.databases)
+    print(render_table(
+        ["", "DB v1", "DB v2", "DB v3"],
+        [
+            ["#Tables"] + [stats[v].tables for v in VERSIONS],
+            ["#Columns"] + [stats[v].columns for v in VERSIONS],
+            ["#Rows"] + [stats[v].rows for v in VERSIONS],
+            ["#FKs"] + [stats[v].foreign_keys for v in VERSIONS],
+        ],
+        title="Table 2 — data model characteristics",
+    ))
+
+    # -- data-model sensitivity -----------------------------------------------
+    print("\nEvaluating ValueNet (300 train samples) and GPT-3.5 (30 shots)...")
+    rows = []
+    for version in VERSIONS:
+        valuenet = harness.evaluate(ValueNet, version, train_size=300)
+        gpt = harness.evaluate(GPT35, version, shots=30, fold=0)
+        rows.append([
+            version,
+            format_percent(valuenet.accuracy),
+            format_percent(valuenet.generation_rate),
+            str(valuenet.failure_counts()),
+            format_percent(gpt.accuracy),
+        ])
+    print(render_table(
+        ["model", "ValueNet EX", "ValueNet gen.", "ValueNet failures", "GPT-3.5 EX"],
+        rows,
+        title="\nData model robustness (RQ1/RQ2)",
+    ))
+    print(
+        "\nReading: ValueNet's pipeline failures (ambiguous FK edges, IR"
+        "\nlimits) vanish as the data model is optimized v1 -> v3, while"
+        "\nGPT-3.5 barely moves — the paper's headline result."
+    )
+
+
+if __name__ == "__main__":
+    main()

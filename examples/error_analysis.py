@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Error analysis (the paper's RQ4): where and why systems fail.
+
+Runs ValueNet and GPT-3.5 at full budget on data model v1, then breaks
+the outcomes down three ways: by failure stage (the pipeline reasons),
+by Spider hardness, and by intent topic — the practitioner's view of
+what to fix first.
+
+Run:  python examples/error_analysis.py
+"""
+
+from collections import Counter, defaultdict
+
+from repro.benchmark import build_benchmark
+from repro.evaluation import Harness, render_table
+from repro.footballdb import build_universe, load_all
+from repro.systems import GPT35, ValueNet
+
+
+def main() -> None:
+    universe = build_universe(seed=2022)
+    football = load_all(universe=universe)
+    dataset = build_benchmark(universe)
+    harness = Harness(football, dataset)
+
+    print("Evaluating ValueNet (300 samples) and GPT-3.5 (30 shots) on v1...\n")
+    results = {
+        "ValueNet": harness.evaluate(ValueNet, "v1", train_size=300),
+        "GPT-3.5": harness.evaluate(GPT35, "v1", shots=30, fold=0),
+    }
+
+    # -- failure stages --------------------------------------------------------
+    rows = []
+    for name, result in results.items():
+        failures = result.failure_counts()
+        rows.append([
+            name,
+            f"{result.accuracy:.0%}",
+            f"{result.generation_rate:.0%}",
+            failures.get("ir_unsupported", 0),
+            failures.get("join_path_ambiguous", 0),
+            failures.get("invalid_sql", 0),
+        ])
+    print(render_table(
+        ["system", "EX", "gen. rate", "IR rejects", "join-path fails", "invalid SQL"],
+        rows,
+        title="Failure stages (data model v1)",
+    ))
+
+    # -- by hardness -----------------------------------------------------------
+    rows = []
+    for name, result in results.items():
+        by_hardness = result.accuracy_by_hardness()
+        rows.append([name] + [
+            f"{by_hardness.get(level, (0.0, 0))[0]:.0%} "
+            f"(n={by_hardness.get(level, (0.0, 0))[1]})"
+            for level in ("easy", "medium", "hard", "extra")
+        ])
+    print(render_table(
+        ["system", "easy", "medium", "hard", "extra"],
+        rows,
+        title="\nAccuracy by Spider hardness (Figure 7 slice)",
+    ))
+
+    # -- by topic ----------------------------------------------------------------
+    topic_outcomes = defaultdict(lambda: defaultdict(list))
+    for name, result in results.items():
+        for example, outcome in zip(dataset.test_examples, result.outcomes):
+            topic_outcomes[example.intent.spec.topic][name].append(outcome.correct)
+    rows = []
+    for topic in sorted(topic_outcomes):
+        row = [topic]
+        for name in results:
+            flags = topic_outcomes[topic][name]
+            row.append(f"{sum(flags) / len(flags):.0%} (n={len(flags)})")
+        rows.append(row)
+    print(render_table(
+        ["topic"] + list(results),
+        rows,
+        title="\nAccuracy by question topic",
+    ))
+
+    # -- the paper's takeaway ----------------------------------------------------------
+    valuenet_failures = Counter(
+        outcome.failure
+        for outcome in results["ValueNet"].outcomes
+        if outcome.failure
+    )
+    print(
+        "\nReading: ValueNet's v1 errors are dominated by *pipeline* "
+        f"failures ({sum(valuenet_failures.values())} of 100 questions "
+        "never produce SQL), concentrated on match/podium topics — "
+        "exactly the tables the v2/v3 redesigns targeted.  GPT-3.5 "
+        "always produces SQL; its errors are semantic."
+    )
+
+
+if __name__ == "__main__":
+    main()

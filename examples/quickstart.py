@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Quickstart: build FootballDB, ask a question, evaluate the answer.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.benchmark import build_benchmark
+from repro.evaluation import ExecutionEvaluator
+from repro.footballdb import build_universe, load_all
+from repro.systems import GoldOracle, T5PicardKeys
+
+
+def main() -> None:
+    # 1. One universe, three data models (Figures 3/5/6 of the paper).
+    print("Building FootballDB (22 world cups, ~9K players)...")
+    universe = build_universe(seed=2022)
+    football = load_all(universe=universe)
+    database = football["v3"]  # the optimized data model
+
+    # 2. The released benchmark: 400 real-user questions x 3 schemas.
+    dataset = build_benchmark(universe)
+    print(f"Benchmark: {len(dataset.train_examples)} train / "
+          f"{len(dataset.test_examples)} test questions\n")
+
+    # 3. Fine-tune the best small/medium system (T5-Picard with keys).
+    system = T5PicardKeys(database, GoldOracle(dataset.gold_lookup("v3")))
+    system.fine_tune(dataset.train_pairs("v3"))
+
+    # 4. Ask the paper's running example.
+    question = "What was the score between Germany and Brazil in 2014?"
+    prediction = system.predict(question)
+    print(f"Q: {question}")
+    print(f"SQL: {prediction.sql}")
+    print(f"simulated inference time: {prediction.latency_seconds:.1f}s")
+    result = database.execute(prediction.sql)
+    print(f"rows: {result.rows}\n")
+
+    # 5. Evaluate on the benchmark's test split (execution accuracy).
+    evaluator = ExecutionEvaluator(database)
+    correct = 0
+    for example in dataset.test_examples:
+        predicted = system.predict(example.question)
+        if evaluator.matches(predicted.sql, example.gold["v3"]):
+            correct += 1
+    print(f"execution accuracy on data model v3: "
+          f"{correct}/{len(dataset.test_examples)}")
+
+
+if __name__ == "__main__":
+    main()

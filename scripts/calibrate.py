@@ -1,0 +1,115 @@
+#!/usr/bin/env python
+"""Calibration helper: measured vs paper accuracy for Tables 5/6.
+
+Runs a reduced sweep (the calibration-relevant corners) and prints the
+deltas so the competence profiles in ``repro.systems`` can be tuned.
+
+Usage: python scripts/calibrate.py [--full]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.benchmark import build_benchmark
+from repro.evaluation import Harness
+from repro.footballdb import build_universe, load_all
+from repro.systems import GPT35, Llama2, T5Picard, T5PicardKeys, ValueNet
+
+#: paper Table 5 (system -> version -> train size -> accuracy %)
+PAPER_TABLE5 = {
+    "ValueNet": {
+        "v1": {0: 2, 100: 16, 200: 18, 300: 20},
+        "v2": {0: 3, 100: 14, 200: 18, 300: 20},
+        "v3": {0: 3, 100: 21, 200: 23, 300: 25},
+    },
+    "T5-Picard": {
+        "v1": {0: 8, 100: 22, 200: 29, 300: 29},
+        "v2": {0: 7, 100: 16, 200: 29, 300: 32},
+        "v3": {0: 6, 100: 6, 200: 27, 300: 29},
+    },
+    "T5-Picard_Keys": {
+        "v1": {0: 7, 100: 27, 200: 33, 300: 38},
+        "v2": {0: 7, 100: 29, 200: 33, 300: 38},
+        "v3": {0: 8, 100: 25, 200: 36, 300: 41},
+    },
+}
+
+#: paper Table 6 (system -> version -> shots -> mean accuracy %)
+PAPER_TABLE6 = {
+    "GPT-3.5": {
+        "v1": {0: 25, 10: 41, 20: 39, 30: 37},
+        "v2": {0: 25, 10: 37, 20: 36, 30: 37.5},
+        "v3": {0: 21, 10: 38.5, 20: 37, 30: 37},
+    },
+    "LLaMA2-70B": {
+        "v1": {0: 5, 2: 11.25, 4: 10.5, 8: 16},
+        "v2": {0: 4, 2: 8.75, 4: 8.5, 8: 14.5},
+        "v3": {0: 5, 2: 8.5, 4: 8.5, 8: 15},
+    },
+}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--full", action="store_true", help="all train sizes/shots")
+    args = parser.parse_args()
+
+    t0 = time.time()
+    universe = build_universe(2022)
+    football = load_all(universe=universe)
+    dataset = build_benchmark(universe)
+    harness = Harness(football, dataset)
+    print(f"setup: {time.time() - t0:.0f}s", file=sys.stderr)
+
+    train_sizes = (0, 100, 200, 300) if args.full else (0, 100, 300)
+    total_error = 0.0
+    count = 0
+    for system_cls in (ValueNet, T5Picard, T5PicardKeys):
+        name = system_cls.spec.name
+        for version in ("v1", "v2", "v3"):
+            for size in train_sizes:
+                result = harness.evaluate(system_cls, version, train_size=size)
+                paper = PAPER_TABLE5[name][version][size]
+                measured = result.accuracy * 100
+                total_error += abs(measured - paper)
+                count += 1
+                print(
+                    f"T5  {name:16s} {version} n={size:<4d} "
+                    f"measured={measured:5.1f}  paper={paper:5.1f}  "
+                    f"delta={measured - paper:+5.1f}"
+                )
+    shot_grid = {
+        GPT35: (0, 10, 30) if not args.full else (0, 10, 20, 30),
+        Llama2: (0, 2, 8) if not args.full else (0, 2, 4, 8),
+    }
+    for system_cls, shots_list in shot_grid.items():
+        name = system_cls.spec.name
+        for version in ("v1", "v2", "v3"):
+            for shots in shots_list:
+                if shots == 0:
+                    result = harness.evaluate(system_cls, version, shots=0, fold=0)
+                    measured = result.accuracy * 100
+                else:
+                    folds = 2 if not args.full else 3
+                    mean, _, _ = harness.evaluate_folds(
+                        system_cls, version, shots=shots, folds=folds
+                    )
+                    measured = mean * 100
+                paper = PAPER_TABLE6[name][version][shots]
+                total_error += abs(measured - paper)
+                count += 1
+                print(
+                    f"T6  {name:16s} {version} k={shots:<3d} "
+                    f"measured={measured:5.1f}  paper={paper:5.1f}  "
+                    f"delta={measured - paper:+5.1f}"
+                )
+    print(f"\nmean absolute error: {total_error / count:.2f} points over {count} cells")
+    print(f"elapsed: {time.time() - t0:.0f}s", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

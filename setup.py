@@ -1,0 +1,21 @@
+"""Legacy setup shim.
+
+The offline environment lacks the ``wheel`` package, so PEP 517 editable
+installs (which must build a wheel) fail.  Keeping a setup.py lets
+``pip install -e . --no-build-isolation`` use the classic
+``setup.py develop`` path, which needs nothing beyond setuptools.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Evaluating the Data Model Robustness of "
+        "Text-to-SQL Systems Based on Real User Queries' (EDBT 2025)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

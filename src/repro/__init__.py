@@ -1,0 +1,20 @@
+"""repro — reproduction of the EDBT 2025 FootballDB data-model robustness study.
+
+The package implements, from scratch and fully offline:
+
+* :mod:`repro.sqlengine` — an in-memory relational engine (PostgreSQL stand-in);
+* :mod:`repro.footballdb` — the FootballDB dataset in three data models;
+* :mod:`repro.workload` — the real-user question workload and gold SQL;
+* :mod:`repro.nlp` — embedding/clustering/sampling substrate;
+* :mod:`repro.analysis` — query characteristics and Spider hardness;
+* :mod:`repro.systems` — the five evaluated Text-to-SQL systems;
+* :mod:`repro.evaluation` — the execution-accuracy harness;
+* :mod:`repro.benchmark` — benchmark packaging and dataset comparison;
+* :mod:`repro.deployment` — the live-deployment service simulation.
+
+See README.md for a quickstart and DESIGN.md for the architecture map.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

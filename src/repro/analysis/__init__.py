@@ -1,0 +1,28 @@
+"""Query analysis toolkit.
+
+Three pieces, all operating on the shared engine AST:
+
+* :mod:`repro.analysis.characteristics` — the per-query structural
+  counts behind the paper's Table 3 and Figure 8;
+* :mod:`repro.analysis.hardness` — the Spider hardness classifier used
+  for sampling and for Figure 7;
+* :mod:`repro.analysis.spider_parser` — a faithful re-creation of the
+  Spider SQL parser's *interface and limitations* (it rejects repeated
+  table instances), which gates ValueNet's pre-processing.
+"""
+
+from .characteristics import QueryCharacteristics, analyze_query, mean_characteristics
+from .hardness import Hardness, classify_hardness, hardness_score
+from .spider_parser import SpiderParseError, SpiderSQL, spider_parse
+
+__all__ = [
+    "Hardness",
+    "QueryCharacteristics",
+    "SpiderParseError",
+    "SpiderSQL",
+    "analyze_query",
+    "classify_hardness",
+    "hardness_score",
+    "mean_characteristics",
+    "spider_parse",
+]

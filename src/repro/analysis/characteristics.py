@@ -1,0 +1,184 @@
+"""Structural query characteristics (paper Table 3 / Figure 8).
+
+The paper reports, per query: number of joins, projections, filters,
+aggregations, set operations and subqueries, plus the character length.
+This module computes those counts from the engine AST so that gold and
+predicted SQL are measured identically.
+
+Counting conventions (documented because Table 3 depends on them):
+
+* **joins** — JOIN clauses across *all* select cores of the query,
+  including set-operation branches and subqueries;
+* **projections** — select-list items of the first (leftmost) core: the
+  user-visible output width;
+* **filters** — atomic predicates inside WHERE clauses (conjunctions are
+  flattened; join ON conditions are *not* filters);
+* **aggregations** — aggregate function calls in projections, HAVING and
+  ORDER BY across all cores;
+* **set operations** — UNION/INTERSECT/EXCEPT nodes;
+* **subqueries** — nested SELECTs inside expressions (IN/EXISTS/scalar).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Iterable, List, Union
+
+from repro.sqlengine import (
+    BetweenOp,
+    BinaryOp,
+    Conjunction,
+    ExistsOp,
+    Expression,
+    InOp,
+    IsNullOp,
+    LikeOp,
+    QueryNode,
+    SelectQuery,
+    SetOperation,
+    UnaryOp,
+    contains_aggregate,
+    is_aggregate_call,
+    iter_subqueries,
+    parse_sql,
+)
+
+_COMPARISON_OPS = frozenset({"=", "<>", "<", "<=", ">", ">="})
+
+
+@dataclass(frozen=True)
+class QueryCharacteristics:
+    """Structural counts for one SQL query."""
+
+    joins: int
+    projections: int
+    filters: int
+    aggregations: int
+    set_operations: int
+    subqueries: int
+    length: int
+
+    def bucket_labels(self) -> List[str]:
+        """The Figure 8 buckets this query falls into."""
+        labels = []
+        if self.filters == 1:
+            labels.append("1 filter")
+        elif self.filters >= 2:
+            labels.append(">=2 filter")
+        if self.projections == 1:
+            labels.append("1 project")
+        elif self.projections >= 2:
+            labels.append(">=2 project")
+        if self.joins == 1:
+            labels.append("1 join")
+        elif self.joins >= 2:
+            labels.append(">=2 join")
+        if self.aggregations >= 1:
+            labels.append(">=1 agg")
+        if self.set_operations >= 1:
+            labels.append(">=1 set")
+        return labels
+
+
+FIGURE8_BUCKETS = [
+    "1 filter",
+    ">=2 filter",
+    "1 project",
+    ">=2 project",
+    "1 join",
+    ">=2 join",
+    ">=1 agg",
+    ">=1 set",
+]
+
+
+def analyze_query(query: Union[str, QueryNode]) -> QueryCharacteristics:
+    """Compute :class:`QueryCharacteristics` for SQL text or an AST."""
+    if isinstance(query, str):
+        node = parse_sql(query)
+        length = len(query.strip())
+    else:
+        node = query
+        from repro.sqlengine import format_query
+
+        length = len(format_query(node))
+    cores = _all_cores(node)
+    return QueryCharacteristics(
+        joins=sum(len(core.joins) for core in cores),
+        projections=len(_first_core(node).projections),
+        filters=sum(
+            count_atomic_predicates(core.where)
+            for core in cores
+            if core.where is not None
+        ),
+        aggregations=_count_aggregations(cores),
+        set_operations=_count_set_operations(node),
+        subqueries=sum(1 for _ in iter_subqueries(node)),
+        length=length,
+    )
+
+
+def count_atomic_predicates(expr: Expression) -> int:
+    """Count leaf predicates in a boolean expression tree."""
+    if isinstance(expr, Conjunction):
+        return sum(count_atomic_predicates(term) for term in expr.terms)
+    if isinstance(expr, UnaryOp) and expr.op == "NOT":
+        return count_atomic_predicates(expr.operand)
+    if isinstance(expr, (LikeOp, BetweenOp, InOp, IsNullOp, ExistsOp)):
+        return 1
+    if isinstance(expr, BinaryOp) and expr.op in _COMPARISON_OPS:
+        return 1
+    # A bare boolean column or anything else counts as one predicate.
+    return 1
+
+
+def _all_cores(node: QueryNode) -> List[SelectQuery]:
+    cores = list(node.iter_selects())
+    for sub in iter_subqueries(node):
+        # iter_subqueries already recurses; collect each core once.
+        for core in sub.iter_selects():
+            if core not in cores:
+                cores.append(core)
+    return cores
+
+
+def _first_core(node: QueryNode) -> SelectQuery:
+    current = node
+    while isinstance(current, SetOperation):
+        current = current.left
+    return current
+
+
+def _count_aggregations(cores: Iterable[SelectQuery]) -> int:
+    total = 0
+    for core in cores:
+        for item in core.projections:
+            total += sum(1 for n in item.expr.walk() if is_aggregate_call(n))
+        if core.having is not None:
+            total += sum(1 for n in core.having.walk() if is_aggregate_call(n))
+        for order_item in core.order_by:
+            total += sum(1 for n in order_item.expr.walk() if is_aggregate_call(n))
+    return total
+
+
+def _count_set_operations(node: QueryNode) -> int:
+    if isinstance(node, SetOperation):
+        return 1 + _count_set_operations(node.left) + _count_set_operations(node.right)
+    total = 0
+    for sub in iter_subqueries(node):
+        if isinstance(sub, SetOperation):
+            total += 1
+    return total
+
+
+def mean_characteristics(
+    queries: Iterable[Union[str, QueryNode]]
+) -> dict:
+    """Mean of every characteristic over a set of queries (Table 3 rows)."""
+    collected = [analyze_query(query) for query in queries]
+    if not collected:
+        return {f.name: 0.0 for f in fields(QueryCharacteristics)}
+    return {
+        f.name: sum(getattr(c, f.name) for c in collected) / len(collected)
+        for f in fields(QueryCharacteristics)
+    }

@@ -1,0 +1,25 @@
+"""Benchmark packaging: dataset construction, export and comparison."""
+
+from .compare import DatasetRow, footballdb_row, table8
+from .dataset import (
+    BenchmarkBuilder,
+    BenchmarkDataset,
+    BenchmarkExample,
+    build_benchmark,
+    question_id,
+)
+from .spider_format import examples_json, export_spider_release, tables_json
+
+__all__ = [
+    "BenchmarkBuilder",
+    "BenchmarkDataset",
+    "BenchmarkExample",
+    "DatasetRow",
+    "build_benchmark",
+    "examples_json",
+    "export_spider_release",
+    "footballdb_row",
+    "question_id",
+    "table8",
+    "tables_json",
+]

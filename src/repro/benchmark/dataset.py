@@ -1,0 +1,226 @@
+"""FootballDB benchmark construction (paper Section 6.1).
+
+The construction pipeline mirrors the paper exactly:
+
+1. start from the ~5.9K live-log interactions;
+2. filter out non-English, unrelated and unanswerable questions and
+   exact duplicates;
+3. diversity-sample via topic clustering (keep centroids plus members
+   below 0.93 similarity to their centroid) down to a ≈1K gold pool,
+   labeled for data model v3;
+4. uniform-sample 400 questions over v3 Spider hardness;
+5. split 300 train / 100 test (stratified by hardness);
+6. compile gold SQL for all three data models for the 400 — yielding
+   the 1,200 NL/SQL pairs of the released benchmark.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis import analyze_query, classify_hardness, mean_characteristics
+from repro.analysis.characteristics import QueryCharacteristics
+from repro.analysis.hardness import Hardness
+from repro.footballdb import Universe, VERSIONS
+from repro.nlp import diversity_sample, hardness_uniform_sample, train_test_split
+from repro.workload import (
+    DeploymentSimulator,
+    Intent,
+    QuestionCategory,
+    compile_intent,
+)
+
+
+def question_id(question: str) -> str:
+    """Stable identifier for a question text."""
+    return hashlib.blake2s(question.encode("utf-8"), digest_size=8).hexdigest()
+
+
+@dataclass(frozen=True)
+class BenchmarkExample:
+    """One labeled question with gold SQL for every data model."""
+
+    qid: str
+    question: str
+    intent: Intent
+    category: QuestionCategory
+    gold: Dict[str, str]  # version -> SQL
+
+    def hardness(self, version: str) -> Hardness:
+        return classify_hardness(self.gold[version])
+
+    def characteristics(self, version: str) -> QueryCharacteristics:
+        return analyze_query(self.gold[version])
+
+
+@dataclass
+class BenchmarkDataset:
+    """The released benchmark: 400 examples × 3 data models + 1K pool."""
+
+    train_examples: List[BenchmarkExample]
+    test_examples: List[BenchmarkExample]
+    pool_examples: List[BenchmarkExample]  # the ≈1K v3-labeled gold pool
+
+    @property
+    def examples(self) -> List[BenchmarkExample]:
+        return self.train_examples + self.test_examples
+
+    def train_pairs(self, version: str, limit: Optional[int] = None) -> List[Tuple[str, str]]:
+        pairs = [(e.question, e.gold[version]) for e in self.train_examples]
+        return pairs if limit is None else pairs[:limit]
+
+    def pool_pairs(self, version: str = "v3") -> List[Tuple[str, str]]:
+        """The ≈1K pool (used for the paper's 895-sample experiment)."""
+        return [(e.question, e.gold[version]) for e in self.pool_examples]
+
+    def gold_lookup(self, version: str) -> Dict[str, str]:
+        """question -> gold SQL, over *all* examples (train+test+pool)."""
+        lookup = {e.question: e.gold[version] for e in self.pool_examples if version in e.gold}
+        lookup.update({e.question: e.gold[version] for e in self.examples})
+        return lookup
+
+    # -- Table 3 -------------------------------------------------------------
+    def table3(self) -> Dict[str, Dict[str, Dict[str, float]]]:
+        """Query characteristics of train and test sets per data model."""
+        report: Dict[str, Dict[str, Dict[str, float]]] = {}
+        for split_name, examples in (
+            ("train", self.train_examples),
+            ("test", self.test_examples),
+        ):
+            report[split_name] = {}
+            for version in VERSIONS:
+                queries = [e.gold[version] for e in examples]
+                means = mean_characteristics(queries)
+                means["hardness"] = sum(
+                    classify_hardness(q).numeric for q in queries
+                ) / len(queries)
+                report[split_name][version] = means
+        return report
+
+    def hardness_distribution(self, version: str, split: str = "test") -> Dict[str, int]:
+        examples = self.test_examples if split == "test" else self.train_examples
+        counts = {level.value: 0 for level in Hardness}
+        for example in examples:
+            counts[example.hardness(version).value] += 1
+        return counts
+
+    # -- serialization --------------------------------------------------------
+    def to_json(self) -> str:
+        def encode(example: BenchmarkExample) -> dict:
+            return {
+                "qid": example.qid,
+                "question": example.question,
+                "intent": {
+                    "kind": example.intent.kind,
+                    "slots": dict(example.intent.slots),
+                },
+                "category": example.category.value,
+                "gold": example.gold,
+            }
+
+        return json.dumps(
+            {
+                "train": [encode(e) for e in self.train_examples],
+                "test": [encode(e) for e in self.test_examples],
+                "pool": [encode(e) for e in self.pool_examples],
+            },
+            indent=2,
+        )
+
+
+class BenchmarkBuilder:
+    """Runs the Section 6.1 construction pipeline."""
+
+    def __init__(
+        self,
+        universe: Universe,
+        seed: int = 2022,
+        log_size: int = 5_900,
+        pool_target: int = 1_000,
+        sample_size: int = 400,
+        test_size: int = 100,
+    ) -> None:
+        self.universe = universe
+        self.seed = seed
+        self.log_size = log_size
+        self.pool_target = pool_target
+        self.sample_size = sample_size
+        self.test_size = test_size
+
+    def build(self) -> BenchmarkDataset:
+        candidates = self._filtered_log()
+        pool = self._diversity_pool(candidates)
+        sampled = self._hardness_sample(pool)
+        train, test = train_test_split(
+            sampled,
+            test_size=self.test_size,
+            stratify_by=lambda e: e.hardness("v3").value,
+            seed=self.seed + 5,
+        )
+        return BenchmarkDataset(
+            train_examples=train, test_examples=test, pool_examples=pool
+        )
+
+    # -- stage 1: filter the live log ----------------------------------------
+    def _filtered_log(self) -> List[Tuple[str, Intent, QuestionCategory]]:
+        records = DeploymentSimulator(self.universe, seed=self.seed).run(self.log_size)
+        keep = (QuestionCategory.CLEAN, QuestionCategory.MISSPELLED)
+        seen = set()
+        filtered = []
+        for record in records:
+            if record.category not in keep or record.intent is None:
+                continue
+            if record.question in seen:
+                continue
+            seen.add(record.question)
+            filtered.append((record.question, record.intent, record.category))
+        return filtered
+
+    # -- stage 2: diversity sampling + v3 labeling -----------------------------
+    def _diversity_pool(self, candidates) -> List[BenchmarkExample]:
+        texts = [question for question, _, _ in candidates]
+        kept = diversity_sample(texts, similarity_threshold=0.93)
+        examples = []
+        for index in kept:
+            question, intent, category = candidates[index]
+            examples.append(self._label(question, intent, category, versions=("v3",)))
+        # The paper's threshold was chosen to land at ≈1K questions;
+        # ours is a hard cap for determinism.
+        return examples[: self.pool_target]
+
+    # -- stage 3+6: hardness-uniform 400 + full three-model labeling -------------
+    def _hardness_sample(self, pool: Sequence[BenchmarkExample]) -> List[BenchmarkExample]:
+        chosen = hardness_uniform_sample(
+            list(pool),
+            lambda example: example.hardness("v3").value,
+            size=self.sample_size,
+            seed=self.seed + 3,
+        )
+        return [
+            self._label(e.question, e.intent, e.category, versions=VERSIONS)
+            for e in chosen
+        ]
+
+    def _label(
+        self,
+        question: str,
+        intent: Intent,
+        category: QuestionCategory,
+        versions: Sequence[str],
+    ) -> BenchmarkExample:
+        gold = {version: compile_intent(intent, version) for version in versions}
+        return BenchmarkExample(
+            qid=question_id(question),
+            question=question,
+            intent=intent,
+            category=category,
+            gold=gold,
+        )
+
+
+def build_benchmark(universe: Universe, seed: int = 2022, **kwargs) -> BenchmarkDataset:
+    """Convenience wrapper around :class:`BenchmarkBuilder`."""
+    return BenchmarkBuilder(universe, seed=seed, **kwargs).build()

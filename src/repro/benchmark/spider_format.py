@@ -1,0 +1,99 @@
+"""Export FootballDB in the Spider benchmark's release format.
+
+The paper's conclusion: "We aim to extend FootballDB with a hidden test
+dataset and release a public benchmark in the same vein as the Spider
+and BIRD benchmarks."  This module produces that artifact: the standard
+``tables.json`` schema description (one entry per data model, since
+FootballDB is the first multi-schema dataset) plus ``train.json`` /
+``dev.json`` example files in Spider's conventions.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from repro.footballdb import FootballDB, VERSIONS
+from repro.sqlengine import Schema
+
+from .dataset import BenchmarkDataset, BenchmarkExample
+
+
+def schema_entry(schema: Schema, db_id: str) -> Dict[str, object]:
+    """One ``tables.json`` entry in Spider's column-index convention."""
+    table_names = [table.name for table in schema.tables]
+    column_names: List[List[object]] = [[-1, "*"]]
+    column_types: List[str] = ["text"]
+    positions: Dict[tuple, int] = {}
+    for table_index, table in enumerate(schema.tables):
+        for column in table.columns:
+            positions[(table.name.lower(), column.name.lower())] = len(column_names)
+            column_names.append([table_index, column.name])
+            column_types.append(column.sql_type.value)
+    primary_keys = [
+        positions[(table.name.lower(), name.lower())]
+        for table in schema.tables
+        for name in table.primary_key_columns
+    ]
+    foreign_keys = [
+        [
+            positions[(fk.table.lower(), fk.column.lower())],
+            positions[(fk.ref_table.lower(), fk.ref_column.lower())],
+        ]
+        for fk in schema.foreign_keys
+    ]
+    return {
+        "db_id": db_id,
+        "table_names": table_names,
+        "table_names_original": table_names,
+        "column_names": column_names,
+        "column_names_original": column_names,
+        "column_types": column_types,
+        "primary_keys": primary_keys,
+        "foreign_keys": foreign_keys,
+    }
+
+
+def tables_json(football: FootballDB) -> str:
+    """The multi-schema ``tables.json`` (one db_id per data model)."""
+    entries = [
+        schema_entry(football[version].schema, f"footballdb_{version}")
+        for version in VERSIONS
+    ]
+    return json.dumps(entries, indent=2)
+
+
+def example_entry(example: BenchmarkExample, version: str) -> Dict[str, object]:
+    gold = example.gold[version]
+    return {
+        "db_id": f"footballdb_{version}",
+        "question": example.question,
+        "question_toks": example.question.split(),
+        "query": gold,
+        "query_toks": gold.split(),
+        "hardness": example.hardness(version).value,
+    }
+
+
+def examples_json(
+    examples: Sequence[BenchmarkExample], versions: Sequence[str] = VERSIONS
+) -> str:
+    """train.json / dev.json content: one entry per (question, schema)."""
+    entries = [
+        example_entry(example, version)
+        for example in examples
+        for version in versions
+        if version in example.gold
+    ]
+    return json.dumps(entries, indent=2)
+
+
+def export_spider_release(
+    football: FootballDB, dataset: BenchmarkDataset
+) -> Dict[str, str]:
+    """The full release bundle, keyed by file name."""
+    return {
+        "tables.json": tables_json(football),
+        "train.json": examples_json(dataset.train_examples),
+        "dev.json": examples_json(dataset.test_examples),
+    }

@@ -1,0 +1,21 @@
+"""Deployment substrate: the Figure 2 service, web back-end and labeling."""
+
+from .labeling import (
+    AUTO_LABEL_THRESHOLD,
+    LabelingPipeline,
+    LabelingSuggestion,
+    VerifiedPair,
+)
+from .service import ServiceResponse, TextToSQLService
+from .webapp import InteractionLog, WebBackend
+
+__all__ = [
+    "AUTO_LABEL_THRESHOLD",
+    "InteractionLog",
+    "LabelingPipeline",
+    "LabelingSuggestion",
+    "ServiceResponse",
+    "TextToSQLService",
+    "VerifiedPair",
+    "WebBackend",
+]

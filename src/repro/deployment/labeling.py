@@ -1,0 +1,132 @@
+"""The Challenge-4 labeling pipeline (paper Section 4).
+
+Manual labeling was the deployment's bottleneck; two automations cut it
+down:
+
+1. **auto-labeling** — a question whose embedding is ≥ 0.96 cosine to an
+   already-verified question inherits that question's verified SQL;
+2. **labeler assistance** — below the threshold, the most similar
+   verified pair is surfaced next to the candidate so annotators spot
+   missing filters/joins faster.
+
+The pipeline also consumes the live feedback signals: thumbs-up
+predictions enter the verified pool after manual confirmation, and
+expert-corrected SQL is trusted directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.nlp.embedding import cosine, embed
+from repro.workload.logs import Feedback, LogRecord
+
+AUTO_LABEL_THRESHOLD = 0.96
+
+
+@dataclass(frozen=True)
+class VerifiedPair:
+    question: str
+    sql: str
+    source: str  # 'manual' | 'auto' | 'expert_correction' | 'confirmed_prediction'
+
+
+@dataclass(frozen=True)
+class LabelingSuggestion:
+    """What the labeling UI shows for one unverified question."""
+
+    question: str
+    proposed_sql: Optional[str]
+    similar_question: Optional[str]
+    similar_sql: Optional[str]
+    similarity: float
+    auto_labeled: bool
+
+
+class LabelingPipeline:
+    """Accumulates verified NL/SQL pairs and assists new labeling."""
+
+    def __init__(self, threshold: float = AUTO_LABEL_THRESHOLD) -> None:
+        self.threshold = threshold
+        self._verified: List[VerifiedPair] = []
+        self._vectors: List[List[float]] = []
+
+    # -- pool management -------------------------------------------------------
+    def add_verified(self, question: str, sql: str, source: str = "manual") -> None:
+        self._verified.append(VerifiedPair(question, sql, source))
+        self._vectors.append(embed(question))
+
+    @property
+    def verified_pairs(self) -> List[VerifiedPair]:
+        return list(self._verified)
+
+    def ingest_feedback(self, records: Sequence[LogRecord]) -> Dict[str, int]:
+        """Harvest expert signals from the live log.
+
+        Corrected SQL is trusted; thumbs-up predictions are queued as
+        'confirmed' (the paper still manually verified them — we mark
+        the provenance so the verification step can prioritize).
+        """
+        counts = {"expert_correction": 0, "confirmed_prediction": 0}
+        for record in records:
+            if record.corrected_sql is not None:
+                self.add_verified(
+                    record.question, record.corrected_sql, "expert_correction"
+                )
+                counts["expert_correction"] += 1
+            elif (
+                record.feedback is Feedback.THUMBS_UP
+                and record.predicted_sql is not None
+            ):
+                self.add_verified(
+                    record.question, record.predicted_sql, "confirmed_prediction"
+                )
+                counts["confirmed_prediction"] += 1
+        return counts
+
+    # -- assistance ---------------------------------------------------------------
+    def suggest(self, question: str) -> LabelingSuggestion:
+        """Auto-label or surface the closest verified pair."""
+        if not self._verified:
+            return LabelingSuggestion(question, None, None, None, 0.0, False)
+        vector = embed(question)
+        best_index = max(
+            range(len(self._vectors)),
+            key=lambda index: cosine(vector, self._vectors[index]),
+        )
+        similarity = cosine(vector, self._vectors[best_index])
+        neighbour = self._verified[best_index]
+        if similarity >= self.threshold:
+            return LabelingSuggestion(
+                question, neighbour.sql, neighbour.question, neighbour.sql,
+                similarity, auto_labeled=True,
+            )
+        return LabelingSuggestion(
+            question, None, neighbour.question, neighbour.sql, similarity,
+            auto_labeled=False,
+        )
+
+    def label_batch(
+        self,
+        questions: Sequence[str],
+        manual_labeler: Callable[[str, LabelingSuggestion], str],
+    ) -> Tuple[List[VerifiedPair], int]:
+        """Label ``questions``; returns (new pairs, #manual efforts).
+
+        ``manual_labeler`` is invoked only below the threshold — its
+        call count is the manual-effort metric the automation reduces.
+        """
+        manual_calls = 0
+        produced: List[VerifiedPair] = []
+        for question in questions:
+            suggestion = self.suggest(question)
+            if suggestion.auto_labeled and suggestion.proposed_sql is not None:
+                self.add_verified(question, suggestion.proposed_sql, "auto")
+                produced.append(self._verified[-1])
+                continue
+            manual_calls += 1
+            sql = manual_labeler(question, suggestion)
+            self.add_verified(question, sql, "manual")
+            produced.append(self._verified[-1])
+        return produced, manual_calls

@@ -1,0 +1,72 @@
+"""The deployed Text-to-SQL service (paper Figure 2).
+
+Wires a :class:`TextToSQLSystem` to a database connector: a user
+question goes in, the predicted SQL is executed, and both the SQL and
+its result rows come back — exactly the loop the web back-end exposed
+during the World Cup deployment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.sqlengine import Database, EngineError
+from repro.systems import Prediction, TextToSQLSystem
+
+
+@dataclass(frozen=True)
+class ServiceResponse:
+    """What the web back-end returns for one question."""
+
+    question: str
+    predicted_sql: Optional[str]
+    columns: Tuple[str, ...]
+    rows: Tuple[tuple, ...]
+    error: Optional[str]
+    latency_seconds: float
+
+    @property
+    def answered(self) -> bool:
+        return self.predicted_sql is not None and self.error is None
+
+
+class TextToSQLService:
+    """predict → execute → respond, with defensive execution."""
+
+    def __init__(self, system: TextToSQLSystem, database: Database,
+                 max_rows: int = 100) -> None:
+        self.system = system
+        self.database = database
+        self.max_rows = max_rows
+
+    def ask(self, question: str) -> ServiceResponse:
+        prediction: Prediction = self.system.predict(question)
+        if prediction.sql is None:
+            return ServiceResponse(
+                question=question,
+                predicted_sql=None,
+                columns=(),
+                rows=(),
+                error=prediction.failure or "no SQL generated",
+                latency_seconds=prediction.latency_seconds,
+            )
+        try:
+            result = self.database.execute(prediction.sql)
+        except EngineError as exc:
+            return ServiceResponse(
+                question=question,
+                predicted_sql=prediction.sql,
+                columns=(),
+                rows=(),
+                error=f"execution failed: {exc}",
+                latency_seconds=prediction.latency_seconds,
+            )
+        return ServiceResponse(
+            question=question,
+            predicted_sql=prediction.sql,
+            columns=tuple(result.columns),
+            rows=tuple(result.rows[: self.max_rows]),
+            error=None,
+            latency_seconds=prediction.latency_seconds,
+        )

@@ -1,0 +1,97 @@
+"""The web back-end of the deployment (paper Figure 2), network-free.
+
+A minimal request/response application object exposing the REST routes
+the real deployment had: ``POST /ask`` (question in, SQL + rows out),
+``POST /feedback`` (thumbs up/down), ``POST /correct`` (expert SQL fix),
+``GET /logs`` (the logging table Table 1 is computed from).  No sockets
+— handlers are called directly, which is all the simulation and tests
+need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.workload.logs import Feedback, LogRecord, QuestionCategory, Table1Stats, summarize
+
+from .service import ServiceResponse, TextToSQLService
+
+
+@dataclass
+class InteractionLog:
+    """One stored interaction, mutable so feedback can attach later."""
+
+    log_id: int
+    question: str
+    predicted_sql: Optional[str]
+    error: Optional[str]
+    feedback: Feedback = Feedback.NONE
+    corrected_sql: Optional[str] = None
+
+    def as_record(self) -> LogRecord:
+        return LogRecord(
+            log_id=self.log_id,
+            question=self.question,
+            category=QuestionCategory.CLEAN,
+            intent=None,
+            sql_generated=self.predicted_sql is not None,
+            predicted_sql=self.predicted_sql,
+            prediction_correct=None,
+            feedback=self.feedback,
+            corrected_sql=self.corrected_sql,
+        )
+
+
+class WebBackend:
+    """The deployment's application object."""
+
+    def __init__(self, service: TextToSQLService) -> None:
+        self.service = service
+        self._logs: List[InteractionLog] = []
+
+    # -- routes ---------------------------------------------------------------
+    def ask(self, question: str) -> Dict[str, object]:
+        """POST /ask"""
+        response: ServiceResponse = self.service.ask(question)
+        log = InteractionLog(
+            log_id=len(self._logs) + 1,
+            question=question,
+            predicted_sql=response.predicted_sql,
+            error=response.error,
+        )
+        self._logs.append(log)
+        return {
+            "log_id": log.log_id,
+            "sql": response.predicted_sql,
+            "columns": list(response.columns),
+            "rows": [list(row) for row in response.rows],
+            "error": response.error,
+            "latency_seconds": response.latency_seconds,
+        }
+
+    def feedback(self, log_id: int, thumbs_up: bool) -> Dict[str, object]:
+        """POST /feedback — the expert-user thumbs interface."""
+        log = self._log(log_id)
+        log.feedback = Feedback.THUMBS_UP if thumbs_up else Feedback.THUMBS_DOWN
+        return {"log_id": log_id, "feedback": log.feedback.value}
+
+    def correct(self, log_id: int, corrected_sql: str) -> Dict[str, object]:
+        """POST /correct — SQL experts can fix the generated query."""
+        log = self._log(log_id)
+        log.corrected_sql = corrected_sql
+        return {"log_id": log_id, "stored": True}
+
+    def logs(self) -> List[LogRecord]:
+        """GET /logs"""
+        return [log.as_record() for log in self._logs]
+
+    def statistics(self) -> Table1Stats:
+        """The deployment's Table 1 aggregation."""
+        return summarize(self.logs())
+
+    # -- internals ----------------------------------------------------------------
+    def _log(self, log_id: int) -> InteractionLog:
+        if not 1 <= log_id <= len(self._logs):
+            raise KeyError(f"unknown log id {log_id}")
+        return self._logs[log_id - 1]

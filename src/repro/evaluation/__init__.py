@@ -1,0 +1,53 @@
+"""Evaluation harness: EX metric, experiment runner, canned experiments."""
+
+from .execution import EXECUTION_ERROR, ExecutionEvaluator
+from .harness import EvaluationResult, Harness, QuestionOutcome
+from .experiments import (
+    GPT_FOLDS,
+    GPT_SHOTS,
+    LLAMA_FOLDS,
+    LLAMA_SHOTS,
+    TRAIN_SIZES,
+    figure7,
+    figure8,
+    keys_ablation,
+    natsql_ablation,
+    picard_ablation,
+    table5,
+    table6,
+    table7,
+    value_finder_ablation,
+    valuenet_pool_extension,
+)
+from .reports import format_mean_std, format_percent, render_bar_chart, render_table
+from .test_suite import TestSuiteEvaluator, TestSuiteVerdict, perturb_events
+
+__all__ = [
+    "EXECUTION_ERROR",
+    "EvaluationResult",
+    "ExecutionEvaluator",
+    "GPT_FOLDS",
+    "GPT_SHOTS",
+    "Harness",
+    "LLAMA_FOLDS",
+    "LLAMA_SHOTS",
+    "QuestionOutcome",
+    "TRAIN_SIZES",
+    "TestSuiteEvaluator",
+    "TestSuiteVerdict",
+    "figure7",
+    "figure8",
+    "format_mean_std",
+    "format_percent",
+    "keys_ablation",
+    "natsql_ablation",
+    "perturb_events",
+    "picard_ablation",
+    "render_bar_chart",
+    "render_table",
+    "table5",
+    "table6",
+    "table7",
+    "value_finder_ablation",
+    "valuenet_pool_extension",
+]

@@ -1,0 +1,66 @@
+"""Execution accuracy (EX) — the paper's evaluation metric.
+
+"EX denotes the fraction of questions within the evaluation set, where
+the outcomes of both the predicted and ground-truth queries yield
+identical results" (Section 6.1).  Identity is multiset equality of
+normalized rows (column order matters, row order does not — ORDER BY
+queries produce the same multiset either way, and the engine's
+normalization folds int/float and boolean/text representation
+differences).
+
+Results are cached per SQL text: across systems and train sizes most
+predictions are the gold query itself, so caching makes the full
+Table 5/6 sweeps tractable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.sqlengine import Database, EngineError
+
+#: hashable canonical form of a result set
+ResultKey = Tuple[Tuple[tuple, int], ...]
+
+#: sentinel for "execution failed"
+EXECUTION_ERROR = ("__execution_error__",)
+
+
+class ExecutionEvaluator:
+    """EX comparisons against one database, with a result cache."""
+
+    def __init__(self, database: Database) -> None:
+        self.database = database
+        self._cache: Dict[str, object] = {}
+        self.executed = 0
+        self.cache_hits = 0
+
+    def result_key(self, sql: str) -> object:
+        """Canonical result of ``sql`` (or the error sentinel)."""
+        cached = self._cache.get(sql)
+        if cached is not None:
+            self.cache_hits += 1
+            return cached
+        try:
+            result = self.database.execute(sql)
+            key: object = tuple(sorted(result.normalized_multiset().items()))
+        except (EngineError, RecursionError) as exc:
+            key = (EXECUTION_ERROR, type(exc).__name__)
+        self.executed += 1
+        self._cache[sql] = key
+        return key
+
+    def matches(self, predicted_sql: Optional[str], gold_sql: str) -> bool:
+        """EX verdict for one prediction.
+
+        A missing prediction or a failing execution never matches, even
+        if the gold query also fails (the paper's systems are graded on
+        producing a *working* answer).
+        """
+        if predicted_sql is None:
+            return False
+        predicted = self.result_key(predicted_sql)
+        if isinstance(predicted, tuple) and predicted and predicted[0] == EXECUTION_ERROR:
+            return False
+        gold = self.result_key(gold_sql)
+        return predicted == gold

@@ -1,0 +1,226 @@
+"""Canned experiment configurations for every table and figure.
+
+Each function takes a :class:`repro.evaluation.harness.Harness` and
+returns plain data structures (dicts keyed by the paper's row/column
+labels) so the benchmark scripts and EXPERIMENTS.md generation share
+one source of truth.
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.footballdb import VERSIONS
+from repro.systems import (
+    GPT35,
+    Llama2,
+    T5Picard,
+    T5PicardKeys,
+    ValueNet,
+)
+
+from .harness import EvaluationResult, Harness
+
+TRAIN_SIZES = (0, 100, 200, 300)
+GPT_SHOTS = (0, 10, 20, 30)
+LLAMA_SHOTS = (0, 2, 4, 8)
+GPT_FOLDS = 3
+LLAMA_FOLDS = 4
+
+FINE_TUNED = (ValueNet, T5Picard, T5PicardKeys)
+LLMS = ((GPT35, GPT_SHOTS, GPT_FOLDS), (Llama2, LLAMA_SHOTS, LLAMA_FOLDS))
+
+
+# -- Table 5: fine-tuned systems ------------------------------------------------
+
+
+def table5(
+    harness: Harness,
+    versions: Sequence[str] = VERSIONS,
+    train_sizes: Sequence[int] = TRAIN_SIZES,
+) -> Dict[Tuple[str, int, str], float]:
+    """(version, train_size, system name) -> execution accuracy."""
+    accuracies: Dict[Tuple[str, int, str], float] = {}
+    for version in versions:
+        for train_size in train_sizes:
+            for system_cls in FINE_TUNED:
+                result = harness.evaluate(system_cls, version, train_size=train_size)
+                accuracies[(version, train_size, result.system)] = result.accuracy
+    return accuracies
+
+
+# -- Table 6: LLMs with shot folds -------------------------------------------------
+
+
+def table6(
+    harness: Harness, versions: Sequence[str] = VERSIONS
+) -> Dict[Tuple[str, int, str], Tuple[float, float]]:
+    """(version, shots, system name) -> (mean accuracy, std over folds)."""
+    results: Dict[Tuple[str, int, str], Tuple[float, float]] = {}
+    for system_cls, shot_grid, folds in LLMS:
+        name = system_cls.spec.name
+        for version in versions:
+            for shots in shot_grid:
+                if shots == 0:
+                    result = harness.evaluate(system_cls, version, shots=0, fold=0)
+                    results[(version, 0, name)] = (result.accuracy, 0.0)
+                else:
+                    mean, spread, _ = harness.evaluate_folds(
+                        system_cls, version, shots=shots, folds=folds
+                    )
+                    results[(version, shots, name)] = (mean, spread)
+    return results
+
+
+# -- Table 7: inference time ---------------------------------------------------------
+
+
+def table7(harness: Harness, version: str = "v1") -> Dict[str, Tuple[float, float]]:
+    """system name -> (mean latency, std) at full training budget."""
+    latencies: Dict[str, Tuple[float, float]] = {}
+    for system_cls in FINE_TUNED:
+        result = harness.evaluate(system_cls, version, train_size=300)
+        latencies[result.system] = (result.mean_latency, result.latency_stdev)
+    for system_cls, shot_grid, _ in LLMS:
+        result = harness.evaluate(system_cls, version, shots=shot_grid[-1], fold=0)
+        latencies[result.system] = (result.mean_latency, result.latency_stdev)
+    return latencies
+
+
+# -- Figures 7 and 8 --------------------------------------------------------------------
+
+
+_BEST_CONFIG_CACHE: Dict[Tuple[int, Tuple[str, ...]], Dict[str, List[EvaluationResult]]] = {}
+
+
+def _best_config_results(harness: Harness, versions: Sequence[str]) -> Dict[str, List[EvaluationResult]]:
+    """Max-budget run of every system per version (the figures' setting).
+
+    Memoized per harness: Figures 7 and 8 (and Table 7 consumers) share
+    the same expensive sweep.
+    """
+    cache_key = (id(harness), tuple(versions))
+    if cache_key in _BEST_CONFIG_CACHE:
+        return _BEST_CONFIG_CACHE[cache_key]
+    per_version: Dict[str, List[EvaluationResult]] = {}
+    for version in versions:
+        rows: List[EvaluationResult] = []
+        for system_cls in FINE_TUNED:
+            rows.append(harness.evaluate(system_cls, version, train_size=300))
+        rows.append(harness.evaluate(GPT35, version, shots=30, fold=0))
+        rows.append(harness.evaluate(Llama2, version, shots=8, fold=0))
+        per_version[version] = rows
+    _BEST_CONFIG_CACHE[cache_key] = per_version
+    return per_version
+
+
+def figure7(
+    harness: Harness, versions: Sequence[str] = VERSIONS
+) -> Dict[str, Dict[str, Dict[str, Tuple[float, int]]]]:
+    """version -> system -> hardness level -> (accuracy, count)."""
+    report: Dict[str, Dict[str, Dict[str, Tuple[float, int]]]] = {}
+    for version, results in _best_config_results(harness, versions).items():
+        report[version] = {
+            result.system: result.accuracy_by_hardness() for result in results
+        }
+    return report
+
+
+def figure8(
+    harness: Harness, versions: Sequence[str] = VERSIONS
+) -> Dict[str, Dict[str, Dict[str, Tuple[float, int]]]]:
+    """version -> system -> characteristic bucket -> (accuracy, count)."""
+    report: Dict[str, Dict[str, Dict[str, Tuple[float, int]]]] = {}
+    for version, results in _best_config_results(harness, versions).items():
+        report[version] = {
+            result.system: result.accuracy_by_bucket() for result in results
+        }
+    return report
+
+
+# -- Section 6.2 extension: ValueNet on the ~1K pool -----------------------------------
+
+
+def valuenet_pool_extension(harness: Harness) -> Dict[str, float]:
+    """ValueNet v3 with 300 vs all usable pool samples (~895 of 1K).
+
+    The paper: tripling the training data lifts ValueNet from 25% to
+    ~29% — diminishing returns that motivate the data-model work.
+    """
+    baseline = harness.evaluate(ValueNet, "v3", train_size=300)
+    pool_pairs = harness.dataset.pool_pairs("v3")
+    probe = harness.build_system(ValueNet, "v3")
+    usable = [pair for pair in pool_pairs if probe.trainable(pair[1])]
+    extended = harness.evaluate(ValueNet, "v3", train_pairs=usable)
+    return {
+        "300_samples": baseline.accuracy,
+        "pool_samples": extended.accuracy,
+        "pool_size": len(usable),
+        "pool_total": len(pool_pairs),
+    }
+
+
+# -- ablations (A1-A3 in DESIGN.md) ------------------------------------------------------
+
+
+def keys_ablation(harness: Harness) -> Dict[str, Dict[str, float]]:
+    """T5-Picard with vs without PK/FK input, per data model."""
+    report: Dict[str, Dict[str, float]] = {}
+    for version in VERSIONS:
+        without = harness.evaluate(T5Picard, version, train_size=300)
+        with_keys = harness.evaluate(T5PicardKeys, version, train_size=300)
+        report[version] = {
+            "without_keys": without.accuracy,
+            "with_keys": with_keys.accuracy,
+            "gain": with_keys.accuracy - without.accuracy,
+        }
+    return report
+
+
+def picard_ablation(harness: Harness, version: str = "v3") -> Dict[str, float]:
+    """Constrained decoding on/off: invalid-SQL rate and accuracy."""
+    constrained = harness.evaluate(T5Picard, version, train_size=300)
+    unconstrained = harness.evaluate(
+        T5Picard, version, train_size=300, use_picard=False
+    )
+    return {
+        "picard_accuracy": constrained.accuracy,
+        "picard_generation_rate": constrained.generation_rate,
+        "unconstrained_accuracy": unconstrained.accuracy,
+        "unconstrained_generation_rate": unconstrained.generation_rate,
+    }
+
+
+def natsql_ablation(harness: Harness) -> Dict[str, Dict[str, float]]:
+    """A4: ValueNet's IR — SemQL vs NatSQL, per data model.
+
+    NatSQL's wider coverage (repeated table instances, recorded join
+    conditions, set operations) removes the v1 post-processing failures
+    that motivated the schema redesign.
+    """
+    from repro.systems import ValueNetNatSQL
+
+    report: Dict[str, Dict[str, float]] = {}
+    for version in VERSIONS:
+        semql = harness.evaluate(ValueNet, version, train_size=300)
+        natsql = harness.evaluate(ValueNetNatSQL, version, train_size=300)
+        report[version] = {
+            "semql_accuracy": semql.accuracy,
+            "semql_generation_rate": semql.generation_rate,
+            "natsql_accuracy": natsql.accuracy,
+            "natsql_generation_rate": natsql.generation_rate,
+        }
+    return report
+
+
+def value_finder_ablation(harness: Harness, version: str = "v3") -> Dict[str, float]:
+    """ValueNet with vs without the value finder (typo recovery)."""
+    with_finder = harness.evaluate(ValueNet, version, train_size=300)
+    without = harness.evaluate(
+        ValueNet, version, train_size=300, use_value_finder=False
+    )
+    return {
+        "with_value_finder": with_finder.accuracy,
+        "without_value_finder": without.accuracy,
+    }

@@ -1,0 +1,201 @@
+"""Experiment runner: system x data model x training budget x fold.
+
+One :class:`Harness` owns the three databases, the benchmark dataset
+and per-version EX evaluators; :meth:`Harness.evaluate` runs one
+configuration end to end and returns per-question outcomes, so the
+Table 5/6 sweeps, Figure 7/8 breakdowns and the Table 7 latency
+aggregation all reuse the same machinery.
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Type
+
+from repro.benchmark import BenchmarkDataset, BenchmarkExample
+from repro.footballdb import FootballDB
+from repro.systems import GoldOracle, Prediction, TextToSQLSystem
+
+from .execution import ExecutionEvaluator
+
+
+@dataclass(frozen=True)
+class QuestionOutcome:
+    """One (system, question) evaluation record."""
+
+    qid: str
+    question: str
+    hardness: str  # of this data model's gold query
+    correct: bool
+    produced_sql: bool
+    failure: Optional[str]
+    latency_seconds: float
+    bucket_labels: Tuple[str, ...]  # Figure 8 buckets
+
+
+@dataclass
+class EvaluationResult:
+    """All outcomes of one configuration."""
+
+    system: str
+    version: str
+    train_size: int
+    shots: Optional[int]
+    fold: int
+    outcomes: List[QuestionOutcome] = field(default_factory=list)
+
+    @property
+    def accuracy(self) -> float:
+        if not self.outcomes:
+            return 0.0
+        return sum(1 for o in self.outcomes if o.correct) / len(self.outcomes)
+
+    @property
+    def generation_rate(self) -> float:
+        if not self.outcomes:
+            return 0.0
+        return sum(1 for o in self.outcomes if o.produced_sql) / len(self.outcomes)
+
+    @property
+    def mean_latency(self) -> float:
+        return statistics.fmean(o.latency_seconds for o in self.outcomes)
+
+    @property
+    def latency_stdev(self) -> float:
+        latencies = [o.latency_seconds for o in self.outcomes]
+        return statistics.pstdev(latencies) if len(latencies) > 1 else 0.0
+
+    def accuracy_by_hardness(self) -> Dict[str, Tuple[float, int]]:
+        """hardness level -> (accuracy, count) — Figure 7 series."""
+        buckets: Dict[str, List[bool]] = {}
+        for outcome in self.outcomes:
+            buckets.setdefault(outcome.hardness, []).append(outcome.correct)
+        return {
+            level: (sum(flags) / len(flags), len(flags))
+            for level, flags in buckets.items()
+        }
+
+    def accuracy_by_bucket(self) -> Dict[str, Tuple[float, int]]:
+        """Figure 8: characteristic bucket -> (accuracy, count)."""
+        buckets: Dict[str, List[bool]] = {}
+        for outcome in self.outcomes:
+            for label in outcome.bucket_labels:
+                buckets.setdefault(label, []).append(outcome.correct)
+        return {
+            label: (sum(flags) / len(flags), len(flags))
+            for label, flags in buckets.items()
+        }
+
+    def failure_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for outcome in self.outcomes:
+            if outcome.failure:
+                counts[outcome.failure] = counts.get(outcome.failure, 0) + 1
+        return counts
+
+
+class Harness:
+    """Runs evaluation configurations over one FootballDB + benchmark."""
+
+    def __init__(self, football: FootballDB, dataset: BenchmarkDataset) -> None:
+        self.football = football
+        self.dataset = dataset
+        self._evaluators: Dict[str, ExecutionEvaluator] = {}
+        self._oracles: Dict[str, GoldOracle] = {}
+
+    def evaluator(self, version: str) -> ExecutionEvaluator:
+        if version not in self._evaluators:
+            self._evaluators[version] = ExecutionEvaluator(self.football[version])
+        return self._evaluators[version]
+
+    def oracle(self, version: str) -> GoldOracle:
+        if version not in self._oracles:
+            self._oracles[version] = GoldOracle(self.dataset.gold_lookup(version))
+        return self._oracles[version]
+
+    # -- configuration runners --------------------------------------------------
+    def build_system(
+        self,
+        system_cls: Type[TextToSQLSystem],
+        version: str,
+        fold: int = 0,
+        **system_kwargs,
+    ) -> TextToSQLSystem:
+        return system_cls(
+            self.football[version], self.oracle(version), fold=fold, **system_kwargs
+        )
+
+    def evaluate(
+        self,
+        system_cls: Type[TextToSQLSystem],
+        version: str,
+        train_size: Optional[int] = None,
+        shots: Optional[int] = None,
+        fold: int = 0,
+        train_pairs: Optional[Sequence[Tuple[str, str]]] = None,
+        examples: Optional[Sequence[BenchmarkExample]] = None,
+        **system_kwargs,
+    ) -> EvaluationResult:
+        """Run one configuration.
+
+        ``train_size`` truncates the benchmark train split (fine-tuned
+        systems); ``shots`` draws a per-fold random sample from it
+        (LLM systems, mirroring the paper's random-shot folds);
+        ``train_pairs`` overrides both (used by the 895-sample
+        extension experiment).
+        """
+        system = self.build_system(system_cls, version, fold, **system_kwargs)
+        if train_pairs is not None:
+            pairs = list(train_pairs)
+        elif shots is not None:
+            pool = self.dataset.train_pairs(version)
+            rng = random.Random(10_000 + 97 * fold + shots)
+            pairs = rng.sample(pool, min(shots, len(pool)))
+        else:
+            pairs = self.dataset.train_pairs(version, limit=train_size)
+        system.fine_tune(pairs)
+        evaluator = self.evaluator(version)
+        result = EvaluationResult(
+            system=system.spec.name,
+            version=version,
+            train_size=len(pairs) if shots is None else 0,
+            shots=shots,
+            fold=fold,
+        )
+        for example in examples if examples is not None else self.dataset.test_examples:
+            gold = example.gold[version]
+            prediction = system.predict(example.question)
+            correct = evaluator.matches(prediction.sql, gold)
+            result.outcomes.append(
+                QuestionOutcome(
+                    qid=example.qid,
+                    question=example.question,
+                    hardness=example.hardness(version).value,
+                    correct=correct,
+                    produced_sql=prediction.produced_sql,
+                    failure=prediction.failure,
+                    latency_seconds=prediction.latency_seconds,
+                    bucket_labels=tuple(example.characteristics(version).bucket_labels()),
+                )
+            )
+        return result
+
+    def evaluate_folds(
+        self,
+        system_cls: Type[TextToSQLSystem],
+        version: str,
+        shots: int,
+        folds: int,
+        **kwargs,
+    ) -> Tuple[float, float, List[EvaluationResult]]:
+        """Mean accuracy and population std-dev over ``folds`` runs."""
+        results = [
+            self.evaluate(system_cls, version, shots=shots, fold=fold, **kwargs)
+            for fold in range(folds)
+        ]
+        accuracies = [result.accuracy for result in results]
+        mean = statistics.fmean(accuracies)
+        spread = statistics.pstdev(accuracies) if len(accuracies) > 1 else 0.0
+        return mean, spread, results

@@ -1,0 +1,85 @@
+"""ASCII renderers for the paper's tables and bar figures.
+
+Every benchmark prints through these so the regenerated artifacts look
+like the paper's rows/series and are directly comparable in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Fixed-width table rendering."""
+    columns = [[str(header)] for header in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            columns[index].append(_format_cell(cell))
+    widths = [max(len(value) for value in column) for column in columns]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(
+        str(header).ljust(width) for header, width in zip(headers, widths)
+    )
+    lines.append(header_line)
+    lines.append("-+-".join("-" * width for width in widths))
+    for row_index in range(len(rows)):
+        lines.append(
+            " | ".join(
+                columns[col_index][row_index + 1].ljust(widths[col_index])
+                for col_index in range(len(headers))
+            )
+        )
+    return "\n".join(lines)
+
+
+def _format_cell(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def format_percent(value: float, decimals: int = 2) -> str:
+    return f"{value * 100:.{decimals}f}%"
+
+
+def format_mean_std(mean: float, std: float, percent: bool = True) -> str:
+    if percent:
+        return f"{mean * 100:.2f}% (±{std * 100:.2f}%)"
+    return f"{mean:.2f} ± {std:.2f}"
+
+
+def render_bar_chart(
+    series: Mapping[str, Mapping[str, Tuple[float, int]]],
+    buckets: Sequence[str],
+    title: str,
+    width: int = 30,
+) -> str:
+    """Horizontal ASCII bars: one block per bucket, one bar per system.
+
+    ``series`` maps system name -> bucket -> (accuracy, count); the
+    bucket count is printed once per block (the "numbers on top of the
+    bars" of Figures 7/8).
+    """
+    lines = [title]
+    for bucket in buckets:
+        count = 0
+        for per_bucket in series.values():
+            if bucket in per_bucket:
+                count = per_bucket[bucket][1]
+                break
+        lines.append(f"\n  {bucket}  (n={count})")
+        for system, per_bucket in series.items():
+            if bucket not in per_bucket:
+                lines.append(f"    {system:<16} {'-':>7}")
+                continue
+            accuracy, _ = per_bucket[bucket]
+            bar = "#" * round(accuracy * width)
+            lines.append(f"    {system:<16} {accuracy * 100:5.1f}% |{bar}")
+    return "\n".join(lines)

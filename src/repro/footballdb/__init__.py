@@ -1,0 +1,40 @@
+"""FootballDB: the paper's dataset, generated synthetically.
+
+Public API::
+
+    from repro.footballdb import load_all, build_universe
+
+    football = load_all(seed=2022)
+    v3 = football["v3"]
+    v3.execute("SELECT count(*) FROM plays_match")
+
+Modules: :mod:`universe` (entity generation), :mod:`schema_v1` /
+:mod:`schema_v2` / :mod:`schema_v3` (the three data models of Figures
+3, 5 and 6), :mod:`loader` (materialization), :mod:`stats` (Table 2).
+"""
+
+from .loader import VERSIONS, FootballDB, build_universe, load_all, load_version
+from .stats import DataModelStats, compute_stats, table2
+from .universe import (
+    NATIONAL_TEAMS,
+    STAGES,
+    WORLD_CUP_HISTORY,
+    Universe,
+    UniverseGenerator,
+)
+
+__all__ = [
+    "DataModelStats",
+    "FootballDB",
+    "NATIONAL_TEAMS",
+    "STAGES",
+    "Universe",
+    "UniverseGenerator",
+    "VERSIONS",
+    "WORLD_CUP_HISTORY",
+    "build_universe",
+    "compute_stats",
+    "load_all",
+    "load_version",
+    "table2",
+]

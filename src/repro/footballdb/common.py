@@ -1,0 +1,361 @@
+"""Table definitions and row extractors shared by all three data models.
+
+The three schemas (Figures 3, 5 and 6 of the paper) differ only in how
+matches, world-cup results and team relationships are modeled; the
+entity tables (players, teams, clubs, leagues, coaches, stadiums) and
+the bridge tables are identical.  This module holds those shared parts
+so each ``schema_v*`` module contains exactly its own delta.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.sqlengine import Column, Schema, SqlType
+
+from .universe import Universe
+
+
+def _col(name: str, sql_type: str, pk: bool = False) -> Column:
+    mapping = {
+        "int": SqlType.INTEGER,
+        "real": SqlType.REAL,
+        "text": SqlType.TEXT,
+        "bool": SqlType.BOOLEAN,
+    }
+    return Column(name, mapping[sql_type], pk)
+
+
+# -- shared table shapes ------------------------------------------------------
+
+
+def add_entity_tables(schema: Schema) -> None:
+    """The six entity tables present in every data model version."""
+    schema.create_table(
+        "national_team",
+        [
+            _col("team_id", "int", pk=True),
+            _col("teamname", "text"),
+            _col("confederation", "text"),
+            _col("fifa_code", "text"),
+            _col("founded", "int"),
+            _col("active_from", "int"),
+            _col("active_to", "int"),
+        ],
+    )
+    schema.create_table(
+        "league",
+        [
+            _col("league_id", "int", pk=True),
+            _col("name", "text"),
+            _col("country", "text"),
+            _col("division", "int"),
+            _col("founded", "int"),
+        ],
+    )
+    schema.create_table(
+        "club",
+        [
+            _col("club_id", "int", pk=True),
+            _col("club_name", "text"),
+            _col("city", "text"),
+            _col("country", "text"),
+            _col("founded", "int"),
+            _col("stadium_name", "text"),
+            _col("colors", "text"),
+        ],
+    )
+    schema.create_table(
+        "coach",
+        [
+            _col("coach_id", "int", pk=True),
+            _col("coach_name", "text"),
+            _col("nationality", "text"),
+            _col("birth_year", "int"),
+            _col("preferred_formation", "text"),
+        ],
+    )
+    schema.create_table(
+        "player",
+        [
+            _col("player_id", "int", pk=True),
+            _col("player_name", "text"),
+            _col("full_name", "text"),
+            _col("birth_year", "int"),
+            _col("birth_city", "text"),
+            _col("position", "text"),
+            _col("height_cm", "int"),
+            _col("preferred_foot", "text"),
+            _col("caps", "int"),
+        ],
+    )
+    schema.create_table(
+        "stadium",
+        [
+            _col("stadium_id", "int", pk=True),
+            _col("stadium_name", "text"),
+            _col("city", "text"),
+            _col("country", "text"),
+            _col("capacity", "int"),
+            _col("opened", "int"),
+            _col("surface", "text"),
+        ],
+    )
+
+
+def add_player_fact_table(schema: Schema) -> None:
+    schema.create_table(
+        "player_fact",
+        [
+            _col("fact_id", "int", pk=True),
+            _col("year", "int"),
+            _col("team_id", "int"),
+            _col("player_id", "int"),
+            _col("coach_id", "int"),
+            _col("shirt_number", "int"),
+            _col("games_played", "int"),
+            _col("goals_scored", "int"),
+            _col("yellow_cards", "int"),
+        ],
+    )
+    schema.add_foreign_key("player_fact", "year", "world_cup", "year")
+    schema.add_foreign_key("player_fact", "team_id", "national_team", "team_id")
+    schema.add_foreign_key("player_fact", "player_id", "player", "player_id")
+    schema.add_foreign_key("player_fact", "coach_id", "coach", "coach_id")
+
+
+def add_bridge_tables(schema: Schema, declare_foreign_keys: bool) -> None:
+    """player/coach/club bridges and the club-league history.
+
+    In data models v1 and v2 these carry *undeclared* references (the
+    deployment's original DDL omitted them — one reason club questions
+    routed poorly through join-path inference).  The v3 redesign
+    declares them, contributing to its higher FK count (Table 2).
+    """
+    schema.create_table(
+        "player_club_team",
+        [
+            _col("player_id", "int"),
+            _col("club_id", "int"),
+            _col("from_year", "int"),
+            _col("to_year", "int"),
+            _col("appearances", "int"),
+        ],
+    )
+    schema.create_table(
+        "coach_club_team",
+        [
+            _col("coach_id", "int"),
+            _col("club_id", "int"),
+            _col("from_year", "int"),
+            _col("to_year", "int"),
+        ],
+    )
+    schema.create_table(
+        "club_league_hist",
+        [
+            _col("club_id", "int"),
+            _col("league_id", "int"),
+            _col("season_year", "int"),
+            _col("position", "int"),
+        ],
+    )
+    if declare_foreign_keys:
+        schema.add_foreign_key("player_club_team", "player_id", "player", "player_id")
+        schema.add_foreign_key("player_club_team", "club_id", "club", "club_id")
+        schema.add_foreign_key("coach_club_team", "coach_id", "coach", "coach_id")
+        schema.add_foreign_key("coach_club_team", "club_id", "club", "club_id")
+
+
+# -- shared row extraction ------------------------------------------------------
+
+
+def national_team_rows(universe: Universe) -> List[tuple]:
+    return [
+        (
+            team.team_id,
+            team.name,
+            team.confederation,
+            team.name[:3].upper(),
+            team.founded,
+            team.active_from,
+            team.active_to,
+        )
+        for team in universe.teams
+    ]
+
+
+def league_rows(universe: Universe) -> List[tuple]:
+    return [
+        (league.league_id, league.name, league.country, league.division, 1900 + league.league_id % 60)
+        for league in universe.leagues
+    ]
+
+
+def club_rows(universe: Universe) -> List[tuple]:
+    return [
+        (
+            club.club_id,
+            club.name,
+            club.city,
+            club.country,
+            club.founded,
+            f"{club.city} Ground",
+            ["red/white", "blue/white", "black/yellow", "green/white"][club.club_id % 4],
+        )
+        for club in universe.clubs
+    ]
+
+
+def coach_rows(universe: Universe) -> List[tuple]:
+    return [
+        (
+            coach.coach_id,
+            coach.name,
+            coach.nationality,
+            coach.birth_year,
+            ["4-4-2", "4-3-3", "3-5-2", "4-2-3-1"][coach.coach_id % 4],
+        )
+        for coach in universe.coaches
+    ]
+
+
+def player_rows(universe: Universe) -> List[tuple]:
+    caps = {}
+    for member in universe.squads:
+        caps[member.player_id] = caps.get(member.player_id, 0) + member.games_played
+    return [
+        (
+            player.player_id,
+            player.nickname,
+            player.full_name,
+            player.birth_year,
+            f"City-{player.player_id % 400:03d}",
+            player.position,
+            player.height_cm,
+            player.preferred_foot,
+            caps.get(player.player_id, 0),
+        )
+        for player in universe.players
+    ]
+
+
+def stadium_rows(universe: Universe) -> List[tuple]:
+    return [
+        (
+            stadium.stadium_id,
+            stadium.name,
+            stadium.city,
+            stadium.country,
+            stadium.capacity,
+            stadium.opened,
+            "grass" if stadium.stadium_id % 5 else "hybrid",
+        )
+        for stadium in universe.stadiums
+    ]
+
+
+def player_fact_rows(universe: Universe) -> List[tuple]:
+    yellows = {}
+    for event in universe.events:
+        if event.event_type == "yellow_card":
+            match = universe.matches[event.match_id - 1]
+            key = (match.year, event.player_id)
+            yellows[key] = yellows.get(key, 0) + 1
+    return [
+        (
+            index + 1,
+            member.year,
+            member.team_id,
+            member.player_id,
+            member.coach_id,
+            member.shirt_number,
+            member.games_played,
+            member.goals,
+            yellows.get((member.year, member.player_id), 0),
+        )
+        for index, member in enumerate(universe.squads)
+    ]
+
+
+def player_club_rows(universe: Universe) -> List[tuple]:
+    return [
+        (
+            spell.player_id,
+            spell.club_id,
+            spell.from_year,
+            spell.to_year,
+            (spell.to_year - spell.from_year) * 30,
+        )
+        for spell in universe.player_club_spells
+    ]
+
+
+def coach_club_rows(universe: Universe) -> List[tuple]:
+    return [
+        (spell.coach_id, spell.club_id, spell.from_year, spell.to_year)
+        for spell in universe.coach_club_spells
+    ]
+
+
+def club_league_rows(universe: Universe) -> List[tuple]:
+    return [
+        (season.club_id, season.league_id, season.season_year, season.position)
+        for season in universe.club_seasons
+    ]
+
+
+def match_fact_rows(universe: Universe, match_key: str) -> List[tuple]:
+    """Event rows; ``match_key`` selects v1/v2 (``match_id``) or v3
+    (``match_team_id``) referencing."""
+    rows = []
+    for event in universe.events:
+        if match_key == "match_id":
+            reference = event.match_id
+        else:
+            match = universe.matches[event.match_id - 1]
+            # home row is match_id*2-1, away row match_id*2
+            if event.team_id == match.home_team_id:
+                reference = match.match_id * 2 - 1
+            else:
+                reference = match.match_id * 2
+        rows.append(
+            (
+                event.event_id,
+                reference,
+                event.player_id,
+                event.team_id,
+                event.minute,
+                event.event_type in ("goal", "penalty", "own_goal"),
+                event.event_type == "penalty",
+                event.event_type == "own_goal",
+                event.event_type == "yellow_card",
+                event.event_type == "red_card",
+                1 if event.minute <= 45 else 2,
+            )
+        )
+    return rows
+
+
+MATCH_FACT_COLUMNS = [
+    ("fact_id", "int", True),
+    ("player_id", "int", False),
+    ("team_id", "int", False),
+    ("minute", "int", False),
+    ("goal", "bool", False),
+    ("penalty", "bool", False),
+    ("own_goal", "bool", False),
+    ("yellow_card", "bool", False),
+    ("red_card", "bool", False),
+    ("half", "int", False),
+]
+
+
+def match_fact_columns(match_key: str) -> List[Column]:
+    columns = [_col("fact_id", "int", pk=True), _col(match_key, "int")]
+    columns.extend(
+        _col(name, sql_type)
+        for name, sql_type, pk in MATCH_FACT_COLUMNS
+        if name != "fact_id"
+    )
+    return columns

@@ -1,0 +1,56 @@
+"""One-stop loading of FootballDB instances.
+
+``load_all()`` materializes the same universe under all three data
+models — the property that makes FootballDB the first benchmark where
+*the same questions* can be evaluated against *different schemas over
+the same data* (paper Table 8, "Multi-Schema ✓").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.sqlengine import Database
+
+from . import schema_v1, schema_v2, schema_v3
+from .universe import Universe, UniverseGenerator
+
+VERSIONS = ("v1", "v2", "v3")
+
+_MODULES = {"v1": schema_v1, "v2": schema_v2, "v3": schema_v3}
+
+
+@dataclass
+class FootballDB:
+    """The universe plus its three materializations."""
+
+    universe: Universe
+    databases: Dict[str, Database]
+
+    def database(self, version: str) -> Database:
+        return self.databases[version]
+
+    def __getitem__(self, version: str) -> Database:
+        return self.databases[version]
+
+
+def build_universe(seed: int = 2022) -> Universe:
+    return UniverseGenerator(seed).generate()
+
+
+def load_version(universe: Universe, version: str) -> Database:
+    """Load one data-model version from an existing universe."""
+    try:
+        module = _MODULES[version]
+    except KeyError:
+        raise ValueError(f"unknown data model version {version!r}") from None
+    return module.load(universe)
+
+
+def load_all(seed: int = 2022, universe: Universe | None = None) -> FootballDB:
+    """Build the universe once and load every data model from it."""
+    if universe is None:
+        universe = build_universe(seed)
+    databases = {version: load_version(universe, version) for version in VERSIONS}
+    return FootballDB(universe=universe, databases=databases)

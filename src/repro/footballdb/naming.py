@@ -1,0 +1,116 @@
+"""Deterministic name synthesis for the FootballDB universe.
+
+The paper's FootballDB contains real athletes scraped from Wikidata; we
+generate synthetic-but-plausible names instead (substitution documented
+in DESIGN.md §2).  National team names, hosts and podium places *are*
+the historical ones, because the user questions reference them ("What
+was the score between Germany and Brazil in 2014?").
+
+All generation is driven by :class:`random.Random` instances seeded by
+the caller — same seed, same universe, bit for bit.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+_GIVEN_SYLLABLES = [
+    "an", "bel", "car", "da", "ed", "fa", "gio", "hu", "iv", "jo",
+    "ka", "lu", "mar", "nic", "or", "pa", "quin", "ro", "sa", "tho",
+    "ul", "vi", "wil", "xa", "yan", "ze",
+]
+_FAMILY_SYLLABLES = [
+    "ba", "cos", "dem", "er", "fer", "gar", "hoff", "ib", "jan", "kov",
+    "lam", "mor", "nas", "ol", "per", "qui", "ram", "sil", "tor", "ur",
+    "vas", "wag", "xim", "yil", "zan", "bra", "sch", "mul",
+]
+_FAMILY_SUFFIXES = ["a", "ez", "er", "ic", "ini", "o", "ov", "sen", "son", "sson"]
+
+_CLUB_PREFIXES = ["FC", "SC", "AC", "CD", "SV", "CF", "AS", "Real", "Sporting", "United"]
+_CLUB_CORES = [
+    "Alba", "Borgo", "Cresta", "Delta", "Estrella", "Fortuna", "Granada",
+    "Halcon", "Istria", "Juventa", "Kastel", "Lumen", "Mira", "Norte",
+    "Orion", "Prima", "Quanta", "Riva", "Sole", "Tempo", "Unida", "Vela",
+    "Wanda", "Xenia", "Yara", "Zenit",
+]
+
+_CITY_CORES = [
+    "Alten", "Bergen", "Casa", "Dorn", "Elm", "Feld", "Grun", "Hafen",
+    "Insel", "Jung", "Kirch", "Linden", "Markt", "Neuen", "Ober", "Port",
+    "Quell", "Rosen", "Stein", "Tal", "Unter", "Vall", "Wald", "Zell",
+]
+_CITY_SUFFIXES = ["berg", "burg", "by", "field", "ford", "grad", "hafen", "polis", "stad", "ton", "ville"]
+
+
+def player_name(rng: random.Random) -> str:
+    """A synthetic 'Given Family' player name."""
+    given = _capitalize(
+        rng.choice(_GIVEN_SYLLABLES) + rng.choice(_GIVEN_SYLLABLES)
+    )
+    family = _capitalize(
+        rng.choice(_FAMILY_SYLLABLES)
+        + rng.choice(_FAMILY_SYLLABLES)
+        + rng.choice(_FAMILY_SUFFIXES)
+    )
+    return f"{given} {family}"
+
+
+def nickname(full_name: str, rng: random.Random) -> str:
+    """A short nickname, mimicking the Kaggle dataset's partial names."""
+    given, _, family = full_name.partition(" ")
+    choice = rng.random()
+    if choice < 0.4:
+        return family
+    if choice < 0.7:
+        return given
+    return f"{given[0]}. {family}"
+
+
+def coach_name(rng: random.Random) -> str:
+    return player_name(rng)
+
+
+def club_name(rng: random.Random) -> str:
+    prefix = rng.choice(_CLUB_PREFIXES)
+    core = rng.choice(_CLUB_CORES)
+    if rng.random() < 0.4:
+        core += f" {rng.choice(_CLUB_CORES)}"
+    return f"{prefix} {core}"
+
+
+def city_name(rng: random.Random) -> str:
+    return _capitalize(rng.choice(_CITY_CORES) + rng.choice(_CITY_SUFFIXES))
+
+
+def stadium_name(city: str, rng: random.Random) -> str:
+    style = rng.choice(["Stadium", "Arena", "Park", "National Stadium"])
+    return f"{city} {style}"
+
+
+def league_name(country: str, division: int) -> str:
+    ordinal = {1: "First", 2: "Second", 3: "Third"}.get(division, f"{division}th")
+    return f"{country} {ordinal} Division"
+
+
+def unique_names(generator, rng: random.Random, count: int) -> List[str]:
+    """Draw ``count`` distinct names from ``generator(rng)``.
+
+    Appends a roman-ish disambiguator when the syllable space collides,
+    which also gives the dataset the near-duplicate names that make
+    value linking realistically fuzzy.
+    """
+    seen = {}
+    names: List[str] = []
+    for _ in range(count):
+        name = generator(rng)
+        occurrences = seen.get(name, 0)
+        seen[name] = occurrences + 1
+        if occurrences:
+            name = f"{name} {'I' * (occurrences + 1)}"
+        names.append(name)
+    return names
+
+
+def _capitalize(text: str) -> str:
+    return text[:1].upper() + text[1:]

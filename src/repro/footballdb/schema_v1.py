@@ -1,0 +1,132 @@
+"""Data model v1 — the initial deployment schema (paper Figure 3).
+
+13 tables, 14 declared foreign keys.  Its two defining pathologies:
+
+* ``match`` references ``national_team`` twice (``home_team_id`` and
+  ``away_team_id``), and ``world_cup`` references it four times
+  (``winner`` … ``fourth``) — multiple PK/FK edges between one table
+  pair, which breaks single-edge join-path inference (SemQL systems);
+* symmetric "A against B" questions need a ``UNION`` over both
+  home/away assignments (Figure 4, left).
+"""
+
+from __future__ import annotations
+
+from repro.sqlengine import Database, Schema
+
+from . import common
+from .common import _col
+from .universe import Universe
+
+VERSION = "v1"
+
+
+def build_schema() -> Schema:
+    schema = Schema("footballdb", version=VERSION)
+    common.add_entity_tables(schema)
+    schema.create_table(
+        "world_cup",
+        [
+            _col("year", "int", pk=True),
+            _col("host_country", "text"),
+            _col("venue", "text"),
+            _col("teams_count", "int"),
+            _col("winner", "int"),
+            _col("runner_up", "int"),
+            _col("third", "int"),
+            _col("fourth", "int"),
+            _col("goals_scored", "int"),
+            _col("matches_played", "int"),
+            _col("attendance", "int"),
+            _col("official_ball", "text"),
+        ],
+    )
+    schema.create_table(
+        "match",
+        [
+            _col("match_id", "int", pk=True),
+            _col("year", "int"),
+            _col("stage", "text"),
+            _col("group_name", "text"),
+            _col("stadium_id", "int"),
+            _col("home_team_id", "int"),
+            _col("away_team_id", "int"),
+            _col("home_team_goals", "int"),
+            _col("away_team_goals", "int"),
+            _col("attendance", "int"),
+            _col("match_day", "int"),
+            _col("extra_time", "bool"),
+        ],
+    )
+    schema.create_table("match_fact", common.match_fact_columns("match_id"))
+    # Declared FKs: exactly the paper's 14.
+    schema.add_foreign_key("world_cup", "winner", "national_team", "team_id")
+    schema.add_foreign_key("world_cup", "runner_up", "national_team", "team_id")
+    schema.add_foreign_key("world_cup", "third", "national_team", "team_id")
+    schema.add_foreign_key("world_cup", "fourth", "national_team", "team_id")
+    schema.add_foreign_key("match", "year", "world_cup", "year")
+    schema.add_foreign_key("match", "stadium_id", "stadium", "stadium_id")
+    schema.add_foreign_key("match", "home_team_id", "national_team", "team_id")
+    schema.add_foreign_key("match", "away_team_id", "national_team", "team_id")
+    schema.add_foreign_key("match_fact", "match_id", "match", "match_id")
+    schema.add_foreign_key("match_fact", "player_id", "player", "player_id")
+    common.add_player_fact_table(schema)  # +4 FKs
+    common.add_bridge_tables(schema, declare_foreign_keys=False)
+    return schema
+
+
+def load(universe: Universe) -> Database:
+    """Populate a fresh v1 database from the universe."""
+    db = Database(build_schema())
+    db.insert_many("national_team", common.national_team_rows(universe))
+    db.insert_many("league", common.league_rows(universe))
+    db.insert_many("club", common.club_rows(universe))
+    db.insert_many("coach", common.coach_rows(universe))
+    db.insert_many("player", common.player_rows(universe))
+    db.insert_many("stadium", common.stadium_rows(universe))
+    db.insert_many(
+        "world_cup",
+        [
+            (
+                cup.year,
+                cup.host,
+                f"{cup.host} {cup.year}",
+                cup.team_count,
+                cup.winner_id,
+                cup.runner_up_id,
+                cup.third_id,
+                cup.fourth_id,
+                universe.total_goals(cup.year),
+                len(universe.matches_in(cup.year)),
+                sum(match.attendance for match in universe.matches_in(cup.year)),
+                f"Ball-{cup.year}",
+            )
+            for cup in universe.world_cups
+        ],
+    )
+    db.insert_many(
+        "match",
+        [
+            (
+                match.match_id,
+                match.year,
+                match.stage,
+                match.group_name,
+                match.stadium_id,
+                match.home_team_id,
+                match.away_team_id,
+                match.home_goals,
+                match.away_goals,
+                match.attendance,
+                match.match_id % 28 + 1,
+                match.stage not in ("group",) and (match.match_id % 7 == 0),
+            )
+            for match in universe.matches
+        ],
+    )
+    db.insert_many("match_fact", common.match_fact_rows(universe, "match_id"))
+    db.insert_many("player_fact", common.player_fact_rows(universe))
+    db.insert_many("player_club_team", common.player_club_rows(universe))
+    db.insert_many("coach_club_team", common.coach_club_rows(universe))
+    db.insert_many("club_league_hist", common.club_league_rows(universe))
+    return db

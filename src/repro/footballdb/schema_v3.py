@@ -1,0 +1,201 @@
+"""Data model v3 — second optimization (paper Figure 6).
+
+15 tables, 16 declared foreign keys.  The redesign principles
+(Section 5.3): fewer joins, self-descriptive semantics, no implicit
+knowledge.
+
+* ``plays_match`` stores one row per *(match, team-role)*: the match is
+  expressed from each team's perspective (``team_goals`` vs
+  ``opponent_team_goals`` plus a ``team_role`` flag), so "Brazil against
+  Germany" is one flat join with no UNION and no repeated table
+  instances;
+* ``national_opponent_team`` is a physical copy of ``national_team`` so
+  the opponent side resolves through its own single FK edge;
+* ``world_cup_result`` converts the text ``prize`` into four Boolean
+  columns (``winner``, ``runner_up``, ``third``, ``fourth``), moving
+  value linking from DB *content* into the *schema*;
+* the previously undeclared bridge-table references are declared.
+"""
+
+from __future__ import annotations
+
+from repro.sqlengine import Database, Schema
+
+from . import common
+from .common import _col
+from .universe import Universe
+
+VERSION = "v3"
+
+
+def build_schema() -> Schema:
+    schema = Schema("footballdb", version=VERSION)
+    common.add_entity_tables(schema)
+    # Physical copy of national_team for the opponent role.
+    schema.create_table(
+        "national_opponent_team",
+        [
+            _col("team_id", "int", pk=True),
+            _col("teamname", "text"),
+            _col("confederation", "text"),
+            _col("fifa_code", "text"),
+            _col("founded", "int"),
+            _col("active_from", "int"),
+            _col("active_to", "int"),
+        ],
+    )
+    schema.create_table(
+        "world_cup",
+        [
+            _col("year", "int", pk=True),
+            _col("host_country", "text"),
+            _col("venue", "text"),
+            _col("teams_count", "int"),
+            _col("goals_scored", "int"),
+            _col("matches_played", "int"),
+            _col("attendance", "int"),
+            _col("official_ball", "text"),
+        ],
+    )
+    schema.create_table(
+        "world_cup_result",
+        [
+            _col("year", "int"),
+            _col("team_id", "int"),
+            _col("winner", "bool"),
+            _col("runner_up", "bool"),
+            _col("third", "bool"),
+            _col("fourth", "bool"),
+        ],
+    )
+    schema.create_table(
+        "plays_match",
+        [
+            _col("match_team_id", "int", pk=True),
+            _col("match_id", "int"),
+            _col("team_id", "int"),
+            _col("opponent_team_id", "int"),
+            _col("year", "int"),
+            _col("stage", "text"),
+            _col("group_name", "text"),
+            _col("stadium_id", "int"),
+            _col("team_role", "text"),
+            _col("team_goals", "int"),
+            _col("opponent_team_goals", "int"),
+            _col("attendance", "int"),
+            _col("extra_time", "bool"),
+        ],
+    )
+    schema.create_table("match_fact", common.match_fact_columns("match_team_id"))
+    # Declared FKs: 16.
+    schema.add_foreign_key("plays_match", "team_id", "national_team", "team_id")
+    schema.add_foreign_key(
+        "plays_match", "opponent_team_id", "national_opponent_team", "team_id"
+    )
+    schema.add_foreign_key("plays_match", "year", "world_cup", "year")
+    schema.add_foreign_key("plays_match", "stadium_id", "stadium", "stadium_id")
+    schema.add_foreign_key("world_cup_result", "year", "world_cup", "year")
+    schema.add_foreign_key("world_cup_result", "team_id", "national_team", "team_id")
+    schema.add_foreign_key("match_fact", "match_team_id", "plays_match", "match_team_id")
+    schema.add_foreign_key("match_fact", "player_id", "player", "player_id")
+    common.add_player_fact_table(schema)  # +4 FKs
+    common.add_bridge_tables(schema, declare_foreign_keys=True)  # +4 FKs
+    return schema
+
+
+def home_match_team_id(match_id: int) -> int:
+    """plays_match PK of a match's home-role row."""
+    return match_id * 2 - 1
+
+
+def away_match_team_id(match_id: int) -> int:
+    """plays_match PK of a match's away-role row."""
+    return match_id * 2
+
+
+def load(universe: Universe) -> Database:
+    """Populate a fresh v3 database from the universe."""
+    db = Database(build_schema())
+    team_rows = common.national_team_rows(universe)
+    db.insert_many("national_team", team_rows)
+    db.insert_many("national_opponent_team", team_rows)
+    db.insert_many("league", common.league_rows(universe))
+    db.insert_many("club", common.club_rows(universe))
+    db.insert_many("coach", common.coach_rows(universe))
+    db.insert_many("player", common.player_rows(universe))
+    db.insert_many("stadium", common.stadium_rows(universe))
+    db.insert_many(
+        "world_cup",
+        [
+            (
+                cup.year,
+                cup.host,
+                f"{cup.host} {cup.year}",
+                cup.team_count,
+                universe.total_goals(cup.year),
+                len(universe.matches_in(cup.year)),
+                sum(match.attendance for match in universe.matches_in(cup.year)),
+                f"Ball-{cup.year}",
+            )
+            for cup in universe.world_cups
+        ],
+    )
+    db.insert_many(
+        "world_cup_result",
+        [
+            (
+                cup.year,
+                team_id,
+                team_id == cup.winner_id,
+                team_id == cup.runner_up_id,
+                team_id == cup.third_id,
+                team_id == cup.fourth_id,
+            )
+            for cup in universe.world_cups
+            for team_id in (cup.winner_id, cup.runner_up_id, cup.third_id, cup.fourth_id)
+        ],
+    )
+    plays_rows = []
+    for match in universe.matches:
+        extra_time = match.stage not in ("group",) and (match.match_id % 7 == 0)
+        plays_rows.append(
+            (
+                home_match_team_id(match.match_id),
+                match.match_id,
+                match.home_team_id,
+                match.away_team_id,
+                match.year,
+                match.stage,
+                match.group_name,
+                match.stadium_id,
+                "home",
+                match.home_goals,
+                match.away_goals,
+                match.attendance,
+                extra_time,
+            )
+        )
+        plays_rows.append(
+            (
+                away_match_team_id(match.match_id),
+                match.match_id,
+                match.away_team_id,
+                match.home_team_id,
+                match.year,
+                match.stage,
+                match.group_name,
+                match.stadium_id,
+                "away",
+                match.away_goals,
+                match.home_goals,
+                match.attendance,
+                extra_time,
+            )
+        )
+    db.insert_many("plays_match", plays_rows)
+    db.insert_many("match_fact", common.match_fact_rows(universe, "match_team_id"))
+    db.insert_many("player_fact", common.player_fact_rows(universe))
+    db.insert_many("player_club_team", common.player_club_rows(universe))
+    db.insert_many("coach_club_team", common.coach_club_rows(universe))
+    db.insert_many("club_league_hist", common.club_league_rows(universe))
+    return db

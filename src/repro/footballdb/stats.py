@@ -1,0 +1,47 @@
+"""Data-model characteristics — reproduces the paper's Table 2.
+
+For each schema version: number of tables, columns, rows, foreign keys,
+and the per-table means.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.sqlengine import Database
+
+
+@dataclass(frozen=True)
+class DataModelStats:
+    """One column of the paper's Table 2."""
+
+    version: str
+    tables: int
+    columns: int
+    rows: int
+    foreign_keys: int
+
+    @property
+    def mean_columns_per_table(self) -> float:
+        return self.columns / self.tables if self.tables else 0.0
+
+    @property
+    def mean_rows_per_table(self) -> float:
+        return self.rows / self.tables if self.tables else 0.0
+
+
+def compute_stats(database: Database) -> DataModelStats:
+    schema = database.schema
+    return DataModelStats(
+        version=schema.version,
+        tables=len(schema.tables),
+        columns=schema.column_count,
+        rows=database.row_count(),
+        foreign_keys=schema.foreign_key_count,
+    )
+
+
+def table2(databases: Dict[str, Database]) -> Dict[str, DataModelStats]:
+    """Table 2 for every loaded data model, keyed by version."""
+    return {version: compute_stats(db) for version, db in databases.items()}

@@ -1,0 +1,883 @@
+"""The FootballDB universe: one self-consistent World Cup history.
+
+The paper's dataset was collected from Kaggle, Wikidata and web scraping
+(Section 3.1).  Offline, we generate a synthetic universe instead, with
+two fidelity rules:
+
+1. **Public macro-history is real.**  Tournament years, hosts, podium
+   places (winner/runner-up/third/fourth) and participating-nation names
+   match the historical record, because the evaluation questions
+   reference them ("Who won the world cup in 2014?" must answer
+   "Germany").  The famous 2014 semi-final (Germany 7:1 Brazil) is
+   seeded explicitly — it is the running example of the paper's
+   Figure 4.
+2. **Micro-detail is synthetic but internally consistent.**  Players,
+   coaches, clubs, leagues, match scores, goal scorers and cards are
+   generated deterministically from a seed; aggregate columns (e.g. a
+   squad member's goal tally) are *derived from* the event rows, so
+   every query answer is consistent no matter which data model and join
+   path a system uses.
+
+Entity counts track the paper's Table 2/Section 3.1 inventory:
+22 world cups, 86 national teams, ~8.9K players, 1,874 clubs,
+89 leagues, 1,966 coaches, ~100K total rows per data model.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from . import naming
+
+# ---------------------------------------------------------------------------
+# Historical scaffolding (public record)
+# ---------------------------------------------------------------------------
+
+#: (year, host, team_count, winner, runner_up, third, fourth)
+WORLD_CUP_HISTORY: List[Tuple[int, str, int, str, str, str, str]] = [
+    (1930, "Uruguay", 13, "Uruguay", "Argentina", "United States", "Yugoslavia"),
+    (1934, "Italy", 16, "Italy", "Czechoslovakia", "Germany", "Austria"),
+    (1938, "France", 15, "Italy", "Hungary", "Brazil", "Sweden"),
+    (1950, "Brazil", 13, "Uruguay", "Brazil", "Sweden", "Spain"),
+    (1954, "Switzerland", 16, "Germany", "Hungary", "Austria", "Uruguay"),
+    (1958, "Sweden", 16, "Brazil", "Sweden", "France", "Germany"),
+    (1962, "Chile", 16, "Brazil", "Czechoslovakia", "Chile", "Yugoslavia"),
+    (1966, "England", 16, "England", "Germany", "Portugal", "Soviet Union"),
+    (1970, "Mexico", 16, "Brazil", "Italy", "Germany", "Uruguay"),
+    (1974, "Germany", 16, "Germany", "Netherlands", "Poland", "Brazil"),
+    (1978, "Argentina", 16, "Argentina", "Netherlands", "Brazil", "Italy"),
+    (1982, "Spain", 24, "Italy", "Germany", "Poland", "France"),
+    (1986, "Mexico", 24, "Argentina", "Germany", "France", "Belgium"),
+    (1990, "Italy", 24, "Germany", "Argentina", "Italy", "England"),
+    (1994, "United States", 24, "Brazil", "Italy", "Sweden", "Bulgaria"),
+    (1998, "France", 32, "France", "Brazil", "Croatia", "Netherlands"),
+    (2002, "South Korea", 32, "Brazil", "Germany", "Turkey", "South Korea"),
+    (2006, "Germany", 32, "Italy", "France", "Germany", "Portugal"),
+    (2010, "South Africa", 32, "Spain", "Netherlands", "Germany", "Uruguay"),
+    (2014, "Brazil", 32, "Germany", "Argentina", "Netherlands", "Brazil"),
+    (2018, "Russia", 32, "France", "Croatia", "Belgium", "England"),
+    (2022, "Qatar", 32, "Argentina", "France", "Croatia", "Morocco"),
+]
+
+#: name -> (confederation, active_from, active_to); 86 nations including
+#: former states, mirroring the paper's "86 national teams (including
+#: former nations, e.g., the Soviet Union)".
+NATIONAL_TEAMS: List[Tuple[str, str, int, int]] = [
+    # UEFA
+    ("Germany", "UEFA", 1930, 2100), ("Italy", "UEFA", 1930, 2100),
+    ("France", "UEFA", 1930, 2100), ("England", "UEFA", 1930, 2100),
+    ("Spain", "UEFA", 1930, 2100), ("Netherlands", "UEFA", 1930, 2100),
+    ("Portugal", "UEFA", 1930, 2100), ("Belgium", "UEFA", 1930, 2100),
+    ("Sweden", "UEFA", 1930, 2100), ("Switzerland", "UEFA", 1930, 2100),
+    ("Austria", "UEFA", 1930, 2100), ("Hungary", "UEFA", 1930, 2100),
+    ("Poland", "UEFA", 1930, 2100), ("Denmark", "UEFA", 1930, 2100),
+    ("Romania", "UEFA", 1930, 2100), ("Bulgaria", "UEFA", 1930, 2100),
+    ("Scotland", "UEFA", 1930, 2100), ("Northern Ireland", "UEFA", 1930, 2100),
+    ("Wales", "UEFA", 1930, 2100), ("Ireland", "UEFA", 1930, 2100),
+    ("Norway", "UEFA", 1930, 2100), ("Greece", "UEFA", 1930, 2100),
+    ("Turkey", "UEFA", 1930, 2100), ("Israel", "UEFA", 1930, 2100),
+    ("Iceland", "UEFA", 1930, 2100), ("Croatia", "UEFA", 1992, 2100),
+    ("Serbia", "UEFA", 2006, 2100), ("Slovenia", "UEFA", 1992, 2100),
+    ("Slovakia", "UEFA", 1993, 2100), ("Czech Republic", "UEFA", 1993, 2100),
+    ("Ukraine", "UEFA", 1992, 2100), ("Russia", "UEFA", 1992, 2100),
+    ("Bosnia and Herzegovina", "UEFA", 1992, 2100),
+    ("Finland", "UEFA", 1930, 2100),
+    ("Soviet Union", "UEFA", 1930, 1991), ("Yugoslavia", "UEFA", 1930, 1991),
+    ("Czechoslovakia", "UEFA", 1930, 1992), ("East Germany", "UEFA", 1949, 1990),
+    ("Serbia and Montenegro", "UEFA", 1992, 2005),
+    # CONMEBOL
+    ("Brazil", "CONMEBOL", 1930, 2100), ("Argentina", "CONMEBOL", 1930, 2100),
+    ("Uruguay", "CONMEBOL", 1930, 2100), ("Chile", "CONMEBOL", 1930, 2100),
+    ("Paraguay", "CONMEBOL", 1930, 2100), ("Peru", "CONMEBOL", 1930, 2100),
+    ("Colombia", "CONMEBOL", 1930, 2100), ("Ecuador", "CONMEBOL", 1930, 2100),
+    ("Bolivia", "CONMEBOL", 1930, 2100), ("Venezuela", "CONMEBOL", 1930, 2100),
+    # CONCACAF
+    ("Mexico", "CONCACAF", 1930, 2100), ("United States", "CONCACAF", 1930, 2100),
+    ("Costa Rica", "CONCACAF", 1930, 2100), ("Honduras", "CONCACAF", 1930, 2100),
+    ("El Salvador", "CONCACAF", 1930, 2100), ("Canada", "CONCACAF", 1930, 2100),
+    ("Jamaica", "CONCACAF", 1930, 2100), ("Trinidad and Tobago", "CONCACAF", 1930, 2100),
+    ("Haiti", "CONCACAF", 1930, 2100), ("Cuba", "CONCACAF", 1930, 2100),
+    ("Panama", "CONCACAF", 1930, 2100),
+    # AFC
+    ("Japan", "AFC", 1930, 2100), ("South Korea", "AFC", 1930, 2100),
+    ("Saudi Arabia", "AFC", 1930, 2100), ("Iran", "AFC", 1930, 2100),
+    ("Iraq", "AFC", 1930, 2100), ("Qatar", "AFC", 1930, 2100),
+    ("United Arab Emirates", "AFC", 1930, 2100), ("China", "AFC", 1930, 2100),
+    ("North Korea", "AFC", 1930, 2100), ("Kuwait", "AFC", 1930, 2100),
+    ("Australia", "AFC", 1930, 2100), ("Dutch East Indies", "AFC", 1930, 1949),
+    # CAF
+    ("Cameroon", "CAF", 1930, 2100), ("Nigeria", "CAF", 1930, 2100),
+    ("Senegal", "CAF", 1930, 2100), ("Ghana", "CAF", 1930, 2100),
+    ("Ivory Coast", "CAF", 1930, 2100), ("Morocco", "CAF", 1930, 2100),
+    ("Tunisia", "CAF", 1930, 2100), ("Algeria", "CAF", 1930, 2100),
+    ("Egypt", "CAF", 1930, 2100), ("South Africa", "CAF", 1930, 2100),
+    ("Zaire", "CAF", 1930, 1996), ("Togo", "CAF", 1930, 2100),
+    ("Angola", "CAF", 1930, 2100),
+    # OFC
+    ("New Zealand", "OFC", 1930, 2100),
+]
+
+#: Fill order for non-medalist participants (rough historical strength).
+_STRENGTH_ORDER = [
+    "Brazil", "Germany", "Italy", "Argentina", "France", "England", "Spain",
+    "Netherlands", "Uruguay", "Sweden", "Mexico", "Belgium", "Hungary",
+    "Switzerland", "Poland", "Austria", "Czechoslovakia", "Soviet Union",
+    "Yugoslavia", "Portugal", "Chile", "United States", "Croatia", "Denmark",
+    "Paraguay", "South Korea", "Japan", "Scotland", "Romania", "Bulgaria",
+    "Russia", "Colombia", "Peru", "Cameroon", "Nigeria", "Morocco", "Turkey",
+    "Costa Rica", "Ecuador", "Ghana", "Senegal", "Australia", "Ireland",
+    "Northern Ireland", "Wales", "Norway", "Greece", "Tunisia", "Algeria",
+    "Egypt", "Saudi Arabia", "Iran", "Serbia", "Ukraine", "Czech Republic",
+    "Slovakia", "Slovenia", "Bosnia and Herzegovina", "East Germany",
+    "Honduras", "El Salvador", "Canada", "Jamaica", "Trinidad and Tobago",
+    "Haiti", "Cuba", "Panama", "Iraq", "Qatar", "United Arab Emirates",
+    "China", "North Korea", "Kuwait", "South Africa", "Ivory Coast", "Togo",
+    "Angola", "New Zealand", "Israel", "Iceland", "Bolivia", "Venezuela",
+    "Zaire", "Dutch East Indies", "Serbia and Montenegro",
+]
+
+STAGES = ["group", "round_of_16", "quarter_final", "semi_final", "third_place", "final"]
+
+GOAL_EVENTS = ("goal", "penalty", "own_goal")
+CARD_EVENTS = ("yellow_card", "red_card")
+
+_POSITIONS = ["goalkeeper", "defender", "midfielder", "forward"]
+_POSITION_PLAN = (
+    ["goalkeeper"] * 3 + ["defender"] * 7 + ["midfielder"] * 7 + ["forward"] * 6
+)
+
+#: target entity counts from the paper (Section 3.1)
+TARGET_PLAYERS = 8891
+TARGET_CLUBS = 1874
+TARGET_LEAGUES = 89
+TARGET_COACHES = 1966
+
+
+# ---------------------------------------------------------------------------
+# Entities
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class NationalTeam:
+    team_id: int
+    name: str
+    confederation: str
+    active_from: int
+    active_to: int
+    founded: int
+
+
+@dataclass(frozen=True)
+class League:
+    league_id: int
+    name: str
+    country: str
+    division: int
+
+
+@dataclass(frozen=True)
+class Club:
+    club_id: int
+    name: str
+    city: str
+    country: str
+    founded: int
+    league_id: int
+
+
+@dataclass(frozen=True)
+class Coach:
+    coach_id: int
+    name: str
+    nationality: str
+    birth_year: int
+
+
+@dataclass(frozen=True)
+class Player:
+    player_id: int
+    full_name: str
+    nickname: str
+    birth_year: int
+    position: str
+    height_cm: int
+    preferred_foot: str
+    national_team_id: Optional[int]
+
+
+@dataclass(frozen=True)
+class Stadium:
+    stadium_id: int
+    name: str
+    city: str
+    country: str
+    capacity: int
+    opened: int
+
+
+@dataclass(frozen=True)
+class WorldCup:
+    year: int
+    host: str
+    team_count: int
+    winner_id: int
+    runner_up_id: int
+    third_id: int
+    fourth_id: int
+
+
+@dataclass(frozen=True)
+class Match:
+    match_id: int
+    year: int
+    stage: str
+    group_name: Optional[str]
+    stadium_id: int
+    home_team_id: int
+    away_team_id: int
+    home_goals: int
+    away_goals: int
+    attendance: int
+
+    def involves(self, team_id: int) -> bool:
+        return team_id in (self.home_team_id, self.away_team_id)
+
+
+@dataclass(frozen=True)
+class MatchEvent:
+    event_id: int
+    match_id: int
+    player_id: int
+    team_id: int  # the team credited with the event
+    minute: int
+    event_type: str
+
+
+@dataclass(frozen=True)
+class SquadMember:
+    year: int
+    team_id: int
+    player_id: int
+    coach_id: int
+    shirt_number: int
+    games_played: int
+    goals: int
+
+
+@dataclass(frozen=True)
+class PlayerClubSpell:
+    player_id: int
+    club_id: int
+    from_year: int
+    to_year: int
+
+
+@dataclass(frozen=True)
+class CoachClubSpell:
+    coach_id: int
+    club_id: int
+    from_year: int
+    to_year: int
+
+
+@dataclass(frozen=True)
+class ClubSeason:
+    club_id: int
+    league_id: int
+    season_year: int
+    position: int
+
+
+# ---------------------------------------------------------------------------
+# The universe container
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Universe:
+    """All generated entities plus lookup indices."""
+
+    seed: int
+    teams: List[NationalTeam] = field(default_factory=list)
+    leagues: List[League] = field(default_factory=list)
+    clubs: List[Club] = field(default_factory=list)
+    coaches: List[Coach] = field(default_factory=list)
+    players: List[Player] = field(default_factory=list)
+    stadiums: List[Stadium] = field(default_factory=list)
+    world_cups: List[WorldCup] = field(default_factory=list)
+    matches: List[Match] = field(default_factory=list)
+    events: List[MatchEvent] = field(default_factory=list)
+    squads: List[SquadMember] = field(default_factory=list)
+    player_club_spells: List[PlayerClubSpell] = field(default_factory=list)
+    coach_club_spells: List[CoachClubSpell] = field(default_factory=list)
+    club_seasons: List[ClubSeason] = field(default_factory=list)
+
+    # -- indices ------------------------------------------------------------
+    def __post_init__(self) -> None:
+        self._team_by_name: Dict[str, NationalTeam] = {}
+        self._team_by_id: Dict[int, NationalTeam] = {}
+        self._player_by_id: Dict[int, Player] = {}
+        self._cup_by_year: Dict[int, WorldCup] = {}
+
+    def reindex(self) -> None:
+        self._team_by_name = {team.name.lower(): team for team in self.teams}
+        self._team_by_id = {team.team_id: team for team in self.teams}
+        self._player_by_id = {player.player_id: player for player in self.players}
+        self._cup_by_year = {cup.year: cup for cup in self.world_cups}
+
+    def team_by_name(self, name: str) -> NationalTeam:
+        return self._team_by_name[name.lower()]
+
+    def team(self, team_id: int) -> NationalTeam:
+        return self._team_by_id[team_id]
+
+    def player(self, player_id: int) -> Player:
+        return self._player_by_id[player_id]
+
+    def cup(self, year: int) -> WorldCup:
+        return self._cup_by_year[year]
+
+    def matches_in(self, year: int) -> List[Match]:
+        return [match for match in self.matches if match.year == year]
+
+    def events_for_match(self, match_id: int) -> List[MatchEvent]:
+        return [event for event in self.events if event.match_id == match_id]
+
+    def squad(self, year: int, team_id: int) -> List[SquadMember]:
+        return [
+            member
+            for member in self.squads
+            if member.year == year and member.team_id == team_id
+        ]
+
+    def total_goals(self, year: int) -> int:
+        return sum(
+            match.home_goals + match.away_goals for match in self.matches_in(year)
+        )
+
+    @property
+    def years(self) -> List[int]:
+        return [cup.year for cup in self.world_cups]
+
+
+# ---------------------------------------------------------------------------
+# Generation
+# ---------------------------------------------------------------------------
+
+
+class UniverseGenerator:
+    """Builds a deterministic :class:`Universe` from a seed."""
+
+    def __init__(self, seed: int = 2022) -> None:
+        self.seed = seed
+
+    def generate(self) -> Universe:
+        universe = Universe(seed=self.seed)
+        rng = random.Random(self.seed)
+        self._make_teams(universe, rng)
+        self._make_leagues_and_clubs(universe, rng)
+        self._make_stadiums(universe, rng)
+        self._make_cups_and_matches(universe, rng)
+        self._make_squads_and_players(universe, rng)
+        self._make_events(universe, rng)
+        self._fill_squad_statistics(universe)
+        self._make_club_careers(universe, rng)
+        universe.reindex()
+        return universe
+
+    # -- teams ------------------------------------------------------------
+    def _make_teams(self, universe: Universe, rng: random.Random) -> None:
+        for index, (name, confederation, start, end) in enumerate(NATIONAL_TEAMS):
+            universe.teams.append(
+                NationalTeam(
+                    team_id=index + 1,
+                    name=name,
+                    confederation=confederation,
+                    active_from=start,
+                    active_to=end,
+                    founded=rng.randint(1880, 1930),
+                )
+            )
+        universe.reindex()
+
+    # -- leagues and clubs ----------------------------------------------------
+    def _make_leagues_and_clubs(self, universe: Universe, rng: random.Random) -> None:
+        countries = [team.name for team in universe.teams if team.active_to > 2022]
+        league_id = 0
+        # 89 leagues: first division everywhere, second/third for the
+        # strongest football countries.
+        divisions_per_country = {}
+        for country in countries:
+            divisions_per_country[country] = 1
+        for country in _STRENGTH_ORDER[:10]:
+            divisions_per_country[country] = 2
+        remaining = TARGET_LEAGUES - sum(divisions_per_country.values())
+        for country in _STRENGTH_ORDER[10:]:
+            if remaining <= 0:
+                break
+            if divisions_per_country.get(country) == 1:
+                divisions_per_country[country] = 2
+                remaining -= 1
+        for country in sorted(divisions_per_country):
+            for division in range(1, divisions_per_country[country] + 1):
+                league_id += 1
+                universe.leagues.append(
+                    League(
+                        league_id=league_id,
+                        name=naming.league_name(country, division),
+                        country=country,
+                        division=division,
+                    )
+                )
+        universe.leagues = universe.leagues[:TARGET_LEAGUES]
+        club_names = naming.unique_names(naming.club_name, rng, TARGET_CLUBS)
+        for index in range(TARGET_CLUBS):
+            league = universe.leagues[index % len(universe.leagues)]
+            city = naming.city_name(rng)
+            universe.clubs.append(
+                Club(
+                    club_id=index + 1,
+                    name=club_names[index],
+                    city=city,
+                    country=league.country,
+                    founded=rng.randint(1880, 1990),
+                    league_id=league.league_id,
+                )
+            )
+
+    # -- stadiums ----------------------------------------------------------
+    def _make_stadiums(self, universe: Universe, rng: random.Random) -> None:
+        stadium_id = 0
+        self._stadiums_by_host: Dict[str, List[int]] = {}
+        for year, host, *_ in WORLD_CUP_HISTORY:
+            if host in self._stadiums_by_host:
+                continue
+            ids = []
+            for _ in range(8):
+                stadium_id += 1
+                city = naming.city_name(rng)
+                universe.stadiums.append(
+                    Stadium(
+                        stadium_id=stadium_id,
+                        name=naming.stadium_name(city, rng),
+                        city=city,
+                        country=host,
+                        capacity=rng.randrange(25_000, 100_000, 500),
+                        opened=rng.randint(1900, year),
+                    )
+                )
+                ids.append(stadium_id)
+            self._stadiums_by_host[host] = ids
+
+    # -- cups and matches ----------------------------------------------------
+    def _make_cups_and_matches(self, universe: Universe, rng: random.Random) -> None:
+        match_id = 0
+        for year, host, team_count, winner, runner_up, third, fourth in WORLD_CUP_HISTORY:
+            podium = [
+                universe.team_by_name(winner).team_id,
+                universe.team_by_name(runner_up).team_id,
+                universe.team_by_name(third).team_id,
+                universe.team_by_name(fourth).team_id,
+            ]
+            universe.world_cups.append(
+                WorldCup(year, host, team_count, *podium)
+            )
+            participants = self._pick_participants(
+                universe, year, host, podium, team_count
+            )
+            match_id = self._schedule_cup(
+                universe, rng, year, host, participants, podium, match_id
+            )
+        universe.reindex()
+
+    def _pick_participants(
+        self,
+        universe: Universe,
+        year: int,
+        host: str,
+        podium: List[int],
+        team_count: int,
+    ) -> List[int]:
+        chosen = list(dict.fromkeys(podium))  # preserves seed order
+        host_id = universe.team_by_name(host).team_id
+        if host_id not in chosen:
+            chosen.append(host_id)
+        for name in _STRENGTH_ORDER:
+            if len(chosen) >= team_count:
+                break
+            team = universe.team_by_name(name)
+            if team.team_id in chosen:
+                continue
+            if not (team.active_from <= year <= team.active_to):
+                continue
+            chosen.append(team.team_id)
+        return chosen[:team_count]
+
+    def _schedule_cup(
+        self,
+        universe: Universe,
+        rng: random.Random,
+        year: int,
+        host: str,
+        participants: List[int],
+        podium: List[int],
+        match_id: int,
+    ) -> int:
+        stadium_ids = self._stadiums_by_host[host]
+        stadium_cycle = 0
+
+        def next_stadium() -> int:
+            nonlocal stadium_cycle
+            stadium_cycle += 1
+            return stadium_ids[stadium_cycle % len(stadium_ids)]
+
+        def add_match(
+            stage: str,
+            group: Optional[str],
+            home: int,
+            away: int,
+            home_goals: int,
+            away_goals: int,
+        ) -> None:
+            nonlocal match_id
+            match_id += 1
+            universe.matches.append(
+                Match(
+                    match_id=match_id,
+                    year=year,
+                    stage=stage,
+                    group_name=group,
+                    stadium_id=next_stadium(),
+                    home_team_id=home,
+                    away_team_id=away,
+                    home_goals=home_goals,
+                    away_goals=away_goals,
+                    attendance=rng.randrange(18_000, 99_000, 250),
+                )
+            )
+
+        # Group stage: participants are dealt round-robin into groups so
+        # the seeded podium teams (the head of the list) land in
+        # different groups and only meet in the knockout bracket.
+        group_count = max(1, len(participants) // 4)
+        groups: List[List[int]] = [[] for _ in range(group_count)]
+        for index, team in enumerate(participants):
+            groups[index % group_count].append(team)
+        for group_index, group in enumerate(groups):
+            group_name = chr(ord("A") + group_index)
+            for i in range(len(group)):
+                for j in range(i + 1, len(group)):
+                    home, away = group[i], group[j]
+                    home_goals = _group_goals(rng)
+                    away_goals = _group_goals(rng)
+                    add_match("group", group_name, home, away, home_goals, away_goals)
+
+        # Knockout: seeds are podium first, then remaining participants.
+        seeds = podium + [team for team in participants if team not in podium]
+        knockout_size = 16 if len(participants) >= 24 else (8 if len(participants) >= 14 else 4)
+        bracket = seeds[:knockout_size]
+        stage_names = {16: "round_of_16", 8: "quarter_final", 4: "semi_final"}
+        while len(bracket) > 2:
+            stage = stage_names[len(bracket)]
+            next_round = []
+            for i in range(len(bracket) // 2):
+                strong = bracket[i]
+                weak = bracket[len(bracket) - 1 - i]
+                winner_goals, loser_goals = _knockout_goals(rng)
+                if year == 2014 and stage == "semi_final" and {strong, weak} == {
+                    universe.team_by_name("Germany").team_id,
+                    universe.team_by_name("Brazil").team_id,
+                }:
+                    # The Mineirazo: Germany 7:1 Brazil — the paper's
+                    # Figure 4 example depends on this exact score.
+                    winner_goals, loser_goals = 7, 1
+                add_match(stage, None, strong, weak, winner_goals, loser_goals)
+                next_round.append(strong)
+            bracket = next_round
+        # Third-place match: third beats fourth.
+        winner_goals, loser_goals = _knockout_goals(rng)
+        add_match("third_place", None, podium[2], podium[3], winner_goals, loser_goals)
+        # Final: winner beats runner-up.
+        winner_goals, loser_goals = _knockout_goals(rng)
+        add_match("final", None, podium[0], podium[1], winner_goals, loser_goals)
+        return match_id
+
+    # -- squads and players -----------------------------------------------------
+    def _make_squads_and_players(self, universe: Universe, rng: random.Random) -> None:
+        player_id = 0
+        name_rng = random.Random(self.seed + 17)
+        pools: Dict[int, List[Player]] = {team.team_id: [] for team in universe.teams}
+        debut: Dict[int, int] = {}
+
+        def new_player(team_id: int, year: int, position: str) -> Player:
+            nonlocal player_id
+            player_id += 1
+            full_name = naming.player_name(name_rng)
+            player = Player(
+                player_id=player_id,
+                full_name=full_name,
+                nickname=naming.nickname(full_name, name_rng),
+                birth_year=year - rng.randint(19, 33),
+                position=position,
+                height_cm=rng.randint(165, 200),
+                preferred_foot=rng.choice(["left", "right", "right", "right"]),
+                national_team_id=team_id,
+            )
+            universe.players.append(player)
+            pools[team_id].append(player)
+            debut[player.player_id] = year
+            return player
+
+        participation_years: Dict[int, List[int]] = {}
+        for cup in universe.world_cups:
+            year = cup.year
+            participants = {
+                match.home_team_id for match in universe.matches_in(year)
+            } | {match.away_team_id for match in universe.matches_in(year)}
+            for team_id in sorted(participants):
+                participation_years.setdefault(team_id, []).append(year)
+                squad: List[Player] = []
+                # Re-use players whose career window covers this cup.
+                for player in pools[team_id]:
+                    if len(squad) >= 23:
+                        break
+                    if year - debut[player.player_id] <= 8 and rng.random() < 0.7:
+                        squad.append(player)
+                plan_index = 0
+                while len(squad) < 23:
+                    position = _POSITION_PLAN[plan_index % len(_POSITION_PLAN)]
+                    plan_index += 1
+                    squad.append(new_player(team_id, year, position))
+                coach = self._cup_coach(universe, rng, team_id, year)
+                for shirt, player in enumerate(squad, start=1):
+                    universe.squads.append(
+                        SquadMember(
+                            year=year,
+                            team_id=team_id,
+                            player_id=player.player_id,
+                            coach_id=coach,
+                            shirt_number=shirt,
+                            games_played=0,
+                            goals=0,
+                        )
+                    )
+        # Pad the player table with club-only players (the paper added
+        # 1,230 such players from Wikidata enrichment).
+        while player_id < TARGET_PLAYERS:
+            player_id += 1
+            full_name = naming.player_name(name_rng)
+            universe.players.append(
+                Player(
+                    player_id=player_id,
+                    full_name=full_name,
+                    nickname=naming.nickname(full_name, name_rng),
+                    birth_year=rng.randint(1940, 2004),
+                    position=rng.choice(_POSITIONS),
+                    height_cm=rng.randint(165, 200),
+                    preferred_foot=rng.choice(["left", "right", "right", "right"]),
+                    national_team_id=None,
+                )
+            )
+        universe.reindex()
+
+    def _cup_coach(
+        self, universe: Universe, rng: random.Random, team_id: int, year: int
+    ) -> int:
+        """Pick (or create) the coach for one team participation."""
+        if not hasattr(self, "_coach_assignments"):
+            self._coach_assignments: Dict[Tuple[int, int], int] = {}
+            self._coach_tenure: Dict[int, Tuple[int, int]] = {}
+            self._coach_name_rng = random.Random(self.seed + 29)
+        # A coach stays with a team for up to two consecutive cups.
+        previous = self._coach_assignments.get((team_id, year - 4))
+        if previous is not None and rng.random() < 0.45:
+            self._coach_assignments[(team_id, year)] = previous
+            return previous
+        coach_id = len(universe.coaches) + 1
+        team = universe.team(team_id)
+        universe.coaches.append(
+            Coach(
+                coach_id=coach_id,
+                name=naming.coach_name(self._coach_name_rng),
+                nationality=team.name if rng.random() < 0.7 else "Italy",
+                birth_year=year - rng.randint(38, 65),
+            )
+        )
+        self._coach_assignments[(team_id, year)] = coach_id
+        return coach_id
+
+    # -- events -------------------------------------------------------------
+    def _make_events(self, universe: Universe, rng: random.Random) -> None:
+        squads_by_key: Dict[Tuple[int, int], List[SquadMember]] = {}
+        for member in universe.squads:
+            squads_by_key.setdefault((member.year, member.team_id), []).append(member)
+        event_id = 0
+
+        def scorers(year: int, team_id: int) -> List[int]:
+            members = squads_by_key[(year, team_id)]
+            weighted: List[int] = []
+            for member in members:
+                player = universe.player(member.player_id)
+                weight = {"forward": 6, "midfielder": 3, "defender": 1, "goalkeeper": 0}[
+                    player.position
+                ]
+                weighted.extend([member.player_id] * weight)
+            return weighted or [members[0].player_id]
+
+        def any_player(year: int, team_id: int) -> int:
+            members = squads_by_key[(year, team_id)]
+            return rng.choice(members).player_id
+
+        for match in universe.matches:
+            minutes_used = set()
+
+            def fresh_minute() -> int:
+                while True:
+                    minute = rng.randint(1, 90)
+                    if minute not in minutes_used:
+                        minutes_used.add(minute)
+                        return minute
+
+            for team_id, opponent_id, goals in (
+                (match.home_team_id, match.away_team_id, match.home_goals),
+                (match.away_team_id, match.home_team_id, match.away_goals),
+            ):
+                pool = scorers(match.year, team_id)
+                for _ in range(goals):
+                    event_id += 1
+                    roll = rng.random()
+                    if roll < 0.04:
+                        # Own goal: credited to the scoring team, struck
+                        # by an opposing player.
+                        event_type = "own_goal"
+                        player = any_player(match.year, opponent_id)
+                    elif roll < 0.12:
+                        event_type = "penalty"
+                        player = rng.choice(pool)
+                    else:
+                        event_type = "goal"
+                        player = rng.choice(pool)
+                    universe.events.append(
+                        MatchEvent(
+                            event_id=event_id,
+                            match_id=match.match_id,
+                            player_id=player,
+                            team_id=team_id,
+                            minute=fresh_minute(),
+                            event_type=event_type,
+                        )
+                    )
+            # Cards.
+            for _ in range(_card_count(rng)):
+                event_id += 1
+                team_id = rng.choice((match.home_team_id, match.away_team_id))
+                universe.events.append(
+                    MatchEvent(
+                        event_id=event_id,
+                        match_id=match.match_id,
+                        player_id=any_player(match.year, team_id),
+                        team_id=team_id,
+                        minute=fresh_minute(),
+                        event_type="red_card" if rng.random() < 0.07 else "yellow_card",
+                    )
+                )
+
+    def _fill_squad_statistics(self, universe: Universe) -> None:
+        """Derive per-cup goals and appearances from the event stream."""
+        goals: Dict[Tuple[int, int], int] = {}
+        for event in universe.events:
+            if event.event_type in ("goal", "penalty"):
+                match = universe.matches[event.match_id - 1]
+                goals[(match.year, event.player_id)] = (
+                    goals.get((match.year, event.player_id), 0) + 1
+                )
+        games: Dict[Tuple[int, int], int] = {}
+        for match in universe.matches:
+            for team_id in (match.home_team_id, match.away_team_id):
+                games[(match.year, team_id)] = games.get((match.year, team_id), 0) + 1
+        rng = random.Random(self.seed + 41)
+        updated = []
+        for member in universe.squads:
+            team_games = games.get((member.year, member.team_id), 0)
+            played = max(0, min(team_games, team_games - rng.randint(0, 3)))
+            updated.append(
+                SquadMember(
+                    year=member.year,
+                    team_id=member.team_id,
+                    player_id=member.player_id,
+                    coach_id=member.coach_id,
+                    shirt_number=member.shirt_number,
+                    games_played=played,
+                    goals=goals.get((member.year, member.player_id), 0),
+                )
+            )
+        universe.squads = updated
+
+    # -- club careers -----------------------------------------------------------
+    def _make_club_careers(self, universe: Universe, rng: random.Random) -> None:
+        club_count = len(universe.clubs)
+        for player in universe.players:
+            start = player.birth_year + 18
+            first_club = rng.randrange(club_count) + 1
+            second_club = rng.randrange(club_count) + 1
+            switch = start + rng.randint(3, 8)
+            universe.player_club_spells.append(
+                PlayerClubSpell(player.player_id, first_club, start, switch)
+            )
+            universe.player_club_spells.append(
+                PlayerClubSpell(player.player_id, second_club, switch, switch + rng.randint(2, 9))
+            )
+        for coach in universe.coaches:
+            spells = rng.randint(1, 2)
+            year = coach.birth_year + 36
+            for _ in range(spells):
+                club = rng.randrange(club_count) + 1
+                universe.coach_club_spells.append(
+                    CoachClubSpell(coach.coach_id, club, year, year + rng.randint(2, 6))
+                )
+                year += rng.randint(3, 8)
+        # Pad the coach table with club-only coaches up to the target.
+        name_rng = random.Random(self.seed + 53)
+        while len(universe.coaches) < TARGET_COACHES:
+            coach_id = len(universe.coaches) + 1
+            universe.coaches.append(
+                Coach(
+                    coach_id=coach_id,
+                    name=naming.coach_name(name_rng),
+                    nationality=rng.choice(universe.teams).name,
+                    birth_year=rng.randint(1935, 1985),
+                )
+            )
+            club = rng.randrange(club_count) + 1
+            year = rng.randint(1970, 2015)
+            universe.coach_club_spells.append(
+                CoachClubSpell(coach_id, club, year, year + rng.randint(2, 6))
+            )
+        for club in universe.clubs:
+            league = club.league_id
+            for season in range(1995, 2023):
+                universe.club_seasons.append(
+                    ClubSeason(
+                        club_id=club.club_id,
+                        league_id=league,
+                        season_year=season,
+                        position=rng.randint(1, 20),
+                    )
+                )
+
+
+def _group_goals(rng: random.Random) -> int:
+    return rng.choices([0, 1, 2, 3, 4, 5], weights=[22, 34, 26, 12, 5, 1])[0]
+
+
+def _knockout_goals(rng: random.Random) -> Tuple[int, int]:
+    loser = rng.choices([0, 1, 2], weights=[50, 38, 12])[0]
+    winner = loser + rng.choices([1, 2, 3], weights=[60, 30, 10])[0]
+    return winner, loser
+
+
+def _card_count(rng: random.Random) -> int:
+    return rng.choices([0, 1, 2, 3, 4, 5, 6], weights=[6, 14, 22, 24, 18, 11, 5])[0]

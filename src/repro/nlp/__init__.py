@@ -1,0 +1,26 @@
+"""Lightweight NLP substrate.
+
+Stands in for the paper's SentenceBERT (similarity) and BERTopic
+(clustering) — see DESIGN.md §2 for the substitution argument.  All
+functions are deterministic and dependency-free.
+"""
+
+from .embedding import cosine, embed, embed_all, similarity
+from .clustering import Cluster, cluster_texts
+from .sampling import (
+    diversity_sample,
+    hardness_uniform_sample,
+    train_test_split,
+)
+
+__all__ = [
+    "Cluster",
+    "cluster_texts",
+    "cosine",
+    "diversity_sample",
+    "embed",
+    "embed_all",
+    "hardness_uniform_sample",
+    "similarity",
+    "train_test_split",
+]

@@ -1,0 +1,78 @@
+"""Topic clustering over question embeddings (BERTopic substitute).
+
+Greedy leader clustering: each question joins the most similar existing
+cluster if the similarity to that cluster's centroid exceeds the
+threshold, otherwise it founds a new cluster.  Deterministic in input
+order, no training, and produces exactly what the paper's sampling
+needs: dense clusters of near-paraphrases with a representative
+centroid question.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from .embedding import cosine, embed_all
+
+
+@dataclass
+class Cluster:
+    """One topic cluster."""
+
+    cluster_id: int
+    member_indices: List[int] = field(default_factory=list)
+    _sum: List[float] = field(default_factory=list, repr=False)
+
+    def add(self, index: int, vector: Sequence[float]) -> None:
+        self.member_indices.append(index)
+        if not self._sum:
+            self._sum = list(vector)
+        else:
+            for position, value in enumerate(vector):
+                self._sum[position] += value
+
+    @property
+    def centroid(self) -> List[float]:
+        norm = math.sqrt(sum(value * value for value in self._sum))
+        if norm == 0.0:
+            return list(self._sum)
+        return [value / norm for value in self._sum]
+
+    def __len__(self) -> int:
+        return len(self.member_indices)
+
+    def centroid_member(self, vectors: Sequence[Sequence[float]]) -> int:
+        """Index of the member closest to the centroid."""
+        center = self.centroid
+        return max(self.member_indices, key=lambda i: cosine(vectors[i], center))
+
+
+def cluster_texts(
+    texts: Sequence[str],
+    threshold: float = 0.55,
+    vectors: Optional[Sequence[Sequence[float]]] = None,
+) -> List[Cluster]:
+    """Cluster ``texts`` by embedding similarity.
+
+    ``threshold`` controls granularity: higher values yield more, denser
+    clusters.  The default groups paraphrases of the same intent kind
+    while separating topics.
+    """
+    if vectors is None:
+        vectors = embed_all(texts)
+    clusters: List[Cluster] = []
+    for index, vector in enumerate(vectors):
+        best: Optional[Cluster] = None
+        best_similarity = threshold
+        for cluster in clusters:
+            score = cosine(vector, cluster.centroid)
+            if score >= best_similarity:
+                best = cluster
+                best_similarity = score
+        if best is None:
+            best = Cluster(cluster_id=len(clusters))
+            clusters.append(best)
+        best.add(index, vector)
+    return clusters

@@ -1,0 +1,72 @@
+"""Hashed n-gram sentence embeddings.
+
+A deterministic, offline replacement for SentenceBERT: sentences map to
+L2-normalized vectors of hashed word-unigram, word-bigram and character
+trigram features.  Two questions that share phrasing and entities score
+high cosine similarity; paraphrases of the same intent land close;
+questions about different topics land far apart — which is all the
+paper's pipeline needs (duplicate folding at ≥0.96, diversity sampling
+at <0.93, labeler assistance, retrieval in the seq2seq cores).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import re
+from typing import Dict, Iterable, List, Sequence
+
+DIMENSIONS = 256
+
+_WORD_RE = re.compile(r"[a-z0-9]+")
+
+#: feature-class weights: words dominate, trigrams add fuzz-tolerance
+_WORD_WEIGHT = 1.0
+_BIGRAM_WEIGHT = 0.8
+_TRIGRAM_WEIGHT = 0.4
+
+
+def tokenize(text: str) -> List[str]:
+    return _WORD_RE.findall(text.lower())
+
+
+def _bucket(feature: str) -> int:
+    digest = hashlib.blake2s(feature.encode("utf-8"), digest_size=4).digest()
+    return int.from_bytes(digest, "little") % DIMENSIONS
+
+
+def embed(text: str) -> List[float]:
+    """Embed one sentence into a normalized ``DIMENSIONS``-vector."""
+    vector = [0.0] * DIMENSIONS
+    words = tokenize(text)
+    for word in words:
+        vector[_bucket("w:" + word)] += _WORD_WEIGHT
+    for first, second in zip(words, words[1:]):
+        vector[_bucket(f"b:{first}_{second}")] += _BIGRAM_WEIGHT
+    joined = " ".join(words)
+    for index in range(len(joined) - 2):
+        vector[_bucket("t:" + joined[index : index + 3])] += _TRIGRAM_WEIGHT
+    norm = math.sqrt(sum(value * value for value in vector))
+    if norm == 0.0:
+        return vector
+    return [value / norm for value in vector]
+
+
+def embed_all(texts: Iterable[str]) -> List[List[float]]:
+    cache: Dict[str, List[float]] = {}
+    vectors = []
+    for text in texts:
+        if text not in cache:
+            cache[text] = embed(text)
+        vectors.append(cache[text])
+    return vectors
+
+
+def cosine(a: Sequence[float], b: Sequence[float]) -> float:
+    """Cosine similarity of two normalized vectors (plain dot product)."""
+    return sum(x * y for x, y in zip(a, b))
+
+
+def similarity(text_a: str, text_b: str) -> float:
+    """Convenience: embed both texts and return their cosine."""
+    return cosine(embed(text_a), embed(text_b))

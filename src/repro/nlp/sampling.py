@@ -1,0 +1,124 @@
+"""Dataset sampling strategies (paper Section 6.1).
+
+Two-stage construction of the benchmark:
+
+1. :func:`diversity_sample` — cluster the filtered questions by topic,
+   keep each cluster's centroid question plus every member *below* a
+   similarity threshold (0.93) to the centroid.  Near-duplicates such as
+   "Who won the world cup in 2014?" / "… in 2018?" collapse to one
+   labeled representative.
+2. :func:`hardness_uniform_sample` — uniform sampling over Spider
+   hardness levels down to 400 NL/SQL pairs.
+
+Plus the stratified :func:`train_test_split` (300 train / 100 test).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple, TypeVar
+
+from .clustering import cluster_texts
+from .embedding import cosine, embed_all
+
+ItemT = TypeVar("ItemT")
+
+
+def diversity_sample(
+    texts: Sequence[str],
+    similarity_threshold: float = 0.93,
+    cluster_threshold: float = 0.55,
+) -> List[int]:
+    """Indices of a diversity-preserving subset of ``texts``."""
+    vectors = embed_all(texts)
+    clusters = cluster_texts(texts, threshold=cluster_threshold, vectors=vectors)
+    keep: List[int] = []
+    for cluster in clusters:
+        representative = cluster.centroid_member(vectors)
+        keep.append(representative)
+        centroid = cluster.centroid
+        for index in cluster.member_indices:
+            if index == representative:
+                continue
+            if cosine(vectors[index], centroid) < similarity_threshold:
+                keep.append(index)
+    return sorted(set(keep))
+
+
+def hardness_uniform_sample(
+    items: Sequence[ItemT],
+    hardness_of: Callable[[ItemT], Hashable],
+    size: int,
+    seed: int = 0,
+) -> List[ItemT]:
+    """Sample ``size`` items uniformly across hardness levels.
+
+    Levels that cannot fill their quota are backfilled from the levels
+    with the most remaining items — this is why the paper's "uniform"
+    sample still has mean hardness ≈ 3: there are simply not enough
+    easy real-user queries to fill the easy quota.
+    """
+    rng = random.Random(seed)
+    by_level: Dict[Hashable, List[ItemT]] = {}
+    for item in items:
+        by_level.setdefault(hardness_of(item), []).append(item)
+    for bucket in by_level.values():
+        rng.shuffle(bucket)
+    levels = sorted(by_level, key=str)
+    quota = size // max(1, len(levels))
+    chosen: List[ItemT] = []
+    for level in levels:
+        bucket = by_level[level]
+        take = min(quota, len(bucket))
+        chosen.extend(bucket[:take])
+        del bucket[:take]
+    # Backfill from the fullest remaining buckets.
+    while len(chosen) < size:
+        remaining = [level for level in levels if by_level[level]]
+        if not remaining:
+            break
+        fullest = max(remaining, key=lambda level: len(by_level[level]))
+        chosen.append(by_level[fullest].pop())
+    rng.shuffle(chosen)
+    return chosen[:size]
+
+
+def train_test_split(
+    items: Sequence[ItemT],
+    test_size: int,
+    stratify_by: Optional[Callable[[ItemT], Hashable]] = None,
+    seed: int = 0,
+) -> Tuple[List[ItemT], List[ItemT]]:
+    """Split into (train, test), optionally stratified.
+
+    Stratification keeps the test hardness distribution representative
+    of the labeled pool, as in the paper's 300/100 split.
+    """
+    rng = random.Random(seed)
+    if test_size >= len(items):
+        raise ValueError("test_size must be smaller than the item count")
+    if stratify_by is None:
+        pool = list(items)
+        rng.shuffle(pool)
+        return pool[test_size:], pool[:test_size]
+    by_level: Dict[Hashable, List[ItemT]] = {}
+    for item in items:
+        by_level.setdefault(stratify_by(item), []).append(item)
+    test: List[ItemT] = []
+    train: List[ItemT] = []
+    fraction = test_size / len(items)
+    levels = sorted(by_level, key=str)
+    for level in levels:
+        bucket = by_level[level]
+        rng.shuffle(bucket)
+        take = round(len(bucket) * fraction)
+        test.extend(bucket[:take])
+        train.extend(bucket[take:])
+    # Rounding drift: move items between splits until sizes are exact.
+    rng.shuffle(train)
+    while len(test) < test_size:
+        test.append(train.pop())
+    while len(test) > test_size:
+        train.append(test.pop())
+    rng.shuffle(test)
+    return train, test

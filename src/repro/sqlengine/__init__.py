@@ -1,0 +1,124 @@
+"""In-memory relational SQL engine.
+
+The engine replaces the PostgreSQL instance of the paper's deployment
+(Figure 2).  It provides:
+
+* a catalog model (:class:`Schema`, :class:`Table`, :class:`Column`,
+  :class:`ForeignKey`) that Text-to-SQL systems serialize into inputs;
+* a SQL parser covering joins, aggregation, set operations, subqueries
+  and PostgreSQL's ``ILIKE``;
+* an executor with hash joins and SQL three-valued logic;
+* a formatter so programmatically built ASTs round-trip to text.
+
+Quick example::
+
+    from repro.sqlengine import Database, Schema, make_column
+
+    schema = Schema("demo")
+    schema.create_table("t", [make_column("id", "int", primary_key=True),
+                              make_column("name", "text")])
+    db = Database(schema)
+    db.insert("t", (1, "Zurich"))
+    result = db.execute("SELECT name FROM t WHERE id = 1")
+    assert result.rows == [("Zurich",)]
+"""
+
+from .ast_nodes import (
+    BetweenOp,
+    BinaryOp,
+    CaseExpr,
+    ColumnRef,
+    Conjunction,
+    ExistsOp,
+    Expression,
+    FunctionCall,
+    InOp,
+    IsNullOp,
+    Join,
+    JoinKind,
+    LikeOp,
+    Literal,
+    OrderItem,
+    QueryNode,
+    ScalarSubquery,
+    SelectItem,
+    SelectQuery,
+    SetOperation,
+    SetOperator,
+    Star,
+    TableRef,
+    UnaryOp,
+    contains_aggregate,
+    is_aggregate_call,
+    iter_subqueries,
+)
+from .catalog import Column, ForeignKey, Schema, Table
+from .database import Database, make_column
+from .errors import (
+    CatalogError,
+    ConstraintError,
+    EngineError,
+    ExecutionError,
+    ParseError,
+    TokenizeError,
+    TypeMismatchError,
+)
+from .executor import Executor, Result
+from .formatter import format_expression, format_literal, format_query
+from .parser import parse_sql
+from .tokenizer import Token, TokenType, tokenize
+from .values import SqlType, normalize_for_comparison
+
+__all__ = [
+    "BetweenOp",
+    "BinaryOp",
+    "CaseExpr",
+    "CatalogError",
+    "Column",
+    "ColumnRef",
+    "Conjunction",
+    "ConstraintError",
+    "Database",
+    "EngineError",
+    "ExecutionError",
+    "Executor",
+    "ExistsOp",
+    "Expression",
+    "ForeignKey",
+    "FunctionCall",
+    "InOp",
+    "IsNullOp",
+    "Join",
+    "JoinKind",
+    "LikeOp",
+    "Literal",
+    "OrderItem",
+    "ParseError",
+    "QueryNode",
+    "Result",
+    "ScalarSubquery",
+    "Schema",
+    "SelectItem",
+    "SelectQuery",
+    "SetOperation",
+    "SetOperator",
+    "SqlType",
+    "Star",
+    "Table",
+    "TableRef",
+    "Token",
+    "TokenType",
+    "TokenizeError",
+    "TypeMismatchError",
+    "UnaryOp",
+    "contains_aggregate",
+    "format_expression",
+    "format_literal",
+    "format_query",
+    "is_aggregate_call",
+    "iter_subqueries",
+    "make_column",
+    "normalize_for_comparison",
+    "parse_sql",
+    "tokenize",
+]

@@ -1,0 +1,309 @@
+"""Typed AST for the SQL dialect the engine supports.
+
+Two node families:
+
+* expressions (:class:`Expression` subclasses) — column references,
+  literals, operators, function calls and subquery expressions;
+* query structure (:class:`SelectQuery`, :class:`SetOperation`) — a
+  single SELECT core with FROM/JOIN/WHERE/GROUP BY/HAVING/ORDER BY/LIMIT,
+  or a set-operation tree combining two query nodes.
+
+The same AST is produced by the parser, consumed by the executor,
+serialized back to text by :mod:`repro.sqlengine.formatter`, inspected by
+the analysis toolkit, and *constructed programmatically* by the SemQL
+decoder and the gold-SQL compiler.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence, Union
+
+
+class Expression:
+    """Marker base class for expression nodes."""
+
+    def children(self) -> Sequence["Expression"]:
+        return ()
+
+    def walk(self):
+        """Yield this node and all expression descendants (pre-order)."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+
+@dataclass(frozen=True)
+class Literal(Expression):
+    value: Any  # int | float | str | bool | None
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expression):
+    column: str
+    table: Optional[str] = None  # alias or table name; None = unqualified
+
+    @property
+    def qualified(self) -> str:
+        return f"{self.table}.{self.column}" if self.table else self.column
+
+
+@dataclass(frozen=True)
+class Star(Expression):
+    """``*`` or ``alias.*`` in a projection or ``COUNT(*)``."""
+
+    table: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expression):
+    op: str  # '=', '<>', '<', '<=', '>', '>=', '+', '-', '*', '/', '%', '||'
+    left: Expression
+    right: Expression
+
+    def children(self) -> Sequence[Expression]:
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expression):
+    op: str  # '-', 'NOT'
+    operand: Expression
+
+    def children(self) -> Sequence[Expression]:
+        return (self.operand,)
+
+
+@dataclass(frozen=True)
+class Conjunction(Expression):
+    """N-ary AND/OR; keeps filter counting simple for the analyzer."""
+
+    op: str  # 'AND' | 'OR'
+    terms: tuple  # tuple[Expression, ...]
+
+    def children(self) -> Sequence[Expression]:
+        return self.terms
+
+
+@dataclass(frozen=True)
+class LikeOp(Expression):
+    expr: Expression
+    pattern: Expression
+    case_insensitive: bool = False  # True => ILIKE
+    negated: bool = False
+
+    def children(self) -> Sequence[Expression]:
+        return (self.expr, self.pattern)
+
+
+@dataclass(frozen=True)
+class BetweenOp(Expression):
+    expr: Expression
+    low: Expression
+    high: Expression
+    negated: bool = False
+
+    def children(self) -> Sequence[Expression]:
+        return (self.expr, self.low, self.high)
+
+
+@dataclass(frozen=True)
+class IsNullOp(Expression):
+    expr: Expression
+    negated: bool = False
+
+    def children(self) -> Sequence[Expression]:
+        return (self.expr,)
+
+
+@dataclass(frozen=True)
+class InOp(Expression):
+    expr: Expression
+    # Either a literal tuple of expressions or a subquery.
+    options: Optional[tuple] = None  # tuple[Expression, ...]
+    subquery: Optional["QueryNode"] = None
+    negated: bool = False
+
+    def children(self) -> Sequence[Expression]:
+        extra = tuple(self.options) if self.options else ()
+        return (self.expr, *extra)
+
+
+@dataclass(frozen=True)
+class ExistsOp(Expression):
+    subquery: "QueryNode"
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class ScalarSubquery(Expression):
+    subquery: "QueryNode"
+
+
+@dataclass(frozen=True)
+class FunctionCall(Expression):
+    name: str  # lower-cased
+    args: tuple  # tuple[Expression, ...]
+    distinct: bool = False
+
+    def children(self) -> Sequence[Expression]:
+        return self.args
+
+
+@dataclass(frozen=True)
+class CaseExpr(Expression):
+    """``CASE WHEN cond THEN value ... [ELSE value] END``."""
+
+    whens: tuple  # tuple[tuple[Expression, Expression], ...]
+    default: Optional[Expression] = None
+
+    def children(self) -> Sequence[Expression]:
+        flat: List[Expression] = []
+        for condition, result in self.whens:
+            flat.extend((condition, result))
+        if self.default is not None:
+            flat.append(self.default)
+        return tuple(flat)
+
+
+AGGREGATE_FUNCTIONS = frozenset({"count", "sum", "avg", "min", "max"})
+
+
+def is_aggregate_call(expr: Expression) -> bool:
+    return isinstance(expr, FunctionCall) and expr.name in AGGREGATE_FUNCTIONS
+
+
+def contains_aggregate(expr: Expression) -> bool:
+    return any(is_aggregate_call(node) for node in expr.walk())
+
+
+# ---------------------------------------------------------------------------
+# Query structure
+# ---------------------------------------------------------------------------
+
+
+class JoinKind(enum.Enum):
+    INNER = "JOIN"
+    LEFT = "LEFT JOIN"
+    CROSS = "CROSS JOIN"
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """A FROM-clause table instance: base table plus optional alias.
+
+    Distinct aliases over the same base table are how SQL expresses the
+    self-join pattern of Figure 4 (``national_team AS T2`` vs ``AS T3``)
+    — the pattern the Spider parser cannot represent.
+    """
+
+    table: str
+    alias: Optional[str] = None
+
+    @property
+    def binding(self) -> str:
+        """The name this instance is addressable by in expressions."""
+        return self.alias or self.table
+
+
+@dataclass(frozen=True)
+class Join:
+    kind: JoinKind
+    table: TableRef
+    condition: Optional[Expression]  # None only for CROSS
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    expr: Expression
+    alias: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    expr: Expression
+    descending: bool = False
+
+
+@dataclass
+class SelectQuery:
+    """One SELECT core."""
+
+    projections: List[SelectItem]
+    from_table: Optional[TableRef] = None
+    joins: List[Join] = field(default_factory=list)
+    where: Optional[Expression] = None
+    group_by: List[Expression] = field(default_factory=list)
+    having: Optional[Expression] = None
+    order_by: List[OrderItem] = field(default_factory=list)
+    limit: Optional[int] = None
+    offset: Optional[int] = None
+    distinct: bool = False
+
+    # -- structural helpers used throughout the analysis toolkit ----------
+    @property
+    def table_refs(self) -> List[TableRef]:
+        refs = [] if self.from_table is None else [self.from_table]
+        refs.extend(join.table for join in self.joins)
+        return refs
+
+    def iter_expressions(self):
+        for item in self.projections:
+            yield item.expr
+        for join in self.joins:
+            if join.condition is not None:
+                yield join.condition
+        if self.where is not None:
+            yield self.where
+        yield from self.group_by
+        if self.having is not None:
+            yield self.having
+        for item in self.order_by:
+            yield item.expr
+
+    def iter_selects(self):
+        yield self
+
+
+class SetOperator(enum.Enum):
+    UNION = "UNION"
+    UNION_ALL = "UNION ALL"
+    INTERSECT = "INTERSECT"
+    EXCEPT = "EXCEPT"
+
+
+@dataclass
+class SetOperation:
+    """A set-operation tree node (left-associative chains from the parser)."""
+
+    operator: SetOperator
+    left: "QueryNode"
+    right: "QueryNode"
+    order_by: List[OrderItem] = field(default_factory=list)
+    limit: Optional[int] = None
+    offset: Optional[int] = None
+
+    def iter_selects(self):
+        yield from self.left.iter_selects()
+        yield from self.right.iter_selects()
+
+
+QueryNode = Union[SelectQuery, SetOperation]
+
+
+def iter_subqueries(node: QueryNode):
+    """Yield every nested query node appearing in expressions of ``node``."""
+    for select in node.iter_selects():
+        for expr in select.iter_expressions():
+            for part in expr.walk():
+                nested = None
+                if isinstance(part, InOp):
+                    nested = part.subquery
+                elif isinstance(part, ExistsOp):
+                    nested = part.subquery
+                elif isinstance(part, ScalarSubquery):
+                    nested = part.subquery
+                if nested is not None:
+                    yield nested
+                    yield from iter_subqueries(nested)

@@ -1,0 +1,181 @@
+"""Catalog objects: columns, tables, foreign keys and whole schemas.
+
+The catalog is the engine's source of truth for name resolution and is
+also the *input* that Text-to-SQL systems serialize into their model
+prompts (with or without PK/FK information — the paper's T5-Picard vs
+T5-Picard_Keys distinction lives entirely in how this catalog is
+rendered).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .errors import CatalogError
+from .values import SqlType
+
+
+@dataclass(frozen=True)
+class Column:
+    """A single column definition."""
+
+    name: str
+    sql_type: SqlType
+    primary_key: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.isidentifier():
+            raise CatalogError(f"invalid column name {self.name!r}")
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """A directed FK edge ``table.column -> ref_table.ref_column``."""
+
+    table: str
+    column: str
+    ref_table: str
+    ref_column: str
+
+    def as_edge(self) -> Tuple[str, str]:
+        return (self.table, self.ref_table)
+
+    def describe(self) -> str:
+        return f"{self.table}.{self.column} -> {self.ref_table}.{self.ref_column}"
+
+
+class Table:
+    """A table definition: ordered columns plus a PK subset."""
+
+    def __init__(self, name: str, columns: Iterable[Column]) -> None:
+        if not name or not name.isidentifier():
+            raise CatalogError(f"invalid table name {name!r}")
+        self.name = name
+        self.columns: List[Column] = list(columns)
+        if not self.columns:
+            raise CatalogError(f"table {name!r} must have at least one column")
+        self._index: Dict[str, int] = {}
+        for position, column in enumerate(self.columns):
+            key = column.name.lower()
+            if key in self._index:
+                raise CatalogError(f"duplicate column {column.name!r} in {name!r}")
+            self._index[key] = position
+
+    @property
+    def column_names(self) -> List[str]:
+        return [column.name for column in self.columns]
+
+    @property
+    def primary_key_columns(self) -> List[str]:
+        return [column.name for column in self.columns if column.primary_key]
+
+    def has_column(self, name: str) -> bool:
+        return name.lower() in self._index
+
+    def column_position(self, name: str) -> int:
+        try:
+            return self._index[name.lower()]
+        except KeyError:
+            raise CatalogError(f"no column {name!r} in table {self.name!r}") from None
+
+    def column(self, name: str) -> Column:
+        return self.columns[self.column_position(name)]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Table({self.name!r}, {len(self.columns)} columns)"
+
+
+class Schema:
+    """A complete database schema: tables plus foreign keys.
+
+    This is the object the paper's Table 2 summarizes (number of tables,
+    columns, FKs) and the object every Text-to-SQL system receives.
+    """
+
+    def __init__(self, name: str, version: str = "") -> None:
+        self.name = name
+        self.version = version
+        self._tables: Dict[str, Table] = {}
+        self.foreign_keys: List[ForeignKey] = []
+
+    # -- construction -----------------------------------------------------
+    def add_table(self, table: Table) -> Table:
+        key = table.name.lower()
+        if key in self._tables:
+            raise CatalogError(f"table {table.name!r} already exists")
+        self._tables[key] = table
+        return table
+
+    def create_table(self, name: str, columns: Iterable[Column]) -> Table:
+        return self.add_table(Table(name, columns))
+
+    def add_foreign_key(
+        self, table: str, column: str, ref_table: str, ref_column: str
+    ) -> ForeignKey:
+        source = self.table(table)
+        target = self.table(ref_table)
+        if not source.has_column(column):
+            raise CatalogError(f"FK source column {table}.{column} does not exist")
+        if not target.has_column(ref_column):
+            raise CatalogError(f"FK target column {ref_table}.{ref_column} does not exist")
+        fk = ForeignKey(source.name, source.column(column).name,
+                        target.name, target.column(ref_column).name)
+        self.foreign_keys.append(fk)
+        return fk
+
+    # -- lookup -----------------------------------------------------------
+    @property
+    def tables(self) -> List[Table]:
+        return list(self._tables.values())
+
+    @property
+    def table_names(self) -> List[str]:
+        return [table.name for table in self._tables.values()]
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise CatalogError(f"no table named {name!r}") from None
+
+    def foreign_keys_between(self, table_a: str, table_b: str) -> List[ForeignKey]:
+        """All FK edges connecting two tables, in either direction.
+
+        The *count* of these edges is what breaks SemQL-style join-path
+        inference: data model v1 has two edges between ``match`` and
+        ``national_team`` (home and away), so a shortest-path algorithm
+        that assumes a single edge picks one arbitrarily.
+        """
+        a, b = table_a.lower(), table_b.lower()
+        return [
+            fk
+            for fk in self.foreign_keys
+            if {fk.table.lower(), fk.ref_table.lower()} == {a, b}
+            or (a == b and fk.table.lower() == a and fk.ref_table.lower() == a)
+        ]
+
+    # -- statistics (Table 2 inputs) ---------------------------------------
+    @property
+    def column_count(self) -> int:
+        return sum(len(table.columns) for table in self.tables)
+
+    @property
+    def foreign_key_count(self) -> int:
+        return len(self.foreign_keys)
+
+    def describe(self) -> str:
+        """Human-readable one-table-per-line rendering (README/debug)."""
+        lines = [f"schema {self.name} ({self.version or 'unversioned'})"]
+        for table in self.tables:
+            columns = ", ".join(
+                f"{column.name}{'*' if column.primary_key else ''}"
+                for column in table.columns
+            )
+            lines.append(f"  {table.name}({columns})")
+        for fk in self.foreign_keys:
+            lines.append(f"  FK {fk.describe()}")
+        return "\n".join(lines)

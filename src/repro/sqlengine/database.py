@@ -1,0 +1,80 @@
+"""Database facade tying catalog, storage, parser and executor together.
+
+This is the object the rest of the library passes around: loaders fill
+it with FootballDB rows, Text-to-SQL systems read its schema and
+content, and the evaluation harness executes gold/predicted SQL
+against it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from .catalog import Column, Schema, Table
+from .executor import Executor, Result
+from .parser import parse_sql
+from .storage import Storage, TableData
+from .values import SqlType
+
+
+class Database:
+    """An in-memory relational database for one schema instance."""
+
+    def __init__(self, schema: Schema, enforce_foreign_keys: bool = True) -> None:
+        self.schema = schema
+        self.storage = Storage(schema, enforce_foreign_keys=enforce_foreign_keys)
+        self._executor = Executor(self.storage)
+
+    # -- data manipulation ---------------------------------------------------
+    def insert(self, table_name: str, row: Sequence[Any]) -> None:
+        self.storage.insert(table_name, row)
+
+    def insert_many(self, table_name: str, rows: Iterable[Sequence[Any]]) -> int:
+        return self.storage.insert_many(table_name, rows)
+
+    def insert_dicts(self, table_name: str, records: Iterable[Dict[str, Any]]) -> int:
+        """Insert mapping-shaped records; missing columns become NULL."""
+        table = self.schema.table(table_name)
+        count = 0
+        for record in records:
+            row = [record.get(column.name) for column in table.columns]
+            self.storage.insert(table_name, row)
+            count += 1
+        return count
+
+    # -- querying ---------------------------------------------------------------
+    def execute(self, sql: str) -> Result:
+        """Parse and execute a SQL string."""
+        return self._executor.execute(parse_sql(sql))
+
+    def execute_ast(self, query) -> Result:
+        return self._executor.execute(query)
+
+    # -- introspection ------------------------------------------------------------
+    def row_count(self, table_name: Optional[str] = None) -> int:
+        return self.storage.row_count(table_name)
+
+    def table_data(self, table_name: str) -> TableData:
+        return self.storage.data(table_name)
+
+    def column_values(self, table_name: str, column: str) -> set:
+        return self.storage.data(table_name).column_values(column)
+
+    def sample_rows(self, table_name: str, limit: int = 3) -> List[tuple]:
+        """First rows of a table — used by LLM prompt construction."""
+        return self.storage.data(table_name).rows[:limit]
+
+
+def make_column(name: str, type_name: str, primary_key: bool = False) -> Column:
+    """Convenience constructor using textual type names."""
+    mapping = {
+        "int": SqlType.INTEGER,
+        "integer": SqlType.INTEGER,
+        "real": SqlType.REAL,
+        "float": SqlType.REAL,
+        "text": SqlType.TEXT,
+        "varchar": SqlType.TEXT,
+        "bool": SqlType.BOOLEAN,
+        "boolean": SqlType.BOOLEAN,
+    }
+    return Column(name, mapping[type_name.lower()], primary_key)

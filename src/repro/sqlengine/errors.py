@@ -1,0 +1,47 @@
+"""Error taxonomy for the in-memory SQL engine.
+
+The engine distinguishes *where* a statement failed because the
+evaluation harness treats the stages differently: a parse failure means
+the predicted SQL was not even valid SQL (PICARD-style systems should
+never produce these), while an execution failure means the SQL was
+well-formed but referenced unknown tables/columns or mis-typed values.
+"""
+
+from __future__ import annotations
+
+
+class EngineError(Exception):
+    """Base class for every error raised by :mod:`repro.sqlengine`."""
+
+
+class TokenizeError(EngineError):
+    """Raised when the lexer encounters a character it cannot consume."""
+
+    def __init__(self, message: str, position: int) -> None:
+        super().__init__(f"{message} (at offset {position})")
+        self.position = position
+
+
+class ParseError(EngineError):
+    """Raised when a token stream is not a valid SQL statement."""
+
+    def __init__(self, message: str, position: int = -1) -> None:
+        suffix = f" (at token {position})" if position >= 0 else ""
+        super().__init__(f"{message}{suffix}")
+        self.position = position
+
+
+class CatalogError(EngineError):
+    """Raised for unknown tables/columns or ambiguous references."""
+
+
+class ConstraintError(EngineError):
+    """Raised when an insert violates a primary- or foreign-key constraint."""
+
+
+class ExecutionError(EngineError):
+    """Raised when a well-formed query cannot be evaluated."""
+
+
+class TypeMismatchError(ExecutionError):
+    """Raised when an operator is applied to incompatible runtime values."""

@@ -1,0 +1,873 @@
+"""Query executor: interprets the AST against :class:`Storage`.
+
+Evaluation model
+----------------
+A *frame* binds each FROM-clause table instance (by alias) to one row.
+The FROM/JOIN pipeline produces a stream of frames; WHERE filters them;
+GROUP BY partitions them; projections evaluate expressions against a
+:class:`Scope` that chains to outer scopes for correlated subqueries.
+
+Joins with equi-conditions use hash joins so that the ~100K-row
+FootballDB instances stay fast under the evaluation harness (thousands
+of executions per experiment); everything else falls back to
+nested-loop evaluation.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from . import functions as fn
+from .ast_nodes import (
+    BetweenOp,
+    BinaryOp,
+    CaseExpr,
+    ColumnRef,
+    Conjunction,
+    ExistsOp,
+    Expression,
+    FunctionCall,
+    InOp,
+    IsNullOp,
+    Join,
+    JoinKind,
+    LikeOp,
+    Literal,
+    OrderItem,
+    QueryNode,
+    ScalarSubquery,
+    SelectItem,
+    SelectQuery,
+    SetOperation,
+    SetOperator,
+    Star,
+    TableRef,
+    UnaryOp,
+    contains_aggregate,
+    is_aggregate_call,
+)
+from .catalog import Table
+from .errors import CatalogError, ExecutionError, TypeMismatchError
+from .storage import Storage
+from .values import (
+    normalize_for_comparison,
+    row_sort_key,
+    sort_key,
+    sql_and,
+    sql_compare,
+    sql_equal,
+    sql_not,
+    sql_or,
+)
+
+
+class Result:
+    """A query result: ordered column names plus row tuples."""
+
+    def __init__(self, columns: List[str], rows: List[tuple]) -> None:
+        self.columns = columns
+        self.rows = rows
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __eq__(self, other: object) -> bool:  # pragma: no cover - convenience
+        if not isinstance(other, Result):
+            return NotImplemented
+        return self.columns == other.columns and self.rows == other.rows
+
+    def normalized_multiset(self) -> Dict[tuple, int]:
+        """Multiset of normalized rows — the basis of the EX metric."""
+        counts: Dict[tuple, int] = {}
+        for row in self.rows:
+            key = tuple(normalize_for_comparison(value) for value in row)
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Result({self.columns!r}, {len(self.rows)} rows)"
+
+
+class Frame:
+    """One binding environment: table instances resolved to single rows."""
+
+    __slots__ = ("entries", "_index")
+
+    def __init__(self, entries: List[Tuple[str, Table, Optional[tuple]]]) -> None:
+        self.entries = entries
+        self._index = {
+            binding.lower(): position
+            for position, (binding, _, _) in enumerate(entries)
+        }
+
+    def extended(self, binding: str, table: Table, row: Optional[tuple]) -> "Frame":
+        return Frame(self.entries + [(binding, table, row)])
+
+    def lookup_binding(self, binding: str) -> Optional[Tuple[Table, Optional[tuple]]]:
+        position = self._index.get(binding.lower())
+        if position is None:
+            return None
+        _, table, row = self.entries[position]
+        return table, row
+
+    def resolve_unqualified(self, column: str) -> Tuple[bool, Any]:
+        """Return (found, value); raises on ambiguity."""
+        matches = []
+        for binding, table, row in self.entries:
+            if table.has_column(column):
+                matches.append((table, row))
+        if not matches:
+            return False, None
+        if len(matches) > 1:
+            raise ExecutionError(f"ambiguous column reference {column!r}")
+        table, row = matches[0]
+        if row is None:
+            return True, None
+        return True, row[table.column_position(column)]
+
+
+EMPTY_FRAME = Frame([])
+
+#: sentinel distinguishing "not cached yet" from "known correlated" (None)
+_CACHE_MISS = object()
+
+
+class Scope:
+    """Expression evaluation scope: a frame, optional group rows, outer link."""
+
+    __slots__ = ("frame", "group_frames", "outer")
+
+    def __init__(
+        self,
+        frame: Frame,
+        group_frames: Optional[List[Frame]] = None,
+        outer: Optional["Scope"] = None,
+    ) -> None:
+        self.frame = frame
+        self.group_frames = group_frames
+        self.outer = outer
+
+    def row_scope(self, frame: Frame) -> "Scope":
+        """Scope for evaluating an aggregate argument on one group row."""
+        return Scope(frame, None, self.outer)
+
+
+class Executor:
+    """Interprets query ASTs against one storage instance."""
+
+    def __init__(self, storage: Storage) -> None:
+        self.storage = storage
+        # Per-statement cache of *uncorrelated* subquery results, so a
+        # scalar subquery in WHERE runs once, not once per outer row.
+        self._subquery_cache: Dict[int, Optional[Result]] = {}
+
+    # -- public entry point -------------------------------------------------
+    def execute(self, query: QueryNode) -> Result:
+        self._subquery_cache = {}
+        return self._execute(query, outer=None)
+
+    def _execute_subquery(self, query: QueryNode, scope: Scope) -> Result:
+        """Evaluate a nested query, caching it when uncorrelated.
+
+        The fast path tries the subquery *without* the outer scope; if
+        that raises a resolution error the subquery is correlated and
+        must be evaluated per outer row (marked by a ``None`` cache
+        entry).
+        """
+        key = id(query)
+        cached = self._subquery_cache.get(key, _CACHE_MISS)
+        if cached is None:
+            return self._execute(query, scope)  # known correlated
+        if cached is not _CACHE_MISS:
+            return cached
+        try:
+            result = self._execute(query, outer=None)
+        except CatalogError:
+            self._subquery_cache[key] = None
+            return self._execute(query, scope)
+        self._subquery_cache[key] = result
+        return result
+
+    def _execute(self, query: QueryNode, outer: Optional[Scope]) -> Result:
+        if isinstance(query, SetOperation):
+            return self._execute_set_operation(query, outer)
+        return self._execute_select(query, outer)
+
+    # -- set operations -------------------------------------------------------
+    def _execute_set_operation(self, node: SetOperation, outer: Optional[Scope]) -> Result:
+        left = self._execute(node.left, outer)
+        right = self._execute(node.right, outer)
+        if left.columns and right.columns and len(left.columns) != len(right.columns):
+            raise ExecutionError(
+                "set operation requires matching column counts "
+                f"({len(left.columns)} vs {len(right.columns)})"
+            )
+        rows = self._combine(node.operator, left.rows, right.rows)
+        result = Result(left.columns, rows)
+        if node.order_by:
+            result = Result(
+                result.columns,
+                self._order_output_rows(result, node.order_by),
+            )
+        result = Result(result.columns, _apply_limit(result.rows, node.limit, node.offset))
+        return result
+
+    @staticmethod
+    def _combine(operator: SetOperator, left: List[tuple], right: List[tuple]) -> List[tuple]:
+        def norm(row: tuple) -> tuple:
+            return tuple(normalize_for_comparison(value) for value in row)
+
+        if operator is SetOperator.UNION_ALL:
+            return left + right
+        if operator is SetOperator.UNION:
+            seen = set()
+            combined = []
+            for row in left + right:
+                key = norm(row)
+                if key not in seen:
+                    seen.add(key)
+                    combined.append(row)
+            return combined
+        right_keys = {norm(row) for row in right}
+        seen = set()
+        combined = []
+        for row in left:
+            key = norm(row)
+            if key in seen:
+                continue
+            seen.add(key)
+            if operator is SetOperator.INTERSECT and key in right_keys:
+                combined.append(row)
+            elif operator is SetOperator.EXCEPT and key not in right_keys:
+                combined.append(row)
+        return combined
+
+    def _order_output_rows(self, result: Result, order_by: List[OrderItem]) -> List[tuple]:
+        """ORDER BY on a compound result: positions or output column names."""
+        decorated = list(result.rows)
+        for item in reversed(order_by):
+            position = self._output_position(result.columns, item)
+            decorated.sort(
+                key=lambda row: sort_key(row[position]), reverse=item.descending
+            )
+        return decorated
+
+    @staticmethod
+    def _output_position(columns: List[str], item: OrderItem) -> int:
+        if isinstance(item.expr, Literal) and isinstance(item.expr.value, int):
+            position = item.expr.value - 1
+            if not 0 <= position < len(columns):
+                raise ExecutionError(f"ORDER BY position {item.expr.value} out of range")
+            return position
+        if isinstance(item.expr, ColumnRef):
+            lowered = [name.lower() for name in columns]
+            name = item.expr.column.lower()
+            if name in lowered:
+                return lowered.index(name)
+        raise ExecutionError(
+            "ORDER BY on a set operation must reference an output column"
+        )
+
+    # -- select core ----------------------------------------------------------
+    def _execute_select(self, query: SelectQuery, outer: Optional[Scope]) -> Result:
+        frames = self._evaluate_from(query, outer)
+        if query.where is not None:
+            frames = [
+                frame
+                for frame in frames
+                if self._truthy(query.where, Scope(frame, None, outer))
+            ]
+        aggregated = bool(query.group_by) or self._uses_aggregates(query)
+        if aggregated:
+            return self._execute_aggregated(query, frames, outer)
+        return self._execute_plain(query, frames, outer)
+
+    def _uses_aggregates(self, query: SelectQuery) -> bool:
+        for item in query.projections:
+            if contains_aggregate(item.expr):
+                return True
+        if query.having is not None:
+            return True
+        return any(contains_aggregate(item.expr) for item in query.order_by)
+
+    # -- FROM/JOIN pipeline -----------------------------------------------------
+    def _evaluate_from(self, query: SelectQuery, outer: Optional[Scope]) -> List[Frame]:
+        if query.from_table is None:
+            return [EMPTY_FRAME]
+        frames = self._scan(query.from_table)
+        for join in query.joins:
+            frames = self._apply_join(frames, join, outer)
+        return frames
+
+    def _scan(self, ref: TableRef) -> List[Frame]:
+        data = self.storage.data(ref.table)
+        binding = ref.binding
+        return [Frame([(binding, data.table, row)]) for row in data.rows]
+
+    def _apply_join(
+        self, frames: List[Frame], join: Join, outer: Optional[Scope]
+    ) -> List[Frame]:
+        data = self.storage.data(join.table.table)
+        binding = join.table.binding
+        table = data.table
+        if join.kind is JoinKind.CROSS or join.condition is None:
+            return [
+                frame.extended(binding, table, row)
+                for frame in frames
+                for row in data.rows
+            ]
+        if not frames:
+            return []
+        equi_pairs, residual = self._split_equi_condition(
+            join.condition, frames[0], binding, table
+        )
+        if equi_pairs:
+            return self._hash_join(frames, join, data, equi_pairs, residual, outer)
+        return self._nested_loop_join(frames, join, data, outer)
+
+    def _split_equi_condition(
+        self,
+        condition: Expression,
+        sample_frame: Frame,
+        new_binding: str,
+        new_table: Table,
+    ) -> Tuple[List[Tuple[Expression, str]], List[Expression]]:
+        """Split an ON condition into hash-joinable pairs and a residual.
+
+        A pair is ``(outer expression, new-table column name)`` for each
+        top-level conjunct of the form ``a = b`` where exactly one side
+        is a column of the table being joined.
+        """
+        terms: List[Expression]
+        if isinstance(condition, Conjunction) and condition.op == "AND":
+            terms = list(condition.terms)
+        else:
+            terms = [condition]
+        pairs: List[Tuple[Expression, str]] = []
+        residual: List[Expression] = []
+        for term in terms:
+            pair = self._match_equi_term(term, sample_frame, new_binding, new_table)
+            if pair is not None:
+                pairs.append(pair)
+            else:
+                residual.append(term)
+        return pairs, residual
+
+    def _match_equi_term(
+        self,
+        term: Expression,
+        sample_frame: Frame,
+        new_binding: str,
+        new_table: Table,
+    ) -> Optional[Tuple[Expression, str]]:
+        if not (isinstance(term, BinaryOp) and term.op == "="):
+            return None
+        for inner, other in ((term.left, term.right), (term.right, term.left)):
+            if (
+                isinstance(inner, ColumnRef)
+                and self._belongs_to_new(inner, sample_frame, new_binding, new_table)
+                and not self._references_binding(other, new_binding, new_table, sample_frame)
+            ):
+                return other, inner.column
+        return None
+
+    @staticmethod
+    def _belongs_to_new(
+        ref: ColumnRef, sample_frame: Frame, new_binding: str, new_table: Table
+    ) -> bool:
+        if ref.table is not None:
+            return ref.table.lower() == new_binding.lower()
+        # Unqualified: counts as the new table's column only if no
+        # existing binding also exposes the name (else it is ambiguous
+        # and the nested-loop path will raise the proper error).
+        if not new_table.has_column(ref.column):
+            return False
+        for _, table, _ in sample_frame.entries:
+            if table.has_column(ref.column):
+                return False
+        return True
+
+    def _references_binding(
+        self,
+        expr: Expression,
+        binding: str,
+        new_table: Table,
+        sample_frame: Frame,
+    ) -> bool:
+        for node in expr.walk():
+            if isinstance(node, ColumnRef):
+                if node.table is not None and node.table.lower() == binding.lower():
+                    return True
+                if node.table is None and self._belongs_to_new(
+                    node, sample_frame, binding, new_table
+                ):
+                    return True
+        return False
+
+    def _hash_join(
+        self,
+        frames: List[Frame],
+        join: Join,
+        data,
+        equi_pairs: List[Tuple[Expression, str]],
+        residual: List[Expression],
+        outer: Optional[Scope],
+    ) -> List[Frame]:
+        table = data.table
+        positions = [table.column_position(column) for _, column in equi_pairs]
+        index: Dict[tuple, List[tuple]] = {}
+        for row in data.rows:
+            key = tuple(normalize_for_comparison(row[p]) for p in positions)
+            if any(part is None for part in key):
+                continue  # NULLs never match an equi-join
+            index.setdefault(key, []).append(row)
+        binding = join.table.binding
+        joined: List[Frame] = []
+        for frame in frames:
+            scope = Scope(frame, None, outer)
+            probe = tuple(
+                normalize_for_comparison(self._eval(expr, scope))
+                for expr, _ in equi_pairs
+            )
+            matches: Iterable[tuple]
+            if any(part is None for part in probe):
+                matches = ()
+            else:
+                matches = index.get(probe, ())
+            matched = False
+            for row in matches:
+                extended = frame.extended(binding, table, row)
+                if residual:
+                    inner_scope = Scope(extended, None, outer)
+                    if not all(self._truthy(term, inner_scope) for term in residual):
+                        continue
+                matched = True
+                joined.append(extended)
+            if not matched and join.kind is JoinKind.LEFT:
+                joined.append(frame.extended(binding, table, None))
+        return joined
+
+    def _nested_loop_join(
+        self, frames: List[Frame], join: Join, data, outer: Optional[Scope]
+    ) -> List[Frame]:
+        binding = join.table.binding
+        table = data.table
+        joined: List[Frame] = []
+        for frame in frames:
+            matched = False
+            for row in data.rows:
+                extended = frame.extended(binding, table, row)
+                if self._truthy(join.condition, Scope(extended, None, outer)):
+                    matched = True
+                    joined.append(extended)
+            if not matched and join.kind is JoinKind.LEFT:
+                joined.append(frame.extended(binding, table, None))
+        return joined
+
+    # -- non-aggregated output ---------------------------------------------------
+    def _execute_plain(
+        self, query: SelectQuery, frames: List[Frame], outer: Optional[Scope]
+    ) -> Result:
+        columns = self._output_columns(query, frames)
+        rows: List[tuple] = []
+        scopes: List[Scope] = []
+        for frame in frames:
+            scope = Scope(frame, None, outer)
+            rows.append(self._project(query.projections, scope))
+            scopes.append(scope)
+        return self._finalize(query, columns, rows, scopes)
+
+    # -- aggregated output ---------------------------------------------------------
+    def _execute_aggregated(
+        self, query: SelectQuery, frames: List[Frame], outer: Optional[Scope]
+    ) -> Result:
+        groups: List[Tuple[Frame, List[Frame]]] = []
+        if query.group_by:
+            keyed: Dict[tuple, List[Frame]] = {}
+            order: List[tuple] = []
+            for frame in frames:
+                scope = Scope(frame, None, outer)
+                key = tuple(
+                    normalize_for_comparison(self._eval(expr, scope))
+                    for expr in query.group_by
+                )
+                if key not in keyed:
+                    keyed[key] = []
+                    order.append(key)
+                keyed[key].append(frame)
+            groups = [(keyed[key][0], keyed[key]) for key in order]
+        else:
+            representative = frames[0] if frames else EMPTY_FRAME
+            groups = [(representative, frames)]
+        columns = self._output_columns(query, frames)
+        rows: List[tuple] = []
+        scopes: List[Scope] = []
+        for representative, members in groups:
+            scope = Scope(representative, members, outer)
+            if query.having is not None and not self._truthy(query.having, scope):
+                continue
+            rows.append(self._project(query.projections, scope))
+            scopes.append(scope)
+        return self._finalize(query, columns, rows, scopes)
+
+    # -- shared output plumbing ------------------------------------------------------
+    def _project(self, projections: List[SelectItem], scope: Scope) -> tuple:
+        values: List[Any] = []
+        for item in projections:
+            if isinstance(item.expr, Star):
+                values.extend(self._expand_star(item.expr, scope))
+            else:
+                values.append(self._eval(item.expr, scope))
+        return tuple(values)
+
+    def _expand_star(self, star: Star, scope: Scope) -> List[Any]:
+        values: List[Any] = []
+        for binding, table, row in scope.frame.entries:
+            if star.table is not None and binding.lower() != star.table.lower():
+                continue
+            if row is None:
+                values.extend([None] * len(table.columns))
+            else:
+                values.extend(row)
+        if star.table is not None and not values:
+            found = scope.frame.lookup_binding(star.table)
+            if found is None:
+                raise ExecutionError(f"unknown table alias {star.table!r} in *")
+        return values
+
+    def _output_columns(self, query: SelectQuery, frames: List[Frame]) -> List[str]:
+        sample = frames[0] if frames else EMPTY_FRAME
+        names: List[str] = []
+        for item in query.projections:
+            if isinstance(item.expr, Star):
+                for binding, table, _ in sample.entries:
+                    if item.expr.table is not None and binding.lower() != item.expr.table.lower():
+                        continue
+                    names.extend(table.column_names)
+                if not sample.entries:
+                    names.append("*")
+                continue
+            if item.alias:
+                names.append(item.alias)
+            elif isinstance(item.expr, ColumnRef):
+                names.append(item.expr.column)
+            elif isinstance(item.expr, FunctionCall):
+                names.append(item.expr.name)
+            else:
+                names.append(f"column{len(names) + 1}")
+        return names
+
+    def _finalize(
+        self,
+        query: SelectQuery,
+        columns: List[str],
+        rows: List[tuple],
+        scopes: List[Scope],
+    ) -> Result:
+        ordered = list(range(len(rows)))
+        if query.order_by:
+            keys_per_item = []
+            for item in query.order_by:
+                keys_per_item.append(
+                    [self._order_key(item, query, rows[i], scopes[i]) for i in ordered]
+                )
+            for item_index in range(len(query.order_by) - 1, -1, -1):
+                item = query.order_by[item_index]
+                keys = keys_per_item[item_index]
+                ordered.sort(
+                    key=lambda i: sort_key(keys[i]), reverse=item.descending
+                )
+        output = [rows[i] for i in ordered]
+        if query.distinct:
+            seen = set()
+            unique = []
+            for row in output:
+                key = tuple(normalize_for_comparison(value) for value in row)
+                if key not in seen:
+                    seen.add(key)
+                    unique.append(row)
+            output = unique
+        output = _apply_limit(output, query.limit, query.offset)
+        return Result(columns, output)
+
+    def _order_key(
+        self, item: OrderItem, query: SelectQuery, row: tuple, scope: Scope
+    ) -> Any:
+        expr = item.expr
+        if isinstance(expr, Literal) and isinstance(expr.value, int):
+            position = expr.value - 1
+            if not 0 <= position < len(row):
+                raise ExecutionError(f"ORDER BY position {expr.value} out of range")
+            return row[position]
+        if isinstance(expr, ColumnRef) and expr.table is None:
+            for position, projection in enumerate(query.projections):
+                if projection.alias and projection.alias.lower() == expr.column.lower():
+                    return row[position]
+        return self._eval(expr, scope)
+
+    # -- expression evaluation ----------------------------------------------------
+    def _truthy(self, expr: Expression, scope: Scope) -> bool:
+        return self._eval_boolean(expr, scope) is True
+
+    def _eval_boolean(self, expr: Expression, scope: Scope) -> Optional[bool]:
+        value = self._eval(expr, scope)
+        if value is None or isinstance(value, bool):
+            return value
+        if isinstance(value, (int, float)):
+            return value != 0
+        raise TypeMismatchError(f"expected boolean, got {value!r}")
+
+    def _eval(self, expr: Expression, scope: Scope) -> Any:
+        if isinstance(expr, Literal):
+            return expr.value
+        if isinstance(expr, ColumnRef):
+            return self._eval_column(expr, scope)
+        if isinstance(expr, Star):
+            raise ExecutionError("'*' is only valid in projections and COUNT(*)")
+        if isinstance(expr, Conjunction):
+            return self._eval_conjunction(expr, scope)
+        if isinstance(expr, UnaryOp):
+            return self._eval_unary(expr, scope)
+        if isinstance(expr, BinaryOp):
+            return self._eval_binary(expr, scope)
+        if isinstance(expr, LikeOp):
+            return self._eval_like(expr, scope)
+        if isinstance(expr, BetweenOp):
+            return self._eval_between(expr, scope)
+        if isinstance(expr, IsNullOp):
+            value = self._eval(expr.expr, scope)
+            return (value is not None) if expr.negated else (value is None)
+        if isinstance(expr, InOp):
+            return self._eval_in(expr, scope)
+        if isinstance(expr, ExistsOp):
+            result = self._execute_subquery(expr.subquery, scope)
+            exists = len(result.rows) > 0
+            return not exists if expr.negated else exists
+        if isinstance(expr, ScalarSubquery):
+            return self._eval_scalar_subquery(expr, scope)
+        if isinstance(expr, FunctionCall):
+            return self._eval_function(expr, scope)
+        if isinstance(expr, CaseExpr):
+            return self._eval_case(expr, scope)
+        raise ExecutionError(f"unsupported expression node {type(expr).__name__}")
+
+    def _eval_column(self, ref: ColumnRef, scope: Scope) -> Any:
+        current: Optional[Scope] = scope
+        while current is not None:
+            if ref.table is not None:
+                found = current.frame.lookup_binding(ref.table)
+                if found is not None:
+                    table, row = found
+                    if not table.has_column(ref.column):
+                        raise CatalogError(
+                            f"table {ref.table!r} has no column {ref.column!r}"
+                        )
+                    if row is None:
+                        return None
+                    return row[table.column_position(ref.column)]
+            else:
+                found_flag, value = current.frame.resolve_unqualified(ref.column)
+                if found_flag:
+                    return value
+            current = current.outer
+        raise CatalogError(f"cannot resolve column reference {ref.qualified!r}")
+
+    def _eval_conjunction(self, expr: Conjunction, scope: Scope) -> Optional[bool]:
+        combine = sql_and if expr.op == "AND" else sql_or
+        accumulator: Optional[bool] = expr.op == "AND"
+        for term in expr.terms:
+            accumulator = combine(accumulator, self._eval_boolean(term, scope))
+            if expr.op == "AND" and accumulator is False:
+                return False
+            if expr.op == "OR" and accumulator is True:
+                return True
+        return accumulator
+
+    def _eval_unary(self, expr: UnaryOp, scope: Scope) -> Any:
+        if expr.op == "NOT":
+            return sql_not(self._eval_boolean(expr.operand, scope))
+        value = self._eval(expr.operand, scope)
+        if value is None:
+            return None
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            return -value
+        raise TypeMismatchError(f"cannot negate {value!r}")
+
+    def _eval_binary(self, expr: BinaryOp, scope: Scope) -> Any:
+        left = self._eval(expr.left, scope)
+        right = self._eval(expr.right, scope)
+        op = expr.op
+        if op == "=":
+            return sql_equal(left, right)
+        if op == "<>":
+            return sql_not(sql_equal(left, right))
+        if op in ("<", "<=", ">", ">="):
+            comparison = sql_compare(left, right)
+            if comparison is None:
+                return None
+            return {
+                "<": comparison < 0,
+                "<=": comparison <= 0,
+                ">": comparison > 0,
+                ">=": comparison >= 0,
+            }[op]
+        if op == "||":
+            if left is None or right is None:
+                return None
+            return _text(left) + _text(right)
+        if left is None or right is None:
+            return None
+        if not isinstance(left, (int, float)) or isinstance(left, bool):
+            raise TypeMismatchError(f"arithmetic on non-number {left!r}")
+        if not isinstance(right, (int, float)) or isinstance(right, bool):
+            raise TypeMismatchError(f"arithmetic on non-number {right!r}")
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            if right == 0:
+                raise ExecutionError("division by zero")
+            if isinstance(left, int) and isinstance(right, int):
+                return left / right  # SQL real division for analytics
+            return left / right
+        if op == "%":
+            if right == 0:
+                raise ExecutionError("modulo by zero")
+            return left % right
+        raise ExecutionError(f"unknown operator {op!r}")
+
+    def _eval_like(self, expr: LikeOp, scope: Scope) -> Optional[bool]:
+        value = self._eval(expr.expr, scope)
+        pattern = self._eval(expr.pattern, scope)
+        if value is None or pattern is None:
+            return None
+        regex = _like_regex(str(pattern), expr.case_insensitive)
+        matched = regex.fullmatch(str(value)) is not None
+        return not matched if expr.negated else matched
+
+    def _eval_between(self, expr: BetweenOp, scope: Scope) -> Optional[bool]:
+        value = self._eval(expr.expr, scope)
+        low = self._eval(expr.low, scope)
+        high = self._eval(expr.high, scope)
+        lower = sql_compare(value, low)
+        upper = sql_compare(value, high)
+        if lower is None or upper is None:
+            return None
+        inside = lower >= 0 and upper <= 0
+        return not inside if expr.negated else inside
+
+    def _eval_in(self, expr: InOp, scope: Scope) -> Optional[bool]:
+        value = self._eval(expr.expr, scope)
+        if expr.subquery is not None:
+            result = self._execute_subquery(expr.subquery, scope)
+            if result.rows and len(result.rows[0]) != 1:
+                raise ExecutionError("IN subquery must return a single column")
+            candidates = [row[0] for row in result.rows]
+        else:
+            candidates = [self._eval(option, scope) for option in (expr.options or ())]
+        saw_unknown = False
+        for candidate in candidates:
+            verdict = sql_equal(value, candidate)
+            if verdict is True:
+                return False if expr.negated else True
+            if verdict is None:
+                saw_unknown = True
+        if saw_unknown:
+            return None
+        return True if expr.negated else False
+
+    def _eval_scalar_subquery(self, expr: ScalarSubquery, scope: Scope) -> Any:
+        result = self._execute_subquery(expr.subquery, scope)
+        if not result.rows:
+            return None
+        if len(result.rows) > 1:
+            raise ExecutionError("scalar subquery returned more than one row")
+        if len(result.rows[0]) != 1:
+            raise ExecutionError("scalar subquery must return a single column")
+        return result.rows[0][0]
+
+    def _eval_function(self, expr: FunctionCall, scope: Scope) -> Any:
+        if is_aggregate_call(expr):
+            return self._eval_aggregate(expr, scope)
+        handler = fn.SCALAR_FUNCTIONS.get(expr.name)
+        if handler is None:
+            raise ExecutionError(f"unknown function {expr.name!r}")
+        args = [self._eval(arg, scope) for arg in expr.args]
+        return handler(args)
+
+    def _eval_aggregate(self, expr: FunctionCall, scope: Scope) -> Any:
+        if scope.group_frames is None:
+            raise ExecutionError(
+                f"aggregate {expr.name}() used outside an aggregation context"
+            )
+        star = len(expr.args) == 1 and isinstance(expr.args[0], Star)
+        if expr.name == "count" and (star or not expr.args):
+            values = [1] * len(scope.group_frames)
+            return fn.aggregate_count(values, expr.distinct, star=True)
+        if len(expr.args) != 1:
+            raise ExecutionError(f"{expr.name}() expects exactly one argument")
+        argument = expr.args[0]
+        values = [
+            self._eval(argument, scope.row_scope(frame))
+            for frame in scope.group_frames
+        ]
+        if expr.name == "count":
+            return fn.aggregate_count(values, expr.distinct, star=False)
+        if expr.name == "sum":
+            return fn.aggregate_sum(values, expr.distinct)
+        if expr.name == "avg":
+            return fn.aggregate_avg(values, expr.distinct)
+        if expr.name == "min":
+            return fn.aggregate_min(values, expr.distinct)
+        if expr.name == "max":
+            return fn.aggregate_max(values, expr.distinct)
+        raise ExecutionError(f"unknown aggregate {expr.name!r}")
+
+    def _eval_case(self, expr: CaseExpr, scope: Scope) -> Any:
+        for condition, result in expr.whens:
+            if self._truthy(condition, scope):
+                return self._eval(result, scope)
+        if expr.default is not None:
+            return self._eval(expr.default, scope)
+        return None
+
+
+def _apply_limit(rows: List[tuple], limit: Optional[int], offset: Optional[int]) -> List[tuple]:
+    start = offset or 0
+    if limit is None:
+        return rows[start:]
+    return rows[start : start + limit]
+
+
+def _text(value: Any) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    return str(value)
+
+
+_LIKE_CACHE: Dict[Tuple[str, bool], re.Pattern] = {}
+
+
+def _like_regex(pattern: str, case_insensitive: bool) -> re.Pattern:
+    key = (pattern, case_insensitive)
+    cached = _LIKE_CACHE.get(key)
+    if cached is not None:
+        return cached
+    pieces: List[str] = []
+    for char in pattern:
+        if char == "%":
+            pieces.append(".*")
+        elif char == "_":
+            pieces.append(".")
+        else:
+            pieces.append(re.escape(char))
+    flags = re.IGNORECASE | re.DOTALL if case_insensitive else re.DOTALL
+    compiled = re.compile("".join(pieces), flags)
+    if len(_LIKE_CACHE) > 4096:
+        _LIKE_CACHE.clear()
+    _LIKE_CACHE[key] = compiled
+    return compiled

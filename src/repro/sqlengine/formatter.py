@@ -1,0 +1,211 @@
+"""AST → SQL text rendering.
+
+The formatter produces canonical SQL that round-trips through the
+parser.  It is used by the SemQL decoder (whose output *is* an AST), by
+the gold-SQL compiler, and by the corruption operators — everything that
+builds queries programmatically and must hand a string to a Text-to-SQL
+pipeline or to the engine.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .ast_nodes import (
+    BetweenOp,
+    BinaryOp,
+    CaseExpr,
+    ColumnRef,
+    Conjunction,
+    ExistsOp,
+    Expression,
+    FunctionCall,
+    InOp,
+    IsNullOp,
+    Join,
+    JoinKind,
+    LikeOp,
+    Literal,
+    OrderItem,
+    QueryNode,
+    ScalarSubquery,
+    SelectItem,
+    SelectQuery,
+    SetOperation,
+    Star,
+    TableRef,
+    UnaryOp,
+)
+from .errors import EngineError
+
+_PRECEDENCE_PARENS = (Conjunction, BinaryOp, UnaryOp, LikeOp, BetweenOp, InOp, IsNullOp)
+
+
+def format_query(node: QueryNode) -> str:
+    """Render a query AST as a single-line SQL string."""
+    if isinstance(node, SetOperation):
+        text = (
+            f"{format_query(node.left)} {node.operator.value} "
+            f"{format_query(node.right)}"
+        )
+        text += _format_tail(node.order_by, node.limit, node.offset)
+        return text
+    return _format_select(node)
+
+
+def _format_select(query: SelectQuery) -> str:
+    parts: List[str] = ["SELECT"]
+    if query.distinct:
+        parts.append("DISTINCT")
+    parts.append(", ".join(_format_item(item) for item in query.projections))
+    if query.from_table is not None:
+        parts.append("FROM")
+        parts.append(_format_table(query.from_table))
+        for join in query.joins:
+            parts.append(_format_join(join))
+    if query.where is not None:
+        parts.append("WHERE")
+        parts.append(format_expression(query.where))
+    if query.group_by:
+        parts.append("GROUP BY")
+        parts.append(", ".join(format_expression(expr) for expr in query.group_by))
+    if query.having is not None:
+        parts.append("HAVING")
+        parts.append(format_expression(query.having))
+    text = " ".join(parts)
+    text += _format_tail(query.order_by, query.limit, query.offset)
+    return text
+
+
+def _format_tail(order_by: List[OrderItem], limit, offset) -> str:
+    text = ""
+    if order_by:
+        rendered = ", ".join(
+            format_expression(item.expr) + (" DESC" if item.descending else "")
+            for item in order_by
+        )
+        text += f" ORDER BY {rendered}"
+    if limit is not None:
+        text += f" LIMIT {limit}"
+    if offset is not None:
+        text += f" OFFSET {offset}"
+    return text
+
+
+def _format_item(item: SelectItem) -> str:
+    rendered = format_expression(item.expr)
+    if item.alias:
+        rendered += f" AS {item.alias}"
+    return rendered
+
+
+def _format_table(ref: TableRef) -> str:
+    if ref.alias:
+        return f"{ref.table} AS {ref.alias}"
+    return ref.table
+
+
+def _format_join(join: Join) -> str:
+    if join.kind is JoinKind.CROSS:
+        return f"CROSS JOIN {_format_table(join.table)}"
+    rendered = f"{join.kind.value} {_format_table(join.table)}"
+    if join.condition is not None:
+        rendered += f" ON {format_expression(join.condition)}"
+    return rendered
+
+
+def format_expression(expr: Expression) -> str:
+    """Render one expression node."""
+    if isinstance(expr, Literal):
+        return format_literal(expr.value)
+    if isinstance(expr, ColumnRef):
+        return expr.qualified
+    if isinstance(expr, Star):
+        return f"{expr.table}.*" if expr.table else "*"
+    if isinstance(expr, Conjunction):
+        joined = f" {expr.op} ".join(
+            _maybe_parenthesize(term, expr) for term in expr.terms
+        )
+        return joined
+    if isinstance(expr, UnaryOp):
+        if expr.op == "NOT":
+            return f"NOT {_maybe_parenthesize(expr.operand, expr)}"
+        return f"-{_maybe_parenthesize(expr.operand, expr)}"
+    if isinstance(expr, BinaryOp):
+        left = _maybe_parenthesize(expr.left, expr)
+        right = _maybe_parenthesize(expr.right, expr)
+        return f"{left} {expr.op} {right}"
+    if isinstance(expr, LikeOp):
+        keyword = "ILIKE" if expr.case_insensitive else "LIKE"
+        if expr.negated:
+            keyword = f"NOT {keyword}"
+        return (
+            f"{format_expression(expr.expr)} {keyword} "
+            f"{format_expression(expr.pattern)}"
+        )
+    if isinstance(expr, BetweenOp):
+        keyword = "NOT BETWEEN" if expr.negated else "BETWEEN"
+        return (
+            f"{format_expression(expr.expr)} {keyword} "
+            f"{format_expression(expr.low)} AND {format_expression(expr.high)}"
+        )
+    if isinstance(expr, IsNullOp):
+        keyword = "IS NOT NULL" if expr.negated else "IS NULL"
+        return f"{format_expression(expr.expr)} {keyword}"
+    if isinstance(expr, InOp):
+        keyword = "NOT IN" if expr.negated else "IN"
+        if expr.subquery is not None:
+            inner = format_query(expr.subquery)
+        else:
+            inner = ", ".join(format_expression(option) for option in expr.options or ())
+        return f"{format_expression(expr.expr)} {keyword} ({inner})"
+    if isinstance(expr, ExistsOp):
+        keyword = "NOT EXISTS" if expr.negated else "EXISTS"
+        return f"{keyword} ({format_query(expr.subquery)})"
+    if isinstance(expr, ScalarSubquery):
+        return f"({format_query(expr.subquery)})"
+    if isinstance(expr, FunctionCall):
+        if expr.name == "cast" and len(expr.args) == 2:
+            value, type_name = expr.args
+            if isinstance(type_name, Literal):
+                return (
+                    f"CAST({format_expression(value)} AS "
+                    f"{str(type_name.value).upper()})"
+                )
+        prefix = "DISTINCT " if expr.distinct else ""
+        args = ", ".join(format_expression(arg) for arg in expr.args)
+        return f"{expr.name}({prefix}{args})"
+    if isinstance(expr, CaseExpr):
+        parts = ["CASE"]
+        for condition, result in expr.whens:
+            parts.append(
+                f"WHEN {format_expression(condition)} THEN {format_expression(result)}"
+            )
+        if expr.default is not None:
+            parts.append(f"ELSE {format_expression(expr.default)}")
+        parts.append("END")
+        return " ".join(parts)
+    raise EngineError(f"cannot format expression node {type(expr).__name__}")
+
+
+def format_literal(value) -> str:
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    escaped = str(value).replace("'", "''")
+    return f"'{escaped}'"
+
+
+def _maybe_parenthesize(child: Expression, parent: Expression) -> str:
+    rendered = format_expression(child)
+    needs_parens = False
+    if isinstance(parent, Conjunction) and isinstance(child, Conjunction):
+        needs_parens = child.op != parent.op
+    elif isinstance(parent, UnaryOp) and isinstance(child, (Conjunction, BinaryOp)):
+        needs_parens = True
+    elif isinstance(parent, BinaryOp) and isinstance(child, (Conjunction, BinaryOp)):
+        needs_parens = True
+    return f"({rendered})" if needs_parens else rendered

@@ -1,0 +1,173 @@
+"""Scalar and aggregate function implementations.
+
+The registry is intentionally small: everything the FootballDB gold
+queries (and the corruption operators) can produce, nothing more.  SQL
+semantics that matter for the EX metric — NULL-skipping aggregates,
+``COUNT(*)`` vs ``COUNT(expr)``, ``COUNT(DISTINCT …)`` — are implemented
+faithfully.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from .errors import ExecutionError, TypeMismatchError
+
+
+# -- scalar functions --------------------------------------------------------
+
+
+def _scalar_upper(args: Sequence[Any]) -> Any:
+    value = _single(args, "upper")
+    return None if value is None else str(value).upper()
+
+
+def _scalar_lower(args: Sequence[Any]) -> Any:
+    value = _single(args, "lower")
+    return None if value is None else str(value).lower()
+
+
+def _scalar_length(args: Sequence[Any]) -> Any:
+    value = _single(args, "length")
+    return None if value is None else len(str(value))
+
+
+def _scalar_abs(args: Sequence[Any]) -> Any:
+    value = _single(args, "abs")
+    if value is None:
+        return None
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise TypeMismatchError("abs() expects a number")
+    return abs(value)
+
+
+def _scalar_round(args: Sequence[Any]) -> Any:
+    if not args or len(args) > 2:
+        raise ExecutionError("round() expects 1 or 2 arguments")
+    value = args[0]
+    if value is None:
+        return None
+    digits = args[1] if len(args) == 2 else 0
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise TypeMismatchError("round() expects a number")
+    result = round(float(value), int(digits))
+    return result if digits else int(result)
+
+
+def _scalar_coalesce(args: Sequence[Any]) -> Any:
+    for value in args:
+        if value is not None:
+            return value
+    return None
+
+
+def _scalar_cast(args: Sequence[Any]) -> Any:
+    if len(args) != 2:
+        raise ExecutionError("cast() expects (value, type)")
+    value, type_name = args
+    if value is None:
+        return None
+    name = str(type_name).lower()
+    try:
+        if name in ("int", "integer", "bigint"):
+            return int(float(value))
+        if name in ("real", "float", "double", "numeric", "decimal"):
+            return float(value)
+        if name in ("text", "varchar", "char", "string"):
+            if isinstance(value, bool):
+                return "true" if value else "false"
+            return str(value)
+        if name in ("bool", "boolean"):
+            if isinstance(value, str):
+                return value.strip().lower() == "true"
+            return bool(value)
+    except (TypeError, ValueError) as exc:
+        raise TypeMismatchError(f"cannot cast {value!r} to {name}") from exc
+    raise ExecutionError(f"unknown cast target type {name!r}")
+
+
+def _single(args: Sequence[Any], name: str) -> Any:
+    if len(args) != 1:
+        raise ExecutionError(f"{name}() expects exactly one argument")
+    return args[0]
+
+
+SCALAR_FUNCTIONS: Dict[str, Callable[[Sequence[Any]], Any]] = {
+    "upper": _scalar_upper,
+    "lower": _scalar_lower,
+    "length": _scalar_length,
+    "abs": _scalar_abs,
+    "round": _scalar_round,
+    "coalesce": _scalar_coalesce,
+    "cast": _scalar_cast,
+}
+
+
+# -- aggregate functions -----------------------------------------------------
+
+
+def aggregate_count(values: List[Any], distinct: bool, star: bool) -> int:
+    if star:
+        return len(values)
+    non_null = [value for value in values if value is not None]
+    if distinct:
+        return len(_distinct(non_null))
+    return len(non_null)
+
+
+def aggregate_sum(values: List[Any], distinct: bool) -> Optional[float]:
+    numbers = _numbers(values, "sum", distinct)
+    if not numbers:
+        return None
+    total = sum(numbers)
+    return total
+
+
+def aggregate_avg(values: List[Any], distinct: bool) -> Optional[float]:
+    numbers = _numbers(values, "avg", distinct)
+    if not numbers:
+        return None
+    return sum(numbers) / len(numbers)
+
+
+def aggregate_min(values: List[Any], distinct: bool) -> Any:
+    non_null = [value for value in values if value is not None]
+    if not non_null:
+        return None
+    return min(non_null, key=_orderable)
+
+
+def aggregate_max(values: List[Any], distinct: bool) -> Any:
+    non_null = [value for value in values if value is not None]
+    if not non_null:
+        return None
+    return max(non_null, key=_orderable)
+
+
+def _numbers(values: List[Any], name: str, distinct: bool) -> List[float]:
+    non_null = [value for value in values if value is not None]
+    if distinct:
+        non_null = _distinct(non_null)
+    for value in non_null:
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise TypeMismatchError(f"{name}() expects numbers, got {value!r}")
+    return non_null
+
+
+def _distinct(values: List[Any]) -> List[Any]:
+    seen = set()
+    unique: List[Any] = []
+    for value in values:
+        key = (type(value).__name__, value)
+        if key not in seen:
+            seen.add(key)
+            unique.append(value)
+    return unique
+
+
+def _orderable(value: Any):
+    if isinstance(value, bool):
+        return (0, int(value))
+    if isinstance(value, (int, float)):
+        return (0, value)
+    return (1, str(value))

@@ -1,0 +1,459 @@
+"""Recursive-descent parser for the engine's SQL dialect.
+
+Supported surface (deliberately a superset of everything the FootballDB
+gold queries use):
+
+* ``SELECT [DISTINCT]`` with expressions, aliases, ``*`` and ``alias.*``
+* ``FROM`` with table aliases and ``[INNER|LEFT [OUTER]|CROSS] JOIN … ON``
+* ``WHERE`` with full boolean expressions, ``[NOT] LIKE`` / ``ILIKE``,
+  ``[NOT] BETWEEN``, ``[NOT] IN (list | subquery)``, ``IS [NOT] NULL``,
+  ``EXISTS (subquery)`` and scalar subqueries
+* aggregates with ``DISTINCT``, ``GROUP BY``, ``HAVING``
+* ``ORDER BY … [ASC|DESC]``, ``LIMIT``, ``OFFSET``
+* ``UNION [ALL]`` / ``INTERSECT`` / ``EXCEPT`` chains
+* ``CASE WHEN … THEN … [ELSE …] END`` and ``CAST(expr AS type)``
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .ast_nodes import (
+    BetweenOp,
+    BinaryOp,
+    CaseExpr,
+    ColumnRef,
+    Conjunction,
+    ExistsOp,
+    Expression,
+    FunctionCall,
+    InOp,
+    IsNullOp,
+    Join,
+    JoinKind,
+    LikeOp,
+    Literal,
+    OrderItem,
+    QueryNode,
+    ScalarSubquery,
+    SelectItem,
+    SelectQuery,
+    SetOperation,
+    SetOperator,
+    Star,
+    TableRef,
+    UnaryOp,
+)
+from .errors import ParseError
+from .tokenizer import Token, TokenType, tokenize
+
+_COMPARISON_OPS = ("=", "<>", "!=", "<", "<=", ">", ">=")
+
+
+def parse_sql(sql: str) -> QueryNode:
+    """Parse ``sql`` into a query AST (the module's main entry point)."""
+    parser = Parser(tokenize(sql))
+    return parser.parse_statement()
+
+
+class Parser:
+    """Single-statement SQL parser over a token list."""
+
+    def __init__(self, tokens: List[Token]) -> None:
+        self._tokens = tokens
+        self._position = 0
+
+    # -- token plumbing ----------------------------------------------------
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self._position + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._peek()
+        if token.type is not TokenType.EOF:
+            self._position += 1
+        return token
+
+    def _check_keyword(self, *names: str) -> bool:
+        return self._peek().is_keyword(*names)
+
+    def _accept_keyword(self, *names: str) -> bool:
+        if self._check_keyword(*names):
+            self._advance()
+            return True
+        return False
+
+    def _expect_keyword(self, name: str) -> Token:
+        if not self._check_keyword(name):
+            raise ParseError(
+                f"expected {name.upper()}, found {self._peek().value!r}",
+                self._position,
+            )
+        return self._advance()
+
+    def _accept_punct(self, value: str) -> bool:
+        token = self._peek()
+        if token.type is TokenType.PUNCTUATION and token.value == value:
+            self._advance()
+            return True
+        return False
+
+    def _expect_punct(self, value: str) -> None:
+        if not self._accept_punct(value):
+            raise ParseError(
+                f"expected {value!r}, found {self._peek().value!r}", self._position
+            )
+
+    def _expect_identifier(self) -> str:
+        token = self._peek()
+        if token.type is not TokenType.IDENTIFIER:
+            raise ParseError(
+                f"expected identifier, found {token.value!r}", self._position
+            )
+        self._advance()
+        return token.value
+
+    # -- statements ----------------------------------------------------------
+    def parse_statement(self) -> QueryNode:
+        query = self._parse_query_expression()
+        self._accept_punct(";")
+        token = self._peek()
+        if token.type is not TokenType.EOF:
+            raise ParseError(f"trailing input {token.value!r}", self._position)
+        return query
+
+    def _parse_query_expression(self) -> QueryNode:
+        node: QueryNode = self._parse_select_core()
+        while True:
+            operator = self._accept_set_operator()
+            if operator is None:
+                break
+            right = self._parse_select_core()
+            node = SetOperation(operator, node, right)
+        # ORDER BY / LIMIT bind to the whole compound.
+        order_by = self._parse_order_by()
+        limit, offset = self._parse_limit_offset()
+        if order_by or limit is not None or offset is not None:
+            node.order_by = order_by
+            node.limit = limit
+            node.offset = offset
+        return node
+
+    def _accept_set_operator(self) -> Optional[SetOperator]:
+        if self._accept_keyword("union"):
+            if self._accept_keyword("all"):
+                return SetOperator.UNION_ALL
+            return SetOperator.UNION
+        if self._accept_keyword("intersect"):
+            return SetOperator.INTERSECT
+        if self._accept_keyword("except"):
+            return SetOperator.EXCEPT
+        return None
+
+    def _parse_select_core(self) -> SelectQuery:
+        # Allow a parenthesized select core in compound position.
+        if self._peek().type is TokenType.PUNCTUATION and self._peek().value == "(":
+            if self._peek(1).is_keyword("select"):
+                self._advance()
+                inner = self._parse_query_expression()
+                self._expect_punct(")")
+                if isinstance(inner, SelectQuery):
+                    return inner
+                raise ParseError("parenthesized compound queries are not supported here")
+        self._expect_keyword("select")
+        distinct = self._accept_keyword("distinct")
+        if distinct is False:
+            self._accept_keyword("all")
+        projections = [self._parse_select_item()]
+        while self._accept_punct(","):
+            projections.append(self._parse_select_item())
+        query = SelectQuery(projections=projections, distinct=distinct)
+        if self._accept_keyword("from"):
+            query.from_table = self._parse_table_ref()
+            query.joins = self._parse_joins()
+        if self._accept_keyword("where"):
+            query.where = self._parse_expression()
+        if self._accept_keyword("group"):
+            self._expect_keyword("by")
+            query.group_by = [self._parse_expression()]
+            while self._accept_punct(","):
+                query.group_by.append(self._parse_expression())
+        if self._accept_keyword("having"):
+            query.having = self._parse_expression()
+        return query
+
+    def _parse_select_item(self) -> SelectItem:
+        token = self._peek()
+        if token.type is TokenType.OPERATOR and token.value == "*":
+            self._advance()
+            return SelectItem(Star())
+        expr = self._parse_expression()
+        alias = None
+        if self._accept_keyword("as"):
+            alias = self._expect_identifier()
+        elif self._peek().type is TokenType.IDENTIFIER:
+            alias = self._expect_identifier()
+        return SelectItem(expr, alias)
+
+    def _parse_table_ref(self) -> TableRef:
+        name = self._expect_identifier()
+        alias = None
+        if self._accept_keyword("as"):
+            alias = self._expect_identifier()
+        elif self._peek().type is TokenType.IDENTIFIER:
+            alias = self._expect_identifier()
+        return TableRef(name, alias)
+
+    def _parse_joins(self) -> List[Join]:
+        joins: List[Join] = []
+        while True:
+            kind = self._accept_join_kind()
+            if kind is None:
+                break
+            table = self._parse_table_ref()
+            condition = None
+            if kind is not JoinKind.CROSS:
+                self._expect_keyword("on")
+                condition = self._parse_expression()
+            joins.append(Join(kind, table, condition))
+        return joins
+
+    def _accept_join_kind(self) -> Optional[JoinKind]:
+        if self._accept_keyword("cross"):
+            self._expect_keyword("join")
+            return JoinKind.CROSS
+        if self._accept_keyword("inner"):
+            self._expect_keyword("join")
+            return JoinKind.INNER
+        if self._accept_keyword("left"):
+            self._accept_keyword("outer")
+            self._expect_keyword("join")
+            return JoinKind.LEFT
+        if self._accept_keyword("join"):
+            return JoinKind.INNER
+        return None
+
+    def _parse_order_by(self) -> List[OrderItem]:
+        if not self._accept_keyword("order"):
+            return []
+        self._expect_keyword("by")
+        items = [self._parse_order_item()]
+        while self._accept_punct(","):
+            items.append(self._parse_order_item())
+        return items
+
+    def _parse_order_item(self) -> OrderItem:
+        expr = self._parse_expression()
+        descending = False
+        if self._accept_keyword("desc"):
+            descending = True
+        else:
+            self._accept_keyword("asc")
+        return OrderItem(expr, descending)
+
+    def _parse_limit_offset(self) -> tuple:
+        limit = offset = None
+        if self._accept_keyword("limit"):
+            limit = self._parse_integer("LIMIT")
+        if self._accept_keyword("offset"):
+            offset = self._parse_integer("OFFSET")
+        return limit, offset
+
+    def _parse_integer(self, clause: str) -> int:
+        token = self._peek()
+        if token.type is not TokenType.NUMBER or "." in token.value:
+            raise ParseError(f"{clause} expects an integer", self._position)
+        self._advance()
+        return int(token.value)
+
+    # -- expressions ---------------------------------------------------------
+    def _parse_expression(self) -> Expression:
+        return self._parse_or()
+
+    def _parse_or(self) -> Expression:
+        terms = [self._parse_and()]
+        while self._accept_keyword("or"):
+            terms.append(self._parse_and())
+        if len(terms) == 1:
+            return terms[0]
+        return Conjunction("OR", tuple(terms))
+
+    def _parse_and(self) -> Expression:
+        terms = [self._parse_not()]
+        while self._accept_keyword("and"):
+            terms.append(self._parse_not())
+        if len(terms) == 1:
+            return terms[0]
+        return Conjunction("AND", tuple(terms))
+
+    def _parse_not(self) -> Expression:
+        if self._accept_keyword("not"):
+            return UnaryOp("NOT", self._parse_not())
+        return self._parse_predicate()
+
+    def _parse_predicate(self) -> Expression:
+        left = self._parse_additive()
+        token = self._peek()
+        if token.type is TokenType.OPERATOR and token.value in _COMPARISON_OPS:
+            self._advance()
+            right = self._parse_additive()
+            op = "<>" if token.value == "!=" else token.value
+            return BinaryOp(op, left, right)
+        negated = False
+        if self._check_keyword("not") and self._peek(1).is_keyword(
+            "like", "ilike", "between", "in"
+        ):
+            self._advance()
+            negated = True
+        if self._accept_keyword("like"):
+            return LikeOp(left, self._parse_additive(), False, negated)
+        if self._accept_keyword("ilike"):
+            return LikeOp(left, self._parse_additive(), True, negated)
+        if self._accept_keyword("between"):
+            low = self._parse_additive()
+            self._expect_keyword("and")
+            high = self._parse_additive()
+            return BetweenOp(left, low, high, negated)
+        if self._accept_keyword("in"):
+            return self._parse_in_tail(left, negated)
+        if self._accept_keyword("is"):
+            is_negated = self._accept_keyword("not")
+            self._expect_keyword("null")
+            return IsNullOp(left, is_negated)
+        return left
+
+    def _parse_in_tail(self, left: Expression, negated: bool) -> Expression:
+        self._expect_punct("(")
+        if self._check_keyword("select"):
+            subquery = self._parse_query_expression()
+            self._expect_punct(")")
+            return InOp(left, subquery=subquery, negated=negated)
+        options = [self._parse_expression()]
+        while self._accept_punct(","):
+            options.append(self._parse_expression())
+        self._expect_punct(")")
+        return InOp(left, options=tuple(options), negated=negated)
+
+    def _parse_additive(self) -> Expression:
+        left = self._parse_multiplicative()
+        while True:
+            token = self._peek()
+            if token.type is TokenType.OPERATOR and token.value in ("+", "-", "||"):
+                self._advance()
+                left = BinaryOp(token.value, left, self._parse_multiplicative())
+            else:
+                return left
+
+    def _parse_multiplicative(self) -> Expression:
+        left = self._parse_unary()
+        while True:
+            token = self._peek()
+            if token.type is TokenType.OPERATOR and token.value in ("*", "/", "%"):
+                self._advance()
+                left = BinaryOp(token.value, left, self._parse_unary())
+            else:
+                return left
+
+    def _parse_unary(self) -> Expression:
+        token = self._peek()
+        if token.type is TokenType.OPERATOR and token.value == "-":
+            self._advance()
+            return UnaryOp("-", self._parse_unary())
+        return self._parse_primary()
+
+    def _parse_primary(self) -> Expression:
+        token = self._peek()
+        if token.type is TokenType.NUMBER:
+            self._advance()
+            value = float(token.value) if "." in token.value else int(token.value)
+            return Literal(value)
+        if token.type is TokenType.STRING:
+            self._advance()
+            return Literal(token.value)
+        if token.is_keyword("null"):
+            self._advance()
+            return Literal(None)
+        if token.is_keyword("true"):
+            self._advance()
+            return Literal(True)
+        if token.is_keyword("false"):
+            self._advance()
+            return Literal(False)
+        if token.is_keyword("case"):
+            return self._parse_case()
+        if token.is_keyword("cast"):
+            return self._parse_cast()
+        if token.is_keyword("exists"):
+            self._advance()
+            self._expect_punct("(")
+            subquery = self._parse_query_expression()
+            self._expect_punct(")")
+            return ExistsOp(subquery)
+        if token.type is TokenType.PUNCTUATION and token.value == "(":
+            if self._peek(1).is_keyword("select"):
+                self._advance()
+                subquery = self._parse_query_expression()
+                self._expect_punct(")")
+                return ScalarSubquery(subquery)
+            self._advance()
+            expr = self._parse_expression()
+            self._expect_punct(")")
+            return expr
+        if token.type is TokenType.IDENTIFIER:
+            return self._parse_identifier_expression()
+        raise ParseError(f"unexpected token {token.value!r}", self._position)
+
+    def _parse_identifier_expression(self) -> Expression:
+        name = self._expect_identifier()
+        # Function call?
+        if self._peek().type is TokenType.PUNCTUATION and self._peek().value == "(":
+            self._advance()
+            return self._parse_function_tail(name)
+        # Qualified reference: alias.column or alias.*
+        if self._accept_punct("."):
+            token = self._peek()
+            if token.type is TokenType.OPERATOR and token.value == "*":
+                self._advance()
+                return Star(table=name)
+            column = self._expect_identifier()
+            return ColumnRef(column, table=name)
+        return ColumnRef(name)
+
+    def _parse_function_tail(self, name: str) -> Expression:
+        distinct = self._accept_keyword("distinct")
+        token = self._peek()
+        args: List[Expression] = []
+        if token.type is TokenType.OPERATOR and token.value == "*":
+            self._advance()
+            args.append(Star())
+        elif not (token.type is TokenType.PUNCTUATION and token.value == ")"):
+            args.append(self._parse_expression())
+            while self._accept_punct(","):
+                args.append(self._parse_expression())
+        self._expect_punct(")")
+        return FunctionCall(name.lower(), tuple(args), distinct)
+
+    def _parse_case(self) -> Expression:
+        self._expect_keyword("case")
+        whens = []
+        while self._accept_keyword("when"):
+            condition = self._parse_expression()
+            self._expect_keyword("then")
+            result = self._parse_expression()
+            whens.append((condition, result))
+        if not whens:
+            raise ParseError("CASE requires at least one WHEN", self._position)
+        default = None
+        if self._accept_keyword("else"):
+            default = self._parse_expression()
+        self._expect_keyword("end")
+        return CaseExpr(tuple(whens), default)
+
+    def _parse_cast(self) -> Expression:
+        self._expect_keyword("cast")
+        self._expect_punct("(")
+        expr = self._parse_expression()
+        self._expect_keyword("as")
+        type_name = self._expect_identifier()
+        self._expect_punct(")")
+        return FunctionCall("cast", (expr, Literal(type_name.lower())))

@@ -1,0 +1,121 @@
+"""Row storage with primary-key and foreign-key enforcement.
+
+Rows are plain tuples in table-column order.  The store maintains
+per-column value sets lazily so that foreign-key checks during the bulk
+FootballDB load stay O(1) per row.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .catalog import Schema, Table
+from .errors import CatalogError, ConstraintError
+from .values import coerce
+
+
+class TableData:
+    """The rows of one table."""
+
+    def __init__(self, table: Table) -> None:
+        self.table = table
+        self.rows: List[tuple] = []
+        self._pk_positions = [
+            table.column_position(name) for name in table.primary_key_columns
+        ]
+        self._pk_seen: Set[tuple] = set()
+        # column position -> set of values, built on demand
+        self._value_sets: Dict[int, Set[Any]] = {}
+
+    def insert(self, row: Sequence[Any]) -> tuple:
+        if len(row) != len(self.table.columns):
+            raise ConstraintError(
+                f"table {self.table.name!r} expects {len(self.table.columns)} "
+                f"values, got {len(row)}"
+            )
+        typed = tuple(
+            coerce(value, column.sql_type)
+            for value, column in zip(row, self.table.columns)
+        )
+        if self._pk_positions:
+            key = tuple(typed[position] for position in self._pk_positions)
+            if any(part is None for part in key):
+                raise ConstraintError(
+                    f"NULL in primary key of table {self.table.name!r}"
+                )
+            if key in self._pk_seen:
+                raise ConstraintError(
+                    f"duplicate primary key {key!r} in table {self.table.name!r}"
+                )
+            self._pk_seen.add(key)
+        self.rows.append(typed)
+        for position, values in self._value_sets.items():
+            values.add(typed[position])
+        return typed
+
+    def column_values(self, column: str) -> Set[Any]:
+        """The set of values present in ``column`` (cached)."""
+        position = self.table.column_position(column)
+        if position not in self._value_sets:
+            self._value_sets[position] = {row[position] for row in self.rows}
+        return self._value_sets[position]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+class Storage:
+    """All table data for one schema instance."""
+
+    def __init__(self, schema: Schema, enforce_foreign_keys: bool = True) -> None:
+        self.schema = schema
+        self.enforce_foreign_keys = enforce_foreign_keys
+        self._tables: Dict[str, TableData] = {
+            table.name.lower(): TableData(table) for table in schema.tables
+        }
+        # FK lookup: source table -> list of (source position, target data, target column)
+        self._fk_checks: Dict[str, List[tuple]] = {}
+        for fk in schema.foreign_keys:
+            source = schema.table(fk.table)
+            entry = (
+                source.column_position(fk.column),
+                fk.ref_table.lower(),
+                fk.ref_column,
+            )
+            self._fk_checks.setdefault(fk.table.lower(), []).append(entry)
+
+    def data(self, table_name: str) -> TableData:
+        try:
+            return self._tables[table_name.lower()]
+        except KeyError:
+            raise CatalogError(f"no table named {table_name!r}") from None
+
+    def insert(self, table_name: str, row: Sequence[Any]) -> tuple:
+        data = self.data(table_name)
+        typed = data.insert(row)
+        if self.enforce_foreign_keys:
+            for position, ref_table, ref_column in self._fk_checks.get(
+                table_name.lower(), ()
+            ):
+                value = typed[position]
+                if value is None:
+                    continue
+                if value not in self._tables[ref_table].column_values(ref_column):
+                    data.rows.pop()
+                    raise ConstraintError(
+                        f"FK violation: {table_name}.{data.table.columns[position].name}"
+                        f"={value!r} not present in {ref_table}.{ref_column}"
+                    )
+        return typed
+
+    def insert_many(self, table_name: str, rows: Iterable[Sequence[Any]]) -> int:
+        count = 0
+        for row in rows:
+            self.insert(table_name, row)
+            count += 1
+        return count
+
+    def row_count(self, table_name: Optional[str] = None) -> int:
+        if table_name is not None:
+            return len(self.data(table_name))
+        return sum(len(data) for data in self._tables.values())

@@ -1,0 +1,144 @@
+"""SQL lexer.
+
+Produces a flat list of :class:`Token` objects.  The tokenizer is shared
+by the engine parser, the Spider-style analysis parser and the PICARD
+incremental checker, so all three agree on what a "token" is — exactly
+the property the original PICARD relies on.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from .errors import TokenizeError
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "keyword"
+    IDENTIFIER = "identifier"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    PUNCTUATION = "punctuation"
+    EOF = "eof"
+
+
+KEYWORDS = frozenset(
+    """
+    select distinct from join inner left right full outer cross on where
+    and or not in like ilike between is null group by having order asc
+    desc limit offset union intersect except all as case when then else
+    end exists true false cast
+    """.split()
+)
+
+_OPERATORS = ("<>", "!=", "<=", ">=", "||", "=", "<", ">", "+", "-", "*", "/", "%")
+_PUNCTUATION = "(),.;"
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    value: str
+    position: int
+
+    @property
+    def upper(self) -> str:
+        return self.value.upper()
+
+    @property
+    def lower(self) -> str:
+        return self.value.lower()
+
+    def is_keyword(self, *names: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.lower in names
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Token({self.type.name}, {self.value!r})"
+
+
+def tokenize(sql: str) -> List[Token]:
+    """Tokenize ``sql``, raising :class:`TokenizeError` on junk input."""
+    return list(_tokens(sql))
+
+
+def _tokens(sql: str) -> Iterator[Token]:
+    index = 0
+    length = len(sql)
+    while index < length:
+        char = sql[index]
+        if char.isspace():
+            index += 1
+            continue
+        if char == "-" and sql.startswith("--", index):
+            newline = sql.find("\n", index)
+            index = length if newline < 0 else newline + 1
+            continue
+        if char == "'":
+            value, index = _string_literal(sql, index)
+            yield Token(TokenType.STRING, value, index)
+            continue
+        if char == '"':
+            end = sql.find('"', index + 1)
+            if end < 0:
+                raise TokenizeError("unterminated quoted identifier", index)
+            yield Token(TokenType.IDENTIFIER, sql[index + 1 : end], index)
+            index = end + 1
+            continue
+        if char.isdigit() or (
+            char == "." and index + 1 < length and sql[index + 1].isdigit()
+        ):
+            start = index
+            seen_dot = False
+            while index < length and (sql[index].isdigit() or (sql[index] == "." and not seen_dot)):
+                if sql[index] == ".":
+                    # '1.' followed by a non-digit is "1" then punctuation.
+                    if index + 1 >= length or not sql[index + 1].isdigit():
+                        break
+                    seen_dot = True
+                index += 1
+            yield Token(TokenType.NUMBER, sql[start:index], start)
+            continue
+        if char.isalpha() or char == "_":
+            start = index
+            while index < length and (sql[index].isalnum() or sql[index] == "_"):
+                index += 1
+            word = sql[start:index]
+            token_type = (
+                TokenType.KEYWORD if word.lower() in KEYWORDS else TokenType.IDENTIFIER
+            )
+            yield Token(token_type, word, start)
+            continue
+        matched_operator = next(
+            (operator for operator in _OPERATORS if sql.startswith(operator, index)),
+            None,
+        )
+        if matched_operator is not None:
+            yield Token(TokenType.OPERATOR, matched_operator, index)
+            index += len(matched_operator)
+            continue
+        if char in _PUNCTUATION:
+            yield Token(TokenType.PUNCTUATION, char, index)
+            index += 1
+            continue
+        raise TokenizeError(f"unexpected character {char!r}", index)
+    yield Token(TokenType.EOF, "", length)
+
+
+def _string_literal(sql: str, start: int) -> tuple[str, int]:
+    """Consume a ``'...'`` literal with ``''`` escaping."""
+    index = start + 1
+    pieces: List[str] = []
+    while index < len(sql):
+        char = sql[index]
+        if char == "'":
+            if sql.startswith("''", index):
+                pieces.append("'")
+                index += 2
+                continue
+            return "".join(pieces), index + 1
+        pieces.append(char)
+        index += 1
+    raise TokenizeError("unterminated string literal", start)

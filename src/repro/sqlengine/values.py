@@ -1,0 +1,200 @@
+"""SQL value domain: types, NULL semantics and coercion rules.
+
+The engine stores plain Python objects (``int``, ``float``, ``str``,
+``bool`` and ``None``) and implements SQL's three-valued logic on top of
+them.  ``None`` plays the role of SQL ``NULL`` throughout: comparisons
+involving ``NULL`` yield ``UNKNOWN`` (also represented as ``None`` at the
+boolean level), and aggregate functions skip ``NULL`` inputs.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Iterable, Optional
+
+from .errors import TypeMismatchError
+
+
+class SqlType(enum.Enum):
+    """Column types supported by the engine catalog."""
+
+    INTEGER = "integer"
+    REAL = "real"
+    TEXT = "text"
+    BOOLEAN = "boolean"
+
+    @property
+    def python_types(self) -> tuple[type, ...]:
+        return _PYTHON_TYPES[self]
+
+
+_PYTHON_TYPES = {
+    SqlType.INTEGER: (int,),
+    SqlType.REAL: (float, int),
+    SqlType.TEXT: (str,),
+    SqlType.BOOLEAN: (bool,),
+}
+
+
+def coerce(value: Any, sql_type: SqlType) -> Any:
+    """Coerce ``value`` into ``sql_type``, raising on impossible coercions.
+
+    ``None`` (SQL NULL) passes through untouched.  Numeric strings are
+    *not* silently converted — loose coercion hides data bugs, and the
+    FootballDB loaders always insert properly typed rows.
+    """
+    if value is None:
+        return None
+    if sql_type is SqlType.BOOLEAN:
+        if isinstance(value, bool):
+            return value
+        if isinstance(value, str) and value.lower() in ("true", "false"):
+            return value.lower() == "true"
+        raise TypeMismatchError(f"cannot store {value!r} in BOOLEAN column")
+    if sql_type is SqlType.INTEGER:
+        if isinstance(value, bool):
+            raise TypeMismatchError("cannot store boolean in INTEGER column")
+        if isinstance(value, int):
+            return value
+        if isinstance(value, float) and value.is_integer():
+            return int(value)
+        raise TypeMismatchError(f"cannot store {value!r} in INTEGER column")
+    if sql_type is SqlType.REAL:
+        if isinstance(value, bool):
+            raise TypeMismatchError("cannot store boolean in REAL column")
+        if isinstance(value, (int, float)):
+            return float(value)
+        raise TypeMismatchError(f"cannot store {value!r} in REAL column")
+    if sql_type is SqlType.TEXT:
+        if isinstance(value, str):
+            return value
+        raise TypeMismatchError(f"cannot store {value!r} in TEXT column")
+    raise TypeMismatchError(f"unknown SQL type {sql_type!r}")
+
+
+def is_null(value: Any) -> bool:
+    return value is None
+
+
+def sql_equal(left: Any, right: Any) -> Optional[bool]:
+    """SQL ``=``: NULL operands produce UNKNOWN (``None``)."""
+    if left is None or right is None:
+        return None
+    left, right = _align(left, right)
+    return left == right
+
+
+def sql_compare(left: Any, right: Any) -> Optional[int]:
+    """Three-way comparison used by ``<``/``>``/``ORDER BY``.
+
+    Returns ``None`` for UNKNOWN, otherwise -1/0/1.
+    """
+    if left is None or right is None:
+        return None
+    left, right = _align(left, right)
+    try:
+        if left < right:
+            return -1
+        if left > right:
+            return 1
+        return 0
+    except TypeError as exc:  # e.g. str < int
+        raise TypeMismatchError(
+            f"cannot compare {type(left).__name__} with {type(right).__name__}"
+        ) from exc
+
+
+def _align(left: Any, right: Any) -> tuple[Any, Any]:
+    """Align operand types for comparison.
+
+    Numeric values compare cross-type (``1 = 1.0``).  Booleans compare
+    with the text literals ``'True'``/``'False'`` because data model v3
+    stores its ``winner``/``runner_up`` flags as booleans while user
+    queries (and the paper's Listing 1) write ``T1.winner = 'True'``.
+    Numbers and numeric-looking strings also align — gold SQL written by
+    annotators frequently quotes years (``year = '2014'``).
+    """
+    if isinstance(left, bool) and isinstance(right, str):
+        return ("true" if left else "false"), right.strip().lower()
+    if isinstance(right, bool) and isinstance(left, str):
+        aligned_right, aligned_left = _align(right, left)
+        return aligned_left, aligned_right
+    if isinstance(left, str) and isinstance(right, (int, float)) and not isinstance(right, bool):
+        converted = _try_number(left)
+        if converted is not None:
+            return converted, right
+    if isinstance(right, str) and isinstance(left, (int, float)) and not isinstance(left, bool):
+        converted = _try_number(right)
+        if converted is not None:
+            return left, converted
+    return left, right
+
+
+def _try_number(text: str) -> Optional[float]:
+    try:
+        value = float(text)
+    except ValueError:
+        return None
+    return value
+
+
+def sql_and(left: Optional[bool], right: Optional[bool]) -> Optional[bool]:
+    """Three-valued AND."""
+    if left is False or right is False:
+        return False
+    if left is None or right is None:
+        return None
+    return True
+
+
+def sql_or(left: Optional[bool], right: Optional[bool]) -> Optional[bool]:
+    """Three-valued OR."""
+    if left is True or right is True:
+        return True
+    if left is None or right is None:
+        return None
+    return False
+
+
+def sql_not(value: Optional[bool]) -> Optional[bool]:
+    if value is None:
+        return None
+    return not value
+
+
+_SORT_RANK = {type(None): 0, bool: 1, int: 2, float: 2, str: 3}
+
+
+def sort_key(value: Any) -> tuple[int, Any]:
+    """Total-order key so heterogeneous result columns can be sorted.
+
+    NULLs sort first (matching PostgreSQL's ``NULLS FIRST`` for ASC with
+    the engine's deterministic tie-breaking needs), then booleans,
+    numbers and text.
+    """
+    rank = _SORT_RANK.get(type(value), 4)
+    if value is None:
+        return (rank, 0)
+    if isinstance(value, bool):
+        return (rank, int(value))
+    return (rank, value)
+
+
+def row_sort_key(row: Iterable[Any]) -> tuple:
+    return tuple(sort_key(value) for value in row)
+
+
+def normalize_for_comparison(value: Any) -> Any:
+    """Canonicalize a cell for result-set comparison (the EX metric).
+
+    Integral floats become ints so ``AVG`` vs ``SUM/COUNT`` round trips
+    compare equal, and booleans normalize to their text form because the
+    three data models disagree on the storage type of flags.
+    """
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        if value.is_integer():
+            return int(value)
+        return round(value, 6)
+    return value

@@ -1,0 +1,129 @@
+"""The five evaluated Text-to-SQL systems plus their shared machinery.
+
+System inventory (paper Table 4):
+
+========================  ======  =========  ===========================
+System                    scale   params     distinguishing machinery
+========================  ======  =========  ===========================
+:class:`ValueNet`         small   148M       SemQL IR, value finder,
+                                             Spider-parser preprocessing
+:class:`T5Picard`         medium  3B         PICARD constrained decoding,
+                                             schema *without* PK/FK
+:class:`T5PicardKeys`     medium  3B         PICARD + PK/FK serialization
+:class:`GPT35`            large   175B       few-shot prompts, 16K window
+:class:`Llama2`           large   70B        few-shot prompts, 4K window
+========================  ======  =========  ===========================
+"""
+
+from .base import (
+    FAILURE_INVALID_SQL,
+    FAILURE_IR_UNSUPPORTED,
+    FAILURE_JOIN_PATH,
+    FAILURE_NO_CANDIDATE,
+    FAILURE_PREPROCESSING,
+    GoldOracle,
+    Prediction,
+    SystemSpec,
+    TextToSQLSystem,
+    TrainPair,
+    deterministic_uniform,
+    question_hash,
+)
+from .competence import (
+    CompetenceFeatures,
+    CompetenceProfile,
+    build_features,
+    fuzzy_grounding_fraction,
+    grounding_fraction,
+)
+from .corruption import corrupt
+from .joinpath import (
+    AmbiguousEdgeError,
+    JoinEdge,
+    JoinPathError,
+    NoPathError,
+    SchemaGraph,
+)
+from .linking import SchemaLink, link_schema, linked_tables
+from .llm import GPT35, Llama2
+from .picard import IncrementalParser, constrained_decode, is_valid_sql, validate_sql
+from .prompting import Prompt, PromptBuilder, estimate_tokens, serialize_schema
+from .semql import (
+    SemqlQuery,
+    SemqlUnsupportedError,
+    decode_semql,
+    encode_sql,
+)
+from .natsql import NatSqlQuery, decode_natsql, encode_natsql, natsql_round_trip
+from .seq2seq import RetrievalIndex, transfer_sketch
+from .t5picard import T5Picard, T5PicardKeys
+from .valuenet_natsql import ValueNetNatSQL
+from .timing import LatencyModel, output_token_estimate
+from .valuefinder import ValueCandidate, ValueFinder
+from .valuenet import ValueNet
+
+#: construction order used throughout the evaluation harness
+ALL_SYSTEMS = (ValueNet, T5Picard, T5PicardKeys, GPT35, Llama2)
+
+FINE_TUNED_SYSTEMS = (ValueNet, T5Picard, T5PicardKeys)
+LLM_SYSTEMS = (GPT35, Llama2)
+
+__all__ = [
+    "ALL_SYSTEMS",
+    "AmbiguousEdgeError",
+    "CompetenceFeatures",
+    "CompetenceProfile",
+    "FAILURE_INVALID_SQL",
+    "FAILURE_IR_UNSUPPORTED",
+    "FAILURE_JOIN_PATH",
+    "FAILURE_NO_CANDIDATE",
+    "FAILURE_PREPROCESSING",
+    "FINE_TUNED_SYSTEMS",
+    "GPT35",
+    "GoldOracle",
+    "IncrementalParser",
+    "JoinEdge",
+    "JoinPathError",
+    "LLM_SYSTEMS",
+    "LatencyModel",
+    "Llama2",
+    "NatSqlQuery",
+    "NoPathError",
+    "Prediction",
+    "Prompt",
+    "PromptBuilder",
+    "RetrievalIndex",
+    "SchemaGraph",
+    "SchemaLink",
+    "SemqlQuery",
+    "SemqlUnsupportedError",
+    "SystemSpec",
+    "T5Picard",
+    "T5PicardKeys",
+    "TextToSQLSystem",
+    "TrainPair",
+    "ValueCandidate",
+    "ValueFinder",
+    "ValueNet",
+    "ValueNetNatSQL",
+    "build_features",
+    "constrained_decode",
+    "corrupt",
+    "decode_natsql",
+    "decode_semql",
+    "deterministic_uniform",
+    "encode_natsql",
+    "encode_sql",
+    "estimate_tokens",
+    "fuzzy_grounding_fraction",
+    "grounding_fraction",
+    "is_valid_sql",
+    "link_schema",
+    "linked_tables",
+    "natsql_round_trip",
+    "output_token_estimate",
+    "question_hash",
+    "serialize_schema",
+    "transfer_sketch",
+    "validate_sql",
+]

@@ -1,0 +1,170 @@
+"""Text-to-SQL system interface and metadata (paper Table 4).
+
+Every evaluated system implements :class:`TextToSQLSystem`:
+
+* ``fine_tune(pairs)`` — consume (question, SQL) training pairs (for
+  LLM systems this sets the few-shot example pool instead);
+* ``predict(question)`` — produce a :class:`Prediction`.
+
+The *simulation seam* (DESIGN.md §5): systems own a
+:class:`GoldOracle` mapping benchmark questions to the SQL a fully
+competent language model would decode.  A calibrated competence model
+decides per question whether the simulated LM core reaches that decode;
+pre-/post-processing around the core is real code and can veto, repair
+or distort the result — which is where the paper's data-model effects
+come from.  For questions outside the oracle (true deployment input),
+systems fall back to pure retrieval + value adaptation.
+"""
+
+from __future__ import annotations
+
+import abc
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.sqlengine import Database
+
+
+@dataclass(frozen=True)
+class SystemSpec:
+    """One column of the paper's Table 4."""
+
+    name: str
+    scale: str  # 'small' | 'medium' | 'large'
+    parameters: str  # e.g. '148M', '3B', '175B'
+    uses_db_schema: bool
+    uses_foreign_keys: bool
+    uses_db_content: bool
+    output_space: str  # 'IR' | 'SQL'
+    query_normalization: str  # 'SQL-Parser' | 'String Normalization'
+    value_finder: bool
+    uses_intermediate_representation: bool
+    post_processing: str  # 'IR to SQL' | 'Picard' | 'N/A'
+    hardware: str  # Table 7: 'v100', 'A100', '-' (cloud)
+    gpu_count: int
+
+    def table4_row(self) -> Dict[str, str]:
+        return {
+            "Scale (#Params)": f"{self.scale} ({self.parameters})",
+            "DB Schema w/ FK": (
+                ("Yes (with)" if self.uses_foreign_keys else "Yes (without)")
+                if self.uses_db_schema
+                else "No"
+            ),
+            "DB Content": "Yes" if self.uses_db_content else "No",
+            "Output Specification": self.output_space,
+            "Query Normalization": self.query_normalization,
+            "Value Finder": "Yes" if self.value_finder else "No",
+            "Conversion to IR": "Yes" if self.uses_intermediate_representation else "No",
+            "Post-processing": self.post_processing,
+        }
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """Output of one Text-to-SQL call."""
+
+    sql: Optional[str]
+    failure: Optional[str] = None  # machine-readable reason when sql is None
+    latency_seconds: float = 0.0
+    notes: Tuple[str, ...] = ()  # pipeline trace (debugging/ablation)
+
+    @property
+    def produced_sql(self) -> bool:
+        return self.sql is not None
+
+
+# failure reason codes
+FAILURE_PREPROCESSING = "preprocessing_rejected"
+FAILURE_IR_UNSUPPORTED = "ir_unsupported"
+FAILURE_JOIN_PATH = "join_path_ambiguous"
+FAILURE_NO_CANDIDATE = "no_candidate"
+FAILURE_INVALID_SQL = "invalid_sql"
+
+
+TrainPair = Tuple[str, str]  # (question, gold SQL in this system's data model)
+
+
+class GoldOracle:
+    """question -> the SQL a fully competent LM would decode.
+
+    This is the declared simulation stand-in for the neural decoder; it
+    is *not* consulted for correctness directly — the competence model
+    gates access, and the surrounding pipeline may still break or bend
+    the decode.
+    """
+
+    def __init__(self, lookup: Optional[Dict[str, str]] = None) -> None:
+        self._lookup = dict(lookup or {})
+
+    def get(self, question: str) -> Optional[str]:
+        return self._lookup.get(question)
+
+    def __len__(self) -> int:
+        return len(self._lookup)
+
+
+def question_hash(question: str) -> int:
+    digest = hashlib.blake2s(question.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "little")
+
+
+def deterministic_uniform(*parts: object) -> float:
+    """A uniform [0,1) draw fully determined by its identifiers.
+
+    The same (system, question, fold) triple always maps to the same
+    draw, so accuracy curves are monotone in the competence probability
+    (larger train sets can only flip questions from wrong to right).
+    """
+    key = "|".join(str(part) for part in parts).encode("utf-8")
+    digest = hashlib.blake2s(key, digest_size=8).digest()
+    return int.from_bytes(digest, "little") / 2**64
+
+
+class TextToSQLSystem(abc.ABC):
+    """Base class for the five evaluated systems."""
+
+    spec: SystemSpec
+
+    def __init__(
+        self,
+        database: Database,
+        oracle: Optional[GoldOracle] = None,
+        fold: int = 0,
+    ) -> None:
+        self.database = database
+        self.schema = database.schema
+        self.oracle = oracle or GoldOracle()
+        self.fold = fold
+        self._train_pairs: List[TrainPair] = []
+
+    # -- training -----------------------------------------------------------
+    def fine_tune(self, pairs: Sequence[TrainPair]) -> None:
+        """Consume training pairs (few-shot pool for LLM systems)."""
+        self._train_pairs = list(pairs)
+        self._after_fine_tune()
+
+    def _after_fine_tune(self) -> None:
+        """Hook for subclasses (index building, prompt assembly, …)."""
+
+    @property
+    def train_size(self) -> int:
+        return len(self._train_pairs)
+
+    # -- prediction -----------------------------------------------------------
+    @abc.abstractmethod
+    def predict(self, question: str) -> Prediction:
+        """Translate ``question`` into SQL for this system's database."""
+
+    # -- shared helpers -----------------------------------------------------------
+    def _draw(self, question: str, *extra: object) -> float:
+        return deterministic_uniform(
+            self.spec.name, question_hash(question), self.fold, *extra
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"{type(self).__name__}(train={self.train_size}, "
+            f"model={self.schema.version})"
+        )

@@ -1,0 +1,380 @@
+"""Mechanistic SQL corruption operators.
+
+When the competence model decides the simulated LM core fails, the
+failure must still look like something a seq2seq decoder produces:
+an *executable but wrong* query (the dominant error class in the
+paper's analysis — wrong joins, missing filters, wrong values, wrong
+aggregations) or occasionally invalid SQL (which PICARD systems then
+filter out of the beam).
+
+Every operator takes the gold AST and returns a deterministic variant;
+:func:`corrupt` picks operators with a seeded RNG, validates the result
+against the schema, and returns a *beam* of candidates ordered by
+plausibility.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.sqlengine import (
+    BinaryOp,
+    ColumnRef,
+    Conjunction,
+    Expression,
+    FunctionCall,
+    LikeOp,
+    Literal,
+    QueryNode,
+    Schema,
+    SelectQuery,
+    SetOperation,
+    Star,
+    format_query,
+    parse_sql,
+)
+
+from .picard import is_valid_sql
+
+#: FIFA World Cup years — wrong-year corruption stays in-domain
+_CUP_YEARS = [1930, 1934, 1938] + list(range(1950, 2023, 4))
+
+#: column swaps a confused decoder plausibly makes, per data model family
+_JOIN_CONFUSIONS = {
+    "home_team_id": "away_team_id",
+    "away_team_id": "home_team_id",
+    "team_id": "opponent_team_id",
+    "opponent_team_id": "team_id",
+    "winner": "runner_up",
+    "runner_up": "third",
+    "third": "fourth",
+    "fourth": "winner",
+}
+
+_AGG_CONFUSIONS = {"count": "sum", "sum": "count", "avg": "sum", "min": "max", "max": "min"}
+
+
+def corrupt(
+    gold_sql: str,
+    schema: Schema,
+    seed: int,
+    beam_width: int = 4,
+    allow_invalid: bool = False,
+    ir_safe: bool = False,
+) -> List[str]:
+    """A beam of wrong candidate queries derived from ``gold_sql``.
+
+    Candidates are ordered by decoder plausibility; all but optionally
+    the first validate against ``schema``.  The list is never empty and
+    never contains ``gold_sql`` itself (textually).
+
+    ``ir_safe=True`` restricts to corruptions that *survive a SemQL
+    round trip*: IR systems drop and re-derive JOIN conditions from the
+    FK graph, so a corrupted join column would be silently repaired by
+    their own post-processing — only value/filter/aggregation errors
+    can reach their output.
+    """
+    rng = random.Random(seed)
+    # Weighted order: operators whose output reliably *differs* from the
+    # gold result come first (mangled values return empty sets, swapped
+    # join columns change the joined rows); low-impact mutations like a
+    # shifted year on a COUNT query — which can collide numerically —
+    # stay possible but rarer.
+    weighted = [
+        (_truncate_value, 5.0),
+        (_wrong_join_column, 0.0 if ir_safe else 4.0),
+        (_drop_union_branch, 4.0),
+        (_wrong_aggregate, 3.0),
+        (_wrong_projection_column, 2.0),
+        (_drop_filter, 1.5),
+        (_wrong_year, 1.0),
+        (_drop_order_and_limit, 0.8),
+    ]
+    weighted = [(operator, weight) for operator, weight in weighted if weight > 0]
+    operators: List[Callable[[QueryNode, random.Random], Optional[QueryNode]]] = []
+    pool = list(weighted)
+    while pool:
+        total = sum(weight for _, weight in pool)
+        pick = rng.random() * total
+        for index, (operator, weight) in enumerate(pool):
+            pick -= weight
+            if pick <= 0:
+                operators.append(operator)
+                pool.pop(index)
+                break
+    candidates: List[str] = []
+    if allow_invalid and rng.random() < 0.25:
+        candidates.append(_invalid_variant(gold_sql, rng))
+    # The top beam candidate composes *two* mutations: a decoder that
+    # lost the question rarely makes exactly one mistake, and a single
+    # low-impact mutation can coincide with the gold result (EX's known
+    # blind spot).
+    composed = _compose(gold_sql, operators, rng, schema)
+    if composed is not None:
+        candidates.append(composed)
+    for operator in operators:
+        if len(candidates) >= beam_width:
+            break
+        ast = parse_sql(gold_sql)  # fresh tree per operator
+        mutated = operator(ast, rng)
+        if mutated is None:
+            continue
+        sql = format_query(mutated)
+        if sql == gold_sql or sql in candidates:
+            continue
+        if not is_valid_sql(sql, schema):
+            continue
+        candidates.append(sql)
+    if not candidates:
+        # Everything structural failed (e.g. a bare single-column scan):
+        # fall back to an off-by-one LIMIT, which is always applicable.
+        ast = parse_sql(gold_sql)
+        first = _first_core(ast)
+        first.limit = (first.limit or 0) + 1
+        candidates.append(format_query(ast))
+    return candidates[:beam_width]
+
+
+def _compose(gold_sql: str, operators, rng: random.Random, schema: Schema) -> Optional[str]:
+    """Apply the first two applicable operators in sequence."""
+    ast = parse_sql(gold_sql)
+    applied = 0
+    for operator in operators:
+        mutated = operator(ast, rng)
+        if mutated is None:
+            continue
+        ast = mutated
+        applied += 1
+        if applied == 2:
+            break
+    if applied == 0:
+        return None
+    sql = format_query(ast)
+    if sql == gold_sql or not is_valid_sql(sql, schema):
+        return None
+    return sql
+
+
+# -- operators -----------------------------------------------------------------
+
+
+def _first_core(node: QueryNode) -> SelectQuery:
+    while isinstance(node, SetOperation):
+        node = node.left
+    return node
+
+
+def _wrong_year(node: QueryNode, rng: random.Random) -> Optional[QueryNode]:
+    """Shift every year literal to the same neighbouring tournament.
+
+    Consistency matters: shifting only one branch of a UNION would leave
+    the other branch producing the gold rows, making the mutation a
+    semantic no-op.  A decoder that mis-read the year mis-read it for
+    the whole query.
+    """
+    changed = False
+    offset = rng.choice((-1, 1))
+
+    def rewrite(expr: Expression) -> Expression:
+        nonlocal changed
+        if (
+            isinstance(expr, BinaryOp)
+            and isinstance(expr.right, Literal)
+            and isinstance(expr.right.value, int)
+            and expr.right.value in _CUP_YEARS
+        ):
+            index = _CUP_YEARS.index(expr.right.value)
+            shifted = _CUP_YEARS[(index + offset) % len(_CUP_YEARS)]
+            changed = True
+            return BinaryOp(expr.op, expr.left, Literal(shifted))
+        return _rebuild(expr, rewrite)
+
+    result = _rewrite_filters(node, rewrite)
+    return result if changed else None
+
+
+def _drop_filter(node: QueryNode, rng: random.Random) -> Optional[QueryNode]:
+    """Remove one conjunct from the first WHERE conjunction.
+
+    Name (LIKE) predicates are dropped preferentially: removing the
+    entity filter widens the result set and reliably changes it, while
+    dropping a year term on an already-unique match is a semantic no-op
+    (the pair may only ever have played once).
+    """
+    for core in node.iter_selects():
+        if isinstance(core.where, Conjunction) and core.where.op == "AND":
+            terms = list(core.where.terms)
+            like_positions = [
+                index for index, term in enumerate(terms) if isinstance(term, LikeOp)
+            ]
+            if like_positions:
+                position = rng.choice(like_positions)
+            else:
+                position = rng.randrange(len(terms))
+            terms.pop(position)
+            core.where = terms[0] if len(terms) == 1 else Conjunction("AND", tuple(terms))
+            return node
+    return None
+
+
+def _wrong_join_column(node: QueryNode, rng: random.Random) -> Optional[QueryNode]:
+    """Swap a join/filter column for its confusable sibling."""
+    changed = False
+
+    def rewrite(expr: Expression) -> Expression:
+        nonlocal changed
+        if (
+            not changed
+            and isinstance(expr, ColumnRef)
+            and expr.column.lower() in _JOIN_CONFUSIONS
+        ):
+            changed = True
+            return ColumnRef(_JOIN_CONFUSIONS[expr.column.lower()], expr.table)
+        return _rebuild(expr, rewrite)
+
+    for core in node.iter_selects():
+        new_joins = []
+        for join in core.joins:
+            if join.condition is not None and not changed:
+                new_condition = rewrite(join.condition)
+                new_joins.append(type(join)(join.kind, join.table, new_condition))
+            else:
+                new_joins.append(join)
+        core.joins = new_joins
+        if not changed and core.where is not None:
+            core.where = rewrite(core.where)
+    return node if changed else None
+
+
+def _drop_union_branch(node: QueryNode, rng: random.Random) -> Optional[QueryNode]:
+    """Keep only the left branch of a set operation (one-sided decode).
+
+    The kept branch additionally gets a value error: a decoder that
+    lost half the union has not produced a clean single branch either,
+    and without this the mutation is a semantic no-op whenever the
+    *dropped* branch happened to select nothing.
+    """
+    if not isinstance(node, SetOperation):
+        return None
+    kept = node.left
+    shifted = _wrong_year(kept, rng)
+    if shifted is not None:
+        return shifted
+    mangled = _truncate_value(kept, rng)
+    if mangled is not None:
+        return mangled
+    return kept
+
+
+def _wrong_aggregate(node: QueryNode, rng: random.Random) -> Optional[QueryNode]:
+    for core in node.iter_selects():
+        for index, item in enumerate(core.projections):
+            expr = item.expr
+            if isinstance(expr, FunctionCall) and expr.name in _AGG_CONFUSIONS:
+                swapped = FunctionCall(
+                    _AGG_CONFUSIONS[expr.name], expr.args, expr.distinct
+                )
+                core.projections[index] = type(item)(swapped, item.alias)
+                return node
+    return None
+
+
+def _truncate_value(node: QueryNode, rng: random.Random) -> Optional[QueryNode]:
+    """Mangle every name pattern (the decoder lost the entity value).
+
+    All LIKE literals are scrambled, not just the first: leaving one
+    branch of a symmetric UNION intact would keep producing the gold
+    rows.
+    """
+    changed = False
+
+    def rewrite(expr: Expression) -> Expression:
+        nonlocal changed
+        if (
+            isinstance(expr, LikeOp)
+            and isinstance(expr.pattern, Literal)
+            and isinstance(expr.pattern.value, str)
+        ):
+            core_value = expr.pattern.value.strip("%")
+            if len(core_value) > 4:
+                changed = True
+                # Scramble beyond fuzzy-recovery distance: a reversed
+                # name shares almost no character trigrams with the
+                # original, so not even ValueNet's value finder can
+                # re-ground it (a truly lost value, not a typo).
+                scrambled = core_value[::-1].replace(" ", "q")
+                return LikeOp(
+                    expr.expr,
+                    Literal(f"%{scrambled}%"),
+                    expr.case_insensitive,
+                    expr.negated,
+                )
+        return _rebuild(expr, rewrite)
+
+    result = _rewrite_filters(node, rewrite)
+    return result if changed else None
+
+
+def _drop_order_and_limit(node: QueryNode, rng: random.Random) -> Optional[QueryNode]:
+    core = _first_core(node)
+    if core.order_by or core.limit is not None:
+        core.order_by = []
+        core.limit = None
+        return node
+    return None
+
+
+def _wrong_projection_column(node: QueryNode, rng: random.Random) -> Optional[QueryNode]:
+    """Project a sibling column (name vs id confusions)."""
+    core = _first_core(node)
+    swaps = {
+        "teamname": "fifa_code",
+        "full_name": "player_name",
+        "coach_name": "nationality",
+        "stadium_name": "city",
+        "club_name": "city",
+        "host_country": "venue",
+    }
+    for index, item in enumerate(core.projections):
+        expr = item.expr
+        if isinstance(expr, ColumnRef) and expr.column.lower() in swaps:
+            core.projections[index] = type(item)(
+                ColumnRef(swaps[expr.column.lower()], expr.table), item.alias
+            )
+            return node
+    return None
+
+
+def _invalid_variant(gold_sql: str, rng: random.Random) -> str:
+    """An unparseable/unresolvable candidate (pre-PICARD decoder output)."""
+    if rng.random() < 0.5:
+        return gold_sql.replace("SELECT", "SELECT SELECT", 1)
+    return gold_sql.replace("FROM", "FROM unknown_table_x JOIN", 1)
+
+
+# -- rebuilding helpers ------------------------------------------------------------
+
+
+def _rebuild(expr: Expression, rewrite) -> Expression:
+    """Shallow reconstruction applying ``rewrite`` to children."""
+    if isinstance(expr, Conjunction):
+        return Conjunction(expr.op, tuple(rewrite(term) for term in expr.terms))
+    if isinstance(expr, BinaryOp):
+        return BinaryOp(expr.op, rewrite(expr.left), rewrite(expr.right))
+    if isinstance(expr, LikeOp):
+        return LikeOp(
+            rewrite(expr.expr), rewrite(expr.pattern), expr.case_insensitive, expr.negated
+        )
+    if isinstance(expr, FunctionCall):
+        return FunctionCall(expr.name, tuple(rewrite(arg) for arg in expr.args), expr.distinct)
+    return expr
+
+
+def _rewrite_filters(node: QueryNode, rewrite) -> QueryNode:
+    for core in node.iter_selects():
+        if core.where is not None:
+            core.where = rewrite(core.where)
+        if core.having is not None:
+            core.having = rewrite(core.having)
+    return node

@@ -1,0 +1,152 @@
+"""FK-graph join-path inference (the SemQL decoding substrate).
+
+IRNet/ValueNet reconstruct the FROM clause of a query from the set of
+tables its SemQL tree mentions: they take the schema's PK/FK graph and
+connect the mentioned tables along shortest paths.  The algorithm has
+the documented limitation the paper exploits (Section 5.1):
+
+    "the shortest path algorithm employed by such systems for
+    generating SQL queries only supports a single primary key/foreign
+    key reference between any two tables"
+
+so :func:`edge_between` raises :class:`AmbiguousEdgeError` when a table
+pair is connected by more than one FK (data model v1's match ↔
+national_team and world_cup ↔ national_team pairs), and
+:func:`join_path` raises :class:`NoPathError` when mentioned tables are
+not connected at all (v1/v2's undeclared bridge-table references).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.sqlengine import ForeignKey, Schema
+
+
+class JoinPathError(Exception):
+    """Base class for join-path inference failures."""
+
+
+class AmbiguousEdgeError(JoinPathError):
+    """More than one FK edge between a table pair (the v1 pathology)."""
+
+
+class NoPathError(JoinPathError):
+    """The mentioned tables are not connected in the FK graph."""
+
+
+@dataclass(frozen=True)
+class JoinEdge:
+    """One resolved join step: ``left.column = right.column``."""
+
+    left_table: str
+    left_column: str
+    right_table: str
+    right_column: str
+
+
+class SchemaGraph:
+    """Undirected FK graph over a schema's tables."""
+
+    def __init__(self, schema: Schema) -> None:
+        self.schema = schema
+        self._adjacency: Dict[str, Dict[str, List[ForeignKey]]] = {
+            table.name.lower(): {} for table in schema.tables
+        }
+        for fk in schema.foreign_keys:
+            source = fk.table.lower()
+            target = fk.ref_table.lower()
+            self._adjacency[source].setdefault(target, []).append(fk)
+            self._adjacency[target].setdefault(source, []).append(fk)
+
+    def neighbors(self, table: str) -> List[str]:
+        return sorted(self._adjacency[table.lower()])
+
+    def edges_between(self, table_a: str, table_b: str) -> List[ForeignKey]:
+        return list(self._adjacency[table_a.lower()].get(table_b.lower(), ()))
+
+    def edge_between(self, table_a: str, table_b: str) -> JoinEdge:
+        """The single FK edge between two tables.
+
+        Raises :class:`AmbiguousEdgeError` on multiple edges and
+        :class:`NoPathError` when no edge exists.
+        """
+        edges = self.edges_between(table_a, table_b)
+        if not edges:
+            raise NoPathError(f"no FK edge between {table_a!r} and {table_b!r}")
+        if len(edges) > 1:
+            raise AmbiguousEdgeError(
+                f"{len(edges)} FK edges between {table_a!r} and {table_b!r}: "
+                + ", ".join(fk.describe() for fk in edges)
+            )
+        return self._orient(edges[0], table_a)
+
+    @staticmethod
+    def _orient(fk: ForeignKey, left_table: str) -> JoinEdge:
+        if fk.table.lower() == left_table.lower():
+            return JoinEdge(fk.table, fk.column, fk.ref_table, fk.ref_column)
+        return JoinEdge(fk.ref_table, fk.ref_column, fk.table, fk.column)
+
+    def shortest_path(self, start: str, goal: str) -> List[str]:
+        """BFS table path from ``start`` to ``goal`` (inclusive)."""
+        start, goal = start.lower(), goal.lower()
+        if start == goal:
+            return [start]
+        parents: Dict[str, Optional[str]] = {start: None}
+        queue = deque([start])
+        while queue:
+            current = queue.popleft()
+            for neighbor in self.neighbors(current):
+                if neighbor in parents:
+                    continue
+                parents[neighbor] = current
+                if neighbor == goal:
+                    path = [neighbor]
+                    while parents[path[-1]] is not None:
+                        path.append(parents[path[-1]])
+                    return list(reversed(path))
+                queue.append(neighbor)
+        raise NoPathError(f"tables {start!r} and {goal!r} are not connected")
+
+    def join_path(self, tables: Sequence[str]) -> List[JoinEdge]:
+        """Connect ``tables`` into one join tree (greedy Steiner).
+
+        Starting from the first table, each remaining table is attached
+        via the shortest path to the already-connected set.  Every edge
+        on the way is resolved through :meth:`edge_between`, so a
+        multi-FK pair anywhere on the path raises — exactly the failure
+        the paper describes for data model v1.
+        """
+        wanted = [table.lower() for table in tables]
+        if not wanted:
+            return []
+        connected: List[str] = [wanted[0]]
+        edges: List[JoinEdge] = []
+        for table in wanted[1:]:
+            if table in connected:
+                continue
+            path = self._best_path_to_set(table, connected)
+            previous = path[0]
+            for step in path[1:]:
+                if step not in connected:
+                    connected.append(step)
+                edges.append(self.edge_between(previous, step))
+                previous = step
+        return edges
+
+    def _best_path_to_set(self, table: str, connected: List[str]) -> List[str]:
+        best: Optional[List[str]] = None
+        for anchor in connected:
+            try:
+                path = self.shortest_path(anchor, table)
+            except NoPathError:
+                continue
+            if best is None or len(path) < len(best):
+                best = path
+        if best is None:
+            raise NoPathError(
+                f"table {table!r} is not connected to {{{', '.join(connected)}}}"
+            )
+        return best

@@ -1,0 +1,87 @@
+"""Schema linking: connecting question tokens to schema elements.
+
+IRNet-style input enrichment (paper Section 2.1): question n-grams are
+matched against table names, column names and — when the system has DB
+content access — cell values.  The result is used by the ValueNet
+pipeline to decide which tables a question mentions and by the value
+finder to ground literals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.nlp.embedding import tokenize
+from repro.sqlengine import Database, Schema
+
+
+@dataclass(frozen=True)
+class SchemaLink:
+    """One question-span ↔ schema-element link."""
+
+    span: str
+    kind: str  # 'table' | 'column'
+    table: str
+    column: Optional[str] = None
+
+
+#: question words that suggest a table without naming it (domain lexicon)
+_TABLE_HINTS: Dict[str, Tuple[str, ...]] = {
+    "match": ("match", "game", "score", "played", "against", "vs"),
+    "plays_match": ("match", "game", "score", "played", "against", "vs"),
+    "plays_as_home": ("home",),
+    "plays_as_away": ("away",),
+    "world_cup": ("cup", "world", "tournament", "host", "hosted"),
+    "world_cup_result": ("won", "winner", "champion", "title", "second",
+                         "runner", "third", "fourth", "final"),
+    "national_team": ("team", "country", "national", "squad"),
+    "player": ("player", "scorer", "tall", "tallest", "height", "position"),
+    "player_fact": ("scored", "goals", "scorer", "squad", "played"),
+    "match_fact": ("card", "cards", "penalty", "penalties", "goal", "goals",
+                   "scored", "minute"),
+    "coach": ("coach", "coached", "manager", "managed"),
+    "club": ("club", "clubs"),
+    "league": ("league", "division"),
+    "stadium": ("stadium", "arena", "venue"),
+    "player_club_team": ("club", "clubs", "played"),
+    "coach_club_team": ("coach", "club"),
+    "club_league_hist": ("league", "club"),
+}
+
+
+def link_schema(question: str, schema: Schema) -> List[SchemaLink]:
+    """Link question tokens to tables and columns of ``schema``."""
+    tokens = set(tokenize(question))
+    links: List[SchemaLink] = []
+    for table in schema.tables:
+        table_lower = table.name.lower()
+        name_parts = set(table_lower.split("_"))
+        hinted = tokens & set(_TABLE_HINTS.get(table_lower, ()))
+        named = tokens & name_parts if len(name_parts & tokens) == len(name_parts) else set()
+        if hinted or named:
+            links.append(SchemaLink(span=" ".join(sorted(hinted or named)),
+                                    kind="table", table=table.name))
+        for column in table.columns:
+            column_parts = column.name.lower().split("_")
+            if all(part in tokens for part in column_parts if part not in ("id",)):
+                meaningful = [part for part in column_parts if part != "id"]
+                if meaningful:
+                    links.append(
+                        SchemaLink(
+                            span=" ".join(meaningful),
+                            kind="column",
+                            table=table.name,
+                            column=column.name,
+                        )
+                    )
+    return links
+
+
+def linked_tables(question: str, schema: Schema) -> List[str]:
+    """Table names the question plausibly refers to (deduplicated)."""
+    ordered: List[str] = []
+    for link in link_schema(question, schema):
+        if link.table not in ordered:
+            ordered.append(link.table)
+    return ordered

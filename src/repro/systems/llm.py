@@ -1,0 +1,176 @@
+"""Large-language-model systems: GPT-3.5 and LLaMA2-70B.
+
+Prompted, not fine-tuned (paper Section 6.1): the prompt carries the
+schema with PK/FK information and sample rows, plus N few-shot NL/SQL
+pairs.  The mechanical difference between the two is the context
+window — LLaMA2's 4,096 tokens cannot hold more than ~8 FootballDB
+examples, GPT-3.5's 16K holds 30 — plus the calibrated ability gap.
+
+No post-processing: whatever the (simulated) decoder emits is the
+prediction, including occasional invalid SQL.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.sqlengine import Database
+
+from .base import (
+    GoldOracle,
+    Prediction,
+    SystemSpec,
+    TextToSQLSystem,
+)
+from .competence import CompetenceProfile, build_features
+from .corruption import corrupt
+from .prompting import PromptBuilder
+from .seq2seq import RetrievalIndex, transfer_sketch
+from .timing import GPT35_LATENCY, LLAMA2_LATENCY, output_token_estimate
+
+
+class _PromptedSystem(TextToSQLSystem):
+    """Shared behaviour of the two LLM systems."""
+
+    context_window: int
+    sample_rows: int
+    completion_reserve: int
+    latency_model = GPT35_LATENCY
+    profile: CompetenceProfile
+
+    def __init__(
+        self, database: Database, oracle: Optional[GoldOracle] = None, fold: int = 0
+    ) -> None:
+        super().__init__(database, oracle, fold)
+        self.index = RetrievalIndex()
+        self.builder = PromptBuilder(
+            database,
+            context_window=self.context_window,
+            include_foreign_keys=True,
+            sample_rows=self.sample_rows,
+            completion_reserve=self.completion_reserve,
+        )
+
+    def _after_fine_tune(self) -> None:
+        # "fine_tune" sets the few-shot pool; nothing is trained.
+        self.index.fit(self._train_pairs)
+
+    def predict(self, question: str) -> Prediction:
+        prompt = self.builder.build(question, self._train_pairs)
+        gold = self.oracle.get(question)
+        if gold is None:
+            return self._predict_from_retrieval(question, prompt.tokens)
+        features = build_features(
+            question,
+            gold,
+            retrieval_similarity=self.index.best_similarity(question),
+            train_size=0,
+            shots=prompt.shots_used,
+        )
+        probability = self.profile.probability(
+            features, self.schema.version, self.spec.uses_foreign_keys
+        )
+        success = self._draw(question, "core") < probability
+        if success:
+            sql = gold
+        else:
+            seed = hash((self.spec.name, question, self.fold)) & 0x7FFFFFFF
+            # LLMs emit the top candidate unfiltered — sometimes invalid.
+            sql = corrupt(
+                gold, self.schema, seed, beam_width=1, allow_invalid=True
+            )[0]
+        return self._finish(sql, question)
+
+    def _predict_from_retrieval(self, question: str, prompt_tokens: int) -> Prediction:
+        top = self.index.retrieve(question, k=1)
+        if not top:
+            # Zero-shot with no oracle: a generic schema guess.
+            return self._finish("SELECT teamname FROM national_team LIMIT 1", question)
+        _, source_question, sketch = top[0]
+        return self._finish(transfer_sketch(sketch, source_question, question), question)
+
+    def _finish(self, sql: Optional[str], question: str) -> Prediction:
+        tokens = output_token_estimate(sql or "SELECT 1")
+        latency = self.latency_model.latency(tokens, f"{self.spec.name}|{question}")
+        return Prediction(sql, None if sql else "empty_completion", latency)
+
+    # -- introspection used by the Table 6 harness -----------------------------
+    def shots_that_fit(self) -> int:
+        return self.builder.max_shots(self._train_pairs)
+
+
+class GPT35(_PromptedSystem):
+    """OpenAI gpt-3.5-turbo (175B-class, cloud-hosted)."""
+
+    spec = SystemSpec(
+        name="GPT-3.5",
+        scale="large",
+        parameters="175B",
+        uses_db_schema=True,
+        uses_foreign_keys=True,
+        uses_db_content=False,
+        output_space="SQL",
+        query_normalization="String Normalization",
+        value_finder=False,
+        uses_intermediate_representation=False,
+        post_processing="N/A",
+        hardware="-",
+        gpu_count=0,
+    )
+
+    context_window = 16_384
+    sample_rows = 3
+    completion_reserve = 256
+    latency_model = GPT35_LATENCY
+
+    profile = CompetenceProfile(
+        base=-1.3,
+        shots_curve=0.42,
+        shots_decline=0.035,
+        retrieval=0.10,
+        hardness_penalty=0.30,
+        join_penalty=0.08,
+        set_penalty=0.35,
+        subquery_penalty=0.25,
+        grounding_gain=0.55,
+        version_adjust={"v1": -0.15, "v2": -0.12, "v3": -0.25},
+    )
+
+
+class Llama2(_PromptedSystem):
+    """Meta LLaMA2-70B (8-bit quantized, 4 x A100)."""
+
+    spec = SystemSpec(
+        name="LLaMA2-70B",
+        scale="large",
+        parameters="70B",
+        uses_db_schema=True,
+        uses_foreign_keys=True,
+        uses_db_content=False,
+        output_space="SQL",
+        query_normalization="String Normalization",
+        value_finder=False,
+        uses_intermediate_representation=False,
+        post_processing="N/A",
+        hardware="A100",
+        gpu_count=4,
+    )
+
+    #: LLaMA2-70B's hard limit (paper footnote 2)
+    context_window = 4_096
+    sample_rows = 5
+    completion_reserve = 512
+    latency_model = LLAMA2_LATENCY
+
+    profile = CompetenceProfile(
+        base=-4.05,
+        shots_curve=0.95,
+        shots_decline=0.0,
+        retrieval=0.10,
+        hardness_penalty=0.35,
+        join_penalty=0.10,
+        set_penalty=0.45,
+        subquery_penalty=0.30,
+        grounding_gain=0.45,
+        version_adjust={"v1": 0.1, "v2": -0.05, "v3": 0.0},
+    )

@@ -1,0 +1,516 @@
+"""SemQL intermediate representation (IRNet/ValueNet post-processing).
+
+SemQL "eliminates SQL GROUPBY, HAVING and FROM clauses, and conditions
+in WHERE and HAVING are uniformly expressed in the subtree of Filter"
+(paper Section 2.1).  Encoding SQL into SemQL is therefore *lossy*:
+
+* FROM/JOIN structure is dropped — decoding re-derives it from the FK
+  graph (:mod:`repro.systems.joinpath`), which fails on data model v1's
+  multi-FK table pairs;
+* a query that instantiates the same table twice (Figure 4's
+  ``national_team AS T2`` / ``AS T3``) cannot be represented at all;
+* set operations are representable (IRNet's ``Z`` node) but each branch
+  must itself be representable;
+* GROUP BY is dropped and re-derived with IRNet's heuristic (group by
+  the non-aggregated projections);
+* non-equi or disjunctive JOIN ON conditions are silently discarded —
+  the decoder rebuilds plain FK equi-joins, which is how "executable
+  but wrong" predictions arise for OR-join gold queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.sqlengine import (
+    BetweenOp,
+    BinaryOp,
+    CaseExpr,
+    ColumnRef,
+    Conjunction,
+    Expression,
+    FunctionCall,
+    InOp,
+    IsNullOp,
+    Join,
+    JoinKind,
+    LikeOp,
+    Literal,
+    OrderItem,
+    QueryNode,
+    ScalarSubquery,
+    Schema,
+    SelectItem,
+    SelectQuery,
+    SetOperation,
+    SetOperator,
+    Star,
+    TableRef,
+    UnaryOp,
+    is_aggregate_call,
+)
+
+from .joinpath import SchemaGraph
+
+
+class SemqlUnsupportedError(Exception):
+    """The SQL construct falls outside the SemQL grammar."""
+
+    def __init__(self, reason: str, detail: str = "") -> None:
+        super().__init__(f"{reason}: {detail}" if detail else reason)
+        self.reason = reason
+
+
+REASON_REPEATED_TABLE = "repeated_table_instance"
+REASON_LEFT_JOIN = "left_join"
+REASON_EXPRESSION = "unsupported_expression"
+REASON_PROJECTION = "unsupported_projection"
+
+
+# -- the IR ---------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SemqlColumn:
+    table: Optional[str]  # None only for '*'
+    column: str  # '*' or a column name
+
+
+@dataclass(frozen=True)
+class SemqlProjection:
+    column: SemqlColumn
+    agg: Optional[str] = None  # 'count' | 'sum' | 'avg' | 'min' | 'max'
+    distinct_agg: bool = False
+
+
+@dataclass(frozen=True)
+class SemqlFilterLeaf:
+    op: str  # '=', '<>', '<', '<=', '>', '>=', 'like', 'ilike', 'between', 'in'
+    column: SemqlColumn
+    agg: Optional[str] = None
+    value: object = None  # literal | (low, high) | tuple of literals
+    subquery: Optional["SemqlQuery"] = None
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class SemqlFilterGroup:
+    connector: str  # 'and' | 'or'
+    children: Tuple[object, ...]  # leaves or nested groups
+
+
+SemqlFilter = Union[SemqlFilterLeaf, SemqlFilterGroup]
+
+
+@dataclass(frozen=True)
+class SemqlOrder:
+    column: SemqlColumn
+    agg: Optional[str] = None
+    descending: bool = False
+    expression_hint: Optional[Expression] = None  # ORDER BY arithmetic
+
+
+@dataclass
+class SemqlQuery:
+    projections: List[SemqlProjection]
+    filter: Optional[SemqlFilter] = None
+    orders: List[SemqlOrder] = field(default_factory=list)
+    limit: Optional[int] = None
+    distinct: bool = False
+    #: IRNet 'Z' node: optional set operation with another query
+    set_operator: Optional[SetOperator] = None
+    set_right: Optional["SemqlQuery"] = None
+
+    def mentioned_tables(self) -> List[str]:
+        tables: List[str] = []
+
+        def visit_column(column: SemqlColumn) -> None:
+            if column.table and column.table.lower() not in tables:
+                tables.append(column.table.lower())
+
+        for projection in self.projections:
+            visit_column(projection.column)
+        for order in self.orders:
+            visit_column(order.column)
+        stack: List[object] = [self.filter] if self.filter else []
+        while stack:
+            node = stack.pop()
+            if isinstance(node, SemqlFilterGroup):
+                stack.extend(node.children)
+            elif isinstance(node, SemqlFilterLeaf):
+                visit_column(node.column)
+        return tables
+
+
+# -- encoding: SQL AST -> SemQL -----------------------------------------------------
+
+
+def encode_sql(query: QueryNode, schema: Schema) -> SemqlQuery:
+    """Encode a SQL AST into SemQL, raising when unrepresentable."""
+    if isinstance(query, SetOperation):
+        left = encode_sql(query.left, schema)
+        right = encode_sql(query.right, schema)
+        left.set_operator = query.operator
+        left.set_right = right
+        return left
+    return _encode_core(query, schema)
+
+
+def _encode_core(core: SelectQuery, schema: Schema) -> SemqlQuery:
+    alias_to_table = _collect_aliases(core)
+    projections = [_encode_projection(item, alias_to_table) for item in core.projections]
+    filters: List[SemqlFilter] = []
+    if core.where is not None:
+        filters.append(_encode_filter(core.where, alias_to_table, schema))
+    if core.having is not None:
+        filters.append(_encode_filter(core.having, alias_to_table, schema))
+    combined: Optional[SemqlFilter] = None
+    if len(filters) == 1:
+        combined = filters[0]
+    elif len(filters) > 1:
+        combined = SemqlFilterGroup("and", tuple(filters))
+    orders = [_encode_order(item, alias_to_table) for item in core.order_by]
+    return SemqlQuery(
+        projections=projections,
+        filter=combined,
+        orders=orders,
+        limit=core.limit,
+        distinct=core.distinct,
+    )
+
+
+def _collect_aliases(core: SelectQuery) -> dict:
+    alias_to_table = {}
+    seen_tables = set()
+    for ref in core.table_refs:
+        table = ref.table.lower()
+        if table in seen_tables:
+            raise SemqlUnsupportedError(
+                REASON_REPEATED_TABLE,
+                f"table {ref.table!r} appears more than once",
+            )
+        seen_tables.add(table)
+        alias_to_table[ref.binding.lower()] = ref.table
+    for join in core.joins:
+        if join.kind is not JoinKind.INNER:
+            raise SemqlUnsupportedError(REASON_LEFT_JOIN, join.kind.value)
+    return alias_to_table
+
+
+def _resolve(column: ColumnRef, alias_to_table: dict) -> SemqlColumn:
+    if column.table is None:
+        return SemqlColumn(None, column.column)
+    table = alias_to_table.get(column.table.lower())
+    if table is None:
+        # Correlated reference into an outer scope: SemQL cannot bind it.
+        raise SemqlUnsupportedError(
+            REASON_EXPRESSION, f"unresolvable reference {column.qualified}"
+        )
+    return SemqlColumn(table, column.column)
+
+
+def _encode_projection(item: SelectItem, alias_to_table: dict) -> SemqlProjection:
+    expr = item.expr
+    if isinstance(expr, Star):
+        return SemqlProjection(SemqlColumn(None, "*"))
+    if isinstance(expr, ColumnRef):
+        return SemqlProjection(_resolve(expr, alias_to_table))
+    if isinstance(expr, FunctionCall) and is_aggregate_call(expr):
+        if not expr.args or isinstance(expr.args[0], Star):
+            return SemqlProjection(SemqlColumn(None, "*"), agg=expr.name,
+                                   distinct_agg=expr.distinct)
+        argument = expr.args[0]
+        if isinstance(argument, ColumnRef):
+            return SemqlProjection(
+                _resolve(argument, alias_to_table), agg=expr.name,
+                distinct_agg=expr.distinct,
+            )
+    raise SemqlUnsupportedError(
+        REASON_PROJECTION, f"cannot express projection {type(expr).__name__}"
+    )
+
+
+def _encode_order(item: OrderItem, alias_to_table: dict) -> SemqlOrder:
+    expr = item.expr
+    if isinstance(expr, ColumnRef):
+        return SemqlOrder(_resolve(expr, alias_to_table), descending=item.descending)
+    if isinstance(expr, FunctionCall) and is_aggregate_call(expr):
+        if not expr.args or isinstance(expr.args[0], Star):
+            return SemqlOrder(
+                SemqlColumn(None, "*"), agg=expr.name, descending=item.descending
+            )
+        argument = expr.args[0]
+        if isinstance(argument, ColumnRef):
+            return SemqlOrder(
+                _resolve(argument, alias_to_table),
+                agg=expr.name,
+                descending=item.descending,
+            )
+    raise SemqlUnsupportedError(
+        REASON_EXPRESSION, "ORDER BY expression outside the SemQL grammar"
+    )
+
+
+def _encode_filter(expr: Expression, alias_to_table: dict, schema: Schema) -> SemqlFilter:
+    if isinstance(expr, Conjunction):
+        children = tuple(
+            _encode_filter(term, alias_to_table, schema) for term in expr.terms
+        )
+        return SemqlFilterGroup(expr.op.lower(), children)
+    if isinstance(expr, UnaryOp) and expr.op == "NOT":
+        inner = _encode_filter(expr.operand, alias_to_table, schema)
+        if isinstance(inner, SemqlFilterLeaf):
+            return SemqlFilterLeaf(
+                inner.op, inner.column, inner.agg, inner.value, inner.subquery,
+                negated=not inner.negated,
+            )
+        raise SemqlUnsupportedError(REASON_EXPRESSION, "NOT over a filter group")
+    if isinstance(expr, LikeOp):
+        if not isinstance(expr.expr, ColumnRef) or not isinstance(expr.pattern, Literal):
+            raise SemqlUnsupportedError(REASON_EXPRESSION, "complex LIKE operands")
+        op = "ilike" if expr.case_insensitive else "like"
+        return SemqlFilterLeaf(
+            op, _resolve(expr.expr, alias_to_table), value=expr.pattern.value,
+            negated=expr.negated,
+        )
+    if isinstance(expr, BetweenOp):
+        if not isinstance(expr.expr, ColumnRef):
+            raise SemqlUnsupportedError(REASON_EXPRESSION, "complex BETWEEN operand")
+        low = _literal_value(expr.low)
+        high = _literal_value(expr.high)
+        return SemqlFilterLeaf(
+            "between", _resolve(expr.expr, alias_to_table), value=(low, high),
+            negated=expr.negated,
+        )
+    if isinstance(expr, InOp):
+        if not isinstance(expr.expr, ColumnRef):
+            raise SemqlUnsupportedError(REASON_EXPRESSION, "complex IN operand")
+        column = _resolve(expr.expr, alias_to_table)
+        if expr.subquery is not None:
+            return SemqlFilterLeaf(
+                "in", column, subquery=encode_sql(expr.subquery, schema),
+                negated=expr.negated,
+            )
+        values = tuple(_literal_value(option) for option in expr.options or ())
+        return SemqlFilterLeaf("in", column, value=values, negated=expr.negated)
+    if isinstance(expr, IsNullOp):
+        if not isinstance(expr.expr, ColumnRef):
+            raise SemqlUnsupportedError(REASON_EXPRESSION, "complex IS NULL operand")
+        return SemqlFilterLeaf(
+            "is_null", _resolve(expr.expr, alias_to_table), negated=expr.negated
+        )
+    if isinstance(expr, BinaryOp) and expr.op in ("=", "<>", "<", "<=", ">", ">="):
+        column_side, value_side = expr.left, expr.right
+        flipped = False
+        if not _is_column_or_agg(column_side) and _is_column_or_agg(value_side):
+            column_side, value_side = value_side, column_side
+            flipped = True
+        agg, column = _column_with_agg(column_side, alias_to_table)
+        op = _flip_op(expr.op) if flipped else expr.op
+        if isinstance(value_side, Literal):
+            return SemqlFilterLeaf(op, column, agg=agg, value=value_side.value)
+        if isinstance(value_side, ScalarSubquery):
+            return SemqlFilterLeaf(
+                op, column, agg=agg, subquery=encode_sql(value_side.subquery, schema)
+            )
+        if isinstance(value_side, ColumnRef):
+            # Column-to-column predicate (host_winner): keep the raw
+            # reference as the value.
+            return SemqlFilterLeaf(
+                op, column, agg=agg, value=_resolve(value_side, alias_to_table)
+            )
+        raise SemqlUnsupportedError(REASON_EXPRESSION, "comparison operand")
+    raise SemqlUnsupportedError(REASON_EXPRESSION, type(expr).__name__)
+
+
+def _is_column_or_agg(expr: Expression) -> bool:
+    if isinstance(expr, ColumnRef):
+        return True
+    return isinstance(expr, FunctionCall) and is_aggregate_call(expr)
+
+
+def _column_with_agg(expr: Expression, alias_to_table: dict):
+    if isinstance(expr, ColumnRef):
+        return None, _resolve(expr, alias_to_table)
+    if isinstance(expr, FunctionCall) and is_aggregate_call(expr):
+        if not expr.args or isinstance(expr.args[0], Star):
+            return expr.name, SemqlColumn(None, "*")
+        if isinstance(expr.args[0], ColumnRef):
+            return expr.name, _resolve(expr.args[0], alias_to_table)
+    raise SemqlUnsupportedError(REASON_EXPRESSION, "filter left-hand side")
+
+
+def _literal_value(expr: Expression):
+    if isinstance(expr, Literal):
+        return expr.value
+    raise SemqlUnsupportedError(REASON_EXPRESSION, "expected a literal")
+
+
+def _flip_op(op: str) -> str:
+    return {"<": ">", "<=": ">=", ">": "<", ">=": "<="}.get(op, op)
+
+
+# -- decoding: SemQL -> SQL AST --------------------------------------------------------
+
+
+def decode_semql(semql: SemqlQuery, graph: SchemaGraph) -> QueryNode:
+    """Decode SemQL back into SQL using FK join-path inference.
+
+    Raises :class:`repro.systems.joinpath.JoinPathError` when the FK
+    graph cannot connect the mentioned tables unambiguously — the
+    paper's data-model-v1 post-processing failure.
+    """
+    core = _decode_core(semql, graph)
+    if semql.set_operator is not None and semql.set_right is not None:
+        right = decode_semql(semql.set_right, graph)
+        return SetOperation(semql.set_operator, core, right)
+    return core
+
+
+def _decode_core(semql: SemqlQuery, graph: SchemaGraph) -> SelectQuery:
+    tables = semql.mentioned_tables()
+    if not tables:
+        raise SemqlUnsupportedError(REASON_EXPRESSION, "query mentions no tables")
+    edges = graph.join_path(tables)
+    ordered_tables: List[str] = [tables[0]]
+    for edge in edges:
+        for name in (edge.left_table.lower(), edge.right_table.lower()):
+            if name not in ordered_tables:
+                ordered_tables.append(name)
+    aliases = {name: f"T{index + 1}" for index, name in enumerate(ordered_tables)}
+
+    def to_ref(column: SemqlColumn) -> Expression:
+        if column.column == "*":
+            return Star()
+        table = (column.table or ordered_tables[0]).lower()
+        return ColumnRef(column.column, aliases.get(table, table))
+
+    projections: List[SelectItem] = []
+    group_needed = False
+    plain_columns: List[Expression] = []
+    for projection in semql.projections:
+        expr = to_ref(projection.column)
+        if projection.agg is not None:
+            expr = FunctionCall(projection.agg, (expr,), projection.distinct_agg)
+            group_needed = True
+        else:
+            if not isinstance(expr, Star):
+                plain_columns.append(expr)
+        projections.append(SelectItem(expr))
+
+    where_parts: List[Expression] = []
+    having_parts: List[Expression] = []
+    if semql.filter is not None:
+        _decode_filter(semql.filter, to_ref, graph, where_parts, having_parts)
+
+    order_by: List[OrderItem] = []
+    order_has_agg = False
+    for order in semql.orders:
+        expr = to_ref(order.column)
+        if order.agg is not None:
+            expr = FunctionCall(order.agg, (expr,))
+            order_has_agg = True
+        order_by.append(OrderItem(expr, order.descending))
+
+    joins = [
+        Join(
+            JoinKind.INNER,
+            TableRef(edge.right_table, aliases[edge.right_table.lower()]),
+            BinaryOp(
+                "=",
+                ColumnRef(edge.left_column, aliases[edge.left_table.lower()]),
+                ColumnRef(edge.right_column, aliases[edge.right_table.lower()]),
+            ),
+        )
+        for edge in edges
+    ]
+    group_by: List[Expression] = []
+    if (group_needed or having_parts or order_has_agg) and plain_columns:
+        # IRNet heuristic: group by every non-aggregated projection.
+        group_by = list(plain_columns)
+    return SelectQuery(
+        projections=projections,
+        from_table=TableRef(ordered_tables[0], aliases[ordered_tables[0]]),
+        joins=joins,
+        where=_combine(where_parts),
+        group_by=group_by,
+        having=_combine(having_parts),
+        order_by=order_by,
+        limit=semql.limit,
+        distinct=semql.distinct,
+    )
+
+
+def _decode_filter(
+    node: SemqlFilter,
+    to_ref,
+    graph: SchemaGraph,
+    where_parts: List[Expression],
+    having_parts: List[Expression],
+) -> None:
+    if isinstance(node, SemqlFilterGroup):
+        if node.connector == "and":
+            for child in node.children:
+                _decode_filter(child, to_ref, graph, where_parts, having_parts)
+            return
+        # OR group: decode children into one disjunction (WHERE only).
+        child_exprs = []
+        for child in node.children:
+            sub_where: List[Expression] = []
+            sub_having: List[Expression] = []
+            _decode_filter(child, to_ref, graph, sub_where, sub_having)
+            child_exprs.append(_combine(sub_where + sub_having))
+        where_parts.append(Conjunction("OR", tuple(child_exprs)))
+        return
+    expr = _decode_leaf(node, to_ref, graph)
+    if node.agg is not None:
+        having_parts.append(expr)
+    else:
+        where_parts.append(expr)
+
+
+def _decode_leaf(leaf: SemqlFilterLeaf, to_ref, graph: SchemaGraph) -> Expression:
+    column_expr: Expression = to_ref(leaf.column)
+    if leaf.agg is not None:
+        column_expr = FunctionCall(leaf.agg, (column_expr,))
+    if leaf.op in ("like", "ilike"):
+        return LikeOp(
+            column_expr,
+            Literal(leaf.value),
+            case_insensitive=leaf.op == "ilike",
+            negated=leaf.negated,
+        )
+    if leaf.op == "between":
+        low, high = leaf.value
+        return BetweenOp(column_expr, Literal(low), Literal(high), leaf.negated)
+    if leaf.op == "in":
+        if leaf.subquery is not None:
+            return InOp(
+                column_expr,
+                subquery=decode_semql(leaf.subquery, graph),
+                negated=leaf.negated,
+            )
+        return InOp(
+            column_expr,
+            options=tuple(Literal(value) for value in leaf.value or ()),
+            negated=leaf.negated,
+        )
+    if leaf.op == "is_null":
+        return IsNullOp(column_expr, leaf.negated)
+    if leaf.subquery is not None:
+        return BinaryOp(
+            leaf.op, column_expr, ScalarSubquery(decode_semql(leaf.subquery, graph))
+        )
+    if isinstance(leaf.value, SemqlColumn):
+        return BinaryOp(leaf.op, column_expr, to_ref(leaf.value))
+    return BinaryOp(leaf.op, column_expr, Literal(leaf.value))
+
+
+def _combine(parts: List[Expression]) -> Optional[Expression]:
+    parts = [part for part in parts if part is not None]
+    if not parts:
+        return None
+    if len(parts) == 1:
+        return parts[0]
+    return Conjunction("AND", tuple(parts))

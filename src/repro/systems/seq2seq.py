@@ -1,0 +1,108 @@
+"""The retrieval-augmented simulated seq2seq core.
+
+Shared machinery of ValueNet and the T5 systems:
+
+* a real retrieval index over the fine-tuning pairs (hashed-n-gram
+  embeddings);
+* a *sketch transfer* fallback for questions outside the gold oracle:
+  take the most similar training question's SQL and adapt its values to
+  the new question (years and entity spans);
+* the competence gate deciding whether the simulated decoder reaches
+  the oracle decode, with the retrieval similarity as a live feature.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Sequence, Tuple
+
+from repro.nlp.embedding import cosine, embed, embed_all
+
+TrainPair = Tuple[str, str]
+
+_YEAR_RE = re.compile(r"\b(19[0-9]{2}|20[0-9]{2})\b")
+_ENTITY_RE = re.compile(r"\b([A-Z][a-zA-Z]+(?:\s+[A-Z][a-zA-Z]+)*)\b")
+_LIKE_LITERAL_RE = re.compile(r"'%([^%']+)%'")
+
+_STOP_SPANS = frozenset(
+    {"what", "who", "which", "how", "when", "where", "in", "the", "list",
+     "number", "was", "did", "were", "total", "average", "result", "sql"}
+)
+
+
+class RetrievalIndex:
+    """Nearest-neighbour index over training questions."""
+
+    def __init__(self) -> None:
+        self._pairs: List[TrainPair] = []
+        self._vectors: List[List[float]] = []
+
+    def fit(self, pairs: Sequence[TrainPair]) -> None:
+        self._pairs = list(pairs)
+        self._vectors = embed_all([question for question, _ in pairs])
+
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+    def retrieve(self, question: str, k: int = 1) -> List[Tuple[float, str, str]]:
+        """Top-k (similarity, question, sql), best first."""
+        if not self._pairs:
+            return []
+        vector = embed(question)
+        scored = [
+            (cosine(vector, candidate), index)
+            for index, candidate in enumerate(self._vectors)
+        ]
+        scored.sort(key=lambda item: (-item[0], item[1]))
+        return [
+            (score, self._pairs[index][0], self._pairs[index][1])
+            for score, index in scored[:k]
+        ]
+
+    def best_similarity(self, question: str) -> float:
+        top = self.retrieve(question, k=1)
+        return top[0][0] if top else 0.0
+
+    def ranked_examples(self, question: str, k: int) -> List[TrainPair]:
+        """Most-similar-first examples (LLM shot selection)."""
+        return [(q, sql) for _, q, sql in self.retrieve(question, k=k)]
+
+
+def transfer_sketch(sketch_sql: str, source_question: str, target_question: str) -> str:
+    """Adapt a retrieved SQL sketch to a new question's values.
+
+    Pure value substitution (no structural edits): years and entity
+    spans found in the target question replace the sketch's year and
+    ``ILIKE '%…%'`` literals, positionally.  This is the honest fallback
+    for questions outside the oracle — it produces the right SQL exactly
+    when the retrieved sketch has the right structure and only values
+    differ (e.g. "score between A and B in YEAR" templates).
+    """
+    adapted = sketch_sql
+    target_years = _YEAR_RE.findall(target_question)
+    if target_years:
+        years = iter(target_years)
+
+        def swap_year(match: re.Match) -> str:
+            try:
+                return next(years)
+            except StopIteration:
+                return match.group(0)
+
+        adapted = _YEAR_RE.sub(swap_year, adapted)
+    target_entities = [
+        span
+        for span in _ENTITY_RE.findall(target_question)
+        if span.lower() not in _STOP_SPANS
+    ]
+    if target_entities:
+        entities = iter(target_entities)
+
+        def swap_entity(match: re.Match) -> str:
+            try:
+                return f"'%{next(entities)}%'"
+            except StopIteration:
+                return match.group(0)
+
+        adapted = _LIKE_LITERAL_RE.sub(swap_entity, adapted)
+    return adapted

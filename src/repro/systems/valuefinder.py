@@ -1,0 +1,133 @@
+"""ValueNet's value finder (paper Section 3.2).
+
+ValueNet's headline novelty: extract value candidates from the question
+*and* from the database content, "even when not explicitly stated in
+the natural language question".  The implementation here does what the
+original does in spirit:
+
+* pull 4-digit numbers (years) and quoted spans from the question;
+* match capitalized spans against text columns of the database using
+  exact, then fuzzy (character-trigram) lookup — fuzzy matching is what
+  lets ValueNet recover from the misspelled player names that plague
+  the live log, an ability the schema-only systems lack.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.sqlengine import Database, SqlType
+
+_YEAR_RE = re.compile(r"\b(19[0-9]{2}|20[0-9]{2})\b")
+_SPAN_RE = re.compile(r"\b([A-Z][a-zA-Z]+(?:\s+[A-Z][a-zA-Z]+)*)\b")
+
+#: text columns worth scanning for entity values, in priority order
+VALUE_COLUMNS: Tuple[Tuple[str, str], ...] = (
+    ("national_team", "teamname"),
+    ("player", "full_name"),
+    ("player", "player_name"),
+    ("club", "club_name"),
+    ("coach", "coach_name"),
+    ("stadium", "stadium_name"),
+    ("league", "name"),
+    ("world_cup", "host_country"),
+)
+
+
+@dataclass(frozen=True)
+class ValueCandidate:
+    """One grounded value: where it matched and how well."""
+
+    span: str  # the question span
+    value: object  # the grounded database value (or the span itself)
+    table: Optional[str]
+    column: Optional[str]
+    score: float  # 1.0 = exact, lower = fuzzy
+
+
+class ValueFinder:
+    """Extracts and grounds value candidates for one database."""
+
+    def __init__(self, database: Database, fuzzy_threshold: float = 0.45) -> None:
+        # 0.45 accepts genuine one-edit typos ('Germny' ~ 'Germany'
+        # scores 0.50) while rejecting unrelated names ('Iran' ~ 'Iraq'
+        # scores 0.43) and anything scrambled beyond recognition.
+        self.database = database
+        self.fuzzy_threshold = fuzzy_threshold
+        self._columns = [
+            (table, column)
+            for table, column in VALUE_COLUMNS
+            if database.schema.has_table(table)
+            and database.schema.table(table).has_column(column)
+        ]
+        self._trigram_index: Dict[Tuple[str, str], List[Tuple[str, Set[str]]]] = {}
+
+    # -- public API ---------------------------------------------------------
+    def find(self, question: str) -> List[ValueCandidate]:
+        candidates: List[ValueCandidate] = []
+        for year in _YEAR_RE.findall(question):
+            candidates.append(
+                ValueCandidate(span=year, value=int(year), table=None, column=None, score=1.0)
+            )
+        for span in self._entity_spans(question):
+            grounded = self.ground(span)
+            if grounded is not None:
+                candidates.append(grounded)
+        return candidates
+
+    def ground(self, span: str) -> Optional[ValueCandidate]:
+        """Ground one span against DB content (exact, then fuzzy)."""
+        for table, column in self._columns:
+            values = self.database.column_values(table, column)
+            if span in values:
+                return ValueCandidate(span, span, table, column, 1.0)
+        best: Optional[ValueCandidate] = None
+        span_trigrams = _trigrams(span.lower())
+        if not span_trigrams:
+            return None
+        for table, column in self._columns:
+            for value, trigram_set in self._indexed(table, column):
+                overlap = len(span_trigrams & trigram_set)
+                union = len(span_trigrams | trigram_set)
+                score = overlap / union if union else 0.0
+                if score >= self.fuzzy_threshold and (
+                    best is None or score > best.score
+                ):
+                    best = ValueCandidate(span, value, table, column, score)
+        return best
+
+    # -- internals ------------------------------------------------------------
+    def _entity_spans(self, question: str) -> List[str]:
+        spans = []
+        for match in _SPAN_RE.finditer(question):
+            span = match.group(1)
+            # Sentence-initial interrogatives are not entities.
+            if span.lower() in _STOP_SPANS:
+                continue
+            spans.append(span)
+        return spans
+
+    def _indexed(self, table: str, column: str) -> List[Tuple[str, Set[str]]]:
+        key = (table, column)
+        if key not in self._trigram_index:
+            self._trigram_index[key] = [
+                (value, _trigrams(str(value).lower()))
+                for value in sorted(
+                    self.database.column_values(table, column), key=str
+                )
+                if isinstance(value, str)
+            ]
+        return self._trigram_index[key]
+
+
+_STOP_SPANS = {
+    "what", "who", "which", "how", "when", "where", "in", "the", "list",
+    "number", "was", "did", "were", "total", "average", "result",
+}
+
+
+def _trigrams(text: str) -> Set[str]:
+    padded = f"  {text} "
+    return {padded[i : i + 3] for i in range(len(padded) - 2)}

@@ -1,0 +1,78 @@
+"""ValueNet with NatSQL instead of SemQL — the A4 IR-coverage ablation.
+
+Identical to :class:`repro.systems.valuenet.ValueNet` (same competence
+profile, same value finder, same Spider-parser-free training gate — the
+NatSQL grammar is what gates trainability) except that post-processing
+round-trips through NatSQL: repeated table instances, OR-joins and set
+operations survive, so the data model v1 failures disappear.
+
+This is the paper's implied counterfactual: had the deployment used a
+wider-coverage IR, the v1→v2 schema redesign would have been far less
+necessary.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List
+
+from repro.sqlengine import ParseError, TokenizeError, format_query, parse_sql
+
+from .base import (
+    FAILURE_INVALID_SQL,
+    FAILURE_IR_UNSUPPORTED,
+    Prediction,
+    SystemSpec,
+)
+from .natsql import decode_natsql, encode_natsql
+from .semql import SemqlUnsupportedError
+from .valuenet import ValueNet
+
+
+class ValueNetNatSQL(ValueNet):
+    """ValueNet variant decoding through NatSQL."""
+
+    spec = SystemSpec(
+        name="ValueNet-NatSQL",
+        scale="small",
+        parameters="148M",
+        uses_db_schema=True,
+        uses_foreign_keys=True,
+        uses_db_content=True,
+        output_space="IR",
+        query_normalization="SQL-Parser",
+        value_finder=True,
+        uses_intermediate_representation=True,
+        post_processing="IR to SQL",
+        hardware="v100",
+        gpu_count=1,
+    )
+
+    # Same core ability as ValueNet, but *without* the per-data-model
+    # adjustments: those were fitted to compensate the SemQL pipeline's
+    # uneven failure rates, which this variant no longer has.  With a
+    # lossless IR the system becomes data-model robust by construction.
+    profile = dataclasses.replace(ValueNet.profile, version_adjust={})
+
+    def trainable(self, sql: str) -> bool:
+        """NatSQL's wider grammar accepts almost every gold query."""
+        try:
+            encode_natsql(parse_sql(sql), self.schema)
+        except (SemqlUnsupportedError, ParseError, TokenizeError):
+            return False
+        return True
+
+    def _through_pipeline(self, candidate_sql: str, question: str) -> Prediction:
+        notes: List[str] = []
+        try:
+            ast = parse_sql(candidate_sql)
+        except (ParseError, TokenizeError) as exc:
+            return self._finish(None, question, FAILURE_INVALID_SQL, (str(exc),))
+        try:
+            program = encode_natsql(ast, self.schema)
+        except SemqlUnsupportedError as exc:
+            return self._finish(None, question, FAILURE_IR_UNSUPPORTED, (exc.reason,))
+        decoded = decode_natsql(program)
+        repaired, repair_notes = self._repair_values(decoded)
+        notes.extend(repair_notes)
+        return self._finish(format_query(repaired), question, None, tuple(notes))

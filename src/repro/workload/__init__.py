@@ -1,0 +1,68 @@
+"""The real-user workload: intents, NL questions, gold SQL, live logs.
+
+Pipeline::
+
+    universe --IntentSampler--> intents --nlgen--> questions
+                                   |
+                                   +--sqlgen--> gold SQL (one per data model)
+
+    DeploymentSimulator --> ~5.9K LogRecords --> Table 1 statistics
+"""
+
+from .catalogue import IntentSampler
+from .intents import (
+    ALL_KINDS,
+    PRIZE_SYNONYMS,
+    REGISTRY,
+    TOPICS,
+    Intent,
+    IntentSpec,
+    kinds_for_topic,
+    make_intent,
+)
+from .logs import Feedback, LogRecord, QuestionCategory, Table1Stats, summarize
+from .nlgen import (
+    misspell,
+    realize,
+    realize_all,
+    realize_non_english,
+    sample_ambiguous,
+    sample_unanswerable,
+    sample_unrelated,
+)
+from .sqlgen import (
+    SUPPORTED_KINDS,
+    UnsupportedIntentError,
+    compile_ast,
+    compile_intent,
+)
+from .users import DeploymentSimulator
+
+__all__ = [
+    "ALL_KINDS",
+    "DeploymentSimulator",
+    "Feedback",
+    "Intent",
+    "IntentSampler",
+    "IntentSpec",
+    "LogRecord",
+    "PRIZE_SYNONYMS",
+    "QuestionCategory",
+    "REGISTRY",
+    "SUPPORTED_KINDS",
+    "TOPICS",
+    "Table1Stats",
+    "UnsupportedIntentError",
+    "compile_ast",
+    "compile_intent",
+    "kinds_for_topic",
+    "make_intent",
+    "misspell",
+    "realize",
+    "realize_all",
+    "realize_non_english",
+    "sample_ambiguous",
+    "sample_unanswerable",
+    "sample_unrelated",
+    "summarize",
+]

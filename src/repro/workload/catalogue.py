@@ -1,0 +1,193 @@
+"""Intent instantiation over a concrete universe.
+
+The :class:`IntentSampler` turns the abstract intent kinds of
+:mod:`repro.workload.intents` into concrete intents whose slots
+reference entities that exist in the generated universe — mirroring how
+real users asked about real teams and the players they saw on TV.
+
+Sampling choices mirror the deployment's observed biases: recent
+tournaments dominate, famous (high-scoring) players are asked about far
+more often than squad fillers, and "A against B" questions usually name
+a pairing that actually happened.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.footballdb import Universe
+
+from .intents import ALL_KINDS, REGISTRY, Intent, make_intent
+
+#: recency bias for year slots — the deployment ran during the 2022 cup.
+_YEAR_WEIGHTS = {2022: 9.0, 2018: 5.0, 2014: 5.0, 2010: 3.0, 2006: 2.0}
+_PRIZE_WEIGHTS = {"winner": 4.0, "runner_up": 3.0, "third": 2.0, "fourth": 1.0}
+
+
+class IntentSampler:
+    """Draws concrete intents from a universe, deterministically."""
+
+    def __init__(self, universe: Universe, seed: int = 7) -> None:
+        self.universe = universe
+        self._rng = random.Random(seed)
+        self._years = universe.years
+        self._year_weights = [
+            _YEAR_WEIGHTS.get(year, 1.0) for year in self._years
+        ]
+        self._participants: Dict[int, List[int]] = {}
+        for match in universe.matches:
+            teams = self._participants.setdefault(match.year, [])
+            for team_id in (match.home_team_id, match.away_team_id):
+                if team_id not in teams:
+                    teams.append(team_id)
+        self._pairings: Dict[int, List[Tuple[int, int]]] = {}
+        for match in universe.matches:
+            self._pairings.setdefault(match.year, []).append(
+                (match.home_team_id, match.away_team_id)
+            )
+        # Famous players: cup top scorers are asked about most.
+        scorers = sorted(
+            universe.squads, key=lambda member: member.goals, reverse=True
+        )
+        self._famous_players = [
+            universe.player(member.player_id).full_name for member in scorers[:300]
+        ]
+        self._squad_players: Dict[int, List[str]] = {}
+        for member in universe.squads:
+            self._squad_players.setdefault(member.year, []).append(
+                universe.player(member.player_id).full_name
+            )
+        self._cup_coaches = sorted(
+            {
+                (member.coach_id, universe.coaches[member.coach_id - 1].name)
+                for member in universe.squads
+            }
+        )
+        # Teams that ever reached a podium: users overwhelmingly ask
+        # "how many times did X win" about teams that actually did.
+        self._podium_teams = sorted(
+            {
+                universe.team(team_id).name
+                for cup in universe.world_cups
+                for team_id in (
+                    cup.winner_id, cup.runner_up_id, cup.third_id, cup.fourth_id
+                )
+            }
+        )
+
+    # -- slot sampling ------------------------------------------------------
+    def sample_year(self) -> int:
+        return self._rng.choices(self._years, weights=self._year_weights)[0]
+
+    def sample_team(self, year: Optional[int] = None) -> str:
+        if year is not None:
+            team_id = self._rng.choice(self._participants[year])
+            return self.universe.team(team_id).name
+        return self._rng.choice(self.universe.teams).name
+
+    def sample_pair(self, year: int) -> Tuple[str, str]:
+        """Two team names; 95% of the time a pairing that was played.
+
+        A small residue of never-played pairings keeps the paper's
+        "semantic mismatch" phenomenon in the workload without letting
+        empty-result questions dominate the EX denominator.
+        """
+        if self._rng.random() < 0.95:
+            home, away = self._rng.choice(self._pairings[year])
+            pair = [self.universe.team(home).name, self.universe.team(away).name]
+        else:
+            teams = self._rng.sample(self._participants[year], 2)
+            pair = [self.universe.team(t).name for t in teams]
+        self._rng.shuffle(pair)
+        return pair[0], pair[1]
+
+    def sample_player(self, year: Optional[int] = None) -> str:
+        """A player name; year-consistent when the question names a cup.
+
+        Users ask about players *they saw play* — sampling the player
+        independently of the year would produce questions whose answer
+        is legitimately empty, which real users rarely asked.
+        """
+        if year is not None:
+            return self._rng.choice(self._squad_players[year])
+        if self._rng.random() < 0.75 and self._famous_players:
+            return self._rng.choice(self._famous_players)
+        return self._rng.choice(self.universe.players).full_name
+
+    def sample_prize(self) -> str:
+        prizes = list(_PRIZE_WEIGHTS)
+        return self._rng.choices(prizes, weights=[_PRIZE_WEIGHTS[p] for p in prizes])[0]
+
+    def sample_podium_team(self) -> str:
+        """A team with at least one podium finish (85%) or any team."""
+        if self._rng.random() < 0.85:
+            return self._rng.choice(self._podium_teams)
+        return self._rng.choice(self.universe.teams).name
+
+    def sample_club(self) -> str:
+        return self._rng.choice(self.universe.clubs).name
+
+    def sample_league(self) -> str:
+        return self._rng.choice(self.universe.leagues).name
+
+    def sample_stadium(self) -> str:
+        return self._rng.choice(self.universe.stadiums).name
+
+    def sample_host_country(self) -> str:
+        return self._rng.choice(sorted({cup.host for cup in self.universe.world_cups}))
+
+    def sample_coach(self) -> str:
+        return self._rng.choice(self._cup_coaches)[1]
+
+    def sample_card(self, per_match: bool = False) -> str:
+        """Card colour; per-match questions skew yellow (red cards in a
+        single game are rare enough that the true answer is usually 0)."""
+        weights = [6, 1] if per_match else [3, 1]
+        return self._rng.choices(["yellow_card", "red_card"], weights=weights)[0]
+
+    # -- intent sampling ------------------------------------------------------
+    def sample_intent(self, kind: Optional[str] = None) -> Intent:
+        if kind is None:
+            kinds = list(ALL_KINDS)
+            weights = [REGISTRY[k].weight for k in kinds]
+            kind = self._rng.choices(kinds, weights=weights)[0]
+        return self._fill(kind)
+
+    def population(self, size: int) -> List[Intent]:
+        """A population of intents distributed by spec weight."""
+        return [self.sample_intent() for _ in range(size)]
+
+    def _fill(self, kind: str) -> Intent:
+        spec = REGISTRY[kind]
+        slots: Dict[str, object] = {}
+        year: Optional[int] = None
+        if "year" in spec.slot_names:
+            year = self.sample_year()
+            slots["year"] = year
+        if "team_a" in spec.slot_names:
+            slots["team_a"], slots["team_b"] = self.sample_pair(year)
+        if "team" in spec.slot_names:
+            if "prize" in spec.slot_names:
+                slots["team"] = self.sample_podium_team()
+            else:
+                slots["team"] = self.sample_team(year)
+        if "player" in spec.slot_names:
+            slots["player"] = self.sample_player(year)
+        if "prize" in spec.slot_names:
+            slots["prize"] = self.sample_prize()
+        if "club" in spec.slot_names:
+            slots["club"] = self.sample_club()
+        if "league" in spec.slot_names:
+            slots["league"] = self.sample_league()
+        if "stadium" in spec.slot_names:
+            slots["stadium"] = self.sample_stadium()
+        if "country" in spec.slot_names:
+            slots["country"] = self.sample_host_country()
+        if "coach" in spec.slot_names:
+            slots["coach"] = self.sample_coach()
+        if "card" in spec.slot_names:
+            slots["card"] = self.sample_card(per_match="team_a" in spec.slot_names)
+        if "top_n" in spec.slot_names:
+            slots["top_n"] = self._rng.choice([3, 5, 10])
+        return make_intent(kind, **slots)

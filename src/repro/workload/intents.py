@@ -1,0 +1,469 @@
+"""Structured question intents.
+
+A user question is modeled as an :class:`Intent`: a *kind* (what is
+being asked) plus *slots* (the entities it is asked about).  Intents are
+the hinge of the whole reproduction:
+
+* :mod:`repro.workload.nlgen` realizes an intent into natural language
+  (with paraphrases, typos and non-English variants);
+* :mod:`repro.workload.sqlgen` compiles an intent into gold SQL — once
+  per data model, which is how the benchmark gets three differently
+  shaped gold queries for the same question.
+
+The kind inventory below is distilled from the paper's description of
+what users actually asked during the World Cup deployment (Sections 4
+and 5): match scores phrased as "A against B", winners/podium questions
+with the "second place" lexical gap, player/club/coach questions that
+motivated the data enrichment, plus stadium, card, and statistics
+questions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Intent:
+    """One concrete question intent (hashable, deterministic)."""
+
+    kind: str
+    slots: Tuple[Tuple[str, object], ...] = ()
+
+    def slot(self, name: str):
+        for key, value in self.slots:
+            if key == name:
+                return value
+        raise KeyError(f"intent {self.kind!r} has no slot {name!r}")
+
+    def has_slot(self, name: str) -> bool:
+        return any(key == name for key, _ in self.slots)
+
+    @property
+    def spec(self) -> "IntentSpec":
+        return REGISTRY[self.kind]
+
+    def __str__(self) -> str:  # pragma: no cover - debug aid
+        rendered = ", ".join(f"{k}={v}" for k, v in self.slots)
+        return f"{self.kind}({rendered})"
+
+
+def make_intent(kind: str, **slots) -> Intent:
+    """Build an intent with validated slot names."""
+    spec = REGISTRY[kind]
+    missing = set(spec.slot_names) - set(slots)
+    extra = set(slots) - set(spec.slot_names)
+    if missing or extra:
+        raise ValueError(
+            f"intent {kind!r}: missing slots {sorted(missing)}, "
+            f"unexpected slots {sorted(extra)}"
+        )
+    ordered = tuple((name, slots[name]) for name in spec.slot_names)
+    return Intent(kind, ordered)
+
+
+@dataclass(frozen=True)
+class IntentSpec:
+    """Static description of one intent kind."""
+
+    kind: str
+    topic: str  # coarse topic used by the clustering substrate
+    slot_names: Tuple[str, ...]
+    templates: Tuple[str, ...]  # English surface templates
+    weight: float  # relative frequency in the simulated user log
+    #: Whether the v1/v2 answer needs both home/away assignments
+    #: (the symmetric-match pattern behind Figure 4).
+    symmetric: bool = False
+
+
+#: surface synonyms for the world_cup_result prizes — the paper found
+#: "second place"-style phrasings ~3x more frequent than "runner-up".
+PRIZE_SYNONYMS: Dict[str, Tuple[str, ...]] = {
+    "winner": ("win the world cup", "become world champion", "take the title"),
+    "runner_up": (
+        "finish second place",
+        "lose in the final",
+        "end up as runner-up",
+    ),
+    "third": ("finish third", "take third place", "win the bronze final"),
+    "fourth": ("finish fourth", "end up fourth", "lose the third place match"),
+}
+
+
+_SPECS: List[IntentSpec] = [
+    # -- matches -------------------------------------------------------------
+    IntentSpec(
+        "match_score", "matches", ("team_a", "team_b", "year"),
+        (
+            "What was the score between {team_a} and {team_b} in {year}?",
+            "How did the game {team_a} against {team_b} end in {year}?",
+            "Result of {team_a} vs {team_b} at the {year} world cup?",
+            "{team_a} against {team_b} in {year}, what was the final score?",
+        ),
+        weight=12.0, symmetric=True,
+    ),
+    IntentSpec(
+        "match_count_team", "matches", ("team", "year"),
+        (
+            "How many matches did {team} play in {year}?",
+            "Number of games {team} played at the {year} world cup?",
+            "In how many matches did {team} appear in {year}?",
+        ),
+        weight=5.0, symmetric=True,
+    ),
+    IntentSpec(
+        "team_goals_cup", "matches", ("team", "year"),
+        (
+            "How many goals did {team} score in {year}?",
+            "Total goals by {team} at the {year} world cup?",
+            "How often did {team} score in {year}?",
+        ),
+        weight=4.0, symmetric=True,
+    ),
+    IntentSpec(
+        "final_score", "matches", ("year",),
+        (
+            "What was the score in the final of {year}?",
+            "How did the {year} world cup final end?",
+            "Final result of the {year} world cup?",
+        ),
+        weight=3.5,
+    ),
+    IntentSpec(
+        "biggest_win_cup", "matches", ("year",),
+        (
+            "What was the highest-scoring match in {year}?",
+            "Which game in {year} had the most goals?",
+        ),
+        weight=2.5,
+    ),
+    IntentSpec(
+        "matches_in_cup", "matches", ("year",),
+        (
+            "How many matches were played in {year}?",
+            "Number of games at the {year} world cup?",
+        ),
+        weight=0.4,
+    ),
+    # -- winners and podium -----------------------------------------------------
+    IntentSpec(
+        "cup_winner", "winners", ("year",),
+        (
+            "Who won the world cup in {year}?",
+            "Which country won the {year} world cup?",
+            "World champion of {year}?",
+            "Who took the title in {year}?",
+        ),
+        weight=8.0,
+    ),
+    IntentSpec(
+        "cup_prize_team", "winners", ("year", "prize"),
+        (
+            "Which team did {prize_phrase} in {year}?",
+            "Who {prize_phrase_past} at the {year} world cup?",
+        ),
+        weight=3.0,
+    ),
+    IntentSpec(
+        "prize_count_team", "winners", ("team", "prize"),
+        (
+            "How many times did {team} {prize_phrase}?",
+            "How often did {team} {prize_phrase}?",
+        ),
+        weight=5.0,
+    ),
+    IntentSpec(
+        "winners_list", "winners", (),
+        (
+            "Which countries have won the world cup?",
+            "List all world cup winners.",
+            "Which teams ever won the title?",
+        ),
+        weight=2.0,
+    ),
+    IntentSpec(
+        "most_titles", "winners", (),
+        (
+            "Who won the most world cups?",
+            "Which country has the most world cup titles?",
+        ),
+        weight=2.5,
+    ),
+    IntentSpec(
+        "host_winner", "winners", (),
+        (
+            "Which host countries won their own world cup?",
+            "Did any host win the world cup at home?",
+        ),
+        weight=1.0,
+    ),
+    IntentSpec(
+        "teams_multiple_titles", "winners", (),
+        (
+            "Which teams won the world cup more than once?",
+            "Which countries have at least two titles, and how many?",
+        ),
+        weight=2.5,
+    ),
+    IntentSpec(
+        "never_won", "winners", (),
+        (
+            "Which national teams never won the world cup?",
+            "Which countries have no world cup title?",
+        ),
+        weight=1.5,
+    ),
+    # -- tournaments --------------------------------------------------------------
+    IntentSpec(
+        "cup_host", "tournaments", ("year",),
+        (
+            "Where did the world cup {year} take place?",
+            "Which country hosted the {year} world cup?",
+            "Host of the world cup in {year}?",
+        ),
+        weight=0.6,
+    ),
+    IntentSpec(
+        "host_years", "tournaments", ("country",),
+        (
+            "When did {country} host the world cup?",
+            "In which years was the world cup in {country}?",
+        ),
+        weight=0.5,
+    ),
+    IntentSpec(
+        "cup_goals_total", "tournaments", ("year",),
+        (
+            "How many goals were scored at the {year} world cup?",
+            "Total number of goals in {year}?",
+        ),
+        weight=0.4,
+    ),
+    IntentSpec(
+        "cup_team_count", "tournaments", ("year",),
+        (
+            "How many teams participated in {year}?",
+            "Number of teams at the {year} world cup?",
+        ),
+        weight=0.3,
+    ),
+    IntentSpec(
+        "avg_goals_match", "tournaments", ("year",),
+        (
+            "What was the average number of goals per match in {year}?",
+            "Average goals per game at the {year} world cup?",
+        ),
+        weight=1.0,
+    ),
+    # -- players -------------------------------------------------------------------
+    IntentSpec(
+        "top_scorer_cup", "players", ("year",),
+        (
+            "Who scored the most goals in {year}?",
+            "Top scorer of the {year} world cup?",
+            "Which player scored most at the {year} world cup?",
+        ),
+        weight=4.0,
+    ),
+    IntentSpec(
+        "player_goals_cup", "players", ("player", "year"),
+        (
+            "How many goals did {player} score in {year}?",
+            "Number of goals by {player} at the {year} world cup?",
+        ),
+        weight=3.0,
+    ),
+    IntentSpec(
+        "player_goals_total", "players", ("player",),
+        (
+            "How many world cup goals did {player} score in total?",
+            "Total world cup goals of {player}?",
+        ),
+        weight=2.0,
+    ),
+    IntentSpec(
+        "squad_list", "players", ("team", "year"),
+        (
+            "Who played for {team} in {year}?",
+            "Which players were in the {team} squad in {year}?",
+            "List the {team} players of {year}.",
+        ),
+        weight=3.0,
+    ),
+    IntentSpec(
+        "tallest_player_team", "players", ("team", "year"),
+        (
+            "Who was the tallest player of {team} in {year}?",
+            "Tallest {team} player at the {year} world cup?",
+        ),
+        weight=2.0,
+    ),
+    IntentSpec(
+        "player_position", "players", ("player",),
+        (
+            "What position does {player} play?",
+            "Which position is {player}?",
+        ),
+        weight=0.4,
+    ),
+    IntentSpec(
+        "player_height", "players", ("player",),
+        (
+            "How tall is {player}?",
+            "What is the height of {player}?",
+        ),
+        weight=0.3,
+    ),
+    IntentSpec(
+        "taller_than_avg", "players", (),
+        (
+            "Which players are taller than the average world cup player?",
+            "List players above average height.",
+        ),
+        weight=0.8,
+    ),
+    IntentSpec(
+        "scorers_in_final", "players", ("year",),
+        (
+            "Who scored in the final of {year}?",
+            "Which players scored in the {year} world cup final?",
+        ),
+        weight=2.0,
+    ),
+    IntentSpec(
+        "top_scorers_list", "players", ("year", "top_n"),
+        (
+            "Who were the top {top_n} scorers in {year} and how many goals did they score?",
+            "List the {top_n} best scorers of the {year} world cup with their goals.",
+        ),
+        weight=2.5,
+    ),
+    IntentSpec(
+        "avg_height_team", "players", ("team", "year"),
+        (
+            "What was the average height of the {team} squad in {year}?",
+            "Average player height of {team} at the {year} world cup?",
+        ),
+        weight=1.5,
+    ),
+    IntentSpec(
+        "goals_by_position", "players", ("year",),
+        (
+            "How many goals were scored per position in {year}?",
+            "Goals by player position at the {year} world cup?",
+        ),
+        weight=1.5,
+    ),
+    # -- clubs, leagues, coaches ------------------------------------------------------
+    IntentSpec(
+        "player_clubs", "clubs", ("player",),
+        (
+            "Which clubs did {player} play for?",
+            "What clubs has {player} played at?",
+        ),
+        weight=3.5,
+    ),
+    IntentSpec(
+        "club_players", "clubs", ("club",),
+        (
+            "Which world cup players played for {club}?",
+            "Who has played for {club}?",
+        ),
+        weight=1.5,
+    ),
+    IntentSpec(
+        "club_league", "clubs", ("club",),
+        (
+            "In which league does {club} play?",
+            "Which league is {club} part of?",
+        ),
+        weight=1.5,
+    ),
+    IntentSpec(
+        "league_clubs_count", "clubs", ("league",),
+        (
+            "How many clubs play in the {league}?",
+            "Number of clubs in the {league}?",
+        ),
+        weight=1.0,
+    ),
+    IntentSpec(
+        "coach_of_team", "coaches", ("team", "year"),
+        (
+            "Who coached {team} in {year}?",
+            "Who was the coach of {team} at the {year} world cup?",
+        ),
+        weight=2.5,
+    ),
+    IntentSpec(
+        "coach_clubs", "coaches", ("coach",),
+        (
+            "Which clubs did {coach} coach?",
+            "What clubs has {coach} managed?",
+        ),
+        weight=1.0,
+    ),
+    # -- stadiums -------------------------------------------------------------------------
+    IntentSpec(
+        "final_stadium", "stadiums", ("year",),
+        (
+            "In which stadium was the final of {year} played?",
+            "Where was the {year} world cup final?",
+        ),
+        weight=1.5,
+    ),
+    IntentSpec(
+        "stadium_matches_count", "stadiums", ("stadium",),
+        (
+            "How many matches were played at {stadium}?",
+            "Number of world cup games in {stadium}?",
+        ),
+        weight=1.0,
+    ),
+    IntentSpec(
+        "biggest_stadium", "stadiums", ("country",),
+        (
+            "What is the biggest stadium in {country}?",
+            "Largest world cup stadium of {country}?",
+        ),
+        weight=1.0,
+    ),
+    # -- cards and events --------------------------------------------------------------------
+    IntentSpec(
+        "cards_in_cup", "cards", ("year", "card"),
+        (
+            "How many {card}s were shown in {year}?",
+            "Number of {card}s at the {year} world cup?",
+        ),
+        weight=1.5,
+    ),
+    IntentSpec(
+        "cards_in_match", "cards", ("team_a", "team_b", "year", "card"),
+        (
+            "How many {card}s were shown in {team_a} against {team_b} in {year}?",
+            "{card}s in the game {team_a} vs {team_b} in {year}?",
+        ),
+        weight=4.5, symmetric=True,
+    ),
+    IntentSpec(
+        "penalties_in_cup", "cards", ("year",),
+        (
+            "How many penalties were scored in {year}?",
+            "Number of penalty goals at the {year} world cup?",
+        ),
+        weight=1.0,
+    ),
+]
+
+REGISTRY: Dict[str, IntentSpec] = {spec.kind: spec for spec in _SPECS}
+
+ALL_KINDS: Tuple[str, ...] = tuple(REGISTRY)
+
+TOPICS: Tuple[str, ...] = tuple(
+    dict.fromkeys(spec.topic for spec in _SPECS)
+)
+
+
+def kinds_for_topic(topic: str) -> List[str]:
+    return [spec.kind for spec in _SPECS if spec.topic == topic]

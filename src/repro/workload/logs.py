@@ -1,0 +1,82 @@
+"""Deployment log records and the Table 1 statistics."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from .intents import Intent
+
+
+class QuestionCategory(enum.Enum):
+    """Why a logged question looks the way it does (Section 4)."""
+
+    CLEAN = "clean"
+    MISSPELLED = "misspelled"
+    NON_ENGLISH = "non_english"
+    UNRELATED = "unrelated"
+    UNANSWERABLE = "unanswerable"
+    AMBIGUOUS = "ambiguous"
+
+
+class Feedback(enum.Enum):
+    NONE = "none"
+    THUMBS_UP = "thumbs_up"
+    THUMBS_DOWN = "thumbs_down"
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One user interaction with the deployed system."""
+
+    log_id: int
+    question: str
+    category: QuestionCategory
+    intent: Optional[Intent]  # None for unrelated/unanswerable noise
+    sql_generated: bool
+    predicted_sql: Optional[str]
+    prediction_correct: Optional[bool]  # None when no SQL was produced
+    feedback: Feedback
+    corrected_sql: Optional[str]  # expert-provided fix, when given
+
+
+@dataclass(frozen=True)
+class Table1Stats:
+    """The paper's Table 1: statistics of live user logs."""
+
+    questions_issued: int
+    sql_generated: int
+    no_sql_generated: int
+    thumbs_up: int
+    thumbs_down: int
+    corrected_queries: int
+
+    @property
+    def generation_rate(self) -> float:
+        if not self.questions_issued:
+            return 0.0
+        return self.sql_generated / self.questions_issued
+
+    def rows(self) -> List[tuple]:
+        """(label, value) rows in the paper's order."""
+        return [
+            ("#NL questions issued", self.questions_issued),
+            ("#Times SQL generated", self.sql_generated),
+            ("#Times no SQL generated", self.no_sql_generated),
+            ("#Thumbs up", self.thumbs_up),
+            ("#Thumbs down", self.thumbs_down),
+            ("#User corrected SQL queries", self.corrected_queries),
+        ]
+
+
+def summarize(records: Iterable[LogRecord]) -> Table1Stats:
+    records = list(records)
+    return Table1Stats(
+        questions_issued=len(records),
+        sql_generated=sum(1 for r in records if r.sql_generated),
+        no_sql_generated=sum(1 for r in records if not r.sql_generated),
+        thumbs_up=sum(1 for r in records if r.feedback is Feedback.THUMBS_UP),
+        thumbs_down=sum(1 for r in records if r.feedback is Feedback.THUMBS_DOWN),
+        corrected_queries=sum(1 for r in records if r.corrected_sql is not None),
+    )

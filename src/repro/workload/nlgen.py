@@ -1,0 +1,139 @@
+"""Natural-language realization of intents.
+
+Turns an :class:`Intent` into a user question.  Besides clean English
+realizations, the module produces the noise classes the paper observed
+in the live logs (Section 4, "Overall Observations"):
+
+1. unrelated questions,
+2. unanswerable questions (intent outside the DB's scope),
+3. ambiguous questions,
+4. questions in languages other than English,
+5. spelling errors in player names.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from .intents import PRIZE_SYNONYMS, REGISTRY, Intent
+
+_CARD_SURFACE = {"yellow_card": "yellow card", "red_card": "red card"}
+
+#: A few non-English question templates (German, Spanish, French) — the
+#: deployment received these and could not serve them.
+NON_ENGLISH_TEMPLATES = [
+    "Wer hat die Weltmeisterschaft {year} gewonnen?",
+    "Wie viele Tore hat {team} {year} geschossen?",
+    "¿Quién ganó la copa del mundo de {year}?",
+    "¿Cuántos goles marcó {team} en {year}?",
+    "Qui a gagné la coupe du monde {year} ?",
+    "Combien de buts {team} a marqué en {year} ?",
+]
+
+UNRELATED_QUESTIONS = [
+    "What is the weather in Doha today?",
+    "How do I reset my password?",
+    "Who is the president of FIFA?",
+    "What time is kickoff tonight?",
+    "Can you recommend a good restaurant near the stadium?",
+    "Why is the sky blue?",
+    "Tell me a joke about football.",
+    "What does offside mean?",
+]
+
+UNANSWERABLE_QUESTIONS = [
+    "What was the market value of the winning squad in 2022?",
+    "How many people watched the final on TV?",
+    "Which referee made the most mistakes?",
+    "What was the possession percentage in the final?",
+    "Who had the fastest shot of the tournament?",
+    "How many passes did the winning team complete?",
+]
+
+AMBIGUOUS_QUESTIONS = [
+    "Who is the best player?",
+    "Which team is better?",
+    "Who won?",
+    "How many goals?",
+    "Was it a good game?",
+]
+
+
+def realize(intent: Intent, rng: random.Random) -> str:
+    """Render ``intent`` as a clean English question."""
+    spec = REGISTRY[intent.kind]
+    template = rng.choice(spec.templates)
+    return _fill(template, intent, rng)
+
+
+def realize_all(intent: Intent) -> List[str]:
+    """Every template realization (used by paraphrase tests)."""
+    rng = random.Random(0)
+    return [_fill(template, intent, rng) for template in REGISTRY[intent.kind].templates]
+
+
+def _fill(template: str, intent: Intent, rng: random.Random) -> str:
+    values = dict(intent.slots)
+    if "prize" in values:
+        phrase = rng.choice(PRIZE_SYNONYMS[values["prize"]])
+        values["prize_phrase"] = phrase
+        values["prize_phrase_past"] = _past_tense(phrase)
+    if "card" in values:
+        values["card"] = _CARD_SURFACE[values["card"]]
+    return template.format(**values)
+
+
+def _past_tense(phrase: str) -> str:
+    head, _, tail = phrase.partition(" ")
+    irregular = {"win": "won", "become": "became", "take": "took", "lose": "lost",
+                 "finish": "finished", "end": "ended"}
+    return f"{irregular.get(head, head + 'ed')} {tail}"
+
+
+# -- noise -------------------------------------------------------------------
+
+
+def misspell(text: str, rng: random.Random) -> str:
+    """Introduce one realistic typo (swap, drop or double a letter).
+
+    Operates on a word of length >= 5 so the result stays readable —
+    matching the 'multitude of spelling errors for player names' the
+    paper reports.
+    """
+    words = text.split(" ")
+    candidates = [i for i, word in enumerate(words) if len(word) >= 5 and word[0].isalpha()]
+    if not candidates:
+        return text
+    index = rng.choice(candidates)
+    word = words[index]
+    position = rng.randint(1, len(word) - 2)
+    mode = rng.random()
+    if mode < 0.4:  # swap neighbours
+        word = word[:position] + word[position + 1] + word[position] + word[position + 2:]
+    elif mode < 0.7:  # drop one letter
+        word = word[:position] + word[position + 1:]
+    else:  # double one letter
+        word = word[:position] + word[position] + word[position:]
+    words[index] = word
+    return " ".join(words)
+
+
+def realize_non_english(intent: Intent, rng: random.Random) -> Optional[str]:
+    """A non-English variant, if the intent's slots fit the templates."""
+    year = intent.slot("year") if intent.has_slot("year") else 2022
+    team = intent.slot("team") if intent.has_slot("team") else "Brasilien"
+    template = rng.choice(NON_ENGLISH_TEMPLATES)
+    return template.format(year=year, team=team)
+
+
+def sample_unrelated(rng: random.Random) -> str:
+    return rng.choice(UNRELATED_QUESTIONS)
+
+
+def sample_unanswerable(rng: random.Random) -> str:
+    return rng.choice(UNANSWERABLE_QUESTIONS)
+
+
+def sample_ambiguous(rng: random.Random) -> str:
+    return rng.choice(AMBIGUOUS_QUESTIONS)

@@ -1,0 +1,1094 @@
+"""Intent → gold SQL, once per data model.
+
+This module plays the role of the paper's six expert annotators: every
+intent kind has a compiler that produces the reference SQL for data
+models v1, v2 and v3.  The compilers build engine ASTs (so the output
+is parseable and executable by construction) and embody the paper's
+Figure 4 / Listing 1 semantics:
+
+* symmetric match questions ("A against B") need a ``UNION`` over both
+  home/away assignments in v1 and v2, but a single flat join in v3;
+* v2 routes all team references through the ``plays_as_home`` /
+  ``plays_as_away`` bridge tables (most joins of any model);
+* podium questions use FK columns in v1 (``world_cup.winner``), the
+  text ``prize`` column in v2, and Boolean columns in v3 (Listing 1);
+* the v3 ``plays_match`` perspective table eliminates every set
+  operation in the workload (Table 3: 0.00 set ops for v3).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.sqlengine import (
+    BinaryOp,
+    ColumnRef,
+    Conjunction,
+    Expression,
+    FunctionCall,
+    Join,
+    JoinKind,
+    LikeOp,
+    Literal,
+    OrderItem,
+    QueryNode,
+    ScalarSubquery,
+    SelectItem,
+    SelectQuery,
+    SetOperation,
+    SetOperator,
+    Star,
+    TableRef,
+    format_query,
+)
+
+from .intents import Intent
+
+VERSIONS = ("v1", "v2", "v3")
+
+
+class UnsupportedIntentError(Exception):
+    """Raised when an intent has no compiler for a data model."""
+
+
+# -- tiny AST-building DSL ----------------------------------------------------
+
+
+def col(table: str, column: str) -> ColumnRef:
+    return ColumnRef(column, table)
+
+
+def lit(value) -> Literal:
+    return Literal(value)
+
+
+def eq(left: Expression, right: Expression) -> BinaryOp:
+    return BinaryOp("=", left, right)
+
+
+def name_filter(table: str, column: str, value: str) -> LikeOp:
+    """The annotators' house style: ``x ILIKE '%value%'``."""
+    return LikeOp(col(table, column), lit(f"%{value}%"), case_insensitive=True)
+
+
+def and_(*terms: Expression) -> Expression:
+    flattened = [term for term in terms if term is not None]
+    if len(flattened) == 1:
+        return flattened[0]
+    return Conjunction("AND", tuple(flattened))
+
+
+def or_(*terms: Expression) -> Expression:
+    if len(terms) == 1:
+        return terms[0]
+    return Conjunction("OR", tuple(terms))
+
+
+def count_star() -> FunctionCall:
+    return FunctionCall("count", (Star(),))
+
+
+def count_distinct(expr: Expression) -> FunctionCall:
+    return FunctionCall("count", (expr,), distinct=True)
+
+
+def agg(name: str, expr: Expression) -> FunctionCall:
+    return FunctionCall(name, (expr,))
+
+
+def join(table: str, alias: str, condition: Expression) -> Join:
+    return Join(JoinKind.INNER, TableRef(table, alias), condition)
+
+
+def select(
+    projections: List[Expression],
+    from_table: Optional[tuple] = None,
+    joins: Optional[List[Join]] = None,
+    where: Optional[Expression] = None,
+    group_by: Optional[List[Expression]] = None,
+    order_by: Optional[List[OrderItem]] = None,
+    limit: Optional[int] = None,
+    distinct: bool = False,
+) -> SelectQuery:
+    return SelectQuery(
+        projections=[SelectItem(p) for p in projections],
+        from_table=TableRef(*from_table) if from_table else None,
+        joins=joins or [],
+        where=where,
+        group_by=group_by or [],
+        order_by=order_by or [],
+        limit=limit,
+        distinct=distinct,
+    )
+
+
+# -- public API -----------------------------------------------------------------
+
+
+def compile_ast(intent: Intent, version: str) -> QueryNode:
+    """Gold SQL AST for ``intent`` under data model ``version``."""
+    try:
+        builder = _BUILDERS[intent.kind]
+    except KeyError:
+        raise UnsupportedIntentError(
+            f"no SQL compiler for intent kind {intent.kind!r}"
+        ) from None
+    if version not in VERSIONS:
+        raise UnsupportedIntentError(f"unknown data model version {version!r}")
+    return builder(intent, version)
+
+
+def compile_intent(intent: Intent, version: str) -> str:
+    """Gold SQL text for ``intent`` under data model ``version``."""
+    return format_query(compile_ast(intent, version))
+
+
+# -- matches ----------------------------------------------------------------------
+
+
+def _match_core_v1(team_a: str, team_b: str, year: int, projections) -> SelectQuery:
+    return select(
+        projections,
+        from_table=("match", "T1"),
+        joins=[
+            join("national_team", "T2", eq(col("T2", "team_id"), col("T1", "home_team_id"))),
+            join("national_team", "T3", eq(col("T3", "team_id"), col("T1", "away_team_id"))),
+        ],
+        where=and_(
+            name_filter("T2", "teamname", team_a),
+            name_filter("T3", "teamname", team_b),
+            eq(col("T1", "year"), lit(year)),
+        ),
+    )
+
+
+def _match_core_v2(team_a: str, team_b: str, year: int, projections) -> SelectQuery:
+    return select(
+        projections,
+        from_table=("match", "T1"),
+        joins=[
+            join("plays_as_home", "T2", eq(col("T1", "match_id"), col("T2", "match_id"))),
+            join("national_team", "T3", eq(col("T2", "team_id"), col("T3", "team_id"))),
+            join("plays_as_away", "T4", eq(col("T1", "match_id"), col("T4", "match_id"))),
+            join("national_team", "T5", eq(col("T4", "team_id"), col("T5", "team_id"))),
+        ],
+        where=and_(
+            name_filter("T3", "teamname", team_a),
+            name_filter("T5", "teamname", team_b),
+            eq(col("T1", "year"), lit(year)),
+        ),
+    )
+
+
+def _match_score(intent: Intent, version: str) -> QueryNode:
+    team_a = intent.slot("team_a")
+    team_b = intent.slot("team_b")
+    year = intent.slot("year")
+    if version == "v1":
+        projections = [
+            col("T2", "teamname"),
+            col("T3", "teamname"),
+            col("T1", "home_team_goals"),
+            col("T1", "away_team_goals"),
+        ]
+        return SetOperation(
+            SetOperator.UNION,
+            _match_core_v1(team_a, team_b, year, projections),
+            _match_core_v1(team_b, team_a, year, projections),
+        )
+    if version == "v2":
+        projections = [
+            col("T3", "teamname"),
+            col("T5", "teamname"),
+            col("T2", "home_team_goals"),
+            col("T4", "away_team_goals"),
+        ]
+        return SetOperation(
+            SetOperator.UNION,
+            _match_core_v2(team_a, team_b, year, projections),
+            _match_core_v2(team_b, team_a, year, projections),
+        )
+    # v3: Figure 4, right — one flat join, no UNION.
+    return select(
+        [
+            col("T1", "teamname"),
+            col("T3", "teamname"),
+            col("T2", "team_goals"),
+            col("T2", "opponent_team_goals"),
+        ],
+        from_table=("national_team", "T1"),
+        joins=[
+            join("plays_match", "T2", eq(col("T2", "team_id"), col("T1", "team_id"))),
+            join(
+                "national_opponent_team",
+                "T3",
+                eq(col("T3", "team_id"), col("T2", "opponent_team_id")),
+            ),
+        ],
+        where=and_(
+            name_filter("T1", "teamname", team_a),
+            name_filter("T3", "teamname", team_b),
+            eq(col("T2", "year"), lit(year)),
+        ),
+    )
+
+
+def _match_count_team(intent: Intent, version: str) -> QueryNode:
+    team = intent.slot("team")
+    year = intent.slot("year")
+    if version == "v1":
+        return select(
+            [count_star()],
+            from_table=("match", "T1"),
+            joins=[
+                join(
+                    "national_team",
+                    "T2",
+                    or_(
+                        eq(col("T1", "home_team_id"), col("T2", "team_id")),
+                        eq(col("T1", "away_team_id"), col("T2", "team_id")),
+                    ),
+                )
+            ],
+            where=and_(
+                name_filter("T2", "teamname", team), eq(col("T1", "year"), lit(year))
+            ),
+        )
+    if version == "v2":
+        return select(
+            [count_star()],
+            from_table=("match", "T1"),
+            joins=[
+                join("plays_as_home", "T2", eq(col("T1", "match_id"), col("T2", "match_id"))),
+                join("plays_as_away", "T3", eq(col("T1", "match_id"), col("T3", "match_id"))),
+                join(
+                    "national_team",
+                    "T4",
+                    or_(
+                        eq(col("T2", "team_id"), col("T4", "team_id")),
+                        eq(col("T3", "team_id"), col("T4", "team_id")),
+                    ),
+                ),
+            ],
+            where=and_(
+                name_filter("T4", "teamname", team), eq(col("T1", "year"), lit(year))
+            ),
+        )
+    return select(
+        [count_star()],
+        from_table=("plays_match", "T1"),
+        joins=[join("national_team", "T2", eq(col("T1", "team_id"), col("T2", "team_id")))],
+        where=and_(
+            name_filter("T2", "teamname", team), eq(col("T1", "year"), lit(year))
+        ),
+    )
+
+
+def _team_goals_cup(intent: Intent, version: str) -> QueryNode:
+    team = intent.slot("team")
+    year = intent.slot("year")
+    if version in ("v1", "v2"):
+        # Event-based count: one row in match_fact per goal credited to
+        # the team (annotator style that avoids the home/away UNION).
+        return select(
+            [count_star()],
+            from_table=("match_fact", "T1"),
+            joins=[
+                join("match", "T2", eq(col("T1", "match_id"), col("T2", "match_id"))),
+                join("national_team", "T3", eq(col("T1", "team_id"), col("T3", "team_id"))),
+            ],
+            where=and_(
+                name_filter("T3", "teamname", team),
+                eq(col("T2", "year"), lit(year)),
+                eq(col("T1", "goal"), lit("True")),
+            ),
+        )
+    return select(
+        [agg("sum", col("T1", "team_goals"))],
+        from_table=("plays_match", "T1"),
+        joins=[join("national_team", "T2", eq(col("T1", "team_id"), col("T2", "team_id")))],
+        where=and_(
+            name_filter("T2", "teamname", team), eq(col("T1", "year"), lit(year))
+        ),
+    )
+
+
+def _final_score(intent: Intent, version: str) -> QueryNode:
+    year = intent.slot("year")
+    stage_filter = eq(col("T1", "stage"), lit("final"))
+    if version == "v1":
+        return select(
+            [
+                col("T2", "teamname"),
+                col("T3", "teamname"),
+                col("T1", "home_team_goals"),
+                col("T1", "away_team_goals"),
+            ],
+            from_table=("match", "T1"),
+            joins=[
+                join("national_team", "T2", eq(col("T1", "home_team_id"), col("T2", "team_id"))),
+                join("national_team", "T3", eq(col("T1", "away_team_id"), col("T3", "team_id"))),
+            ],
+            where=and_(eq(col("T1", "year"), lit(year)), stage_filter),
+        )
+    if version == "v2":
+        return select(
+            [
+                col("T3", "teamname"),
+                col("T5", "teamname"),
+                col("T2", "home_team_goals"),
+                col("T4", "away_team_goals"),
+            ],
+            from_table=("match", "T1"),
+            joins=[
+                join("plays_as_home", "T2", eq(col("T1", "match_id"), col("T2", "match_id"))),
+                join("national_team", "T3", eq(col("T2", "team_id"), col("T3", "team_id"))),
+                join("plays_as_away", "T4", eq(col("T1", "match_id"), col("T4", "match_id"))),
+                join("national_team", "T5", eq(col("T4", "team_id"), col("T5", "team_id"))),
+            ],
+            where=and_(eq(col("T1", "year"), lit(year)), stage_filter),
+        )
+    return select(
+        [
+            col("T2", "teamname"),
+            col("T3", "teamname"),
+            col("T1", "team_goals"),
+            col("T1", "opponent_team_goals"),
+        ],
+        from_table=("plays_match", "T1"),
+        joins=[
+            join("national_team", "T2", eq(col("T1", "team_id"), col("T2", "team_id"))),
+            join(
+                "national_opponent_team",
+                "T3",
+                eq(col("T1", "opponent_team_id"), col("T3", "team_id")),
+            ),
+        ],
+        where=and_(
+            eq(col("T1", "year"), lit(year)),
+            stage_filter,
+            eq(col("T1", "team_role"), lit("home")),
+        ),
+    )
+
+
+def _biggest_win_cup(intent: Intent, version: str) -> QueryNode:
+    year = intent.slot("year")
+    if version == "v1":
+        query = _final_score(intent, version)
+        query.where = eq(col("T1", "year"), lit(year))
+        query.order_by = [
+            OrderItem(
+                BinaryOp("+", col("T1", "home_team_goals"), col("T1", "away_team_goals")),
+                descending=True,
+            )
+        ]
+        query.limit = 1
+        return query
+    if version == "v2":
+        query = _final_score(intent, version)
+        query.where = eq(col("T1", "year"), lit(year))
+        query.order_by = [
+            OrderItem(
+                BinaryOp("+", col("T2", "home_team_goals"), col("T4", "away_team_goals")),
+                descending=True,
+            )
+        ]
+        query.limit = 1
+        return query
+    query = _final_score(intent, version)
+    query.where = and_(
+        eq(col("T1", "year"), lit(year)), eq(col("T1", "team_role"), lit("home"))
+    )
+    query.order_by = [
+        OrderItem(
+            BinaryOp("+", col("T1", "team_goals"), col("T1", "opponent_team_goals")),
+            descending=True,
+        )
+    ]
+    query.limit = 1
+    return query
+
+
+def _matches_in_cup(intent: Intent, version: str) -> QueryNode:
+    year = intent.slot("year")
+    if version in ("v1", "v2"):
+        return select(
+            [count_star()],
+            from_table=("match", "T1"),
+            where=eq(col("T1", "year"), lit(year)),
+        )
+    return select(
+        [count_distinct(col("T1", "match_id"))],
+        from_table=("plays_match", "T1"),
+        where=eq(col("T1", "year"), lit(year)),
+    )
+
+
+# -- winners and podium ------------------------------------------------------------
+
+
+def _podium_query(version: str, prize: str, projections, extra_where=None, **kwargs):
+    """Shared shape of all podium questions, per data model."""
+    if version == "v1":
+        return select(
+            projections,
+            from_table=("world_cup", "T1"),
+            joins=[
+                join("national_team", "T2", eq(col("T1", prize), col("T2", "team_id")))
+            ],
+            where=extra_where,
+            **kwargs,
+        )
+    prize_filter = (
+        eq(col("T1", "prize"), lit(prize))
+        if version == "v2"
+        else eq(col("T1", prize), lit("True"))
+    )
+    return select(
+        projections,
+        from_table=("world_cup_result", "T1"),
+        joins=[join("national_team", "T2", eq(col("T1", "team_id"), col("T2", "team_id")))],
+        where=and_(prize_filter, extra_where) if extra_where is not None else prize_filter,
+        **kwargs,
+    )
+
+
+def _cup_winner(intent: Intent, version: str) -> QueryNode:
+    year = intent.slot("year")
+    return _podium_query(
+        version,
+        "winner",
+        [col("T2", "teamname")],
+        extra_where=eq(col("T1", "year"), lit(year)),
+    )
+
+
+def _cup_prize_team(intent: Intent, version: str) -> QueryNode:
+    year = intent.slot("year")
+    prize = intent.slot("prize")
+    return _podium_query(
+        version,
+        prize,
+        [col("T2", "teamname")],
+        extra_where=eq(col("T1", "year"), lit(year)),
+    )
+
+
+def _prize_count_team(intent: Intent, version: str) -> QueryNode:
+    team = intent.slot("team")
+    prize = intent.slot("prize")
+    return _podium_query(
+        version,
+        prize,
+        [count_star()],
+        extra_where=name_filter("T2", "teamname", team),
+    )
+
+
+def _winners_list(intent: Intent, version: str) -> QueryNode:
+    query = _podium_query(version, "winner", [col("T2", "teamname")])
+    query.distinct = True
+    return query
+
+
+def _most_titles(intent: Intent, version: str) -> QueryNode:
+    return _podium_query(
+        version,
+        "winner",
+        [col("T2", "teamname")],
+        group_by=[col("T2", "teamname")],
+        order_by=[OrderItem(count_star(), descending=True)],
+        limit=1,
+    )
+
+
+def _teams_multiple_titles(intent: Intent, version: str) -> QueryNode:
+    query = _podium_query(
+        version,
+        "winner",
+        [col("T2", "teamname"), count_star()],
+        group_by=[col("T2", "teamname")],
+        order_by=[OrderItem(count_star(), descending=True)],
+    )
+    query.having = BinaryOp(">=", count_star(), lit(2))
+    return query
+
+
+def _never_won(intent: Intent, version: str) -> QueryNode:
+    if version == "v1":
+        winners = select(
+            [col("T2", "teamname")],
+            from_table=("world_cup", "T1"),
+            joins=[
+                join("national_team", "T2", eq(col("T1", "winner"), col("T2", "team_id")))
+            ],
+        )
+        everyone = select([col("T1", "teamname")], from_table=("national_team", "T1"))
+        return SetOperation(SetOperator.EXCEPT, everyone, winners)
+    if version == "v2":
+        winners = select(
+            [col("T2", "teamname")],
+            from_table=("world_cup_result", "T1"),
+            joins=[
+                join("national_team", "T2", eq(col("T1", "team_id"), col("T2", "team_id")))
+            ],
+            where=eq(col("T1", "prize"), lit("winner")),
+        )
+        everyone = select([col("T1", "teamname")], from_table=("national_team", "T1"))
+        return SetOperation(SetOperator.EXCEPT, everyone, winners)
+    # v3: boolean columns make NOT IN natural — no set operation needed.
+    winners = select(
+        [col("T1", "team_id")],
+        from_table=("world_cup_result", "T1"),
+        where=eq(col("T1", "winner"), lit("True")),
+    )
+    from repro.sqlengine import InOp
+
+    return select(
+        [col("T1", "teamname")],
+        from_table=("national_team", "T1"),
+        where=InOp(col("T1", "team_id"), subquery=winners, negated=True),
+    )
+
+
+def _host_winner(intent: Intent, version: str) -> QueryNode:
+    if version == "v1":
+        return select(
+            [col("T1", "year"), col("T2", "teamname")],
+            from_table=("world_cup", "T1"),
+            joins=[
+                join("national_team", "T2", eq(col("T1", "winner"), col("T2", "team_id")))
+            ],
+            where=eq(col("T2", "teamname"), col("T1", "host_country")),
+        )
+    prize_filter = (
+        eq(col("T1", "prize"), lit("winner"))
+        if version == "v2"
+        else eq(col("T1", "winner"), lit("True"))
+    )
+    return select(
+        [col("T1", "year"), col("T2", "teamname")],
+        from_table=("world_cup_result", "T1"),
+        joins=[
+            join("national_team", "T2", eq(col("T1", "team_id"), col("T2", "team_id"))),
+            join("world_cup", "T3", eq(col("T1", "year"), col("T3", "year"))),
+        ],
+        where=and_(prize_filter, eq(col("T2", "teamname"), col("T3", "host_country"))),
+    )
+
+
+# -- tournaments -----------------------------------------------------------------------
+
+
+def _cup_host(intent: Intent, version: str) -> QueryNode:
+    return select(
+        [col("T1", "host_country")],
+        from_table=("world_cup", "T1"),
+        where=eq(col("T1", "year"), lit(intent.slot("year"))),
+    )
+
+
+def _host_years(intent: Intent, version: str) -> QueryNode:
+    return select(
+        [col("T1", "year")],
+        from_table=("world_cup", "T1"),
+        where=name_filter("T1", "host_country", intent.slot("country")),
+    )
+
+
+def _cup_goals_total(intent: Intent, version: str) -> QueryNode:
+    return select(
+        [col("T1", "goals_scored")],
+        from_table=("world_cup", "T1"),
+        where=eq(col("T1", "year"), lit(intent.slot("year"))),
+    )
+
+
+def _cup_team_count(intent: Intent, version: str) -> QueryNode:
+    return select(
+        [col("T1", "teams_count")],
+        from_table=("world_cup", "T1"),
+        where=eq(col("T1", "year"), lit(intent.slot("year"))),
+    )
+
+
+def _avg_goals_match(intent: Intent, version: str) -> QueryNode:
+    year = intent.slot("year")
+    if version == "v1":
+        return select(
+            [agg("avg", BinaryOp("+", col("T1", "home_team_goals"), col("T1", "away_team_goals")))],
+            from_table=("match", "T1"),
+            where=eq(col("T1", "year"), lit(year)),
+        )
+    if version == "v2":
+        return select(
+            [agg("avg", BinaryOp("+", col("T2", "home_team_goals"), col("T3", "away_team_goals")))],
+            from_table=("match", "T1"),
+            joins=[
+                join("plays_as_home", "T2", eq(col("T1", "match_id"), col("T2", "match_id"))),
+                join("plays_as_away", "T3", eq(col("T1", "match_id"), col("T3", "match_id"))),
+            ],
+            where=eq(col("T1", "year"), lit(year)),
+        )
+    return select(
+        [agg("avg", BinaryOp("+", col("T1", "team_goals"), col("T1", "opponent_team_goals")))],
+        from_table=("plays_match", "T1"),
+        where=and_(
+            eq(col("T1", "year"), lit(year)), eq(col("T1", "team_role"), lit("home"))
+        ),
+    )
+
+
+# -- players ----------------------------------------------------------------------------
+
+
+def _top_scorer_cup(intent: Intent, version: str) -> QueryNode:
+    return select(
+        [col("T2", "full_name")],
+        from_table=("player_fact", "T1"),
+        joins=[join("player", "T2", eq(col("T1", "player_id"), col("T2", "player_id")))],
+        where=eq(col("T1", "year"), lit(intent.slot("year"))),
+        order_by=[OrderItem(col("T1", "goals_scored"), descending=True)],
+        limit=1,
+    )
+
+
+def _player_goals_cup(intent: Intent, version: str) -> QueryNode:
+    return select(
+        [col("T1", "goals_scored")],
+        from_table=("player_fact", "T1"),
+        joins=[join("player", "T2", eq(col("T1", "player_id"), col("T2", "player_id")))],
+        where=and_(
+            name_filter("T2", "full_name", intent.slot("player")),
+            eq(col("T1", "year"), lit(intent.slot("year"))),
+        ),
+    )
+
+
+def _player_goals_total(intent: Intent, version: str) -> QueryNode:
+    return select(
+        [agg("sum", col("T1", "goals_scored"))],
+        from_table=("player_fact", "T1"),
+        joins=[join("player", "T2", eq(col("T1", "player_id"), col("T2", "player_id")))],
+        where=name_filter("T2", "full_name", intent.slot("player")),
+    )
+
+
+def _squad_list(intent: Intent, version: str) -> QueryNode:
+    return select(
+        [col("T3", "full_name")],
+        from_table=("player_fact", "T1"),
+        joins=[
+            join("national_team", "T2", eq(col("T1", "team_id"), col("T2", "team_id"))),
+            join("player", "T3", eq(col("T1", "player_id"), col("T3", "player_id"))),
+        ],
+        where=and_(
+            name_filter("T2", "teamname", intent.slot("team")),
+            eq(col("T1", "year"), lit(intent.slot("year"))),
+        ),
+    )
+
+
+def _tallest_player_team(intent: Intent, version: str) -> QueryNode:
+    query = _squad_list(intent, version)
+    query.order_by = [OrderItem(col("T3", "height_cm"), descending=True)]
+    query.limit = 1
+    return query
+
+
+def _top_scorers_list(intent: Intent, version: str) -> QueryNode:
+    return select(
+        [col("T2", "full_name"), col("T1", "goals_scored")],
+        from_table=("player_fact", "T1"),
+        joins=[join("player", "T2", eq(col("T1", "player_id"), col("T2", "player_id")))],
+        where=eq(col("T1", "year"), lit(intent.slot("year"))),
+        order_by=[OrderItem(col("T1", "goals_scored"), descending=True)],
+        limit=intent.slot("top_n"),
+    )
+
+
+def _avg_height_team(intent: Intent, version: str) -> QueryNode:
+    return select(
+        [agg("avg", col("T3", "height_cm"))],
+        from_table=("player_fact", "T1"),
+        joins=[
+            join("national_team", "T2", eq(col("T1", "team_id"), col("T2", "team_id"))),
+            join("player", "T3", eq(col("T1", "player_id"), col("T3", "player_id"))),
+        ],
+        where=and_(
+            name_filter("T2", "teamname", intent.slot("team")),
+            eq(col("T1", "year"), lit(intent.slot("year"))),
+        ),
+    )
+
+
+def _goals_by_position(intent: Intent, version: str) -> QueryNode:
+    return select(
+        [col("T2", "position"), agg("sum", col("T1", "goals_scored"))],
+        from_table=("player_fact", "T1"),
+        joins=[join("player", "T2", eq(col("T1", "player_id"), col("T2", "player_id")))],
+        where=eq(col("T1", "year"), lit(intent.slot("year"))),
+        group_by=[col("T2", "position")],
+        order_by=[OrderItem(agg("sum", col("T1", "goals_scored")), descending=True)],
+    )
+
+
+def _taller_than_avg(intent: Intent, version: str) -> QueryNode:
+    average = select(
+        [agg("avg", col("T2", "height_cm"))], from_table=("player", "T2")
+    )
+    return select(
+        [col("T1", "full_name")],
+        from_table=("player", "T1"),
+        where=BinaryOp(">", col("T1", "height_cm"), ScalarSubquery(average)),
+    )
+
+
+def _player_position(intent: Intent, version: str) -> QueryNode:
+    return select(
+        [col("T1", "position")],
+        from_table=("player", "T1"),
+        where=name_filter("T1", "full_name", intent.slot("player")),
+    )
+
+
+def _player_height(intent: Intent, version: str) -> QueryNode:
+    return select(
+        [col("T1", "height_cm")],
+        from_table=("player", "T1"),
+        where=name_filter("T1", "full_name", intent.slot("player")),
+    )
+
+
+def _scorers_in_final(intent: Intent, version: str) -> QueryNode:
+    year = intent.slot("year")
+    if version in ("v1", "v2"):
+        return select(
+            [col("T3", "full_name")],
+            from_table=("match_fact", "T1"),
+            joins=[
+                join("match", "T2", eq(col("T1", "match_id"), col("T2", "match_id"))),
+                join("player", "T3", eq(col("T1", "player_id"), col("T3", "player_id"))),
+            ],
+            where=and_(
+                eq(col("T2", "year"), lit(year)),
+                eq(col("T2", "stage"), lit("final")),
+                eq(col("T1", "goal"), lit("True")),
+            ),
+            distinct=True,
+        )
+    return select(
+        [col("T3", "full_name")],
+        from_table=("match_fact", "T1"),
+        joins=[
+            join("plays_match", "T2", eq(col("T1", "match_team_id"), col("T2", "match_team_id"))),
+            join("player", "T3", eq(col("T1", "player_id"), col("T3", "player_id"))),
+        ],
+        where=and_(
+            eq(col("T2", "year"), lit(year)),
+            eq(col("T2", "stage"), lit("final")),
+            eq(col("T1", "goal"), lit("True")),
+        ),
+        distinct=True,
+    )
+
+
+# -- clubs, leagues, coaches ------------------------------------------------------------
+
+
+def _player_clubs(intent: Intent, version: str) -> QueryNode:
+    return select(
+        [col("T3", "club_name")],
+        from_table=("player", "T1"),
+        joins=[
+            join("player_club_team", "T2", eq(col("T1", "player_id"), col("T2", "player_id"))),
+            join("club", "T3", eq(col("T2", "club_id"), col("T3", "club_id"))),
+        ],
+        where=name_filter("T1", "full_name", intent.slot("player")),
+        distinct=True,
+    )
+
+
+def _club_players(intent: Intent, version: str) -> QueryNode:
+    return select(
+        [col("T1", "full_name")],
+        from_table=("player", "T1"),
+        joins=[
+            join("player_club_team", "T2", eq(col("T1", "player_id"), col("T2", "player_id"))),
+            join("club", "T3", eq(col("T2", "club_id"), col("T3", "club_id"))),
+        ],
+        where=name_filter("T3", "club_name", intent.slot("club")),
+        distinct=True,
+    )
+
+
+def _club_league(intent: Intent, version: str) -> QueryNode:
+    return select(
+        [col("T3", "name")],
+        from_table=("club", "T1"),
+        joins=[
+            join("club_league_hist", "T2", eq(col("T1", "club_id"), col("T2", "club_id"))),
+            join("league", "T3", eq(col("T2", "league_id"), col("T3", "league_id"))),
+        ],
+        where=name_filter("T1", "club_name", intent.slot("club")),
+        distinct=True,
+    )
+
+
+def _league_clubs_count(intent: Intent, version: str) -> QueryNode:
+    return select(
+        [count_distinct(col("T2", "club_id"))],
+        from_table=("league", "T1"),
+        joins=[
+            join("club_league_hist", "T2", eq(col("T1", "league_id"), col("T2", "league_id")))
+        ],
+        where=name_filter("T1", "name", intent.slot("league")),
+    )
+
+
+def _coach_of_team(intent: Intent, version: str) -> QueryNode:
+    return select(
+        [col("T3", "coach_name")],
+        from_table=("player_fact", "T1"),
+        joins=[
+            join("national_team", "T2", eq(col("T1", "team_id"), col("T2", "team_id"))),
+            join("coach", "T3", eq(col("T1", "coach_id"), col("T3", "coach_id"))),
+        ],
+        where=and_(
+            name_filter("T2", "teamname", intent.slot("team")),
+            eq(col("T1", "year"), lit(intent.slot("year"))),
+        ),
+        distinct=True,
+    )
+
+
+def _coach_clubs(intent: Intent, version: str) -> QueryNode:
+    return select(
+        [col("T3", "club_name")],
+        from_table=("coach", "T1"),
+        joins=[
+            join("coach_club_team", "T2", eq(col("T1", "coach_id"), col("T2", "coach_id"))),
+            join("club", "T3", eq(col("T2", "club_id"), col("T3", "club_id"))),
+        ],
+        where=name_filter("T1", "coach_name", intent.slot("coach")),
+        distinct=True,
+    )
+
+
+# -- stadiums --------------------------------------------------------------------------------
+
+
+def _final_stadium(intent: Intent, version: str) -> QueryNode:
+    year = intent.slot("year")
+    if version in ("v1", "v2"):
+        return select(
+            [col("T2", "stadium_name")],
+            from_table=("match", "T1"),
+            joins=[join("stadium", "T2", eq(col("T1", "stadium_id"), col("T2", "stadium_id")))],
+            where=and_(
+                eq(col("T1", "year"), lit(year)), eq(col("T1", "stage"), lit("final"))
+            ),
+        )
+    return select(
+        [col("T2", "stadium_name")],
+        from_table=("plays_match", "T1"),
+        joins=[join("stadium", "T2", eq(col("T1", "stadium_id"), col("T2", "stadium_id")))],
+        where=and_(
+            eq(col("T1", "year"), lit(year)), eq(col("T1", "stage"), lit("final"))
+        ),
+        distinct=True,
+    )
+
+
+def _stadium_matches_count(intent: Intent, version: str) -> QueryNode:
+    stadium = intent.slot("stadium")
+    if version in ("v1", "v2"):
+        return select(
+            [count_star()],
+            from_table=("match", "T1"),
+            joins=[join("stadium", "T2", eq(col("T1", "stadium_id"), col("T2", "stadium_id")))],
+            where=name_filter("T2", "stadium_name", stadium),
+        )
+    return select(
+        [count_distinct(col("T1", "match_id"))],
+        from_table=("plays_match", "T1"),
+        joins=[join("stadium", "T2", eq(col("T1", "stadium_id"), col("T2", "stadium_id")))],
+        where=name_filter("T2", "stadium_name", stadium),
+    )
+
+
+def _biggest_stadium(intent: Intent, version: str) -> QueryNode:
+    return select(
+        [col("T1", "stadium_name")],
+        from_table=("stadium", "T1"),
+        where=name_filter("T1", "country", intent.slot("country")),
+        order_by=[OrderItem(col("T1", "capacity"), descending=True)],
+        limit=1,
+    )
+
+
+# -- cards and events --------------------------------------------------------------------------
+
+
+def _cards_in_cup(intent: Intent, version: str) -> QueryNode:
+    year = intent.slot("year")
+    card = intent.slot("card")  # 'yellow_card' | 'red_card'
+    if version in ("v1", "v2"):
+        return select(
+            [count_star()],
+            from_table=("match_fact", "T1"),
+            joins=[join("match", "T2", eq(col("T1", "match_id"), col("T2", "match_id")))],
+            where=and_(
+                eq(col("T2", "year"), lit(year)), eq(col("T1", card), lit("True"))
+            ),
+        )
+    return select(
+        [count_star()],
+        from_table=("match_fact", "T1"),
+        joins=[
+            join("plays_match", "T2", eq(col("T1", "match_team_id"), col("T2", "match_team_id")))
+        ],
+        where=and_(eq(col("T2", "year"), lit(year)), eq(col("T1", card), lit("True"))),
+    )
+
+
+def _cards_in_match(intent: Intent, version: str) -> QueryNode:
+    team_a = intent.slot("team_a")
+    team_b = intent.slot("team_b")
+    year = intent.slot("year")
+    card = intent.slot("card")
+    def symmetric(a_table: str, b_table: str) -> Expression:
+        """Either assignment of the two teams to the two join sides."""
+        return or_(
+            and_(
+                name_filter(a_table, "teamname", team_a),
+                name_filter(b_table, "teamname", team_b),
+            ),
+            and_(
+                name_filter(a_table, "teamname", team_b),
+                name_filter(b_table, "teamname", team_a),
+            ),
+        )
+    if version == "v1":
+        return select(
+            [count_star()],
+            from_table=("match_fact", "T1"),
+            joins=[
+                join("match", "T2", eq(col("T1", "match_id"), col("T2", "match_id"))),
+                join("national_team", "T3", eq(col("T2", "home_team_id"), col("T3", "team_id"))),
+                join("national_team", "T4", eq(col("T2", "away_team_id"), col("T4", "team_id"))),
+            ],
+            where=and_(
+                symmetric("T3", "T4"),
+                eq(col("T2", "year"), lit(year)),
+                eq(col("T1", card), lit("True")),
+            ),
+        )
+    if version == "v2":
+        return select(
+            [count_star()],
+            from_table=("match_fact", "T1"),
+            joins=[
+                join("match", "T2", eq(col("T1", "match_id"), col("T2", "match_id"))),
+                join("plays_as_home", "T3", eq(col("T2", "match_id"), col("T3", "match_id"))),
+                join("national_team", "T4", eq(col("T3", "team_id"), col("T4", "team_id"))),
+                join("plays_as_away", "T5", eq(col("T2", "match_id"), col("T5", "match_id"))),
+                join("national_team", "T6", eq(col("T5", "team_id"), col("T6", "team_id"))),
+            ],
+            where=and_(
+                symmetric("T4", "T6"),
+                eq(col("T2", "year"), lit(year)),
+                eq(col("T1", card), lit("True")),
+            ),
+        )
+    return select(
+        [count_star()],
+        from_table=("match_fact", "T1"),
+        joins=[
+            join("plays_match", "T2", eq(col("T1", "match_team_id"), col("T2", "match_team_id"))),
+            join("national_team", "T3", eq(col("T2", "team_id"), col("T3", "team_id"))),
+            join(
+                "national_opponent_team",
+                "T4",
+                eq(col("T2", "opponent_team_id"), col("T4", "team_id")),
+            ),
+        ],
+        where=and_(
+            symmetric("T3", "T4"),
+            eq(col("T2", "year"), lit(year)),
+            eq(col("T1", card), lit("True")),
+        ),
+    )
+
+
+def _penalties_in_cup(intent: Intent, version: str) -> QueryNode:
+    year = intent.slot("year")
+    if version in ("v1", "v2"):
+        return select(
+            [count_star()],
+            from_table=("match_fact", "T1"),
+            joins=[join("match", "T2", eq(col("T1", "match_id"), col("T2", "match_id")))],
+            where=and_(
+                eq(col("T2", "year"), lit(year)), eq(col("T1", "penalty"), lit("True"))
+            ),
+        )
+    return select(
+        [count_star()],
+        from_table=("match_fact", "T1"),
+        joins=[
+            join("plays_match", "T2", eq(col("T1", "match_team_id"), col("T2", "match_team_id")))
+        ],
+        where=and_(
+            eq(col("T2", "year"), lit(year)), eq(col("T1", "penalty"), lit("True"))
+        ),
+    )
+
+
+_BUILDERS: Dict[str, Callable[[Intent, str], QueryNode]] = {
+    "match_score": _match_score,
+    "match_count_team": _match_count_team,
+    "team_goals_cup": _team_goals_cup,
+    "final_score": _final_score,
+    "biggest_win_cup": _biggest_win_cup,
+    "matches_in_cup": _matches_in_cup,
+    "cup_winner": _cup_winner,
+    "cup_prize_team": _cup_prize_team,
+    "prize_count_team": _prize_count_team,
+    "winners_list": _winners_list,
+    "most_titles": _most_titles,
+    "host_winner": _host_winner,
+    "teams_multiple_titles": _teams_multiple_titles,
+    "never_won": _never_won,
+    "top_scorers_list": _top_scorers_list,
+    "avg_height_team": _avg_height_team,
+    "goals_by_position": _goals_by_position,
+    "taller_than_avg": _taller_than_avg,
+    "cup_host": _cup_host,
+    "host_years": _host_years,
+    "cup_goals_total": _cup_goals_total,
+    "cup_team_count": _cup_team_count,
+    "avg_goals_match": _avg_goals_match,
+    "top_scorer_cup": _top_scorer_cup,
+    "player_goals_cup": _player_goals_cup,
+    "player_goals_total": _player_goals_total,
+    "squad_list": _squad_list,
+    "tallest_player_team": _tallest_player_team,
+    "player_position": _player_position,
+    "player_height": _player_height,
+    "scorers_in_final": _scorers_in_final,
+    "player_clubs": _player_clubs,
+    "club_players": _club_players,
+    "club_league": _club_league,
+    "league_clubs_count": _league_clubs_count,
+    "coach_of_team": _coach_of_team,
+    "coach_clubs": _coach_clubs,
+    "final_stadium": _final_stadium,
+    "stadium_matches_count": _stadium_matches_count,
+    "biggest_stadium": _biggest_stadium,
+    "cards_in_cup": _cards_in_cup,
+    "cards_in_match": _cards_in_match,
+    "penalties_in_cup": _penalties_in_cup,
+}
+
+SUPPORTED_KINDS = tuple(_BUILDERS)

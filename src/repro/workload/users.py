@@ -1,0 +1,166 @@
+"""Simulation of the nine-month live deployment (paper Sections 3.2/4).
+
+:class:`DeploymentSimulator` generates the ~5.9K-interaction user log
+whose aggregate statistics reproduce the paper's Table 1.  The rates are
+calibrated to the deployment's observed behaviour:
+
+* the deployed ValueNet produced SQL for 89% of questions — failures
+  concentrate on non-English and unrelated input;
+* expert users gave sparse positive feedback (174 thumbs up), abundant
+  negative feedback (949 thumbs down) and 1,287 corrected queries.
+
+The simulator is *descriptive*: it models the historical deployment
+(whose Text-to-SQL system we cannot rerun) rather than calling into
+:mod:`repro.systems`.  The live service wrapper that does drive a real
+system lives in :mod:`repro.deployment`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.footballdb import Universe
+
+from . import nlgen, sqlgen
+from .catalogue import IntentSampler
+from .intents import Intent
+from .logs import Feedback, LogRecord, QuestionCategory
+
+#: question-category mix observed in the live log
+CATEGORY_MIX = [
+    (QuestionCategory.CLEAN, 0.62),
+    (QuestionCategory.MISSPELLED, 0.14),
+    (QuestionCategory.NON_ENGLISH, 0.07),
+    (QuestionCategory.UNRELATED, 0.05),
+    (QuestionCategory.UNANSWERABLE, 0.06),
+    (QuestionCategory.AMBIGUOUS, 0.06),
+]
+
+#: P(SQL generated | category) — non-English/unrelated input starves the
+#: deployed model of anything it can ground in the schema.
+GENERATION_RATE = {
+    QuestionCategory.CLEAN: 0.985,
+    QuestionCategory.MISSPELLED: 0.96,
+    QuestionCategory.NON_ENGLISH: 0.30,
+    QuestionCategory.UNRELATED: 0.40,
+    QuestionCategory.UNANSWERABLE: 0.82,
+    QuestionCategory.AMBIGUOUS: 0.88,
+}
+
+#: P(prediction correct | category, SQL generated)
+CORRECTNESS_RATE = {
+    QuestionCategory.CLEAN: 0.35,
+    QuestionCategory.MISSPELLED: 0.20,
+    QuestionCategory.NON_ENGLISH: 0.05,
+    QuestionCategory.UNRELATED: 0.02,
+    QuestionCategory.UNANSWERABLE: 0.03,
+    QuestionCategory.AMBIGUOUS: 0.05,
+}
+
+THUMBS_UP_IF_CORRECT = 0.11
+THUMBS_UP_IF_WRONG = 0.002
+THUMBS_DOWN_IF_CORRECT = 0.01
+THUMBS_DOWN_IF_WRONG = 0.24
+CORRECTION_IF_WRONG = 0.34
+
+
+class DeploymentSimulator:
+    """Generates the live user log."""
+
+    def __init__(self, universe: Universe, seed: int = 2022) -> None:
+        self.universe = universe
+        self.sampler = IntentSampler(universe, seed=seed + 101)
+        self._rng = random.Random(seed + 202)
+
+    def run(self, interactions: int = 5_900) -> List[LogRecord]:
+        records = []
+        for log_id in range(1, interactions + 1):
+            records.append(self._interaction(log_id))
+        return records
+
+    # -- one interaction ----------------------------------------------------
+    def _interaction(self, log_id: int) -> LogRecord:
+        rng = self._rng
+        category = rng.choices(
+            [category for category, _ in CATEGORY_MIX],
+            weights=[weight for _, weight in CATEGORY_MIX],
+        )[0]
+        intent, question = self._question_for(category, rng)
+        generated = rng.random() < GENERATION_RATE[category]
+        if not generated:
+            return LogRecord(
+                log_id, question, category, intent,
+                sql_generated=False, predicted_sql=None,
+                prediction_correct=None, feedback=Feedback.NONE,
+                corrected_sql=None,
+            )
+        correct = rng.random() < CORRECTNESS_RATE[category]
+        predicted, gold = self._prediction_for(intent, correct, rng)
+        feedback = self._feedback(correct, rng)
+        corrected = None
+        if not correct and gold is not None and rng.random() < CORRECTION_IF_WRONG:
+            corrected = gold
+        return LogRecord(
+            log_id, question, category, intent,
+            sql_generated=True, predicted_sql=predicted,
+            prediction_correct=correct, feedback=feedback,
+            corrected_sql=corrected,
+        )
+
+    def _question_for(self, category: QuestionCategory, rng: random.Random):
+        if category is QuestionCategory.UNRELATED:
+            return None, nlgen.sample_unrelated(rng)
+        if category is QuestionCategory.UNANSWERABLE:
+            return None, nlgen.sample_unanswerable(rng)
+        if category is QuestionCategory.AMBIGUOUS:
+            return None, nlgen.sample_ambiguous(rng)
+        intent = self.sampler.sample_intent()
+        if category is QuestionCategory.NON_ENGLISH:
+            return intent, nlgen.realize_non_english(intent, rng)
+        question = nlgen.realize(intent, rng)
+        if category is QuestionCategory.MISSPELLED:
+            question = nlgen.misspell(question, rng)
+        return intent, question
+
+    def _prediction_for(
+        self, intent: Optional[Intent], correct: bool, rng: random.Random
+    ):
+        """(predicted SQL, gold SQL) under the deployment's data model."""
+        if intent is None:
+            # Noise questions: the model hallucinated some schema query.
+            sql = "SELECT teamname FROM national_team LIMIT 1"
+            return sql, None
+        gold = sqlgen.compile_intent(intent, "v1")
+        if correct:
+            return gold, gold
+        # A wrong-but-plausible prediction: the gold query of a slightly
+        # different intent (retrieval confusion on the year slot).
+        wrong = self._confused_variant(intent, rng)
+        return wrong, gold
+
+    def _confused_variant(self, intent: Intent, rng: random.Random) -> str:
+        if intent.has_slot("year"):
+            year = intent.slot("year")
+            other_years = [y for y in self.universe.years if y != year]
+            swapped = dict(intent.slots)
+            swapped["year"] = rng.choice(other_years)
+            confused = Intent(intent.kind, tuple(swapped.items()))
+            return sqlgen.compile_intent(confused, "v1")
+        # No year slot to confuse: the deployed model fell back to a
+        # generic lookup that ignores the question's constraints.
+        return "SELECT teamname FROM national_team LIMIT 1"
+
+    def _feedback(self, correct: bool, rng: random.Random) -> Feedback:
+        if correct:
+            if rng.random() < THUMBS_UP_IF_CORRECT:
+                return Feedback.THUMBS_UP
+            if rng.random() < THUMBS_DOWN_IF_CORRECT:
+                return Feedback.THUMBS_DOWN
+        else:
+            if rng.random() < THUMBS_UP_IF_WRONG:
+                return Feedback.THUMBS_UP
+            if rng.random() < THUMBS_DOWN_IF_WRONG:
+                return Feedback.THUMBS_DOWN
+        return Feedback.NONE

@@ -1,0 +1,113 @@
+"""Tests for the query characteristics extractor (Table 3 / Figure 8)."""
+
+import pytest
+
+from repro.analysis import analyze_query, mean_characteristics
+from repro.analysis.characteristics import FIGURE8_BUCKETS
+
+
+class TestCounts:
+    def test_simple_query(self):
+        c = analyze_query("SELECT a FROM t")
+        assert (c.joins, c.projections, c.filters) == (0, 1, 0)
+        assert (c.aggregations, c.set_operations, c.subqueries) == (0, 0, 0)
+
+    def test_projection_count_uses_first_core(self):
+        c = analyze_query("SELECT a, b FROM t UNION SELECT c, d FROM u")
+        assert c.projections == 2
+
+    def test_join_count_spans_union_branches(self):
+        sql = (
+            "SELECT a FROM t JOIN u ON t.x = u.x "
+            "UNION SELECT a FROM t JOIN u ON t.x = u.x"
+        )
+        assert analyze_query(sql).joins == 2
+
+    def test_filters_flatten_conjunctions(self):
+        sql = "SELECT a FROM t WHERE x = 1 AND y ILIKE '%b%' AND z BETWEEN 1 AND 2"
+        assert analyze_query(sql).filters == 3
+
+    def test_filters_count_or_atoms(self):
+        sql = "SELECT a FROM t WHERE x = 1 OR y = 2"
+        assert analyze_query(sql).filters == 2
+
+    def test_join_on_predicates_are_not_filters(self):
+        sql = "SELECT a FROM t JOIN u ON t.x = u.x WHERE t.y = 1"
+        assert analyze_query(sql).filters == 1
+
+    def test_aggregations_in_projection_having_order(self):
+        sql = (
+            "SELECT a, count(*) FROM t GROUP BY a "
+            "HAVING sum(b) > 3 ORDER BY max(c)"
+        )
+        assert analyze_query(sql).aggregations == 3
+
+    def test_set_operations_counted(self):
+        sql = "SELECT a FROM t UNION SELECT a FROM u UNION SELECT a FROM v"
+        assert analyze_query(sql).set_operations == 2
+
+    def test_subqueries_counted(self):
+        sql = (
+            "SELECT a FROM t WHERE x IN (SELECT y FROM u WHERE z = "
+            "(SELECT max(w) FROM v))"
+        )
+        assert analyze_query(sql).subqueries == 2
+
+    def test_length_is_characters(self):
+        sql = "SELECT a FROM t"
+        assert analyze_query(sql).length == len(sql)
+
+    def test_figure4_v1_query_shape(self):
+        sql = (
+            "SELECT T2.teamname, T3.teamname, T1.home_team_goals, T1.away_team_goals "
+            "FROM match AS T1 "
+            "JOIN national_team AS T2 ON T2.team_id = T1.home_team_id "
+            "JOIN national_team AS T3 ON T3.team_id = T1.away_team_id "
+            "WHERE T2.teamname ILIKE '%Germany%' AND T3.teamname ILIKE '%Brazil%' "
+            "AND T1.year = 2014 "
+            "UNION "
+            "SELECT T2.teamname, T3.teamname, T1.home_team_goals, T1.away_team_goals "
+            "FROM match AS T1 "
+            "JOIN national_team AS T2 ON T2.team_id = T1.home_team_id "
+            "JOIN national_team AS T3 ON T3.team_id = T1.away_team_id "
+            "WHERE T2.teamname ILIKE '%Brazil%' AND T3.teamname ILIKE '%Germany%' "
+            "AND T1.year = 2014"
+        )
+        c = analyze_query(sql)
+        assert c.joins == 4  # two per branch
+        assert c.projections == 4
+        assert c.set_operations == 1
+        assert c.filters == 6
+
+
+class TestBuckets:
+    def test_bucket_labels(self):
+        c = analyze_query(
+            "SELECT a, count(*) FROM t JOIN u ON t.x = u.x WHERE y = 1 GROUP BY a"
+        )
+        labels = c.bucket_labels()
+        assert "1 filter" in labels
+        assert ">=2 project" in labels
+        assert "1 join" in labels
+        assert ">=1 agg" in labels
+        assert ">=1 set" not in labels
+
+    def test_bucket_labels_are_known(self):
+        c = analyze_query("SELECT a FROM t UNION SELECT a FROM u")
+        assert set(c.bucket_labels()) <= set(FIGURE8_BUCKETS)
+
+    def test_zero_filter_query_in_no_filter_bucket(self):
+        c = analyze_query("SELECT a FROM t")
+        assert not any("filter" in label for label in c.bucket_labels())
+
+
+class TestMeans:
+    def test_mean_characteristics(self):
+        queries = ["SELECT a FROM t", "SELECT a FROM t JOIN u ON t.x = u.x"]
+        means = mean_characteristics(queries)
+        assert means["joins"] == 0.5
+        assert means["projections"] == 1.0
+
+    def test_mean_of_empty_set(self):
+        means = mean_characteristics([])
+        assert means["joins"] == 0.0

@@ -1,0 +1,73 @@
+"""Tests for the Spider hardness classifier (Figure 7 support)."""
+
+import pytest
+
+from repro.analysis import Hardness, classify_hardness, hardness_score
+
+
+class TestLevels:
+    def test_easy_single_projection_no_join(self):
+        assert classify_hardness("SELECT name FROM team") is Hardness.EASY
+        assert classify_hardness("SELECT count(*) FROM team") is Hardness.EASY
+        assert (
+            classify_hardness("SELECT name FROM team WHERE year = 2014")
+            is Hardness.EASY
+        )
+
+    def test_medium_examples(self):
+        assert (
+            classify_hardness("SELECT name, year FROM team WHERE year = 2014")
+            is Hardness.MEDIUM
+        )
+        assert (
+            classify_hardness(
+                "SELECT t.name FROM team AS t JOIN player AS p ON t.id = p.team_id"
+            )
+            is Hardness.MEDIUM
+        )
+
+    def test_hard_examples(self):
+        sql = (
+            "SELECT t.name, count(*) FROM team AS t JOIN player AS p "
+            "ON t.id = p.team_id WHERE p.goals > 2 AND p.height > 1.8 "
+            "GROUP BY t.name"
+        )
+        assert classify_hardness(sql) is Hardness.HARD
+
+    def test_extra_with_set_operation_and_joins(self):
+        sql = (
+            "SELECT t.name, p.name FROM team AS t JOIN player AS p ON t.id = p.team_id "
+            "WHERE p.goals > 2 AND t.year = 2014 "
+            "UNION "
+            "SELECT t.name, p.name FROM team AS t JOIN player AS p ON t.id = p.team_id "
+            "WHERE p.goals > 5 AND t.year = 2018"
+        )
+        assert classify_hardness(sql) is Hardness.EXTRA
+
+    def test_subquery_alone_is_hard(self):
+        sql = "SELECT name FROM team WHERE id IN (SELECT team_id FROM player)"
+        assert classify_hardness(sql) is Hardness.HARD
+
+    def test_subquery_plus_complexity_is_extra(self):
+        sql = (
+            "SELECT name, year FROM team WHERE id IN (SELECT team_id FROM player) "
+            "AND year > 1990 ORDER BY year LIMIT 3"
+        )
+        assert classify_hardness(sql) is Hardness.EXTRA
+
+
+class TestMonotonicity:
+    def test_adding_complexity_never_decreases_hardness(self):
+        base = "SELECT name FROM team"
+        richer = "SELECT name, year FROM team WHERE year = 2014 ORDER BY year LIMIT 1"
+        richest = (
+            "SELECT t.name, count(*) FROM team AS t JOIN player AS p "
+            "ON t.id = p.team_id WHERE t.year = 2014 AND p.goals > 1 "
+            "GROUP BY t.name ORDER BY count(*) DESC LIMIT 1"
+        )
+        scores = [hardness_score(q) for q in (base, richer, richest)]
+        assert scores == sorted(scores)
+
+    def test_numeric_mapping(self):
+        assert Hardness.EASY.numeric == 1
+        assert Hardness.EXTRA.numeric == 4

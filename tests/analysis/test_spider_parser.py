@@ -1,0 +1,87 @@
+"""Tests for the Spider-parser limitations that gate ValueNet."""
+
+import pytest
+
+from repro.analysis import SpiderParseError, spider_parse
+from repro.analysis.spider_parser import (
+    REASON_INVALID_SQL,
+    REASON_REPEATED_TABLE,
+    REASON_UNSUPPORTED_EXPR,
+    REASON_UNSUPPORTED_JOIN,
+    can_spider_parse,
+)
+
+
+class TestAccepted:
+    def test_simple_query(self):
+        parsed = spider_parse("SELECT a FROM t WHERE x = 1")
+        assert parsed.tables == ["t"]
+        assert parsed.where_conditions == 1
+
+    def test_single_instance_join(self):
+        parsed = spider_parse(
+            "SELECT t.a FROM t JOIN u ON t.x = u.x WHERE u.y = 2 GROUP BY t.a"
+        )
+        assert parsed.tables == ["t", "u"]
+        assert parsed.join_count == 1
+        assert parsed.group_by is True
+
+    def test_union_with_distinct_tables(self):
+        parsed = spider_parse("SELECT a FROM t UNION SELECT a FROM u")
+        assert parsed.set_operation == "UNION"
+
+    def test_nested_flag(self):
+        parsed = spider_parse("SELECT a FROM t WHERE x IN (SELECT y FROM u)")
+        assert parsed.nested is True
+
+
+class TestRejected:
+    def test_repeated_table_instances(self):
+        """The Figure 4 v1 pattern must be rejected."""
+        sql = (
+            "SELECT T2.teamname, T3.teamname FROM match AS T1 "
+            "JOIN national_team AS T2 ON T2.team_id = T1.home_team_id "
+            "JOIN national_team AS T3 ON T3.team_id = T1.away_team_id"
+        )
+        with pytest.raises(SpiderParseError) as excinfo:
+            spider_parse(sql)
+        assert excinfo.value.reason == REASON_REPEATED_TABLE
+
+    def test_self_join_rejected(self):
+        with pytest.raises(SpiderParseError):
+            spider_parse("SELECT * FROM t AS a JOIN t AS b ON a.x = b.y")
+
+    def test_repeated_table_in_one_union_branch_rejected(self):
+        sql = (
+            "SELECT a FROM t UNION "
+            "SELECT T1.a FROM t AS T1 JOIN t AS T2 ON T1.x = T2.x"
+        )
+        with pytest.raises(SpiderParseError) as excinfo:
+            spider_parse(sql)
+        assert excinfo.value.reason == REASON_REPEATED_TABLE
+
+    def test_left_join_rejected(self):
+        with pytest.raises(SpiderParseError) as excinfo:
+            spider_parse("SELECT a FROM t LEFT JOIN u ON t.x = u.x")
+        assert excinfo.value.reason == REASON_UNSUPPORTED_JOIN
+
+    def test_case_rejected(self):
+        with pytest.raises(SpiderParseError) as excinfo:
+            spider_parse("SELECT CASE WHEN a > 1 THEN 'x' ELSE 'y' END FROM t")
+        assert excinfo.value.reason == REASON_UNSUPPORTED_EXPR
+
+    def test_cast_rejected(self):
+        with pytest.raises(SpiderParseError) as excinfo:
+            spider_parse("SELECT CAST(a AS INTEGER) FROM t")
+        assert excinfo.value.reason == REASON_UNSUPPORTED_EXPR
+
+    def test_invalid_sql(self):
+        with pytest.raises(SpiderParseError) as excinfo:
+            spider_parse("SELEC a FRM t")
+        assert excinfo.value.reason == REASON_INVALID_SQL
+
+
+class TestPredicate:
+    def test_can_spider_parse(self):
+        assert can_spider_parse("SELECT a FROM t") is True
+        assert can_spider_parse("SELECT * FROM t AS a JOIN t AS b ON a.x = b.y") is False

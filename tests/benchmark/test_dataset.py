@@ -1,0 +1,130 @@
+"""Benchmark construction tests (the Section 6.1 pipeline)."""
+
+import json
+
+import pytest
+
+from repro.benchmark import BenchmarkBuilder, build_benchmark
+from repro.benchmark.compare import footballdb_row, table8
+from repro.footballdb import VERSIONS, build_universe, load_all
+
+
+@pytest.fixture(scope="module")
+def universe():
+    return build_universe(seed=2022)
+
+
+@pytest.fixture(scope="module")
+def football(universe):
+    return load_all(universe=universe)
+
+
+@pytest.fixture(scope="module")
+def dataset(universe):
+    return build_benchmark(universe)
+
+
+class TestConstruction:
+    def test_sizes(self, dataset):
+        assert len(dataset.train_examples) == 300
+        assert len(dataset.test_examples) == 100
+        assert len(dataset.pool_examples) == 1_000
+
+    def test_1200_nl_sql_pairs(self, dataset):
+        pairs = sum(len(e.gold) for e in dataset.examples)
+        assert pairs == 400 * 3
+
+    def test_pool_labeled_for_v3_only(self, dataset):
+        pool_only = [e for e in dataset.pool_examples]
+        assert all("v3" in e.gold for e in pool_only)
+
+    def test_no_duplicate_questions_in_sample(self, dataset):
+        questions = [e.question for e in dataset.examples]
+        assert len(questions) == len(set(questions))
+
+    def test_train_test_disjoint(self, dataset):
+        train = {e.qid for e in dataset.train_examples}
+        test = {e.qid for e in dataset.test_examples}
+        assert not train & test
+
+    def test_same_questions_across_versions(self, dataset):
+        """The multi-schema property: one question, three gold queries."""
+        for example in dataset.examples:
+            assert set(example.gold) == set(VERSIONS)
+
+    def test_gold_executes_everywhere(self, dataset, football):
+        for example in dataset.examples[:50]:
+            for version in VERSIONS:
+                football[version].execute(example.gold[version])
+
+    def test_deterministic(self, universe):
+        a = build_benchmark(universe)
+        b = build_benchmark(universe)
+        assert [e.qid for e in a.examples] == [e.qid for e in b.examples]
+
+
+class TestTable3Shape:
+    def test_v3_has_no_set_operations(self, dataset):
+        table3 = dataset.table3()
+        assert table3["test"]["v3"]["set_operations"] == 0.0
+        assert table3["train"]["v3"]["set_operations"] == 0.0
+
+    def test_v2_has_most_joins(self, dataset):
+        table3 = dataset.table3()
+        for split in ("train", "test"):
+            joins = {v: table3[split][v]["joins"] for v in VERSIONS}
+            assert joins["v2"] > joins["v1"] > joins["v3"]
+
+    def test_v3_queries_are_shortest(self, dataset):
+        table3 = dataset.table3()
+        for split in ("train", "test"):
+            lengths = {v: table3[split][v]["length"] for v in VERSIONS}
+            assert lengths["v2"] > lengths["v1"] > lengths["v3"]
+
+    def test_mean_hardness_near_three(self, dataset):
+        table3 = dataset.table3()
+        for split in ("train", "test"):
+            for version in VERSIONS:
+                assert 2.5 <= table3[split][version]["hardness"] <= 3.5
+
+    def test_extra_hard_counts_follow_paper_ordering(self, dataset):
+        """Paper: 46 (v1), 52 (v2), 36 (v3) — v2 > v1 > v3."""
+        extra = {
+            version: dataset.hardness_distribution(version)["extra"]
+            for version in VERSIONS
+        }
+        assert extra["v2"] > extra["v3"]
+        assert extra["v1"] > extra["v3"]
+
+
+class TestSerialization:
+    def test_json_round_trip(self, dataset):
+        blob = json.loads(dataset.to_json())
+        assert len(blob["train"]) == 300
+        assert len(blob["test"]) == 100
+        assert len(blob["pool"]) == 1_000
+        sample = blob["test"][0]
+        assert set(sample) == {"qid", "question", "intent", "category", "gold"}
+
+
+class TestTable8:
+    def test_footballdb_row(self, football, dataset):
+        row = footballdb_row(football, dataset)
+        assert row.examples == 1_200
+        assert row.databases == 3
+        assert row.multi_schema is True
+        assert row.live_users is True
+        # Most tokens per query of any dataset (paper: 33.7).
+        assert row.tokens_per_query > 30
+
+    def test_footballdb_uniqueness_claims(self, football, dataset):
+        rows = table8(football, dataset)
+        ours = rows[-1]
+        others = rows[:-1]
+        assert all(not r.multi_schema for r in others)
+        assert ours.tokens_per_query == max(r.tokens_per_query for r in rows)
+
+    def test_all_rows_render(self, football, dataset):
+        for row in table8(football, dataset):
+            cells = row.cells()
+            assert len(cells) == 6

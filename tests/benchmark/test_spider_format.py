@@ -1,0 +1,88 @@
+"""Spider-format release export tests."""
+
+import json
+
+import pytest
+
+from repro.benchmark import build_benchmark, export_spider_release
+from repro.benchmark.spider_format import schema_entry
+from repro.footballdb import VERSIONS, build_universe, load_all
+
+
+@pytest.fixture(scope="module")
+def universe():
+    return build_universe(seed=2022)
+
+
+@pytest.fixture(scope="module")
+def football(universe):
+    return load_all(universe=universe)
+
+
+@pytest.fixture(scope="module")
+def dataset(universe):
+    return build_benchmark(universe)
+
+
+@pytest.fixture(scope="module")
+def release(football, dataset):
+    return export_spider_release(football, dataset)
+
+
+class TestTablesJson:
+    def test_one_entry_per_data_model(self, release):
+        entries = json.loads(release["tables.json"])
+        assert [e["db_id"] for e in entries] == [
+            "footballdb_v1", "footballdb_v2", "footballdb_v3",
+        ]
+
+    def test_column_indices_are_consistent(self, football):
+        entry = schema_entry(football["v1"].schema, "footballdb_v1")
+        # Column 0 is the '*' sentinel bound to no table.
+        assert entry["column_names"][0] == [-1, "*"]
+        # Every FK pair indexes real columns.
+        for source, target in entry["foreign_keys"]:
+            assert 1 <= source < len(entry["column_names"])
+            assert 1 <= target < len(entry["column_names"])
+
+    def test_fk_counts_match_schemas(self, football):
+        for version, expected in zip(VERSIONS, (14, 13, 16)):
+            entry = schema_entry(football[version].schema, version)
+            assert len(entry["foreign_keys"]) == expected
+
+    def test_primary_keys_present(self, football):
+        entry = schema_entry(football["v3"].schema, "v3")
+        assert entry["primary_keys"]
+
+    def test_column_count_matches_schema(self, football):
+        entry = schema_entry(football["v1"].schema, "v1")
+        assert len(entry["column_names"]) == football["v1"].schema.column_count + 1
+
+
+class TestExampleFiles:
+    def test_train_dev_sizes(self, release):
+        train = json.loads(release["train.json"])
+        dev = json.loads(release["dev.json"])
+        assert len(train) == 300 * 3
+        assert len(dev) == 100 * 3
+
+    def test_entries_reference_their_schema(self, release):
+        dev = json.loads(release["dev.json"])
+        db_ids = {entry["db_id"] for entry in dev}
+        assert db_ids == {"footballdb_v1", "footballdb_v2", "footballdb_v3"}
+
+    def test_entry_shape(self, release):
+        entry = json.loads(release["dev.json"])[0]
+        assert set(entry) == {
+            "db_id", "question", "question_toks", "query", "query_toks", "hardness",
+        }
+        assert entry["question_toks"] == entry["question"].split()
+
+    def test_queries_differ_across_schemas_for_same_question(self, release):
+        dev = json.loads(release["dev.json"])
+        by_question = {}
+        for entry in dev:
+            by_question.setdefault(entry["question"], set()).add(entry["query"])
+        multi_variant = [q for q, queries in by_question.items() if len(queries) > 1]
+        # Most questions need schema-specific SQL.
+        assert len(multi_variant) > len(by_question) * 0.5

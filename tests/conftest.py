@@ -1,0 +1,57 @@
+"""Shared fixtures.
+
+The session-scoped fixtures build the FootballDB universe and the three
+database instances exactly once — generating ~100K rows is cheap but not
+free, and dozens of test modules want the same objects.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sqlengine import Database, Schema, make_column
+
+
+@pytest.fixture()
+def toy_db() -> Database:
+    """A small two-table database used by engine unit tests."""
+    schema = Schema("toy")
+    schema.create_table(
+        "team",
+        [
+            make_column("team_id", "int", primary_key=True),
+            make_column("name", "text"),
+            make_column("founded", "int"),
+        ],
+    )
+    schema.create_table(
+        "player",
+        [
+            make_column("player_id", "int", primary_key=True),
+            make_column("team_id", "int"),
+            make_column("name", "text"),
+            make_column("goals", "int"),
+            make_column("height", "real"),
+        ],
+    )
+    schema.add_foreign_key("player", "team_id", "team", "team_id")
+    db = Database(schema)
+    db.insert_many(
+        "team",
+        [
+            (1, "Brazil", 1914),
+            (2, "Germany", 1900),
+            (3, "Uruguay", 1900),
+        ],
+    )
+    db.insert_many(
+        "player",
+        [
+            (1, 1, "Alder", 12, 1.82),
+            (2, 1, "Bruno", 7, 1.75),
+            (3, 2, "Caspar", 7, 1.90),
+            (4, 2, "Dario", 0, 1.68),
+            (5, 3, "Emilio", None, 1.80),
+        ],
+    )
+    return db

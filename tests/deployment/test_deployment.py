@@ -1,0 +1,119 @@
+"""Deployment service, web back-end and labeling pipeline tests."""
+
+import pytest
+
+from repro.benchmark import build_benchmark
+from repro.deployment import (
+    LabelingPipeline,
+    TextToSQLService,
+    WebBackend,
+)
+from repro.footballdb import build_universe, load_all
+from repro.systems import GoldOracle, T5PicardKeys
+from repro.workload import DeploymentSimulator, Feedback
+
+
+@pytest.fixture(scope="module")
+def universe():
+    return build_universe(seed=2022)
+
+
+@pytest.fixture(scope="module")
+def football(universe):
+    return load_all(universe=universe)
+
+
+@pytest.fixture(scope="module")
+def dataset(universe):
+    return build_benchmark(universe)
+
+
+@pytest.fixture(scope="module")
+def backend(football, dataset):
+    database = football["v3"]
+    system = T5PicardKeys(database, GoldOracle(dataset.gold_lookup("v3")))
+    system.fine_tune(dataset.train_pairs("v3"))
+    return WebBackend(TextToSQLService(system, database))
+
+
+class TestService:
+    def test_ask_returns_rows(self, backend, dataset):
+        example = dataset.test_examples[0]
+        response = backend.ask(example.question)
+        assert response["log_id"] == 1
+        assert response["sql"] is None or isinstance(response["sql"], str)
+
+    def test_answered_question_has_result_payload(self, backend):
+        response = backend.ask("Who won the world cup in 2014?")
+        if response["sql"] is not None and response["error"] is None:
+            assert isinstance(response["rows"], list)
+            assert isinstance(response["columns"], list)
+
+    def test_latency_reported(self, backend):
+        response = backend.ask("Who won the world cup in 2018?")
+        assert response["latency_seconds"] > 0
+
+
+class TestFeedbackRoutes:
+    def test_thumbs_and_corrections_logged(self, football, dataset):
+        database = football["v3"]
+        system = T5PicardKeys(database, GoldOracle(dataset.gold_lookup("v3")))
+        system.fine_tune(dataset.train_pairs("v3", limit=50))
+        backend = WebBackend(TextToSQLService(system, database))
+        first = backend.ask("Who won the world cup in 2014?")
+        backend.feedback(first["log_id"], thumbs_up=True)
+        second = backend.ask("Who won the world cup in 2018?")
+        backend.correct(second["log_id"], "SELECT teamname FROM national_team")
+        stats = backend.statistics()
+        assert stats.questions_issued == 2
+        assert stats.thumbs_up == 1
+        assert stats.corrected_queries == 1
+
+    def test_unknown_log_id_raises(self, backend):
+        with pytest.raises(KeyError):
+            backend.feedback(99_999, thumbs_up=True)
+
+
+class TestLabelingPipeline:
+    def test_auto_label_above_threshold(self):
+        pipeline = LabelingPipeline()
+        pipeline.add_verified("Who won the world cup in 2014?", "SELECT 1")
+        suggestion = pipeline.suggest("Who won the world cup in 2014 ?")
+        assert suggestion.auto_labeled is True
+        assert suggestion.proposed_sql == "SELECT 1"
+
+    def test_below_threshold_gives_assistance(self):
+        pipeline = LabelingPipeline()
+        pipeline.add_verified("Who won the world cup in 2014?", "SELECT 1")
+        suggestion = pipeline.suggest("Which clubs did Morpera play for?")
+        assert suggestion.auto_labeled is False
+        assert suggestion.similar_question == "Who won the world cup in 2014?"
+
+    def test_empty_pool(self):
+        suggestion = LabelingPipeline().suggest("anything")
+        assert suggestion.similarity == 0.0
+        assert not suggestion.auto_labeled
+
+    def test_batch_reduces_manual_effort(self):
+        pipeline = LabelingPipeline(threshold=0.96)
+        pipeline.add_verified("Who won the world cup in 2014?", "SELECT 1")
+        questions = [
+            "Who won the world cup in 2014 ?",  # near-duplicate: auto
+            "Which clubs did Morpera play for?",  # manual
+        ]
+        produced, manual_calls = pipeline.label_batch(
+            questions, manual_labeler=lambda q, s: "SELECT 2"
+        )
+        assert len(produced) == 2
+        assert manual_calls == 1
+        assert produced[0].source == "auto"
+        assert produced[1].source == "manual"
+
+    def test_ingest_feedback_from_live_log(self, universe):
+        records = DeploymentSimulator(universe, seed=9).run(400)
+        pipeline = LabelingPipeline()
+        counts = pipeline.ingest_feedback(records)
+        assert counts["expert_correction"] > 0
+        assert len(pipeline.verified_pairs) >= counts["expert_correction"]
+        corrected = [r for r in records if r.corrected_sql is not None]
+        assert counts["expert_correction"] == len(corrected)

@@ -1,0 +1,29 @@
+"""Evaluation test fixtures: one harness shared across the module."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchmark import build_benchmark
+from repro.evaluation import Harness
+from repro.footballdb import build_universe, load_all
+
+
+@pytest.fixture(scope="session")
+def universe():
+    return build_universe(seed=2022)
+
+
+@pytest.fixture(scope="session")
+def football(universe):
+    return load_all(universe=universe)
+
+
+@pytest.fixture(scope="session")
+def dataset(universe):
+    return build_benchmark(universe)
+
+
+@pytest.fixture(scope="session")
+def harness(football, dataset):
+    return Harness(football, dataset)

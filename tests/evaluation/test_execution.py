@@ -1,0 +1,65 @@
+"""EX metric tests."""
+
+import pytest
+
+from repro.evaluation import ExecutionEvaluator
+
+
+@pytest.fixture()
+def evaluator(football):
+    return ExecutionEvaluator(football["v1"])
+
+
+class TestMatches:
+    def test_identical_query_matches(self, evaluator):
+        sql = "SELECT teamname FROM national_team WHERE team_id = 1"
+        assert evaluator.matches(sql, sql)
+
+    def test_semantically_equal_queries_match(self, evaluator):
+        a = "SELECT teamname FROM national_team WHERE team_id = 1"
+        b = "SELECT T1.teamname FROM national_team AS T1 WHERE T1.team_id = 1"
+        assert evaluator.matches(a, b)
+
+    def test_row_order_is_ignored(self, evaluator):
+        a = "SELECT teamname FROM national_team ORDER BY teamname"
+        b = "SELECT teamname FROM national_team ORDER BY team_id"
+        assert evaluator.matches(a, b)
+
+    def test_different_results_do_not_match(self, evaluator):
+        a = "SELECT teamname FROM national_team WHERE team_id = 1"
+        b = "SELECT teamname FROM national_team WHERE team_id = 2"
+        assert not evaluator.matches(a, b)
+
+    def test_none_prediction_never_matches(self, evaluator):
+        assert not evaluator.matches(None, "SELECT 1")
+
+    def test_execution_error_never_matches(self, evaluator):
+        assert not evaluator.matches("SELECT x FROM nope", "SELECT 1")
+
+    def test_two_failing_queries_do_not_match(self, evaluator):
+        assert not evaluator.matches("SELECT x FROM nope", "SELECT y FROM nada")
+
+    def test_duplicate_multiplicity_matters(self, evaluator):
+        a = "SELECT founded FROM national_team WHERE team_id IN (1, 2)"
+        b = "SELECT DISTINCT founded FROM national_team WHERE team_id IN (1, 2)"
+        # Matches only if the two founding years differ; both cases are
+        # legitimate — just assert the metric is consistent with the data.
+        years = evaluator.database.execute(
+            "SELECT founded FROM national_team WHERE team_id IN (1, 2)"
+        ).rows
+        expectation = len({row[0] for row in years}) == len(years)
+        assert evaluator.matches(a, b) is expectation
+
+    def test_int_float_normalization(self, evaluator):
+        assert evaluator.matches("SELECT 4 / 2", "SELECT 2")
+
+
+class TestCaching:
+    def test_results_are_cached(self, football):
+        evaluator = ExecutionEvaluator(football["v1"])
+        sql = "SELECT count(*) FROM match"
+        evaluator.result_key(sql)
+        executed = evaluator.executed
+        evaluator.result_key(sql)
+        assert evaluator.executed == executed
+        assert evaluator.cache_hits >= 1

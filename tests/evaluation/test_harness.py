@@ -1,0 +1,99 @@
+"""Harness behaviour tests (shape constraints, not calibrated values)."""
+
+import pytest
+
+from repro.evaluation import Harness
+from repro.evaluation.experiments import keys_ablation, picard_ablation, value_finder_ablation
+from repro.systems import GPT35, Llama2, T5Picard, T5PicardKeys, ValueNet
+
+
+class TestEvaluate:
+    def test_outcome_count_equals_test_set(self, harness, dataset):
+        result = harness.evaluate(ValueNet, "v3", train_size=100)
+        assert len(result.outcomes) == len(dataset.test_examples)
+
+    def test_accuracy_in_unit_interval(self, harness):
+        result = harness.evaluate(T5Picard, "v1", train_size=100)
+        assert 0.0 <= result.accuracy <= 1.0
+
+    def test_train_size_monotonicity(self, harness):
+        """The deterministic-draw design guarantees monotone curves."""
+        accuracies = [
+            harness.evaluate(T5PicardKeys, "v3", train_size=size).accuracy
+            for size in (0, 100, 200, 300)
+        ]
+        assert accuracies == sorted(accuracies)
+
+    def test_deterministic_across_runs(self, harness):
+        a = harness.evaluate(ValueNet, "v2", train_size=100)
+        b = harness.evaluate(ValueNet, "v2", train_size=100)
+        assert [o.correct for o in a.outcomes] == [o.correct for o in b.outcomes]
+
+    def test_hardness_breakdown_covers_all_questions(self, harness):
+        result = harness.evaluate(T5Picard, "v1", train_size=100)
+        by_hardness = result.accuracy_by_hardness()
+        assert sum(count for _, count in by_hardness.values()) == len(result.outcomes)
+
+    def test_bucket_breakdown(self, harness):
+        result = harness.evaluate(T5Picard, "v3", train_size=100)
+        buckets = result.accuracy_by_bucket()
+        # v3 eliminates set operations: that bucket must be absent.
+        assert ">=1 set" not in buckets
+        assert "1 join" in buckets or ">=2 join" in buckets
+
+
+class TestFolds:
+    def test_fold_mean_and_spread(self, harness):
+        mean, spread, results = harness.evaluate_folds(
+            Llama2, "v1", shots=4, folds=3
+        )
+        assert len(results) == 3
+        assert 0.0 <= mean <= 1.0
+        assert spread >= 0.0
+
+    def test_folds_use_different_samples(self, harness):
+        _, spread, results = harness.evaluate_folds(GPT35, "v1", shots=10, folds=3)
+        accuracies = {round(result.accuracy, 4) for result in results}
+        # Three random 10-shot samples virtually never tie exactly.
+        assert len(accuracies) > 1 or spread == 0.0
+
+
+class TestPaperShapeConstraints:
+    """Qualitative findings that must hold regardless of calibration."""
+
+    def test_keys_help_everywhere(self, harness):
+        report = keys_ablation(harness)
+        for version, cells in report.items():
+            assert cells["gain"] > 0, version
+
+    def test_keys_gain_largest_in_v3(self, harness):
+        """The optimized data model rewards FK-aware encoders most."""
+        report = keys_ablation(harness)
+        assert report["v3"]["gain"] >= report["v1"]["gain"] - 0.05
+
+    def test_valuenet_improves_v1_to_v3(self, harness):
+        v1 = harness.evaluate(ValueNet, "v1", train_size=300).accuracy
+        v3 = harness.evaluate(ValueNet, "v3", train_size=300).accuracy
+        assert v3 > v1
+
+    def test_valuenet_generation_rate_rises_with_model_version(self, harness):
+        """Fewer pipeline kills after each redesign."""
+        rates = [
+            harness.evaluate(ValueNet, version, train_size=300).generation_rate
+            for version in ("v1", "v2", "v3")
+        ]
+        assert rates[2] > rates[0]
+        assert rates[1] > rates[0]
+
+    def test_picard_raises_validity_not_necessarily_accuracy(self, harness):
+        report = picard_ablation(harness)
+        assert report["picard_generation_rate"] >= report["unconstrained_generation_rate"]
+
+    def test_value_finder_helps_valuenet(self, harness):
+        report = value_finder_ablation(harness)
+        assert report["with_value_finder"] >= report["without_value_finder"]
+
+    def test_llm_latency_ordering(self, harness):
+        gpt = harness.evaluate(GPT35, "v1", shots=10, fold=0)
+        llama = harness.evaluate(Llama2, "v1", shots=4, fold=0)
+        assert llama.mean_latency > gpt.mean_latency

@@ -1,0 +1,74 @@
+"""Report renderer tests (tables and ASCII bar figures)."""
+
+import pytest
+
+from repro.evaluation import (
+    format_mean_std,
+    format_percent,
+    render_bar_chart,
+    render_table,
+)
+
+
+class TestRenderTable:
+    def test_basic_table(self):
+        text = render_table(["a", "b"], [[1, "x"], [22, "yy"]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert "a" in lines[0] and "b" in lines[0]
+
+    def test_title(self):
+        text = render_table(["a"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_column_alignment(self):
+        text = render_table(["col"], [["short"], ["a much longer cell"]])
+        lines = text.splitlines()
+        widths = {len(line) for line in lines[2:]}
+        assert len(widths) == 1  # all rows padded to the same width
+
+    def test_float_formatting(self):
+        text = render_table(["x"], [[3.14159]])
+        assert "3.14" in text
+        assert "3.14159" not in text
+
+    def test_empty_rows(self):
+        text = render_table(["a", "b"], [])
+        assert len(text.splitlines()) == 2
+
+
+class TestFormatters:
+    def test_format_percent(self):
+        assert format_percent(0.415) == "41.50%"
+        assert format_percent(0.415, decimals=0) == "42%"
+
+    def test_format_mean_std_percent(self):
+        assert format_mean_std(0.41, 0.034) == "41.00% (±3.40%)"
+
+    def test_format_mean_std_plain(self):
+        assert format_mean_std(652.16, 165.94, percent=False) == "652.16 ± 165.94"
+
+
+class TestBarChart:
+    SERIES = {
+        "SystemA": {"easy": (0.77, 13), "hard": (0.20, 40)},
+        "SystemB": {"easy": (0.50, 13)},
+    }
+
+    def test_all_buckets_rendered(self):
+        text = render_bar_chart(self.SERIES, ["easy", "hard"], title="T")
+        assert "easy" in text and "hard" in text
+
+    def test_counts_shown(self):
+        text = render_bar_chart(self.SERIES, ["easy"], title="T")
+        assert "(n=13)" in text
+
+    def test_missing_bucket_shows_dash(self):
+        text = render_bar_chart(self.SERIES, ["hard"], title="T")
+        assert "-" in text  # SystemB has no 'hard' bucket
+
+    def test_bar_length_proportional(self):
+        text = render_bar_chart(self.SERIES, ["easy"], title="T", width=10)
+        a_line = next(l for l in text.splitlines() if "SystemA" in l)
+        b_line = next(l for l in text.splitlines() if "SystemB" in l)
+        assert a_line.count("#") > b_line.count("#")

@@ -1,0 +1,118 @@
+"""Distilled test-suite evaluation tests (the EX false-positive catcher)."""
+
+import pytest
+
+from repro.evaluation import TestSuiteEvaluator, perturb_events
+from repro.footballdb import load_version
+
+
+@pytest.fixture(scope="module")
+def variant(universe):
+    return perturb_events(universe, seed=7_001)
+
+
+@pytest.fixture(scope="module")
+def suite(universe, football):
+    return TestSuiteEvaluator.build(
+        universe, "v1", football["v1"], variant_seeds=(7_001,)
+    )
+
+
+class TestPerturbation:
+    def test_entities_are_shared(self, universe, variant):
+        assert variant.players is universe.players
+        assert variant.teams is universe.teams
+        assert variant.world_cups is universe.world_cups
+
+    def test_fixtures_preserved(self, universe, variant):
+        assert len(variant.matches) == len(universe.matches)
+        for original, perturbed in zip(universe.matches, variant.matches):
+            assert original.match_id == perturbed.match_id
+            assert original.home_team_id == perturbed.home_team_id
+            assert original.away_team_id == perturbed.away_team_id
+            assert original.stage == perturbed.stage
+
+    def test_scores_differ(self, universe, variant):
+        differing = sum(
+            1
+            for original, perturbed in zip(universe.matches, variant.matches)
+            if (original.home_goals, original.away_goals)
+            != (perturbed.home_goals, perturbed.away_goals)
+        )
+        assert differing > len(universe.matches) * 0.4
+
+    def test_podium_preserved(self, variant):
+        """Knockout winners must still win: history cannot change."""
+        for cup in variant.world_cups:
+            final = next(
+                m for m in variant.matches_in(cup.year) if m.stage == "final"
+            )
+            assert final.home_team_id == cup.winner_id
+            assert final.home_goals > final.away_goals
+
+    def test_events_consistent_with_new_scores(self, variant):
+        for match in variant.matches_in(2014):
+            events = variant.events_for_match(match.match_id)
+            home = sum(
+                1
+                for e in events
+                if e.team_id == match.home_team_id
+                and e.event_type in ("goal", "penalty", "own_goal")
+            )
+            assert home == match.home_goals
+
+    def test_variant_loads_into_all_schemas(self, variant):
+        for version in ("v1", "v3"):
+            db = load_version(variant, version)
+            assert db.row_count() > 90_000
+
+    def test_deterministic(self, universe):
+        a = perturb_events(universe, seed=5)
+        b = perturb_events(universe, seed=5)
+        assert [m.home_goals for m in a.matches] == [m.home_goals for m in b.matches]
+
+
+class TestSuiteEvaluation:
+    def test_gold_matches_itself_on_suite(self, suite):
+        sql = "SELECT count(*) FROM match WHERE year = 2014"
+        assert suite.matches(sql, sql)
+
+    def test_entity_facts_survive_perturbation(self, suite):
+        """Podium questions have perturbation-invariant answers."""
+        gold = (
+            "SELECT T2.teamname FROM world_cup AS T1 JOIN national_team AS T2 "
+            "ON T1.winner = T2.team_id WHERE T1.year = 2014"
+        )
+        assert suite.matches(gold, gold)
+
+    def test_coincidental_count_match_is_caught(self, suite, football):
+        """A wrong-year count that collides on the primary DB must fail
+        the suite (the scores differ on the variant)."""
+        gold = "SELECT sum(home_team_goals) FROM match WHERE year = 2014"
+        db = football["v1"]
+        target = db.execute(gold).rows[0][0]
+        impostor = None
+        for year in (1930, 1934, 1938, 1950, 1954, 1958, 1962, 1966, 1970):
+            candidate = f"SELECT sum(home_team_goals) FROM match WHERE year = {year}"
+            if db.execute(candidate).rows[0][0] == target:
+                impostor = candidate
+                break
+        if impostor is None:
+            pytest.skip("no coincidental collision in this universe")
+        verdict = suite.verdict(impostor, gold)
+        assert verdict.matches_primary is True
+        assert verdict.false_positive is True
+
+    def test_wrong_prediction_fails_both(self, suite):
+        # 2014 hosted 32 teams, 1954 only 16 — the match counts differ,
+        # so this wrong query cannot coincidentally collide (unlike
+        # 2014 vs 2018, which both have 64 matches!).
+        gold = "SELECT count(*) FROM match WHERE year = 2014"
+        wrong = "SELECT count(*) FROM match WHERE year = 1954"
+        verdict = suite.verdict(wrong, gold)
+        assert not verdict.matches_primary
+        assert not verdict.matches_suite
+
+    def test_none_prediction(self, suite):
+        verdict = suite.verdict(None, "SELECT 1")
+        assert not verdict.matches_suite

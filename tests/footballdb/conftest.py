@@ -1,0 +1,17 @@
+"""Session-scoped FootballDB fixtures (built once, reused everywhere)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.footballdb import FootballDB, Universe, build_universe, load_all
+
+
+@pytest.fixture(scope="session")
+def universe() -> Universe:
+    return build_universe(seed=2022)
+
+
+@pytest.fixture(scope="session")
+def football(universe) -> FootballDB:
+    return load_all(universe=universe)

@@ -1,0 +1,66 @@
+"""Loader and stats module tests (FK integrity of the loaded data)."""
+
+import pytest
+
+from repro.footballdb import (
+    VERSIONS,
+    compute_stats,
+    load_all,
+    load_version,
+)
+
+
+class TestLoader:
+    def test_load_version_unknown_raises(self, universe):
+        with pytest.raises(ValueError):
+            load_version(universe, "v9")
+
+    def test_load_all_indexable(self, football):
+        for version in VERSIONS:
+            assert football[version] is football.database(version)
+
+    def test_declared_foreign_keys_hold(self, football):
+        """Every declared FK edge has zero dangling references."""
+        for version in VERSIONS:
+            db = football[version]
+            for fk in db.schema.foreign_keys:
+                dangling = db.execute(
+                    f"SELECT count(*) FROM {fk.table} AS c WHERE "
+                    f"c.{fk.column} IS NOT NULL AND c.{fk.column} NOT IN "
+                    f"(SELECT p.{fk.ref_column} FROM {fk.ref_table} AS p)"
+                )
+                assert dangling.rows[0][0] == 0, (version, fk.describe())
+
+    def test_undeclared_bridge_references_also_hold(self, football):
+        """v1 leaves bridge FKs undeclared, but the data is still clean
+        (the deployment's data pipeline enforced them out of band)."""
+        db = football["v1"]
+        dangling = db.execute(
+            "SELECT count(*) FROM player_club_team AS b WHERE b.player_id NOT IN "
+            "(SELECT p.player_id FROM player AS p)"
+        )
+        assert dangling.rows[0][0] == 0
+
+    def test_same_universe_same_answers_across_loads(self, universe):
+        a = load_version(universe, "v1")
+        b = load_version(universe, "v1")
+        sql = "SELECT sum(home_team_goals) FROM match"
+        assert a.execute(sql).rows == b.execute(sql).rows
+
+
+class TestStats:
+    def test_compute_stats_consistency(self, football):
+        for version in VERSIONS:
+            stats = compute_stats(football[version])
+            assert stats.version == version
+            assert stats.rows == football[version].row_count()
+            assert stats.mean_columns_per_table == pytest.approx(
+                stats.columns / stats.tables
+            )
+
+    def test_paper_orderings(self, football):
+        stats = {v: compute_stats(football[v]) for v in VERSIONS}
+        # v2 has the most tables, v3 the most columns and FKs (Table 2).
+        assert stats["v2"].tables == max(s.tables for s in stats.values())
+        assert stats["v3"].columns == max(s.columns for s in stats.values())
+        assert stats["v3"].foreign_keys == max(s.foreign_keys for s in stats.values())

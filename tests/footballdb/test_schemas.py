@@ -1,0 +1,175 @@
+"""Schema shape tests: the three data models must match Table 2 and the
+structural pathologies the paper builds its analysis on."""
+
+import pytest
+
+from repro.footballdb import compute_stats, table2
+from repro.footballdb import schema_v1, schema_v2, schema_v3
+
+
+class TestTable2Shape:
+    """Exact schema-level numbers from the paper's Table 2."""
+
+    def test_v1_tables_and_fks(self):
+        schema = schema_v1.build_schema()
+        assert len(schema.tables) == 13
+        assert schema.foreign_key_count == 14
+        assert schema.column_count == 97
+
+    def test_v2_tables_and_fks(self):
+        schema = schema_v2.build_schema()
+        assert len(schema.tables) == 16
+        assert schema.foreign_key_count == 13
+        assert schema.column_count == 98
+
+    def test_v3_tables_and_fks(self):
+        schema = schema_v3.build_schema()
+        assert len(schema.tables) == 15
+        assert schema.foreign_key_count == 16
+        assert schema.column_count == 107
+
+    def test_row_counts_in_paper_range(self, football):
+        stats = table2(football.databases)
+        # Paper: 104,531 / 106,547 / 106,111. Synthetic generation lands
+        # within a few percent; v2 must be largest, v1 smallest.
+        for version in ("v1", "v2", "v3"):
+            assert 95_000 <= stats[version].rows <= 115_000
+        assert stats["v2"].rows > stats["v3"].rows > stats["v1"].rows
+
+    def test_mean_columns_ordering(self, football):
+        stats = table2(football.databases)
+        # v2 has the lowest mean #columns/table (6.13 in the paper).
+        assert stats["v2"].mean_columns_per_table < stats["v3"].mean_columns_per_table
+        assert stats["v2"].mean_columns_per_table < stats["v1"].mean_columns_per_table
+
+
+class TestV1Pathologies:
+    def test_match_has_two_fk_edges_to_national_team(self):
+        schema = schema_v1.build_schema()
+        assert len(schema.foreign_keys_between("match", "national_team")) == 2
+
+    def test_world_cup_has_four_fk_edges_to_national_team(self):
+        schema = schema_v1.build_schema()
+        assert len(schema.foreign_keys_between("world_cup", "national_team")) == 4
+
+
+class TestV2Remodeling:
+    def test_single_fk_edge_between_any_pair(self):
+        schema = schema_v2.build_schema()
+        for a in schema.table_names:
+            for b in schema.table_names:
+                if a < b:
+                    assert len(schema.foreign_keys_between(a, b)) <= 1, (a, b)
+
+    def test_prize_is_text(self, football):
+        values = football["v2"].column_values("world_cup_result", "prize")
+        assert values == {"winner", "runner_up", "third", "fourth"}
+
+
+class TestV3Remodeling:
+    def test_prize_becomes_boolean_columns(self):
+        schema = schema_v3.build_schema()
+        table = schema.table("world_cup_result")
+        for column in ("winner", "runner_up", "third", "fourth"):
+            assert table.has_column(column)
+
+    def test_no_match_table(self):
+        schema = schema_v3.build_schema()
+        assert not schema.has_table("match")
+        assert schema.has_table("plays_match")
+        assert schema.has_table("national_opponent_team")
+
+    def test_plays_match_two_rows_per_match(self, football):
+        matches = len(football.universe.matches)
+        assert football["v3"].row_count("plays_match") == 2 * matches
+
+    def test_opponent_team_is_copy(self, football):
+        db = football["v3"]
+        a = db.execute("SELECT team_id, teamname FROM national_team ORDER BY team_id")
+        b = db.execute(
+            "SELECT team_id, teamname FROM national_opponent_team ORDER BY team_id"
+        )
+        assert a.rows == b.rows
+
+
+class TestCrossModelConsistency:
+    """The same question must have the same answer in every data model."""
+
+    def test_england_win_count(self, football):
+        v1 = football["v1"].execute(
+            "SELECT count(*) FROM world_cup AS T1 JOIN national_team AS T2 "
+            "ON T1.winner = T2.team_id WHERE T2.teamname = 'England'"
+        )
+        v3 = football["v3"].execute(
+            "SELECT count(*) FROM world_cup_result AS T1 JOIN national_team AS T2 "
+            "ON T1.team_id = T2.team_id WHERE T2.teamname = 'England' "
+            "AND T1.winner = 'True'"
+        )
+        assert v1.rows == v3.rows == [(1,)]
+
+    def test_figure4_same_result_in_all_models(self, football):
+        """The paper's running example: Germany vs Brazil, 2014."""
+        v1_sql = (
+            "SELECT T1.home_team_goals, T1.away_team_goals FROM match AS T1 "
+            "JOIN national_team AS T2 ON T2.team_id = T1.home_team_id "
+            "JOIN national_team AS T3 ON T3.team_id = T1.away_team_id "
+            "WHERE T2.teamname ILIKE '%Germany%' AND T3.teamname ILIKE '%Brazil%' "
+            "AND T1.year = 2014 "
+            "UNION SELECT T1.home_team_goals, T1.away_team_goals FROM match AS T1 "
+            "JOIN national_team AS T2 ON T2.team_id = T1.home_team_id "
+            "JOIN national_team AS T3 ON T3.team_id = T1.away_team_id "
+            "WHERE T2.teamname ILIKE '%Brazil%' AND T3.teamname ILIKE '%Germany%' "
+            "AND T1.year = 2014"
+        )
+        v3_sql = (
+            "SELECT T2.team_goals, T2.opponent_team_goals "
+            "FROM national_team AS T1 "
+            "JOIN plays_match AS T2 ON T2.team_id = T1.team_id "
+            "JOIN national_opponent_team AS T3 ON T3.team_id = T2.opponent_team_id "
+            "WHERE T1.teamname ILIKE '%Germany%' AND T3.teamname ILIKE '%Brazil%' "
+            "AND T2.year = 2014"
+        )
+        v1_result = football["v1"].execute(v1_sql)
+        v3_result = football["v3"].execute(v3_sql)
+        assert v1_result.rows == [(7, 1)]
+        assert v3_result.rows == [(7, 1)]
+
+    def test_total_goals_consistent_v1_v2(self, football):
+        v1 = football["v1"].execute(
+            "SELECT sum(home_team_goals) + sum(away_team_goals) FROM match "
+            "WHERE year = 2018"
+        )
+        v2 = football["v2"].execute(
+            "SELECT (SELECT sum(home_team_goals) FROM plays_as_home AS h "
+            "JOIN match AS m ON m.match_id = h.match_id WHERE m.year = 2018) + "
+            "(SELECT sum(away_team_goals) FROM plays_as_away AS a "
+            "JOIN match AS m ON m.match_id = a.match_id WHERE m.year = 2018)"
+        )
+        v3 = football["v3"].execute(
+            "SELECT sum(team_goals) FROM plays_match WHERE year = 2018"
+        )
+        assert v1.rows[0][0] == v2.rows[0][0] == v3.rows[0][0]
+
+    def test_match_fact_references_resolve(self, football):
+        v1 = football["v1"].execute(
+            "SELECT count(*) FROM match_fact AS f JOIN match AS m "
+            "ON f.match_id = m.match_id"
+        )
+        v3 = football["v3"].execute(
+            "SELECT count(*) FROM match_fact AS f JOIN plays_match AS p "
+            "ON f.match_team_id = p.match_team_id"
+        )
+        assert v1.rows == v3.rows
+
+    def test_goal_events_equal_goal_columns(self, football):
+        """Event-level and match-level goal counts agree (2014)."""
+        db = football["v1"]
+        via_events = db.execute(
+            "SELECT count(*) FROM match_fact AS f JOIN match AS m "
+            "ON f.match_id = m.match_id WHERE m.year = 2014 AND f.goal = 'True'"
+        )
+        via_scores = db.execute(
+            "SELECT sum(home_team_goals) + sum(away_team_goals) FROM match "
+            "WHERE year = 2014"
+        )
+        assert via_events.rows[0][0] == via_scores.rows[0][0]

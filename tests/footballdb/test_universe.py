@@ -1,0 +1,188 @@
+"""Universe generator invariants (counts, consistency, determinism)."""
+
+import pytest
+
+from repro.footballdb import (
+    NATIONAL_TEAMS,
+    WORLD_CUP_HISTORY,
+    UniverseGenerator,
+    build_universe,
+)
+from repro.footballdb.universe import (
+    TARGET_CLUBS,
+    TARGET_COACHES,
+    TARGET_LEAGUES,
+    TARGET_PLAYERS,
+)
+
+
+class TestInventory:
+    """Section 3.1 inventory: 22 cups, 86 teams, 8,891 players, …"""
+
+    def test_world_cup_count(self, universe):
+        assert len(universe.world_cups) == 22
+
+    def test_team_count(self, universe):
+        assert len(universe.teams) == 86
+        assert len(NATIONAL_TEAMS) == 86
+
+    def test_player_count(self, universe):
+        assert len(universe.players) == TARGET_PLAYERS == 8891
+
+    def test_club_count(self, universe):
+        assert len(universe.clubs) == TARGET_CLUBS == 1874
+
+    def test_league_count(self, universe):
+        assert len(universe.leagues) == TARGET_LEAGUES == 89
+
+    def test_coach_count(self, universe):
+        assert len(universe.coaches) == TARGET_COACHES == 1966
+
+    def test_match_count_roughly_historical(self, universe):
+        # ~964 matches were actually played 1930-2022; the synthetic
+        # scheduler lands in the same range.
+        assert 900 <= len(universe.matches) <= 1100
+
+
+class TestHistoricalFacts:
+    """The public facts user questions reference must be real."""
+
+    @pytest.mark.parametrize(
+        "year,winner",
+        [(1930, "Uruguay"), (1966, "England"), (2014, "Germany"), (2022, "Argentina")],
+    )
+    def test_winners(self, universe, year, winner):
+        cup = universe.cup(year)
+        assert universe.team(cup.winner_id).name == winner
+
+    def test_2014_semi_final_score(self, universe):
+        """Germany 7:1 Brazil — the Figure 4 example."""
+        germany = universe.team_by_name("Germany").team_id
+        brazil = universe.team_by_name("Brazil").team_id
+        semis = [
+            m
+            for m in universe.matches_in(2014)
+            if m.stage == "semi_final" and m.involves(germany) and m.involves(brazil)
+        ]
+        assert len(semis) == 1
+        match = semis[0]
+        assert {match.home_goals, match.away_goals} == {7, 1}
+
+    def test_hosts(self, universe):
+        assert universe.cup(2022).host == "Qatar"
+        assert universe.cup(1930).host == "Uruguay"
+
+    def test_former_nations_not_in_modern_cups(self, universe):
+        soviet = universe.team_by_name("Soviet Union").team_id
+        for match in universe.matches_in(2018):
+            assert not match.involves(soviet)
+
+    def test_podium_teams_participate(self, universe):
+        for cup in universe.world_cups:
+            participants = set()
+            for match in universe.matches_in(cup.year):
+                participants.add(match.home_team_id)
+                participants.add(match.away_team_id)
+            for team_id in (cup.winner_id, cup.runner_up_id, cup.third_id, cup.fourth_id):
+                assert team_id in participants
+
+
+class TestTournamentStructure:
+    def test_exactly_one_final_per_cup(self, universe):
+        for cup in universe.world_cups:
+            finals = [m for m in universe.matches_in(cup.year) if m.stage == "final"]
+            assert len(finals) == 1
+            final = finals[0]
+            # Winner beats runner-up in the final.
+            assert final.home_team_id == cup.winner_id
+            assert final.away_team_id == cup.runner_up_id
+            assert final.home_goals > final.away_goals
+
+    def test_third_place_match(self, universe):
+        for cup in universe.world_cups:
+            third = [m for m in universe.matches_in(cup.year) if m.stage == "third_place"]
+            assert len(third) == 1
+            assert third[0].home_team_id == cup.third_id
+            assert third[0].home_goals > third[0].away_goals
+
+    def test_knockout_matches_have_winners(self, universe):
+        for match in universe.matches:
+            if match.stage != "group":
+                assert match.home_goals != match.away_goals
+
+    def test_team_count_matches_participants(self, universe):
+        for cup in universe.world_cups:
+            participants = set()
+            for match in universe.matches_in(cup.year):
+                participants.add(match.home_team_id)
+                participants.add(match.away_team_id)
+            assert len(participants) == cup.team_count
+
+
+class TestEventConsistency:
+    """Aggregates must be derivable from events (any join path agrees)."""
+
+    def test_goal_events_match_scores(self, universe):
+        for match in universe.matches_in(2014):
+            events = universe.events_for_match(match.match_id)
+            home_goals = sum(
+                1
+                for e in events
+                if e.team_id == match.home_team_id and e.event_type in ("goal", "penalty", "own_goal")
+            )
+            away_goals = sum(
+                1
+                for e in events
+                if e.team_id == match.away_team_id and e.event_type in ("goal", "penalty", "own_goal")
+            )
+            assert (home_goals, away_goals) == (match.home_goals, match.away_goals)
+
+    def test_squad_goals_match_events(self, universe):
+        scored = {}
+        for event in universe.events:
+            if event.event_type in ("goal", "penalty"):
+                match = universe.matches[event.match_id - 1]
+                key = (match.year, event.player_id)
+                scored[key] = scored.get(key, 0) + 1
+        for member in universe.squads[:2000]:
+            assert member.goals == scored.get((member.year, member.player_id), 0)
+
+    def test_event_players_belong_to_squads(self, universe):
+        squad_index = {(m.year, m.team_id, m.player_id) for m in universe.squads}
+        for event in universe.events[:3000]:
+            match = universe.matches[event.match_id - 1]
+            if event.event_type == "own_goal":
+                # Credited to the scoring team, struck by an opponent.
+                other = (
+                    match.away_team_id
+                    if event.team_id == match.home_team_id
+                    else match.home_team_id
+                )
+                assert (match.year, other, event.player_id) in squad_index
+            else:
+                assert (match.year, event.team_id, event.player_id) in squad_index
+
+    def test_squads_are_23_players(self, universe):
+        by_participation = {}
+        for member in universe.squads:
+            key = (member.year, member.team_id)
+            by_participation[key] = by_participation.get(key, 0) + 1
+        assert set(by_participation.values()) == {23}
+
+
+class TestDeterminism:
+    def test_same_seed_same_universe(self):
+        a = UniverseGenerator(seed=7).generate()
+        b = UniverseGenerator(seed=7).generate()
+        assert [m.home_goals for m in a.matches] == [m.home_goals for m in b.matches]
+        assert [p.full_name for p in a.players[:50]] == [p.full_name for p in b.players[:50]]
+
+    def test_different_seed_different_universe(self):
+        a = UniverseGenerator(seed=7).generate()
+        b = UniverseGenerator(seed=8).generate()
+        assert [m.home_goals for m in a.matches] != [m.home_goals for m in b.matches]
+
+    def test_podium_is_seed_independent(self):
+        a = UniverseGenerator(seed=7).generate()
+        b = UniverseGenerator(seed=8).generate()
+        assert [c.winner_id for c in a.world_cups] == [c.winner_id for c in b.world_cups]

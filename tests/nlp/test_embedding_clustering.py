@@ -1,0 +1,108 @@
+"""Embedding, clustering and similarity behaviour."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nlp import cluster_texts, cosine, embed, embed_all, similarity
+
+
+class TestEmbedding:
+    def test_vectors_are_normalized(self):
+        vector = embed("Who won the world cup in 2014?")
+        assert math.isclose(sum(v * v for v in vector), 1.0, rel_tol=1e-9)
+
+    def test_identical_texts_have_similarity_one(self):
+        assert math.isclose(
+            similarity("Who won in 2014?", "Who won in 2014?"), 1.0, rel_tol=1e-9
+        )
+
+    def test_paraphrases_score_higher_than_unrelated(self):
+        close = similarity(
+            "Who won the world cup in 2014?", "Which country won the 2014 world cup?"
+        )
+        far = similarity(
+            "Who won the world cup in 2014?", "How do I reset my password?"
+        )
+        assert close > far
+
+    def test_year_variants_are_very_similar(self):
+        """The near-duplicate folding target from the paper."""
+        score = similarity(
+            "Who won the world cup in 2014?", "Who won the world cup in 2018?"
+        )
+        assert score > 0.85
+
+    def test_typo_tolerance_via_trigrams(self):
+        clean = "How many goals did Ferratorez score?"
+        typo = "How many goals did Feratorez score?"
+        assert similarity(clean, typo) > 0.8
+
+    def test_empty_text(self):
+        assert embed("") == [0.0] * len(embed(""))
+
+    def test_case_insensitive(self):
+        assert math.isclose(
+            similarity("WHO WON IN 2014", "who won in 2014"), 1.0, rel_tol=1e-9
+        )
+
+    @given(st.text(max_size=80))
+    @settings(max_examples=100, deadline=None)
+    def test_property_norm_is_zero_or_one(self, text):
+        vector = embed(text)
+        norm = sum(v * v for v in vector)
+        assert math.isclose(norm, 1.0, rel_tol=1e-6) or norm == 0.0
+
+    @given(st.text(max_size=60), st.text(max_size=60))
+    @settings(max_examples=100, deadline=None)
+    def test_property_similarity_bounded_and_symmetric(self, a, b):
+        ab = similarity(a, b)
+        ba = similarity(b, a)
+        assert -1.0001 <= ab <= 1.0001
+        assert math.isclose(ab, ba, rel_tol=1e-9)
+
+
+class TestClustering:
+    QUESTIONS = [
+        "Who won the world cup in 2014?",
+        "Who won the world cup in 2018?",
+        "Which country won the 2010 world cup?",
+        "How tall is Marlu Ferratorez?",
+        "What is the height of Marlu Ferratorez?",
+        "Which clubs did Sahoff Morpera play for?",
+    ]
+
+    def test_cluster_count_reasonable(self):
+        clusters = cluster_texts(self.QUESTIONS)
+        assert 2 <= len(clusters) <= 5
+
+    def test_all_members_assigned_exactly_once(self):
+        clusters = cluster_texts(self.QUESTIONS)
+        members = sorted(i for c in clusters for i in c.member_indices)
+        assert members == list(range(len(self.QUESTIONS)))
+
+    def test_winner_questions_cluster_together(self):
+        clusters = cluster_texts(self.QUESTIONS)
+        winner_cluster = next(c for c in clusters if 0 in c.member_indices)
+        assert 1 in winner_cluster.member_indices
+
+    def test_centroid_member_is_member(self):
+        vectors = embed_all(self.QUESTIONS)
+        for cluster in cluster_texts(self.QUESTIONS, vectors=vectors):
+            assert cluster.centroid_member(vectors) in cluster.member_indices
+
+    def test_centroid_is_normalized(self):
+        clusters = cluster_texts(self.QUESTIONS)
+        for cluster in clusters:
+            norm = sum(v * v for v in cluster.centroid)
+            assert math.isclose(norm, 1.0, rel_tol=1e-6)
+
+    def test_threshold_one_gives_singletons_for_distinct_texts(self):
+        clusters = cluster_texts(["aa bb cc", "dd ee ff", "gg hh ii"], threshold=0.999)
+        assert len(clusters) == 3
+
+    def test_deterministic(self):
+        a = cluster_texts(self.QUESTIONS)
+        b = cluster_texts(self.QUESTIONS)
+        assert [c.member_indices for c in a] == [c.member_indices for c in b]

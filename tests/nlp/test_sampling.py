@@ -1,0 +1,105 @@
+"""Sampling strategy tests (diversity, hardness-uniform, split)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nlp import diversity_sample, hardness_uniform_sample, train_test_split
+
+
+class TestDiversitySample:
+    def test_near_duplicates_collapse(self):
+        texts = [
+            "Who won the world cup in 2014?",
+            "Who won the world cup in 2014 ?",  # near-exact duplicate
+            "Which clubs did Sahoff Morpera play for?",
+        ]
+        kept = diversity_sample(texts, similarity_threshold=0.93)
+        assert len(kept) == 2
+
+    def test_diverse_texts_all_kept(self):
+        texts = [
+            "Who won the world cup in 2014?",
+            "How tall is Marlu Ferratorez?",
+            "Which clubs did Sahoff Morpera play for?",
+            "How many red cards were shown in 2006?",
+        ]
+        kept = diversity_sample(texts)
+        assert len(kept) == 4
+
+    def test_returns_sorted_unique_indices(self):
+        texts = ["question one", "question two", "question three"] * 2
+        kept = diversity_sample(texts)
+        assert kept == sorted(set(kept))
+        assert all(0 <= i < len(texts) for i in kept)
+
+
+class TestHardnessUniformSample:
+    def test_exact_size(self):
+        items = [(i, i % 4) for i in range(400)]
+        sample = hardness_uniform_sample(items, lambda item: item[1], size=100)
+        assert len(sample) == 100
+
+    def test_uniform_when_possible(self):
+        items = [(i, i % 4) for i in range(400)]
+        sample = hardness_uniform_sample(items, lambda item: item[1], size=100)
+        counts = {}
+        for _, level in sample:
+            counts[level] = counts.get(level, 0) + 1
+        assert counts == {0: 25, 1: 25, 2: 25, 3: 25}
+
+    def test_backfill_when_level_scarce(self):
+        """Scarce easy queries get backfilled from richer levels —
+        reproducing the paper's mean hardness ≈ 3 despite 'uniform'
+        sampling."""
+        items = [("easy", 1)] * 5 + [("hard", 3)] * 200 + [("extra", 4)] * 200
+        sample = hardness_uniform_sample(items, lambda item: item[1], size=120)
+        assert len(sample) == 120
+        easy = sum(1 for item in sample if item[1] == 1)
+        assert easy == 5
+
+    def test_deterministic(self):
+        items = [(i, i % 3) for i in range(90)]
+        a = hardness_uniform_sample(items, lambda item: item[1], size=30, seed=4)
+        b = hardness_uniform_sample(items, lambda item: item[1], size=30, seed=4)
+        assert a == b
+
+    @given(st.integers(min_value=1, max_value=50))
+    @settings(max_examples=30, deadline=None)
+    def test_property_never_oversamples(self, size):
+        items = [(i, i % 2) for i in range(30)]
+        sample = hardness_uniform_sample(items, lambda item: item[1], size=size)
+        assert len(sample) == min(size, len(items))
+
+
+class TestTrainTestSplit:
+    def test_sizes(self):
+        train, test = train_test_split(list(range(400)), test_size=100)
+        assert len(train) == 300
+        assert len(test) == 100
+
+    def test_disjoint_and_complete(self):
+        items = list(range(400))
+        train, test = train_test_split(items, test_size=100, seed=3)
+        assert sorted(train + test) == items
+
+    def test_stratified_distribution(self):
+        items = [(i, i % 4) for i in range(400)]
+        train, test = train_test_split(
+            items, test_size=100, stratify_by=lambda item: item[1], seed=5
+        )
+        counts = {}
+        for _, level in test:
+            counts[level] = counts.get(level, 0) + 1
+        # Each level is 25% of the pool; the stratified test split
+        # should be close to 25 per level.
+        assert all(20 <= count <= 30 for count in counts.values())
+
+    def test_test_size_too_large_raises(self):
+        with pytest.raises(ValueError):
+            train_test_split([1, 2, 3], test_size=3)
+
+    def test_deterministic(self):
+        items = list(range(100))
+        a = train_test_split(items, test_size=20, seed=9)
+        b = train_test_split(items, test_size=20, seed=9)
+        assert a == b

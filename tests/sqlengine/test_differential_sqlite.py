@@ -1,0 +1,200 @@
+"""Differential testing: the engine vs sqlite3 on randomized inputs.
+
+The stdlib's SQLite is used as a semantics oracle: the same random data
+is loaded into both engines, the same random queries run on both, and
+result multisets must agree.  Dialect traps are avoided by
+construction:
+
+* LIKE — sqlite's LIKE is case-insensitive by default; queries use
+  ``PRAGMA case_sensitive_like = ON`` to match the engine;
+* ``/`` — integer division differs; the generator never divides;
+* ORDER BY + LIMIT — ties are resolved differently; ORDER BY is only
+  combined with LIMIT when the sort key is unique (the PK);
+* booleans — sqlite stores 0/1; comparison normalizes.
+"""
+
+import random
+import sqlite3
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sqlengine import Database, Schema, make_column
+
+
+def normalize(rows):
+    def cell(value):
+        if isinstance(value, bool):
+            return int(value)
+        if isinstance(value, float):
+            return round(value, 6)
+        return value
+
+    return sorted(
+        (tuple(cell(v) for v in row) for row in rows),
+        key=lambda row: tuple((v is None, str(type(v)), str(v)) for v in row),
+    )
+
+
+class Mirror:
+    """The same schema + rows in both engines."""
+
+    def __init__(self, seed: int, team_rows: int = 30, player_rows: int = 120) -> None:
+        rng = random.Random(seed)
+        schema = Schema("mirror")
+        schema.create_table(
+            "team",
+            [
+                make_column("team_id", "int", primary_key=True),
+                make_column("name", "text"),
+                make_column("founded", "int"),
+                make_column("confed", "text"),
+            ],
+        )
+        schema.create_table(
+            "player",
+            [
+                make_column("player_id", "int", primary_key=True),
+                make_column("team_id", "int"),
+                make_column("pname", "text"),
+                make_column("goals", "int"),
+                make_column("height", "real"),
+            ],
+        )
+        schema.add_foreign_key("player", "team_id", "team", "team_id")
+        self.engine = Database(schema)
+        self.sqlite = sqlite3.connect(":memory:")
+        self.sqlite.execute("PRAGMA case_sensitive_like = ON")
+        self.sqlite.execute(
+            "CREATE TABLE team (team_id INTEGER PRIMARY KEY, name TEXT, "
+            "founded INTEGER, confed TEXT)"
+        )
+        self.sqlite.execute(
+            "CREATE TABLE player (player_id INTEGER PRIMARY KEY, team_id INTEGER, "
+            "pname TEXT, goals INTEGER, height REAL)"
+        )
+        confeds = ["UEFA", "CONMEBOL", "AFC", "CAF"]
+        names = [f"Team{chr(65 + i % 26)}{i}" for i in range(team_rows)]
+        for team_id in range(1, team_rows + 1):
+            row = (
+                team_id,
+                names[team_id - 1],
+                rng.randint(1880, 1990),
+                rng.choice(confeds),
+            )
+            self.engine.insert("team", row)
+            self.sqlite.execute("INSERT INTO team VALUES (?, ?, ?, ?)", row)
+        for player_id in range(1, player_rows + 1):
+            goals = None if rng.random() < 0.1 else rng.randint(0, 15)
+            row = (
+                player_id,
+                rng.randint(1, team_rows),
+                f"Player{player_id}",
+                goals,
+                round(rng.uniform(1.6, 2.05), 2),
+            )
+            self.engine.insert("player", row)
+            self.sqlite.execute("INSERT INTO player VALUES (?, ?, ?, ?, ?)", row)
+
+    def agree(self, sql: str) -> None:
+        ours = normalize(self.engine.execute(sql).rows)
+        theirs = normalize(self.sqlite.execute(sql).fetchall())
+        assert ours == theirs, f"divergence on: {sql}\nengine={ours[:5]}\nsqlite={theirs[:5]}"
+
+
+@pytest.fixture(scope="module")
+def mirror():
+    return Mirror(seed=1234)
+
+
+FIXED_QUERIES = [
+    "SELECT name FROM team WHERE founded > 1950",
+    "SELECT name, founded FROM team WHERE confed = 'UEFA' AND founded < 1930",
+    "SELECT count(*) FROM player",
+    "SELECT count(goals) FROM player",
+    "SELECT count(DISTINCT team_id) FROM player",
+    "SELECT sum(goals), min(goals), max(goals) FROM player",
+    "SELECT avg(height) FROM player WHERE goals IS NOT NULL",
+    "SELECT team_id, count(*) FROM player GROUP BY team_id",
+    "SELECT team_id, sum(goals) FROM player GROUP BY team_id HAVING count(*) > 3",
+    "SELECT t.name, count(*) FROM team AS t JOIN player AS p "
+    "ON t.team_id = p.team_id GROUP BY t.name",
+    "SELECT t.name, p.pname FROM team AS t JOIN player AS p "
+    "ON t.team_id = p.team_id WHERE p.goals > 10",
+    "SELECT name FROM team WHERE team_id IN (SELECT team_id FROM player WHERE goals > 12)",
+    "SELECT pname FROM player WHERE goals = (SELECT max(goals) FROM player)",
+    "SELECT pname FROM player WHERE goals BETWEEN 3 AND 7",
+    "SELECT pname FROM player WHERE pname LIKE 'Player1%'",
+    "SELECT name FROM team WHERE NOT (founded > 1950 OR confed = 'UEFA')",
+    "SELECT DISTINCT confed FROM team",
+    "SELECT confed FROM team UNION SELECT confed FROM team",
+    "SELECT team_id FROM team EXCEPT SELECT team_id FROM player",
+    "SELECT team_id FROM team INTERSECT SELECT team_id FROM player",
+    "SELECT founded FROM team UNION ALL SELECT goals FROM player WHERE goals IS NOT NULL",
+    "SELECT name FROM team ORDER BY team_id LIMIT 7",
+    "SELECT pname FROM player ORDER BY player_id DESC LIMIT 5 OFFSET 3",
+    "SELECT goals FROM player WHERE goals IS NULL",
+    "SELECT pname FROM player WHERE team_id NOT IN (1, 2, 3)",
+    "SELECT t.confed, avg(p.height) FROM team AS t JOIN player AS p "
+    "ON t.team_id = p.team_id GROUP BY t.confed",
+    "SELECT name FROM team AS t WHERE EXISTS "
+    "(SELECT 1 FROM player AS p WHERE p.team_id = t.team_id AND p.goals > 13)",
+    "SELECT upper(confed), length(name) FROM team WHERE team_id < 4",
+    "SELECT count(*) FROM team AS a JOIN team AS b ON a.founded = b.founded "
+    "WHERE a.team_id < b.team_id",
+]
+
+
+@pytest.mark.parametrize("sql", FIXED_QUERIES)
+def test_fixed_queries_agree(mirror, sql):
+    mirror.agree(sql)
+
+
+def test_random_filter_queries_agree(mirror):
+    rng = random.Random(99)
+    columns = ["founded", "team_id"]
+    operators = ["=", "<>", "<", "<=", ">", ">="]
+    for _ in range(60):
+        column = rng.choice(columns)
+        operator = rng.choice(operators)
+        value = rng.randint(1875, 1995) if column == "founded" else rng.randint(0, 35)
+        mirror.agree(f"SELECT name FROM team WHERE {column} {operator} {value}")
+
+
+def test_random_aggregate_queries_agree(mirror):
+    rng = random.Random(7)
+    aggregates = ["count(*)", "sum(goals)", "min(goals)", "max(goals)", "avg(goals)"]
+    for _ in range(40):
+        aggregate = rng.choice(aggregates)
+        threshold = rng.randint(0, 14)
+        mirror.agree(
+            f"SELECT team_id, {aggregate} FROM player WHERE goals >= {threshold} "
+            "GROUP BY team_id"
+        )
+
+
+def test_random_join_queries_agree(mirror):
+    rng = random.Random(21)
+    for _ in range(30):
+        goals = rng.randint(0, 14)
+        founded = rng.randint(1880, 1990)
+        mirror.agree(
+            "SELECT t.name, p.pname FROM team AS t JOIN player AS p "
+            f"ON t.team_id = p.team_id WHERE p.goals > {goals} "
+            f"AND t.founded < {founded}"
+        )
+
+
+@given(st.integers(min_value=0, max_value=5000))
+@settings(max_examples=40, deadline=None)
+def test_property_datasets_agree_on_core_queries(seed):
+    """Fresh random data each example; a fixed probe query set."""
+    mirror = Mirror(seed=seed, team_rows=8, player_rows=25)
+    for sql in (
+        "SELECT count(*), sum(goals) FROM player",
+        "SELECT team_id, count(*) FROM player GROUP BY team_id HAVING count(*) >= 2",
+        "SELECT t.confed, max(p.goals) FROM team AS t JOIN player AS p "
+        "ON t.team_id = p.team_id GROUP BY t.confed",
+        "SELECT team_id FROM team EXCEPT SELECT team_id FROM player",
+    ):
+        mirror.agree(sql)

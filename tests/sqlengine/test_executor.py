@@ -1,0 +1,309 @@
+"""Executor tests against the toy database fixture."""
+
+import pytest
+
+from repro.sqlengine import Database, ExecutionError, Schema, make_column
+
+
+def rows(db, sql):
+    return db.execute(sql).rows
+
+
+class TestScansAndFilters:
+    def test_full_scan(self, toy_db):
+        assert len(rows(toy_db, "SELECT * FROM player")) == 5
+
+    def test_projection_order(self, toy_db):
+        result = toy_db.execute("SELECT name, goals FROM player WHERE player_id = 1")
+        assert result.columns == ["name", "goals"]
+        assert result.rows == [("Alder", 12)]
+
+    def test_where_equality(self, toy_db):
+        assert rows(toy_db, "SELECT name FROM team WHERE team_id = 2") == [("Germany",)]
+
+    def test_where_with_quoted_number(self, toy_db):
+        # Annotators frequently quote years; comparisons must align types.
+        assert rows(toy_db, "SELECT name FROM team WHERE team_id = '2'") == [
+            ("Germany",)
+        ]
+
+    def test_comparison_operators(self, toy_db):
+        assert len(rows(toy_db, "SELECT * FROM player WHERE goals > 6")) == 3
+        assert len(rows(toy_db, "SELECT * FROM player WHERE goals >= 7")) == 3
+        assert len(rows(toy_db, "SELECT * FROM player WHERE goals < 7")) == 1
+        assert len(rows(toy_db, "SELECT * FROM player WHERE goals <> 7")) == 2
+
+    def test_null_never_matches_comparison(self, toy_db):
+        # Emilio has NULL goals: excluded from both sides.
+        low = rows(toy_db, "SELECT name FROM player WHERE goals < 100")
+        assert ("Emilio",) not in low
+
+    def test_is_null(self, toy_db):
+        assert rows(toy_db, "SELECT name FROM player WHERE goals IS NULL") == [
+            ("Emilio",)
+        ]
+
+    def test_like_case_sensitive(self, toy_db):
+        assert rows(toy_db, "SELECT name FROM team WHERE name LIKE '%man%'") == [
+            ("Germany",)
+        ]
+        assert rows(toy_db, "SELECT name FROM team WHERE name LIKE '%MAN%'") == []
+
+    def test_ilike_case_insensitive(self, toy_db):
+        assert rows(toy_db, "SELECT name FROM team WHERE name ILIKE '%MAN%'") == [
+            ("Germany",)
+        ]
+
+    def test_between(self, toy_db):
+        assert len(rows(toy_db, "SELECT * FROM player WHERE goals BETWEEN 7 AND 12")) == 3
+
+    def test_in_list(self, toy_db):
+        assert len(rows(toy_db, "SELECT * FROM team WHERE name IN ('Brazil', 'Uruguay')")) == 2
+
+    def test_not_in_list(self, toy_db):
+        assert rows(toy_db, "SELECT name FROM team WHERE name NOT IN ('Brazil', 'Uruguay')") == [
+            ("Germany",)
+        ]
+
+    def test_boolean_connectives(self, toy_db):
+        sql = "SELECT name FROM player WHERE goals = 7 AND height > 1.8"
+        assert rows(toy_db, sql) == [("Caspar",)]
+        sql = "SELECT name FROM player WHERE goals = 12 OR height < 1.7"
+        assert sorted(rows(toy_db, sql)) == [("Alder",), ("Dario",)]
+
+    def test_not(self, toy_db):
+        sql = "SELECT name FROM team WHERE NOT name = 'Brazil'"
+        assert sorted(rows(toy_db, sql)) == [("Germany",), ("Uruguay",)]
+
+
+class TestJoins:
+    def test_inner_join(self, toy_db):
+        sql = (
+            "SELECT T2.name, T1.name FROM player AS T1 "
+            "JOIN team AS T2 ON T1.team_id = T2.team_id WHERE T2.name = 'Brazil'"
+        )
+        assert sorted(rows(toy_db, sql)) == [("Brazil", "Alder"), ("Brazil", "Bruno")]
+
+    def test_join_order_does_not_matter_for_content(self, toy_db):
+        a = toy_db.execute(
+            "SELECT T1.name FROM player AS T1 JOIN team AS T2 "
+            "ON T1.team_id = T2.team_id WHERE T2.name = 'Germany'"
+        )
+        b = toy_db.execute(
+            "SELECT T1.name FROM team AS T2 JOIN player AS T1 "
+            "ON T1.team_id = T2.team_id WHERE T2.name = 'Germany'"
+        )
+        assert a.normalized_multiset() == b.normalized_multiset()
+
+    def test_self_join_with_two_aliases(self, toy_db):
+        # Distinct aliases over the same table (the Figure 4 pattern).
+        sql = (
+            "SELECT T1.name, T2.name FROM team AS T1 JOIN team AS T2 "
+            "ON T1.founded = T2.founded WHERE T1.team_id < T2.team_id"
+        )
+        assert rows(toy_db, sql) == [("Germany", "Uruguay")]
+
+    def test_left_join_preserves_unmatched(self, toy_db):
+        toy_db.insert("team", (4, "Italy", 1898))
+        sql = (
+            "SELECT T1.name, T2.name FROM team AS T1 LEFT JOIN player AS T2 "
+            "ON T1.team_id = T2.team_id WHERE T1.name = 'Italy'"
+        )
+        assert rows(toy_db, sql) == [("Italy", None)]
+
+    def test_cross_join_cardinality(self, toy_db):
+        assert len(rows(toy_db, "SELECT * FROM team CROSS JOIN team AS o")) == 9
+
+    def test_join_with_non_equi_residual(self, toy_db):
+        sql = (
+            "SELECT T1.name FROM player AS T1 JOIN team AS T2 "
+            "ON T1.team_id = T2.team_id AND T1.goals > 10"
+        )
+        assert rows(toy_db, sql) == [("Alder",)]
+
+    def test_nested_loop_fallback_non_equi_join(self, toy_db):
+        sql = "SELECT T1.name FROM player AS T1 JOIN team AS T2 ON T1.goals > T2.founded"
+        assert rows(toy_db, sql) == []
+
+
+class TestAggregation:
+    def test_count_star(self, toy_db):
+        assert rows(toy_db, "SELECT count(*) FROM player") == [(5,)]
+
+    def test_count_column_skips_nulls(self, toy_db):
+        assert rows(toy_db, "SELECT count(goals) FROM player") == [(4,)]
+
+    def test_count_distinct(self, toy_db):
+        assert rows(toy_db, "SELECT count(DISTINCT goals) FROM player") == [(3,)]
+
+    def test_sum_avg_min_max(self, toy_db):
+        assert rows(toy_db, "SELECT sum(goals) FROM player") == [(26,)]
+        assert rows(toy_db, "SELECT avg(goals) FROM player") == [(6.5,)]
+        assert rows(toy_db, "SELECT min(goals), max(goals) FROM player") == [(0, 12)]
+
+    def test_aggregate_on_empty_input(self, toy_db):
+        assert rows(toy_db, "SELECT count(*) FROM player WHERE goals > 99") == [(0,)]
+        assert rows(toy_db, "SELECT sum(goals) FROM player WHERE goals > 99") == [(None,)]
+
+    def test_group_by(self, toy_db):
+        sql = (
+            "SELECT T2.name, count(*) FROM player AS T1 JOIN team AS T2 "
+            "ON T1.team_id = T2.team_id GROUP BY T2.name ORDER BY T2.name"
+        )
+        assert rows(toy_db, sql) == [("Brazil", 2), ("Germany", 2), ("Uruguay", 1)]
+
+    def test_having(self, toy_db):
+        sql = (
+            "SELECT T2.name FROM player AS T1 JOIN team AS T2 "
+            "ON T1.team_id = T2.team_id GROUP BY T2.name HAVING count(*) >= 2 "
+            "ORDER BY T2.name"
+        )
+        assert rows(toy_db, sql) == [("Brazil",), ("Germany",)]
+
+    def test_order_by_aggregate_desc_limit(self, toy_db):
+        sql = (
+            "SELECT T2.name FROM player AS T1 JOIN team AS T2 "
+            "ON T1.team_id = T2.team_id GROUP BY T2.name "
+            "ORDER BY sum(T1.goals) DESC LIMIT 1"
+        )
+        assert rows(toy_db, sql) == [("Brazil",)]
+
+    def test_aggregate_outside_group_context_rejected(self, toy_db):
+        with pytest.raises(ExecutionError):
+            toy_db.execute("SELECT name FROM player WHERE sum(goals) > 1")
+
+
+class TestOrderingAndLimits:
+    def test_order_by_column(self, toy_db):
+        result = rows(toy_db, "SELECT name FROM player ORDER BY name")
+        assert result == sorted(result)
+
+    def test_order_by_desc(self, toy_db):
+        result = rows(toy_db, "SELECT goals FROM player WHERE goals IS NOT NULL ORDER BY goals DESC")
+        assert [r[0] for r in result] == [12, 7, 7, 0]
+
+    def test_order_by_position(self, toy_db):
+        result = rows(toy_db, "SELECT name, goals FROM player WHERE goals IS NOT NULL ORDER BY 2 DESC LIMIT 1")
+        assert result == [("Alder", 12)]
+
+    def test_order_by_alias(self, toy_db):
+        result = rows(toy_db, "SELECT name, goals AS g FROM player WHERE goals IS NOT NULL ORDER BY g DESC LIMIT 1")
+        assert result == [("Alder", 12)]
+
+    def test_nulls_sort_first_ascending(self, toy_db):
+        result = rows(toy_db, "SELECT goals FROM player ORDER BY goals")
+        assert result[0] == (None,)
+
+    def test_limit_offset(self, toy_db):
+        result = rows(toy_db, "SELECT name FROM player ORDER BY name LIMIT 2 OFFSET 1")
+        assert result == [("Bruno",), ("Caspar",)]
+
+    def test_distinct(self, toy_db):
+        result = rows(toy_db, "SELECT DISTINCT goals FROM player WHERE goals = 7")
+        assert result == [(7,)]
+
+
+class TestSetOperations:
+    def test_union_dedupes(self, toy_db):
+        sql = "SELECT team_id FROM team UNION SELECT team_id FROM player"
+        assert len(rows(toy_db, sql)) == 3
+
+    def test_union_all_keeps_duplicates(self, toy_db):
+        sql = "SELECT team_id FROM team UNION ALL SELECT team_id FROM player"
+        assert len(rows(toy_db, sql)) == 8
+
+    def test_intersect(self, toy_db):
+        sql = "SELECT founded FROM team INTERSECT SELECT 1900"
+        assert rows(toy_db, sql) == [(1900,)]
+
+    def test_except(self, toy_db):
+        sql = "SELECT founded FROM team EXCEPT SELECT 1900"
+        assert rows(toy_db, sql) == [(1914,)]
+
+    def test_mismatched_column_count_raises(self, toy_db):
+        with pytest.raises(ExecutionError):
+            toy_db.execute("SELECT team_id, name FROM team UNION SELECT team_id FROM player")
+
+    def test_order_by_on_compound(self, toy_db):
+        sql = (
+            "SELECT name FROM team UNION SELECT name FROM player "
+            "ORDER BY name DESC LIMIT 2"
+        )
+        assert rows(toy_db, sql) == [("Uruguay",), ("Germany",)]
+
+
+class TestSubqueries:
+    def test_in_subquery(self, toy_db):
+        sql = (
+            "SELECT name FROM team WHERE team_id IN "
+            "(SELECT team_id FROM player WHERE goals > 10)"
+        )
+        assert rows(toy_db, sql) == [("Brazil",)]
+
+    def test_scalar_subquery(self, toy_db):
+        sql = "SELECT name FROM player WHERE goals = (SELECT max(goals) FROM player)"
+        assert rows(toy_db, sql) == [("Alder",)]
+
+    def test_exists_correlated(self, toy_db):
+        sql = (
+            "SELECT name FROM team AS T WHERE EXISTS "
+            "(SELECT * FROM player AS P WHERE P.team_id = T.team_id AND P.goals > 10)"
+        )
+        assert rows(toy_db, sql) == [("Brazil",)]
+
+    def test_not_exists(self, toy_db):
+        toy_db.insert("team", (4, "Italy", 1898))
+        sql = (
+            "SELECT name FROM team AS T WHERE NOT EXISTS "
+            "(SELECT * FROM player AS P WHERE P.team_id = T.team_id)"
+        )
+        assert rows(toy_db, sql) == [("Italy",)]
+
+    def test_scalar_subquery_multiple_rows_raises(self, toy_db):
+        with pytest.raises(ExecutionError):
+            toy_db.execute("SELECT name FROM team WHERE founded = (SELECT goals FROM player)")
+
+
+class TestExpressions:
+    def test_arithmetic(self, toy_db):
+        assert rows(toy_db, "SELECT 2 + 3 * 4")[0] == (14,)
+
+    def test_string_concat(self, toy_db):
+        assert rows(toy_db, "SELECT 'a' || 'b'")[0] == ("ab",)
+
+    def test_division_by_zero_raises(self, toy_db):
+        with pytest.raises(ExecutionError):
+            toy_db.execute("SELECT 1 / 0")
+
+    def test_case_expression(self, toy_db):
+        sql = (
+            "SELECT name, CASE WHEN goals > 10 THEN 'star' ELSE 'squad' END "
+            "FROM player WHERE goals IS NOT NULL ORDER BY name LIMIT 2"
+        )
+        assert rows(toy_db, sql) == [("Alder", "star"), ("Bruno", "squad")]
+
+    def test_scalar_functions(self, toy_db):
+        assert rows(toy_db, "SELECT upper('ab'), lower('AB'), length('abc')")[0] == (
+            "AB",
+            "ab",
+            3,
+        )
+
+    def test_cast(self, toy_db):
+        assert rows(toy_db, "SELECT CAST('5' AS INTEGER)")[0] == (5,)
+
+
+class TestResultComparison:
+    def test_normalized_multiset_int_float(self, toy_db):
+        a = toy_db.execute("SELECT 2")
+        b = toy_db.execute("SELECT 4 / 2")
+        assert a.normalized_multiset() == b.normalized_multiset()
+
+    def test_boolean_text_normalization(self):
+        schema = Schema("flags")
+        schema.create_table("f", [make_column("x", "bool")])
+        db = Database(schema)
+        db.insert("f", (True,))
+        bool_result = db.execute("SELECT x FROM f")
+        text_result = db.execute("SELECT 'true'")
+        assert bool_result.normalized_multiset() == text_result.normalized_multiset()

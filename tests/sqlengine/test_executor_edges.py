@@ -1,0 +1,131 @@
+"""Executor edge paths not covered by the main executor suite."""
+
+import pytest
+
+from repro.sqlengine import Database, ExecutionError, Schema, make_column
+
+
+def rows(db, sql):
+    return db.execute(sql).rows
+
+
+class TestLeftJoinHashPath:
+    def test_left_join_uses_hash_and_preserves_nulls(self, toy_db):
+        toy_db.insert("team", (9, "Ghosts", 1999))
+        sql = (
+            "SELECT T1.name, T2.name FROM team AS T1 "
+            "LEFT JOIN player AS T2 ON T1.team_id = T2.team_id "
+            "WHERE T1.team_id = 9"
+        )
+        assert rows(toy_db, sql) == [("Ghosts", None)]
+
+    def test_left_join_null_columns_participate_in_expressions(self, toy_db):
+        toy_db.insert("team", (9, "Ghosts", 1999))
+        sql = (
+            "SELECT count(T2.player_id) FROM team AS T1 "
+            "LEFT JOIN player AS T2 ON T1.team_id = T2.team_id "
+            "WHERE T1.team_id = 9"
+        )
+        assert rows(toy_db, sql) == [(0,)]
+
+    def test_left_join_residual_condition(self, toy_db):
+        # Residual non-equi term: unmatched rows still survive as NULLs.
+        sql = (
+            "SELECT T1.name, T2.name FROM team AS T1 "
+            "LEFT JOIN player AS T2 ON T1.team_id = T2.team_id AND T2.goals > 100"
+        )
+        result = rows(toy_db, sql)
+        assert all(row[1] is None for row in result)
+        assert len(result) == 3
+
+
+class TestOrderingEdges:
+    def test_mixed_direction_multi_key_sort(self, toy_db):
+        sql = (
+            "SELECT team_id, goals FROM player WHERE goals IS NOT NULL "
+            "ORDER BY team_id ASC, goals DESC"
+        )
+        result = rows(toy_db, sql)
+        assert result == [(1, 12), (1, 7), (2, 7), (2, 0)]
+
+    def test_order_by_expression(self, toy_db):
+        sql = (
+            "SELECT name, goals FROM player WHERE goals IS NOT NULL "
+            "ORDER BY goals * -1 LIMIT 1"
+        )
+        assert rows(toy_db, sql) == [("Alder", 12)]
+
+    def test_offset_beyond_rows(self, toy_db):
+        assert rows(toy_db, "SELECT name FROM team LIMIT 5 OFFSET 99") == []
+
+    def test_limit_zero(self, toy_db):
+        assert rows(toy_db, "SELECT name FROM team LIMIT 0") == []
+
+
+class TestGroupingEdges:
+    def test_group_by_multiple_keys(self, toy_db):
+        sql = (
+            "SELECT team_id, goals, count(*) FROM player "
+            "WHERE goals IS NOT NULL GROUP BY team_id, goals ORDER BY 1, 2"
+        )
+        result = rows(toy_db, sql)
+        assert (1, 7, 1) in result
+        assert (2, 7, 1) in result
+
+    def test_having_without_group_by(self, toy_db):
+        """Implicit single-group aggregation with HAVING."""
+        assert rows(toy_db, "SELECT count(*) FROM player HAVING count(*) > 3") == [(5,)]
+        assert rows(toy_db, "SELECT count(*) FROM player HAVING count(*) > 9") == []
+
+    def test_group_by_expression_key(self, toy_db):
+        sql = (
+            "SELECT founded + 0, count(*) FROM team GROUP BY founded + 0 ORDER BY 1"
+        )
+        assert rows(toy_db, sql) == [(1900, 2), (1914, 1)]
+
+    def test_aggregate_in_order_by_triggers_grouping(self, toy_db):
+        sql = (
+            "SELECT team_id FROM player GROUP BY team_id "
+            "ORDER BY count(*) DESC, team_id LIMIT 1"
+        )
+        assert rows(toy_db, sql) == [(1,)]
+
+
+class TestStarEdges:
+    def test_qualified_star_expansion(self, toy_db):
+        result = toy_db.execute(
+            "SELECT T2.* FROM player AS T1 JOIN team AS T2 "
+            "ON T1.team_id = T2.team_id WHERE T1.player_id = 1"
+        )
+        assert result.rows == [(1, "Brazil", 1914)]
+
+    def test_unknown_star_alias_raises(self, toy_db):
+        with pytest.raises(ExecutionError):
+            toy_db.execute("SELECT T9.* FROM team AS T1")
+
+    def test_star_with_empty_from(self, toy_db):
+        result = toy_db.execute("SELECT * FROM team WHERE team_id = -1")
+        assert result.rows == []
+
+
+class TestEmptyTables:
+    def make_empty(self):
+        schema = Schema("empty")
+        schema.create_table("t", [make_column("a", "int")])
+        return Database(schema)
+
+    def test_scan_empty(self):
+        db = self.make_empty()
+        assert rows(db, "SELECT a FROM t") == []
+
+    def test_aggregate_empty(self):
+        db = self.make_empty()
+        assert rows(db, "SELECT count(*), sum(a), min(a) FROM t") == [(0, None, None)]
+
+    def test_group_by_empty_produces_no_groups(self):
+        db = self.make_empty()
+        assert rows(db, "SELECT a, count(*) FROM t GROUP BY a") == []
+
+    def test_join_with_empty_side(self, toy_db):
+        schema_db = self.make_empty()
+        assert rows(schema_db, "SELECT * FROM t AS x JOIN t AS y ON x.a = y.a") == []

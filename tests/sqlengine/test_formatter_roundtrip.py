@@ -1,0 +1,121 @@
+"""Formatter round-trip tests plus property-based checks.
+
+The SemQL decoder and gold-SQL compiler construct ASTs programmatically
+and rely on ``format_query`` producing text the parser accepts again and
+the executor evaluates identically.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sqlengine import format_query, parse_sql
+
+
+ROUND_TRIP_QUERIES = [
+    "SELECT * FROM t",
+    "SELECT DISTINCT a, b AS x FROM t",
+    "SELECT count(*) FROM t WHERE a = 1",
+    "SELECT a FROM t WHERE name ILIKE '%Brazil%' AND year = 2014",
+    "SELECT a FROM t WHERE x NOT LIKE 'a%' OR y IS NOT NULL",
+    "SELECT a FROM t WHERE y BETWEEN 1 AND 2",
+    "SELECT a FROM t WHERE y IN (1, 2, 3)",
+    "SELECT a FROM t WHERE y IN (SELECT z FROM u WHERE u.k = t.k)",
+    "SELECT a FROM t WHERE EXISTS (SELECT * FROM u)",
+    "SELECT a, count(*) FROM t GROUP BY a HAVING count(*) > 1 ORDER BY a DESC LIMIT 5",
+    "SELECT T1.a FROM t AS T1 JOIN u AS T2 ON T1.x = T2.x LEFT JOIN v AS T3 ON T1.y = T3.y",
+    "SELECT a FROM t UNION SELECT a FROM u ORDER BY 1 LIMIT 3",
+    "SELECT a FROM t INTERSECT SELECT a FROM u",
+    "SELECT a FROM t EXCEPT SELECT a FROM u",
+    "SELECT sum(a) / count(*) FROM t",
+    "SELECT CASE WHEN a > 1 THEN 'x' ELSE 'y' END FROM t",
+    "SELECT CAST(a AS INTEGER) FROM t",
+    "SELECT count(DISTINCT a) FROM t",
+    "SELECT -a FROM t WHERE NOT (a = 1 OR b = 2)",
+    "SELECT 'O''Brien' FROM t",
+]
+
+
+@pytest.mark.parametrize("sql", ROUND_TRIP_QUERIES)
+def test_round_trip_is_stable(sql):
+    """parse → format → parse → format must reach a fixed point."""
+    first = format_query(parse_sql(sql))
+    second = format_query(parse_sql(first))
+    assert first == second
+
+
+def test_formatting_preserves_semantics(toy_db):
+    queries = [
+        "SELECT name FROM player WHERE goals >= 7 ORDER BY name",
+        "SELECT T2.name, count(*) FROM player AS T1 JOIN team AS T2 "
+        "ON T1.team_id = T2.team_id GROUP BY T2.name HAVING count(*) > 1 ORDER BY 1",
+        "SELECT team_id FROM team UNION SELECT team_id FROM player ORDER BY 1",
+        "SELECT name FROM player WHERE team_id IN (SELECT team_id FROM team WHERE founded = 1900) ORDER BY name",
+    ]
+    for sql in queries:
+        original = toy_db.execute(sql)
+        reformatted = toy_db.execute(format_query(parse_sql(sql)))
+        assert original.rows == reformatted.rows
+
+
+# -- property-based round trips ------------------------------------------------
+
+_identifiers = st.sampled_from(["a", "b", "c", "x_1", "year", "teamname"])
+_tables = st.sampled_from(["t", "u", "match_fact", "national_team"])
+_literals = st.one_of(
+    st.integers(min_value=-1000, max_value=3000),
+    st.sampled_from(["Brazil", "Germany", "O'Brien", "100%", "a_b"]),
+)
+
+
+def _literal_sql(value):
+    if isinstance(value, int):
+        return str(value)
+    return "'" + value.replace("'", "''") + "'"
+
+
+@st.composite
+def simple_queries(draw):
+    column = draw(_identifiers)
+    table = draw(_tables)
+    parts = [f"SELECT {column} FROM {table}"]
+    if draw(st.booleans()):
+        filter_column = draw(_identifiers)
+        operator = draw(st.sampled_from(["=", "<>", "<", ">=", "ILIKE"]))
+        value = draw(_literals)
+        if operator == "ILIKE":
+            value = f"%{value}%" if not isinstance(value, int) else "%1%"
+        parts.append(f"WHERE {filter_column} {operator} {_literal_sql(value)}")
+    if draw(st.booleans()):
+        parts.append(f"GROUP BY {draw(_identifiers)}")
+    if draw(st.booleans()):
+        parts.append(f"ORDER BY {draw(_identifiers)} DESC")
+    if draw(st.booleans()):
+        parts.append(f"LIMIT {draw(st.integers(min_value=1, max_value=99))}")
+    return " ".join(parts)
+
+
+@given(simple_queries())
+@settings(max_examples=200, deadline=None)
+def test_property_round_trip_fixed_point(sql):
+    first = format_query(parse_sql(sql))
+    second = format_query(parse_sql(first))
+    assert first == second
+
+
+@given(
+    st.lists(
+        st.one_of(st.integers(-5, 5), st.sampled_from(["x", "y'z", ""]), st.none()),
+        min_size=1,
+        max_size=4,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_property_literal_lists_round_trip(values):
+    """IN-lists of arbitrary literals survive format → parse."""
+    rendered = ", ".join(
+        "NULL" if value is None else _literal_sql(value) for value in values
+    )
+    sql = f"SELECT a FROM t WHERE a IN ({rendered})"
+    first = format_query(parse_sql(sql))
+    second = format_query(parse_sql(first))
+    assert first == second

@@ -1,0 +1,231 @@
+"""Unit tests for the SQL parser (AST shape and error behaviour)."""
+
+import pytest
+
+from repro.sqlengine import (
+    BinaryOp,
+    ColumnRef,
+    Conjunction,
+    FunctionCall,
+    InOp,
+    JoinKind,
+    LikeOp,
+    Literal,
+    ParseError,
+    ScalarSubquery,
+    SelectQuery,
+    SetOperation,
+    SetOperator,
+    Star,
+    parse_sql,
+)
+
+
+class TestProjections:
+    def test_star(self):
+        query = parse_sql("SELECT * FROM t")
+        assert isinstance(query.projections[0].expr, Star)
+
+    def test_qualified_star(self):
+        query = parse_sql("SELECT t.* FROM t")
+        assert query.projections[0].expr == Star(table="t")
+
+    def test_multiple_items_with_aliases(self):
+        query = parse_sql("SELECT a AS x, b y, c FROM t")
+        assert [item.alias for item in query.projections] == ["x", "y", None]
+
+    def test_distinct(self):
+        assert parse_sql("SELECT DISTINCT a FROM t").distinct is True
+
+    def test_count_star(self):
+        query = parse_sql("SELECT count(*) FROM t")
+        call = query.projections[0].expr
+        assert isinstance(call, FunctionCall)
+        assert call.name == "count"
+        assert isinstance(call.args[0], Star)
+
+    def test_count_distinct(self):
+        call = parse_sql("SELECT count(DISTINCT a) FROM t").projections[0].expr
+        assert call.distinct is True
+
+
+class TestFromAndJoins:
+    def test_table_alias_forms(self):
+        query = parse_sql("SELECT * FROM match AS T1 JOIN team T2 ON T1.a = T2.b")
+        assert query.from_table.alias == "T1"
+        assert query.joins[0].table.alias == "T2"
+
+    def test_join_kinds(self):
+        query = parse_sql(
+            "SELECT * FROM a JOIN b ON a.x = b.x LEFT JOIN c ON a.x = c.x "
+            "INNER JOIN d ON a.x = d.x CROSS JOIN e"
+        )
+        assert [join.kind for join in query.joins] == [
+            JoinKind.INNER,
+            JoinKind.LEFT,
+            JoinKind.INNER,
+            JoinKind.CROSS,
+        ]
+
+    def test_left_outer_join(self):
+        query = parse_sql("SELECT * FROM a LEFT OUTER JOIN b ON a.x = b.x")
+        assert query.joins[0].kind is JoinKind.LEFT
+
+    def test_join_requires_on(self):
+        with pytest.raises(ParseError):
+            parse_sql("SELECT * FROM a JOIN b")
+
+
+class TestWhere:
+    def test_comparison(self):
+        query = parse_sql("SELECT a FROM t WHERE a >= 3")
+        assert isinstance(query.where, BinaryOp)
+        assert query.where.op == ">="
+
+    def test_and_or_precedence(self):
+        query = parse_sql("SELECT a FROM t WHERE x = 1 OR y = 2 AND z = 3")
+        assert isinstance(query.where, Conjunction)
+        assert query.where.op == "OR"
+        assert isinstance(query.where.terms[1], Conjunction)
+        assert query.where.terms[1].op == "AND"
+
+    def test_flat_and_chain(self):
+        query = parse_sql("SELECT a FROM t WHERE x = 1 AND y = 2 AND z = 3")
+        assert query.where.op == "AND"
+        assert len(query.where.terms) == 3
+
+    def test_ilike(self):
+        query = parse_sql("SELECT a FROM t WHERE name ILIKE '%Brazil%'")
+        assert isinstance(query.where, LikeOp)
+        assert query.where.case_insensitive is True
+
+    def test_not_like(self):
+        query = parse_sql("SELECT a FROM t WHERE name NOT LIKE 'x%'")
+        assert query.where.negated is True
+
+    def test_between(self):
+        query = parse_sql("SELECT a FROM t WHERE year BETWEEN 1930 AND 2022")
+        assert query.where.low == Literal(1930)
+        assert query.where.high == Literal(2022)
+
+    def test_in_list(self):
+        query = parse_sql("SELECT a FROM t WHERE year IN (2010, 2014)")
+        assert isinstance(query.where, InOp)
+        assert len(query.where.options) == 2
+
+    def test_in_subquery(self):
+        query = parse_sql("SELECT a FROM t WHERE x IN (SELECT y FROM u)")
+        assert isinstance(query.where.subquery, SelectQuery)
+
+    def test_is_null_and_is_not_null(self):
+        assert parse_sql("SELECT a FROM t WHERE a IS NULL").where.negated is False
+        assert parse_sql("SELECT a FROM t WHERE a IS NOT NULL").where.negated is True
+
+    def test_scalar_subquery(self):
+        query = parse_sql("SELECT a FROM t WHERE x = (SELECT max(y) FROM u)")
+        assert isinstance(query.where.right, ScalarSubquery)
+
+
+class TestClauses:
+    def test_group_by_having(self):
+        query = parse_sql(
+            "SELECT team, count(*) FROM t GROUP BY team HAVING count(*) > 2"
+        )
+        assert query.group_by == [ColumnRef("team")]
+        assert query.having is not None
+
+    def test_order_by_directions(self):
+        query = parse_sql("SELECT a, b FROM t ORDER BY a DESC, b ASC")
+        assert [item.descending for item in query.order_by] == [True, False]
+
+    def test_limit_offset(self):
+        query = parse_sql("SELECT a FROM t LIMIT 5 OFFSET 2")
+        assert query.limit == 5
+        assert query.offset == 2
+
+    def test_limit_requires_integer(self):
+        with pytest.raises(ParseError):
+            parse_sql("SELECT a FROM t LIMIT 1.5")
+
+
+class TestSetOperations:
+    def test_union(self):
+        query = parse_sql("SELECT a FROM t UNION SELECT a FROM u")
+        assert isinstance(query, SetOperation)
+        assert query.operator is SetOperator.UNION
+
+    def test_union_all_vs_union(self):
+        assert (
+            parse_sql("SELECT a FROM t UNION ALL SELECT a FROM u").operator
+            is SetOperator.UNION_ALL
+        )
+
+    def test_intersect_except(self):
+        assert (
+            parse_sql("SELECT a FROM t INTERSECT SELECT a FROM u").operator
+            is SetOperator.INTERSECT
+        )
+        assert (
+            parse_sql("SELECT a FROM t EXCEPT SELECT a FROM u").operator
+            is SetOperator.EXCEPT
+        )
+
+    def test_chained_unions_left_associative(self):
+        query = parse_sql("SELECT a FROM t UNION SELECT a FROM u UNION SELECT a FROM v")
+        assert isinstance(query.left, SetOperation)
+
+    def test_order_by_binds_to_compound(self):
+        query = parse_sql("SELECT a FROM t UNION SELECT a FROM u ORDER BY 1 LIMIT 3")
+        assert isinstance(query, SetOperation)
+        assert query.limit == 3
+        assert len(query.order_by) == 1
+
+
+class TestErrors:
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_sql("SELECT a FROM t extra stray tokens ,")
+
+    def test_missing_from_table(self):
+        with pytest.raises(ParseError):
+            parse_sql("SELECT a FROM WHERE x = 1")
+
+    def test_empty_input(self):
+        with pytest.raises(ParseError):
+            parse_sql("")
+
+    def test_unbalanced_parenthesis(self):
+        with pytest.raises(ParseError):
+            parse_sql("SELECT a FROM t WHERE (x = 1")
+
+
+class TestPaperQueries:
+    """The exact SQL shapes from Figure 4 and Listing 1 must parse."""
+
+    def test_figure4_v1_with_union(self):
+        sql = (
+            "SELECT T2.teamname, T3.teamname, T1.home_team_goals, T1.away_team_goals "
+            "FROM match AS T1 "
+            "JOIN national_team AS T2 ON T2.team_id = T1.home_team_id "
+            "JOIN national_team AS T3 ON T3.team_id = T1.away_team_id "
+            "WHERE T2.teamname ILIKE '%Germany%' AND T3.teamname ILIKE '%Brazil%' "
+            "AND T1.year = 2014 "
+            "UNION "
+            "SELECT T2.teamname, T3.teamname, T1.home_team_goals, T1.away_team_goals "
+            "FROM match AS T1 "
+            "JOIN national_team AS T2 ON T2.team_id = T1.home_team_id "
+            "JOIN national_team AS T3 ON T3.team_id = T1.away_team_id "
+            "WHERE T2.teamname ILIKE '%Brazil%' AND T3.teamname ILIKE '%Germany%' "
+            "AND T1.year = 2014;"
+        )
+        query = parse_sql(sql)
+        assert isinstance(query, SetOperation)
+
+    def test_listing1_v3_boolean_filter(self):
+        sql = (
+            "SELECT count(*) FROM world_cup_result AS T1 "
+            "JOIN national_team AS T2 ON T1.team_id = T2.team_id "
+            "WHERE T2.teamname = 'England' and T1.winner = 'True'"
+        )
+        query = parse_sql(sql)
+        assert len(query.joins) == 1

@@ -1,0 +1,139 @@
+"""Catalog and storage constraint tests."""
+
+import pytest
+
+from repro.sqlengine import (
+    CatalogError,
+    ConstraintError,
+    Database,
+    Schema,
+    SqlType,
+    TypeMismatchError,
+    make_column,
+)
+from repro.sqlengine.catalog import Column, Table
+
+
+class TestCatalog:
+    def test_duplicate_table_rejected(self):
+        schema = Schema("s")
+        schema.create_table("t", [make_column("a", "int")])
+        with pytest.raises(CatalogError):
+            schema.create_table("t", [make_column("a", "int")])
+
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(CatalogError):
+            Table("t", [Column("a", SqlType.INTEGER), Column("A", SqlType.TEXT)])
+
+    def test_invalid_identifier_rejected(self):
+        with pytest.raises(CatalogError):
+            Table("bad name", [Column("a", SqlType.INTEGER)])
+        with pytest.raises(CatalogError):
+            Column("bad col", SqlType.INTEGER)
+
+    def test_fk_requires_existing_columns(self):
+        schema = Schema("s")
+        schema.create_table("a", [make_column("x", "int")])
+        schema.create_table("b", [make_column("y", "int")])
+        with pytest.raises(CatalogError):
+            schema.add_foreign_key("a", "nope", "b", "y")
+        with pytest.raises(CatalogError):
+            schema.add_foreign_key("a", "x", "b", "nope")
+
+    def test_foreign_keys_between_counts_multi_edges(self):
+        """The v1 pathology: two FK edges between match and national_team."""
+        schema = Schema("s")
+        schema.create_table("national_team", [make_column("team_id", "int", primary_key=True)])
+        schema.create_table(
+            "match",
+            [
+                make_column("match_id", "int", primary_key=True),
+                make_column("home_team_id", "int"),
+                make_column("away_team_id", "int"),
+            ],
+        )
+        schema.add_foreign_key("match", "home_team_id", "national_team", "team_id")
+        schema.add_foreign_key("match", "away_team_id", "national_team", "team_id")
+        edges = schema.foreign_keys_between("match", "national_team")
+        assert len(edges) == 2
+
+    def test_column_and_fk_counts(self):
+        schema = Schema("s")
+        schema.create_table("a", [make_column("x", "int", primary_key=True), make_column("y", "text")])
+        schema.create_table("b", [make_column("z", "int")])
+        schema.add_foreign_key("b", "z", "a", "x")
+        assert schema.column_count == 3
+        assert schema.foreign_key_count == 1
+
+    def test_case_insensitive_lookup(self):
+        schema = Schema("s")
+        schema.create_table("MyTable", [make_column("MyCol", "int")])
+        assert schema.table("mytable").column("mycol").name == "MyCol"
+
+
+class TestStorageConstraints:
+    def make_db(self):
+        schema = Schema("s")
+        schema.create_table(
+            "parent", [make_column("id", "int", primary_key=True), make_column("v", "text")]
+        )
+        schema.create_table(
+            "child",
+            [make_column("id", "int", primary_key=True), make_column("parent_id", "int")],
+        )
+        schema.add_foreign_key("child", "parent_id", "parent", "id")
+        return Database(schema)
+
+    def test_pk_uniqueness(self):
+        db = self.make_db()
+        db.insert("parent", (1, "a"))
+        with pytest.raises(ConstraintError):
+            db.insert("parent", (1, "b"))
+
+    def test_pk_null_rejected(self):
+        db = self.make_db()
+        with pytest.raises(ConstraintError):
+            db.insert("parent", (None, "a"))
+
+    def test_fk_enforced(self):
+        db = self.make_db()
+        db.insert("parent", (1, "a"))
+        db.insert("child", (10, 1))
+        with pytest.raises(ConstraintError):
+            db.insert("child", (11, 99))
+
+    def test_fk_violation_rolls_back_row(self):
+        db = self.make_db()
+        db.insert("parent", (1, "a"))
+        with pytest.raises(ConstraintError):
+            db.insert("child", (11, 99))
+        assert db.row_count("child") == 0
+
+    def test_null_fk_allowed(self):
+        db = self.make_db()
+        db.insert("child", (1, None))
+        assert db.row_count("child") == 1
+
+    def test_arity_mismatch(self):
+        db = self.make_db()
+        with pytest.raises(ConstraintError):
+            db.insert("parent", (1, "a", "extra"))
+
+    def test_type_coercion_rejects_garbage(self):
+        db = self.make_db()
+        with pytest.raises(TypeMismatchError):
+            db.insert("parent", ("not-an-int", "a"))
+
+    def test_insert_dicts_fills_missing_with_null(self):
+        db = self.make_db()
+        db.insert_dicts("parent", [{"id": 1}])
+        assert db.execute("SELECT v FROM parent").rows == [(None,)]
+
+    def test_fk_disabled_mode(self):
+        schema = Schema("s")
+        schema.create_table("a", [make_column("id", "int", primary_key=True)])
+        schema.create_table("b", [make_column("a_id", "int")])
+        schema.add_foreign_key("b", "a_id", "a", "id")
+        db = Database(schema, enforce_foreign_keys=False)
+        db.insert("b", (99,))  # would violate FK if enforced
+        assert db.row_count("b") == 1

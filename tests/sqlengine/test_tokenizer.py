@@ -1,0 +1,88 @@
+"""Unit tests for the SQL lexer."""
+
+import pytest
+
+from repro.sqlengine import TokenizeError, TokenType, tokenize
+
+
+def kinds(sql):
+    return [token.type for token in tokenize(sql)][:-1]  # drop EOF
+
+
+def values(sql):
+    return [token.value for token in tokenize(sql)][:-1]
+
+
+class TestBasicTokens:
+    def test_keywords_are_case_insensitive(self):
+        tokens = tokenize("SELECT select SeLeCt")
+        assert all(t.type is TokenType.KEYWORD for t in tokens[:-1])
+
+    def test_identifier_vs_keyword(self):
+        tokens = tokenize("select teamname")
+        assert tokens[0].type is TokenType.KEYWORD
+        assert tokens[1].type is TokenType.IDENTIFIER
+
+    def test_numbers(self):
+        assert values("1 42 3.14 0.5") == ["1", "42", "3.14", "0.5"]
+
+    def test_number_followed_by_dot_punctuation(self):
+        # "1." at clause end must not swallow the dot into the number
+        tokens = tokenize("1.x")
+        assert tokens[0].value == "1"
+        assert tokens[1].value == "."
+
+    def test_string_literal(self):
+        tokens = tokenize("'Germany'")
+        assert tokens[0].type is TokenType.STRING
+        assert tokens[0].value == "Germany"
+
+    def test_string_literal_with_escaped_quote(self):
+        tokens = tokenize("'O''Brien'")
+        assert tokens[0].value == "O'Brien"
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(TokenizeError):
+            tokenize("'oops")
+
+    def test_quoted_identifier(self):
+        tokens = tokenize('"select"')
+        assert tokens[0].type is TokenType.IDENTIFIER
+        assert tokens[0].value == "select"
+
+    def test_operators(self):
+        assert values("= <> != <= >= < > || + - * / %") == [
+            "=", "<>", "!=", "<=", ">=", "<", ">", "||", "+", "-", "*", "/", "%",
+        ]
+
+    def test_punctuation(self):
+        assert values("( ) , . ;") == ["(", ")", ",", ".", ";"]
+
+    def test_line_comment_is_skipped(self):
+        assert values("select -- a comment\n 1") == ["select", "1"]
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(TokenizeError):
+            tokenize("select @")
+
+    def test_eof_token_always_present(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].type is TokenType.EOF
+
+
+class TestRealQueries:
+    def test_figure4_v3_query_tokenizes(self):
+        sql = (
+            "SELECT T1.teamname, T3.teamname, T2.team_goals, "
+            "T2.opponent_team_goals FROM national_team AS T1 "
+            "JOIN plays_match AS T2 ON T2.team_id = T1.team_id "
+            "WHERE T1.teamname ILIKE '%Brazil%' AND T2.year = 2014"
+        )
+        tokens = tokenize(sql)
+        assert tokens[-1].type is TokenType.EOF
+        assert any(t.value == "ILIKE" for t in tokens)
+
+    def test_ilike_is_keyword(self):
+        tokens = tokenize("a ILIKE b")
+        assert tokens[1].type is TokenType.KEYWORD

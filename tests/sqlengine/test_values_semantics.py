@@ -1,0 +1,153 @@
+"""SQL value semantics: NULL logic, coercion, normalization."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sqlengine import SqlType, TypeMismatchError, normalize_for_comparison
+from repro.sqlengine.values import (
+    coerce,
+    sql_and,
+    sql_compare,
+    sql_equal,
+    sql_not,
+    sql_or,
+    sort_key,
+)
+
+
+class TestThreeValuedLogic:
+    """Kleene logic truth tables."""
+
+    @pytest.mark.parametrize(
+        "left,right,expected",
+        [
+            (True, True, True), (True, False, False), (False, False, False),
+            (True, None, None), (False, None, False), (None, None, None),
+        ],
+    )
+    def test_and(self, left, right, expected):
+        assert sql_and(left, right) is expected
+        assert sql_and(right, left) is expected
+
+    @pytest.mark.parametrize(
+        "left,right,expected",
+        [
+            (True, True, True), (True, False, True), (False, False, False),
+            (True, None, True), (False, None, None), (None, None, None),
+        ],
+    )
+    def test_or(self, left, right, expected):
+        assert sql_or(left, right) is expected
+        assert sql_or(right, left) is expected
+
+    def test_not(self):
+        assert sql_not(True) is False
+        assert sql_not(False) is True
+        assert sql_not(None) is None
+
+
+class TestEquality:
+    def test_null_propagates(self):
+        assert sql_equal(None, 1) is None
+        assert sql_equal("x", None) is None
+
+    def test_cross_numeric(self):
+        assert sql_equal(1, 1.0) is True
+
+    def test_numeric_string_alignment(self):
+        """Annotators quote years: '2014' = 2014 must hold."""
+        assert sql_equal("2014", 2014) is True
+        assert sql_equal(2014, "2015") is False
+
+    def test_boolean_text_alignment(self):
+        """Listing 1: winner = 'True' against a boolean column."""
+        assert sql_equal(True, "True") is True
+        assert sql_equal(True, "true") is True
+        assert sql_equal(False, "True") is False
+
+    def test_plain_string_equality(self):
+        assert sql_equal("England", "England") is True
+        assert sql_equal("England", "Germany") is False
+
+
+class TestComparison:
+    def test_ordering(self):
+        assert sql_compare(1, 2) == -1
+        assert sql_compare(2, 1) == 1
+        assert sql_compare(2, 2) == 0
+
+    def test_null_is_unknown(self):
+        assert sql_compare(None, 1) is None
+
+    def test_incompatible_types_raise(self):
+        with pytest.raises(TypeMismatchError):
+            sql_compare("abc", 5)
+
+    def test_numeric_string_compares(self):
+        assert sql_compare("10", 9) == 1
+
+
+class TestCoercion:
+    def test_integer(self):
+        assert coerce(5, SqlType.INTEGER) == 5
+        assert coerce(5.0, SqlType.INTEGER) == 5
+        with pytest.raises(TypeMismatchError):
+            coerce(5.5, SqlType.INTEGER)
+        with pytest.raises(TypeMismatchError):
+            coerce(True, SqlType.INTEGER)
+
+    def test_real(self):
+        assert coerce(5, SqlType.REAL) == 5.0
+        assert isinstance(coerce(5, SqlType.REAL), float)
+
+    def test_text_rejects_numbers(self):
+        with pytest.raises(TypeMismatchError):
+            coerce(5, SqlType.TEXT)
+
+    def test_boolean_from_strings(self):
+        assert coerce("true", SqlType.BOOLEAN) is True
+        assert coerce("False", SqlType.BOOLEAN) is False
+        with pytest.raises(TypeMismatchError):
+            coerce("yes", SqlType.BOOLEAN)
+
+    def test_null_passes_through(self):
+        for sql_type in SqlType:
+            assert coerce(None, sql_type) is None
+
+
+class TestNormalization:
+    def test_integral_float_folds_to_int(self):
+        assert normalize_for_comparison(2.0) == 2
+
+    def test_fractional_float_rounds(self):
+        assert normalize_for_comparison(1.23456789) == 1.234568
+
+    def test_boolean_folds_to_text(self):
+        assert normalize_for_comparison(True) == "true"
+        assert normalize_for_comparison(False) == "false"
+
+    @given(st.one_of(st.integers(), st.floats(allow_nan=False, allow_infinity=False),
+                     st.text(max_size=20), st.booleans(), st.none()))
+    @settings(max_examples=200, deadline=None)
+    def test_property_normalization_is_idempotent(self, value):
+        once = normalize_for_comparison(value)
+        twice = normalize_for_comparison(once)
+        assert once == twice
+
+
+class TestSortKey:
+    def test_nulls_sort_first(self):
+        values = [3, None, 1, None, 2]
+        ordered = sorted(values, key=sort_key)
+        assert ordered[:2] == [None, None]
+
+    def test_mixed_types_totally_ordered(self):
+        values = ["b", 2, None, True, 1.5, "a"]
+        ordered = sorted(values, key=sort_key)
+        assert ordered.index(None) == 0
+
+    @given(st.lists(st.one_of(st.integers(-100, 100), st.text(max_size=5),
+                              st.booleans(), st.none()), max_size=20))
+    @settings(max_examples=100, deadline=None)
+    def test_property_sort_key_never_raises(self, values):
+        sorted(values, key=sort_key)

@@ -1,0 +1,34 @@
+"""Shared fixtures for system tests (session FootballDB + schemas)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.footballdb import FootballDB, Universe, build_universe, load_all
+from repro.footballdb import schema_v1, schema_v2, schema_v3
+from repro.systems import SchemaGraph
+
+
+@pytest.fixture(scope="session")
+def universe() -> Universe:
+    return build_universe(seed=2022)
+
+
+@pytest.fixture(scope="session")
+def football(universe) -> FootballDB:
+    return load_all(universe=universe)
+
+
+@pytest.fixture(scope="session")
+def graph_v1() -> SchemaGraph:
+    return SchemaGraph(schema_v1.build_schema())
+
+
+@pytest.fixture(scope="session")
+def graph_v2() -> SchemaGraph:
+    return SchemaGraph(schema_v2.build_schema())
+
+
+@pytest.fixture(scope="session")
+def graph_v3() -> SchemaGraph:
+    return SchemaGraph(schema_v3.build_schema())

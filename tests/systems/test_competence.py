@@ -1,0 +1,150 @@
+"""Competence model unit tests (monotonicity and feature handling)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.systems import CompetenceProfile, build_features
+from repro.systems.competence import (
+    CompetenceFeatures,
+    fuzzy_grounding_fraction,
+    grounding_fraction,
+)
+
+PROFILE = CompetenceProfile(
+    base=-2.0,
+    train_curve=1.0,
+    train_tail=0.3,
+    retrieval=0.5,
+    shots_curve=0.4,
+    hardness_penalty=0.4,
+    join_penalty=0.2,
+    set_penalty=0.5,
+    subquery_penalty=0.3,
+    grounding_gain=0.8,
+    keys_join_gain=0.3,
+    version_adjust={"v1": 0.1, "v3": -0.1},
+)
+
+
+def features(**overrides) -> CompetenceFeatures:
+    defaults = dict(
+        hardness=2, joins=1, has_set_operation=False, subqueries=0,
+        grounding=1.0, retrieval_similarity=0.8, train_size=100, shots=0,
+    )
+    defaults.update(overrides)
+    return CompetenceFeatures(**defaults)
+
+
+class TestProbability:
+    def test_bounded(self):
+        p = PROFILE.probability(features(), "v1", True)
+        assert 0.0 < p < 1.0
+
+    def test_more_training_helps(self):
+        low = PROFILE.probability(features(train_size=0), "v1", True)
+        mid = PROFILE.probability(features(train_size=100), "v1", True)
+        high = PROFILE.probability(features(train_size=300), "v1", True)
+        assert low < mid < high
+
+    def test_harder_queries_are_less_likely(self):
+        easy = PROFILE.probability(features(hardness=1), "v1", True)
+        extra = PROFILE.probability(features(hardness=4), "v1", True)
+        assert extra < easy
+
+    def test_set_operations_penalized(self):
+        plain = PROFILE.probability(features(), "v1", True)
+        with_set = PROFILE.probability(features(has_set_operation=True), "v1", True)
+        assert with_set < plain
+
+    def test_keys_bonus_requires_fk_flag(self):
+        with_keys = PROFILE.probability(features(joins=3), "v1", True)
+        without = PROFILE.probability(features(joins=3), "v1", False)
+        assert with_keys > without
+
+    def test_keys_bonus_grows_with_joins(self):
+        few = PROFILE.probability(features(joins=1), "v1", True) / PROFILE.probability(
+            features(joins=1), "v1", False
+        )
+        many = PROFILE.probability(features(joins=3), "v1", True) / PROFILE.probability(
+            features(joins=3), "v1", False
+        )
+        assert many > few
+
+    def test_version_adjust(self):
+        v1 = PROFILE.probability(features(), "v1", True)
+        v2 = PROFILE.probability(features(), "v2", True)
+        v3 = PROFILE.probability(features(), "v3", True)
+        assert v1 > v2 > v3
+
+    def test_shots_help(self):
+        zero = PROFILE.probability(features(shots=0), "v1", True)
+        ten = PROFILE.probability(features(shots=10), "v1", True)
+        assert ten > zero
+
+    @given(
+        st.integers(min_value=0, max_value=895),
+        st.integers(min_value=1, max_value=4),
+        st.floats(min_value=0, max_value=1),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_property_probability_in_unit_interval(self, train, hardness, grounding):
+        p = PROFILE.probability(
+            features(train_size=train, hardness=hardness, grounding=grounding),
+            "v2",
+            True,
+        )
+        assert 0.0 <= p <= 1.0
+
+
+class TestGrounding:
+    def test_fully_grounded(self):
+        question = "How many goals did Germany score in 2014?"
+        sql = "SELECT count(*) FROM t WHERE name ILIKE '%Germany%' AND year = 2014"
+        assert grounding_fraction(question, sql) == 1.0
+
+    def test_lexical_gap_detected(self):
+        """'second place' vs prize = 'runner_up' — the v2 problem."""
+        question = "How many times did Germany finish second place?"
+        sql = (
+            "SELECT count(*) FROM world_cup_result WHERE prize = 'runner_up' "
+            "AND teamname ILIKE '%Germany%'"
+        )
+        assert grounding_fraction(question, sql) < 1.0
+
+    def test_boolean_columns_always_grounded(self):
+        """v3's winner = 'True' carries no content literal."""
+        question = "How many times did Germany win the world cup?"
+        sql = (
+            "SELECT count(*) FROM world_cup_result WHERE winner = 'True' "
+            "AND teamname ILIKE '%Germany%'"
+        )
+        assert grounding_fraction(question, sql) == 1.0
+
+    def test_no_literals_is_fully_grounded(self):
+        assert grounding_fraction("list all teams", "SELECT teamname FROM t") == 1.0
+
+    def test_fuzzy_recovers_typo(self):
+        question = "How many goals did Germny score in 2014?"  # typo
+        sql = "SELECT count(*) FROM t WHERE name ILIKE '%Germany%' AND year = 2014"
+        strict = grounding_fraction(question, sql)
+        fuzzy = fuzzy_grounding_fraction(question, sql)
+        assert strict < 1.0
+        assert fuzzy > strict
+
+    def test_fuzzy_does_not_invent_groundings(self):
+        question = "Who coached Brazil?"
+        sql = "SELECT coach FROM t WHERE name ILIKE '%Argentina%'"
+        assert fuzzy_grounding_fraction(question, sql) == 0.0
+
+
+class TestBuildFeatures:
+    def test_features_from_gold(self):
+        sql = (
+            "SELECT a FROM t JOIN u ON t.x = u.x WHERE t.name ILIKE '%Brazil%' "
+            "UNION SELECT a FROM t JOIN u ON t.x = u.x WHERE u.name ILIKE '%Brazil%'"
+        )
+        f = build_features("score of Brazil?", sql, 0.7, 200)
+        assert f.has_set_operation is True
+        assert f.joins == 2
+        assert f.train_size == 200
+        assert f.retrieval_similarity == 0.7

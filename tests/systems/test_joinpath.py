@@ -1,0 +1,102 @@
+"""Join-path inference tests — the v1 pathology in isolation."""
+
+import pytest
+
+from repro.systems import AmbiguousEdgeError, NoPathError, SchemaGraph
+from repro.systems.joinpath import JoinEdge
+
+
+class TestEdgeResolution:
+    def test_single_edge_resolves(self, graph_v3):
+        edge = graph_v3.edge_between("plays_match", "national_team")
+        assert {edge.left_table, edge.right_table} == {"plays_match", "national_team"}
+        assert "team_id" in (edge.left_column, edge.right_column)
+
+    def test_v1_match_team_pair_is_ambiguous(self, graph_v1):
+        """Two FK edges (home/away) — the paper's core failure."""
+        with pytest.raises(AmbiguousEdgeError):
+            graph_v1.edge_between("match", "national_team")
+
+    def test_v1_world_cup_team_pair_is_ambiguous(self, graph_v1):
+        """Four FK edges (winner … fourth)."""
+        with pytest.raises(AmbiguousEdgeError):
+            graph_v1.edge_between("world_cup", "national_team")
+
+    def test_v2_remodeling_removes_ambiguity(self, graph_v2):
+        edge = graph_v2.edge_between("plays_as_home", "national_team")
+        assert isinstance(edge, JoinEdge)
+        edge = graph_v2.edge_between("world_cup_result", "national_team")
+        assert isinstance(edge, JoinEdge)
+
+    def test_no_edge_raises(self, graph_v1):
+        with pytest.raises(NoPathError):
+            graph_v1.edge_between("player", "stadium")
+
+    def test_edge_is_oriented_from_left_argument(self, graph_v3):
+        a = graph_v3.edge_between("plays_match", "world_cup")
+        b = graph_v3.edge_between("world_cup", "plays_match")
+        assert a.left_table.lower() == "plays_match"
+        assert b.left_table.lower() == "world_cup"
+
+
+class TestShortestPath:
+    def test_direct_neighbours(self, graph_v3):
+        path = graph_v3.shortest_path("plays_match", "national_team")
+        assert path == ["plays_match", "national_team"]
+
+    def test_two_hop_path(self, graph_v3):
+        path = graph_v3.shortest_path("match_fact", "national_team")
+        assert path[0] == "match_fact"
+        assert path[-1] == "national_team"
+        assert len(path) == 3  # via plays_match
+
+    def test_same_table(self, graph_v3):
+        assert graph_v3.shortest_path("player", "player") == ["player"]
+
+    def test_disconnected_raises(self, graph_v1):
+        # club_league_hist has no declared FKs in v1.
+        with pytest.raises(NoPathError):
+            graph_v1.shortest_path("club_league_hist", "player")
+
+
+class TestJoinPath:
+    def test_connects_three_tables(self, graph_v3):
+        edges = graph_v3.join_path(["match_fact", "plays_match", "stadium"])
+        tables = {edge.left_table.lower() for edge in edges} | {
+            edge.right_table.lower() for edge in edges
+        }
+        assert tables == {"match_fact", "plays_match", "stadium"}
+
+    def test_intermediate_tables_added(self, graph_v3):
+        # player and national_team connect only through player_fact.
+        edges = graph_v3.join_path(["player", "national_team"])
+        touched = {edge.left_table.lower() for edge in edges} | {
+            edge.right_table.lower() for edge in edges
+        }
+        assert "player_fact" in touched
+
+    def test_v1_podium_join_fails(self, graph_v1):
+        with pytest.raises(AmbiguousEdgeError):
+            graph_v1.join_path(["world_cup", "national_team"])
+
+    def test_v1_undeclared_bridge_fails(self, graph_v1):
+        """player -> club needs player_club_team, which has no FKs in v1."""
+        with pytest.raises(NoPathError):
+            graph_v1.join_path(["player", "club"])
+
+    def test_v3_declared_bridge_succeeds(self, graph_v3):
+        """The v3 redesign declared the bridge FKs."""
+        edges = graph_v3.join_path(["player", "club"])
+        touched = {edge.left_table.lower() for edge in edges} | {
+            edge.right_table.lower() for edge in edges
+        }
+        assert "player_club_team" in touched
+
+    def test_empty_and_single_inputs(self, graph_v3):
+        assert graph_v3.join_path([]) == []
+        assert graph_v3.join_path(["player"]) == []
+
+    def test_deterministic(self, graph_v3):
+        a = graph_v3.join_path(["match_fact", "stadium", "national_team"])
+        b = graph_v3.join_path(["match_fact", "stadium", "national_team"])
+        assert a == b

@@ -1,0 +1,109 @@
+"""NatSQL IR tests (the wider-coverage counterpart to SemQL)."""
+
+import pytest
+
+from repro.footballdb import schema_v1
+from repro.sqlengine import parse_sql
+from repro.systems import (
+    SemqlUnsupportedError,
+    encode_natsql,
+    encode_sql,
+    natsql_round_trip,
+)
+from repro.workload import compile_intent, make_intent
+
+
+@pytest.fixture(scope="module")
+def v1_schema():
+    return schema_v1.build_schema()
+
+
+class TestCoverage:
+    def test_repeated_instances_supported(self, v1_schema):
+        """The Figure 4 v1 query: SemQL rejects, NatSQL accepts."""
+        intent = make_intent("match_score", team_a="Germany", team_b="Brazil", year=2014)
+        gold = compile_intent(intent, "v1")
+        with pytest.raises(SemqlUnsupportedError):
+            encode_sql(parse_sql(gold), v1_schema)
+        round_tripped = natsql_round_trip(gold, v1_schema)
+        assert round_tripped == gold
+
+    def test_or_join_supported(self, v1_schema):
+        intent = make_intent("match_count_team", team="Brazil", year=2014)
+        gold = compile_intent(intent, "v1")
+        assert natsql_round_trip(gold, v1_schema) == gold
+
+    def test_set_operation_supported(self, v1_schema):
+        sql = "SELECT teamname FROM national_team UNION SELECT host_country FROM world_cup"
+        assert natsql_round_trip(sql, v1_schema) == sql
+
+    def test_arithmetic_order_by_supported(self, v1_schema):
+        intent = make_intent("biggest_win_cup", year=2014)
+        gold = compile_intent(intent, "v1")
+        assert natsql_round_trip(gold, v1_schema) == gold
+
+    def test_left_join_still_rejected(self, v1_schema):
+        sql = (
+            "SELECT T1.teamname FROM national_team AS T1 "
+            "LEFT JOIN world_cup AS T2 ON T2.winner = T1.team_id"
+        )
+        with pytest.raises(SemqlUnsupportedError):
+            natsql_round_trip(sql, v1_schema)
+
+    def test_case_still_rejected(self, v1_schema):
+        sql = "SELECT CASE WHEN founded > 1900 THEN 'new' ELSE 'old' END FROM national_team"
+        with pytest.raises(SemqlUnsupportedError):
+            natsql_round_trip(sql, v1_schema)
+
+
+class TestRoundTripSemantics:
+    def test_all_v1_gold_kinds_round_trip(self, universe, v1_schema, football):
+        """Every trainable v1 gold query survives NatSQL unchanged."""
+        from repro.workload import ALL_KINDS, IntentSampler
+
+        sampler = IntentSampler(universe, seed=91)
+        for kind in ALL_KINDS:
+            gold = compile_intent(sampler.sample_intent(kind), "v1")
+            round_tripped = natsql_round_trip(gold, v1_schema)
+            a = football["v1"].execute(gold).normalized_multiset()
+            b = football["v1"].execute(round_tripped).normalized_multiset()
+            assert a == b, kind
+
+    def test_decode_is_a_copy_not_alias(self, v1_schema):
+        from repro.systems import decode_natsql, encode_natsql
+
+        ast = parse_sql("SELECT teamname FROM national_team WHERE team_id = 1")
+        program = encode_natsql(ast, v1_schema)
+        decoded = decode_natsql(program)
+        assert decoded is not program.tree
+
+
+class TestValueNetNatSQL:
+    def test_v1_match_questions_survive(self, universe, football):
+        from repro.benchmark import build_benchmark
+        from repro.systems import GoldOracle, ValueNetNatSQL
+
+        dataset = build_benchmark(universe)
+        system = ValueNetNatSQL(
+            football["v1"], GoldOracle(dataset.gold_lookup("v1"))
+        )
+        system.fine_tune(dataset.train_pairs("v1"))
+        match_examples = [
+            e for e in dataset.test_examples if e.intent.kind == "match_score"
+        ]
+        assert match_examples
+        for example in match_examples:
+            prediction = system.predict(example.question)
+            assert prediction.sql is not None, example.question
+
+    def test_trainability_gate_is_wider(self, universe, football):
+        from repro.benchmark import build_benchmark
+        from repro.systems import GoldOracle, ValueNet, ValueNetNatSQL
+
+        dataset = build_benchmark(universe)
+        semql_system = ValueNet(football["v1"], GoldOracle({}))
+        natsql_system = ValueNetNatSQL(football["v1"], GoldOracle({}))
+        pairs = dataset.train_pairs("v1")
+        semql_system.fine_tune(pairs)
+        natsql_system.fine_tune(pairs)
+        assert natsql_system.dropped_pairs < semql_system.dropped_pairs

@@ -1,0 +1,178 @@
+"""PICARD validation/constrained decoding and corruption operators."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.footballdb import schema_v1, schema_v3
+from repro.sqlengine import parse_sql
+from repro.systems import constrained_decode, corrupt, is_valid_sql, validate_sql
+from repro.systems.picard import IncrementalParser
+from repro.workload import IntentSampler, compile_intent
+
+
+@pytest.fixture(scope="module")
+def v1_schema():
+    return schema_v1.build_schema()
+
+
+@pytest.fixture(scope="module")
+def v3_schema():
+    return schema_v3.build_schema()
+
+
+class TestValidation:
+    def test_valid_query(self, v1_schema):
+        assert is_valid_sql("SELECT teamname FROM national_team", v1_schema)
+
+    def test_unknown_table(self, v1_schema):
+        errors = validate_sql("SELECT x FROM nonexistent", v1_schema)
+        assert any("unknown table" in e for e in errors)
+
+    def test_unknown_column(self, v1_schema):
+        errors = validate_sql("SELECT wrong_col FROM national_team", v1_schema)
+        assert any("unknown column" in e for e in errors)
+
+    def test_wrong_alias_column(self, v1_schema):
+        errors = validate_sql(
+            "SELECT T1.player_name FROM national_team AS T1", v1_schema
+        )
+        assert errors
+
+    def test_alias_scoping(self, v1_schema):
+        sql = (
+            "SELECT T1.teamname FROM national_team AS T1 "
+            "JOIN world_cup AS T2 ON T2.winner = T1.team_id WHERE T2.year = 2014"
+        )
+        assert is_valid_sql(sql, v1_schema)
+
+    def test_subquery_correlated_reference_valid(self, v1_schema):
+        sql = (
+            "SELECT T1.teamname FROM national_team AS T1 WHERE EXISTS "
+            "(SELECT * FROM world_cup AS T2 WHERE T2.winner = T1.team_id)"
+        )
+        assert is_valid_sql(sql, v1_schema)
+
+    def test_syntax_error(self, v1_schema):
+        errors = validate_sql("SELEC x FRM t", v1_schema)
+        assert any("parse" in e for e in errors)
+
+    def test_ambiguous_unqualified_column(self, v1_schema):
+        sql = (
+            "SELECT year FROM match AS T1 JOIN world_cup AS T2 ON T1.year = T2.year"
+        )
+        errors = validate_sql(sql, v1_schema)
+        assert any("ambiguous" in e for e in errors)
+
+
+class TestIncrementalParser:
+    def test_extendable_prefixes_are_feasible(self, v1_schema):
+        parser = IncrementalParser(v1_schema)
+        prefixes = [
+            "SELECT",
+            "SELECT teamname",
+            "SELECT teamname FROM",
+            "SELECT teamname FROM national_team WHERE",
+            "SELECT teamname FROM national_team WHERE team_id =",
+        ]
+        for prefix in prefixes:
+            assert parser.feasible(prefix), prefix
+
+    def test_complete_statement_is_feasible(self, v1_schema):
+        parser = IncrementalParser(v1_schema)
+        assert parser.feasible("SELECT teamname FROM national_team")
+
+    def test_broken_prefix_is_infeasible(self, v1_schema):
+        parser = IncrementalParser(v1_schema)
+        assert not parser.feasible("SELECT FROM FROM")
+        assert not parser.feasible("SELECT a b c d")
+
+    def test_first_infeasible_token(self, v1_schema):
+        parser = IncrementalParser(v1_schema)
+        index = parser.first_infeasible_token("SELECT a WHERE WHERE x")
+        assert index is not None
+        assert parser.first_infeasible_token("SELECT a FROM t") is None
+
+
+class TestConstrainedDecode:
+    def test_picks_first_valid(self, v1_schema):
+        beam = [
+            "SELECT nope FROM nowhere",
+            "SELECT teamname FROM national_team",
+            "SELECT founded FROM national_team",
+        ]
+        sql, attempts = constrained_decode(beam, v1_schema)
+        assert sql == "SELECT teamname FROM national_team"
+        assert attempts == 2
+
+    def test_rejects_all(self, v1_schema):
+        beam = ["SELECT x FROM nope", "garbage ( select"]
+        sql, attempts = constrained_decode(beam, v1_schema)
+        assert sql is None
+        assert attempts == 2
+
+
+class TestCorruption:
+    def sample_gold(self, universe, version, count=20):
+        sampler = IntentSampler(universe, seed=77)
+        return [compile_intent(sampler.sample_intent(), version) for _ in range(count)]
+
+    def test_candidates_differ_from_gold(self, universe, v3_schema):
+        for gold in self.sample_gold(universe, "v3"):
+            for candidate in corrupt(gold, v3_schema, seed=5):
+                assert candidate != gold
+
+    def test_candidates_are_valid_sql(self, universe, v3_schema):
+        for gold in self.sample_gold(universe, "v3"):
+            for candidate in corrupt(gold, v3_schema, seed=6):
+                assert is_valid_sql(candidate, v3_schema), candidate
+
+    def test_invalid_candidates_when_allowed(self, universe, v1_schema):
+        invalid_seen = False
+        for index, gold in enumerate(self.sample_gold(universe, "v1", count=40)):
+            beam = corrupt(gold, v1_schema, seed=index, allow_invalid=True)
+            if any(not is_valid_sql(c, v1_schema) for c in beam):
+                invalid_seen = True
+                break
+        assert invalid_seen
+
+    def test_deterministic(self, universe, v3_schema):
+        gold = self.sample_gold(universe, "v3", count=1)[0]
+        assert corrupt(gold, v3_schema, seed=42) == corrupt(gold, v3_schema, seed=42)
+
+    def test_different_seeds_vary(self, universe, v3_schema):
+        gold = self.sample_gold(universe, "v3", count=1)[0]
+        outcomes = {tuple(corrupt(gold, v3_schema, seed=s)) for s in range(8)}
+        assert len(outcomes) > 1
+
+    def test_never_empty(self, v3_schema):
+        beam = corrupt("SELECT teamname FROM national_team", v3_schema, seed=1)
+        assert beam
+
+    def test_union_branch_drop_applies_to_set_queries(self, universe, v1_schema):
+        from repro.workload import make_intent
+
+        gold = compile_intent(
+            make_intent("match_score", team_a="Germany", team_b="Brazil", year=2014),
+            "v1",
+        )
+        dropped = [
+            c
+            for s in range(12)
+            for c in corrupt(gold, v1_schema, seed=s)
+            if "UNION" not in c
+        ]
+        assert dropped, "some corruption should drop the UNION branch"
+
+    @given(st.integers(min_value=0, max_value=500))
+    @settings(max_examples=25, deadline=None)
+    def test_property_corruption_always_differs(self, seed):
+        from repro.footballdb import schema_v3
+
+        schema = schema_v3.build_schema()
+        gold = (
+            "SELECT T2.teamname FROM world_cup_result AS T1 "
+            "JOIN national_team AS T2 ON T1.team_id = T2.team_id "
+            "WHERE T1.year = 2014 AND T1.winner = 'True'"
+        )
+        for candidate in corrupt(gold, schema, seed=seed):
+            assert candidate != gold

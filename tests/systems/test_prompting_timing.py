@@ -1,0 +1,122 @@
+"""Prompt budgeting and the latency model."""
+
+import statistics
+
+import pytest
+
+from repro.systems import PromptBuilder, estimate_tokens, serialize_schema
+from repro.systems.timing import (
+    GPT35_LATENCY,
+    LLAMA2_LATENCY,
+    T5_PICARD_KEYS_LATENCY,
+    T5_PICARD_LATENCY,
+    VALUENET_LATENCY,
+    output_token_estimate,
+)
+
+
+class TestSchemaSerialization:
+    def test_contains_all_tables(self, football):
+        text = serialize_schema(football["v1"].schema)
+        for table in football["v1"].schema.tables:
+            assert f"CREATE TABLE {table.name}" in text
+
+    def test_fk_lines_toggle(self, football):
+        with_fk = serialize_schema(football["v1"].schema, include_foreign_keys=True)
+        without = serialize_schema(football["v1"].schema, include_foreign_keys=False)
+        assert "-- FK:" in with_fk
+        assert "-- FK:" not in without
+        assert len(with_fk) > len(without)
+
+    def test_sample_rows_included(self, football):
+        text = serialize_schema(
+            football["v1"].schema, database=football["v1"], sample_rows=2
+        )
+        assert "-- e.g." in text
+
+
+class TestPromptBudget:
+    def make_pairs(self, count=40):
+        question = "What was the score between Germany and Brazil in 2014?"
+        sql = (
+            "SELECT T2.teamname, T3.teamname, T1.home_team_goals, T1.away_team_goals "
+            "FROM match AS T1 JOIN national_team AS T2 ON T2.team_id = T1.home_team_id "
+            "JOIN national_team AS T3 ON T3.team_id = T1.away_team_id "
+            "WHERE T1.year = 2014"
+        )
+        return [(f"{question} ({i})", sql) for i in range(count)]
+
+    def test_gpt_window_fits_thirty_shots(self, football):
+        builder = PromptBuilder(football["v1"], context_window=16_384, sample_rows=3)
+        prompt = builder.build("Who won in 2014?", self.make_pairs(30))
+        assert prompt.shots_used == 30
+        assert not prompt.truncated
+
+    def test_llama_window_truncates(self, football):
+        """The paper's footnote 2: LLaMA2 cannot fit many examples."""
+        builder = PromptBuilder(
+            football["v1"], context_window=4_096, sample_rows=5, completion_reserve=512
+        )
+        prompt = builder.build("Who won in 2014?", self.make_pairs(30))
+        assert prompt.truncated
+        assert prompt.shots_used < 30
+
+    def test_prompt_tokens_within_window(self, football):
+        builder = PromptBuilder(
+            football["v1"], context_window=4_096, sample_rows=5, completion_reserve=512
+        )
+        prompt = builder.build("Who won in 2014?", self.make_pairs(30))
+        assert prompt.tokens <= 4_096
+
+    def test_zero_examples(self, football):
+        builder = PromptBuilder(football["v1"], context_window=16_384)
+        prompt = builder.build("Who won in 2014?", [])
+        assert prompt.shots_used == 0
+        assert "Who won in 2014?" in prompt.text
+
+    def test_token_estimate_monotone(self):
+        assert estimate_tokens("abcd" * 100) > estimate_tokens("abcd" * 10)
+
+
+class TestLatencyModel:
+    QUESTIONS = [f"question number {i} about the world cup?" for i in range(100)]
+
+    def mean_latency(self, model, tokens=58, reparse=0):
+        return statistics.fmean(
+            model.latency(tokens, question, reparse_count=reparse)
+            for question in self.QUESTIONS
+        )
+
+    def test_table7_ordering(self):
+        """T5-Picard >> T5-Keys >> LLaMA2 >> GPT-3.5 > ValueNet."""
+        valuenet = self.mean_latency(VALUENET_LATENCY)
+        t5 = self.mean_latency(T5_PICARD_LATENCY, reparse=13)
+        t5_keys = self.mean_latency(T5_PICARD_KEYS_LATENCY, reparse=5)
+        gpt = self.mean_latency(GPT35_LATENCY)
+        llama = self.mean_latency(LLAMA2_LATENCY)
+        assert t5 > t5_keys > llama > gpt > valuenet
+
+    def test_paper_magnitudes(self):
+        """Means land in the Table 7 ballpark (±40%)."""
+        assert 0.6 <= self.mean_latency(VALUENET_LATENCY) <= 1.6
+        assert 400 <= self.mean_latency(T5_PICARD_LATENCY, reparse=13) <= 900
+        assert 180 <= self.mean_latency(T5_PICARD_KEYS_LATENCY, reparse=5) <= 420
+        assert 1.5 <= self.mean_latency(GPT35_LATENCY) <= 3.8
+        assert 22 <= self.mean_latency(LLAMA2_LATENCY) <= 55
+
+    def test_deterministic_per_question(self):
+        a = GPT35_LATENCY.latency(60, "same question")
+        b = GPT35_LATENCY.latency(60, "same question")
+        assert a == b
+
+    def test_jitter_varies_across_questions(self):
+        values = {GPT35_LATENCY.latency(60, q) for q in self.QUESTIONS[:10]}
+        assert len(values) == 10
+
+    def test_longer_output_costs_more(self):
+        short = T5_PICARD_LATENCY.latency(20, "q")
+        long = T5_PICARD_LATENCY.latency(90, "q")
+        assert long > short
+
+    def test_output_token_estimate_floor(self):
+        assert output_token_estimate("SELECT 1") == 12

@@ -1,0 +1,153 @@
+"""SemQL encode/decode tests: lossiness, rejection and round trips."""
+
+import pytest
+
+from repro.footballdb import schema_v1, schema_v3
+from repro.sqlengine import parse_sql, format_query
+from repro.systems import SchemaGraph, SemqlUnsupportedError, decode_semql, encode_sql
+from repro.systems.joinpath import AmbiguousEdgeError
+from repro.systems.semql import (
+    REASON_LEFT_JOIN,
+    REASON_PROJECTION,
+    REASON_REPEATED_TABLE,
+)
+from repro.workload import compile_intent, make_intent
+
+
+@pytest.fixture(scope="module")
+def v3_schema():
+    return schema_v3.build_schema()
+
+
+@pytest.fixture(scope="module")
+def v1_schema():
+    return schema_v1.build_schema()
+
+
+class TestEncodeRejections:
+    def test_repeated_table_instances_rejected(self, v1_schema):
+        sql = (
+            "SELECT T2.teamname, T3.teamname FROM match AS T1 "
+            "JOIN national_team AS T2 ON T2.team_id = T1.home_team_id "
+            "JOIN national_team AS T3 ON T3.team_id = T1.away_team_id"
+        )
+        with pytest.raises(SemqlUnsupportedError) as excinfo:
+            encode_sql(parse_sql(sql), v1_schema)
+        assert excinfo.value.reason == REASON_REPEATED_TABLE
+
+    def test_left_join_rejected(self, v1_schema):
+        sql = "SELECT a FROM match AS T1 LEFT JOIN stadium AS T2 ON T1.stadium_id = T2.stadium_id"
+        with pytest.raises(SemqlUnsupportedError) as excinfo:
+            encode_sql(parse_sql(sql), v1_schema)
+        assert excinfo.value.reason == REASON_LEFT_JOIN
+
+    def test_arithmetic_projection_rejected(self, v1_schema):
+        sql = "SELECT avg(home_team_goals + away_team_goals) FROM match AS T1"
+        with pytest.raises(SemqlUnsupportedError) as excinfo:
+            encode_sql(parse_sql(sql), v1_schema)
+        assert excinfo.value.reason == REASON_PROJECTION
+
+    def test_figure4_v1_union_rejected_per_branch(self, v1_schema):
+        intent = make_intent("match_score", team_a="Germany", team_b="Brazil", year=2014)
+        sql = compile_intent(intent, "v1")
+        with pytest.raises(SemqlUnsupportedError):
+            encode_sql(parse_sql(sql), v1_schema)
+
+
+class TestEncodeStructure:
+    def test_simple_query_encodes(self, v3_schema):
+        sql = "SELECT T1.teamname FROM national_team AS T1 WHERE T1.team_id = 5"
+        semql = encode_sql(parse_sql(sql), v3_schema)
+        assert len(semql.projections) == 1
+        assert semql.mentioned_tables() == ["national_team"]
+
+    def test_group_by_is_dropped(self, v3_schema):
+        sql = (
+            "SELECT T1.teamname, count(*) FROM national_team AS T1 "
+            "GROUP BY T1.teamname HAVING count(*) > 2"
+        )
+        semql = encode_sql(parse_sql(sql), v3_schema)
+        # GROUP BY/HAVING live only implicitly: an agg projection + agg filter.
+        assert semql.projections[1].agg == "count"
+
+    def test_or_join_condition_is_lost(self, v3_schema):
+        """Disjunctive ON conditions are outside SemQL: silently dropped."""
+        sql = (
+            "SELECT count(*) FROM plays_match AS T1 JOIN national_team AS T2 "
+            "ON T1.team_id = T2.team_id OR T1.opponent_team_id = T2.team_id "
+            "WHERE T2.teamname ILIKE '%Brazil%'"
+        )
+        semql = encode_sql(parse_sql(sql), v3_schema)
+        graph = SchemaGraph(v3_schema)
+        decoded = format_query(decode_semql(semql, graph))
+        assert "OR" not in decoded  # the join disjunction is gone
+
+    def test_union_encodes_as_z_node(self, v3_schema):
+        sql = (
+            "SELECT T1.teamname FROM national_team AS T1 "
+            "UNION SELECT T1.teamname FROM national_opponent_team AS T1"
+        )
+        semql = encode_sql(parse_sql(sql), v3_schema)
+        assert semql.set_operator is not None
+        assert semql.set_right is not None
+
+
+class TestDecodeRoundTrips:
+    """encode → decode must preserve semantics where SemQL is lossless."""
+
+    ROUND_TRIP_KINDS = [
+        "cup_winner",
+        "prize_count_team",
+        "top_scorer_cup",
+        "squad_list",
+        "player_goals_cup",
+        "coach_of_team",
+        "most_titles",
+        "team_goals_cup",
+        "cards_in_cup",
+    ]
+
+    @pytest.mark.parametrize("kind", ROUND_TRIP_KINDS)
+    def test_v3_round_trip_preserves_results(self, football, kind):
+        from repro.workload import IntentSampler
+
+        sampler = IntentSampler(football.universe, seed=31)
+        schema = football["v3"].schema
+        graph = SchemaGraph(schema)
+        intent = sampler.sample_intent(kind)
+        gold = compile_intent(intent, "v3")
+        semql = encode_sql(parse_sql(gold), schema)
+        decoded = format_query(decode_semql(semql, graph))
+        gold_result = football["v3"].execute(gold).normalized_multiset()
+        decoded_result = football["v3"].execute(decoded).normalized_multiset()
+        assert gold_result == decoded_result, (kind, decoded)
+
+    def test_v1_podium_decode_fails_on_ambiguous_edge(self, football, v1_schema):
+        intent = make_intent("cup_winner", year=2014)
+        gold = compile_intent(intent, "v1")
+        semql = encode_sql(parse_sql(gold), v1_schema)
+        with pytest.raises(AmbiguousEdgeError):
+            decode_semql(semql, SchemaGraph(v1_schema))
+
+    def test_decode_rebuilds_group_by(self, football):
+        """IRNet heuristic: group by the non-aggregated projections."""
+        schema = football["v3"].schema
+        graph = SchemaGraph(schema)
+        intent = make_intent("teams_multiple_titles")
+        gold = compile_intent(intent, "v3")
+        decoded = decode_semql(encode_sql(parse_sql(gold), schema), graph)
+        assert decoded.group_by, "GROUP BY must be re-derived"
+        gold_result = football["v3"].execute(gold).normalized_multiset()
+        decoded_result = football["v3"].execute(format_query(decoded)).normalized_multiset()
+        assert gold_result == decoded_result
+
+    def test_decode_with_subquery(self, football):
+        schema = football["v3"].schema
+        graph = SchemaGraph(schema)
+        intent = make_intent("never_won")
+        gold = compile_intent(intent, "v3")
+        decoded = format_query(decode_semql(encode_sql(parse_sql(gold), schema), graph))
+        assert "NOT IN" in decoded
+        gold_result = football["v3"].execute(gold).normalized_multiset()
+        decoded_result = football["v3"].execute(decoded).normalized_multiset()
+        assert gold_result == decoded_result

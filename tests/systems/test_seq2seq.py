@@ -1,0 +1,91 @@
+"""Retrieval index and sketch transfer tests."""
+
+import pytest
+
+from repro.systems import RetrievalIndex, transfer_sketch
+
+
+class TestRetrievalIndex:
+    PAIRS = [
+        ("Who won the world cup in 2014?", "SELECT w14"),
+        ("Who won the world cup in 2018?", "SELECT w18"),
+        ("How tall is Marlu Ferratorez?", "SELECT h"),
+        ("Which clubs did Sahoff Morpera play for?", "SELECT c"),
+    ]
+
+    def test_retrieves_most_similar_first(self):
+        index = RetrievalIndex()
+        index.fit(self.PAIRS)
+        top = index.retrieve("Who won the world cup in 2010?", k=2)
+        assert top[0][2] in ("SELECT w14", "SELECT w18")
+        assert top[0][0] > 0.8
+
+    def test_exact_match_is_perfect(self):
+        index = RetrievalIndex()
+        index.fit(self.PAIRS)
+        score, question, _ = index.retrieve("Who won the world cup in 2014?")[0]
+        assert question == "Who won the world cup in 2014?"
+        assert score == pytest.approx(1.0)
+
+    def test_empty_index(self):
+        index = RetrievalIndex()
+        index.fit([])
+        assert index.retrieve("anything") == []
+        assert index.best_similarity("anything") == 0.0
+
+    def test_ranked_examples_order(self):
+        index = RetrievalIndex()
+        index.fit(self.PAIRS)
+        ranked = index.ranked_examples("Who won the world cup in 2014?", k=3)
+        assert ranked[0][0] == "Who won the world cup in 2014?"
+        assert len(ranked) == 3
+
+
+class TestSketchTransfer:
+    def test_year_substitution(self):
+        sketch = "SELECT host_country FROM world_cup WHERE year = 2014"
+        adapted = transfer_sketch(
+            sketch, "Where was the 2014 cup?", "Where was the 2018 cup?"
+        )
+        assert "2018" in adapted
+        assert "2014" not in adapted
+
+    def test_entity_substitution(self):
+        sketch = (
+            "SELECT T2.teamname FROM plays_match AS T1 JOIN national_team AS T2 "
+            "ON T1.team_id = T2.team_id WHERE T2.teamname ILIKE '%Peru%' "
+            "AND T1.year = 2010"
+        )
+        adapted = transfer_sketch(
+            sketch,
+            "How many matches did Peru play in 2010?",
+            "How many matches did Germany play in 2014?",
+        )
+        assert "'%Germany%'" in adapted
+        assert "Peru" not in adapted
+        assert "2014" in adapted
+
+    def test_two_entities_positional(self):
+        sketch = (
+            "SELECT 1 WHERE a ILIKE '%Peru%' AND b ILIKE '%Chile%' AND year = 2010"
+        )
+        adapted = transfer_sketch(
+            sketch,
+            "score of Peru against Chile in 2010",
+            "What was the score between Germany and Brazil in 2014?",
+        )
+        assert "'%Germany%'" in adapted
+        assert "'%Brazil%'" in adapted
+        assert "2014" in adapted
+
+    def test_no_values_in_target_keeps_sketch(self):
+        sketch = "SELECT host_country FROM world_cup WHERE year = 2014"
+        assert (
+            transfer_sketch(sketch, "source?", "which teams ever won the title?")
+            == sketch
+        )
+
+    def test_interrogatives_are_not_entities(self):
+        sketch = "SELECT 1 WHERE a ILIKE '%Peru%'"
+        adapted = transfer_sketch(sketch, "q", "Which players are taller than average?")
+        assert "'%Peru%'" in adapted  # 'Which' must not be substituted

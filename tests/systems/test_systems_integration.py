@@ -1,0 +1,204 @@
+"""System-level integration tests.
+
+These verify *mechanisms*, not calibrated accuracy numbers: the shape
+constraints the paper's analysis rests on (pipeline failure modes per
+data model, keys effects, determinism, spec metadata).
+"""
+
+import pytest
+
+from repro.benchmark import build_benchmark
+from repro.systems import (
+    ALL_SYSTEMS,
+    GPT35,
+    GoldOracle,
+    Llama2,
+    T5Picard,
+    T5PicardKeys,
+    ValueNet,
+    is_valid_sql,
+)
+from repro.workload import compile_intent, make_intent, realize
+
+
+@pytest.fixture(scope="module")
+def dataset(universe):
+    return build_benchmark(universe)
+
+
+@pytest.fixture(scope="module")
+def oracles(dataset):
+    return {
+        version: GoldOracle(dataset.gold_lookup(version))
+        for version in ("v1", "v2", "v3")
+    }
+
+
+class TestSpecs:
+    def test_table4_dimensions(self):
+        """The Table 4 matrix of the paper."""
+        specs = {cls.spec.name: cls.spec for cls in ALL_SYSTEMS}
+        assert specs["ValueNet"].output_space == "IR"
+        assert specs["ValueNet"].uses_db_content is True
+        assert specs["T5-Picard"].uses_foreign_keys is False
+        assert specs["T5-Picard_Keys"].uses_foreign_keys is True
+        assert specs["GPT-3.5"].post_processing == "N/A"
+        assert specs["LLaMA2-70B"].gpu_count == 4
+
+    def test_table4_rows_render(self):
+        for cls in ALL_SYSTEMS:
+            row = cls.spec.table4_row()
+            assert set(row) == {
+                "Scale (#Params)", "DB Schema w/ FK", "DB Content",
+                "Output Specification", "Query Normalization", "Value Finder",
+                "Conversion to IR", "Post-processing",
+            }
+
+
+class TestValueNetPipeline:
+    def test_figure4_question_fails_in_v1(self, football, oracles, dataset):
+        """The paper's running example must die in v1 post-processing."""
+        system = ValueNet(football["v1"], oracles["v1"])
+        system.fine_tune(dataset.train_pairs("v1"))
+        example = next(
+            e for e in dataset.examples if e.intent.kind == "match_score"
+        )
+        prediction = system.predict(example.question)
+        assert prediction.sql is None
+        assert prediction.failure in ("ir_unsupported", "join_path_ambiguous")
+
+    def test_same_question_survives_in_v3(self, football, oracles, dataset):
+        system = ValueNet(football["v3"], oracles["v3"])
+        system.fine_tune(dataset.train_pairs("v3"))
+        failures = 0
+        for example in dataset.test_examples:
+            if example.intent.kind != "match_score":
+                continue
+            prediction = system.predict(example.question)
+            if prediction.sql is None:
+                failures += 1
+        assert failures == 0
+
+    def test_training_pairs_dropped_by_spider_gate(self, football, oracles, dataset):
+        """The paper's '105 of 1K cannot be processed' phenomenon."""
+        system = ValueNet(football["v1"], oracles["v1"])
+        system.fine_tune(dataset.train_pairs("v1"))
+        assert system.dropped_pairs > 0
+        assert system.effective_train_size < len(dataset.train_pairs("v1"))
+
+    def test_v3_drops_fewer_training_pairs(self, football, oracles, dataset):
+        v1 = ValueNet(football["v1"], oracles["v1"])
+        v1.fine_tune(dataset.train_pairs("v1"))
+        v3 = ValueNet(football["v3"], oracles["v3"])
+        v3.fine_tune(dataset.train_pairs("v3"))
+        assert v3.dropped_pairs < v1.dropped_pairs
+
+    def test_predictions_are_valid_sql(self, football, oracles, dataset):
+        system = ValueNet(football["v3"], oracles["v3"])
+        system.fine_tune(dataset.train_pairs("v3"))
+        for example in dataset.test_examples[:30]:
+            prediction = system.predict(example.question)
+            if prediction.sql is not None:
+                assert is_valid_sql(prediction.sql, football["v3"].schema)
+
+
+class TestPicardSystems:
+    def test_never_emits_invalid_sql(self, football, oracles, dataset):
+        """PICARD's guarantee: every emission parses and resolves."""
+        for version in ("v1", "v3"):
+            system = T5Picard(football[version], oracles[version])
+            system.fine_tune(dataset.train_pairs(version, limit=100))
+            for example in dataset.test_examples[:40]:
+                prediction = system.predict(example.question)
+                if prediction.sql is not None:
+                    assert is_valid_sql(prediction.sql, football[version].schema), (
+                        prediction.sql
+                    )
+
+    def test_unconstrained_ablation_can_emit_invalid(self, football, oracles, dataset):
+        system = T5Picard(football["v1"], oracles["v1"], use_picard=False)
+        system.fine_tune(dataset.train_pairs("v1", limit=100))
+        invalid = 0
+        for example in dataset.test_examples:
+            prediction = system.predict(example.question)
+            if prediction.sql is not None and not is_valid_sql(
+                prediction.sql, football["v1"].schema
+            ):
+                invalid += 1
+        assert invalid > 0
+
+    def test_keys_variant_latency_is_lower(self, football, oracles, dataset):
+        base = T5Picard(football["v1"], oracles["v1"])
+        keys = T5PicardKeys(football["v1"], oracles["v1"])
+        base.fine_tune(dataset.train_pairs("v1"))
+        keys.fine_tune(dataset.train_pairs("v1"))
+        base_latency = sum(
+            base.predict(e.question).latency_seconds for e in dataset.test_examples[:25]
+        )
+        keys_latency = sum(
+            keys.predict(e.question).latency_seconds for e in dataset.test_examples[:25]
+        )
+        assert keys_latency < base_latency
+
+
+class TestLlmSystems:
+    def test_llama_shot_truncation(self, football, oracles, dataset):
+        """4K context cannot hold 30 FootballDB examples."""
+        system = Llama2(football["v1"], oracles["v1"])
+        system.fine_tune(dataset.train_pairs("v1", limit=30))
+        assert system.shots_that_fit() < 30
+
+    def test_gpt_holds_thirty_shots(self, football, oracles, dataset):
+        system = GPT35(football["v1"], oracles["v1"])
+        system.fine_tune(dataset.train_pairs("v1", limit=30))
+        assert system.shots_that_fit() == 30
+
+    def test_zero_shot_still_predicts(self, football, oracles):
+        system = GPT35(football["v1"], oracles["v1"])
+        system.fine_tune([])
+        prediction = system.predict("Who won the world cup in 2014?")
+        assert prediction.sql is not None
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("system_cls", [ValueNet, T5Picard, GPT35])
+    def test_same_seed_same_predictions(self, football, oracles, dataset, system_cls):
+        def run():
+            system = system_cls(football["v3"], oracles["v3"], fold=1)
+            system.fine_tune(dataset.train_pairs("v3", limit=100))
+            return [
+                system.predict(e.question).sql for e in dataset.test_examples[:20]
+            ]
+
+        assert run() == run()
+
+    def test_folds_differ(self, football, oracles, dataset):
+        def run(fold):
+            system = GPT35(football["v3"], oracles["v3"], fold=fold)
+            system.fine_tune(dataset.train_pairs("v3", limit=20))
+            return [
+                system.predict(e.question).sql for e in dataset.test_examples[:40]
+            ]
+
+        assert run(0) != run(1)
+
+
+class TestDeploymentFallback:
+    """Without the oracle, systems fall back to genuine retrieval."""
+
+    def test_retrieval_transfer_answers_seen_template(self, football, dataset):
+        system = T5Picard(football["v3"], oracle=None)
+        system.fine_tune(dataset.train_pairs("v3"))
+        # A fresh question matching a trained template with a new year.
+        example = next(
+            e for e in dataset.train_examples if e.intent.kind == "cup_winner"
+        )
+        prediction = system.predict(example.question)
+        assert prediction.sql is not None
+
+    def test_no_training_no_candidate(self, football):
+        system = T5Picard(football["v3"], oracle=None)
+        system.fine_tune([])
+        prediction = system.predict("Who won the world cup in 2014?")
+        assert prediction.sql is None
+        assert prediction.failure is not None

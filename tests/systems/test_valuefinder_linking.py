@@ -1,0 +1,84 @@
+"""Value finder and schema linking tests."""
+
+import pytest
+
+from repro.systems import ValueFinder, link_schema, linked_tables
+
+
+@pytest.fixture(scope="module")
+def finder(football):
+    return ValueFinder(football["v1"])
+
+
+class TestValueFinder:
+    def test_extracts_years(self, finder):
+        candidates = finder.find("Who won the world cup in 2014?")
+        years = [c for c in candidates if c.value == 2014]
+        assert years and years[0].score == 1.0
+
+    def test_exact_team_grounding(self, finder):
+        candidates = finder.find("How many goals did Germany score in 2014?")
+        teams = [c for c in candidates if c.table == "national_team"]
+        assert teams
+        assert teams[0].value == "Germany"
+        assert teams[0].score == 1.0
+
+    def test_fuzzy_recovers_misspelled_team(self, finder):
+        grounded = finder.ground("Germny")
+        assert grounded is not None
+        assert grounded.value == "Germany"
+        assert grounded.score < 1.0
+
+    def test_fuzzy_recovers_misspelled_player(self, finder, football):
+        player = football.universe.players[0].full_name
+        # Drop one inner letter from the family name.
+        family = player.split(" ")[-1]
+        typo = player.replace(family, family[:2] + family[3:])
+        grounded = finder.ground(typo)
+        assert grounded is not None
+        assert grounded.value == player
+
+    def test_garbage_is_not_grounded(self, finder):
+        assert finder.ground("Xqzvk Wrtplm") is None
+
+    def test_scrambled_corruption_not_grounded(self, finder):
+        """The corruption operator's output must stay unrecoverable."""
+        assert finder.ground("ynamreG") is None
+
+    def test_interrogatives_are_not_entities(self, finder):
+        candidates = finder.find("Who won? What happened? Which team?")
+        assert all(c.table is None for c in candidates)
+
+    def test_multi_word_span(self, finder):
+        candidates = finder.find("When did South Korea host the world cup?")
+        values = {c.value for c in candidates}
+        assert "South Korea" in values
+
+
+class TestSchemaLinking:
+    def test_links_named_table(self, football):
+        tables = linked_tables("Which stadium hosted the final?", football["v1"].schema)
+        assert "stadium" in tables
+
+    def test_links_via_domain_hints(self, football):
+        tables = linked_tables(
+            "Who won the world cup in 2014?", football["v1"].schema
+        )
+        assert "world_cup" in tables
+
+    def test_links_card_questions_to_match_fact(self, football):
+        tables = linked_tables(
+            "How many yellow cards were shown in 2010?", football["v1"].schema
+        )
+        assert "match_fact" in tables
+
+    def test_column_links_resolve_table(self, football):
+        links = link_schema(
+            "What is the host country of the 1950 cup?", football["v1"].schema
+        )
+        column_links = [l for l in links if l.kind == "column"]
+        assert any(l.column == "host_country" for l in column_links)
+
+    def test_no_spurious_links_for_unrelated_text(self, football):
+        tables = linked_tables("How do I reset my password?", football["v1"].schema)
+        assert tables == []

@@ -1,0 +1,23 @@
+"""Workload test fixtures (share the session FootballDB)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.footballdb import FootballDB, Universe, build_universe, load_all
+from repro.workload import IntentSampler
+
+
+@pytest.fixture(scope="session")
+def universe() -> Universe:
+    return build_universe(seed=2022)
+
+
+@pytest.fixture(scope="session")
+def football(universe) -> FootballDB:
+    return load_all(universe=universe)
+
+
+@pytest.fixture()
+def sampler(universe) -> IntentSampler:
+    return IntentSampler(universe, seed=11)

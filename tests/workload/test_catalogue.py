@@ -1,0 +1,98 @@
+"""Intent sampler tests (slot validity and realism constraints)."""
+
+import pytest
+
+from repro.workload import ALL_KINDS, IntentSampler, REGISTRY
+
+
+class TestSlotValidity:
+    def test_all_kinds_sample_with_valid_slots(self, sampler):
+        for kind in ALL_KINDS:
+            intent = sampler.sample_intent(kind)
+            assert intent.kind == kind
+            assert set(name for name, _ in intent.slots) == set(
+                REGISTRY[kind].slot_names
+            )
+
+    def test_year_slots_are_cup_years(self, universe, sampler):
+        years = set(universe.years)
+        for _ in range(50):
+            intent = sampler.sample_intent("cup_winner")
+            assert intent.slot("year") in years
+
+    def test_team_names_exist(self, universe, sampler):
+        names = {team.name for team in universe.teams}
+        for _ in range(30):
+            intent = sampler.sample_intent("match_count_team")
+            assert intent.slot("team") in names
+
+    def test_pair_teams_are_distinct_participants(self, universe, sampler):
+        for _ in range(30):
+            intent = sampler.sample_intent("match_score")
+            year = intent.slot("year")
+            participants = {
+                universe.team(m.home_team_id).name for m in universe.matches_in(year)
+            } | {universe.team(m.away_team_id).name for m in universe.matches_in(year)}
+            assert intent.slot("team_a") in participants
+            assert intent.slot("team_b") in participants
+            assert intent.slot("team_a") != intent.slot("team_b")
+
+
+class TestRealismConstraints:
+    def test_players_with_year_actually_played(self, universe, sampler):
+        """player_goals_cup questions reference real squad members."""
+        squad_names = {}
+        for member in universe.squads:
+            squad_names.setdefault(member.year, set()).add(
+                universe.player(member.player_id).full_name
+            )
+        for _ in range(30):
+            intent = sampler.sample_intent("player_goals_cup")
+            assert intent.slot("player") in squad_names[intent.slot("year")]
+
+    def test_prize_questions_favor_podium_teams(self, universe, sampler):
+        podium = {
+            universe.team(team_id).name
+            for cup in universe.world_cups
+            for team_id in (cup.winner_id, cup.runner_up_id, cup.third_id, cup.fourth_id)
+        }
+        hits = sum(
+            1
+            for _ in range(100)
+            if sampler.sample_intent("prize_count_team").slot("team") in podium
+        )
+        assert hits >= 70
+
+    def test_match_card_questions_skew_yellow(self, sampler):
+        yellows = sum(
+            1
+            for _ in range(100)
+            if sampler.sample_intent("cards_in_match").slot("card") == "yellow_card"
+        )
+        assert yellows >= 70
+
+    def test_most_pairs_actually_played(self, universe, sampler):
+        pairings = set()
+        for match in universe.matches:
+            pairings.add((match.year, match.home_team_id, match.away_team_id))
+            pairings.add((match.year, match.away_team_id, match.home_team_id))
+        played = 0
+        for _ in range(100):
+            intent = sampler.sample_intent("match_score")
+            a = universe.team_by_name(intent.slot("team_a")).team_id
+            b = universe.team_by_name(intent.slot("team_b")).team_id
+            if (intent.slot("year"), a, b) in pairings:
+                played += 1
+        assert played >= 80
+
+
+class TestDeterminism:
+    def test_same_seed_same_population(self, universe):
+        a = IntentSampler(universe, seed=3).population(50)
+        b = IntentSampler(universe, seed=3).population(50)
+        assert a == b
+
+    def test_weighted_mix_covers_many_kinds(self, universe):
+        population = IntentSampler(universe, seed=4).population(500)
+        kinds = {intent.kind for intent in population}
+        assert len(kinds) >= 25

@@ -1,0 +1,89 @@
+"""Intent model tests (registry integrity, slot access, topics)."""
+
+import pytest
+
+from repro.workload import (
+    ALL_KINDS,
+    PRIZE_SYNONYMS,
+    REGISTRY,
+    TOPICS,
+    Intent,
+    kinds_for_topic,
+    make_intent,
+)
+
+
+class TestRegistry:
+    def test_kinds_are_unique(self):
+        assert len(ALL_KINDS) == len(set(ALL_KINDS))
+
+    def test_every_spec_has_templates(self):
+        for spec in REGISTRY.values():
+            assert len(spec.templates) >= 2, spec.kind
+            assert spec.weight > 0
+
+    def test_templates_reference_only_known_slots(self):
+        import string
+
+        formatter = string.Formatter()
+        allowed_extra = {"prize_phrase", "prize_phrase_past"}
+        for spec in REGISTRY.values():
+            for template in spec.templates:
+                fields = {
+                    field
+                    for _, field, _, _ in formatter.parse(template)
+                    if field is not None
+                }
+                unknown = fields - set(spec.slot_names) - allowed_extra
+                assert not unknown, (spec.kind, unknown)
+
+    def test_symmetric_flags(self):
+        """Symmetric kinds are exactly the home/away-sensitive ones."""
+        symmetric = {spec.kind for spec in REGISTRY.values() if spec.symmetric}
+        assert "match_score" in symmetric
+        assert "cards_in_match" in symmetric
+        assert "cup_winner" not in symmetric
+
+    def test_topics_cover_all_kinds(self):
+        covered = {kind for topic in TOPICS for kind in kinds_for_topic(topic)}
+        assert covered == set(ALL_KINDS)
+
+    def test_prize_synonyms_complete(self):
+        assert set(PRIZE_SYNONYMS) == {"winner", "runner_up", "third", "fourth"}
+        for phrases in PRIZE_SYNONYMS.values():
+            assert len(phrases) >= 2
+
+
+class TestIntentObject:
+    def test_slot_access(self):
+        intent = make_intent("cup_winner", year=2014)
+        assert intent.slot("year") == 2014
+        assert intent.has_slot("year")
+        assert not intent.has_slot("team")
+
+    def test_missing_slot_raises(self):
+        intent = make_intent("cup_winner", year=2014)
+        with pytest.raises(KeyError):
+            intent.slot("team")
+
+    def test_make_intent_validates_slots(self):
+        with pytest.raises(ValueError):
+            make_intent("cup_winner")  # missing year
+        with pytest.raises(ValueError):
+            make_intent("cup_winner", year=2014, extra="nope")
+
+    def test_intents_are_hashable_and_equal(self):
+        a = make_intent("cup_winner", year=2014)
+        b = make_intent("cup_winner", year=2014)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_slot_order_is_canonical(self):
+        a = make_intent("match_score", team_a="A", team_b="B", year=2014)
+        b = make_intent("match_score", year=2014, team_b="B", team_a="A")
+        assert a == b
+
+    def test_spec_property(self):
+        intent = make_intent("cup_winner", year=2014)
+        assert intent.spec.topic == "winners"

@@ -1,0 +1,113 @@
+"""NL realization, noise generation and the deployment log (Table 1)."""
+
+import random
+
+import pytest
+
+from repro.workload import (
+    ALL_KINDS,
+    DeploymentSimulator,
+    QuestionCategory,
+    make_intent,
+    misspell,
+    realize,
+    realize_all,
+    summarize,
+)
+
+
+class TestRealization:
+    def test_every_kind_realizes(self, sampler):
+        rng = random.Random(3)
+        for kind in ALL_KINDS:
+            question = realize(sampler.sample_intent(kind), rng)
+            assert question
+            assert "{" not in question and "}" not in question
+
+    def test_slots_appear_in_question(self):
+        intent = make_intent("match_score", team_a="Germany", team_b="Brazil", year=2014)
+        for question in realize_all(intent):
+            assert "Germany" in question
+            assert "Brazil" in question
+            assert "2014" in question
+
+    def test_prize_synonyms_surface(self):
+        intent = make_intent("prize_count_team", team="Germany", prize="runner_up")
+        questions = " ".join(realize_all(intent))
+        # The lexical gap: questions say "second place"/"final", never
+        # the column name "runner_up".
+        assert "runner_up" not in questions
+
+    def test_paraphrases_differ(self):
+        intent = make_intent("cup_winner", year=2014)
+        assert len(set(realize_all(intent))) > 1
+
+
+class TestMisspelling:
+    def test_misspelling_changes_text(self):
+        rng = random.Random(5)
+        text = "How many goals did Marlu Ferratorez score in 2014?"
+        corrupted = misspell(text, rng)
+        assert corrupted != text
+        # Length changes by at most one character.
+        assert abs(len(corrupted) - len(text)) <= 1
+
+    def test_short_text_unchanged(self):
+        rng = random.Random(5)
+        assert misspell("Who won?", rng) == "Who won?"
+
+    def test_deterministic(self):
+        text = "How many goals did Marlu Ferratorez score in 2014?"
+        assert misspell(text, random.Random(9)) == misspell(text, random.Random(9))
+
+
+class TestDeploymentLog:
+    @pytest.fixture(scope="class")
+    def records(self, universe):
+        return DeploymentSimulator(universe, seed=2022).run(5_900)
+
+    def test_question_count(self, records):
+        assert len(records) == 5_900
+
+    def test_table1_statistics_in_paper_band(self, records):
+        """Paper: 5,900 / 5,275 / 625 / 174 / 949 / 1,287."""
+        stats = summarize(records)
+        assert stats.questions_issued == 5_900
+        assert stats.sql_generated + stats.no_sql_generated == 5_900
+        assert 0.85 <= stats.generation_rate <= 0.93  # paper: 0.894
+        assert 120 <= stats.thumbs_up <= 240  # paper: 174
+        assert 800 <= stats.thumbs_down <= 1_100  # paper: 949
+        assert 1_050 <= stats.corrected_queries <= 1_500  # paper: 1,287
+
+    def test_non_english_questions_present(self, records):
+        non_english = [
+            r for r in records if r.category is QuestionCategory.NON_ENGLISH
+        ]
+        assert len(non_english) > 200
+        assert any("Weltmeisterschaft" in r.question or "gewonnen" in r.question
+                   for r in non_english)
+
+    def test_non_english_rarely_generates_sql(self, records):
+        non_english = [r for r in records if r.category is QuestionCategory.NON_ENGLISH]
+        rate = sum(1 for r in non_english if r.sql_generated) / len(non_english)
+        clean = [r for r in records if r.category is QuestionCategory.CLEAN]
+        clean_rate = sum(1 for r in clean if r.sql_generated) / len(clean)
+        assert rate < 0.5 < clean_rate
+
+    def test_corrections_only_for_wrong_predictions(self, records):
+        for record in records:
+            if record.corrected_sql is not None:
+                assert record.prediction_correct is False
+
+    def test_corrected_sql_is_gold(self, records, football):
+        """Expert corrections execute and differ from the prediction."""
+        corrected = [r for r in records if r.corrected_sql is not None][:25]
+        assert corrected
+        for record in corrected:
+            football["v1"].execute(record.corrected_sql)
+            assert record.corrected_sql != record.predicted_sql
+
+    def test_deterministic(self, universe):
+        a = DeploymentSimulator(universe, seed=5).run(200)
+        b = DeploymentSimulator(universe, seed=5).run(200)
+        assert [r.question for r in a] == [r.question for r in b]

@@ -1,0 +1,159 @@
+"""Gold-SQL compiler tests: every intent kind, every data model.
+
+The central guarantees:
+
+* every compiled query parses and *executes* on its data model;
+* the Figure 4 structural story holds (UNION + repeated instances in
+  v1/v2, flat single-select in v3);
+* answers are consistent with the underlying universe.
+"""
+
+import pytest
+
+from repro.analysis import analyze_query, spider_parse, SpiderParseError
+from repro.footballdb import VERSIONS
+from repro.sqlengine import SetOperation, parse_sql
+from repro.workload import (
+    ALL_KINDS,
+    SUPPORTED_KINDS,
+    IntentSampler,
+    compile_ast,
+    compile_intent,
+    make_intent,
+)
+
+
+def test_every_registered_kind_has_a_compiler():
+    assert set(ALL_KINDS) == set(SUPPORTED_KINDS)
+
+
+@pytest.mark.parametrize("version", VERSIONS)
+def test_all_kinds_compile_and_execute(football, sampler, version):
+    """Each kind × version produces SQL the engine runs without error."""
+    db = football[version]
+    for kind in ALL_KINDS:
+        intent = sampler.sample_intent(kind)
+        sql = compile_intent(intent, version)
+        parse_sql(sql)  # parseable
+        db.execute(sql)  # executable (result may legitimately be empty)
+
+
+class TestFigure4:
+    def make(self):
+        return make_intent("match_score", team_a="Germany", team_b="Brazil", year=2014)
+
+    def test_v1_uses_union_and_repeated_instances(self):
+        ast = compile_ast(self.make(), "v1")
+        assert isinstance(ast, SetOperation)
+        with pytest.raises(SpiderParseError):
+            spider_parse(ast)
+
+    def test_v2_uses_union_and_more_joins(self):
+        intent = self.make()
+        v1 = analyze_query(compile_ast(intent, "v1"))
+        v2 = analyze_query(compile_ast(intent, "v2"))
+        assert v2.set_operations >= 1
+        assert v2.joins > v1.joins
+
+    def test_v3_is_flat_and_spider_parseable(self):
+        ast = compile_ast(self.make(), "v3")
+        assert not isinstance(ast, SetOperation)
+        parsed = spider_parse(ast)
+        assert parsed.set_operation is None
+
+    def test_v3_query_is_shortest(self):
+        intent = self.make()
+        lengths = {
+            version: len(compile_intent(intent, version)) for version in VERSIONS
+        }
+        assert lengths["v3"] < lengths["v1"] < lengths["v2"]
+
+    def test_all_three_find_the_mineirazo(self, football):
+        intent = self.make()
+        for version in VERSIONS:
+            result = football[version].execute(compile_intent(intent, version))
+            scores = {tuple(row[-2:]) for row in result.rows}
+            assert (7, 1) in scores or (1, 7) in scores, version
+
+
+class TestAnswerConsistency:
+    """Gold answers must agree across data models (scalar intents)."""
+
+    SCALAR_KINDS = [
+        "prize_count_team",
+        "team_goals_cup",
+        "match_count_team",
+        "cards_in_cup",
+        "penalties_in_cup",
+        "matches_in_cup",
+        "cup_winner",
+        "cup_host",
+        "top_scorer_cup",
+    ]
+
+    @pytest.mark.parametrize("kind", SCALAR_KINDS)
+    def test_cross_model_agreement(self, football, kind):
+        sampler = IntentSampler(football.universe, seed=23)
+        for _ in range(5):
+            intent = sampler.sample_intent(kind)
+            results = {
+                version: football[version]
+                .execute(compile_intent(intent, version))
+                .normalized_multiset()
+                for version in VERSIONS
+            }
+            assert results["v1"] == results["v2"] == results["v3"], str(intent)
+
+    def test_listing1_england_count(self, football):
+        intent = make_intent("prize_count_team", team="England", prize="winner")
+        for version in VERSIONS:
+            result = football[version].execute(compile_intent(intent, version))
+            assert result.rows == [(1,)], version
+
+    def test_second_place_lexical_target(self, football):
+        """'How many times did Germany finish second?'"""
+        intent = make_intent("prize_count_team", team="Germany", prize="runner_up")
+        expected = sum(
+            1
+            for cup in football.universe.world_cups
+            if football.universe.team(cup.runner_up_id).name == "Germany"
+        )
+        for version in VERSIONS:
+            result = football[version].execute(compile_intent(intent, version))
+            assert result.rows == [(expected,)], version
+
+
+class TestStructuralProperties:
+    def test_v3_never_needs_set_operations(self, sampler):
+        for kind in ALL_KINDS:
+            for _ in range(3):
+                intent = sampler.sample_intent(kind)
+                assert analyze_query(compile_ast(intent, "v3")).set_operations == 0, kind
+
+    def test_symmetric_kinds_need_sets_in_v1(self, sampler):
+        intent = sampler.sample_intent("match_score")
+        assert analyze_query(compile_ast(intent, "v1")).set_operations == 1
+        assert analyze_query(compile_ast(intent, "v2")).set_operations == 1
+
+    def test_v2_has_most_joins_on_average(self, sampler):
+        totals = {version: 0 for version in VERSIONS}
+        for kind in ALL_KINDS:
+            intent = sampler.sample_intent(kind)
+            for version in VERSIONS:
+                totals[version] += analyze_query(compile_ast(intent, version)).joins
+        assert totals["v2"] > totals["v1"]
+        assert totals["v2"] > totals["v3"]
+        assert totals["v3"] < totals["v1"]
+
+    def test_unknown_kind_raises(self):
+        from repro.workload import UnsupportedIntentError
+        from repro.workload.intents import Intent
+
+        with pytest.raises(UnsupportedIntentError):
+            compile_intent(Intent("no_such_kind", ()), "v1")
+
+    def test_unknown_version_raises(self, sampler):
+        from repro.workload import UnsupportedIntentError
+
+        with pytest.raises(UnsupportedIntentError):
+            compile_intent(sampler.sample_intent("cup_winner"), "v9")
