@@ -72,3 +72,51 @@ def test_subquery_with_cache(benchmark, football):
     )
     result = benchmark(football["v1"].execute, sql)
     assert result.rows[0][0] > 0
+
+
+# -- plan cache: cached vs uncached repeated execution --------------------------
+#
+# Same SQL both times; the only difference is whether tokenize+parse
+# (and, for the join case, the hash-index build) are amortized.  The
+# measured ratios are recorded in docs/ARCHITECTURE.md.
+
+REPEATED_LOOKUP_SQL = "SELECT teamname FROM national_team WHERE team_id = 7"
+
+REPEATED_JOIN_SQL = (
+    "SELECT T3.full_name FROM player_fact AS T1 "
+    "JOIN national_team AS T2 ON T1.team_id = T2.team_id "
+    "JOIN player AS T3 ON T1.player_id = T3.player_id "
+    "WHERE T2.teamname ILIKE '%Brazil%' AND T1.year = 2002"
+)
+
+
+def test_repeated_lookup_uncached(benchmark, football):
+    db = football["v1"]
+    result = benchmark(db.execute, REPEATED_LOOKUP_SQL, cached=False)
+    assert len(result.rows) == 1
+
+
+def test_repeated_lookup_cached(benchmark, football):
+    db = football["v1"]
+    db.execute(REPEATED_LOOKUP_SQL)  # warm the plan cache
+    result = benchmark(db.execute, REPEATED_LOOKUP_SQL)
+    assert len(result.rows) == 1
+
+
+def test_repeated_join_uncached(benchmark, football):
+    """Plan cache off AND memoized join indexes off: the seed behaviour."""
+    db = football["v1"]
+    executor = db._executor
+    executor.use_join_index = False
+    try:
+        result = benchmark(db.execute, REPEATED_JOIN_SQL, cached=False)
+    finally:
+        executor.use_join_index = True
+    assert len(result.rows) == 23
+
+
+def test_repeated_join_cached(benchmark, football):
+    db = football["v1"]
+    db.execute(REPEATED_JOIN_SQL)  # warm plan cache + join indexes
+    result = benchmark(db.execute, REPEATED_JOIN_SQL)
+    assert len(result.rows) == 23

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Docs link check: every repo path named in the docs must exist.
+
+Scans README.md and docs/*.md for
+
+* markdown links pointing at repository files (``[x](docs/FILE.md)``),
+* inline-code references to repository paths (``src/repro/...``,
+  ``benchmarks/bench_*.py``, ``examples/*.py``, ``scripts/*.py``),
+
+and fails (exit 1) when a referenced path does not exist.  Used by CI
+and by ``tests/test_docs.py``.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+DOC_FILES = ("README.md", "ROADMAP.md", "CHANGES.md")
+DOC_GLOBS = ("docs/*.md",)
+
+#: repo-relative prefixes that make a backticked token a path claim
+PATH_PREFIXES = ("src/", "benchmarks/", "examples/", "scripts/", "docs/", "tests/")
+
+MARKDOWN_LINK = re.compile(r"\[[^\]]+\]\(([^)\s]+)\)")
+INLINE_CODE = re.compile(r"`([^`\n]+)`")
+
+
+def doc_paths() -> List[Path]:
+    paths = [REPO_ROOT / name for name in DOC_FILES if (REPO_ROOT / name).exists()]
+    for pattern in DOC_GLOBS:
+        paths.extend(sorted(REPO_ROOT.glob(pattern)))
+    return paths
+
+
+def referenced_paths(text: str) -> Iterable[str]:
+    for match in MARKDOWN_LINK.finditer(text):
+        target = match.group(1).split("#", 1)[0]  # drop any anchor
+        if target and "://" not in target:  # skip external URLs
+            yield target
+    for match in INLINE_CODE.finditer(text):
+        token = match.group(1).strip()
+        if token.startswith(PATH_PREFIXES) and " " not in token and "*" not in token:
+            yield token
+
+
+def check_file(doc: Path) -> List[Tuple[str, str]]:
+    """(doc name, missing path) for every dangling reference in ``doc``."""
+    missing = []
+    for target in referenced_paths(doc.read_text(encoding="utf-8")):
+        resolved = (doc.parent / target).resolve()
+        in_repo = (REPO_ROOT / target).resolve()
+        if not resolved.exists() and not in_repo.exists():
+            missing.append((doc.name, target))
+    return missing
+
+
+def main() -> int:
+    missing: List[Tuple[str, str]] = []
+    docs = doc_paths()
+    for doc in docs:
+        missing.extend(check_file(doc))
+    if missing:
+        for doc_name, target in missing:
+            print(f"MISSING  {doc_name}: {target}", file=sys.stderr)
+        return 1
+    print(f"docs link check OK ({len(docs)} files scanned)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

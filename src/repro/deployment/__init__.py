@@ -6,7 +6,7 @@ from .labeling import (
     LabelingSuggestion,
     VerifiedPair,
 )
-from .service import ServiceResponse, TextToSQLService
+from .service import ServiceResponse, TextToSQLService, percentile
 from .webapp import InteractionLog, WebBackend
 
 __all__ = [
@@ -18,4 +18,5 @@ __all__ = [
     "TextToSQLService",
     "VerifiedPair",
     "WebBackend",
+    "percentile",
 ]

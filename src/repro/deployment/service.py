@@ -4,14 +4,22 @@ Wires a :class:`TextToSQLSystem` to a database connector: a user
 question goes in, the predicted SQL is executed, and both the SQL and
 its result rows come back — exactly the loop the web back-end exposed
 during the World Cup deployment.
+
+Serving fast path: predicted SQL goes through the database's plan
+cache (Section "query-plan cache" in docs/ARCHITECTURE.md), an
+optional LRU *response* cache short-circuits repeated questions
+entirely, and the service keeps a latency log so operators can read
+p50/p95/p99 off :meth:`TextToSQLService.metrics`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+import threading
+from collections import deque
+from dataclasses import dataclass, replace
+from typing import Any, Deque, Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.sqlengine import Database, EngineError
+from repro.sqlengine import Database, EngineError, LRUCache
 from repro.systems import Prediction, TextToSQLSystem
 
 
@@ -25,22 +33,86 @@ class ServiceResponse:
     rows: Tuple[tuple, ...]
     error: Optional[str]
     latency_seconds: float
+    from_cache: bool = False
 
     @property
     def answered(self) -> bool:
         return self.predicted_sql is not None and self.error is None
 
 
-class TextToSQLService:
-    """predict → execute → respond, with defensive execution."""
+def percentile(sorted_values: Sequence[float], fraction: float) -> float:
+    """Linear-interpolation percentile over pre-sorted values."""
+    if not sorted_values:
+        return 0.0
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    rank = fraction * (len(sorted_values) - 1)
+    low = int(rank)
+    high = min(low + 1, len(sorted_values) - 1)
+    weight = rank - low
+    return sorted_values[low] * (1.0 - weight) + sorted_values[high] * weight
 
-    def __init__(self, system: TextToSQLSystem, database: Database,
-                 max_rows: int = 100) -> None:
+
+class TextToSQLService:
+    """predict → execute → respond, with defensive execution.
+
+    ``response_cache_size`` > 0 enables an LRU keyed on the verbatim
+    question text; only *answered* responses are cached (failures stay
+    retryable).  A cache hit is served at zero latency, which is the
+    realistic deployment behaviour the Table 7 latency discussion
+    assumes for repeated World Cup questions.  The cache assumes the
+    serving database is read-only (the deployment model of Figure 2);
+    after mutating the database, call :meth:`clear_response_cache` or
+    stale rows will keep being served.
+
+    Latency percentiles are computed over a sliding window of the most
+    recent ``latency_window`` responses, so a long-running service
+    stays at constant memory and :meth:`metrics` reflects current
+    behaviour rather than all-time history.
+    """
+
+    DEFAULT_LATENCY_WINDOW = 8192
+
+    def __init__(
+        self,
+        system: TextToSQLSystem,
+        database: Database,
+        max_rows: int = 100,
+        response_cache_size: int = 0,
+        latency_window: int = DEFAULT_LATENCY_WINDOW,
+    ) -> None:
         self.system = system
         self.database = database
         self.max_rows = max_rows
+        self.response_cache: Optional[LRUCache] = (
+            LRUCache(response_cache_size) if response_cache_size else None
+        )
+        self._latencies: Deque[float] = deque(maxlen=latency_window)
+        self._questions_served = 0
+        self._questions_answered = 0
+        # guards the counters and latency log under concurrent ask()
+        self._metrics_lock = threading.Lock()
 
     def ask(self, question: str) -> ServiceResponse:
+        if self.response_cache is not None:
+            cached = self.response_cache.get(question)
+            if cached is not None:
+                return self._record(replace(cached, from_cache=True, latency_seconds=0.0))
+        response = self._answer(question)
+        if self.response_cache is not None and response.answered:
+            self.response_cache.put(question, response)
+        return self._record(response)
+
+    def ask_many(self, questions: Iterable[str]) -> List[ServiceResponse]:
+        """Batched serving: one response per question, in order.
+
+        Repeated questions within the batch hit the response cache and
+        repeated predicted SQL hits the engine's plan cache, so large
+        batches amortize both parse and prediction work.
+        """
+        return [self.ask(question) for question in questions]
+
+    def _answer(self, question: str) -> ServiceResponse:
         prediction: Prediction = self.system.predict(question)
         if prediction.sql is None:
             return ServiceResponse(
@@ -70,3 +142,45 @@ class TextToSQLService:
             error=None,
             latency_seconds=prediction.latency_seconds,
         )
+
+    def _record(self, response: ServiceResponse) -> ServiceResponse:
+        with self._metrics_lock:
+            self._questions_served += 1
+            if response.answered:
+                self._questions_answered += 1
+            self._latencies.append(response.latency_seconds)
+        return response
+
+    def clear_response_cache(self) -> None:
+        """Drop all cached responses (call after mutating the database)."""
+        if self.response_cache is not None:
+            self.response_cache.clear()
+
+    # -- observability -------------------------------------------------------
+    def metrics(self) -> Dict[str, Any]:
+        """Service-level counters and latency percentiles.
+
+        Percentiles cover the most recent ``latency_window`` responses,
+        cache hits included (at 0.0s) — the distribution a load
+        balancer in front of this service would observe.
+        """
+        with self._metrics_lock:
+            latencies = sorted(self._latencies)
+            served = self._questions_served
+            answered = self._questions_answered
+        count = len(latencies)
+        cache_stats = (
+            self.response_cache.stats() if self.response_cache is not None else None
+        )
+        return {
+            "questions_served": served,
+            "questions_answered": answered,
+            "answer_rate": answered / served if served else 0.0,
+            "latency_window_size": count,
+            "mean_latency_seconds": sum(latencies) / count if count else 0.0,
+            "p50_latency_seconds": percentile(latencies, 0.50),
+            "p95_latency_seconds": percentile(latencies, 0.95),
+            "p99_latency_seconds": percentile(latencies, 0.99),
+            "response_cache": cache_stats,
+            "plan_cache": self.database.plan_cache_stats(),
+        }

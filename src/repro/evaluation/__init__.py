@@ -2,6 +2,13 @@
 
 from .execution import EXECUTION_ERROR, ExecutionEvaluator
 from .harness import EvaluationResult, Harness, QuestionOutcome
+from .parallel import (
+    GridConfig,
+    GridSummary,
+    ParallelHarness,
+    default_worker_count,
+    fold_statistics,
+)
 from .experiments import (
     GPT_FOLDS,
     GPT_SHOTS,
@@ -28,15 +35,20 @@ __all__ = [
     "ExecutionEvaluator",
     "GPT_FOLDS",
     "GPT_SHOTS",
+    "GridConfig",
+    "GridSummary",
     "Harness",
     "LLAMA_FOLDS",
     "LLAMA_SHOTS",
+    "ParallelHarness",
     "QuestionOutcome",
     "TRAIN_SIZES",
     "TestSuiteEvaluator",
     "TestSuiteVerdict",
+    "default_worker_count",
     "figure7",
     "figure8",
+    "fold_statistics",
     "format_mean_std",
     "format_percent",
     "keys_ablation",

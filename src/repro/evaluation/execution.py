@@ -27,11 +27,22 @@ EXECUTION_ERROR = ("__execution_error__",)
 
 
 class ExecutionEvaluator:
-    """EX comparisons against one database, with a result cache."""
+    """EX comparisons against one database, with a result cache.
 
-    def __init__(self, database: Database) -> None:
+    ``cache`` lets callers share one result mapping between evaluator
+    instances (the parallel harness hands every worker clone the same
+    per-version dict, so gold queries execute once fleet-wide, not once
+    per worker).  Values are immutable and keys are SQL strings, so
+    plain dict get/set is safe under concurrent CPython access; a
+    racing duplicate execution only wastes work, never changes a
+    verdict.
+    """
+
+    def __init__(
+        self, database: Database, cache: Optional[Dict[str, object]] = None
+    ) -> None:
         self.database = database
-        self._cache: Dict[str, object] = {}
+        self._cache: Dict[str, object] = cache if cache is not None else {}
         self.executed = 0
         self.cache_hits = 0
 

@@ -8,7 +8,6 @@ one source of truth.
 
 from __future__ import annotations
 
-import statistics
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.footballdb import VERSIONS
@@ -21,6 +20,7 @@ from repro.systems import (
 )
 
 from .harness import EvaluationResult, Harness
+from .parallel import GridConfig, fold_statistics
 
 TRAIN_SIZES = (0, 100, 200, 300)
 GPT_SHOTS = (0, 10, 20, 30)
@@ -39,53 +39,73 @@ def table5(
     harness: Harness,
     versions: Sequence[str] = VERSIONS,
     train_sizes: Sequence[int] = TRAIN_SIZES,
+    max_workers: Optional[int] = None,
 ) -> Dict[Tuple[str, int, str], float]:
     """(version, train_size, system name) -> execution accuracy."""
-    accuracies: Dict[Tuple[str, int, str], float] = {}
-    for version in versions:
-        for train_size in train_sizes:
-            for system_cls in FINE_TUNED:
-                result = harness.evaluate(system_cls, version, train_size=train_size)
-                accuracies[(version, train_size, result.system)] = result.accuracy
-    return accuracies
+    grid = [
+        GridConfig.make(system_cls, version, train_size=train_size)
+        for version in versions
+        for train_size in train_sizes
+        for system_cls in FINE_TUNED
+    ]
+    results, _ = harness.evaluate_grid(grid, max_workers=max_workers)
+    return {
+        (config.version, config.train_size, result.system): result.accuracy
+        for config, result in zip(grid, results)
+    }
 
 
 # -- Table 6: LLMs with shot folds -------------------------------------------------
 
 
 def table6(
-    harness: Harness, versions: Sequence[str] = VERSIONS
+    harness: Harness,
+    versions: Sequence[str] = VERSIONS,
+    max_workers: Optional[int] = None,
 ) -> Dict[Tuple[str, int, str], Tuple[float, float]]:
-    """(version, shots, system name) -> (mean accuracy, std over folds)."""
-    results: Dict[Tuple[str, int, str], Tuple[float, float]] = {}
+    """(version, shots, system name) -> (mean accuracy, std over folds).
+
+    All (system, version, shots, fold) cells go through one
+    ``evaluate_grid`` call; folds of the same cell are then aggregated.
+    Zero-shot rows have a single fold, whose spread is 0.0 by
+    definition — identical to the serial formulation.
+    """
+    grid: List[GridConfig] = []
     for system_cls, shot_grid, folds in LLMS:
-        name = system_cls.spec.name
         for version in versions:
             for shots in shot_grid:
-                if shots == 0:
-                    result = harness.evaluate(system_cls, version, shots=0, fold=0)
-                    results[(version, 0, name)] = (result.accuracy, 0.0)
-                else:
-                    mean, spread, _ = harness.evaluate_folds(
-                        system_cls, version, shots=shots, folds=folds
-                    )
-                    results[(version, shots, name)] = (mean, spread)
-    return results
+                fold_count = 1 if shots == 0 else folds
+                grid.extend(
+                    GridConfig.make(system_cls, version, shots=shots, fold=fold)
+                    for fold in range(fold_count)
+                )
+    results, _ = harness.evaluate_grid(grid, max_workers=max_workers)
+    grouped: Dict[Tuple[str, int, str], List[EvaluationResult]] = {}
+    for config, result in zip(grid, results):
+        key = (config.version, config.shots, result.system)
+        grouped.setdefault(key, []).append(result)
+    return {key: fold_statistics(folds) for key, folds in grouped.items()}
 
 
 # -- Table 7: inference time ---------------------------------------------------------
 
 
-def table7(harness: Harness, version: str = "v1") -> Dict[str, Tuple[float, float]]:
+def table7(
+    harness: Harness, version: str = "v1", max_workers: Optional[int] = None
+) -> Dict[str, Tuple[float, float]]:
     """system name -> (mean latency, std) at full training budget."""
-    latencies: Dict[str, Tuple[float, float]] = {}
-    for system_cls in FINE_TUNED:
-        result = harness.evaluate(system_cls, version, train_size=300)
-        latencies[result.system] = (result.mean_latency, result.latency_stdev)
-    for system_cls, shot_grid, _ in LLMS:
-        result = harness.evaluate(system_cls, version, shots=shot_grid[-1], fold=0)
-        latencies[result.system] = (result.mean_latency, result.latency_stdev)
-    return latencies
+    grid = [
+        GridConfig.make(system_cls, version, train_size=300)
+        for system_cls in FINE_TUNED
+    ] + [
+        GridConfig.make(system_cls, version, shots=shot_grid[-1], fold=0)
+        for system_cls, shot_grid, _ in LLMS
+    ]
+    results, _ = harness.evaluate_grid(grid, max_workers=max_workers)
+    return {
+        result.system: (result.mean_latency, result.latency_stdev)
+        for result in results
+    }
 
 
 # -- Figures 7 and 8 --------------------------------------------------------------------

@@ -60,6 +60,8 @@ class EvaluationResult:
 
     @property
     def mean_latency(self) -> float:
+        if not self.outcomes:
+            return 0.0
         return statistics.fmean(o.latency_seconds for o in self.outcomes)
 
     @property
@@ -97,17 +99,36 @@ class EvaluationResult:
 
 
 class Harness:
-    """Runs evaluation configurations over one FootballDB + benchmark."""
+    """Runs evaluation configurations over one FootballDB + benchmark.
 
-    def __init__(self, football: FootballDB, dataset: BenchmarkDataset) -> None:
+    ``result_caches`` optionally maps version -> shared EX-result dict;
+    the parallel harness passes one mapping to every worker clone so
+    the expensive gold-query executions are shared fleet-wide.
+    """
+
+    def __init__(
+        self,
+        football: FootballDB,
+        dataset: BenchmarkDataset,
+        result_caches: Optional[Dict[str, Dict[str, object]]] = None,
+    ) -> None:
         self.football = football
         self.dataset = dataset
         self._evaluators: Dict[str, ExecutionEvaluator] = {}
         self._oracles: Dict[str, GoldOracle] = {}
+        self._result_caches = result_caches
+        self._grid_runner: Optional["ParallelHarness"] = None
 
     def evaluator(self, version: str) -> ExecutionEvaluator:
         if version not in self._evaluators:
-            self._evaluators[version] = ExecutionEvaluator(self.football[version])
+            shared = (
+                self._result_caches.setdefault(version, {})
+                if self._result_caches is not None
+                else None
+            )
+            self._evaluators[version] = ExecutionEvaluator(
+                self.football[version], cache=shared
+            )
         return self._evaluators[version]
 
     def oracle(self, version: str) -> GoldOracle:
@@ -182,20 +203,63 @@ class Harness:
             )
         return result
 
+    def evaluate_grid(
+        self,
+        configs: Sequence["GridConfig"],
+        max_workers: Optional[int] = None,
+    ) -> Tuple[List[EvaluationResult], "GridSummary"]:
+        """Evaluate a configuration grid concurrently.
+
+        Fans ``configs`` across a thread pool of pooled harness clones
+        (see :mod:`repro.evaluation.parallel`); results are
+        byte-identical to a serial loop over :meth:`evaluate` and come
+        back in input order, together with a wall-clock summary.
+        ``max_workers=1`` forces the serial path.
+
+        The runner is created once per harness and its clone pool is
+        seeded with ``self``, so repeated sweeps keep reusing this
+        harness's warm evaluator caches (a 1-worker grid is then
+        exactly the historical serial loop).
+        """
+        from .parallel import ParallelHarness
+
+        if self._grid_runner is None:
+            self._grid_runner = ParallelHarness(self.football, self.dataset)
+            self._grid_runner.seed_pool(self)
+        return self._grid_runner.run(configs, max_workers=max_workers)
+
     def evaluate_folds(
         self,
         system_cls: Type[TextToSQLSystem],
         version: str,
         shots: int,
         folds: int,
-        **kwargs,
+        max_workers: Optional[int] = None,
+        **system_kwargs,
     ) -> Tuple[float, float, List[EvaluationResult]]:
-        """Mean accuracy and population std-dev over ``folds`` runs."""
-        results = [
-            self.evaluate(system_cls, version, shots=shots, fold=fold, **kwargs)
+        """Mean accuracy and population std-dev over ``folds`` runs.
+
+        Folds are independent configurations, so they run through
+        :meth:`evaluate_grid`; ``system_kwargs`` are forwarded to the
+        system constructor (ablation switches).  ``train_pairs`` /
+        ``examples`` overrides are not grid-able — call
+        :meth:`evaluate` per fold for those.
+        """
+        from .parallel import GridConfig, fold_statistics
+
+        for reserved in ("train_pairs", "examples"):
+            if reserved in system_kwargs:
+                raise TypeError(
+                    f"evaluate_folds no longer forwards {reserved!r}; "
+                    "call evaluate() per fold instead"
+                )
+
+        configs = [
+            GridConfig.make(
+                system_cls, version, shots=shots, fold=fold, **system_kwargs
+            )
             for fold in range(folds)
         ]
-        accuracies = [result.accuracy for result in results]
-        mean = statistics.fmean(accuracies)
-        spread = statistics.pstdev(accuracies) if len(accuracies) > 1 else 0.0
+        results, _ = self.evaluate_grid(configs, max_workers=max_workers)
+        mean, spread = fold_statistics(results)
         return mean, spread, results

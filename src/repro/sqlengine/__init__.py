@@ -66,6 +66,7 @@ from .errors import (
 from .executor import Executor, Result
 from .formatter import format_expression, format_literal, format_query
 from .parser import parse_sql
+from .plan_cache import DEFAULT_PLAN_CACHE_SIZE, LRUCache, PlanCache, normalize_sql
 from .tokenizer import Token, TokenType, tokenize
 from .values import SqlType, normalize_for_comparison
 
@@ -78,6 +79,7 @@ __all__ = [
     "ColumnRef",
     "Conjunction",
     "ConstraintError",
+    "DEFAULT_PLAN_CACHE_SIZE",
     "Database",
     "EngineError",
     "ExecutionError",
@@ -90,10 +92,12 @@ __all__ = [
     "IsNullOp",
     "Join",
     "JoinKind",
+    "LRUCache",
     "LikeOp",
     "Literal",
     "OrderItem",
     "ParseError",
+    "PlanCache",
     "QueryNode",
     "Result",
     "ScalarSubquery",
@@ -119,6 +123,7 @@ __all__ = [
     "iter_subqueries",
     "make_column",
     "normalize_for_comparison",
+    "normalize_sql",
     "parse_sql",
     "tokenize",
 ]

@@ -16,6 +16,7 @@ nested-loop evaluation.
 from __future__ import annotations
 
 import re
+import threading
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from . import functions as fn
@@ -158,13 +159,27 @@ class Executor:
 
     def __init__(self, storage: Storage) -> None:
         self.storage = storage
+        # Memoized hash-join indexes live in TableData; disable to
+        # benchmark the per-execution index build.
+        self.use_join_index = True
         # Per-statement cache of *uncorrelated* subquery results, so a
         # scalar subquery in WHERE runs once, not once per outer row.
-        self._subquery_cache: Dict[int, Optional[Result]] = {}
+        # Thread-local: the parallel harness executes concurrently
+        # against one shared executor, and statements must not clear
+        # each other's in-flight caches.
+        self._local = threading.local()
+
+    @property
+    def _subquery_cache(self) -> Dict[int, Optional[Result]]:
+        cache = getattr(self._local, "subquery_cache", None)
+        if cache is None:
+            cache = {}
+            self._local.subquery_cache = cache
+        return cache
 
     # -- public entry point -------------------------------------------------
     def execute(self, query: QueryNode) -> Result:
-        self._subquery_cache = {}
+        self._local.subquery_cache = {}
         return self._execute(query, outer=None)
 
     def _execute_subquery(self, query: QueryNode, scope: Scope) -> Result:
@@ -415,13 +430,16 @@ class Executor:
         outer: Optional[Scope],
     ) -> List[Frame]:
         table = data.table
-        positions = [table.column_position(column) for _, column in equi_pairs]
-        index: Dict[tuple, List[tuple]] = {}
-        for row in data.rows:
-            key = tuple(normalize_for_comparison(row[p]) for p in positions)
-            if any(part is None for part in key):
-                continue  # NULLs never match an equi-join
-            index.setdefault(key, []).append(row)
+        positions = tuple(table.column_position(column) for _, column in equi_pairs)
+        if self.use_join_index:
+            index = data.join_index(positions)
+        else:
+            index = {}
+            for row in data.rows:
+                key = tuple(normalize_for_comparison(row[p]) for p in positions)
+                if any(part is None for part in key):
+                    continue  # NULLs never match an equi-join
+                index.setdefault(key, []).append(row)
         binding = join.table.binding
         joined: List[Frame] = []
         for frame in frames:

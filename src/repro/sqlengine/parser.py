@@ -50,10 +50,23 @@ from .tokenizer import Token, TokenType, tokenize
 _COMPARISON_OPS = ("=", "<>", "!=", "<", "<=", ">", ">=")
 
 
-def parse_sql(sql: str) -> QueryNode:
-    """Parse ``sql`` into a query AST (the module's main entry point)."""
+def parse_sql(sql: str, cache=None) -> QueryNode:
+    """Parse ``sql`` into a query AST (the module's main entry point).
+
+    ``cache`` is an optional :class:`~repro.sqlengine.plan_cache.PlanCache`;
+    when given, a hit returns the previously parsed AST without
+    re-tokenizing, and successful parses are stored for the next call.
+    Parse errors are never cached.
+    """
+    if cache is not None:
+        plan = cache.get_plan(sql)
+        if plan is not None:
+            return plan
     parser = Parser(tokenize(sql))
-    return parser.parse_statement()
+    query = parser.parse_statement()
+    if cache is not None:
+        cache.put_plan(sql, query)
+    return query
 
 
 class Parser:

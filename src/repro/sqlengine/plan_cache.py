@@ -1,0 +1,154 @@
+"""Query-plan cache: normalized SQL text -> parsed AST.
+
+The evaluation harness executes the same gold/predicted SQL strings
+thousands of times across systems, train sizes and folds, and the
+deployed service sees heavy repetition in real user traffic.  Caching
+the parsed AST keyed on a whitespace-normalized form of the SQL text
+lets every repeat skip tokenize+parse entirely.
+
+Two layers cooperate:
+
+* :class:`PlanCache` (here) — an LRU of parsed ASTs owned by each
+  :class:`~repro.sqlengine.database.Database`;
+* ``TableData.join_index`` (:mod:`repro.sqlengine.storage`) — memoized
+  hash-join key indexes, maintained incrementally on insert, so
+  repeated equi-joins skip the O(rows) build as well.
+
+Normalization mirrors the tokenizer exactly: whitespace and ``--``
+line comments outside quoted regions collapse to a single separator,
+quoted regions (``'...'`` literals and ``"..."`` identifiers) are
+preserved byte for byte, and one trailing semicolon is dropped (the
+parser accepts at most one).  These are precisely the variations that
+cannot change the token stream, so two queries sharing a cache key
+always parse to the same AST.  ASTs are never mutated by the
+executor, so one cached plan can be executed concurrently by many
+threads.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Hashable, Optional
+
+DEFAULT_PLAN_CACHE_SIZE = 256
+
+
+def normalize_sql(sql: str) -> str:
+    """Canonical cache key for ``sql``.
+
+    Follows the tokenizer's lexical rules: whitespace runs and ``--``
+    comments (to end of line) outside quoted regions become one
+    separator, ``'...'`` string literals and ``"..."`` quoted
+    identifiers are copied byte for byte (so ``'a  b'`` and ``'a b'``
+    never collide), and one trailing semicolon is dropped.  A comment
+    without a terminating newline swallows the rest of the statement,
+    exactly as the tokenizer does.
+    """
+    out = []
+    pending_space = False
+    index = 0
+    length = len(sql)
+    while index < length:
+        char = sql[index]
+        if char.isspace():
+            pending_space = True
+            index += 1
+            continue
+        if char == "-" and sql.startswith("--", index):
+            newline = sql.find("\n", index)
+            index = length if newline < 0 else newline + 1
+            pending_space = True
+            continue
+        if pending_space and out:
+            out.append(" ")
+        pending_space = False
+        if char in ("'", '"'):
+            end = index + 1
+            while end < length and sql[end] != char:
+                end += 1
+            end = min(end + 1, length)  # include the closing quote
+            out.append(sql[index:end])
+            index = end
+            continue
+        out.append(char)
+        index += 1
+    text = "".join(out)
+    if text.endswith(";"):
+        text = text[:-1].rstrip()
+    return text
+
+
+class LRUCache:
+    """Thread-safe bounded LRU mapping with hit/miss/eviction counters.
+
+    Generic substrate shared by the plan cache and the deployment
+    response cache.  ``get`` on a missing key returns ``None`` (values
+    are never ``None`` in practice — both users cache real objects).
+    """
+
+    def __init__(self, capacity: int = DEFAULT_PLAN_CACHE_SIZE) -> None:
+        if capacity <= 0:
+            raise ValueError(f"cache capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        with self._lock:
+            try:
+                value = self._entries[key]
+            except KeyError:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        """Membership probe that does not touch recency or counters."""
+        with self._lock:
+            return key in self._entries
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            hits, misses = self.hits, self.misses
+            lookups = hits + misses
+            return {
+                "size": len(self._entries),
+                "capacity": self.capacity,
+                "hits": hits,
+                "misses": misses,
+                "evictions": self.evictions,
+                "hit_rate": hits / lookups if lookups else 0.0,
+            }
+
+
+class PlanCache(LRUCache):
+    """LRU of parsed query ASTs keyed on :func:`normalize_sql` text."""
+
+    def get_plan(self, sql: str) -> Optional[Any]:
+        return self.get(normalize_sql(sql))
+
+    def put_plan(self, sql: str, plan: Any) -> None:
+        self.put(normalize_sql(sql), plan)

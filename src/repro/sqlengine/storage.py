@@ -7,11 +7,12 @@ FootballDB load stay O(1) per row.
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from .catalog import Schema, Table
 from .errors import CatalogError, ConstraintError
-from .values import coerce
+from .values import coerce, normalize_for_comparison
 
 
 class TableData:
@@ -26,6 +27,10 @@ class TableData:
         self._pk_seen: Set[tuple] = set()
         # column position -> set of values, built on demand
         self._value_sets: Dict[int, Set[Any]] = {}
+        # key-column positions -> {normalized key: rows}, built on demand
+        self._join_indexes: Dict[Tuple[int, ...], Dict[tuple, List[tuple]]] = {}
+        # serializes cold index builds when grid workers share a table
+        self._index_lock = threading.Lock()
 
     def insert(self, row: Sequence[Any]) -> tuple:
         if len(row) != len(self.table.columns):
@@ -51,7 +56,63 @@ class TableData:
         self.rows.append(typed)
         for position, values in self._value_sets.items():
             values.add(typed[position])
+        for positions, index in self._join_indexes.items():
+            key = self._join_key(typed, positions)
+            if key is not None:
+                index.setdefault(key, []).append(typed)
         return typed
+
+    def rollback_last(self) -> tuple:
+        """Undo the most recent :meth:`insert` (FK-violation recovery).
+
+        Removes the row from the cached join indexes and the PK set;
+        value sets are rebuilt lazily because set membership cannot
+        tell whether an earlier row contributed the same value.
+        """
+        typed = self.rows.pop()
+        if self._pk_positions:
+            self._pk_seen.discard(
+                tuple(typed[position] for position in self._pk_positions)
+            )
+        self._value_sets.clear()
+        for positions, index in self._join_indexes.items():
+            key = self._join_key(typed, positions)
+            if key is not None:
+                bucket = index.get(key)
+                if bucket:
+                    bucket.pop()
+                    if not bucket:
+                        del index[key]
+        return typed
+
+    @staticmethod
+    def _join_key(row: tuple, positions: Tuple[int, ...]) -> Optional[tuple]:
+        key = tuple(normalize_for_comparison(row[p]) for p in positions)
+        if any(part is None for part in key):
+            return None  # NULLs never match an equi-join
+        return key
+
+    def join_index(self, positions: Tuple[int, ...]) -> Dict[tuple, List[tuple]]:
+        """Memoized hash-join index over ``positions`` (normalized keys).
+
+        Built once per key-column combination and maintained
+        incrementally by :meth:`insert`, so the executor's repeated
+        equi-joins skip the O(rows) build after the first execution.
+        Double-checked locking keeps concurrent cold-start workers from
+        each paying the O(rows) build.
+        """
+        index = self._join_indexes.get(positions)
+        if index is None:
+            with self._index_lock:
+                index = self._join_indexes.get(positions)
+                if index is None:
+                    index = {}
+                    for row in self.rows:
+                        key = self._join_key(row, positions)
+                        if key is not None:
+                            index.setdefault(key, []).append(row)
+                    self._join_indexes[positions] = index
+        return index
 
     def column_values(self, column: str) -> Set[Any]:
         """The set of values present in ``column`` (cached)."""
@@ -101,7 +162,7 @@ class Storage:
                 if value is None:
                     continue
                 if value not in self._tables[ref_table].column_values(ref_column):
-                    data.rows.pop()
+                    data.rollback_last()
                     raise ConstraintError(
                         f"FK violation: {table_name}.{data.table.columns[position].name}"
                         f"={value!r} not present in {ref_table}.{ref_column}"

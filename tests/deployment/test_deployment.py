@@ -7,6 +7,7 @@ from repro.deployment import (
     LabelingPipeline,
     TextToSQLService,
     WebBackend,
+    percentile,
 )
 from repro.footballdb import build_universe, load_all
 from repro.systems import GoldOracle, T5PicardKeys
@@ -52,6 +53,112 @@ class TestService:
     def test_latency_reported(self, backend):
         response = backend.ask("Who won the world cup in 2018?")
         assert response["latency_seconds"] > 0
+
+
+class StubSystem:
+    """Deterministic system double: answers known questions, fails others.
+
+    Duck-types the ``predict`` surface the service consumes, so the
+    cache tests assert unconditionally instead of depending on a real
+    system's competence draw.
+    """
+
+    def __init__(self, answers):
+        self.answers = answers
+        self.predictions = 0
+
+    def predict(self, question):
+        from repro.systems import Prediction
+
+        self.predictions += 1
+        sql = self.answers.get(question)
+        if sql is None:
+            return Prediction(sql=None, failure="no_candidate", latency_seconds=0.1)
+        return Prediction(sql=sql, latency_seconds=0.5)
+
+
+class TestBatchedServing:
+    GOOD = "How many teams are there?"
+    BAD = "completely unanswerable gibberish zzz?"
+
+    @pytest.fixture()
+    def stub_service(self, football):
+        database = football["v3"]
+        table = database.schema.tables[0].name
+        system = StubSystem({self.GOOD: f"SELECT count(*) FROM {table}"})
+        return TextToSQLService(system, database, response_cache_size=32)
+
+    @pytest.fixture()
+    def service(self, football, dataset):
+        database = football["v3"]
+        system = T5PicardKeys(database, GoldOracle(dataset.gold_lookup("v3")))
+        system.fine_tune(dataset.train_pairs("v3", limit=50))
+        return TextToSQLService(system, database, response_cache_size=32)
+
+    def test_ask_many_preserves_order(self, service, dataset):
+        questions = [example.question for example in dataset.test_examples[:5]]
+        responses = service.ask_many(questions)
+        assert [r.question for r in responses] == questions
+
+    def test_repeated_question_served_from_cache(self, stub_service):
+        first = stub_service.ask(self.GOOD)
+        second = stub_service.ask(self.GOOD)
+        assert first.answered and not first.from_cache
+        assert second.from_cache
+        assert second.latency_seconds == 0.0
+        assert second.rows == first.rows
+        assert stub_service.response_cache.hits == 1
+        assert stub_service.system.predictions == 1  # second ask never predicts
+
+    def test_failures_are_not_cached(self, stub_service):
+        first = stub_service.ask(self.BAD)
+        second = stub_service.ask(self.BAD)
+        assert not first.answered
+        assert not second.from_cache
+        assert stub_service.system.predictions == 2  # both asks re-predict
+
+    def test_metrics_shape(self, stub_service):
+        stub_service.ask_many([self.GOOD, self.BAD, self.GOOD, self.GOOD])
+        metrics = stub_service.metrics()
+        assert metrics["questions_served"] == 4
+        assert metrics["questions_answered"] == 3
+        assert metrics["answer_rate"] == pytest.approx(0.75)
+        assert (
+            metrics["p50_latency_seconds"]
+            <= metrics["p95_latency_seconds"]
+            <= metrics["p99_latency_seconds"]
+        )
+        assert metrics["response_cache"]["hits"] == 2
+        assert metrics["plan_cache"]["capacity"] > 0
+
+    def test_clear_response_cache(self, stub_service):
+        stub_service.ask(self.GOOD)
+        assert len(stub_service.response_cache) == 1
+        stub_service.clear_response_cache()
+        assert len(stub_service.response_cache) == 0
+        refreshed = stub_service.ask(self.GOOD)
+        assert not refreshed.from_cache
+
+    def test_metrics_empty_service(self, football):
+        service = TextToSQLService(StubSystem({}), football["v3"])
+        metrics = service.metrics()
+        assert metrics["questions_served"] == 0
+        assert metrics["p99_latency_seconds"] == 0.0
+        assert metrics["response_cache"] is None
+
+
+class TestPercentile:
+    def test_empty(self):
+        assert percentile([], 0.95) == 0.0
+
+    def test_single_value(self):
+        assert percentile([3.0], 0.5) == 3.0
+
+    def test_interpolation(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 0.5) == pytest.approx(2.5)
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 1.0) == 4.0
 
 
 class TestFeedbackRoutes:

@@ -2,9 +2,27 @@
 
 import pytest
 
-from repro.evaluation import Harness
+from repro.evaluation import EvaluationResult, Harness
 from repro.evaluation.experiments import keys_ablation, picard_ablation, value_finder_ablation
 from repro.systems import GPT35, Llama2, T5Picard, T5PicardKeys, ValueNet
+
+
+class TestEvaluationResultEmpty:
+    """Aggregates over zero outcomes must degrade, not raise."""
+
+    def test_empty_mean_latency_is_zero(self):
+        result = EvaluationResult(
+            system="T5-Picard", version="v1", train_size=0, shots=None, fold=0
+        )
+        assert result.mean_latency == 0.0
+
+    def test_empty_accuracy_and_spread(self):
+        result = EvaluationResult(
+            system="T5-Picard", version="v1", train_size=0, shots=None, fold=0
+        )
+        assert result.accuracy == 0.0
+        assert result.generation_rate == 0.0
+        assert result.latency_stdev == 0.0
 
 
 class TestEvaluate:

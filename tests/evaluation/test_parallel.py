@@ -1,0 +1,136 @@
+"""Parallel grid evaluation: determinism, ordering, summaries.
+
+The grid runs are expensive (each configuration fine-tunes a system
+and evaluates the full test split), so serial and parallel sweeps are
+computed once in module-scoped fixtures and every assertion reads from
+them.
+"""
+
+import pytest
+
+from repro.evaluation import GridConfig, GridSummary, default_worker_count
+from repro.systems import GPT35, Llama2, T5Picard
+
+
+def outcome_fingerprint(result):
+    """Everything observable about one configuration's outcomes."""
+    return (
+        result.system,
+        result.version,
+        result.train_size,
+        result.shots,
+        result.fold,
+        tuple(result.outcomes),
+    )
+
+
+SMALL_GRID = (
+    GridConfig.make(GPT35, "v1", shots=10, fold=0),
+    GridConfig.make(GPT35, "v1", shots=10, fold=1),
+    GridConfig.make(Llama2, "v3", shots=4, fold=0),
+    GridConfig.make(T5Picard, "v2", train_size=100),
+)
+
+
+@pytest.fixture(scope="module")
+def serial_results(harness):
+    return [
+        harness.evaluate(
+            config.system_cls,
+            config.version,
+            train_size=config.train_size,
+            shots=config.shots,
+            fold=config.fold,
+        )
+        for config in SMALL_GRID
+    ]
+
+
+@pytest.fixture(scope="module")
+def parallel_run(harness):
+    return harness.evaluate_grid(SMALL_GRID, max_workers=4)
+
+
+@pytest.fixture(scope="module")
+def parallel_run_two_workers(harness):
+    return harness.evaluate_grid(SMALL_GRID, max_workers=2)
+
+
+class TestEvaluateGrid:
+    def test_parallel_equals_serial(self, serial_results, parallel_run):
+        """Acceptance: byte-identical results regardless of worker count."""
+        results, summary = parallel_run
+        assert [outcome_fingerprint(r) for r in results] == [
+            outcome_fingerprint(r) for r in serial_results
+        ]
+        assert summary.configs == len(SMALL_GRID)
+
+    def test_worker_count_does_not_change_results(
+        self, parallel_run, parallel_run_two_workers
+    ):
+        first, _ = parallel_run
+        second, _ = parallel_run_two_workers
+        assert [outcome_fingerprint(r) for r in first] == [
+            outcome_fingerprint(r) for r in second
+        ]
+
+    def test_results_in_input_order(self, parallel_run):
+        results, _ = parallel_run
+        for config, result in zip(SMALL_GRID, results):
+            assert result.system == config.system_cls.spec.name
+            assert result.version == config.version
+            assert result.fold == config.fold
+
+    def test_summary_accounting(self, dataset, parallel_run_two_workers):
+        results, summary = parallel_run_two_workers
+        assert isinstance(summary, GridSummary)
+        assert summary.questions == sum(len(r.outcomes) for r in results)
+        assert summary.questions == len(SMALL_GRID) * len(dataset.test_examples)
+        assert summary.wall_seconds > 0
+        assert summary.workers == 2
+        assert summary.questions_per_second > 0
+        assert "workers" in summary.describe()
+
+
+class TestEvaluateFolds:
+    def test_folds_match_manual_loop(self, harness, serial_results):
+        """The grid rewrite must reproduce the historical fold seeds.
+
+        ``serial_results[0:2]`` are GPT-3.5 v1 shots=10 folds 0 and 1,
+        evaluated through plain ``Harness.evaluate`` — the exact values
+        ``evaluate_folds`` must return for its first two folds.
+        """
+        mean, spread, results = harness.evaluate_folds(
+            GPT35, "v1", shots=10, folds=2, max_workers=2
+        )
+        assert [r.accuracy for r in results] == [
+            r.accuracy for r in serial_results[:2]
+        ]
+        accuracies = [r.accuracy for r in results]
+        assert mean == pytest.approx(sum(accuracies) / len(accuracies))
+        assert spread >= 0.0
+
+
+class TestGridConfig:
+    def test_make_sorts_system_kwargs(self):
+        config = GridConfig.make(T5Picard, "v1", train_size=100, b=2, a=1)
+        assert config.system_kwargs == (("a", 1), ("b", 2))
+
+    def test_label_mentions_budget(self):
+        shots = GridConfig.make(GPT35, "v1", shots=10, fold=2)
+        train = GridConfig.make(T5Picard, "v3", train_size=300)
+        assert "shots=10" in shots.label() and "fold=2" in shots.label()
+        assert "train=300" in train.label()
+
+    def test_hashable(self):
+        a = GridConfig.make(GPT35, "v1", shots=10)
+        b = GridConfig.make(GPT35, "v1", shots=10)
+        assert len({a, b}) == 1
+
+
+class TestWorkerCount:
+    def test_bounded_by_grid_size(self):
+        assert default_worker_count(1) == 1
+
+    def test_at_least_one(self):
+        assert default_worker_count(0) == 1

@@ -1,0 +1,293 @@
+"""Plan cache: normalization, LRU semantics, equivalence and speedup."""
+
+import threading
+import time
+
+import pytest
+
+from repro.sqlengine import (
+    Database,
+    LRUCache,
+    PlanCache,
+    Schema,
+    make_column,
+    normalize_sql,
+    parse_sql,
+)
+
+
+class TestNormalizeSql:
+    def test_collapses_whitespace(self):
+        assert normalize_sql("SELECT  a\n FROM\t t") == "SELECT a FROM t"
+
+    def test_preserves_string_literals(self):
+        a = normalize_sql("SELECT * FROM t WHERE x = 'a  b'")
+        b = normalize_sql("SELECT * FROM t WHERE x = 'a b'")
+        assert a != b
+        assert "'a  b'" in a
+
+    def test_strips_one_trailing_semicolon(self):
+        assert normalize_sql("SELECT 1 ; ") == "SELECT 1"
+        # The parser accepts exactly one trailing semicolon, so a
+        # doubled one must stay distinct (it is a parse error).
+        assert normalize_sql("SELECT 1;;").endswith(";")
+
+    def test_leading_and_trailing_space(self):
+        assert normalize_sql("  SELECT 1  ") == "SELECT 1"
+
+    def test_line_comments_mirror_the_tokenizer(self):
+        # A comment without a newline swallows the rest of the
+        # statement (as in tokenize); with a newline it does not.
+        # These parse differently, so their keys must differ.
+        swallowed = normalize_sql("SELECT a FROM t --x WHERE id = 1")
+        kept = normalize_sql("SELECT a FROM t --x\nWHERE id = 1")
+        assert swallowed == "SELECT a FROM t"
+        assert kept == "SELECT a FROM t WHERE id = 1"
+
+    def test_comment_only_variants_share_a_key(self):
+        plain = normalize_sql("SELECT a FROM t WHERE id = 1")
+        commented = normalize_sql("SELECT a FROM t -- note\nWHERE id = 1")
+        assert plain == commented
+
+    def test_commented_execution_is_correct(self, toy_db):
+        # End-to-end guard for the comment rule: the truncated and the
+        # full statement must not share a cached plan.
+        all_rows = toy_db.execute("SELECT name FROM team --x WHERE team_id = 1")
+        filtered = toy_db.execute("SELECT name FROM team --x\nWHERE team_id = 1")
+        assert len(all_rows.rows) == 3
+        assert filtered.rows == [("Brazil",)]
+
+    def test_preserves_quoted_identifiers(self):
+        a = normalize_sql('SELECT "a  b" FROM t')
+        b = normalize_sql('SELECT "a b" FROM t')
+        assert a != b
+
+    def test_dash_inside_string_is_not_a_comment(self):
+        text = normalize_sql("SELECT * FROM t WHERE x = '--not a comment'")
+        assert "'--not a comment'" in text
+
+    def test_equivalent_spellings_share_a_key(self):
+        variants = [
+            "SELECT name FROM t WHERE id = 1",
+            "SELECT name  FROM t WHERE id = 1",
+            "SELECT name FROM t WHERE id = 1;",
+            "\n SELECT name\tFROM t   WHERE id = 1 ",
+        ]
+        keys = {normalize_sql(sql) for sql in variants}
+        assert len(keys) == 1
+
+
+class TestLRUCache:
+    def test_hit_and_miss_counters(self):
+        cache = LRUCache(capacity=4)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_eviction_at_capacity(self):
+        cache = LRUCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)
+        assert len(cache) == 2
+        assert cache.evictions == 1
+        assert "a" not in cache
+        assert "b" in cache and "c" in cache
+
+    def test_get_refreshes_recency(self):
+        cache = LRUCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # now "b" is least recently used
+        cache.put("c", 3)
+        assert "a" in cache
+        assert "b" not in cache
+
+    def test_stats_shape(self):
+        cache = LRUCache(capacity=3)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("zzz")
+        stats = cache.stats()
+        assert stats["size"] == 1
+        assert stats["capacity"] == 3
+        assert stats["hit_rate"] == pytest.approx(0.5)
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            LRUCache(capacity=0)
+
+    def test_clear(self):
+        cache = LRUCache(capacity=2)
+        cache.put("a", 1)
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestParseSqlCache:
+    def test_hit_returns_same_ast_object(self):
+        cache = PlanCache(capacity=8)
+        first = parse_sql("SELECT name FROM t WHERE id = 1", cache=cache)
+        second = parse_sql("SELECT  name FROM t WHERE id = 1;", cache=cache)
+        assert second is first
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_parse_errors_not_cached(self):
+        from repro.sqlengine import ParseError
+
+        cache = PlanCache(capacity=8)
+        with pytest.raises(ParseError):
+            parse_sql("SELECT FROM WHERE", cache=cache)
+        assert len(cache) == 0
+
+
+class TestDatabaseIntegration:
+    def test_counters_track_repeats(self, toy_db):
+        toy_db.execute("SELECT name FROM team WHERE team_id = 1")
+        toy_db.execute("SELECT name FROM team WHERE team_id = 1")
+        stats = toy_db.plan_cache_stats()
+        assert stats["hits"] >= 1
+        assert stats["misses"] >= 1
+
+    def test_cached_equals_uncached(self, toy_db):
+        queries = [
+            "SELECT name FROM team ORDER BY team_id",
+            "SELECT t.name, count(*) FROM team AS t "
+            "JOIN player AS p ON p.team_id = t.team_id "
+            "GROUP BY t.name ORDER BY t.name",
+            "SELECT name FROM player WHERE goals > "
+            "(SELECT avg(goals) FROM player WHERE goals IS NOT NULL)",
+            "SELECT name FROM team WHERE founded = 1900 "
+            "UNION SELECT name FROM player WHERE goals = 12",
+        ]
+        for sql in queries:
+            warm = toy_db.execute(sql)      # populates the cache
+            cached = toy_db.execute(sql)    # served from the cache
+            uncached = toy_db.execute(sql, cached=False)
+            assert cached.columns == uncached.columns == warm.columns
+            assert cached.rows == uncached.rows == warm.rows
+
+    def test_disabled_cache(self):
+        schema = Schema("nc")
+        schema.create_table("t", [make_column("id", "int", primary_key=True)])
+        db = Database(schema, plan_cache_size=0)
+        db.insert("t", (1,))
+        assert db.execute("SELECT id FROM t").rows == [(1,)]
+        assert db.plan_cache is None
+        assert db.plan_cache_stats()["capacity"] == 0
+
+    def test_eviction_with_tiny_cache(self):
+        schema = Schema("tiny")
+        schema.create_table("t", [make_column("id", "int", primary_key=True)])
+        db = Database(schema, plan_cache_size=2)
+        db.insert("t", (1,))
+        for predicate in (1, 2, 3, 4):
+            db.execute(f"SELECT id FROM t WHERE id = {predicate}")
+        stats = db.plan_cache_stats()
+        assert stats["size"] == 2
+        assert stats["evictions"] == 2
+
+    def test_execute_many_in_order(self, toy_db):
+        results = toy_db.execute_many(
+            [
+                "SELECT count(*) FROM team",
+                "SELECT count(*) FROM player",
+                "SELECT count(*) FROM team",
+            ]
+        )
+        assert [r.rows[0][0] for r in results] == [3, 5, 3]
+
+    def test_concurrent_execution_consistent(self, toy_db):
+        sql = (
+            "SELECT t.name, count(*) FROM team AS t "
+            "JOIN player AS p ON p.team_id = t.team_id GROUP BY t.name"
+        )
+        expected = toy_db.execute(sql).rows
+        observed = []
+        errors = []
+
+        def worker():
+            try:
+                for _ in range(20):
+                    observed.append(toy_db.execute(sql).rows)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert all(rows == expected for rows in observed)
+
+
+class TestJoinIndexMaintenance:
+    def test_insert_after_index_build_is_visible(self, toy_db):
+        sql = (
+            "SELECT p.name FROM player AS p "
+            "JOIN team AS t ON p.team_id = t.team_id WHERE t.name = 'Brazil'"
+        )
+        before = {row[0] for row in toy_db.execute(sql).rows}
+        toy_db.insert("player", (6, 1, "Zico", 30, 1.72))
+        after = {row[0] for row in toy_db.execute(sql).rows}
+        assert after == before | {"Zico"}
+
+    def test_fk_violation_rolls_back_index(self, toy_db):
+        from repro.sqlengine import ConstraintError
+
+        join_sql = (
+            "SELECT count(*) FROM player AS p "
+            "JOIN team AS t ON p.team_id = t.team_id"
+        )
+        before = toy_db.execute(join_sql).rows[0][0]
+        with pytest.raises(ConstraintError):
+            toy_db.insert("player", (7, 99, "Ghost", 0, 1.70))
+        assert toy_db.execute(join_sql).rows[0][0] == before
+        assert toy_db.row_count("player") == 5
+
+    def test_rollback_releases_primary_key(self, toy_db):
+        from repro.sqlengine import ConstraintError
+
+        with pytest.raises(ConstraintError):
+            toy_db.insert("player", (8, 99, "Ghost", 0, 1.70))
+        # The PK of the rolled-back row must be reusable.
+        toy_db.insert("player", (8, 1, "Real", 1, 1.80))
+        assert toy_db.row_count("player") == 6
+
+
+class TestRepeatedQuerySpeedup:
+    """Acceptance: >= 2x on a repeated parse-dominated query."""
+
+    def test_plan_cache_at_least_doubles_throughput(self):
+        schema = Schema("bench")
+        schema.create_table(
+            "wc",
+            [make_column("year", "int", primary_key=True), make_column("host", "text")],
+        )
+        db = Database(schema)
+        # Tiny table + long predicate: repeat cost is parse-dominated,
+        # which is precisely the workload the plan cache eliminates.
+        db.insert("wc", (1930, "host1930"))
+        db.insert("wc", (2014, "host2014"))
+        terms = " OR ".join(f"year = {year}" for year in range(1930, 2026, 4))
+        sql = f"SELECT year, host FROM wc WHERE ({terms}) ORDER BY year DESC LIMIT 3"
+        rounds = 150
+
+        def run(cached: bool) -> float:
+            start = time.perf_counter()
+            for _ in range(rounds):
+                db.execute(sql, cached=cached)
+            return time.perf_counter() - start
+
+        run(True)  # warm the cache and the join-free code paths
+        uncached = run(False)
+        cached = run(True)
+        assert cached > 0
+        assert uncached / cached >= 2.0, (
+            f"plan cache speedup only {uncached / cached:.2f}x "
+            f"(uncached {uncached:.4f}s vs cached {cached:.4f}s)"
+        )

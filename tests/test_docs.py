@@ -1,0 +1,44 @@
+"""Docs stay truthful: referenced paths exist, README covers the layout."""
+
+import importlib.util
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def load_checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_docs", REPO_ROOT / "scripts" / "check_docs.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_readme_exists_with_quickstart_and_verify_command():
+    readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+    assert "examples/quickstart.py" in readme
+    assert "PYTHONPATH=src python -m pytest -x -q" in readme
+
+
+def test_architecture_doc_exists():
+    text = (REPO_ROOT / "docs" / "ARCHITECTURE.md").read_text(encoding="utf-8")
+    assert "PlanCache" in text
+    assert "evaluate_grid" in text
+
+
+def test_no_dangling_doc_references():
+    checker = load_checker()
+    missing = []
+    for doc in checker.doc_paths():
+        missing.extend(checker.check_file(doc))
+    assert not missing, f"dangling doc references: {missing}"
+
+
+def test_readme_names_every_package_directory():
+    readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+    for package_dir in sorted((REPO_ROOT / "src" / "repro").iterdir()):
+        if package_dir.is_dir() and (package_dir / "__init__.py").exists():
+            assert f"src/repro/{package_dir.name}" in readme, (
+                f"README repository-layout table is missing src/repro/{package_dir.name}"
+            )
