@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Full-benchmark verification of seeded schema morphs (CI smoke job).
+
+For every derived morph of the chosen base data model, executes the
+benchmark's rewritten gold queries and checks the normalized result
+multisets are identical to the base schema's — on our engine *and* on
+sqlite3 (booleans stored as their text form, ``ILIKE`` rendered as
+sqlite's case-insensitive ``LIKE``).  Exit code 1 on any divergence.
+
+Usage::
+
+    PYTHONPATH=src python scripts/verify_morphs.py \
+        --seed 2022 --base v1 --count 5 --steps 3 --split test
+"""
+
+from __future__ import annotations
+
+import argparse
+import sqlite3
+import sys
+import time
+
+from repro.benchmark import build_benchmark
+from repro.footballdb import SchemaMorpher, build_universe, load_all
+from repro.footballdb.morph import MorphedModel, result_signature
+from repro.sqlengine import Database, sqlite_dialect, sqlite_result, to_sqlite
+
+
+def verify(
+    morph: MorphedModel,
+    base: Database,
+    base_sqlite: sqlite3.Connection,
+    queries,
+) -> int:
+    morph_sqlite = to_sqlite(morph.database)
+    failures = 0
+    for sql in queries:
+        rewritten = morph.rewrite_sql(sql)
+        base_engine = result_signature(base.execute(sql))
+        morph_engine = result_signature(morph.database.execute(rewritten))
+        lite_base = result_signature(
+            sqlite_result(base_sqlite, sqlite_dialect(sql))
+        )
+        lite_morph = result_signature(
+            sqlite_result(morph_sqlite, sqlite_dialect(rewritten))
+        )
+        problems = []
+        if morph_engine != base_engine:
+            problems.append("engine: morph != base")
+        if lite_morph != lite_base:
+            problems.append("sqlite: morph != base")
+        if problems:
+            failures += 1
+            print(f"DIVERGENCE [{morph.version}] {'; '.join(problems)}")
+            print(f"  base : {sql}")
+            print(f"  morph: {rewritten}")
+    return failures
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=2022)
+    parser.add_argument("--base", default="v1", choices=["v1", "v2", "v3"])
+    parser.add_argument("--count", type=int, default=5)
+    parser.add_argument("--steps", type=int, default=3)
+    parser.add_argument(
+        "--split", default="test", choices=["test", "full"],
+        help="gold queries to sweep: the 100-question test split or all 400",
+    )
+    args = parser.parse_args()
+
+    started = time.perf_counter()
+    universe = build_universe(seed=2022)
+    football = load_all(universe=universe)
+    dataset = build_benchmark(universe)
+    base = football[args.base]
+    base_sqlite = to_sqlite(base)
+    examples = (
+        dataset.test_examples if args.split == "test" else dataset.examples
+    )
+    queries = sorted({example.gold[args.base] for example in examples})
+    print(
+        f"verifying {args.count} morphs of {args.base} "
+        f"(seed={args.seed}, steps<={args.steps}) over {len(queries)} gold queries"
+    )
+
+    morpher = SchemaMorpher(seed=args.seed)
+    morphs = morpher.derive(football[args.base], count=args.count, steps=args.steps)
+    failures = 0
+    for morph in morphs:
+        print(f"  {morph.describe()}")
+        failures += verify(morph, base, base_sqlite, queries)
+    elapsed = time.perf_counter() - started
+    if failures:
+        print(f"FAILED: {failures} diverging queries ({elapsed:.1f}s)")
+        return 1
+    print(
+        f"OK: {args.count} morphs x {len(queries)} queries byte-identical "
+        f"on engine and sqlite3 ({elapsed:.1f}s)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,7 +19,7 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis import analyze_query, classify_hardness, mean_characteristics
 from repro.analysis.characteristics import QueryCharacteristics
@@ -79,8 +79,36 @@ class BenchmarkDataset:
     def gold_lookup(self, version: str) -> Dict[str, str]:
         """question -> gold SQL, over *all* examples (train+test+pool)."""
         lookup = {e.question: e.gold[version] for e in self.pool_examples if version in e.gold}
-        lookup.update({e.question: e.gold[version] for e in self.examples})
+        lookup.update(
+            {e.question: e.gold[version] for e in self.examples if version in e.gold}
+        )
         return lookup
+
+    def add_version(
+        self, version: str, base_version: str, rewrite: Callable[[str], str]
+    ) -> int:
+        """Label the benchmark for a derived data model.
+
+        Every example already labeled for ``base_version`` gains a
+        ``gold[version]`` entry produced by ``rewrite`` (typically a
+        :meth:`~repro.footballdb.morph.MorphedModel.rewrite_sql` bound
+        method), so the morphed version becomes a first-class grid axis.
+        Rewrites are memoized per distinct base SQL string.  Returns the
+        number of examples labeled.
+        """
+        cache: Dict[str, str] = {}
+        labeled = 0
+        for example in self.train_examples + self.test_examples + self.pool_examples:
+            base_sql = example.gold.get(base_version)
+            if base_sql is None:
+                continue
+            rewritten = cache.get(base_sql)
+            if rewritten is None:
+                rewritten = rewrite(base_sql)
+                cache[base_sql] = rewritten
+            example.gold[version] = rewritten
+            labeled += 1
+        return labeled
 
     # -- Table 3 -------------------------------------------------------------
     def table3(self) -> Dict[str, Dict[str, Dict[str, float]]]:

@@ -26,7 +26,14 @@ from .experiments import (
     value_finder_ablation,
     valuenet_pool_extension,
 )
-from .reports import format_mean_std, format_percent, render_bar_chart, render_table
+from .reports import (
+    format_mean_std,
+    format_percent,
+    render_bar_chart,
+    render_table,
+    robustness_curve,
+    robustness_points,
+)
 from .test_suite import TestSuiteEvaluator, TestSuiteVerdict, perturb_events
 
 __all__ = [
@@ -57,6 +64,8 @@ __all__ = [
     "picard_ablation",
     "render_bar_chart",
     "render_table",
+    "robustness_curve",
+    "robustness_points",
     "table5",
     "table6",
     "table7",

@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Type
 
 from repro.benchmark import BenchmarkDataset, BenchmarkExample
-from repro.footballdb import FootballDB
+from repro.footballdb import FootballDB, MorphedModel
 from repro.systems import GoldOracle, Prediction, TextToSQLSystem
 
 from .execution import ExecutionEvaluator
@@ -135,6 +135,25 @@ class Harness:
         if version not in self._oracles:
             self._oracles[version] = GoldOracle(self.dataset.gold_lookup(version))
         return self._oracles[version]
+
+    # -- schema morphs -----------------------------------------------------------
+    def install_morph(self, morph: "MorphedModel") -> str:
+        """Register a morphed data model as an evaluation axis.
+
+        Adds the morph's database to the shared :class:`FootballDB` and
+        labels the benchmark with rewritten gold SQL, after which the
+        morph's version string is a valid ``GridConfig.version`` like
+        ``"v1"``/``"v2"``/``"v3"``.  Install morphs *before* launching a
+        grid — the worker clones share this harness's football/dataset
+        objects by reference.
+        """
+        self.football.register(morph.version, morph.database)
+        self.dataset.add_version(morph.version, morph.base_version, morph.rewrite_sql)
+        return morph.version
+
+    def install_morphs(self, morphs: Sequence["MorphedModel"]) -> List[str]:
+        """Register several morphed data models; returns their versions."""
+        return [self.install_morph(morph) for morph in morphs]
 
     # -- configuration runners --------------------------------------------------
     def build_system(

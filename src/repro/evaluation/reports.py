@@ -55,6 +55,67 @@ def format_mean_std(mean: float, std: float, percent: bool = True) -> str:
     return f"{mean:.2f} ± {std:.2f}"
 
 
+def robustness_points(results) -> Dict[str, Dict[str, float]]:
+    """system -> version -> EX accuracy, from evaluation results.
+
+    Accepts any iterable of objects exposing ``system``, ``version`` and
+    ``accuracy`` (i.e. :class:`~repro.evaluation.harness.EvaluationResult`);
+    repeated (system, version) cells — e.g. shot folds — are averaged.
+    """
+    sums: Dict[str, Dict[str, List[float]]] = {}
+    for result in results:
+        sums.setdefault(result.system, {}).setdefault(result.version, []).append(
+            result.accuracy
+        )
+    return {
+        system: {
+            version: sum(values) / len(values) for version, values in per_version.items()
+        }
+        for system, per_version in sums.items()
+    }
+
+
+def robustness_curve(
+    series: Mapping[str, Mapping[str, float]],
+    distances: Mapping[str, int],
+    title: str = "EX accuracy vs. morph distance",
+    width: int = 30,
+) -> str:
+    """ASCII plot of EX accuracy against data-model morph distance.
+
+    ``series`` maps system name -> version -> accuracy (see
+    :func:`robustness_points`); ``distances`` maps version -> morph
+    distance (hand-written models sit at distance 0).  Versions are
+    plotted left to right by increasing distance, one block per version,
+    one bar per system — the N-point generalization of the paper's
+    three-model robustness comparison.
+    """
+    versions: List[str] = sorted(
+        {version for per_version in series.values() for version in per_version},
+        key=lambda version: (distances.get(version, 0), version),
+    )
+    lines = [title]
+    for version in versions:
+        distance = distances.get(version, 0)
+        lines.append(f"\n  d={distance}  {version}")
+        for system in series:
+            per_version = series[system]
+            if version not in per_version:
+                lines.append(f"    {system:<16} {'-':>7}")
+                continue
+            accuracy = per_version[version]
+            bar = "#" * round(accuracy * width)
+            lines.append(f"    {system:<16} {accuracy * 100:5.1f}% |{bar}")
+    spreads = []
+    for system, per_version in series.items():
+        if per_version:
+            values = list(per_version.values())
+            spreads.append(f"{system} spread={100 * (max(values) - min(values)):.1f}pp")
+    if spreads:
+        lines.append("\n  " + "; ".join(spreads))
+    return "\n".join(lines)
+
+
 def render_bar_chart(
     series: Mapping[str, Mapping[str, Tuple[float, int]]],
     buckets: Sequence[str],

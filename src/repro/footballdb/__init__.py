@@ -10,10 +10,21 @@ Public API::
 
 Modules: :mod:`universe` (entity generation), :mod:`schema_v1` /
 :mod:`schema_v2` / :mod:`schema_v3` (the three data models of Figures
-3, 5 and 6), :mod:`loader` (materialization), :mod:`stats` (Table 2).
+3, 5 and 6), :mod:`loader` (materialization), :mod:`stats` (Table 2),
+:mod:`morph` (seeded derivation of unlimited further data models).
 """
 
 from .loader import VERSIONS, FootballDB, build_universe, load_all, load_version
+from .morph import (
+    DEFAULT_OPERATORS,
+    MorphError,
+    MorphOperator,
+    MorphStep,
+    MorphedModel,
+    SchemaMorpher,
+    result_signature,
+    verify_morph,
+)
 from .stats import DataModelStats, compute_stats, table2
 from .universe import (
     NATIONAL_TEAMS,
@@ -24,10 +35,16 @@ from .universe import (
 )
 
 __all__ = [
+    "DEFAULT_OPERATORS",
     "DataModelStats",
     "FootballDB",
+    "MorphError",
+    "MorphOperator",
+    "MorphStep",
+    "MorphedModel",
     "NATIONAL_TEAMS",
     "STAGES",
+    "SchemaMorpher",
     "Universe",
     "UniverseGenerator",
     "VERSIONS",
@@ -36,5 +53,7 @@ __all__ = [
     "compute_stats",
     "load_all",
     "load_version",
+    "result_signature",
     "table2",
+    "verify_morph",
 ]

@@ -9,7 +9,7 @@ the same data* (paper Table 8, "Multi-Schema ✓").
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, List
 
 from repro.sqlengine import Database
 
@@ -23,7 +23,13 @@ _MODULES = {"v1": schema_v1, "v2": schema_v2, "v3": schema_v3}
 
 @dataclass
 class FootballDB:
-    """The universe plus its three materializations."""
+    """The universe plus its materializations.
+
+    Starts with the paper's three hand-written data models; morphed
+    versions (see :mod:`repro.footballdb.morph`) are added via
+    :meth:`register` and are indistinguishable from the built-ins to
+    every downstream consumer (harness, systems, grid sweeps).
+    """
 
     universe: Universe
     databases: Dict[str, Database]
@@ -33,6 +39,18 @@ class FootballDB:
 
     def __getitem__(self, version: str) -> Database:
         return self.databases[version]
+
+    @property
+    def versions(self) -> List[str]:
+        """Every registered data-model version, built-ins first."""
+        return list(self.databases)
+
+    def register(self, version: str, database: Database) -> str:
+        """Add a derived data-model version (e.g. a schema morph)."""
+        if version in self.databases:
+            raise ValueError(f"data model version {version!r} already registered")
+        self.databases[version] = database
+        return version
 
 
 def build_universe(seed: int = 2022) -> Universe:

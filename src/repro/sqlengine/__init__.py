@@ -67,6 +67,7 @@ from .executor import Executor, Result
 from .formatter import format_expression, format_literal, format_query
 from .parser import parse_sql
 from .plan_cache import DEFAULT_PLAN_CACHE_SIZE, LRUCache, PlanCache, normalize_sql
+from .sqlite_bridge import sqlite_dialect, sqlite_result, to_sqlite
 from .tokenizer import Token, TokenType, tokenize
 from .values import SqlType, normalize_for_comparison
 
@@ -125,5 +126,8 @@ __all__ = [
     "normalize_for_comparison",
     "normalize_sql",
     "parse_sql",
+    "sqlite_dialect",
+    "sqlite_result",
+    "to_sqlite",
     "tokenize",
 ]

@@ -34,13 +34,25 @@ class Database:
         schema: Schema,
         enforce_foreign_keys: bool = True,
         plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE,
+        plan_cache: Optional[PlanCache] = None,
     ) -> None:
         self.schema = schema
         self.storage = Storage(schema, enforce_foreign_keys=enforce_foreign_keys)
         self._executor = Executor(self.storage)
-        self.plan_cache: Optional[PlanCache] = (
-            PlanCache(plan_cache_size) if plan_cache_size else None
-        )
+        # Plans are keyed on (schema.name, schema.version, normalized SQL)
+        # so a cache shared across schema variants (``plan_cache=``, used
+        # by the morph fleets) never serves one version's plan for
+        # another's identical SQL text.
+        if plan_cache is not None:
+            self.plan_cache: Optional[PlanCache] = plan_cache.for_scope(
+                (schema.name, schema.version)
+            )
+        else:
+            self.plan_cache = (
+                PlanCache(plan_cache_size, scope=(schema.name, schema.version))
+                if plan_cache_size
+                else None
+            )
 
     # -- data manipulation ---------------------------------------------------
     def insert(self, table_name: str, row: Sequence[Any]) -> None:

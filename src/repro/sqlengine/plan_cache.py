@@ -1,4 +1,4 @@
-"""Query-plan cache: normalized SQL text -> parsed AST.
+"""Query-plan cache: (schema scope, normalized SQL text) -> parsed AST.
 
 The evaluation harness executes the same gold/predicted SQL strings
 thousands of times across systems, train sizes and folds, and the
@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Any, Dict, Hashable, Optional
+from typing import Any, Dict, Hashable, Optional, Tuple
 
 DEFAULT_PLAN_CACHE_SIZE = 256
 
@@ -93,19 +93,31 @@ class LRUCache:
         self.capacity = capacity
         self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
         self._lock = threading.Lock()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        # Mutable holder (not plain attributes) so scoped views created by
+        # :meth:`PlanCache.for_scope` share one set of counters.
+        self._counters: Dict[str, int] = {"hits": 0, "misses": 0, "evictions": 0}
+
+    @property
+    def hits(self) -> int:
+        return self._counters["hits"]
+
+    @property
+    def misses(self) -> int:
+        return self._counters["misses"]
+
+    @property
+    def evictions(self) -> int:
+        return self._counters["evictions"]
 
     def get(self, key: Hashable) -> Optional[Any]:
         with self._lock:
             try:
                 value = self._entries[key]
             except KeyError:
-                self.misses += 1
+                self._counters["misses"] += 1
                 return None
             self._entries.move_to_end(key)
-            self.hits += 1
+            self._counters["hits"] += 1
             return value
 
     def put(self, key: Hashable, value: Any) -> None:
@@ -115,7 +127,7 @@ class LRUCache:
             self._entries[key] = value
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
-                self.evictions += 1
+                self._counters["evictions"] += 1
 
     def clear(self) -> None:
         with self._lock:
@@ -132,23 +144,57 @@ class LRUCache:
 
     def stats(self) -> Dict[str, Any]:
         with self._lock:
-            hits, misses = self.hits, self.misses
+            hits, misses = self._counters["hits"], self._counters["misses"]
             lookups = hits + misses
             return {
                 "size": len(self._entries),
                 "capacity": self.capacity,
                 "hits": hits,
                 "misses": misses,
-                "evictions": self.evictions,
+                "evictions": self._counters["evictions"],
                 "hit_rate": hits / lookups if lookups else 0.0,
             }
 
 
 class PlanCache(LRUCache):
-    """LRU of parsed query ASTs keyed on :func:`normalize_sql` text."""
+    """LRU of parsed query ASTs keyed on ``(scope, normalized SQL)``.
+
+    ``scope`` identifies the schema the plans were parsed for —
+    ``Database`` passes ``(schema.name, schema.version)``.  One
+    ``PlanCache`` can therefore be shared by many databases (the schema
+    morpher materializes dozens of variants of one base schema) without
+    identical SQL text against two data-model versions ever colliding
+    on a single cache entry.
+    """
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_PLAN_CACHE_SIZE,
+        scope: Tuple[Hashable, ...] = (),
+    ) -> None:
+        super().__init__(capacity)
+        self.scope = tuple(scope)
+
+    def for_scope(self, scope: Tuple[Hashable, ...]) -> "PlanCache":
+        """A view over this cache's storage, keyed under ``scope``.
+
+        The view shares entries, lock, capacity and counters with the
+        original — it only changes how SQL text maps to keys.  This is
+        how one cache is shared across a fleet of schema variants.
+        """
+        view = PlanCache.__new__(PlanCache)
+        view.capacity = self.capacity
+        view._entries = self._entries
+        view._lock = self._lock
+        view._counters = self._counters
+        view.scope = tuple(scope)
+        return view
+
+    def plan_key(self, sql: str) -> Tuple[Hashable, ...]:
+        return (*self.scope, normalize_sql(sql))
 
     def get_plan(self, sql: str) -> Optional[Any]:
-        return self.get(normalize_sql(sql))
+        return self.get(self.plan_key(sql))
 
     def put_plan(self, sql: str, plan: Any) -> None:
-        self.put(normalize_sql(sql), plan)
+        self.put(self.plan_key(sql), plan)

@@ -1,0 +1,78 @@
+"""Export an engine database into sqlite3 for differential verification.
+
+The stdlib's SQLite serves as a semantics oracle in the differential
+tests and in ``scripts/verify_morphs.py``: the same schema and rows are
+loaded into both engines and result multisets must agree.  This module
+is the single implementation of that export so the dialect decisions
+stay in one place:
+
+* BOOLEAN columns become TEXT storing ``'True'``/``'False'`` — the form
+  the gold queries compare against (``goal = 'True'``), matching the
+  engine's boolean/text alignment;
+* ``case_sensitive_like=True`` mirrors the engine's case-sensitive
+  ``LIKE``; leave it off when queries go through
+  :func:`sqlite_dialect`'s ``ILIKE`` → ``LIKE`` rendering, because
+  sqlite's default case-insensitive ``LIKE`` is what matches ``ILIKE``
+  semantics.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+
+from .database import Database
+from .executor import Result
+from .values import SqlType
+
+_TYPE_NAMES = {
+    SqlType.INTEGER: "INTEGER",
+    SqlType.REAL: "REAL",
+    SqlType.TEXT: "TEXT",
+    SqlType.BOOLEAN: "TEXT",
+}
+
+
+def to_sqlite(
+    database: Database, case_sensitive_like: bool = False
+) -> sqlite3.Connection:
+    """Load ``database``'s schema and rows into a fresh in-memory sqlite3."""
+    conn = sqlite3.connect(":memory:")
+    if case_sensitive_like:
+        conn.execute("PRAGMA case_sensitive_like = ON")
+    for table in database.schema.tables:
+        columns = ", ".join(
+            f'"{column.name}" {_TYPE_NAMES[column.sql_type]}'
+            for column in table.columns
+        )
+        conn.execute(f'CREATE TABLE "{table.name}" ({columns})')
+        rows = [
+            tuple(str(value) if isinstance(value, bool) else value for value in row)
+            for row in database.table_data(table.name).rows
+        ]
+        placeholders = ", ".join("?" * len(table.columns))
+        conn.executemany(
+            f'INSERT INTO "{table.name}" VALUES ({placeholders})', rows
+        )
+    return conn
+
+
+def sqlite_dialect(sql: str) -> str:
+    """Render engine SQL in sqlite's dialect.
+
+    sqlite has no ``ILIKE``; its default ``LIKE`` is case-insensitive,
+    which matches the engine's ``ILIKE`` semantics (so only use this
+    with a connection created without ``case_sensitive_like``).  Gold
+    literals never contain the token, making the textual swap safe.
+    """
+    return sql.replace(" ILIKE ", " LIKE ")
+
+
+def sqlite_result(conn: sqlite3.Connection, sql: str) -> Result:
+    """Execute ``sql`` on sqlite and wrap the rows as an engine Result."""
+    cursor = conn.execute(sql)
+    columns = (
+        [description[0] for description in cursor.description]
+        if cursor.description
+        else []
+    )
+    return Result(columns, cursor.fetchall())

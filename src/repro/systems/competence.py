@@ -79,7 +79,15 @@ class CompetenceProfile:
         logit += self.grounding_gain * features.grounding
         if uses_foreign_keys:
             logit += self.keys_join_gain * min(features.joins, 3)
-        logit += self.version_adjust.get(version, 0.0)
+        # Morphed data models ("v1~m3") inherit their base model's
+        # calibrated adjustment: the morph's *structural* effects (joins,
+        # FKs, grounding) already flow through the features above, while
+        # the residual version term captures what was fitted to the
+        # paper's measurements for the base schema family.
+        base_version = version.split("~", 1)[0]
+        logit += self.version_adjust.get(
+            version, self.version_adjust.get(base_version, 0.0)
+        )
         return 1.0 / (1.0 + math.exp(-logit))
 
 

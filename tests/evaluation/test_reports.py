@@ -72,3 +72,52 @@ class TestBarChart:
         a_line = next(l for l in text.splitlines() if "SystemA" in l)
         b_line = next(l for l in text.splitlines() if "SystemB" in l)
         assert a_line.count("#") > b_line.count("#")
+
+
+class TestRobustnessCurve:
+    @staticmethod
+    def _series():
+        return {
+            "GPT-3.5": {"v1": 0.45, "v1~m1": 0.41, "v1~m2": 0.30},
+            "ValueNet": {"v1": 0.20, "v1~m1": 0.15},
+        }
+
+    @staticmethod
+    def _distances():
+        return {"v1": 0, "v1~m1": 2, "v1~m2": 3}
+
+    def test_versions_ordered_by_distance(self):
+        from repro.evaluation import robustness_curve
+
+        text = robustness_curve(self._series(), self._distances())
+        positions = [text.index(f"d={d}") for d in (0, 2, 3)]
+        assert positions == sorted(positions)
+        assert text.index("v1~m1") < text.index("v1~m2")
+
+    def test_missing_cells_render_as_dash(self):
+        from repro.evaluation import robustness_curve
+
+        text = robustness_curve(self._series(), self._distances())
+        block = text[text.index("v1~m2"):]
+        assert "-" in block.splitlines()[2]  # ValueNet has no v1~m2 cell
+
+    def test_spread_summary_present(self):
+        from repro.evaluation import robustness_curve
+
+        text = robustness_curve(self._series(), self._distances())
+        assert "spread=15.0pp" in text  # GPT-3.5: 45% - 30%
+        assert "spread=5.0pp" in text  # ValueNet: 20% - 15%
+
+    def test_robustness_points_averages_folds(self):
+        from repro.evaluation import robustness_points
+
+        class Stub:
+            def __init__(self, system, version, accuracy):
+                self.system = system
+                self.version = version
+                self.accuracy = accuracy
+
+        points = robustness_points(
+            [Stub("S", "v1", 0.4), Stub("S", "v1", 0.6), Stub("S", "v1~m1", 0.5)]
+        )
+        assert points == {"S": {"v1": pytest.approx(0.5), "v1~m1": 0.5}}

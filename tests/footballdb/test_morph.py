@@ -1,0 +1,166 @@
+"""Schema morphing: validity, determinism, migration and equivalence.
+
+The heavyweight execution-equivalence sweeps live in
+``tests/sqlengine/test_differential_sqlite.py`` (engine vs sqlite3 on a
+compact mirror schema) and ``scripts/verify_morphs.py`` (full benchmark,
+run by the CI morph smoke job); here we pin down the morpher's contract
+on the real FootballDB: every derived schema is valid and distinct, the
+migrated data is complete, rewrites stay executable, and a seeded probe
+workload returns base-identical results.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.footballdb import (
+    DEFAULT_OPERATORS,
+    MorphError,
+    SchemaMorpher,
+    load_version,
+    verify_morph,
+)
+from repro.footballdb.morph import result_signature
+from repro.sqlengine import Database, Schema, make_column, parse_sql
+from repro.workload import compile_intent
+from repro.workload.catalogue import IntentSampler
+
+#: a cross-section of intent kinds covering every structural family the
+#: gold compiler emits: UNION symmetry, OR-joins, EXCEPT, NOT IN,
+#: GROUP BY/HAVING, scalar subqueries, ORDER BY + LIMIT, plain lookups.
+PROBE_KINDS = (
+    "match_score",
+    "match_count_team",
+    "cup_winner",
+    "never_won",
+    "teams_multiple_titles",
+    "taller_than_avg",
+    "top_scorer_cup",
+    "squad_list",
+    "club_league",
+    "final_stadium",
+    "cards_in_cup",
+    "matches_in_cup",
+)
+
+
+@pytest.fixture(scope="module")
+def probe_queries(universe):
+    sampler = IntentSampler(universe, seed=13)
+    intents = [sampler.sample_intent(kind) for kind in PROBE_KINDS]
+    return sorted({compile_intent(intent, "v1") for intent in intents})
+
+
+@pytest.fixture(scope="module")
+def morphs(football):
+    return SchemaMorpher(seed=2022).derive(football["v1"], count=5, steps=3)
+
+
+class TestDerivation:
+    def test_produces_five_distinct_valid_schemas(self, morphs):
+        assert len(morphs) == 5
+        descriptions = {morph.schema.describe() for morph in morphs}
+        assert len(descriptions) == 5, "morph chains must differ"
+        for morph in morphs:
+            assert morph.schema.version == morph.version
+            assert morph.base_version == "v1"
+            assert 1 <= morph.distance <= 3
+            # Schema validity is rebuilt through the catalog API; spot
+            # check the invariants it guarantees.
+            for table in morph.schema.tables:
+                assert table.columns
+                assert len({c.name.lower() for c in table.columns}) == len(
+                    table.columns
+                )
+            for fk in morph.schema.foreign_keys:
+                assert morph.schema.table(fk.table).has_column(fk.column)
+                assert morph.schema.table(fk.ref_table).has_column(fk.ref_column)
+
+    def test_same_seed_is_deterministic(self, football, morphs):
+        again = SchemaMorpher(seed=2022).derive(football["v1"], count=5, steps=3)
+        for first, second in zip(morphs, again):
+            assert first.schema.describe() == second.schema.describe()
+            assert first.operator_names == second.operator_names
+            assert [s.detail for s in first.steps] == [s.detail for s in second.steps]
+
+    def test_different_seeds_diverge(self, football, morphs):
+        other = SchemaMorpher(seed=4).morph(football["v1"], "v1~other", steps=3)
+        assert all(
+            other.schema.describe() != morph.schema.describe() for morph in morphs
+        )
+
+    def test_migration_preserves_total_row_count_for_lossless_chains(self, morphs):
+        for morph in morphs:
+            # Splits and clones add rows, inlines remove a table; but no
+            # morphed database may ever be empty or lose an entity table's
+            # contents: every table must be populated.
+            for table in morph.schema.tables:
+                assert morph.database.row_count(table.name) > 0, (
+                    morph.version,
+                    table.name,
+                )
+
+    def test_no_operator_applicable_raises(self):
+        schema = Schema("noop", version="base")
+        schema.create_table("only", [make_column("id", "int", primary_key=True)])
+        db = Database(schema)
+        db.insert("only", (1,))
+        # Only offer an operator that cannot apply (no FK to drop).
+        from repro.footballdb.morph import DropForeignKey
+
+        with pytest.raises(MorphError):
+            SchemaMorpher(seed=1, operators=[DropForeignKey()]).morph(db, "x")
+
+
+class TestRewriter:
+    def test_rewrites_parse_and_execute(self, morphs, probe_queries):
+        for morph in morphs:
+            for sql in probe_queries:
+                rewritten = morph.rewrite_sql(sql)
+                parse_sql(rewritten)  # must stay parseable
+                morph.database.execute(rewritten)  # and executable
+
+    def test_probe_workload_matches_base(self, football, morphs, probe_queries):
+        base = football["v1"]
+        for morph in morphs:
+            mismatches = verify_morph(morph, base, probe_queries)
+            assert not mismatches, (morph.describe(), mismatches[:2])
+
+    def test_rewrite_is_identity_for_unmorphed_tables(self, morphs):
+        sql = "SELECT count(*) FROM player_club_team"
+        for morph in morphs:
+            touched = {
+                step.detail for step in morph.steps if step.operator in
+                ("rename_tables", "rename_columns")
+            }
+            if touched:
+                continue  # renames rewrite everything by design
+            rewritten = morph.rewrite_sql(sql)
+            if not any(
+                step.operator in ("split_table", "inline_child")
+                and "player_club_team" in step.detail
+                for step in morph.steps
+            ):
+                assert "player_club_team" in rewritten
+
+
+class TestOperatorCatalogue:
+    def test_every_operator_has_a_unique_name(self):
+        names = [operator.name for operator in DEFAULT_OPERATORS]
+        assert len(names) == len(set(names))
+
+    @pytest.mark.parametrize("version", ["v1", "v2", "v3"])
+    def test_chains_apply_on_every_handwritten_model(
+        self, universe, football, version
+    ):
+        morph = SchemaMorpher(seed=5).morph(football[version], f"{version}~x", steps=2)
+        assert morph.distance >= 1
+        assert morph.database.row_count() > 0
+
+    def test_signature_folds_numeric_and_boolean_representation(self, football):
+        base = football["v1"]
+        ours = result_signature(base.execute("SELECT count(*) FROM match"))
+        as_float = result_signature(
+            base.execute("SELECT count(*) + 0.0 FROM match")
+        )
+        assert ours == as_float

@@ -1,0 +1,130 @@
+"""Engine-test fixtures: a compact morphable database.
+
+``morph_base_db`` builds a football-shaped schema that every morph
+operator can act on: a multi-edge FK pair (``match`` references ``team``
+twice), a total 1:1 child (``match_extra``), an undeclared data-valid
+reference (``stat.match_id``) and widen-able integer columns.  Shared by
+the sqlite differential sweep and the formatter round-trip properties.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.sqlengine import Database, Schema, make_column
+
+
+def build_morph_base(seed: int = 424) -> Database:
+    rng = random.Random(seed)
+    schema = Schema("morphbase", version="base")
+    schema.create_table(
+        "team",
+        [
+            make_column("team_id", "int", primary_key=True),
+            make_column("name", "text"),
+            make_column("founded", "int"),
+            make_column("confed", "text"),
+        ],
+    )
+    schema.create_table(
+        "match",
+        [
+            make_column("match_id", "int", primary_key=True),
+            make_column("year", "int"),
+            make_column("home_team_id", "int"),
+            make_column("away_team_id", "int"),
+            make_column("home_goals", "int"),
+            make_column("away_goals", "int"),
+        ],
+    )
+    schema.create_table(
+        "match_extra",  # total 1:1 child of match -> inline_child fodder
+        [
+            make_column("match_id", "int", primary_key=True),
+            make_column("stadium", "text"),
+            make_column("attendance", "int"),
+        ],
+    )
+    schema.create_table(
+        "stat",  # stat.match_id is an undeclared reference -> declare_fk fodder
+        [
+            make_column("stat_id", "int", primary_key=True),
+            make_column("match_id", "int"),
+            make_column("points", "int"),
+        ],
+    )
+    schema.add_foreign_key("match", "home_team_id", "team", "team_id")
+    schema.add_foreign_key("match", "away_team_id", "team", "team_id")
+    schema.add_foreign_key("match_extra", "match_id", "match", "match_id")
+    db = Database(schema)
+    teams = 12
+    for team_id in range(1, teams + 1):
+        db.insert(
+            "team",
+            (
+                team_id,
+                f"Nat{chr(64 + team_id)}",
+                rng.randint(1880, 1990),
+                rng.choice(["UEFA", "CONMEBOL", "AFC"]),
+            ),
+        )
+    for match_id in range(1, 41):
+        home = rng.randint(1, teams)
+        away = (home % teams) + 1
+        db.insert(
+            "match",
+            (match_id, rng.choice([2014, 2018, 2022]), home, away,
+             rng.randint(0, 5), rng.randint(0, 5)),
+        )
+        db.insert(
+            "match_extra",
+            (match_id, f"Stadium{match_id % 7}", rng.randrange(20_000, 90_000, 500)),
+        )
+    for stat_id in range(1, 61):
+        db.insert("stat", (stat_id, rng.randint(1, 40), rng.randint(0, 10)))
+    return db
+
+
+#: probe workload over the morph base: aliased + unqualified references,
+#: self-joins via the multi-edge pair, UNION/EXCEPT, grouping, subqueries.
+MORPH_PROBES = [
+    "SELECT name FROM team WHERE founded > 1950",
+    "SELECT count(*) FROM match WHERE year = 2018",
+    "SELECT T2.name, T3.name, T1.home_goals, T1.away_goals FROM match AS T1 "
+    "JOIN team AS T2 ON T1.home_team_id = T2.team_id "
+    "JOIN team AS T3 ON T1.away_team_id = T3.team_id WHERE T1.year = 2014",
+    "SELECT T2.name FROM match AS T1 JOIN team AS T2 ON T1.home_team_id = T2.team_id "
+    "UNION SELECT T2.name FROM match AS T1 JOIN team AS T2 "
+    "ON T1.away_team_id = T2.team_id",
+    "SELECT team_id FROM team EXCEPT SELECT home_team_id FROM match",
+    "SELECT T1.year, sum(T1.home_goals + T1.away_goals) FROM match AS T1 "
+    "GROUP BY T1.year HAVING count(*) > 2",
+    "SELECT T2.stadium, count(*) FROM match AS T1 "
+    "JOIN match_extra AS T2 ON T1.match_id = T2.match_id GROUP BY T2.stadium",
+    "SELECT name FROM team AS T1 WHERE EXISTS (SELECT 1 FROM match AS T2 "
+    "WHERE T2.home_team_id = T1.team_id AND T2.home_goals > 3)",
+    "SELECT T1.points FROM stat AS T1 JOIN match AS T2 "
+    "ON T1.match_id = T2.match_id WHERE T2.year = 2022",
+    "SELECT avg(attendance) FROM match_extra",
+    "SELECT T1.match_id FROM match AS T1 WHERE T1.home_goals = "
+    "(SELECT max(T2.home_goals) FROM match AS T2)",
+    "SELECT name FROM team WHERE team_id IN "
+    "(SELECT home_team_id FROM match WHERE year = 2014) ORDER BY team_id LIMIT 5",
+]
+
+
+@pytest.fixture()
+def morph_base_db() -> Database:
+    return build_morph_base()
+
+
+@pytest.fixture(scope="session")
+def morph_probes():
+    return list(MORPH_PROBES)
+
+
+@pytest.fixture(scope="session")
+def morph_base_builder():
+    return build_morph_base

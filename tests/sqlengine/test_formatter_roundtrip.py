@@ -119,3 +119,67 @@ def test_property_literal_lists_round_trip(values):
     first = format_query(parse_sql(sql))
     second = format_query(parse_sql(first))
     assert first == second
+
+
+# -- schema-morph rewrite round trips ------------------------------------------
+#
+# Every mutation operator's gold rewrite must (a) stay a formatter fixed
+# point — ``format_query(parse_sql(rewritten))`` reproduces itself — and
+# (b) preserve result sets on the seed workload of the morphable base
+# database (``conftest.py``).
+
+from repro.footballdb.morph import (
+    DEFAULT_OPERATORS,
+    MorphError,
+    SchemaMorpher,
+    result_signature,
+)
+
+_OPERATOR_NAMES = [operator.name for operator in DEFAULT_OPERATORS]
+
+
+def _single_operator_morph(operator_name, base, attempts=8):
+    """Force a 1-step chain using exactly one operator family."""
+    operator = next(o for o in DEFAULT_OPERATORS if o.name == operator_name)
+    for seed in range(attempts):
+        try:
+            return SchemaMorpher(seed=seed, operators=[operator]).morph(
+                base, f"rt~{operator_name}{seed}", steps=1
+            )
+        except MorphError:
+            continue
+    return None
+
+
+@pytest.mark.parametrize("operator_name", _OPERATOR_NAMES)
+def test_each_operator_rewrite_round_trips_and_preserves_results(
+    operator_name, morph_base_builder, morph_probes
+):
+    base = morph_base_builder()
+    morph = _single_operator_morph(operator_name, base)
+    assert morph is not None, f"operator {operator_name} never applied"
+    assert morph.operator_names == (operator_name,)
+    for sql in morph_probes:
+        rewritten = morph.rewrite_sql(sql)
+        # formatter fixed point
+        assert format_query(parse_sql(rewritten)) == rewritten
+        # rewriting is idempotent through a parse cycle: feeding the
+        # formatted text back through parse/format is stable
+        assert format_query(parse_sql(format_query(parse_sql(rewritten)))) == rewritten
+        # result preservation
+        assert result_signature(morph.database.execute(rewritten)) == result_signature(
+            base.execute(sql)
+        ), (operator_name, sql, rewritten)
+
+
+@given(chain_seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=25, deadline=None)
+def test_property_morph_chain_rewrites_round_trip(
+    chain_seed, morph_base_builder, morph_probes
+):
+    """Arbitrary seeded chains keep every probe a formatter fixed point."""
+    base = morph_base_builder()
+    morph = SchemaMorpher(seed=chain_seed).morph(base, f"p{chain_seed}", steps=3)
+    for sql in morph_probes:
+        rewritten = morph.rewrite_sql(sql)
+        assert format_query(parse_sql(rewritten)) == rewritten

@@ -144,6 +144,63 @@ class TestParseSqlCache:
         assert len(cache) == 0
 
 
+class TestSchemaScopedKeys:
+    """Plan keys include (schema.name, schema.version): identical SQL
+    against two morphed schemas must never collide on one entry."""
+
+    @staticmethod
+    def _two_versions():
+        databases = []
+        for version in ("v1", "v1~m1"):
+            schema = Schema("footballdb", version=version)
+            schema.create_table(
+                "t",
+                [make_column("id", "int", primary_key=True), make_column("x", "int")],
+            )
+            databases.append((version, schema))
+        return databases
+
+    def test_scope_distinguishes_versions(self):
+        cache = PlanCache(capacity=8, scope=("footballdb", "v1"))
+        other = cache.for_scope(("footballdb", "v1~m1"))
+        sql = "SELECT x FROM t WHERE id = 1"
+        assert cache.plan_key(sql) != other.plan_key(sql)
+        first = parse_sql(sql, cache=cache)
+        second = parse_sql(sql, cache=other)
+        # No cross-version hit: each scope parsed (and cached) its own plan.
+        assert cache.misses == 2
+        assert cache.hits == 0
+        assert len(cache) == 2
+        assert parse_sql(sql, cache=cache) is first
+        assert parse_sql(sql, cache=other) is second
+        assert cache.hits == 2
+
+    def test_shared_cache_across_databases_keeps_entries_apart(self):
+        shared = PlanCache(capacity=16)
+        sql = "SELECT x FROM t WHERE id = 1"
+        for version, schema in self._two_versions():
+            db = Database(schema, plan_cache=shared)
+            db.insert("t", (1, 10))
+            assert db.plan_cache.scope == ("footballdb", version)
+            db.execute(sql)
+            db.execute(sql)
+        # two distinct entries, one miss + one hit per schema version
+        assert len(shared) == 2
+        assert shared.misses == 2
+        assert shared.hits == 2
+
+    def test_view_shares_storage_and_counters(self):
+        shared = PlanCache(capacity=4)
+        view = shared.for_scope(("footballdb", "v2"))
+        parse_sql("SELECT 1", cache=view)
+        assert shared.misses == 1
+        assert len(shared) == 1
+        assert shared.stats()["size"] == 1
+
+    def test_database_default_cache_is_version_scoped(self, toy_db):
+        assert toy_db.plan_cache.scope == ("toy", "")
+
+
 class TestDatabaseIntegration:
     def test_counters_track_repeats(self, toy_db):
         toy_db.execute("SELECT name FROM team WHERE team_id = 1")

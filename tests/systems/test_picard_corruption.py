@@ -176,3 +176,144 @@ class TestCorruption:
         )
         for candidate in corrupt(gold, schema, seed=seed):
             assert candidate != gold
+
+
+# ---------------------------------------------------------------------------
+# Per-operator corruption semantics (table-driven)
+# ---------------------------------------------------------------------------
+#
+# Each mechanistic operator must, on every seed schema where its trigger
+# structure exists, produce candidates that are *executable but wrong*
+# (different result multiset than gold) or *invalid and filtered* (caught
+# by the PICARD validator).  Where a data model removes the trigger
+# structure entirely (v3 has no set operations), the operator must
+# decline (return None) rather than emit a broken query.
+
+import random as _random
+
+from repro.footballdb import schema_v2
+from repro.footballdb.morph import result_signature
+from repro.sqlengine import EngineError, format_query
+from repro.systems.corruption import (
+    _drop_filter,
+    _drop_order_and_limit,
+    _drop_union_branch,
+    _truncate_value,
+    _wrong_aggregate,
+    _wrong_join_column,
+    _wrong_projection_column,
+    _wrong_year,
+)
+from repro.workload import make_intent
+
+#: operator -> (intent kwargs, versions where the trigger structure exists)
+OPERATOR_CASES = {
+    _wrong_year: (
+        dict(kind="cup_winner", year=2014),
+        ("v1", "v2", "v3"),
+    ),
+    _drop_filter: (
+        dict(kind="squad_list", team="Germany", year=2014),
+        ("v1", "v2", "v3"),
+    ),
+    _wrong_join_column: (
+        # On v2 the team_id -> opponent_team_id confusion references a
+        # column the bridge tables don't have: every candidate is
+        # schema-invalid and PICARD-filtered, which the test accepts.
+        dict(kind="match_score", team_a="Germany", team_b="Brazil", year=2014),
+        ("v1", "v2", "v3"),
+    ),
+    _drop_union_branch: (
+        dict(kind="match_score", team_a="Germany", team_b="Brazil", year=2014),
+        ("v1", "v2"),  # v3 eliminates every set operation (Table 3)
+    ),
+    _wrong_aggregate: (
+        dict(kind="team_goals_cup", team="Germany", year=2014),
+        ("v1", "v2", "v3"),
+    ),
+    _truncate_value: (
+        dict(kind="squad_list", team="Germany", year=2014),
+        ("v1", "v2", "v3"),
+    ),
+    _drop_order_and_limit: (
+        dict(kind="top_scorer_cup", year=2014),
+        ("v1", "v2", "v3"),
+    ),
+    _wrong_projection_column: (
+        dict(kind="final_score", year=2014),
+        ("v1", "v2", "v3"),
+    ),
+}
+
+_SCHEMAS = {
+    "v1": schema_v1.build_schema,
+    "v2": schema_v2.build_schema,
+    "v3": schema_v3.build_schema,
+}
+
+
+class TestOperatorTable:
+    @pytest.mark.parametrize(
+        "operator", list(OPERATOR_CASES), ids=lambda op: op.__name__
+    )
+    @pytest.mark.parametrize("version", ["v1", "v2", "v3"])
+    def test_operator_yields_wrong_or_filtered_candidates(
+        self, operator, version, football
+    ):
+        intent_kwargs, applicable = OPERATOR_CASES[operator]
+        schema = _SCHEMAS[version]()
+        gold = compile_intent(make_intent(**intent_kwargs), version)
+        database = football[version]
+        gold_result = result_signature(database.execute(gold))
+        wrong, filtered, applied = 0, 0, 0
+        for seed in range(6):
+            mutated = operator(parse_sql(gold), _random.Random(seed))
+            if mutated is None:
+                continue
+            applied += 1
+            candidate = format_query(mutated)
+            assert candidate != gold, (operator.__name__, version)
+            if not is_valid_sql(candidate, schema):
+                filtered += 1  # PICARD removes it from the beam
+                continue
+            try:
+                observed = result_signature(database.execute(candidate))
+            except EngineError:  # executable-but-failing is also filtered
+                filtered += 1
+                continue
+            if observed != gold_result:
+                wrong += 1
+        if version not in applicable:
+            assert applied == 0, (
+                f"{operator.__name__} should not trigger on {version}"
+            )
+            return
+        assert applied > 0, f"{operator.__name__} never applied on {version}"
+        assert wrong + filtered > 0, (
+            f"{operator.__name__} on {version}: no wrong or filtered candidate"
+        )
+        # The dominant error class is executable-but-wrong; every operator
+        # must produce at least one such candidate somewhere in the sweep
+        # unless everything it emitted was schema-invalid (and filtered).
+        assert wrong > 0 or filtered == applied
+
+    @pytest.mark.parametrize("version", ["v1", "v2", "v3"])
+    def test_full_beam_candidates_execute_or_are_invalid(self, version, football):
+        """corrupt() end to end: every beam member parses+executes or is
+        schema-invalid; none equals the gold text."""
+        schema = _SCHEMAS[version]()
+        database = football[version]
+        intents = [
+            make_intent(kind="cup_winner", year=2014),
+            make_intent(kind="squad_list", team="Germany", year=2014),
+            make_intent(kind="match_score", team_a="Germany", team_b="Brazil", year=2014),
+        ]
+        for intent in intents:
+            gold = compile_intent(intent, version)
+            for seed in (0, 3):
+                for candidate in corrupt(
+                    gold, schema, seed=seed, allow_invalid=True
+                ):
+                    assert candidate != gold
+                    if is_valid_sql(candidate, schema):
+                        database.execute(candidate)  # must not raise
