@@ -104,12 +104,12 @@ def test_repeated_lookup_cached(benchmark, football):
 
 
 def test_repeated_join_uncached(benchmark, football):
-    """Plan cache off AND memoized join indexes off: the seed behaviour."""
+    """Plan cache, join indexes AND optimizer off: the seed behaviour."""
     db = football["v1"]
     executor = db._executor
     executor.use_join_index = False
     try:
-        result = benchmark(db.execute, REPEATED_JOIN_SQL, cached=False)
+        result = benchmark(db.execute, REPEATED_JOIN_SQL, cached=False, optimize=False)
     finally:
         executor.use_join_index = True
     assert len(result.rows) == 23
@@ -120,3 +120,49 @@ def test_repeated_join_cached(benchmark, football):
     db.execute(REPEATED_JOIN_SQL)  # warm plan cache + join indexes
     result = benchmark(db.execute, REPEATED_JOIN_SQL)
     assert len(result.rows) == 23
+
+
+# -- optimizer: cost-based planning on vs off -----------------------------------
+#
+# The headline cases for the query optimizer: multi-join pipelines with
+# selective filters, where predicate pushdown + join reordering turn
+# full-table probe streams into filtered scans and indexed lookups.
+# ``optimize=False`` executes the raw parsed AST (the pre-optimizer
+# engine); both variants keep the plan cache and join indexes warm, so
+# the difference measured is planning effect alone.  The same cases are
+# exported to BENCH_engine.json by scripts/bench_engine.py.
+
+BOOLEAN_JOIN_SQL = (
+    "SELECT count(*) FROM match_fact AS T1 "
+    "JOIN match AS T2 ON T1.match_id = T2.match_id "
+    "JOIN national_team AS T3 ON T1.team_id = T3.team_id "
+    "WHERE T3.teamname ILIKE '%Brazil%' AND T2.year = 1958 AND T1.goal = 'True'"
+)
+
+
+def test_multi_join_filter_unoptimized(benchmark, football):
+    db = football["v1"]
+    db.execute(REPEATED_JOIN_SQL, optimize=False)  # warm
+    result = benchmark(db.execute, REPEATED_JOIN_SQL, optimize=False)
+    assert len(result.rows) == 23
+
+
+def test_multi_join_filter_optimized(benchmark, football):
+    db = football["v1"]
+    db.execute(REPEATED_JOIN_SQL)  # warm plan cache with the optimized plan
+    result = benchmark(db.execute, REPEATED_JOIN_SQL)
+    assert len(result.rows) == 23
+
+
+def test_boolean_filter_join_unoptimized(benchmark, football):
+    db = football["v1"]
+    db.execute(BOOLEAN_JOIN_SQL, optimize=False)
+    result = benchmark(db.execute, BOOLEAN_JOIN_SQL, optimize=False)
+    assert result.rows == [(6,)]
+
+
+def test_boolean_filter_join_optimized(benchmark, football):
+    db = football["v1"]
+    db.execute(BOOLEAN_JOIN_SQL)
+    result = benchmark(db.execute, BOOLEAN_JOIN_SQL)
+    assert result.rows == [(6,)]

@@ -1,0 +1,131 @@
+#!/usr/bin/env python
+"""Engine micro-benchmark exporter: optimizer on vs off → BENCH_engine.json.
+
+Times the micro-benchmark workload of ``benchmarks/bench_engine_micro.py``
+with the cost-based optimizer enabled and disabled (plan cache and join
+indexes warm in both modes, so the measured delta is planning effect
+alone) and writes a compact JSON artifact.  The CI ``bench-smoke`` job
+runs this on every push and uploads the artifact, seeding the repo's
+performance trajectory; a reference copy generated on the development
+machine is committed at ``benchmarks/BENCH_engine.json``.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_engine.py \
+        --rounds 5 --output BENCH_engine.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+
+from repro.footballdb import build_universe, load_all
+
+CASES = {
+    "point_lookup": (
+        "SELECT teamname FROM national_team WHERE team_id = 7",
+        1,
+    ),
+    "filtered_scan_large_table": (
+        "SELECT count(*) FROM club_league_hist WHERE season_year = 2010",
+        1,
+    ),
+    "aggregation_group_by": (
+        "SELECT year, count(*) FROM match GROUP BY year ORDER BY year",
+        22,
+    ),
+    "multi_join_filter": (
+        "SELECT T3.full_name FROM player_fact AS T1 "
+        "JOIN national_team AS T2 ON T1.team_id = T2.team_id "
+        "JOIN player AS T3 ON T1.player_id = T3.player_id "
+        "WHERE T2.teamname ILIKE '%Brazil%' AND T1.year = 2002",
+        23,
+    ),
+    "boolean_filter_join": (
+        "SELECT count(*) FROM match_fact AS T1 "
+        "JOIN match AS T2 ON T1.match_id = T2.match_id "
+        "JOIN national_team AS T3 ON T1.team_id = T3.team_id "
+        "WHERE T3.teamname ILIKE '%Brazil%' AND T2.year = 1958 "
+        "AND T1.goal = 'True'",
+        1,
+    ),
+    "exists_subquery": (
+        "SELECT teamname FROM national_team AS T1 WHERE EXISTS "
+        "(SELECT T2.match_id, T2.year FROM match AS T2 "
+        "WHERE T2.home_team_id = T1.team_id AND T2.year = 2014)",
+        None,
+    ),
+}
+
+
+def time_case(db, sql: str, optimize: bool, rounds: int) -> tuple:
+    db.execute(sql, optimize=optimize)  # warm plan cache + join indexes
+    best = float("inf")
+    rows = 0
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = db.execute(sql, optimize=optimize)
+        best = min(best, time.perf_counter() - start)
+        rows = len(result.rows)
+    return best * 1000.0, rows
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rounds", type=int, default=5)
+    parser.add_argument("--output", default="BENCH_engine.json")
+    parser.add_argument("--version", default="v1", choices=["v1", "v2", "v3"])
+    args = parser.parse_args()
+
+    started = time.perf_counter()
+    football = load_all(universe=build_universe(seed=2022))
+    db = football[args.version]
+
+    cases = {}
+    for name, (sql, expected_rows) in CASES.items():
+        unoptimized_ms, rows = time_case(db, sql, optimize=False, rounds=args.rounds)
+        optimized_ms, optimized_rows = time_case(
+            db, sql, optimize=True, rounds=args.rounds
+        )
+        if rows != optimized_rows:
+            print(f"FATAL: row-count divergence in {name}", file=sys.stderr)
+            return 1
+        if expected_rows is not None and rows != expected_rows:
+            print(f"FATAL: unexpected row count in {name}: {rows}", file=sys.stderr)
+            return 1
+        speedup = unoptimized_ms / optimized_ms if optimized_ms else 0.0
+        cases[name] = {
+            "sql": sql,
+            "rows": rows,
+            "unoptimized_ms": round(unoptimized_ms, 4),
+            "optimized_ms": round(optimized_ms, 4),
+            "speedup": round(speedup, 2),
+        }
+        print(
+            f"{name:28s} {unoptimized_ms:10.3f} ms -> {optimized_ms:8.3f} ms "
+            f"({speedup:7.1f}x)"
+        )
+
+    payload = {
+        "benchmark": "sqlengine micro (optimizer on/off, best of rounds)",
+        "data_model": args.version,
+        "rounds": args.rounds,
+        "python": platform.python_version(),
+        "optimizer": db.optimizer_stats(),
+        "plan_cache": db.plan_cache_stats(),
+        "cases": cases,
+        "wall_seconds": round(time.perf_counter() - started, 2),
+    }
+    with open(args.output, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

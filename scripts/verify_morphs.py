@@ -31,13 +31,16 @@ def verify(
     base: Database,
     base_sqlite: sqlite3.Connection,
     queries,
+    optimize: bool = True,
 ) -> int:
     morph_sqlite = to_sqlite(morph.database)
     failures = 0
     for sql in queries:
         rewritten = morph.rewrite_sql(sql)
-        base_engine = result_signature(base.execute(sql))
-        morph_engine = result_signature(morph.database.execute(rewritten))
+        base_engine = result_signature(base.execute(sql, optimize=optimize))
+        morph_engine = result_signature(
+            morph.database.execute(rewritten, optimize=optimize)
+        )
         lite_base = result_signature(
             sqlite_result(base_sqlite, sqlite_dialect(sql))
         )
@@ -67,6 +70,11 @@ def main() -> int:
         "--split", default="test", choices=["test", "full"],
         help="gold queries to sweep: the 100-question test split or all 400",
     )
+    parser.add_argument(
+        "--optimize", default=True, action=argparse.BooleanOptionalAction,
+        help="run the engine with the cost-based optimizer on (default) or "
+        "off (--no-optimize); CI sweeps both modes",
+    )
     args = parser.parse_args()
 
     started = time.perf_counter()
@@ -79,9 +87,11 @@ def main() -> int:
         dataset.test_examples if args.split == "test" else dataset.examples
     )
     queries = sorted({example.gold[args.base] for example in examples})
+    mode = "optimizer on" if args.optimize else "optimizer off"
     print(
         f"verifying {args.count} morphs of {args.base} "
-        f"(seed={args.seed}, steps<={args.steps}) over {len(queries)} gold queries"
+        f"(seed={args.seed}, steps<={args.steps}, {mode}) "
+        f"over {len(queries)} gold queries"
     )
 
     morpher = SchemaMorpher(seed=args.seed)
@@ -89,14 +99,14 @@ def main() -> int:
     failures = 0
     for morph in morphs:
         print(f"  {morph.describe()}")
-        failures += verify(morph, base, base_sqlite, queries)
+        failures += verify(morph, base, base_sqlite, queries, optimize=args.optimize)
     elapsed = time.perf_counter() - started
     if failures:
         print(f"FAILED: {failures} diverging queries ({elapsed:.1f}s)")
         return 1
     print(
         f"OK: {args.count} morphs x {len(queries)} queries byte-identical "
-        f"on engine and sqlite3 ({elapsed:.1f}s)"
+        f"on engine and sqlite3 with {mode} ({elapsed:.1f}s)"
     )
     return 0
 

@@ -60,10 +60,13 @@ class TextToSQLService:
     question text; only *answered* responses are cached (failures stay
     retryable).  A cache hit is served at zero latency, which is the
     realistic deployment behaviour the Table 7 latency discussion
-    assumes for repeated World Cup questions.  The cache assumes the
-    serving database is read-only (the deployment model of Figure 2);
-    after mutating the database, call :meth:`clear_response_cache` or
-    stale rows will keep being served.
+    assumes for repeated World Cup questions.  The cache
+    self-invalidates on database mutation: every ``ask`` compares the
+    database's mutation epoch (``Database.data_epoch``, bumped by any
+    insert or rollback) against the epoch the cache was filled under
+    and drops all entries on mismatch, so stale rows are never served
+    after a write.  :meth:`clear_response_cache` remains available for
+    manual resets.
 
     Latency percentiles are computed over a sliding window of the most
     recent ``latency_window`` responses, so a long-running service
@@ -90,11 +93,14 @@ class TextToSQLService:
         self._latencies: Deque[float] = deque(maxlen=latency_window)
         self._questions_served = 0
         self._questions_answered = 0
+        self._cache_epoch = database.data_epoch()
+        self._cache_invalidations = 0
         # guards the counters and latency log under concurrent ask()
         self._metrics_lock = threading.Lock()
 
     def ask(self, question: str) -> ServiceResponse:
         if self.response_cache is not None:
+            self._invalidate_if_mutated()
             cached = self.response_cache.get(question)
             if cached is not None:
                 return self._record(replace(cached, from_cache=True, latency_seconds=0.0))
@@ -151,8 +157,25 @@ class TextToSQLService:
             self._latencies.append(response.latency_seconds)
         return response
 
+    def _invalidate_if_mutated(self) -> None:
+        """Drop cached responses when the database changed underneath us.
+
+        The clear happens inside the lock, *before* the new epoch is
+        published: any thread that later observes a matching epoch is
+        therefore guaranteed (lock ordering) the stale entries are
+        already gone — there is no window to serve pre-mutation rows.
+        """
+        epoch = self.database.data_epoch()
+        with self._metrics_lock:
+            if epoch == self._cache_epoch:
+                return
+            self.response_cache.clear()
+            self._cache_epoch = epoch
+            self._cache_invalidations += 1
+
     def clear_response_cache(self) -> None:
-        """Drop all cached responses (call after mutating the database)."""
+        """Drop all cached responses (manual reset; mutation-driven
+        invalidation happens automatically on the next ``ask``)."""
         if self.response_cache is not None:
             self.response_cache.clear()
 
@@ -168,10 +191,13 @@ class TextToSQLService:
             latencies = sorted(self._latencies)
             served = self._questions_served
             answered = self._questions_answered
+            invalidations = self._cache_invalidations
         count = len(latencies)
         cache_stats = (
             self.response_cache.stats() if self.response_cache is not None else None
         )
+        if cache_stats is not None:
+            cache_stats["invalidations"] = invalidations
         return {
             "questions_served": served,
             "questions_answered": answered,
@@ -183,4 +209,5 @@ class TextToSQLService:
             "p99_latency_seconds": percentile(latencies, 0.99),
             "response_cache": cache_stats,
             "plan_cache": self.database.plan_cache_stats(),
+            "optimizer": self.database.optimizer_stats(),
         }

@@ -101,12 +101,20 @@ class GridConfig:
 
 @dataclass(frozen=True)
 class GridSummary:
-    """Wall-clock accounting for one :meth:`ParallelHarness.run` call."""
+    """Wall-clock accounting for one :meth:`ParallelHarness.run` call.
+
+    ``engine`` carries the plan-cache and optimizer counters this run
+    added — per-run deltas over :func:`engine_report` snapshots taken
+    around the sweep (cache ``size`` is the current gauge) — so cache
+    health and optimizer effect are observable straight off a sweep
+    result.
+    """
 
     configs: int
     questions: int
     wall_seconds: float
     workers: int
+    engine: Optional[Dict[str, Any]] = None
 
     @property
     def configs_per_second(self) -> float:
@@ -117,11 +125,74 @@ class GridSummary:
         return self.questions / self.wall_seconds if self.wall_seconds > 0 else 0.0
 
     def describe(self) -> str:
-        return (
+        text = (
             f"{self.configs} configs / {self.questions} questions in "
             f"{self.wall_seconds:.2f}s on {self.workers} workers "
             f"({self.questions_per_second:.0f} q/s)"
         )
+        if self.engine:
+            cache = self.engine["plan_cache"]
+            optimizer = self.engine["optimizer"]
+            text += (
+                f"; plan cache {cache['hits']}/{cache['hits'] + cache['misses']}"
+                f" hits, optimizer {optimizer['optimizations']} plans in "
+                f"{optimizer['optimize_seconds'] * 1000:.1f}ms"
+            )
+        return text
+
+
+def engine_report(football: FootballDB) -> Dict[str, Any]:
+    """Aggregate engine counters over every registered database.
+
+    Plan-cache hit/miss/eviction totals plus optimizer plan counts and
+    planning time — the numbers `GridSummary.engine` and the service's
+    ``metrics()`` expose so end-to-end cache health is observable.
+    Counters are cumulative since database creation (``GridSummary``
+    reports per-run deltas on top); a cache shared across schema
+    variants via ``PlanCache.for_scope`` is counted exactly once,
+    keyed on its ``storage_token``.
+    """
+    plan_cache = {"size": 0, "hits": 0, "misses": 0, "evictions": 0}
+    optimizer = {
+        "optimizations": 0,
+        "reoptimizations": 0,
+        "optimize_seconds": 0.0,
+        "stats_builds": 0,
+    }
+    seen_caches = set()
+    for version in football.versions:
+        database = football[version]
+        cache = database.plan_cache
+        if cache is not None and cache.storage_token not in seen_caches:
+            seen_caches.add(cache.storage_token)
+            cache_stats = cache.stats()
+            for key in ("size", "hits", "misses", "evictions"):
+                plan_cache[key] += cache_stats[key]
+        optimizer_stats = database.optimizer_stats()
+        for key in optimizer:
+            optimizer[key] += optimizer_stats[key]
+    lookups = plan_cache["hits"] + plan_cache["misses"]
+    plan_cache["hit_rate"] = plan_cache["hits"] / lookups if lookups else 0.0
+    return {"plan_cache": plan_cache, "optimizer": optimizer}
+
+
+def engine_report_delta(
+    before: Dict[str, Any], after: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Per-run engine counters: ``after - before`` for the monotonic
+    counters, current value for the gauges (cache ``size``)."""
+    plan_cache = {
+        key: after["plan_cache"][key] - before["plan_cache"][key]
+        for key in ("hits", "misses", "evictions")
+    }
+    plan_cache["size"] = after["plan_cache"]["size"]
+    lookups = plan_cache["hits"] + plan_cache["misses"]
+    plan_cache["hit_rate"] = plan_cache["hits"] / lookups if lookups else 0.0
+    optimizer = {
+        key: after["optimizer"][key] - before["optimizer"][key]
+        for key in after["optimizer"]
+    }
+    return {"plan_cache": plan_cache, "optimizer": optimizer}
 
 
 class ParallelHarness:
@@ -198,6 +269,7 @@ class ParallelHarness:
             finally:
                 self._checkin(harness)
 
+        engine_before = engine_report(self.football)
         start = time.perf_counter()
         if workers <= 1 or len(configs) <= 1:
             results = [evaluate(config) for config in configs]
@@ -210,6 +282,7 @@ class ParallelHarness:
             questions=sum(len(result.outcomes) for result in results),
             wall_seconds=wall,
             workers=workers,
+            engine=engine_report_delta(engine_before, engine_report(self.football)),
         )
         return results, summary
 

@@ -54,6 +54,15 @@ from .ast_nodes import (
 )
 from .catalog import Column, ForeignKey, Schema, Table
 from .database import Database, make_column
+from .optimizer import (
+    ColumnStats,
+    PhysicalPlan,
+    PlannedSelect,
+    StatsManager,
+    TableStats,
+    explain_plan,
+    optimize_query,
+)
 from .errors import (
     CatalogError,
     ConstraintError,
@@ -78,6 +87,7 @@ __all__ = [
     "CatalogError",
     "Column",
     "ColumnRef",
+    "ColumnStats",
     "Conjunction",
     "ConstraintError",
     "DEFAULT_PLAN_CACHE_SIZE",
@@ -98,7 +108,9 @@ __all__ = [
     "Literal",
     "OrderItem",
     "ParseError",
+    "PhysicalPlan",
     "PlanCache",
+    "PlannedSelect",
     "QueryNode",
     "Result",
     "ScalarSubquery",
@@ -109,14 +121,17 @@ __all__ = [
     "SetOperator",
     "SqlType",
     "Star",
+    "StatsManager",
     "Table",
     "TableRef",
+    "TableStats",
     "Token",
     "TokenType",
     "TokenizeError",
     "TypeMismatchError",
     "UnaryOp",
     "contains_aggregate",
+    "explain_plan",
     "format_expression",
     "format_literal",
     "format_query",
@@ -125,6 +140,7 @@ __all__ = [
     "make_column",
     "normalize_for_comparison",
     "normalize_sql",
+    "optimize_query",
     "parse_sql",
     "sqlite_dialect",
     "sqlite_result",

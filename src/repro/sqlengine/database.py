@@ -8,10 +8,13 @@ against it.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Optional, Sequence
+import threading
+import time
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
 
 from .catalog import Column, Schema, Table
 from .executor import Executor, Result
+from .optimizer import PhysicalPlan, StatsManager, explain_plan, optimize_query
 from .parser import parse_sql
 from .plan_cache import DEFAULT_PLAN_CACHE_SIZE, PlanCache
 from .storage import Storage, TableData
@@ -27,6 +30,14 @@ class Database:
     length, see docs/ARCHITECTURE.md) that matters most for the
     short, highly repetitive statements the evaluation harness and
     the deployed service issue; scan-bound analytics gain modestly.
+
+    Statements additionally pass through the cost-based optimizer
+    (:mod:`repro.sqlengine.optimizer`) unless ``optimize=False`` is
+    given — per call or for the whole database.  The plan cache stores
+    *optimized* plans: entries carry the statistics epoch they were
+    planned under, so a mutation re-plans (not just re-parses) on the
+    next hit, and the raw parsed AST rides along inside the entry for
+    ``optimize=False`` calls.
     """
 
     def __init__(
@@ -35,10 +46,19 @@ class Database:
         enforce_foreign_keys: bool = True,
         plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE,
         plan_cache: Optional[PlanCache] = None,
+        optimize: bool = True,
     ) -> None:
         self.schema = schema
         self.storage = Storage(schema, enforce_foreign_keys=enforce_foreign_keys)
         self._executor = Executor(self.storage)
+        self.optimize = optimize
+        self.stats = StatsManager(self.storage)
+        self._optimizer_lock = threading.Lock()
+        self._optimizer_counters: Dict[str, Any] = {
+            "optimizations": 0,
+            "reoptimizations": 0,
+            "optimize_seconds": 0.0,
+        }
         # Plans are keyed on (schema.name, schema.version, normalized SQL)
         # so a cache shared across schema variants (``plan_cache=``, used
         # by the morph fleets) never serves one version's plan for
@@ -72,28 +92,126 @@ class Database:
         return count
 
     # -- querying ---------------------------------------------------------------
-    def execute(self, sql: str, cached: bool = True) -> Result:
-        """Parse and execute a SQL string.
+    def execute(
+        self, sql: str, cached: bool = True, optimize: Optional[bool] = None
+    ) -> Result:
+        """Parse, optimize and execute a SQL string.
 
         ``cached=False`` bypasses the plan cache for this call (used by
         benchmarks and cache-equivalence tests); the storage-level join
         indexes are independent and controlled by
-        :attr:`Executor.use_join_index`.
+        :attr:`Executor.use_join_index`.  ``optimize=False`` is the
+        escape hatch executing the raw parsed AST exactly as the
+        pre-optimizer engine did (``None`` inherits the database-wide
+        :attr:`optimize` default).
         """
-        cache = self.plan_cache if cached else None
-        return self._executor.execute(parse_sql(sql, cache=cache))
+        plan = self._plan_for(sql, cached, self._resolve_optimize(optimize))
+        root = plan.root if isinstance(plan, PhysicalPlan) else plan
+        return self._executor.execute(root)
 
-    def execute_many(self, statements: Iterable[str], cached: bool = True) -> List[Result]:
+    def execute_many(
+        self,
+        statements: Iterable[str],
+        cached: bool = True,
+        optimize: Optional[bool] = None,
+    ) -> List[Result]:
         """Batch entry point: execute statements in order.
 
         Repeats within the batch hit the plan cache, which is what
         makes the harness' gold-vs-predicted pairs and the service's
         ``ask_many`` fast.
         """
-        return [self.execute(sql, cached=cached) for sql in statements]
+        return [self.execute(sql, cached=cached, optimize=optimize) for sql in statements]
 
     def execute_ast(self, query) -> Result:
         return self._executor.execute(query)
+
+    def explain(self, sql: str, optimize: Optional[bool] = None) -> str:
+        """The textual execution plan for ``sql`` (without executing it).
+
+        With optimization on (the default) the rendering includes scan
+        and join annotations — table cardinalities, pushed predicates,
+        the planner's cardinality estimates — plus the list of applied
+        rewrites and the statistics epoch; with ``optimize=False`` it
+        shows the raw logical plan.  The format is stable and covered
+        by golden-string tests.
+        """
+        if self._resolve_optimize(optimize):
+            plan = self._plan_for(sql, cached=True, optimize=True)
+            if not isinstance(plan, PhysicalPlan):  # pragma: no cover - safety
+                plan = self._optimize(plan)
+        else:
+            ast = self._plan_for(sql, cached=True, optimize=False)
+            plan = PhysicalPlan(
+                root=ast, source=ast, stats_epoch=self.stats.epoch(), rewrites=()
+            )
+        return explain_plan(plan, sql=sql)
+
+    # -- planning ----------------------------------------------------------------
+    def _resolve_optimize(self, optimize: Optional[bool]) -> bool:
+        return self.optimize if optimize is None else optimize
+
+    def _plan_for(
+        self, sql: str, cached: bool, optimize: bool
+    ) -> Union[PhysicalPlan, Any]:
+        """Parsed (and possibly optimized) plan for ``sql``.
+
+        Cache entries are either raw ASTs (written by ``optimize=False``
+        misses) or :class:`PhysicalPlan` objects, which embed the raw
+        AST as ``source`` — so toggling ``optimize`` never re-parses,
+        and a stale stats epoch re-plans from the embedded source.
+        """
+        cache = self.plan_cache if cached else None
+        entry = cache.get_plan(sql) if cache is not None else None
+        if isinstance(entry, PhysicalPlan):
+            if not optimize:
+                return entry.source
+            if entry.stats_epoch == self.stats.epoch():
+                return entry
+            plan = self._optimize(entry.source, replan=True)
+            cache.put_plan(sql, plan)
+            return plan
+        if entry is not None:  # raw AST cached by an optimize=False miss
+            if not optimize:
+                return entry
+            plan = self._optimize(entry)
+            cache.put_plan(sql, plan)
+            return plan
+        ast = parse_sql(sql)
+        if not optimize:
+            if cache is not None:
+                cache.put_plan(sql, ast)
+            return ast
+        plan = self._optimize(ast)
+        if cache is not None:
+            cache.put_plan(sql, plan)
+        return plan
+
+    def _optimize(self, ast, replan: bool = False) -> PhysicalPlan:
+        start = time.perf_counter()
+        plan = optimize_query(ast, self.schema, self.stats)
+        elapsed = time.perf_counter() - start
+        with self._optimizer_lock:
+            self._optimizer_counters["optimizations"] += 1
+            if replan:
+                self._optimizer_counters["reoptimizations"] += 1
+            self._optimizer_counters["optimize_seconds"] += elapsed
+        return plan
+
+    def optimizer_stats(self) -> Dict[str, Any]:
+        """Optimizer observability: counts, time spent, stats state."""
+        with self._optimizer_lock:
+            counters = dict(self._optimizer_counters)
+        counters.update(
+            enabled=self.optimize,
+            stats_builds=self.stats.builds,
+            stats_epoch=self.stats.epoch(),
+        )
+        return counters
+
+    def data_epoch(self) -> int:
+        """Monotonic mutation counter (see ``Storage.data_epoch``)."""
+        return self.storage.data_epoch()
 
     def plan_cache_stats(self) -> Dict[str, Any]:
         """Hit/miss/eviction counters (zeros when the cache is disabled)."""

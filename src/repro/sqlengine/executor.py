@@ -60,6 +60,8 @@ from .values import (
     sql_equal,
     sql_not,
     sql_or,
+    sql_text,
+    type_class,
 )
 
 
@@ -310,15 +312,38 @@ class Executor:
     def _evaluate_from(self, query: SelectQuery, outer: Optional[Scope]) -> List[Frame]:
         if query.from_table is None:
             return [EMPTY_FRAME]
-        frames = self._scan(query.from_table)
+        # Optimized plans (optimizer.PlannedSelect) carry predicates
+        # pushed down to the scan; a plain SelectQuery has none.  The
+        # filter keeps rows under the same _truthy test WHERE would
+        # apply later, so only the amount of work changes, never the
+        # surviving frame sequence.
+        scan_filters = getattr(query, "scan_filters", None)
+        pushed = (
+            scan_filters.get(query.from_table.binding.lower())
+            if scan_filters
+            else None
+        )
+        frames = self._scan(query.from_table, pushed, outer)
         for join in query.joins:
             frames = self._apply_join(frames, join, outer)
         return frames
 
-    def _scan(self, ref: TableRef) -> List[Frame]:
+    def _scan(
+        self,
+        ref: TableRef,
+        pushed: Optional[Expression] = None,
+        outer: Optional[Scope] = None,
+    ) -> List[Frame]:
         data = self.storage.data(ref.table)
         binding = ref.binding
-        return [Frame([(binding, data.table, row)]) for row in data.rows]
+        frames = [Frame([(binding, data.table, row)]) for row in data.rows]
+        if pushed is not None:
+            frames = [
+                frame
+                for frame in frames
+                if self._truthy(pushed, Scope(frame, None, outer))
+            ]
+        return frames
 
     def _apply_join(
         self, frames: List[Frame], join: Join, outer: Optional[Scope]
@@ -383,8 +408,74 @@ class Executor:
                 isinstance(inner, ColumnRef)
                 and self._belongs_to_new(inner, sample_frame, new_binding, new_table)
                 and not self._references_binding(other, new_binding, new_table, sample_frame)
+                and self._hash_compatible(inner, other, sample_frame, new_table)
             ):
                 return other, inner.column
+        return None
+
+    def _hash_compatible(
+        self,
+        inner: ColumnRef,
+        other: Expression,
+        sample_frame: Frame,
+        new_table: Table,
+    ) -> bool:
+        """Whether ``inner = other`` may be evaluated by hash lookup.
+
+        Hash keys use ``normalize_for_comparison``, which does NOT
+        perform ``sql_equal``'s cross-type alignment (booleans against
+        ``'True'`` text, numbers against numeric strings) — alignment
+        is not even transitive, so no canonical key exists for mixed
+        classes.  A term is hashable only when both sides provably
+        belong to the same type class (numbers normalize consistently
+        across int/real); everything else stays a residual term
+        evaluated with full ``sql_equal`` semantics.
+        """
+        if not new_table.has_column(inner.column):
+            return False  # residual evaluation raises the proper error
+        column_class = type_class(new_table.column(inner.column).sql_type)
+        other_class = self._static_class(other, sample_frame)
+        return other_class is not None and other_class in ("null", column_class)
+
+    def _static_class(
+        self, expr: Expression, sample_frame: Frame
+    ) -> Optional[str]:
+        """Static type class of an ON-condition operand, or None."""
+        if isinstance(expr, Literal):
+            value = expr.value
+            if value is None:
+                return "null"
+            if isinstance(value, bool):
+                return "bool"
+            if isinstance(value, (int, float)):
+                return "number"
+            return "text"
+        if isinstance(expr, ColumnRef):
+            if expr.table is not None:
+                found = sample_frame.lookup_binding(expr.table)
+                if found is None:
+                    return None
+                table, _ = found
+            else:
+                owners = [
+                    table
+                    for _, table, _ in sample_frame.entries
+                    if table.has_column(expr.column)
+                ]
+                if len(owners) != 1:
+                    return None
+                table = owners[0]
+            if not table.has_column(expr.column):
+                return None
+            return type_class(table.column(expr.column).sql_type)
+        if isinstance(expr, BinaryOp):
+            if expr.op in ("+", "-", "*", "/", "%"):
+                return "number"
+            if expr.op == "||":
+                return "text"
+            return None
+        if isinstance(expr, UnaryOp) and expr.op == "-":
+            return "number"
         return None
 
     @staticmethod
@@ -733,7 +824,7 @@ class Executor:
         if op == "||":
             if left is None or right is None:
                 return None
-            return _text(left) + _text(right)
+            return sql_text(left) + sql_text(right)
         if left is None or right is None:
             return None
         if not isinstance(left, (int, float)) or isinstance(left, bool):
@@ -859,12 +950,6 @@ def _apply_limit(rows: List[tuple], limit: Optional[int], offset: Optional[int])
     if limit is None:
         return rows[start:]
     return rows[start : start + limit]
-
-
-def _text(value: Any) -> str:
-    if isinstance(value, bool):
-        return "true" if value else "false"
-    return str(value)
 
 
 _LIKE_CACHE: Dict[Tuple[str, bool], re.Pattern] = {}

@@ -1,0 +1,52 @@
+"""Cost-based query optimizer for the in-memory SQL engine.
+
+Four cooperating modules:
+
+* :mod:`~repro.sqlengine.optimizer.stats` — lazily maintained
+  per-table cardinalities and per-column NDV/min-max/null-fraction
+  summaries, invalidated by the storage mutation epoch;
+* :mod:`~repro.sqlengine.optimizer.rewrites` — semantics-preserving
+  logical rewrites (constant folding, subquery simplification,
+  redundant-DISTINCT elimination);
+* :mod:`~repro.sqlengine.optimizer.planner` — predicate pushdown and
+  greedy cost-based join ordering, emitting an annotated
+  :class:`PlannedSelect` the executor runs unchanged;
+* :mod:`~repro.sqlengine.optimizer.explain` — the stable textual plan
+  behind ``Database.explain(sql)``.
+
+The correctness contract: for every query, optimized and unoptimized
+execution return identical results (identical up to the row order of
+queries that never specified one) — enforced differentially against
+the full benchmark, seeded morph chains and sqlite3 by
+``tests/sqlengine/test_optimizer_differential.py``.
+"""
+
+from .explain import explain_plan
+from .planner import (
+    Estimator,
+    JoinNote,
+    PhysicalPlan,
+    PlannedSelect,
+    ScanNote,
+    SelectNotes,
+    optimize_query,
+)
+from .rewrites import fold_expression, simplify_subquery
+from .stats import ColumnStats, StatsManager, TableStats, profile_table
+
+__all__ = [
+    "ColumnStats",
+    "Estimator",
+    "JoinNote",
+    "PhysicalPlan",
+    "PlannedSelect",
+    "ScanNote",
+    "SelectNotes",
+    "StatsManager",
+    "TableStats",
+    "explain_plan",
+    "fold_expression",
+    "optimize_query",
+    "profile_table",
+    "simplify_subquery",
+]

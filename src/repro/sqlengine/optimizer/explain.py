@@ -1,0 +1,173 @@
+"""EXPLAIN: render a physical plan as a stable, testable text tree.
+
+``Database.explain(sql)`` returns this rendering.  The format is part
+of the test surface (golden-string tests in
+``tests/sqlengine/test_explain.py``), so changes here are deliberate:
+
+* one node per line, two-space indentation per nesting level;
+* scans and joins carry bracketed annotations — actual table row
+  counts and the planner's cardinality estimates;
+* the footer lists the rewrites applied and the statistics epoch the
+  plan was computed under.
+
+Example::
+
+    plan for: SELECT name FROM team WHERE founded > 1900
+    select
+      scan team  [rows=3 filter: founded > 1900 est=2]
+      project: name
+    rewrites: pushdown(1)
+    stats epoch: 8
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..ast_nodes import (
+    Join,
+    JoinKind,
+    QueryNode,
+    SelectQuery,
+    SetOperation,
+    Star,
+)
+from ..formatter import format_expression
+from .planner import PhysicalPlan, PlannedSelect
+
+
+def explain_plan(plan: PhysicalPlan, sql: str = "") -> str:
+    lines: List[str] = []
+    if sql:
+        lines.append(f"plan for: {sql}")
+    _render_node(plan.root, lines, indent=0)
+    rewrites = ", ".join(plan.rewrites) if plan.rewrites else "none"
+    lines.append(f"rewrites: {rewrites}")
+    lines.append(f"stats epoch: {plan.stats_epoch}")
+    return "\n".join(lines)
+
+
+def _pad(indent: int) -> str:
+    return "  " * indent
+
+
+def _render_node(node: QueryNode, lines: List[str], indent: int) -> None:
+    if isinstance(node, SetOperation):
+        lines.append(f"{_pad(indent)}{node.operator.value.lower()}")
+        _render_node(node.left, lines, indent + 1)
+        _render_node(node.right, lines, indent + 1)
+        if node.order_by:
+            lines.append(f"{_pad(indent + 1)}order by: {_order_text(node.order_by)}")
+        _render_window(node.limit, node.offset, lines, indent + 1)
+        return
+    _render_select(node, lines, indent)
+
+
+def _render_select(select: SelectQuery, lines: List[str], indent: int) -> None:
+    pad = _pad(indent)
+    inner = _pad(indent + 1)
+    lines.append(f"{pad}select")
+    notes = select.notes if isinstance(select, PlannedSelect) else None
+
+    if select.from_table is None:
+        lines.append(f"{inner}no table")
+    else:
+        scan = notes.scan if notes is not None else None
+        binding = _binding_text(select.from_table.table, select.from_table.alias)
+        if scan is not None:
+            annotation = f"rows={scan.rows}"
+            if scan.pushed is not None:
+                annotation += (
+                    f" filter: {format_expression(scan.pushed)} est={scan.est_rows}"
+                )
+            lines.append(f"{inner}scan {binding}  [{annotation}]")
+        else:
+            lines.append(f"{inner}scan {binding}")
+        note_by_binding = {}
+        if notes is not None:
+            note_by_binding = {
+                note.binding.lower(): note for note in notes.joins
+            }
+        for join in select.joins:
+            lines.append(
+                _join_line(join, note_by_binding.get(join.table.binding.lower()), inner)
+            )
+
+    if select.where is not None:
+        lines.append(f"{inner}where: {format_expression(select.where)}")
+    if select.group_by:
+        rendered = ", ".join(format_expression(expr) for expr in select.group_by)
+        lines.append(f"{inner}group by: {rendered}")
+    if select.having is not None:
+        lines.append(f"{inner}having: {format_expression(select.having)}")
+    if select.distinct:
+        lines.append(f"{inner}distinct")
+    if select.order_by:
+        lines.append(f"{inner}order by: {_order_text(select.order_by)}")
+    _render_window(select.limit, select.offset, lines, indent + 1)
+    lines.append(f"{inner}project: {_projection_text(select)}")
+
+    # Nested subqueries get their own indented plan blocks.
+    for subquery, role in _iter_direct_subqueries(select):
+        lines.append(f"{inner}{role} subquery:")
+        _render_node(subquery, lines, indent + 2)
+
+
+def _join_line(join: Join, note, inner: str) -> str:
+    binding = _binding_text(join.table.table, join.table.alias)
+    if join.kind is JoinKind.CROSS or join.condition is None:
+        text = f"cross join {binding}"
+    else:
+        strategy = "left join" if join.kind is JoinKind.LEFT else "hash join"
+        text = f"{strategy} {binding} ON {format_expression(join.condition)}"
+    if note is not None:
+        annotation = f"rows={note.rows}"
+        if note.est_rows is not None:
+            annotation += f" est out={note.est_rows}"
+        text += f"  [{annotation}]"
+    return f"{inner}{text}"
+
+
+def _binding_text(table: str, alias) -> str:
+    return f"{table} AS {alias}" if alias else table
+
+
+def _render_window(limit, offset, lines: List[str], indent: int) -> None:
+    if limit is not None:
+        lines.append(f"{_pad(indent)}limit {limit}")
+    if offset is not None:
+        lines.append(f"{_pad(indent)}offset {offset}")
+
+
+def _order_text(order_by) -> str:
+    return ", ".join(
+        format_expression(item.expr) + (" DESC" if item.descending else "")
+        for item in order_by
+    )
+
+
+def _projection_text(select: SelectQuery) -> str:
+    parts = []
+    for item in select.projections:
+        if isinstance(item.expr, Star):
+            parts.append(f"{item.expr.table}.*" if item.expr.table else "*")
+        else:
+            rendered = format_expression(item.expr)
+            if item.alias:
+                rendered += f" AS {item.alias}"
+            parts.append(rendered)
+    return ", ".join(parts)
+
+
+def _iter_direct_subqueries(select: SelectQuery):
+    """(subquery, role) pairs directly below this SELECT's expressions."""
+    from ..ast_nodes import ExistsOp, InOp, ScalarSubquery
+
+    for expr in select.iter_expressions():
+        for node in expr.walk():
+            if isinstance(node, ExistsOp):
+                yield node.subquery, "exists"
+            elif isinstance(node, ScalarSubquery):
+                yield node.subquery, "scalar"
+            elif isinstance(node, InOp) and node.subquery is not None:
+                yield node.subquery, "in"

@@ -1,0 +1,853 @@
+"""Cost-based planning: predicate pushdown and greedy join ordering.
+
+The planner turns a parsed :class:`~repro.sqlengine.ast_nodes.SelectQuery`
+into a :class:`PlannedSelect` — a drop-in ``SelectQuery`` subclass the
+executor runs unchanged, carrying two physical additions:
+
+* ``scan_filters`` — single-binding WHERE conjuncts pushed down to the
+  FROM-table scan, so frames that cannot survive the WHERE clause never
+  enter the join pipeline;
+* a join list rewritten in a cost-chosen order, with pushed conjuncts
+  folded into the ON conditions (the executor's equi-condition splitter
+  turns ``col = literal`` terms into hash-index key columns for free).
+
+Safety is the organizing principle: every transformation either
+provably commutes with the original evaluation order or is skipped.
+The bail-out conditions are spelled out on each pass; when *anything*
+cannot be statically resolved the select is planned as the identity
+(annotated but untransformed), so invalid queries keep their exact
+runtime errors.
+
+Cardinality estimation follows the classic System-R recipe over the
+:mod:`~repro.sqlengine.optimizer.stats` summaries: equality selects
+``1/NDV``, ranges interpolate min/max, equi-joins select
+``1/max(NDV_left, NDV_right)``.  Estimates only ever change *speed*,
+never results — the executor does not read them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..ast_nodes import (
+    BetweenOp,
+    BinaryOp,
+    CaseExpr,
+    ColumnRef,
+    Conjunction,
+    ExistsOp,
+    Expression,
+    FunctionCall,
+    InOp,
+    IsNullOp,
+    Join,
+    JoinKind,
+    LikeOp,
+    Literal,
+    QueryNode,
+    ScalarSubquery,
+    SelectQuery,
+    SetOperation,
+    Star,
+    TableRef,
+    UnaryOp,
+)
+from ..catalog import Schema
+from .rewrites import (
+    SelectContext,
+    Unplannable,
+    cannot_raise_predicate,
+    drop_redundant_distinct,
+    fold_expression,
+    referenced_bindings,
+    simplify_subquery,
+)
+from .stats import StatsManager
+
+#: selectivity defaults (textbook values) when statistics cannot decide
+DEFAULT_EQ_SELECTIVITY = 0.1
+DEFAULT_RANGE_SELECTIVITY = 1.0 / 3.0
+DEFAULT_LIKE_SELECTIVITY = 0.25
+DEFAULT_SELECTIVITY = 1.0 / 3.0
+
+
+# ---------------------------------------------------------------------------
+# Plan node types
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ScanNote:
+    """EXPLAIN annotation for the FROM-table scan."""
+
+    table: str
+    binding: str
+    rows: int
+    pushed: Optional[Expression]
+    est_rows: int
+
+
+@dataclass(frozen=True)
+class JoinNote:
+    """EXPLAIN annotation for one join step."""
+
+    table: str
+    binding: str
+    kind: str  # "hash" | "nested" | "left" | "cross"
+    rows: int
+    est_rows: Optional[int] = None  # estimated frames flowing out of this step
+
+
+@dataclass(frozen=True)
+class SelectNotes:
+    """What the planner did to one SELECT core."""
+
+    scan: Optional[ScanNote]
+    joins: Tuple[JoinNote, ...]
+    pushed_predicates: int
+    reordered: bool
+    rewrites: Tuple[str, ...]
+
+
+@dataclass
+class PlannedSelect(SelectQuery):
+    """A SELECT core with physical planning attached.
+
+    The executor treats it exactly as a ``SelectQuery`` except for
+    ``scan_filters`` (applied while scanning the FROM table); the
+    ``notes`` exist only for EXPLAIN and observability.
+    """
+
+    scan_filters: Dict[str, Expression] = field(default_factory=dict)
+    notes: Optional[SelectNotes] = None
+
+
+@dataclass(frozen=True)
+class PhysicalPlan:
+    """What the plan cache stores: source AST + planned tree + epoch."""
+
+    root: QueryNode
+    source: QueryNode
+    stats_epoch: int
+    rewrites: Tuple[str, ...]
+
+
+# ---------------------------------------------------------------------------
+# Selectivity estimation
+# ---------------------------------------------------------------------------
+
+
+def _clamp(value: float) -> float:
+    return min(1.0, max(0.0, value))
+
+
+def _single_column(expr: Expression, context: SelectContext, binding: str) -> Optional[str]:
+    """The column name if ``expr`` is a reference into ``binding``."""
+    if isinstance(expr, ColumnRef):
+        refs = referenced_bindings(expr, context)
+        if refs == {binding}:
+            if expr.table is not None:
+                return expr.column
+            return expr.column
+    return None
+
+
+class Estimator:
+    """Selectivity/cardinality estimates for one SELECT core."""
+
+    def __init__(self, context: SelectContext, stats: StatsManager) -> None:
+        self.context = context
+        self.stats = stats
+
+    def table_rows(self, binding: str) -> int:
+        table = self.context.table(binding)
+        if table is None:
+            return 0
+        return self.stats.table_stats(table.name).row_count
+
+    def _column_stats(self, binding: str, column: str):
+        table = self.context.table(binding)
+        if table is None or not table.has_column(column):
+            return None
+        return self.stats.column_stats(table.name, column)
+
+    def predicate_selectivity(self, expr: Expression, binding: str) -> float:
+        """Estimated fraction of ``binding`` rows satisfying ``expr``."""
+        if isinstance(expr, Conjunction):
+            parts = [
+                self.predicate_selectivity(term, binding) for term in expr.terms
+            ]
+            if expr.op == "AND":
+                product = 1.0
+                for part in parts:
+                    product *= part
+                return _clamp(product)
+            miss = 1.0
+            for part in parts:
+                miss *= 1.0 - part
+            return _clamp(1.0 - miss)
+        if isinstance(expr, UnaryOp) and expr.op == "NOT":
+            return _clamp(1.0 - self.predicate_selectivity(expr.operand, binding))
+        if isinstance(expr, BinaryOp) and expr.op in ("=", "<>", "<", "<=", ">", ">="):
+            column = _single_column(expr.left, self.context, binding)
+            literal = expr.right if isinstance(expr.right, Literal) else None
+            if column is None:
+                column = _single_column(expr.right, self.context, binding)
+                literal = expr.left if isinstance(expr.left, Literal) else None
+            if column is None:
+                return DEFAULT_SELECTIVITY
+            stats = self._column_stats(binding, column)
+            if expr.op == "=":
+                if stats is not None and stats.ndv > 0:
+                    return _clamp(1.0 / stats.ndv)
+                return DEFAULT_EQ_SELECTIVITY
+            if expr.op == "<>":
+                if stats is not None and stats.ndv > 0:
+                    return _clamp(1.0 - 1.0 / stats.ndv)
+                return 1.0 - DEFAULT_EQ_SELECTIVITY
+            if stats is not None and literal is not None:
+                value = literal.value
+                fraction = None
+                if expr.op in ("<", "<="):
+                    fraction = stats.range_fraction(stats.minimum, value)
+                elif expr.op in (">", ">="):
+                    fraction = stats.range_fraction(value, stats.maximum)
+                if fraction is not None:
+                    return _clamp(fraction)
+            return DEFAULT_RANGE_SELECTIVITY
+        if isinstance(expr, BetweenOp):
+            column = _single_column(expr.expr, self.context, binding)
+            if (
+                column is not None
+                and isinstance(expr.low, Literal)
+                and isinstance(expr.high, Literal)
+            ):
+                stats = self._column_stats(binding, column)
+                if stats is not None:
+                    fraction = stats.range_fraction(expr.low.value, expr.high.value)
+                    if fraction is not None:
+                        selectivity = _clamp(fraction)
+                        return _clamp(1.0 - selectivity) if expr.negated else selectivity
+            return DEFAULT_RANGE_SELECTIVITY
+        if isinstance(expr, IsNullOp):
+            column = _single_column(expr.expr, self.context, binding)
+            if column is not None:
+                stats = self._column_stats(binding, column)
+                if stats is not None:
+                    fraction = _clamp(stats.null_fraction)
+                    return _clamp(1.0 - fraction) if expr.negated else fraction
+            return DEFAULT_EQ_SELECTIVITY
+        if isinstance(expr, InOp) and expr.options is not None:
+            column = _single_column(expr.expr, self.context, binding)
+            if column is not None:
+                stats = self._column_stats(binding, column)
+                if stats is not None and stats.ndv > 0:
+                    fraction = _clamp(len(expr.options) / stats.ndv)
+                    return _clamp(1.0 - fraction) if expr.negated else fraction
+            return DEFAULT_RANGE_SELECTIVITY
+        if isinstance(expr, LikeOp):
+            return DEFAULT_LIKE_SELECTIVITY
+        return DEFAULT_SELECTIVITY
+
+    def join_selectivity(self, condition: Expression, bindings: Set[str]) -> float:
+        """Selectivity of an equi-join condition between placed bindings."""
+        terms = (
+            list(condition.terms)
+            if isinstance(condition, Conjunction) and condition.op == "AND"
+            else [condition]
+        )
+        selectivity = 1.0
+        for term in terms:
+            if (
+                isinstance(term, BinaryOp)
+                and term.op == "="
+                and isinstance(term.left, ColumnRef)
+                and isinstance(term.right, ColumnRef)
+            ):
+                ndvs = []
+                for ref in (term.left, term.right):
+                    refs = referenced_bindings(ref, self.context)
+                    if refs and len(refs) == 1:
+                        (owner,) = refs
+                        stats = self._column_stats(owner, ref.column)
+                        if stats is not None and stats.ndv > 0:
+                            ndvs.append(stats.ndv)
+                selectivity *= 1.0 / max(ndvs) if ndvs else DEFAULT_EQ_SELECTIVITY
+            else:
+                selectivity *= DEFAULT_SELECTIVITY
+        return _clamp(selectivity)
+
+
+# ---------------------------------------------------------------------------
+# Predicate pushdown
+# ---------------------------------------------------------------------------
+
+
+def _conjuncts(expr: Optional[Expression]) -> List[Expression]:
+    if expr is None:
+        return []
+    if isinstance(expr, Conjunction) and expr.op == "AND":
+        return list(expr.terms)
+    return [expr]
+
+
+def _and_together(terms: Sequence[Expression]) -> Optional[Expression]:
+    if not terms:
+        return None
+    if len(terms) == 1:
+        return terms[0]
+    return Conjunction("AND", tuple(terms))
+
+
+def _pushable_bindings(select: SelectQuery) -> Set[str]:
+    """Bindings safe to receive pushed predicates.
+
+    The FROM table and every INNER/CROSS-joined table qualify; the
+    nullable side of a LEFT join never does (a pushed predicate would
+    suppress the NULL-extended row that WHERE would have seen).
+    """
+    allowed: Set[str] = set()
+    if select.from_table is not None:
+        allowed.add(select.from_table.binding.lower())
+    for join in select.joins:
+        if join.kind in (JoinKind.INNER, JoinKind.CROSS):
+            allowed.add(join.table.binding.lower())
+    return allowed
+
+
+def push_predicates(
+    select: SelectQuery, context: SelectContext
+) -> Tuple[SelectQuery, Dict[str, Expression], int]:
+    """Move single-binding WHERE conjuncts toward their tables.
+
+    Returns ``(rewritten select, scan filters, pushed count)``.  WHERE
+    keeps frames where the predicate is TRUE; a scan filter and an
+    ON-condition term keep rows under exactly the same ``_truthy``
+    test, and filtering earlier commutes with every later (inner or
+    left) join because joins act frame-by-frame.  Conjuncts containing
+    subqueries, outer references, stars or ambiguous names stay put —
+    as does anything :func:`cannot_raise_predicate` cannot prove
+    error-free, because moving a predicate changes how often it is
+    evaluated and must never make a runtime error appear or vanish.
+    """
+    if select.where is None or select.from_table is None:
+        return select, {}, 0
+    allowed = _pushable_bindings(select)
+    if not allowed:
+        return select, {}, 0
+    residual: List[Expression] = []
+    pushed: Dict[str, List[Expression]] = {}
+    for conjunct in _conjuncts(select.where):
+        refs = referenced_bindings(conjunct, context)
+        if refs is not None and len(refs) == 1:
+            (binding,) = refs
+            if binding in allowed and cannot_raise_predicate(conjunct, context):
+                pushed.setdefault(binding, []).append(conjunct)
+                continue
+        residual.append(conjunct)
+    if not pushed:
+        return select, {}, 0
+    pushed_count = sum(len(terms) for terms in pushed.values())
+    scan_filters: Dict[str, Expression] = {}
+    from_key = select.from_table.binding.lower()
+    if from_key in pushed:
+        scan_filters[from_key] = _and_together(pushed.pop(from_key))
+    joins: List[Join] = []
+    for join in select.joins:
+        key = join.table.binding.lower()
+        extra = pushed.pop(key, None)
+        if extra is None:
+            joins.append(join)
+            continue
+        terms = ([] if join.condition is None else [join.condition]) + extra
+        joins.append(Join(JoinKind.INNER, join.table, _and_together(terms)))
+    rewritten = SelectQuery(
+        projections=select.projections,
+        from_table=select.from_table,
+        joins=joins,
+        where=_and_together(residual),
+        group_by=select.group_by,
+        having=select.having,
+        order_by=select.order_by,
+        limit=select.limit,
+        offset=select.offset,
+        distinct=select.distinct,
+    )
+    return rewritten, scan_filters, pushed_count
+
+
+# ---------------------------------------------------------------------------
+# Join ordering
+# ---------------------------------------------------------------------------
+
+
+def _may_reorder(select: SelectQuery) -> bool:
+    """Join commutation is applied only where it provably cannot be
+    observed: all-INNER join pipelines (LEFT is order-sensitive and a
+    CROSS join carries no condition to reattach), no unqualified ``*``
+    (its column order follows the join order), and no LIMIT/OFFSET at
+    all (which rows survive an unsorted — or tie-broken — cut depends
+    on join enumeration order).
+    """
+    if not select.joins or select.from_table is None:
+        return False
+    if select.limit is not None or select.offset is not None:
+        return False
+    if any(join.kind is not JoinKind.INNER or join.condition is None
+           for join in select.joins):
+        return False
+    if any(isinstance(item.expr, Star) and item.expr.table is None
+           for item in select.projections):
+        return False
+    return True
+
+
+def order_joins(
+    select: SelectQuery,
+    context: SelectContext,
+    estimator: Estimator,
+    scan_filters: Dict[str, Expression],
+) -> Tuple[SelectQuery, List[JoinNote], Optional[ScanNote], bool]:
+    """Greedy cost-based join ordering (System-R style, greedy not DP).
+
+    Nodes are FROM-clause bindings; each original ON condition is an
+    edge requiring all referenced bindings to be placed.  Start from
+    the smallest filtered table, then repeatedly join the table whose
+    attachment minimizes the estimated intermediate cardinality.
+    Bails (returns the original order) whenever a condition cannot be
+    attributed to bindings or the graph is disconnected.
+    """
+    bindings: Dict[str, TableRef] = {}
+    if select.from_table is not None:
+        bindings[select.from_table.binding.lower()] = select.from_table
+    for join in select.joins:
+        bindings[join.table.binding.lower()] = join.table
+
+    # Estimated starting cardinality per binding (after pushed filters).
+    base_rows: Dict[str, float] = {}
+    for key in bindings:
+        rows = float(estimator.table_rows(key))
+        pushed = scan_filters.get(key)
+        if pushed is not None:
+            rows *= estimator.predicate_selectivity(pushed, key)
+        base_rows[key] = max(rows, 1.0)
+
+    # Edges: (condition, referenced binding set); every condition must
+    # statically resolve to local bindings — and be provably unable to
+    # raise, since reordering changes how many (frame, row) pairs each
+    # condition is evaluated on — or we keep the parsed order.
+    edges: List[Tuple[Expression, Set[str]]] = []
+    for join in select.joins:
+        refs = referenced_bindings(join.condition, context)
+        if refs is None or not refs:
+            return select, [], None, False
+        if not cannot_raise_predicate(join.condition, context):
+            return select, [], None, False
+        edges.append((join.condition, set(refs)))
+
+    placed: List[str] = []
+    placed_set: Set[str] = set()
+    remaining_edges = list(edges)
+    order: List[Tuple[str, List[Expression]]] = []  # (binding, conditions)
+
+    start = min(bindings, key=lambda key: base_rows[key])
+    placed.append(start)
+    placed_set.add(start)
+
+    current = base_rows[start]
+    notes: List[JoinNote] = []
+    while len(placed) < len(bindings):
+        best: Optional[Tuple[float, str, List[Expression]]] = None
+        for candidate in bindings:
+            if candidate in placed_set:
+                continue
+            attachable = [
+                (condition, refs)
+                for condition, refs in remaining_edges
+                if refs <= placed_set | {candidate} and candidate in refs
+            ]
+            if not attachable:
+                continue
+            selectivity = 1.0
+            for condition, refs in attachable:
+                selectivity *= estimator.join_selectivity(condition, refs)
+            estimate = current * base_rows[candidate] * selectivity
+            if best is None or estimate < best[0]:
+                best = (estimate, candidate, [c for c, _ in attachable])
+        if best is None:
+            return select, [], None, False  # disconnected: keep parsed order
+        estimate, chosen, conditions = best
+        placed.append(chosen)
+        placed_set.add(chosen)
+        remaining_edges = [
+            (condition, refs)
+            for condition, refs in remaining_edges
+            if not refs <= placed_set
+        ]
+        order.append((chosen, conditions))
+        current = max(estimate, 1.0)
+        notes.append(
+            JoinNote(
+                table=bindings[chosen].table,
+                binding=bindings[chosen].binding,
+                kind="hash",
+                rows=estimator.table_rows(chosen),
+                est_rows=int(round(current)),
+            )
+        )
+    if remaining_edges:
+        return select, [], None, False  # a condition never became coverable
+
+    start_key = placed[0]
+    new_from = bindings[start_key]
+    # Two filter relocations around the new order:
+    # * a binding demoted from FROM to a join takes its pushed scan
+    #   filter with it — ANDed into the join condition, where the
+    #   equi-splitter evaluates it per matched row;
+    # * ON conjuncts that reference only the new FROM binding hoist
+    #   into its scan filter, so base rows are dropped before any
+    #   probing (everything here already passed cannot_raise_predicate).
+    hoisted: List[Expression] = []
+    new_joins = []
+    for key, conditions in order:
+        displaced = scan_filters.pop(key, None)
+        if displaced is not None:
+            conditions = conditions + [displaced]
+        kept_terms: List[Expression] = []
+        for condition in conditions:
+            for term in _conjuncts(condition):
+                if referenced_bindings(term, context) == {start_key}:
+                    hoisted.append(term)
+                else:
+                    kept_terms.append(term)
+        new_joins.append(
+            Join(JoinKind.INNER, bindings[key], _and_together(kept_terms))
+        )
+    if hoisted:
+        existing = scan_filters.get(start_key)
+        terms = ([existing] if existing is not None else []) + hoisted
+        scan_filters[start_key] = _and_together(terms)
+    reordered = new_from is not select.from_table or any(
+        new.table is not old.table or new.condition is not old.condition
+        for new, old in zip(new_joins, select.joins)
+    )
+    rebuilt = SelectQuery(
+        projections=select.projections,
+        from_table=new_from,
+        joins=new_joins,
+        where=select.where,
+        group_by=select.group_by,
+        having=select.having,
+        order_by=select.order_by,
+        limit=select.limit,
+        offset=select.offset,
+        distinct=select.distinct,
+    )
+    scan_key = new_from.binding.lower()
+    scan_rows = estimator.table_rows(scan_key)
+    final_filter = scan_filters.get(scan_key)
+    est_rows = scan_rows
+    if final_filter is not None:
+        est_rows = int(
+            round(scan_rows * estimator.predicate_selectivity(final_filter, scan_key))
+        )
+    scan_note = ScanNote(
+        table=new_from.table,
+        binding=new_from.binding,
+        rows=scan_rows,
+        pushed=final_filter,
+        est_rows=est_rows,
+    )
+    return rebuilt, notes, scan_note, reordered
+
+
+# ---------------------------------------------------------------------------
+# Per-select planning pipeline
+# ---------------------------------------------------------------------------
+
+
+class Planner:
+    """Plans whole query trees against one schema + statistics set."""
+
+    def __init__(self, schema: Schema, stats: StatsManager) -> None:
+        self.schema = schema
+        self.stats = stats
+
+    # -- expression recursion (optimizes nested subqueries) -----------------
+    def _plan_expression(self, expr: Expression, applied: List[str]) -> Expression:
+        """Rebuild ``expr`` with every nested subquery planned.
+
+        Nodes without subqueries below them are returned as-is (object
+        identity is preserved so unchanged plans share the parsed AST).
+        """
+        if isinstance(expr, ExistsOp):
+            return ExistsOp(
+                subquery=self._plan_subquery(expr.subquery, "exists", applied),
+                negated=expr.negated,
+            )
+        if isinstance(expr, ScalarSubquery):
+            return ScalarSubquery(
+                subquery=self._plan_subquery(expr.subquery, "scalar", applied)
+            )
+        if isinstance(expr, InOp):
+            inner = self._plan_expression(expr.expr, applied)
+            options = (
+                tuple(self._plan_expression(o, applied) for o in expr.options)
+                if expr.options
+                else expr.options
+            )
+            subquery = (
+                self._plan_subquery(expr.subquery, "in", applied)
+                if expr.subquery is not None
+                else None
+            )
+            if (
+                inner is expr.expr
+                and options is expr.options
+                and subquery is expr.subquery
+            ):
+                return expr
+            return InOp(inner, options=options, subquery=subquery, negated=expr.negated)
+        if isinstance(expr, Conjunction):
+            terms = tuple(self._plan_expression(t, applied) for t in expr.terms)
+            if any(new is not old for new, old in zip(terms, expr.terms)):
+                return Conjunction(expr.op, terms)
+            return expr
+        if isinstance(expr, BinaryOp):
+            left = self._plan_expression(expr.left, applied)
+            right = self._plan_expression(expr.right, applied)
+            if left is not expr.left or right is not expr.right:
+                return BinaryOp(expr.op, left, right)
+            return expr
+        if isinstance(expr, UnaryOp):
+            operand = self._plan_expression(expr.operand, applied)
+            if operand is not expr.operand:
+                return UnaryOp(expr.op, operand)
+            return expr
+        if isinstance(expr, BetweenOp):
+            value = self._plan_expression(expr.expr, applied)
+            low = self._plan_expression(expr.low, applied)
+            high = self._plan_expression(expr.high, applied)
+            if value is expr.expr and low is expr.low and high is expr.high:
+                return expr
+            return BetweenOp(value, low, high, negated=expr.negated)
+        if isinstance(expr, LikeOp):
+            value = self._plan_expression(expr.expr, applied)
+            pattern = self._plan_expression(expr.pattern, applied)
+            if value is expr.expr and pattern is expr.pattern:
+                return expr
+            return LikeOp(value, pattern, expr.case_insensitive, expr.negated)
+        if isinstance(expr, IsNullOp):
+            inner = self._plan_expression(expr.expr, applied)
+            if inner is expr.expr:
+                return expr
+            return IsNullOp(inner, negated=expr.negated)
+        if isinstance(expr, FunctionCall):
+            args = tuple(self._plan_expression(a, applied) for a in expr.args)
+            if all(new is old for new, old in zip(args, expr.args)):
+                return expr
+            return FunctionCall(expr.name, args, distinct=expr.distinct)
+        if isinstance(expr, CaseExpr):
+            whens = tuple(
+                (
+                    self._plan_expression(condition, applied),
+                    self._plan_expression(result, applied),
+                )
+                for condition, result in expr.whens
+            )
+            default = (
+                self._plan_expression(expr.default, applied)
+                if expr.default is not None
+                else None
+            )
+            if default is expr.default and all(
+                new_c is old_c and new_r is old_r
+                for (new_c, new_r), (old_c, old_r) in zip(whens, expr.whens)
+            ):
+                return expr
+            return CaseExpr(whens=whens, default=default)
+        return expr
+
+    def _plan_subquery(self, node: QueryNode, role: str, applied: List[str]) -> QueryNode:
+        if isinstance(node, SetOperation):
+            return self.plan_query(node, applied)
+        simplified, labels = simplify_subquery(node, self.schema, role)
+        applied.extend(labels)
+        return self._plan_select(simplified, applied)
+
+    # -- query/select planning ----------------------------------------------
+    def plan_query(self, node: QueryNode, applied: List[str]) -> QueryNode:
+        if isinstance(node, SetOperation):
+            return SetOperation(
+                operator=node.operator,
+                left=self.plan_query(node.left, applied),
+                right=self.plan_query(node.right, applied),
+                order_by=node.order_by,
+                limit=node.limit,
+                offset=node.offset,
+            )
+        return self._plan_select(node, applied)
+
+    def _plan_select(self, select: SelectQuery, applied: List[str]) -> SelectQuery:
+        try:
+            context = SelectContext(select, self.schema)
+        except Unplannable:
+            return select  # unresolvable FROM clause: identity plan
+
+        rewrites: List[str] = []
+
+        # 1. constant folding in filter positions
+        where = select.where
+        if where is not None:
+            folded = fold_expression(where)
+            if folded is not where:
+                rewrites.append("constant-fold")
+            where = folded
+            if isinstance(where, Literal) and where.value is True:
+                where = None
+                rewrites.append("drop-true-where")
+        having = select.having
+        if having is not None:
+            folded = fold_expression(having)
+            if folded is not having:
+                rewrites.append("constant-fold-having")
+            having = folded
+            if isinstance(having, Literal) and having.value is True:
+                having = None
+        joins = []
+        for join in select.joins:
+            if join.condition is None:
+                joins.append(join)
+                continue
+            folded = fold_expression(join.condition)
+            if folded is not join.condition:
+                rewrites.append("constant-fold-join")
+                joins.append(Join(join.kind, join.table, folded))
+            else:
+                joins.append(join)
+
+        # 2. recurse into subqueries wherever they appear
+        current = SelectQuery(
+            projections=[
+                _rebuild_item(item, self._plan_expression(item.expr, rewrites))
+                for item in select.projections
+            ],
+            from_table=select.from_table,
+            joins=joins,
+            where=self._plan_expression(where, rewrites) if where is not None else None,
+            group_by=[self._plan_expression(e, rewrites) for e in select.group_by],
+            having=self._plan_expression(having, rewrites) if having is not None else None,
+            order_by=[
+                _rebuild_order_item(item, self._plan_expression(item.expr, rewrites))
+                for item in select.order_by
+            ],
+            limit=select.limit,
+            offset=select.offset,
+            distinct=select.distinct,
+        )
+
+        # 3. PK-based DISTINCT elimination
+        undistinct = drop_redundant_distinct(current, context)
+        if undistinct is not None:
+            current = undistinct
+            rewrites.append("drop-pk-distinct")
+
+        # 4. predicate pushdown
+        current, scan_filters, pushed_count = push_predicates(current, context)
+        if pushed_count:
+            rewrites.append(f"pushdown({pushed_count})")
+
+        # 5. cost-based join ordering
+        estimator = Estimator(context, self.stats)
+        join_notes: List[JoinNote] = []
+        scan_note: Optional[ScanNote] = None
+        reordered = False
+        if _may_reorder(current):
+            current, join_notes, scan_note, reordered = order_joins(
+                current, context, estimator, scan_filters
+            )
+            if reordered:
+                rewrites.append("join-reorder")
+        if scan_note is None and current.from_table is not None:
+            key = current.from_table.binding.lower()
+            rows = estimator.table_rows(key)
+            pushed = scan_filters.get(key)
+            est = rows
+            if pushed is not None:
+                est = int(round(rows * estimator.predicate_selectivity(pushed, key)))
+            scan_note = ScanNote(
+                table=current.from_table.table,
+                binding=current.from_table.binding,
+                rows=rows,
+                pushed=pushed,
+                est_rows=est,
+            )
+        if not join_notes and current.joins:
+            join_notes = [
+                JoinNote(
+                    table=join.table.table,
+                    binding=join.table.binding,
+                    kind=(
+                        "cross"
+                        if join.kind is JoinKind.CROSS or join.condition is None
+                        else "left" if join.kind is JoinKind.LEFT else "hash"
+                    ),
+                    rows=estimator.table_rows(join.table.binding.lower()),
+                )
+                for join in current.joins
+            ]
+
+        applied.extend(rewrites)
+        planned = PlannedSelect(
+            projections=current.projections,
+            from_table=current.from_table,
+            joins=current.joins,
+            where=current.where,
+            group_by=current.group_by,
+            having=current.having,
+            order_by=current.order_by,
+            limit=current.limit,
+            offset=current.offset,
+            distinct=current.distinct,
+            scan_filters=scan_filters,
+            notes=SelectNotes(
+                scan=scan_note,
+                joins=tuple(join_notes),
+                pushed_predicates=pushed_count,
+                reordered=reordered,
+                rewrites=tuple(rewrites),
+            ),
+        )
+        return planned
+
+
+def _rebuild_item(item, expr):
+    from ..ast_nodes import SelectItem
+
+    if expr is item.expr:
+        return item
+    return SelectItem(expr, item.alias)
+
+
+def _rebuild_order_item(item, expr):
+    from ..ast_nodes import OrderItem
+
+    if expr is item.expr:
+        return item
+    return OrderItem(expr, item.descending)
+
+
+def optimize_query(
+    node: QueryNode, schema: Schema, stats: StatsManager
+) -> PhysicalPlan:
+    """Plan ``node`` and wrap it for the plan cache."""
+    applied: List[str] = []
+    planner = Planner(schema, stats)
+    root = planner.plan_query(node, applied)
+    return PhysicalPlan(
+        root=root,
+        source=node,
+        stats_epoch=stats.epoch(),
+        rewrites=tuple(applied),
+    )

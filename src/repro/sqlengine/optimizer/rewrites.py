@@ -1,0 +1,680 @@
+"""Logical rewrites: constant folding and subquery simplification.
+
+Every rewrite here must be *exactly* semantics-preserving with respect
+to the executor — including error behaviour and SQL three-valued
+logic — because the optimizer's contract is that optimized and
+unoptimized execution return byte-identical results (enforced by the
+differential sweep in ``tests/sqlengine/test_optimizer_differential.py``).
+
+Three consequences shape the code:
+
+* folding uses the very same helpers the executor evaluates with
+  (:func:`~repro.sqlengine.values.sql_equal` and friends), so a folded
+  literal can never disagree with runtime evaluation;
+* anything that *could* raise at runtime (string arithmetic, division
+  by zero, unresolvable column references) is left untouched — the
+  optimizer folds only what it can prove, and bails to the identity
+  rewrite otherwise;
+* AND/OR short-circuit order is respected: a constant ``FALSE`` only
+  collapses the whole conjunction when every term before it is a
+  literal, otherwise the remaining terms are truncated but the prefix
+  keeps its evaluation order (so a term that would raise still raises).
+
+All functions are pure: input ASTs (which may live in the plan cache
+and be shared across threads) are never mutated — changed nodes are
+rebuilt with :func:`dataclasses.replace`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..ast_nodes import (
+    BetweenOp,
+    BinaryOp,
+    CaseExpr,
+    ColumnRef,
+    Conjunction,
+    ExistsOp,
+    Expression,
+    FunctionCall,
+    InOp,
+    IsNullOp,
+    LikeOp,
+    Literal,
+    OrderItem,
+    ScalarSubquery,
+    SelectItem,
+    SelectQuery,
+    Star,
+    UnaryOp,
+    contains_aggregate,
+)
+from ..catalog import Schema, Table
+from ..errors import CatalogError
+from ..values import TYPE_CLASSES, sql_compare, sql_equal, sql_not, sql_text
+
+
+class Unplannable(Exception):
+    """Raised internally when a query cannot be statically analyzed.
+
+    The planner catches it and falls back to the identity plan — the
+    unoptimized AST executes exactly as before, preserving whatever
+    runtime behaviour (including errors) the query has.
+    """
+
+
+# ---------------------------------------------------------------------------
+# Binding resolution
+# ---------------------------------------------------------------------------
+
+
+class SelectContext:
+    """The FROM-clause binding map of one SELECT core."""
+
+    def __init__(self, select: SelectQuery, schema: Schema) -> None:
+        self.schema = schema
+        self.bindings: Dict[str, Table] = {}
+        self.order: List[str] = []  # binding keys in FROM order
+        for ref in select.table_refs:
+            key = ref.binding.lower()
+            if key in self.bindings:
+                raise Unplannable(f"duplicate binding {ref.binding!r}")
+            try:
+                table = schema.table(ref.table)
+            except CatalogError as exc:
+                raise Unplannable(str(exc)) from exc
+            self.bindings[key] = table
+            self.order.append(key)
+
+    def table(self, binding: str) -> Optional[Table]:
+        return self.bindings.get(binding.lower())
+
+
+def contains_subquery(expr: Expression) -> bool:
+    for node in expr.walk():
+        if isinstance(node, (ExistsOp, ScalarSubquery)):
+            return True
+        if isinstance(node, InOp) and node.subquery is not None:
+            return True
+    return False
+
+
+def referenced_bindings(
+    expr: Expression, context: SelectContext
+) -> Optional[Set[str]]:
+    """Local bindings referenced by ``expr``, or ``None`` if unresolvable.
+
+    ``None`` means a reference could belong to an outer (correlated)
+    scope, is ambiguous, or sits inside a subquery — in every such case
+    the caller must treat the expression as immovable.
+    """
+    if contains_subquery(expr):
+        return None
+    found: Set[str] = set()
+    for node in expr.walk():
+        if isinstance(node, Star):
+            return None
+        if not isinstance(node, ColumnRef):
+            continue
+        if node.table is not None:
+            table = context.table(node.table)
+            if table is None:
+                return None  # outer scope or unknown alias
+            if not table.has_column(node.column):
+                return None  # would raise at runtime — leave in place
+            found.add(node.table.lower())
+        else:
+            owners = [
+                key
+                for key, table in context.bindings.items()
+                if table.has_column(node.column)
+            ]
+            if len(owners) != 1:
+                return None  # outer-scoped (0) or ambiguous (>1)
+            found.add(owners[0])
+    return found
+
+
+def order_items_statically_safe(
+    select: SelectQuery, context: SelectContext
+) -> bool:
+    """True when dropping ORDER BY cannot suppress a runtime error.
+
+    Positional items must be in-range integer literals (impossible to
+    verify when a projection is ``*``), column items must resolve to a
+    projection alias or exactly one local binding.
+    """
+    has_star = any(isinstance(item.expr, Star) for item in select.projections)
+    aliases = {
+        item.alias.lower() for item in select.projections if item.alias
+    }
+    for item in select.order_by:
+        expr = item.expr
+        if isinstance(expr, Literal):
+            if not isinstance(expr.value, int) or isinstance(expr.value, bool):
+                return False
+            if has_star or not 1 <= expr.value <= len(select.projections):
+                return False
+            continue
+        if isinstance(expr, ColumnRef):
+            if expr.table is None and expr.column.lower() in aliases:
+                continue
+            if referenced_bindings(expr, context):
+                continue
+            return False
+        return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Static error-freedom analysis
+# ---------------------------------------------------------------------------
+#
+# Moving a predicate (WHERE → scan filter / ON condition, or between
+# joins) changes *how often* it is evaluated.  For a predicate that can
+# raise (``text_col > 5`` hits a TypeMismatchError the moment a
+# non-numeric string meets the comparison), that would make errors
+# appear or vanish depending on the plan — breaking byte-identical
+# optimized/unoptimized behaviour.  So predicates only move when this
+# analysis proves evaluation can never raise, using the catalog's
+# column types (values are coerced on insert, so the types are exact).
+
+def _value_class(expr: Expression, context: SelectContext) -> Optional[str]:
+    """Static type class of a value expression, or None if unprovable.
+
+    Classes: "number", "text", "bool", "null".  ``None`` means the
+    expression might raise during evaluation or has an unknown type.
+    NULL column values are fine — every evaluation helper handles
+    ``None`` operands without raising.
+    """
+    if isinstance(expr, Literal):
+        value = expr.value
+        if value is None:
+            return "null"
+        if isinstance(value, bool):
+            return "bool"
+        if isinstance(value, (int, float)):
+            return "number"
+        return "text"
+    if isinstance(expr, ColumnRef):
+        refs = referenced_bindings(expr, context)
+        if not refs:
+            return None
+        (binding,) = refs
+        table = context.table(binding)
+        column = table.column(expr.column) if table is not None else None
+        return TYPE_CLASSES.get(column.sql_type) if column else None
+    if isinstance(expr, UnaryOp) and expr.op == "-":
+        operand = _value_class(expr.operand, context)
+        return "number" if operand in ("number", "null") else None
+    if isinstance(expr, BinaryOp):
+        left = _value_class(expr.left, context)
+        right = _value_class(expr.right, context)
+        if left is None or right is None:
+            return None
+        if expr.op == "||":
+            return "text"
+        if expr.op in ("+", "-", "*"):
+            if {left, right} <= {"number", "null"}:
+                return "number"
+            return None
+        if expr.op in ("/", "%"):
+            # a zero divisor raises; only a provably non-zero literal is safe
+            if (
+                {left, right} <= {"number", "null"}
+                and isinstance(expr.right, Literal)
+                and expr.right.value not in (0, 0.0, None)
+            ):
+                return "number"
+            return None
+    return None
+
+
+def _comparable(left: Optional[str], right: Optional[str]) -> bool:
+    """True when ``sql_compare`` on these classes can never raise.
+
+    The only raising combination is text vs number with a non-numeric
+    string (``_align`` falls through and ``<`` raises); bool/text and
+    bool/number pairs align or compare natively.
+    """
+    if left is None or right is None:
+        return False
+    if "null" in (left, right):
+        return True
+    return {left, right} != {"text", "number"}
+
+
+def cannot_raise_predicate(expr: Expression, context: SelectContext) -> bool:
+    """True when evaluating ``expr`` as a filter can never raise.
+
+    Covers both value evaluation and the boolean coercion the executor
+    applies (a bare TEXT value raises in ``_eval_boolean``).
+    """
+    if isinstance(expr, Conjunction):
+        return all(cannot_raise_predicate(term, context) for term in expr.terms)
+    if isinstance(expr, UnaryOp) and expr.op == "NOT":
+        return cannot_raise_predicate(expr.operand, context)
+    if isinstance(expr, BinaryOp):
+        if expr.op in ("=", "<>"):
+            # sql_equal aligns or falls back to ==, which never raises
+            return (
+                _value_class(expr.left, context) is not None
+                and _value_class(expr.right, context) is not None
+            )
+        if expr.op in ("<", "<=", ">", ">="):
+            return _comparable(
+                _value_class(expr.left, context),
+                _value_class(expr.right, context),
+            )
+        return False
+    if isinstance(expr, BetweenOp):
+        value = _value_class(expr.expr, context)
+        return _comparable(value, _value_class(expr.low, context)) and _comparable(
+            value, _value_class(expr.high, context)
+        )
+    if isinstance(expr, IsNullOp):
+        return _value_class(expr.expr, context) is not None
+    if isinstance(expr, LikeOp):
+        # LIKE stringifies both operands; evaluation cannot raise
+        return (
+            _value_class(expr.expr, context) is not None
+            and _value_class(expr.pattern, context) is not None
+        )
+    if isinstance(expr, InOp) and expr.subquery is None:
+        if _value_class(expr.expr, context) is None:
+            return False
+        return all(
+            _value_class(option, context) is not None
+            for option in (expr.options or ())
+        )
+    if isinstance(expr, Literal):
+        # a bare string literal raises at boolean coercion
+        return _value_class(expr, context) in ("bool", "null", "number")
+    if isinstance(expr, ColumnRef):
+        return _value_class(expr, context) in ("bool", "number")
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Constant folding
+# ---------------------------------------------------------------------------
+
+
+def _is_literal(expr: Expression) -> bool:
+    return isinstance(expr, Literal)
+
+
+def _literal_truth(expr: Expression) -> Tuple[bool, Optional[bool]]:
+    """(known, truth) for a folded term, mirroring ``_eval_boolean``.
+
+    Strings are *not* known: the executor raises on them, and folding
+    must never suppress that error.
+    """
+    if not isinstance(expr, Literal):
+        return False, None
+    value = expr.value
+    if value is None or isinstance(value, bool):
+        return True, value
+    if isinstance(value, (int, float)):
+        return True, value != 0
+    return False, None
+
+
+def _fold_binary(expr: BinaryOp) -> Expression:
+    left, right = expr.left.value, expr.right.value  # type: ignore[union-attr]
+    op = expr.op
+    if op == "=":
+        return Literal(sql_equal(left, right))
+    if op == "<>":
+        return Literal(sql_not(sql_equal(left, right)))
+    if op in ("<", "<=", ">", ">="):
+        try:
+            comparison = sql_compare(left, right)
+        except Exception:
+            return expr  # runtime type error — preserve it
+        if comparison is None:
+            return Literal(None)
+        verdict = {
+            "<": comparison < 0,
+            "<=": comparison <= 0,
+            ">": comparison > 0,
+            ">=": comparison >= 0,
+        }[op]
+        return Literal(verdict)
+    if op == "||":
+        if left is None or right is None:
+            return Literal(None)
+        return Literal(sql_text(left) + sql_text(right))
+    if op in ("+", "-", "*", "/", "%"):
+        if left is None or right is None:
+            return Literal(None)
+        for operand in (left, right):
+            if not isinstance(operand, (int, float)) or isinstance(operand, bool):
+                return expr  # arithmetic on non-number raises at runtime
+        if op == "+":
+            return Literal(left + right)
+        if op == "-":
+            return Literal(left - right)
+        if op == "*":
+            return Literal(left * right)
+        if op == "/":
+            if right == 0:
+                return expr  # division by zero raises at runtime
+            return Literal(left / right)
+        if right == 0:
+            return expr  # modulo by zero raises at runtime
+        return Literal(left % right)
+    return expr
+
+
+def _fold_conjunction(op: str, terms: Sequence[Expression]) -> Expression:
+    """Simplify an AND/OR chain of already-folded terms.
+
+    Neutral literals are dropped anywhere; the absorbing literal
+    (FALSE for AND, TRUE for OR) truncates the remaining terms and
+    collapses the whole chain only when everything before it is a
+    literal (the executor would have short-circuited without touching
+    any non-literal term).
+    """
+    absorbing = op != "AND"
+    kept: List[Expression] = []
+    prefix_all_literal = True
+    for term in terms:
+        known, truth = _literal_truth(term)
+        if known and truth is not None:
+            if truth is not absorbing:
+                continue  # neutral term: TRUE in AND, FALSE in OR
+            if prefix_all_literal:
+                return Literal(absorbing)
+            kept.append(Literal(absorbing))
+            break  # executor short-circuits here; later terms unreachable
+        if not known:
+            prefix_all_literal = False
+        kept.append(term)
+    if not kept:
+        return Literal(not absorbing)
+    if len(kept) == 1:
+        return kept[0]
+    return Conjunction(op, tuple(kept))
+
+
+def _fold_case(expr: CaseExpr) -> Expression:
+    whens: List[Tuple[Expression, Expression]] = []
+    for condition, result in expr.whens:
+        known, truth = _literal_truth(condition)
+        if known and truth is not True:
+            continue  # literal FALSE/NULL arm can never fire
+        if known and truth is True and not whens:
+            return result  # first reachable arm always fires
+        whens.append((condition, result))
+        if known and truth is True:
+            break  # later arms are unreachable
+    if not whens:
+        return expr.default if expr.default is not None else Literal(None)
+    if len(whens) == len(expr.whens):
+        return expr
+    return CaseExpr(whens=tuple(whens), default=expr.default)
+
+
+def fold_expression(expr: Expression) -> Expression:
+    """Recursively fold constant sub-expressions of ``expr``."""
+    if isinstance(expr, (Literal, ColumnRef, Star, ExistsOp, ScalarSubquery)):
+        return expr
+    if isinstance(expr, Conjunction):
+        terms = tuple(fold_expression(term) for term in expr.terms)
+        folded = _fold_conjunction(expr.op, terms)
+        if (
+            isinstance(folded, Conjunction)
+            and folded.op == expr.op
+            and len(folded.terms) == len(expr.terms)
+            and all(new is old for new, old in zip(folded.terms, expr.terms))
+        ):
+            return expr  # nothing changed: keep the shared parsed node
+        return folded
+    if isinstance(expr, BinaryOp):
+        left = fold_expression(expr.left)
+        right = fold_expression(expr.right)
+        if _is_literal(left) and _is_literal(right):
+            folded = _fold_binary(BinaryOp(expr.op, left, right))
+            if isinstance(folded, Literal):
+                return folded
+        if left is expr.left and right is expr.right:
+            return expr
+        return BinaryOp(expr.op, left, right)
+    if isinstance(expr, UnaryOp):
+        return _fold_unary(expr)
+    if isinstance(expr, BetweenOp):
+        value = fold_expression(expr.expr)
+        low = fold_expression(expr.low)
+        high = fold_expression(expr.high)
+        if all(_is_literal(part) for part in (value, low, high)):
+            try:
+                lower = sql_compare(value.value, low.value)  # type: ignore[union-attr]
+                upper = sql_compare(value.value, high.value)  # type: ignore[union-attr]
+            except Exception:
+                lower = upper = NotImplemented
+            if lower is not NotImplemented:
+                if lower is None or upper is None:
+                    return Literal(None)
+                inside = lower >= 0 and upper <= 0
+                return Literal(not inside if expr.negated else inside)
+        if value is expr.expr and low is expr.low and high is expr.high:
+            return expr
+        return replace(expr, expr=value, low=low, high=high)
+    if isinstance(expr, IsNullOp):
+        inner = fold_expression(expr.expr)
+        if _is_literal(inner):
+            null = inner.value is None  # type: ignore[union-attr]
+            return Literal(not null if expr.negated else null)
+        if inner is expr.expr:
+            return expr
+        return replace(expr, expr=inner)
+    if isinstance(expr, InOp):
+        target = fold_expression(expr.expr)
+        options = (
+            tuple(fold_expression(option) for option in expr.options)
+            if expr.options
+            else expr.options
+        )
+        if (
+            expr.subquery is None
+            and _is_literal(target)
+            and options
+            and all(_is_literal(option) for option in options)
+        ):
+            saw_unknown = False
+            verdict: Optional[bool] = False
+            for option in options:
+                equal = sql_equal(target.value, option.value)  # type: ignore[union-attr]
+                if equal is True:
+                    verdict = True
+                    break
+                if equal is None:
+                    saw_unknown = True
+            if verdict is not True and saw_unknown:
+                return Literal(None)
+            return Literal(not verdict if expr.negated else verdict)
+        if target is expr.expr and options is expr.options:
+            return expr
+        return replace(expr, expr=target, options=options)
+    if isinstance(expr, LikeOp):
+        value = fold_expression(expr.expr)
+        pattern = fold_expression(expr.pattern)
+        if value is expr.expr and pattern is expr.pattern:
+            return expr
+        return replace(expr, expr=value, pattern=pattern)
+    if isinstance(expr, FunctionCall):
+        args = tuple(fold_expression(arg) for arg in expr.args)
+        if all(new is old for new, old in zip(args, expr.args)):
+            return expr
+        return replace(expr, args=args)
+    if isinstance(expr, CaseExpr):
+        whens = tuple(
+            (fold_expression(condition), fold_expression(result))
+            for condition, result in expr.whens
+        )
+        default = (
+            fold_expression(expr.default) if expr.default is not None else None
+        )
+        unchanged = default is expr.default and all(
+            new_c is old_c and new_r is old_r
+            for (new_c, new_r), (old_c, old_r) in zip(whens, expr.whens)
+        )
+        folded = _fold_case(CaseExpr(whens=whens, default=default))
+        if unchanged and isinstance(folded, CaseExpr) and len(folded.whens) == len(whens):
+            return expr
+        return folded
+    return expr
+
+
+def _fold_unary(expr: UnaryOp) -> Expression:
+    operand = fold_expression(expr.operand)
+    if isinstance(operand, Literal):
+        if expr.op == "NOT":
+            known, truth = _literal_truth(operand)
+            if known:
+                return Literal(sql_not(truth))
+        else:  # unary minus
+            value = operand.value
+            if value is None:
+                return Literal(None)
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                return Literal(-value)
+    if operand is expr.operand:
+        return expr
+    return UnaryOp(expr.op, operand)
+
+
+# ---------------------------------------------------------------------------
+# Subquery-context simplification
+# ---------------------------------------------------------------------------
+
+_PRUNABLE_PROJECTION = (ColumnRef, Literal, Star)
+
+
+def _projections_prunable(select: SelectQuery, context: SelectContext) -> bool:
+    """Projections may be replaced by ``1`` without changing errors."""
+    for item in select.projections:
+        expr = item.expr
+        if isinstance(expr, Literal):
+            continue
+        if isinstance(expr, ColumnRef):
+            if referenced_bindings(expr, context):
+                continue
+            return False
+        if isinstance(expr, Star):
+            if expr.table is None or context.table(expr.table) is not None:
+                continue
+            return False
+        return False
+    return True
+
+
+def simplify_subquery(select: SelectQuery, schema: Schema, role: str) -> Tuple[SelectQuery, List[str]]:
+    """Context-dependent simplification of a nested SELECT.
+
+    ``role`` is ``"exists"``, ``"in"`` or ``"scalar"``.  Returns the
+    (possibly) simplified select plus the list of rewrite labels
+    applied.  Set operations are left untouched by the caller.
+    """
+    try:
+        context = SelectContext(select, schema)
+    except Unplannable:
+        return select, []
+    applied: List[str] = []
+    changes = {}
+    no_window = select.limit is None and select.offset is None
+
+    if select.order_by and order_items_statically_safe(select, context):
+        droppable = role == "exists" or no_window
+        if droppable:
+            changes["order_by"] = []
+            applied.append("drop-subquery-order-by")
+
+    if role in ("exists", "in") and select.distinct and no_window:
+        changes["distinct"] = False
+        applied.append("drop-redundant-distinct")
+
+    # Projections may only be pruned when no ORDER BY survives: a kept
+    # ORDER BY can reference the projections positionally or by alias,
+    # and pruning would then raise errors (position out of range,
+    # unresolvable alias) the unoptimized plan never hits.
+    order_by_gone = not select.order_by or "order_by" in changes
+    if (
+        role == "exists"
+        and no_window
+        and order_by_gone
+        and not select.group_by
+        and select.having is None
+        and not any(contains_aggregate(item.expr) for item in select.projections)
+        and not any(contains_aggregate(item.expr) for item in select.order_by)
+        and _projections_prunable(select, context)
+        and not (len(select.projections) == 1
+                 and isinstance(select.projections[0].expr, Literal))
+    ):
+        changes["projections"] = [SelectItem(Literal(1))]
+        applied.append("prune-exists-projection")
+
+    if not changes:
+        return select, applied
+    simplified = SelectQuery(
+        projections=changes.get("projections", select.projections),
+        from_table=select.from_table,
+        joins=select.joins,
+        where=select.where,
+        group_by=select.group_by,
+        having=select.having,
+        order_by=changes.get("order_by", select.order_by),
+        limit=select.limit,
+        offset=select.offset,
+        distinct=changes.get("distinct", select.distinct),
+    )
+    return simplified, applied
+
+
+def drop_redundant_distinct(
+    select: SelectQuery, context: SelectContext
+) -> Optional[SelectQuery]:
+    """DISTINCT is a no-op when the single scanned table's full primary
+    key appears among the projected columns (rows are already unique).
+    """
+    if not select.distinct or select.joins or select.from_table is None:
+        return None
+    if select.group_by or select.having is not None:
+        return None
+    if any(contains_aggregate(item.expr) for item in select.projections):
+        return None
+    table = context.table(select.from_table.binding)
+    if table is None:
+        return None
+    pk = [name.lower() for name in table.primary_key_columns]
+    if not pk:
+        return None
+    projected = set()
+    for item in select.projections:
+        expr = item.expr
+        if isinstance(expr, Star) and (
+            expr.table is None
+            or expr.table.lower() == select.from_table.binding.lower()
+        ):
+            projected.update(name.lower() for name in table.column_names)
+        elif isinstance(expr, ColumnRef):
+            if referenced_bindings(expr, context):
+                projected.add(expr.column.lower())
+    if not all(name in projected for name in pk):
+        return None
+    rebuilt = SelectQuery(
+        projections=select.projections,
+        from_table=select.from_table,
+        joins=select.joins,
+        where=select.where,
+        group_by=select.group_by,
+        having=select.having,
+        order_by=select.order_by,
+        limit=select.limit,
+        offset=select.offset,
+        distinct=False,
+    )
+    return rebuilt

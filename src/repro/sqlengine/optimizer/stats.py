@@ -1,0 +1,151 @@
+"""Table and column statistics for the cost-based optimizer.
+
+The collector derives, per table, the row count and per-column
+summaries — number of distinct values (NDV), null fraction, minimum and
+maximum — straight from :class:`~repro.sqlengine.storage.Storage`.
+Statistics are computed lazily on first use and cached per table keyed
+on the table's mutation ``version`` (bumped by every insert and
+FK-rollback), so a mutated table is re-profiled on its next optimized
+query while untouched tables keep their summaries.  ``epoch()`` exposes
+the storage-wide mutation counter that cached optimized plans carry for
+invalidation (see ``Database._plan_for``).
+
+All numbers are *estimates for costing only*: the executor never reads
+them, so a stale or clamped statistic can produce a worse join order
+but never a wrong result.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from ..storage import Storage, TableData
+
+
+@dataclass(frozen=True)
+class ColumnStats:
+    """Summary of one column's value distribution."""
+
+    name: str
+    ndv: int
+    null_fraction: float
+    minimum: Any = None
+    maximum: Any = None
+
+    def range_fraction(self, low: Any, high: Any) -> Optional[float]:
+        """Fraction of the [min, max] span covered by [low, high].
+
+        ``None`` when the column is non-numeric or constant — callers
+        fall back to a default selectivity.
+        """
+        if not _is_number(self.minimum) or not _is_number(self.maximum):
+            return None
+        span = self.maximum - self.minimum
+        if span <= 0:
+            return None
+        if not _is_number(low) or not _is_number(high):
+            return None
+        lo = max(float(low), float(self.minimum))
+        hi = min(float(high), float(self.maximum))
+        if hi < lo:
+            return 0.0
+        return (hi - lo) / span
+
+
+@dataclass(frozen=True)
+class TableStats:
+    """Cardinality plus per-column summaries for one table."""
+
+    table: str
+    row_count: int
+    columns: Mapping[str, ColumnStats]
+    version: int
+
+    def column(self, name: str) -> Optional[ColumnStats]:
+        return self.columns.get(name.lower())
+
+
+def _is_number(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def profile_table(data: TableData) -> TableStats:
+    """One pass over ``data`` computing all column summaries."""
+    columns: Dict[str, ColumnStats] = {}
+    total = len(data.rows)
+    for position, column in enumerate(data.table.columns):
+        values = [row[position] for row in data.rows]
+        non_null = [value for value in values if value is not None]
+        null_fraction = 1.0 - (len(non_null) / total) if total else 0.0
+        ndv = len(set(non_null))
+        minimum = maximum = None
+        if non_null:
+            try:
+                minimum = min(non_null)
+                maximum = max(non_null)
+            except TypeError:  # pragma: no cover - heterogeneous column
+                minimum = maximum = None
+        columns[column.name.lower()] = ColumnStats(
+            name=column.name,
+            ndv=ndv,
+            null_fraction=null_fraction,
+            minimum=minimum,
+            maximum=maximum,
+        )
+    return TableStats(
+        table=data.table.name,
+        row_count=total,
+        columns=columns,
+        version=data.version,
+    )
+
+
+class StatsManager:
+    """Lazily maintained statistics over one storage instance.
+
+    Thread-safe: grid workers share databases, so a cold profile build
+    is serialized per manager (the build itself is a read-only pass
+    over the row list, which inserts only append to).
+    """
+
+    def __init__(self, storage: Storage) -> None:
+        self.storage = storage
+        self._cache: Dict[str, TableStats] = {}
+        self._lock = threading.Lock()
+        self.builds = 0  # number of table profiles computed (observability)
+
+    def epoch(self) -> int:
+        """The storage-wide mutation counter (see ``Storage.data_epoch``)."""
+        return self.storage.data_epoch()
+
+    def table_stats(self, table_name: str) -> TableStats:
+        """Current statistics for ``table_name`` (profiled on demand)."""
+        data = self.storage.data(table_name)
+        key = table_name.lower()
+        cached = self._cache.get(key)
+        if cached is not None and cached.version == data.version:
+            return cached
+        with self._lock:
+            cached = self._cache.get(key)
+            if cached is not None and cached.version == data.version:
+                return cached
+            stats = profile_table(data)
+            self._cache[key] = stats
+            self.builds += 1
+            return stats
+
+    def column_stats(self, table_name: str, column: str) -> Optional[ColumnStats]:
+        return self.table_stats(table_name).column(column)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._cache.clear()
+
+    def snapshot(self) -> Tuple[Tuple[str, int], ...]:
+        """(table, cached row count) pairs — debug/EXPLAIN support."""
+        with self._lock:
+            return tuple(
+                (stats.table, stats.row_count) for stats in self._cache.values()
+            )

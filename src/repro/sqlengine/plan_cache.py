@@ -1,10 +1,15 @@
-"""Query-plan cache: (schema scope, normalized SQL text) -> parsed AST.
+"""Query-plan cache: (schema scope, normalized SQL text) -> plan.
 
 The evaluation harness executes the same gold/predicted SQL strings
 thousands of times across systems, train sizes and folds, and the
 deployed service sees heavy repetition in real user traffic.  Caching
-the parsed AST keyed on a whitespace-normalized form of the SQL text
-lets every repeat skip tokenize+parse entirely.
+keyed on a whitespace-normalized form of the SQL text lets every
+repeat skip tokenize+parse — and, since the optimizer landed, the
+whole planning pass: ``Database`` stores
+:class:`~repro.sqlengine.optimizer.planner.PhysicalPlan` entries that
+bundle the optimized tree, the raw parsed AST (for ``optimize=False``
+calls) and the statistics epoch they were planned under (stale-epoch
+hits re-plan from the embedded AST; see ``Database._plan_for``).
 
 Two layers cooperate:
 
@@ -96,6 +101,16 @@ class LRUCache:
         # Mutable holder (not plain attributes) so scoped views created by
         # :meth:`PlanCache.for_scope` share one set of counters.
         self._counters: Dict[str, int] = {"hits": 0, "misses": 0, "evictions": 0}
+
+    @property
+    def storage_token(self) -> int:
+        """Identity of the underlying storage.
+
+        ``for_scope`` views share entries, lock and counters with their
+        parent; aggregators (``evaluation.engine_report``) use this
+        token to count each physical cache exactly once.
+        """
+        return id(self._entries)
 
     @property
     def hits(self) -> int:

@@ -21,6 +21,11 @@ class TableData:
     def __init__(self, table: Table) -> None:
         self.table = table
         self.rows: List[tuple] = []
+        # Monotonic mutation counter: bumped by insert *and* rollback,
+        # so any change to the row set changes the version.  The
+        # optimizer's statistics cache and the service's response cache
+        # key their freshness checks on it (via Storage.data_epoch).
+        self.version = 0
         self._pk_positions = [
             table.column_position(name) for name in table.primary_key_columns
         ]
@@ -54,6 +59,7 @@ class TableData:
                 )
             self._pk_seen.add(key)
         self.rows.append(typed)
+        self.version += 1
         for position, values in self._value_sets.items():
             values.add(typed[position])
         for positions, index in self._join_indexes.items():
@@ -70,6 +76,7 @@ class TableData:
         tell whether an earlier row contributed the same value.
         """
         typed = self.rows.pop()
+        self.version += 1
         if self._pk_positions:
             self._pk_seen.discard(
                 tuple(typed[position] for position in self._pk_positions)
@@ -180,3 +187,14 @@ class Storage:
         if table_name is not None:
             return len(self.data(table_name))
         return sum(len(data) for data in self._tables.values())
+
+    def data_epoch(self) -> int:
+        """Monotonic counter over all mutations in this storage.
+
+        The sum of per-table versions: every insert or rollback bumps
+        exactly one table's version, so the epoch changes iff any row
+        set changed.  Cached table statistics and cached optimized
+        plans carry the epoch they were computed under and are
+        invalidated when it moves.
+        """
+        return sum(data.version for data in self._tables.values())

@@ -35,6 +35,29 @@ _PYTHON_TYPES = {
     SqlType.BOOLEAN: (bool,),
 }
 
+#: comparison type classes: INTEGER and REAL share one class because
+#: normalization folds integral floats.  Shared by the executor's
+#: hash-compatibility check and the optimizer's error-freedom analysis,
+#: which must agree for the optimized/unoptimized equivalence contract.
+TYPE_CLASSES = {
+    SqlType.INTEGER: "number",
+    SqlType.REAL: "number",
+    SqlType.TEXT: "text",
+    SqlType.BOOLEAN: "bool",
+}
+
+
+def type_class(sql_type: SqlType) -> str:
+    """The comparison type class of a catalog column type."""
+    return TYPE_CLASSES[sql_type]
+
+
+def sql_text(value: Any) -> str:
+    """SQL string conversion (``||`` operands): booleans lowercase."""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    return str(value)
+
 
 def coerce(value: Any, sql_type: SqlType) -> Any:
     """Coerce ``value`` into ``sql_type``, raising on impossible coercions.

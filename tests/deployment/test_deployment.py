@@ -146,6 +146,84 @@ class TestBatchedServing:
         assert metrics["p99_latency_seconds"] == 0.0
         assert metrics["response_cache"] is None
 
+    def test_metrics_include_engine_counters(self, stub_service):
+        stub_service.ask(self.GOOD)
+        metrics = stub_service.metrics()
+        assert metrics["optimizer"]["enabled"] is True
+        assert metrics["optimizer"]["optimizations"] >= 1
+        assert metrics["plan_cache"]["misses"] >= 1
+        assert metrics["response_cache"]["invalidations"] == 0
+
+
+class TestResponseCacheInvalidation:
+    """Mutating the serving database must drop cached responses.
+
+    Uses a private tiny database (never the shared module fixture —
+    inserts would leak into every other test)."""
+
+    QUESTION = "list the teams"
+
+    @staticmethod
+    def _service():
+        from repro.sqlengine import Database, Schema, make_column
+
+        schema = Schema("svc")
+        schema.create_table(
+            "team",
+            [
+                make_column("team_id", "int", primary_key=True),
+                make_column("name", "text"),
+            ],
+        )
+        database = Database(schema)
+        database.insert("team", (1, "Brazil"))
+        system = StubSystem(
+            {TestResponseCacheInvalidation.QUESTION: "SELECT name FROM team ORDER BY team_id"}
+        )
+        return TextToSQLService(system, database, response_cache_size=8)
+
+    def test_stale_rows_never_served_after_insert(self):
+        service = self._service()
+        first = service.ask(self.QUESTION)
+        assert first.rows == (("Brazil",),)
+        assert service.ask(self.QUESTION).from_cache
+        service.database.insert("team", (2, "Chile"))
+        refreshed = service.ask(self.QUESTION)
+        assert not refreshed.from_cache
+        assert refreshed.rows == (("Brazil",), ("Chile",))
+        assert service.metrics()["response_cache"]["invalidations"] == 1
+
+    def test_unchanged_database_keeps_cache(self):
+        service = self._service()
+        service.ask(self.QUESTION)
+        assert service.ask(self.QUESTION).from_cache
+        assert service.ask(self.QUESTION).from_cache
+        assert service.metrics()["response_cache"]["invalidations"] == 0
+
+    def test_rolled_back_insert_still_invalidates(self):
+        """An FK-violating insert mutates and restores the row set; the
+        epoch moves anyway, which errs on the safe (re-execute) side."""
+        from repro.sqlengine import ConstraintError, Database, Schema, make_column
+
+        schema = Schema("svc2")
+        schema.create_table(
+            "team", [make_column("team_id", "int", primary_key=True)]
+        )
+        schema.create_table(
+            "player",
+            [
+                make_column("player_id", "int", primary_key=True),
+                make_column("team_id", "int"),
+            ],
+        )
+        schema.add_foreign_key("player", "team_id", "team", "team_id")
+        database = Database(schema)
+        database.insert("team", (1,))
+        before = database.data_epoch()
+        with pytest.raises(ConstraintError):
+            database.insert("player", (1, 99))
+        assert database.data_epoch() > before
+
 
 class TestPercentile:
     def test_empty(self):

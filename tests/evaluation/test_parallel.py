@@ -91,6 +91,60 @@ class TestEvaluateGrid:
         assert summary.questions_per_second > 0
         assert "workers" in summary.describe()
 
+    def test_summary_engine_observability(self, parallel_run):
+        """Plan-cache and optimizer counters surface on the summary."""
+        _, summary = parallel_run
+        assert summary.engine is not None
+        plan_cache = summary.engine["plan_cache"]
+        assert 0.0 <= plan_cache["hit_rate"] <= 1.0
+        optimizer = summary.engine["optimizer"]
+        assert optimizer["optimize_seconds"] >= 0.0
+        assert "plan cache" in summary.describe()
+        assert "optimizer" in summary.describe()
+
+    def test_summary_engine_counters_are_per_run(self, harness):
+        """A warm re-run reports its own (near-zero) engine traffic,
+        not the cumulative lifetime counters."""
+        config = [SMALL_GRID[0]]
+        _, first = harness.evaluate_grid(config)
+        _, second = harness.evaluate_grid(config)
+        # the EX result caches are warm: the repeat run plans nothing new
+        assert second.engine["optimizer"]["optimizations"] == 0
+        assert second.engine["plan_cache"]["misses"] == 0
+
+
+class TestEngineReport:
+    def test_shared_plan_cache_counted_once(self):
+        """for_scope views share one physical cache; the report must
+        not multiply its counters by the number of versions."""
+        from repro.evaluation import engine_report
+        from repro.sqlengine import Database, PlanCache, Schema, make_column
+
+        shared = PlanCache(capacity=16)
+        databases = {}
+        for version in ("v1", "v1~m1"):
+            schema = Schema("shared", version=version)
+            schema.create_table(
+                "t", [make_column("id", "int", primary_key=True)]
+            )
+            db = Database(schema, plan_cache=shared)
+            db.insert("t", (1,))
+            db.execute("SELECT id FROM t WHERE id = 1")
+            databases[version] = db
+
+        class Fleet:
+            versions = list(databases)
+
+            def __getitem__(self, version):
+                return databases[version]
+
+        report = engine_report(Fleet())
+        stats = shared.stats()
+        assert report["plan_cache"]["hits"] == stats["hits"]
+        assert report["plan_cache"]["misses"] == stats["misses"]
+        # optimizer counters are per-database and still sum
+        assert report["optimizer"]["optimizations"] == 2
+
 
 class TestEvaluateFolds:
     def test_folds_match_manual_loop(self, harness, serial_results):

@@ -1,0 +1,138 @@
+"""Golden-string tests for ``Database.explain``.
+
+The EXPLAIN format is a public, stable surface (operators read it, the
+README documents it), so these tests pin it exactly.  The fixture
+database (``toy_db``) is deterministic: 3 teams + 5 players inserted in
+a fixed order, hence ``stats epoch: 8`` everywhere.
+"""
+
+import textwrap
+
+from repro.sqlengine import PhysicalPlan, explain_plan, parse_sql
+
+
+def expected(text: str) -> str:
+    return textwrap.dedent(text).strip("\n")
+
+
+class TestGoldenPlans:
+    def test_pushdown_scan_filter(self, toy_db):
+        assert toy_db.explain("SELECT name FROM team WHERE founded > 1900") == expected(
+            """
+            plan for: SELECT name FROM team WHERE founded > 1900
+            select
+              scan team  [rows=3 filter: founded > 1900 est=3]
+              project: name
+            rewrites: pushdown(1)
+            stats epoch: 8
+            """
+        )
+
+    def test_join_reorder_with_hoisted_filter(self, toy_db):
+        sql = (
+            "SELECT p.name FROM player AS p JOIN team AS t "
+            "ON p.team_id = t.team_id WHERE t.founded = 1900"
+        )
+        assert toy_db.explain(sql) == expected(
+            """
+            plan for: SELECT p.name FROM player AS p JOIN team AS t ON p.team_id = t.team_id WHERE t.founded = 1900
+            select
+              scan team AS t  [rows=3 filter: t.founded = 1900 est=2]
+              hash join player AS p ON p.team_id = t.team_id  [rows=5 est out=2]
+              project: p.name
+            rewrites: pushdown(1), join-reorder
+            stats epoch: 8
+            """
+        )
+
+    def test_exists_subquery_pruned(self, toy_db):
+        sql = (
+            "SELECT name FROM team AS t WHERE EXISTS "
+            "(SELECT p.name FROM player AS p WHERE p.team_id = t.team_id) "
+            "ORDER BY name LIMIT 2"
+        )
+        assert toy_db.explain(sql) == expected(
+            """
+            plan for: SELECT name FROM team AS t WHERE EXISTS (SELECT p.name FROM player AS p WHERE p.team_id = t.team_id) ORDER BY name LIMIT 2
+            select
+              scan team AS t  [rows=3]
+              where: EXISTS (SELECT 1 FROM player AS p WHERE p.team_id = t.team_id)
+              order by: name
+              limit 2
+              project: name
+              exists subquery:
+                select
+                  scan player AS p  [rows=5]
+                  where: p.team_id = t.team_id
+                  project: 1
+            rewrites: prune-exists-projection
+            stats epoch: 8
+            """
+        )
+
+    def test_set_operation(self, toy_db):
+        sql = (
+            "SELECT name FROM team WHERE founded = 1900 "
+            "UNION SELECT name FROM player WHERE goals = 12"
+        )
+        assert toy_db.explain(sql) == expected(
+            """
+            plan for: SELECT name FROM team WHERE founded = 1900 UNION SELECT name FROM player WHERE goals = 12
+            union
+              select
+                scan team  [rows=3 filter: founded = 1900 est=2]
+                project: name
+              select
+                scan player  [rows=5 filter: goals = 12 est=2]
+                project: name
+            rewrites: pushdown(1), pushdown(1)
+            stats epoch: 8
+            """
+        )
+
+    def test_unoptimized_logical_plan(self, toy_db):
+        assert toy_db.explain(
+            "SELECT name FROM team WHERE founded > 1900", optimize=False
+        ) == expected(
+            """
+            plan for: SELECT name FROM team WHERE founded > 1900
+            select
+              scan team
+              where: founded > 1900
+              project: name
+            rewrites: none
+            stats epoch: 8
+            """
+        )
+
+    def test_aggregation_clauses_rendered(self, toy_db):
+        sql = (
+            "SELECT t.name, count(*) FROM team AS t JOIN player AS p "
+            "ON p.team_id = t.team_id GROUP BY t.name "
+            "HAVING count(*) > 1 ORDER BY t.name DESC"
+        )
+        rendered = toy_db.explain(sql)
+        assert "group by: t.name" in rendered
+        assert "having: count(*) > 1" in rendered
+        assert "order by: t.name DESC" in rendered
+
+
+class TestExplainProperties:
+    def test_explain_does_not_execute(self, toy_db):
+        """EXPLAIN of a query whose execution would raise still renders."""
+        rendered = toy_db.explain("SELECT name FROM team WHERE name > 5")
+        assert "where: name > 5" in rendered  # unsafe predicate stays put
+
+    def test_explain_plan_on_raw_ast(self, toy_db):
+        ast = parse_sql("SELECT 1")
+        rendered = explain_plan(
+            PhysicalPlan(root=ast, source=ast, stats_epoch=0, rewrites=())
+        )
+        assert rendered.splitlines()[0] == "select"
+
+    def test_epoch_moves_with_mutation(self, toy_db):
+        before = toy_db.explain("SELECT name FROM team")
+        toy_db.insert("team", (7, "Ghana", 1957))
+        after = toy_db.explain("SELECT name FROM team")
+        assert "stats epoch: 8" in before
+        assert "stats epoch: 9" in after

@@ -1,0 +1,419 @@
+"""Cost-based optimizer: statistics, rewrites, planning, cache wiring.
+
+Complemented by the golden-string EXPLAIN tests (``test_explain.py``)
+and the full-benchmark differential sweep
+(``test_optimizer_differential.py``).
+"""
+
+import pytest
+
+from repro.sqlengine import (
+    Database,
+    PhysicalPlan,
+    PlannedSelect,
+    Schema,
+    TypeMismatchError,
+    make_column,
+    optimize_query,
+    parse_sql,
+)
+from repro.sqlengine.ast_nodes import Literal
+from repro.sqlengine.optimizer.rewrites import fold_expression
+
+
+def plan_for(db: Database, sql: str) -> PhysicalPlan:
+    return optimize_query(parse_sql(sql), db.schema, db.stats)
+
+
+def agree(db: Database, sql: str):
+    optimized = db.execute(sql, optimize=True)
+    plain = db.execute(sql, optimize=False)
+    assert optimized.columns == plain.columns, sql
+    assert sorted(map(repr, optimized.rows)) == sorted(map(repr, plain.rows)), sql
+    return optimized
+
+
+class TestStats:
+    def test_table_profile(self, toy_db):
+        stats = toy_db.stats.table_stats("player")
+        assert stats.row_count == 5
+        goals = stats.column("goals")
+        assert goals.ndv == 3  # 12, 7, 0 (NULL excluded)
+        assert goals.null_fraction == pytest.approx(0.2)
+        assert goals.minimum == 0
+        assert goals.maximum == 12
+
+    def test_profile_cached_until_mutation(self, toy_db):
+        toy_db.stats.table_stats("team")
+        builds = toy_db.stats.builds
+        toy_db.stats.table_stats("team")
+        assert toy_db.stats.builds == builds  # cached
+        toy_db.insert("team", (4, "Chile", 1910))
+        refreshed = toy_db.stats.table_stats("team")
+        assert toy_db.stats.builds == builds + 1
+        assert refreshed.row_count == 4
+
+    def test_epoch_tracks_every_mutation(self, toy_db):
+        before = toy_db.data_epoch()
+        toy_db.insert("team", (5, "Peru", 1922))
+        assert toy_db.data_epoch() == before + 1
+
+    def test_empty_table_profile(self):
+        schema = Schema("empty")
+        schema.create_table("t", [make_column("x", "int", primary_key=True)])
+        db = Database(schema)
+        stats = db.stats.table_stats("t")
+        assert stats.row_count == 0
+        assert stats.column("x").ndv == 0
+        assert stats.column("x").null_fraction == 0.0
+
+
+class TestConstantFolding:
+    def test_tautology_drops_where(self, toy_db):
+        plan = plan_for(toy_db, "SELECT name FROM team WHERE 1 = 1")
+        assert plan.root.where is None
+        assert "drop-true-where" in plan.rewrites
+        agree(toy_db, "SELECT name FROM team WHERE 1 = 1")
+
+    def test_contradiction_folds_to_false(self, toy_db):
+        plan = plan_for(toy_db, "SELECT name FROM team WHERE 1 = 2")
+        assert plan.root.where == Literal(False)
+        result = agree(toy_db, "SELECT name FROM team WHERE 1 = 2")
+        assert result.rows == []
+
+    def test_arithmetic_folds(self, toy_db):
+        plan = plan_for(toy_db, "SELECT name FROM team WHERE founded = 1900 + 14")
+        pushed = plan.root.scan_filters["team"]
+        assert Literal(1914) in list(pushed.walk())
+        agree(toy_db, "SELECT name FROM team WHERE founded = 1900 + 14")
+
+    def test_aggregate_semantics_survive_false_where(self, toy_db):
+        result = agree(toy_db, "SELECT count(*) FROM player WHERE 1 = 2")
+        assert result.rows == [(0,)]
+
+    def test_short_circuit_error_preserved(self, toy_db):
+        """``name > 5`` raises; a later constant FALSE must not hide it."""
+        sql = "SELECT name FROM team WHERE name > 5 AND 1 = 2"
+        with pytest.raises(TypeMismatchError):
+            toy_db.execute(sql, optimize=False)
+        with pytest.raises(TypeMismatchError):
+            toy_db.execute(sql, optimize=True)
+
+    def test_leading_false_short_circuits_past_error(self, toy_db):
+        """The executor never evaluates terms after a FALSE — folding
+        the whole conjunction away matches that exactly."""
+        sql = "SELECT name FROM team WHERE 1 = 2 AND name > 5"
+        assert toy_db.execute(sql, optimize=False).rows == []
+        assert toy_db.execute(sql, optimize=True).rows == []
+
+    def test_division_by_zero_left_for_runtime(self, toy_db):
+        from repro.sqlengine import ExecutionError
+
+        sql = "SELECT name FROM team WHERE 1 / 0 = 1"
+        with pytest.raises(ExecutionError):
+            toy_db.execute(sql, optimize=False)
+        with pytest.raises(ExecutionError):
+            toy_db.execute(sql, optimize=True)
+
+    def test_null_literal_three_valued(self, toy_db):
+        result = agree(toy_db, "SELECT name FROM team WHERE NULL AND founded > 0")
+        assert result.rows == []
+
+    def test_or_true_absorbs(self, toy_db):
+        plan = plan_for(toy_db, "SELECT name FROM team WHERE 1 = 1 OR founded > 1900")
+        assert plan.root.where is None  # folded to TRUE then dropped
+
+    def test_fold_preserves_untouched_identity(self, toy_db):
+        query = parse_sql("SELECT 1 FROM team WHERE founded > 1900 AND name = 'x'")
+        assert fold_expression(query.where) is query.where
+
+    def test_in_list_folds(self, toy_db):
+        plan = plan_for(toy_db, "SELECT name FROM team WHERE 3 IN (1, 2, 3)")
+        assert plan.root.where is None
+        agree(toy_db, "SELECT name FROM team WHERE 3 IN (1, 2, 3)")
+
+
+class TestPushdown:
+    def test_where_becomes_scan_filter(self, toy_db):
+        sql = "SELECT name FROM team WHERE founded > 1900"
+        plan = plan_for(toy_db, sql)
+        assert isinstance(plan.root, PlannedSelect)
+        assert "team" in plan.root.scan_filters
+        assert plan.root.where is None
+        assert "pushdown(1)" in plan.rewrites
+        agree(toy_db, sql)
+
+    def test_join_predicate_moves_into_on(self, toy_db):
+        sql = (
+            "SELECT t.name FROM team AS t JOIN player AS p "
+            "ON p.team_id = t.team_id WHERE p.goals > 5 AND t.founded > 1900"
+        )
+        plan = plan_for(toy_db, sql)
+        assert plan.root.where is None
+        assert "pushdown(2)" in plan.rewrites
+        agree(toy_db, sql)
+
+    def test_left_join_inner_side_not_pushed(self, toy_db):
+        sql = (
+            "SELECT t.name FROM team AS t LEFT JOIN player AS p "
+            "ON p.team_id = t.team_id WHERE p.goals > 5"
+        )
+        plan = plan_for(toy_db, sql)
+        assert plan.root.where is not None  # predicate stays in WHERE
+        agree(toy_db, sql)
+
+    def test_left_join_outer_side_pushed(self, toy_db):
+        sql = (
+            "SELECT t.name FROM team AS t LEFT JOIN player AS p "
+            "ON p.team_id = t.team_id WHERE t.founded > 1900"
+        )
+        plan = plan_for(toy_db, sql)
+        assert "t" in plan.root.scan_filters
+        agree(toy_db, sql)
+
+    def test_correlated_conjunct_stays(self, toy_db):
+        """A subquery-bearing conjunct is never pushed."""
+        sql = (
+            "SELECT name FROM team WHERE founded > 1900 "
+            "AND team_id = (SELECT min(team_id) FROM player)"
+        )
+        plan = plan_for(toy_db, sql)
+        assert plan.root.where is not None
+        assert "team" in plan.root.scan_filters  # the plain half still moves
+        agree(toy_db, sql)
+
+    def test_error_prone_predicate_never_moves(self, toy_db):
+        """``name > 5`` can raise, so it must stay in WHERE: pushing it
+        to the scan would surface the error even when the join leaves
+        no frames for WHERE to evaluate."""
+        sql = (
+            "SELECT t.name FROM team AS t JOIN player AS p "
+            "ON p.team_id = t.team_id AND p.goals > 1000 WHERE t.name > 5"
+        )
+        plan = plan_for(toy_db, sql)
+        assert plan.root.scan_filters == {}
+        assert plan.root.where is not None
+        # zero join matches -> WHERE never evaluated -> no error, both modes
+        assert toy_db.execute(sql, optimize=False).rows == []
+        assert toy_db.execute(sql, optimize=True).rows == []
+
+    def test_type_safe_text_predicate_still_pushed(self, toy_db):
+        sql = "SELECT name FROM team WHERE name LIKE 'B%' AND founded > 1900"
+        plan = plan_for(toy_db, sql)
+        assert "team" in plan.root.scan_filters
+        assert plan.root.where is None
+        result = agree(toy_db, sql)
+        assert result.rows == [("Brazil",)]
+
+    def test_unresolvable_query_planned_as_identity(self, toy_db):
+        plan = plan_for(toy_db, "SELECT whatever FROM missing_table WHERE x = 1")
+        assert not isinstance(plan.root, PlannedSelect)
+        from repro.sqlengine import CatalogError
+
+        with pytest.raises(CatalogError):
+            toy_db.execute("SELECT whatever FROM missing_table WHERE x = 1")
+
+
+class TestJoinReorder:
+    def test_smaller_filtered_table_becomes_base(self, toy_db):
+        sql = (
+            "SELECT p.name FROM player AS p JOIN team AS t "
+            "ON p.team_id = t.team_id WHERE t.founded = 1900"
+        )
+        plan = plan_for(toy_db, sql)
+        assert plan.root.from_table.binding == "t"
+        assert "join-reorder" in plan.rewrites
+        agree(toy_db, sql)
+
+    def test_displaced_scan_filter_travels_with_its_table(self, toy_db):
+        """Regression: reordering away the FROM table must keep its
+        pushed predicate (as part of the join condition)."""
+        sql = (
+            "SELECT p.name FROM player AS p JOIN team AS t "
+            "ON p.team_id = t.team_id WHERE p.goals >= 12 AND t.founded >= 1800"
+        )
+        plan = plan_for(toy_db, sql)
+        result = agree(toy_db, sql)
+        assert result.rows == [("Alder",)]
+        # whichever table is scanned, both predicates must appear somewhere
+        rendered = toy_db.explain(sql)
+        assert "goals >= 12" in rendered
+        assert "founded >= 1800" in rendered
+
+    def test_limit_blocks_reorder(self, toy_db):
+        sql = (
+            "SELECT p.name FROM player AS p JOIN team AS t "
+            "ON p.team_id = t.team_id LIMIT 2"
+        )
+        plan = plan_for(toy_db, sql)
+        assert plan.root.from_table.binding == "p"
+        assert "join-reorder" not in plan.rewrites
+        agree(toy_db, sql)
+
+    def test_bare_star_blocks_reorder(self, toy_db):
+        sql = (
+            "SELECT * FROM player AS p JOIN team AS t ON p.team_id = t.team_id"
+        )
+        plan = plan_for(toy_db, sql)
+        assert plan.root.from_table.binding == "p"
+        result = agree(toy_db, sql)
+        assert result.columns[:1] == ["player_id"]  # column order unchanged
+
+    def test_left_join_never_reordered(self, toy_db):
+        sql = (
+            "SELECT t.name FROM team AS t LEFT JOIN player AS p "
+            "ON p.team_id = t.team_id AND p.goals > 100"
+        )
+        plan = plan_for(toy_db, sql)
+        assert plan.root.from_table.binding == "t"
+        result = agree(toy_db, sql)
+        assert len(result.rows) == 3  # every team NULL-extended
+
+    def test_self_join_aliases_stay_distinct(self, toy_db):
+        sql = (
+            "SELECT a.name, b.name FROM team AS a JOIN team AS b "
+            "ON a.founded = b.founded WHERE a.team_id < b.team_id"
+        )
+        result = agree(toy_db, sql)
+        assert result.rows == [("Germany", "Uruguay")]
+
+
+class TestSubquerySimplification:
+    def test_exists_projection_pruned(self, toy_db):
+        sql = (
+            "SELECT name FROM team AS t WHERE EXISTS "
+            "(SELECT p.name, p.goals FROM player AS p WHERE p.team_id = t.team_id)"
+        )
+        plan = plan_for(toy_db, sql)
+        assert "prune-exists-projection" in plan.rewrites
+        agree(toy_db, sql)
+
+    def test_exists_projection_kept_when_order_by_survives(self, toy_db):
+        """Regression: a retained ORDER BY may reference projections
+        positionally or by alias — pruning to SELECT 1 would raise
+        errors the unoptimized plan never hits."""
+        sql = (
+            "SELECT name FROM team AS t WHERE EXISTS "
+            "(SELECT p.name, p.goals FROM player AS p "
+            "WHERE p.team_id = t.team_id ORDER BY 2, t.founded)"
+        )
+        plan = plan_for(toy_db, sql)
+        assert "prune-exists-projection" not in plan.rewrites
+        agree(toy_db, sql)
+
+    def test_exists_projection_pruned_after_order_by_drop(self, toy_db):
+        """When the ORDER BY itself is droppable, pruning proceeds."""
+        sql = (
+            "SELECT name FROM team AS t WHERE EXISTS "
+            "(SELECT p.name, p.goals FROM player AS p "
+            "WHERE p.team_id = t.team_id ORDER BY 2)"
+        )
+        plan = plan_for(toy_db, sql)
+        assert "drop-subquery-order-by" in plan.rewrites
+        assert "prune-exists-projection" in plan.rewrites
+        agree(toy_db, sql)
+
+    def test_exists_aggregate_projection_kept(self, toy_db):
+        """An aggregate subquery always yields one row: EXISTS is TRUE
+        even over an empty group — pruning would flip it."""
+        sql = (
+            "SELECT name FROM team WHERE EXISTS "
+            "(SELECT max(goals) FROM player WHERE 1 = 2)"
+        )
+        plan = plan_for(toy_db, sql)
+        assert "prune-exists-projection" not in plan.rewrites
+        result = agree(toy_db, sql)
+        assert len(result.rows) == 3
+
+    def test_in_subquery_order_by_dropped(self, toy_db):
+        sql = (
+            "SELECT name FROM team WHERE team_id IN "
+            "(SELECT team_id FROM player ORDER BY goals)"
+        )
+        plan = plan_for(toy_db, sql)
+        assert "drop-subquery-order-by" in plan.rewrites
+        agree(toy_db, sql)
+
+    def test_in_subquery_order_by_kept_under_limit(self, toy_db):
+        sql = (
+            "SELECT name FROM team WHERE team_id IN "
+            "(SELECT team_id FROM player WHERE goals IS NOT NULL "
+            "ORDER BY goals DESC LIMIT 1)"
+        )
+        plan = plan_for(toy_db, sql)
+        assert "drop-subquery-order-by" not in plan.rewrites
+        result = agree(toy_db, sql)
+        assert result.rows == [("Brazil",)]
+
+    def test_in_subquery_distinct_dropped(self, toy_db):
+        sql = (
+            "SELECT name FROM team WHERE team_id IN "
+            "(SELECT DISTINCT team_id FROM player)"
+        )
+        plan = plan_for(toy_db, sql)
+        assert "drop-redundant-distinct" in plan.rewrites
+        agree(toy_db, sql)
+
+    def test_pk_distinct_dropped(self, toy_db):
+        sql = "SELECT DISTINCT team_id, name FROM team"
+        plan = plan_for(toy_db, sql)
+        assert "drop-pk-distinct" in plan.rewrites
+        assert plan.root.distinct is False
+        agree(toy_db, sql)
+
+    def test_non_pk_distinct_kept(self, toy_db):
+        sql = "SELECT DISTINCT founded FROM team"
+        plan = plan_for(toy_db, sql)
+        assert "drop-pk-distinct" not in plan.rewrites
+        result = agree(toy_db, sql)
+        assert sorted(row[0] for row in result.rows) == [1900, 1914]
+
+
+class TestDatabaseWiring:
+    def test_plan_cache_stores_optimized_plans(self, toy_db):
+        sql = "SELECT name FROM team WHERE founded > 1900"
+        toy_db.execute(sql)
+        entry = toy_db.plan_cache.get_plan(sql)
+        assert isinstance(entry, PhysicalPlan)
+        before = toy_db.optimizer_stats()["optimizations"]
+        toy_db.execute(sql)  # cache hit: no re-plan
+        assert toy_db.optimizer_stats()["optimizations"] == before
+
+    def test_mutation_triggers_replan_on_next_hit(self, toy_db):
+        sql = "SELECT name FROM team WHERE founded > 1905"
+        first = toy_db.execute(sql)
+        assert len(first.rows) == 1
+        toy_db.insert("team", (9, "Chile", 1910))
+        second = toy_db.execute(sql)
+        assert len(second.rows) == 2  # fresh rows visible through the cache
+        assert toy_db.optimizer_stats()["reoptimizations"] >= 1
+
+    def test_optimize_toggle_shares_parsed_ast(self, toy_db):
+        sql = "SELECT name FROM team WHERE founded > 1900"
+        toy_db.execute(sql, optimize=True)
+        entry = toy_db.plan_cache.get_plan(sql)
+        plain = toy_db._plan_for(sql, cached=True, optimize=False)
+        assert plain is entry.source
+
+    def test_database_level_escape_hatch(self):
+        schema = Schema("noopt")
+        schema.create_table("t", [make_column("id", "int", primary_key=True)])
+        db = Database(schema, optimize=False)
+        db.insert("t", (1,))
+        assert db.execute("SELECT id FROM t WHERE 1 = 1").rows == [(1,)]
+        stats = db.optimizer_stats()
+        assert stats["enabled"] is False
+        assert stats["optimizations"] == 0
+
+    def test_uncached_optimized_execution(self, toy_db):
+        sql = "SELECT count(*) FROM player WHERE goals >= 7"
+        cached = toy_db.execute(sql)
+        uncached = toy_db.execute(sql, cached=False)
+        assert cached.rows == uncached.rows == [(3,)]
+
+    def test_execute_many_forwards_optimize(self, toy_db):
+        results = toy_db.execute_many(
+            ["SELECT count(*) FROM team", "SELECT count(*) FROM player"],
+            optimize=False,
+        )
+        assert [r.rows[0][0] for r in results] == [3, 5]

@@ -1,0 +1,126 @@
+"""The optimizer's correctness contract, enforced differentially.
+
+Three sweeps:
+
+* every distinct benchmark gold query, on every data model, must
+  return identical normalized result multisets with the optimizer on
+  vs. off — and vs. sqlite3 through the bridge;
+* seeded morph chains (8 ≥ the required 6) over the morph base: the
+  rewritten probe workload agrees base-vs-morph, optimized-vs-plain
+  and engine-vs-sqlite;
+* a randomized predicate fuzz over the toy schema shapes the folding
+  and pushdown paths see.
+
+``result_signature`` is the repo's canonical equality (the EX metric's
+normalized multiset), which is also the only meaningful equality for
+queries that never specified a row order.
+"""
+
+import random
+
+import pytest
+
+from repro.benchmark import build_benchmark
+from repro.footballdb import VERSIONS, build_universe, load_all
+from repro.footballdb.morph import SchemaMorpher, result_signature
+from repro.sqlengine import sqlite_dialect, sqlite_result, to_sqlite
+
+
+@pytest.fixture(scope="module")
+def universe():
+    return build_universe(seed=2022)
+
+
+@pytest.fixture(scope="module")
+def football(universe):
+    return load_all(universe=universe)
+
+
+@pytest.fixture(scope="module")
+def dataset(universe):
+    return build_benchmark(universe)
+
+
+@pytest.mark.parametrize("version", VERSIONS)
+def test_full_benchmark_gold_optimized_equals_plain_and_sqlite(
+    version, football, dataset
+):
+    database = football[version]
+    sqlite_conn = to_sqlite(database)
+    queries = sorted({example.gold[version] for example in dataset.examples})
+    assert len(queries) > 100  # the sweep must actually cover the benchmark
+    divergences = []
+    for sql in queries:
+        optimized = result_signature(database.execute(sql, optimize=True))
+        plain = result_signature(database.execute(sql, optimize=False))
+        lite = result_signature(sqlite_result(sqlite_conn, sqlite_dialect(sql)))
+        if optimized != plain:
+            divergences.append(("optimizer", sql))
+        if optimized != lite:
+            divergences.append(("sqlite", sql))
+    assert not divergences, divergences[:5]
+
+
+MORPH_CHAIN_SEEDS = range(8)
+
+
+@pytest.mark.parametrize("chain_seed", MORPH_CHAIN_SEEDS)
+def test_morph_chains_agree_under_optimizer(
+    chain_seed, morph_base_builder, morph_probes
+):
+    base = morph_base_builder()
+    morph = SchemaMorpher(seed=chain_seed).morph(base, f"opt{chain_seed}", steps=3)
+    morph_sqlite = to_sqlite(morph.database, case_sensitive_like=True)
+    for sql in morph_probes:
+        rewritten = morph.rewrite_sql(sql)
+        base_plain = result_signature(base.execute(sql, optimize=False))
+        base_optimized = result_signature(base.execute(sql, optimize=True))
+        morph_plain = result_signature(
+            morph.database.execute(rewritten, optimize=False)
+        )
+        morph_optimized = result_signature(
+            morph.database.execute(rewritten, optimize=True)
+        )
+        lite = result_signature(sqlite_result(morph_sqlite, rewritten))
+        context = (morph.describe(), sql, rewritten)
+        assert base_optimized == base_plain, context
+        assert morph_optimized == morph_plain, context
+        assert morph_optimized == base_optimized, context
+        assert morph_optimized == lite, context
+
+
+def test_randomized_predicates_agree(morph_base_builder):
+    """Fuzz the rewrite surface: folded constants, pushable and
+    unmovable predicates, IN lists, BETWEEN, NULL logic."""
+    db = morph_base_builder()
+    rng = random.Random(2025)
+    columns = ["year", "home_goals", "away_goals", "home_team_id"]
+    operators = ["=", "<>", "<", "<=", ">", ">="]
+    predicates = []
+    for _ in range(120):
+        column = rng.choice(columns)
+        op = rng.choice(operators)
+        value = rng.randint(0, 2022)
+        predicates.append(f"{column} {op} {value}")
+    predicates += [
+        "1 = 1",
+        "1 = 2",
+        "NULL",
+        "year IN (2014, 2018)",
+        "year BETWEEN 2014 AND 2018",
+        "home_goals + away_goals > 4",
+        "NOT (year = 2014 OR year = 2018)",
+        "year = 2014 AND 1 = 1",
+        "1 = 2 OR home_goals >= 3",
+    ]
+    for predicate in predicates:
+        for template in (
+            "SELECT match_id FROM match WHERE {p}",
+            "SELECT count(*) FROM match WHERE {p}",
+            "SELECT T2.name FROM match AS T1 JOIN team AS T2 "
+            "ON T1.home_team_id = T2.team_id WHERE {p}",
+        ):
+            sql = template.format(p=predicate)
+            optimized = result_signature(db.execute(sql, optimize=True))
+            plain = result_signature(db.execute(sql, optimize=False))
+            assert optimized == plain, sql

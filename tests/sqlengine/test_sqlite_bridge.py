@@ -1,0 +1,173 @@
+"""Direct edge-case coverage for ``sqlengine/sqlite_bridge.py``.
+
+The bridge was previously exercised only indirectly through the morph
+sweep; these tests pin the dialect decisions on their own: empty
+tables, NULL ordering, float/int round trips, boolean text encoding
+and the ``ILIKE`` rendering.
+"""
+
+import pytest
+
+from repro.sqlengine import (
+    Database,
+    Schema,
+    make_column,
+    sqlite_dialect,
+    sqlite_result,
+    to_sqlite,
+)
+from repro.footballdb.morph import result_signature
+
+
+@pytest.fixture()
+def mixed_db() -> Database:
+    schema = Schema("bridge")
+    schema.create_table(
+        "t",
+        [
+            make_column("id", "int", primary_key=True),
+            make_column("score", "real"),
+            make_column("label", "text"),
+            make_column("flag", "bool"),
+        ],
+    )
+    schema.create_table("empty", [make_column("x", "int", primary_key=True)])
+    db = Database(schema)
+    db.insert_many(
+        "t",
+        [
+            (1, 2.0, "alpha", True),
+            (2, 2.5, "Beta", False),
+            (3, None, None, None),
+            (4, -1.0, "beta", True),
+        ],
+    )
+    return db
+
+
+def both(db: Database, sql: str):
+    """(engine rows, sqlite rows) for the same statement."""
+    conn = to_sqlite(db)
+    engine = db.execute(sql)
+    lite = sqlite_result(conn, sqlite_dialect(sql))
+    return engine, lite
+
+
+class TestEmptyTables:
+    def test_export_creates_empty_table(self, mixed_db):
+        conn = to_sqlite(mixed_db)
+        rows = conn.execute("SELECT count(*) FROM empty").fetchall()
+        assert rows == [(0,)]
+
+    def test_scalar_aggregates_on_empty(self, mixed_db):
+        for sql in (
+            "SELECT count(*) FROM empty",
+            "SELECT sum(x) FROM empty",
+            "SELECT min(x), max(x) FROM empty",
+            "SELECT avg(x) FROM empty",
+        ):
+            engine, lite = both(mixed_db, sql)
+            assert result_signature(engine) == result_signature(lite), sql
+
+    def test_joins_against_empty(self, mixed_db):
+        sql = "SELECT t.id FROM t JOIN empty ON t.id = empty.x"
+        engine, lite = both(mixed_db, sql)
+        assert engine.rows == []
+        assert result_signature(engine) == result_signature(lite)
+
+    def test_fully_empty_database(self):
+        schema = Schema("void")
+        schema.create_table("only", [make_column("a", "int", primary_key=True)])
+        db = Database(schema)
+        conn = to_sqlite(db)
+        assert conn.execute("SELECT count(*) FROM only").fetchall() == [(0,)]
+
+
+class TestNullOrdering:
+    def test_nulls_first_ascending(self, mixed_db):
+        """Engine ASC puts NULLs first — exactly sqlite's default."""
+        sql = "SELECT score FROM t ORDER BY score"
+        engine, lite = both(mixed_db, sql)
+        assert engine.rows[0][0] is None
+        assert lite.rows[0][0] is None
+        assert [row[0] for row in engine.rows] == [row[0] for row in lite.rows]
+
+    def test_nulls_last_descending(self, mixed_db):
+        sql = "SELECT score FROM t ORDER BY score DESC"
+        engine, lite = both(mixed_db, sql)
+        assert engine.rows[-1][0] is None
+        assert lite.rows[-1][0] is None
+        assert [row[0] for row in engine.rows] == [row[0] for row in lite.rows]
+
+    def test_null_filtering(self, mixed_db):
+        for sql in (
+            "SELECT id FROM t WHERE score IS NULL",
+            "SELECT id FROM t WHERE score IS NOT NULL",
+            "SELECT id FROM t WHERE label IS NULL",
+        ):
+            engine, lite = both(mixed_db, sql)
+            assert result_signature(engine) == result_signature(lite), sql
+
+
+class TestNumericRoundTrips:
+    def test_integral_float_compares_equal_to_int_literal(self, mixed_db):
+        """REAL 2.0 = integer literal 2 on both engines."""
+        sql = "SELECT id FROM t WHERE score = 2"
+        engine, lite = both(mixed_db, sql)
+        assert [row[0] for row in engine.rows] == [1]
+        assert result_signature(engine) == result_signature(lite)
+
+    def test_fractional_float_range(self, mixed_db):
+        sql = "SELECT id FROM t WHERE score > 2.25"
+        engine, lite = both(mixed_db, sql)
+        assert [row[0] for row in engine.rows] == [2]
+        assert result_signature(engine) == result_signature(lite)
+
+    def test_negative_floats_survive_export(self, mixed_db):
+        sql = "SELECT score FROM t WHERE score < 0"
+        engine, lite = both(mixed_db, sql)
+        assert engine.rows == [(-1.0,)]
+        assert lite.rows == [(-1.0,)]
+
+    def test_signature_folds_integral_floats(self, mixed_db):
+        """2.0 (engine REAL) and 2 (a sqlite integer expression) meet
+        in the normalized signature — the EX metric's equality."""
+        engine = mixed_db.execute("SELECT score FROM t WHERE id = 1")
+        conn = to_sqlite(mixed_db)
+        lite = sqlite_result(conn, "SELECT 2 FROM t WHERE id = 1")
+        assert result_signature(engine) == result_signature(lite)
+
+
+class TestBooleansAndLike:
+    def test_booleans_export_as_text(self, mixed_db):
+        conn = to_sqlite(mixed_db)
+        values = {row[0] for row in conn.execute("SELECT flag FROM t").fetchall()}
+        assert values == {"True", "False", None}
+
+    def test_boolean_text_comparison_agrees(self, mixed_db):
+        sql = "SELECT id FROM t WHERE flag = 'True'"
+        engine, lite = both(mixed_db, sql)
+        assert result_signature(engine) == result_signature(lite)
+        assert {row[0] for row in engine.rows} == {1, 4}
+
+    def test_ilike_renders_to_case_insensitive_like(self, mixed_db):
+        assert sqlite_dialect("SELECT 1 WHERE a ILIKE 'x%'") == (
+            "SELECT 1 WHERE a LIKE 'x%'"
+        )
+        sql = "SELECT id FROM t WHERE label ILIKE 'BETA'"
+        engine, lite = both(mixed_db, sql)
+        assert {row[0] for row in engine.rows} == {2, 4}
+        assert result_signature(engine) == result_signature(lite)
+
+    def test_case_sensitive_like_mode(self, mixed_db):
+        conn = to_sqlite(mixed_db, case_sensitive_like=True)
+        engine = mixed_db.execute("SELECT id FROM t WHERE label LIKE 'beta'")
+        lite = sqlite_result(conn, "SELECT id FROM t WHERE label LIKE 'beta'")
+        assert {row[0] for row in engine.rows} == {4}
+        assert result_signature(engine) == result_signature(lite)
+
+    def test_no_column_description_for_empty_projection_result(self, mixed_db):
+        conn = to_sqlite(mixed_db)
+        result = sqlite_result(conn, "SELECT id FROM t WHERE 1 = 2")
+        assert result.rows == []
+        assert result.columns == ["id"]
