@@ -77,8 +77,15 @@ def test_subquery_with_cache(benchmark, football):
 # -- plan cache: cached vs uncached repeated execution --------------------------
 #
 # Same SQL both times; the only difference is whether tokenize+parse
-# (and, for the join case, the hash-index build) are amortized.  The
-# measured ratios are recorded in docs/ARCHITECTURE.md.
+# (and, for the join case, the hash-index build) are amortized.  Each
+# case runs on both execution backends (``engine_mode``), so the micro
+# benchmarks cover the vectorized columnar path alongside the row
+# interpreter.  The measured ratios are recorded in
+# docs/ARCHITECTURE.md.
+
+import pytest
+
+ENGINE_MODES = ["row", "vectorized"]
 
 REPEATED_LOOKUP_SQL = "SELECT teamname FROM national_team WHERE team_id = 7"
 
@@ -90,35 +97,48 @@ REPEATED_JOIN_SQL = (
 )
 
 
-def test_repeated_lookup_uncached(benchmark, football):
+@pytest.mark.parametrize("engine_mode", ENGINE_MODES)
+def test_repeated_lookup_uncached(benchmark, football, engine_mode):
     db = football["v1"]
-    result = benchmark(db.execute, REPEATED_LOOKUP_SQL, cached=False)
+    result = benchmark(
+        db.execute, REPEATED_LOOKUP_SQL, cached=False, engine_mode=engine_mode
+    )
     assert len(result.rows) == 1
 
 
-def test_repeated_lookup_cached(benchmark, football):
+@pytest.mark.parametrize("engine_mode", ENGINE_MODES)
+def test_repeated_lookup_cached(benchmark, football, engine_mode):
     db = football["v1"]
-    db.execute(REPEATED_LOOKUP_SQL)  # warm the plan cache
-    result = benchmark(db.execute, REPEATED_LOOKUP_SQL)
+    db.execute(REPEATED_LOOKUP_SQL, engine_mode=engine_mode)  # warm the plan cache
+    result = benchmark(db.execute, REPEATED_LOOKUP_SQL, engine_mode=engine_mode)
     assert len(result.rows) == 1
 
 
-def test_repeated_join_uncached(benchmark, football):
-    """Plan cache, join indexes AND optimizer off: the seed behaviour."""
+@pytest.mark.parametrize("engine_mode", ENGINE_MODES)
+def test_repeated_join_uncached(benchmark, football, engine_mode):
+    """Plan cache, join indexes AND optimizer off: the seed behaviour
+    (per backend — the vectorized path keeps its own columnar index)."""
     db = football["v1"]
     executor = db._executor
     executor.use_join_index = False
     try:
-        result = benchmark(db.execute, REPEATED_JOIN_SQL, cached=False, optimize=False)
+        result = benchmark(
+            db.execute,
+            REPEATED_JOIN_SQL,
+            cached=False,
+            optimize=False,
+            engine_mode=engine_mode,
+        )
     finally:
         executor.use_join_index = True
     assert len(result.rows) == 23
 
 
-def test_repeated_join_cached(benchmark, football):
+@pytest.mark.parametrize("engine_mode", ENGINE_MODES)
+def test_repeated_join_cached(benchmark, football, engine_mode):
     db = football["v1"]
-    db.execute(REPEATED_JOIN_SQL)  # warm plan cache + join indexes
-    result = benchmark(db.execute, REPEATED_JOIN_SQL)
+    db.execute(REPEATED_JOIN_SQL, engine_mode=engine_mode)  # warm caches
+    result = benchmark(db.execute, REPEATED_JOIN_SQL, engine_mode=engine_mode)
     assert len(result.rows) == 23
 
 

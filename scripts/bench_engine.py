@@ -1,13 +1,19 @@
 #!/usr/bin/env python
-"""Engine micro-benchmark exporter: optimizer on vs off → BENCH_engine.json.
+"""Engine micro-benchmark exporter → BENCH_engine.json.
 
-Times the micro-benchmark workload of ``benchmarks/bench_engine_micro.py``
-with the cost-based optimizer enabled and disabled (plan cache and join
-indexes warm in both modes, so the measured delta is planning effect
-alone) and writes a compact JSON artifact.  The CI ``bench-smoke`` job
-runs this on every push and uploads the artifact, seeding the repo's
-performance trajectory; a reference copy generated on the development
-machine is committed at ``benchmarks/BENCH_engine.json``.
+Times the canonical engine workload along two axes:
+
+* **optimizer on vs off** (plan cache and join indexes warm in both
+  modes, so the measured delta is planning effect alone), and
+* **row vs vectorized execution** (both with the optimizer on, so the
+  delta is the columnar batch kernels alone).
+
+Every case is executed in all modes and the run aborts on any result
+divergence, making the benchmark itself a correctness smoke test.  The
+CI ``bench-smoke`` and ``perf-gate`` jobs run this on every push/PR
+(``perf-gate`` compares the PR's numbers against the merge-base via
+``scripts/check_bench_regression.py``); a reference copy generated on
+the development machine is committed at ``benchmarks/BENCH_engine.json``.
 
 Usage::
 
@@ -38,6 +44,20 @@ CASES = {
         "SELECT year, count(*) FROM match GROUP BY year ORDER BY year",
         22,
     ),
+    "large_group_by_aggregate": (
+        "SELECT season_year, count(*), avg(position) FROM club_league_hist "
+        "GROUP BY season_year ORDER BY season_year",
+        None,
+    ),
+    "range_scan_aggregate": (
+        "SELECT avg(position), min(season_year), max(season_year) "
+        "FROM club_league_hist WHERE season_year BETWEEN 1990 AND 2010",
+        1,
+    ),
+    "ilike_scan": (
+        "SELECT count(*) FROM player WHERE full_name ILIKE '%an%'",
+        1,
+    ),
     "multi_join_filter": (
         "SELECT T3.full_name FROM player_fact AS T1 "
         "JOIN national_team AS T2 ON T1.team_id = T2.team_id "
@@ -61,14 +81,18 @@ CASES = {
     ),
 }
 
+#: cases the perf gate tracks (see scripts/check_bench_regression.py):
+#: scan-/aggregate-/join-bound workloads with stable best-of-N timings.
+TRACKED_METRICS = ("optimized_ms", "vectorized_ms")
 
-def time_case(db, sql: str, optimize: bool, rounds: int) -> tuple:
-    db.execute(sql, optimize=optimize)  # warm plan cache + join indexes
+
+def time_case(db, sql: str, optimize: bool, engine_mode: str, rounds: int) -> tuple:
+    db.execute(sql, optimize=optimize, engine_mode=engine_mode)  # warm caches
     best = float("inf")
     rows = 0
     for _ in range(rounds):
         start = time.perf_counter()
-        result = db.execute(sql, optimize=optimize)
+        result = db.execute(sql, optimize=optimize, engine_mode=engine_mode)
         best = min(best, time.perf_counter() - start)
         rows = len(result.rows)
     return best * 1000.0, rows
@@ -87,36 +111,49 @@ def main() -> int:
 
     cases = {}
     for name, (sql, expected_rows) in CASES.items():
-        unoptimized_ms, rows = time_case(db, sql, optimize=False, rounds=args.rounds)
-        optimized_ms, optimized_rows = time_case(
-            db, sql, optimize=True, rounds=args.rounds
+        unoptimized_ms, rows = time_case(
+            db, sql, optimize=False, engine_mode="row", rounds=args.rounds
         )
-        if rows != optimized_rows:
+        optimized_ms, optimized_rows = time_case(
+            db, sql, optimize=True, engine_mode="row", rounds=args.rounds
+        )
+        vectorized_ms, vectorized_rows = time_case(
+            db, sql, optimize=True, engine_mode="vectorized", rounds=args.rounds
+        )
+        if len({rows, optimized_rows, vectorized_rows}) != 1:
             print(f"FATAL: row-count divergence in {name}", file=sys.stderr)
             return 1
         if expected_rows is not None and rows != expected_rows:
             print(f"FATAL: unexpected row count in {name}: {rows}", file=sys.stderr)
             return 1
         speedup = unoptimized_ms / optimized_ms if optimized_ms else 0.0
+        vector_speedup = optimized_ms / vectorized_ms if vectorized_ms else 0.0
         cases[name] = {
             "sql": sql,
             "rows": rows,
             "unoptimized_ms": round(unoptimized_ms, 4),
             "optimized_ms": round(optimized_ms, 4),
+            "vectorized_ms": round(vectorized_ms, 4),
             "speedup": round(speedup, 2),
+            "vector_speedup": round(vector_speedup, 2),
         }
         print(
             f"{name:28s} {unoptimized_ms:10.3f} ms -> {optimized_ms:8.3f} ms "
-            f"({speedup:7.1f}x)"
+            f"({speedup:7.1f}x) -> vec {vectorized_ms:8.3f} ms "
+            f"({vector_speedup:6.1f}x)"
         )
 
     payload = {
-        "benchmark": "sqlengine micro (optimizer on/off, best of rounds)",
+        "benchmark": (
+            "sqlengine micro (optimizer on/off + row/vectorized, best of rounds)"
+        ),
         "data_model": args.version,
         "rounds": args.rounds,
         "python": platform.python_version(),
         "optimizer": db.optimizer_stats(),
         "plan_cache": db.plan_cache_stats(),
+        "engine_modes": db.engine_mode_stats(),
+        "tracked_metrics": list(TRACKED_METRICS),
         "cases": cases,
         "wall_seconds": round(time.perf_counter() - started, 2),
     }

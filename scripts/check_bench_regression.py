@@ -1,0 +1,129 @@
+#!/usr/bin/env python
+"""Compare two BENCH_engine.json artifacts and fail on perf regressions.
+
+The CI ``perf-gate`` job runs ``scripts/bench_engine.py`` twice — once
+on the PR head and once on the merge-base, on the same runner — and
+feeds both artifacts here (when no healthy base run exists the job
+skips the comparison entirely: absolute timings are not comparable
+across machines, so there is no cross-machine fallback).  Any tracked
+metric that regresses by more than ``--threshold`` percent on any
+benchmark case fails the gate.
+
+Guard rails against flaky shared runners:
+
+* only cases present in **both** artifacts are compared (new or
+  renamed cases are reported, never failed);
+* a case is exempt while *both* sides stay below ``--min-ms`` — at
+  that scale the timer jitter dwarfs any real regression (once either
+  side reaches the floor, the case is gated);
+* the tracked metric list comes from the *current* artifact's
+  ``tracked_metrics`` field so the gate and the benchmark evolve in
+  the same commit (override with ``--metrics``).
+
+Usage::
+
+    python scripts/check_bench_regression.py BASE.json CURRENT.json \
+        --threshold 25
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List
+
+DEFAULT_METRICS = ("optimized_ms", "vectorized_ms")
+
+
+def load(path: str) -> Dict:
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def compare(
+    base: Dict,
+    current: Dict,
+    metrics: List[str],
+    threshold_pct: float,
+    min_ms: float,
+) -> int:
+    base_cases = base.get("cases", {})
+    current_cases = current.get("cases", {})
+    shared = sorted(set(base_cases) & set(current_cases))
+    added = sorted(set(current_cases) - set(base_cases))
+    removed = sorted(set(base_cases) - set(current_cases))
+    regressions = []
+
+    limit = 1.0 + threshold_pct / 100.0
+    print(
+        f"{'case':30s} {'metric':15s} {'base':>10s} {'current':>10s} "
+        f"{'ratio':>7s}"
+    )
+    for name in shared:
+        for metric in metrics:
+            base_ms = base_cases[name].get(metric)
+            current_ms = current_cases[name].get(metric)
+            if base_ms is None or current_ms is None:
+                continue  # metric introduced in this PR: nothing to gate
+            ratio = current_ms / base_ms if base_ms else float("inf")
+            flag = ""
+            if ratio > limit and max(base_ms, current_ms) >= min_ms:
+                flag = "  << REGRESSION"
+                regressions.append((name, metric, base_ms, current_ms, ratio))
+            print(
+                f"{name:30s} {metric:15s} {base_ms:10.3f} {current_ms:10.3f} "
+                f"{ratio:6.2f}x{flag}"
+            )
+    for name in added:
+        print(f"{name:30s} (new case — not gated)")
+    for name in removed:
+        print(f"{name:30s} (removed from current — not gated)")
+
+    if regressions:
+        print(
+            f"\nFAIL: {len(regressions)} tracked metric(s) regressed more "
+            f"than {threshold_pct:.0f}%:"
+        )
+        for name, metric, base_ms, current_ms, ratio in regressions:
+            print(
+                f"  {name}.{metric}: {base_ms:.3f} ms -> {current_ms:.3f} ms "
+                f"({ratio:.2f}x)"
+            )
+        return 1
+    print(
+        f"\nOK: {len(shared)} shared cases within {threshold_pct:.0f}% on "
+        f"{', '.join(metrics)}"
+    )
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("base", help="BENCH_engine.json of the merge-base")
+    parser.add_argument("current", help="BENCH_engine.json of the PR head")
+    parser.add_argument(
+        "--threshold", type=float, default=25.0,
+        help="maximum tolerated slowdown in percent (default 25)",
+    )
+    parser.add_argument(
+        "--min-ms", type=float, default=1.0,
+        help="ignore cases where both sides are below this many ms",
+    )
+    parser.add_argument(
+        "--metrics", nargs="*", default=None,
+        help="metric keys to gate (default: current artifact's "
+        "tracked_metrics, else optimized_ms + vectorized_ms)",
+    )
+    args = parser.parse_args()
+
+    base = load(args.base)
+    current = load(args.current)
+    metrics = args.metrics
+    if not metrics:
+        metrics = current.get("tracked_metrics") or list(DEFAULT_METRICS)
+    return compare(base, current, metrics, args.threshold, args.min_ms)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

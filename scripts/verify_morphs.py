@@ -32,14 +32,19 @@ def verify(
     base_sqlite: sqlite3.Connection,
     queries,
     optimize: bool = True,
+    engine_mode: str = "auto",
 ) -> int:
     morph_sqlite = to_sqlite(morph.database)
     failures = 0
     for sql in queries:
         rewritten = morph.rewrite_sql(sql)
-        base_engine = result_signature(base.execute(sql, optimize=optimize))
+        base_engine = result_signature(
+            base.execute(sql, optimize=optimize, engine_mode=engine_mode)
+        )
         morph_engine = result_signature(
-            morph.database.execute(rewritten, optimize=optimize)
+            morph.database.execute(
+                rewritten, optimize=optimize, engine_mode=engine_mode
+            )
         )
         lite_base = result_signature(
             sqlite_result(base_sqlite, sqlite_dialect(sql))
@@ -75,6 +80,11 @@ def main() -> int:
         help="run the engine with the cost-based optimizer on (default) or "
         "off (--no-optimize); CI sweeps both modes",
     )
+    parser.add_argument(
+        "--engine-mode", default="auto", choices=["row", "vectorized", "auto"],
+        help="execution backend for the engine-side checks; the nightly "
+        "sweep runs both 'row' and 'vectorized'",
+    )
     args = parser.parse_args()
 
     started = time.perf_counter()
@@ -88,6 +98,7 @@ def main() -> int:
     )
     queries = sorted({example.gold[args.base] for example in examples})
     mode = "optimizer on" if args.optimize else "optimizer off"
+    mode += f", engine {args.engine_mode}"
     print(
         f"verifying {args.count} morphs of {args.base} "
         f"(seed={args.seed}, steps<={args.steps}, {mode}) "
@@ -99,7 +110,14 @@ def main() -> int:
     failures = 0
     for morph in morphs:
         print(f"  {morph.describe()}")
-        failures += verify(morph, base, base_sqlite, queries, optimize=args.optimize)
+        failures += verify(
+            morph,
+            base,
+            base_sqlite,
+            queries,
+            optimize=args.optimize,
+            engine_mode=args.engine_mode,
+        )
     elapsed = time.perf_counter() - started
     if failures:
         print(f"FAILED: {failures} diverging queries ({elapsed:.1f}s)")

@@ -210,4 +210,5 @@ class TextToSQLService:
             "response_cache": cache_stats,
             "plan_cache": self.database.plan_cache_stats(),
             "optimizer": self.database.optimizer_stats(),
+            "engine_modes": self.database.engine_mode_stats(),
         }

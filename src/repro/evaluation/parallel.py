@@ -138,14 +138,23 @@ class GridSummary:
                 f" hits, optimizer {optimizer['optimizations']} plans in "
                 f"{optimizer['optimize_seconds'] * 1000:.1f}ms"
             )
+            modes = self.engine.get("engine_modes")
+            if modes:
+                text += (
+                    f"; engine {modes['vectorized_nodes']} vectorized /"
+                    f" {modes['fallback_nodes']} row-fallback nodes"
+                )
         return text
 
 
 def engine_report(football: FootballDB) -> Dict[str, Any]:
     """Aggregate engine counters over every registered database.
 
-    Plan-cache hit/miss/eviction totals plus optimizer plan counts and
-    planning time — the numbers `GridSummary.engine` and the service's
+    Plan-cache hit/miss/eviction totals, optimizer plan counts and
+    planning time, plus the execution-backend split (row-pinned
+    statements vs vectorized statements, and within the vectorized
+    path how many plan nodes ran columnar vs fell back to the row
+    interpreter) — the numbers `GridSummary.engine` and the service's
     ``metrics()`` expose so end-to-end cache health is observable.
     Counters are cumulative since database creation (``GridSummary``
     reports per-run deltas on top); a cache shared across schema
@@ -159,6 +168,12 @@ def engine_report(football: FootballDB) -> Dict[str, Any]:
         "optimize_seconds": 0.0,
         "stats_builds": 0,
     }
+    engine_modes = {
+        "row_statements": 0,
+        "vectorized_statements": 0,
+        "vectorized_nodes": 0,
+        "fallback_nodes": 0,
+    }
     seen_caches = set()
     for version in football.versions:
         database = football[version]
@@ -171,9 +186,16 @@ def engine_report(football: FootballDB) -> Dict[str, Any]:
         optimizer_stats = database.optimizer_stats()
         for key in optimizer:
             optimizer[key] += optimizer_stats[key]
+        mode_stats = database.engine_mode_stats()
+        for key in engine_modes:
+            engine_modes[key] += mode_stats[key]
     lookups = plan_cache["hits"] + plan_cache["misses"]
     plan_cache["hit_rate"] = plan_cache["hits"] / lookups if lookups else 0.0
-    return {"plan_cache": plan_cache, "optimizer": optimizer}
+    return {
+        "plan_cache": plan_cache,
+        "optimizer": optimizer,
+        "engine_modes": engine_modes,
+    }
 
 
 def engine_report_delta(
@@ -192,7 +214,15 @@ def engine_report_delta(
         key: after["optimizer"][key] - before["optimizer"][key]
         for key in after["optimizer"]
     }
-    return {"plan_cache": plan_cache, "optimizer": optimizer}
+    engine_modes = {
+        key: after["engine_modes"][key] - before["engine_modes"].get(key, 0)
+        for key in after.get("engine_modes", {})
+    }
+    return {
+        "plan_cache": plan_cache,
+        "optimizer": optimizer,
+        "engine_modes": engine_modes,
+    }
 
 
 class ParallelHarness:

@@ -53,7 +53,8 @@ from .ast_nodes import (
     iter_subqueries,
 )
 from .catalog import Column, ForeignKey, Schema, Table
-from .database import Database, make_column
+from .columnar import ColumnStore, VectorizedExecutor, analyze_select
+from .database import ENGINE_MODES, Database, make_column
 from .optimizer import (
     ColumnStats,
     PhysicalPlan,
@@ -88,10 +89,12 @@ __all__ = [
     "Column",
     "ColumnRef",
     "ColumnStats",
+    "ColumnStore",
     "Conjunction",
     "ConstraintError",
     "DEFAULT_PLAN_CACHE_SIZE",
     "Database",
+    "ENGINE_MODES",
     "EngineError",
     "ExecutionError",
     "Executor",
@@ -130,6 +133,8 @@ __all__ = [
     "TokenizeError",
     "TypeMismatchError",
     "UnaryOp",
+    "VectorizedExecutor",
+    "analyze_select",
     "contains_aggregate",
     "explain_plan",
     "format_expression",

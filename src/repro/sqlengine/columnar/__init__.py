@@ -1,0 +1,29 @@
+"""Vectorized columnar execution path for the SQL engine.
+
+Modules:
+
+* :mod:`.columns` — lazy, mutation-versioned column arrays and
+  columnar join indexes over the row store;
+* :mod:`.kernels` — whole-column primitives (filters, comparisons,
+  arithmetic, LIKE/IN/BETWEEN, gathers) mirroring the row executor's
+  value semantics element-wise;
+* :mod:`.analysis` — the static gate deciding, per SELECT core,
+  whether every expression is provably error-free and vectorizable;
+* :mod:`.vectorized` — the batch-at-a-time executor with per-node
+  fallback to the row executor.
+
+Selected by ``Database(engine_mode=...)`` — see
+docs/ARCHITECTURE.md § "Vectorized execution".
+"""
+
+from .analysis import VectorJoin, VectorSelectPlan, analyze_select
+from .columns import ColumnStore
+from .vectorized import VectorizedExecutor
+
+__all__ = [
+    "ColumnStore",
+    "VectorJoin",
+    "VectorSelectPlan",
+    "VectorizedExecutor",
+    "analyze_select",
+]

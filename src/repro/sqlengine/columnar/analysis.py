@@ -1,0 +1,521 @@
+"""Static vectorizability analysis: which SELECT cores may run columnar.
+
+The vectorized executor evaluates expressions column-at-a-time, which
+changes *how often* and *in what order* sub-expressions are evaluated
+compared to the row executor's frame-at-a-time interpretation (AND/OR
+short-circuiting, WHERE-before-projection, CASE arm laziness).  For
+error-free expressions that difference is unobservable — SQL
+three-valued logic is associative over whole columns — so the gate
+here is exactly the optimizer's error-freedom discipline extended to
+value position: a SELECT core is vectorized only when **every**
+expression it contains provably cannot raise (the
+``cannot_raise_predicate`` contract of
+:mod:`repro.sqlengine.optimizer.rewrites`, widened with aggregate and
+scalar-function rules) and resolves statically against the FROM-clause
+bindings.  Anything else — subqueries, CASE, unresolvable or ambiguous
+references, text/number comparisons, non-literal divisors — makes the
+whole node fall back to the row executor, which preserves the exact
+runtime error behaviour.
+
+The analysis is run once per plan node and cached on it (plans live in
+the plan cache; the annotation dies with them), producing a
+:class:`VectorSelectPlan` that also pre-resolves column references to
+``(binding slot, column position)`` pairs and records every
+sub-expression's static type class so the kernels can pick fast paths
+without re-deriving types at execution time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..ast_nodes import (
+    BetweenOp,
+    BinaryOp,
+    ColumnRef,
+    Conjunction,
+    Expression,
+    FunctionCall,
+    InOp,
+    IsNullOp,
+    Join,
+    JoinKind,
+    LikeOp,
+    Literal,
+    SelectQuery,
+    Star,
+    UnaryOp,
+    contains_aggregate,
+    is_aggregate_call,
+)
+from ..catalog import Schema, Table
+from ..executor import uses_aggregates
+from ..optimizer.rewrites import SelectContext, Unplannable, referenced_bindings
+from ..values import type_class
+
+#: boolean coercion (``Executor._eval_boolean``) accepts these classes
+#: without raising; "text" raises and "unknown" may.
+COERCIBLE_CLASSES = frozenset({"bool", "number", "null"})
+
+#: scalar functions with known never-raising semantics (see
+#: ``value_class`` for the per-function argument rules).
+SUPPORTED_SCALARS = frozenset(
+    {"upper", "lower", "length", "abs", "round", "coalesce"}
+)
+
+
+@dataclass(frozen=True)
+class VectorJoin:
+    """One hash-joinable step of a vectorized FROM pipeline."""
+
+    kind: JoinKind  # INNER or LEFT
+    binding: str
+    table: Table
+    table_name: str
+    positions: Tuple[int, ...]  # key column positions in the new table
+    outer_exprs: Tuple[Expression, ...]  # probe expressions, pair-aligned
+    residual: Tuple[Expression, ...]  # non-equi ON conjuncts
+
+
+@dataclass
+class VectorSelectPlan:
+    """Everything the vectorized executor needs for one SELECT core."""
+
+    select: SelectQuery
+    bindings: List[str]  # binding names in planned FROM order
+    tables: List[Table]
+    table_names: List[str]
+    scan_filter: Optional[Expression]
+    joins: List[VectorJoin]
+    aggregated: bool
+    aggregate_calls: List[FunctionCall]
+    classes: Dict[int, str] = field(default_factory=dict)
+    ref_slots: Dict[int, Tuple[int, int]] = field(default_factory=dict)
+
+
+class _Analyzer:
+    """One-shot analysis of a single SELECT core."""
+
+    def __init__(self, select: SelectQuery, schema: Schema) -> None:
+        self.select = select
+        self.schema = schema
+        self.context = SelectContext(select, schema)  # may raise Unplannable
+        self.classes: Dict[int, str] = {}
+        self.ref_slots: Dict[int, Tuple[int, int]] = {}
+        self.slot_by_key: Dict[str, int] = {
+            key: slot for slot, key in enumerate(self.context.order)
+        }
+
+    # -- type classes --------------------------------------------------------
+    def value_class(self, expr: Expression) -> Optional[str]:
+        """Static class ("number"/"text"/"bool"/"null") or None.
+
+        ``None`` means evaluation might raise, resolve dynamically, or
+        use an unsupported node type — all grounds for row fallback.
+        Approved sub-expressions are memoized into ``self.classes``
+        for the kernels' fast-path dispatch.
+        """
+        cached = self.classes.get(id(expr))
+        if cached is not None:
+            return cached
+        result = self._value_class(expr)
+        if result is not None:
+            self.classes[id(expr)] = result
+        return result
+
+    def _value_class(self, expr: Expression) -> Optional[str]:
+        if isinstance(expr, Literal):
+            value = expr.value
+            if value is None:
+                return "null"
+            if isinstance(value, bool):
+                return "bool"
+            if isinstance(value, (int, float)):
+                return "number"
+            if isinstance(value, str):
+                return "text"
+            return None
+        if isinstance(expr, ColumnRef):
+            refs = referenced_bindings(expr, self.context)
+            if not refs:
+                return None  # outer-scoped, ambiguous or unknown
+            (binding,) = refs
+            table = self.context.table(binding)
+            if table is None or not table.has_column(expr.column):
+                return None
+            self.ref_slots[id(expr)] = (
+                self.slot_by_key[binding],
+                table.column_position(expr.column),
+            )
+            return type_class(table.column(expr.column).sql_type)
+        if isinstance(expr, UnaryOp):
+            operand = self.value_class(expr.operand)
+            if expr.op == "-":
+                return "number" if operand in ("number", "null") else None
+            if expr.op == "NOT":
+                return "bool" if operand in COERCIBLE_CLASSES else None
+            return None
+        if isinstance(expr, Conjunction):
+            if all(
+                self.value_class(term) in COERCIBLE_CLASSES
+                for term in expr.terms
+            ):
+                return "bool"
+            return None
+        if isinstance(expr, BinaryOp):
+            left = self.value_class(expr.left)
+            right = self.value_class(expr.right)
+            if left is None or right is None:
+                return None
+            if expr.op == "||":
+                return "text"
+            if expr.op in ("+", "-", "*"):
+                return "number" if {left, right} <= {"number", "null"} else None
+            if expr.op in ("/", "%"):
+                # a zero (or NULL) divisor raises / stays NULL; only a
+                # provably non-zero literal keeps evaluation total
+                if (
+                    {left, right} <= {"number", "null"}
+                    and isinstance(expr.right, Literal)
+                    and expr.right.value not in (0, 0.0, None)
+                ):
+                    return "number"
+                return None
+            if expr.op in ("=", "<>"):
+                return "bool"  # sql_equal aligns or falls back, never raises
+            if expr.op in ("<", "<=", ">", ">="):
+                return "bool" if _comparable(left, right) else None
+            return None
+        if isinstance(expr, BetweenOp):
+            value = self.value_class(expr.expr)
+            low = self.value_class(expr.low)
+            high = self.value_class(expr.high)
+            if _comparable(value, low) and _comparable(value, high):
+                return "bool"
+            return None
+        if isinstance(expr, IsNullOp):
+            return "bool" if self.value_class(expr.expr) is not None else None
+        if isinstance(expr, LikeOp):
+            if (
+                self.value_class(expr.expr) is not None
+                and self.value_class(expr.pattern) is not None
+            ):
+                return "bool"  # LIKE stringifies; cannot raise
+            return None
+        if isinstance(expr, InOp):
+            if expr.subquery is not None:
+                return None
+            if self.value_class(expr.expr) is None:
+                return None
+            if all(
+                self.value_class(option) is not None
+                for option in (expr.options or ())
+            ):
+                return "bool"
+            return None
+        if isinstance(expr, FunctionCall):
+            return self._function_class(expr)
+        return None  # Star, CASE, subquery expressions: row territory
+
+    def _function_class(self, expr: FunctionCall) -> Optional[str]:
+        if is_aggregate_call(expr):
+            return self._aggregate_class(expr)
+        if expr.name not in SUPPORTED_SCALARS:
+            return None
+        if expr.name == "coalesce":
+            classes = {self.value_class(arg) for arg in expr.args}
+            if None in classes or not classes:
+                return None
+            non_null = classes - {"null"}
+            if not non_null:
+                return "null"
+            return non_null.pop() if len(non_null) == 1 else None
+        if expr.name == "round":
+            if len(expr.args) not in (1, 2):
+                return None
+            if self.value_class(expr.args[0]) not in ("number", "null"):
+                return None
+            if len(expr.args) == 2:
+                digits = expr.args[1]
+                # the executor calls int(digits) unconditionally; only
+                # a non-NULL numeric literal provably survives that
+                if not (
+                    isinstance(digits, Literal)
+                    and isinstance(digits.value, (int, float))
+                    and not isinstance(digits.value, bool)
+                ):
+                    return None
+            return "number"
+        if len(expr.args) != 1:
+            return None
+        arg = self.value_class(expr.args[0])
+        if arg is None:
+            return None
+        if expr.name == "abs":
+            return "number" if arg in ("number", "null") else None
+        if expr.name == "length":
+            return "number"
+        return "text"  # upper / lower
+
+    def _aggregate_class(self, expr: FunctionCall) -> Optional[str]:
+        star = len(expr.args) == 1 and isinstance(expr.args[0], Star)
+        if expr.name == "count":
+            if star or not expr.args:
+                return "number"
+            if len(expr.args) != 1:
+                return None
+            if contains_aggregate(expr.args[0]):
+                return None  # nested aggregate raises at runtime
+            return "number" if self.value_class(expr.args[0]) else None
+        if len(expr.args) != 1 or star:
+            return None
+        argument = expr.args[0]
+        if contains_aggregate(argument):
+            return None
+        arg_class = self.value_class(argument)
+        if arg_class is None:
+            return None
+        if expr.name in ("sum", "avg"):
+            # sum/avg raise on non-numeric inputs
+            return "number" if arg_class in ("number", "null") else None
+        return arg_class  # min / max never raise
+
+    # -- predicate positions -------------------------------------------------
+    def predicate_ok(self, expr: Expression) -> bool:
+        """Value evaluation AND boolean coercion provably total."""
+        return self.value_class(expr) in COERCIBLE_CLASSES
+
+    # -- join planning -------------------------------------------------------
+    def plan_join(
+        self, join: Join, placed: frozenset
+    ) -> Optional[VectorJoin]:
+        if join.kind is JoinKind.CROSS or join.condition is None:
+            return None
+        if join.kind not in (JoinKind.INNER, JoinKind.LEFT):
+            return None
+        if contains_aggregate(join.condition):
+            return None  # the row path raises the aggregate-context error
+        new_key = join.table.binding.lower()
+        new_table = self.context.table(new_key)
+        if new_table is None:
+            return None
+        terms = (
+            list(join.condition.terms)
+            if isinstance(join.condition, Conjunction)
+            and join.condition.op == "AND"
+            else [join.condition]
+        )
+        outer_exprs: List[Expression] = []
+        positions: List[int] = []
+        residual: List[Expression] = []
+        for term in terms:
+            pair = self._match_equi(term, placed, new_key, new_table)
+            if pair is not None:
+                outer_exprs.append(pair[0])
+                positions.append(pair[1])
+            else:
+                residual.append(term)
+        if not positions:
+            return None  # no hash key: a vectorized nested loop never pays
+        visible = placed | {new_key}
+        for term in residual:
+            if not self.predicate_ok(term):
+                return None
+            # the row executor resolves residual terms against the
+            # *extended* frame only — a reference to a binding joined
+            # later raises there, so it must fall back here too
+            refs = referenced_bindings(term, self.context)
+            if refs is None or not refs <= visible:
+                return None
+        return VectorJoin(
+            kind=join.kind,
+            binding=join.table.binding,
+            table=new_table,
+            table_name=join.table.table,
+            positions=tuple(positions),
+            outer_exprs=tuple(outer_exprs),
+            residual=tuple(residual),
+        )
+
+    def _match_equi(
+        self,
+        term: Expression,
+        placed: frozenset,
+        new_key: str,
+        new_table: Table,
+    ) -> Optional[Tuple[Expression, int]]:
+        """``(probe expression, new-table column position)`` or None.
+
+        Hash lookups use ``normalize_for_comparison`` keys, which only
+        agree with ``sql_equal`` when both sides provably share a type
+        class — the executor's ``_hash_compatible`` rule, applied here
+        with full static binding knowledge.
+        """
+        if not (isinstance(term, BinaryOp) and term.op == "="):
+            return None
+        for inner, other in ((term.left, term.right), (term.right, term.left)):
+            if not isinstance(inner, ColumnRef):
+                continue
+            inner_refs = referenced_bindings(inner, self.context)
+            if inner_refs != {new_key}:
+                continue
+            other_refs = referenced_bindings(other, self.context)
+            if other_refs is None or not other_refs <= placed:
+                continue
+            other_class = self.value_class(other)
+            if other_class is None:
+                continue
+            column = new_table.column(inner.column)
+            if other_class in ("null", type_class(column.sql_type)):
+                return other, new_table.column_position(inner.column)
+        return None
+
+    # -- whole-select analysis -----------------------------------------------
+    def analyze(self) -> Optional[VectorSelectPlan]:
+        select = self.select
+        if select.from_table is None:
+            return None  # constant SELECT: row path is already optimal
+
+        joins: List[VectorJoin] = []
+        placed = frozenset({select.from_table.binding.lower()})
+        for join in select.joins:
+            planned = self.plan_join(join, placed)
+            if planned is None:
+                return None
+            joins.append(planned)
+            placed = placed | {join.table.binding.lower()}
+
+        scan_filters = getattr(select, "scan_filters", None)
+        scan_filter = (
+            scan_filters.get(select.from_table.binding.lower())
+            if scan_filters
+            else None
+        )
+        if scan_filter is not None:
+            if not self.predicate_ok(scan_filter):
+                return None
+            # the planner only pushes FROM-binding conjuncts, but the
+            # filter runs before any join slot exists — enforce it
+            refs = referenced_bindings(scan_filter, self.context)
+            if refs is None or not refs <= {select.from_table.binding.lower()}:
+                return None
+
+        if select.where is not None:
+            if contains_aggregate(select.where):
+                return None  # row path raises the proper context error
+            if not self.predicate_ok(select.where):
+                return None
+
+        aggregated = bool(select.group_by) or uses_aggregates(select)
+        for expr in select.group_by:
+            if contains_aggregate(expr):
+                return None
+            if self.value_class(expr) is None:
+                return None
+
+        aggregate_calls: List[FunctionCall] = []
+        for item in select.projections:
+            if isinstance(item.expr, Star):
+                if item.expr.table is not None and (
+                    self.context.table(item.expr.table) is None
+                ):
+                    return None  # row path raises "unknown table alias"
+                continue
+            if self.value_class(item.expr) is None:
+                return None
+            _collect_aggregates(item.expr, aggregate_calls)
+
+        if select.having is not None:
+            if not self.predicate_ok(select.having):
+                return None
+            _collect_aggregates(select.having, aggregate_calls)
+
+        row_width = self._row_width()
+        for item in select.order_by:
+            expr = item.expr
+            if isinstance(expr, Literal) and isinstance(expr.value, int):
+                # positional: must be in range for every possible row;
+                # out-of-range only raises when rows exist, which the
+                # gate cannot know — leave those to the row executor
+                if row_width is None or not 1 <= expr.value <= row_width:
+                    return None
+                continue
+            if (
+                isinstance(expr, ColumnRef)
+                and expr.table is None
+                and _alias_position(select, expr.column) is not None
+            ):
+                continue
+            if self.value_class(expr) is None:
+                return None
+            _collect_aggregates(expr, aggregate_calls)
+
+        if aggregate_calls and not aggregated:  # pragma: no cover - safety
+            return None
+
+        return VectorSelectPlan(
+            select=select,
+            bindings=[ref.binding for ref in select.table_refs],
+            tables=[self.context.table(key) for key in self.context.order],
+            table_names=[ref.table for ref in select.table_refs],
+            scan_filter=scan_filter,
+            joins=joins,
+            aggregated=aggregated,
+            aggregate_calls=aggregate_calls,
+            classes=self.classes,
+            ref_slots=self.ref_slots,
+        )
+
+    def _row_width(self) -> Optional[int]:
+        """Static width of a projected row (Star widths are catalog facts)."""
+        width = 0
+        for item in self.select.projections:
+            if isinstance(item.expr, Star):
+                if item.expr.table is None:
+                    width += sum(len(t.columns) for t in self.context.bindings.values())
+                else:
+                    table = self.context.table(item.expr.table)
+                    if table is None:
+                        return None
+                    width += len(table.columns)
+            else:
+                width += 1
+        return width
+
+
+def _comparable(left: Optional[str], right: Optional[str]) -> bool:
+    """Mirror of the optimizer's rule: only text-vs-number can raise."""
+    if left is None or right is None:
+        return False
+    if "null" in (left, right):
+        return True
+    return {left, right} != {"text", "number"}
+
+
+def _alias_position(select: SelectQuery, column: str) -> Optional[int]:
+    """Projection index whose alias matches (the row executor's rule)."""
+    lowered = column.lower()
+    for position, projection in enumerate(select.projections):
+        if projection.alias and projection.alias.lower() == lowered:
+            return position
+    return None
+
+
+def _collect_aggregates(expr: Expression, into: List[FunctionCall]) -> None:
+    seen = {id(call) for call in into}
+    for node in expr.walk():
+        if is_aggregate_call(node) and id(node) not in seen:
+            seen.add(id(node))
+            into.append(node)
+
+
+def analyze_select(
+    select: SelectQuery, schema: Schema
+) -> Optional[VectorSelectPlan]:
+    """The vectorizability verdict for one SELECT core (None = row)."""
+    try:
+        analyzer = _Analyzer(select, schema)
+    except Unplannable:
+        return None
+    return analyzer.analyze()

@@ -1,0 +1,114 @@
+"""Columnar views over :class:`~repro.sqlengine.storage.TableData`.
+
+The row store keeps tuples in insertion order — the right layout for
+constraint checking and the row executor's frame pipeline, but the
+wrong one for batch kernels, which want one contiguous sequence per
+column.  :class:`ColumnStore` materializes that transposed view
+*lazily* (first vectorized touch of a table) and keeps it only as long
+as it is provably fresh: every cached artifact carries the
+``TableData.version`` it was built under, the same monotonic mutation
+counter ``Storage.data_epoch`` sums, so any insert or rollback
+invalidates exactly the tables it touched.
+
+Columns are tuples (immutable, shared freely across threads); a build
+in progress is serialized per store with double-checked locking, the
+same discipline ``TableData.join_index`` uses for grid workers that
+race on a cold table.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Tuple
+
+from ..storage import Storage, TableData
+from ..values import normalize_for_comparison
+
+#: one table's columns, index-aligned with ``Table.columns``
+ColumnSet = Tuple[tuple, ...]
+
+
+class ColumnStore:
+    """Lazy, version-checked column arrays for one :class:`Storage`.
+
+    Two artifact kinds, both keyed on the owning table's mutation
+    version:
+
+    * ``columns(table)`` — the transposed row set, one tuple per
+      catalog column;
+    * ``join_index(table, positions)`` — normalized join key →
+      **row positions** (not row tuples, unlike the row store's
+      index), in table row order, NULL-containing keys skipped, so a
+      vectorized hash join probes straight into the column arrays.
+    """
+
+    def __init__(self, storage: Storage) -> None:
+        self.storage = storage
+        self._columns: Dict[str, Tuple[int, ColumnSet]] = {}
+        self._indexes: Dict[Tuple[str, Tuple[int, ...]], Tuple[int, dict]] = {}
+        self._lock = threading.Lock()
+        self.builds = 0
+        self.index_builds = 0
+
+    def columns(self, table_name: str) -> ColumnSet:
+        """Column arrays for ``table_name``, rebuilt if the table mutated."""
+        data = self.storage.data(table_name)
+        key = data.table.name.lower()
+        entry = self._columns.get(key)
+        if entry is not None and entry[0] == data.version:
+            return entry[1]
+        with self._lock:
+            entry = self._columns.get(key)
+            if entry is None or entry[0] != data.version:
+                entry = (data.version, _transpose(data))
+                self._columns[key] = entry
+                self.builds += 1
+        return entry[1]
+
+    def join_index(
+        self, table_name: str, positions: Tuple[int, ...]
+    ) -> Dict[tuple, List[int]]:
+        """Hash index of normalized key tuples → row positions.
+
+        Bucket contents preserve table row order, which is what makes
+        the vectorized hash join emit matches in exactly the sequence
+        the row executor's bucket scan produces.
+        """
+        data = self.storage.data(table_name)
+        key = (data.table.name.lower(), positions)
+        entry = self._indexes.get(key)
+        if entry is not None and entry[0] == data.version:
+            return entry[1]
+        with self._lock:
+            entry = self._indexes.get(key)
+            if entry is None or entry[0] != data.version:
+                entry = (data.version, _build_index(data, positions))
+                self._indexes[key] = entry
+                self.index_builds += 1
+        return entry[1]
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "column_builds": self.builds,
+                "index_builds": self.index_builds,
+                "tables_cached": len(self._columns),
+            }
+
+
+def _transpose(data: TableData) -> ColumnSet:
+    if not data.rows:
+        return tuple(() for _ in data.table.columns)
+    return tuple(zip(*data.rows))
+
+
+def _build_index(
+    data: TableData, positions: Tuple[int, ...]
+) -> Dict[tuple, List[int]]:
+    index: Dict[tuple, List[int]] = {}
+    for row_position, row in enumerate(data.rows):
+        key = tuple(normalize_for_comparison(row[p]) for p in positions)
+        if any(part is None for part in key):
+            continue  # NULLs never match an equi-join
+        index.setdefault(key, []).append(row_position)
+    return index

@@ -1,0 +1,361 @@
+"""Batch kernels: whole-column primitives for the vectorized executor.
+
+Each kernel consumes and produces plain Python sequences (one value
+per batch position) and mirrors the row executor's evaluation helpers
+*element-wise*: ``None`` is SQL NULL everywhere, boolean kernels
+return three-valued ``True``/``False``/``None`` vectors, and every
+fast path is guarded by the static type classes the analyzer proved —
+when the classes say both sides of a comparison live in the same
+class, the per-element ``sql_equal``/``sql_compare`` dispatch (and its
+cross-type alignment) provably reduces to the native operator, which
+is what makes the columnar path fast without changing a single
+verdict.  Mixed or unknown classes fall back to the exact row-path
+helpers per element.
+
+Kernels never mutate their inputs: column arrays are shared,
+version-checked views (see :mod:`.columns`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Sequence
+
+from ..errors import ExecutionError, TypeMismatchError
+from ..values import (
+    normalize_for_comparison,
+    sql_compare,
+    sql_equal,
+    sql_text,
+)
+
+Vector = List[Any]
+
+#: classes whose values compare natively with ``==`` inside one class
+_DIRECT_EQ_CLASSES = frozenset({"number", "text", "bool"})
+#: classes whose values order natively with ``<`` inside one class
+_DIRECT_CMP_CLASSES = frozenset({"number", "text"})
+
+
+# -- gather / broadcast ------------------------------------------------------
+
+
+def gather(column: Sequence[Any], positions: Sequence[Optional[int]], nullable: bool) -> Vector:
+    """Take ``column`` values at ``positions``.
+
+    ``nullable`` marks index vectors that may contain ``None`` entries
+    (the NULL-extended rows a LEFT join emits); the non-nullable fast
+    path is a C-speed ``map``.
+    """
+    if nullable:
+        return [None if p is None else column[p] for p in positions]
+    if (
+        isinstance(positions, range)
+        and positions.start == 0
+        and positions.step == 1
+        and len(positions) == len(column)
+    ):
+        return column  # identity scan: the (immutable) column is the view
+    return list(map(column.__getitem__, positions))
+
+
+def broadcast(value: Any, length: int) -> Vector:
+    return [value] * length
+
+
+def take(values: Sequence[Any], positions: Sequence[int]) -> Vector:
+    """Select batch positions out of an already-evaluated vector."""
+    return list(map(values.__getitem__, positions))
+
+
+# -- boolean coercion and three-valued logic ---------------------------------
+
+
+def bool3(values: Vector) -> Vector:
+    """Element-wise mirror of ``Executor._eval_boolean``."""
+    out: Vector = []
+    append = out.append
+    for value in values:
+        if value is None or value is True or value is False:
+            append(value)
+        elif isinstance(value, (int, float)):
+            append(value != 0)
+        else:
+            raise TypeMismatchError(f"expected boolean, got {value!r}")
+    return out
+
+
+def and_accumulate(accumulator: Vector, term: Vector) -> Vector:
+    """Three-valued AND of two coerced vectors (order-insensitive
+    because the analyzer proved no term can raise)."""
+    return [
+        False
+        if left is False or right is False
+        else (None if left is None or right is None else True)
+        for left, right in zip(accumulator, term)
+    ]
+
+
+def or_accumulate(accumulator: Vector, term: Vector) -> Vector:
+    return [
+        True
+        if left is True or right is True
+        else (None if left is None or right is None else False)
+        for left, right in zip(accumulator, term)
+    ]
+
+
+def not_kernel(values: Vector) -> Vector:
+    """NOT over an already-coerced boolean vector."""
+    return [None if value is None else not value for value in values]
+
+
+def true_positions(values: Vector) -> List[int]:
+    """Batch positions whose (coerced) truth value is exactly TRUE."""
+    return [position for position, value in enumerate(bool3(values)) if value is True]
+
+
+# -- comparisons -------------------------------------------------------------
+
+
+def eq_kernel(
+    left: Vector,
+    right: Vector,
+    left_class: Optional[str],
+    right_class: Optional[str],
+    negated: bool = False,
+) -> Vector:
+    """``=`` / ``<>`` with NULL-propagation.
+
+    Same-class operands skip ``sql_equal``'s alignment entirely —
+    within one type class alignment is the identity.
+    """
+    direct = (
+        left_class == right_class and left_class in _DIRECT_EQ_CLASSES
+    ) or "null" in (left_class, right_class)
+    if direct:
+        if negated:
+            return [
+                None if a is None or b is None else a != b
+                for a, b in zip(left, right)
+            ]
+        return [
+            None if a is None or b is None else a == b
+            for a, b in zip(left, right)
+        ]
+    if negated:
+        return [
+            None if (verdict := sql_equal(a, b)) is None else not verdict
+            for a, b in zip(left, right)
+        ]
+    return [sql_equal(a, b) for a, b in zip(left, right)]
+
+
+_CMP_OPS: dict = {
+    "<": lambda c: c < 0,
+    "<=": lambda c: c <= 0,
+    ">": lambda c: c > 0,
+    ">=": lambda c: c >= 0,
+}
+
+
+def compare_kernel(
+    op: str,
+    left: Vector,
+    right: Vector,
+    left_class: Optional[str],
+    right_class: Optional[str],
+) -> Vector:
+    """``<``/``<=``/``>``/``>=`` with NULL-propagation."""
+    direct = (
+        left_class == right_class and left_class in _DIRECT_CMP_CLASSES
+    )
+    if direct:
+        if op == "<":
+            return [None if a is None or b is None else a < b for a, b in zip(left, right)]
+        if op == "<=":
+            return [None if a is None or b is None else a <= b for a, b in zip(left, right)]
+        if op == ">":
+            return [None if a is None or b is None else a > b for a, b in zip(left, right)]
+        return [None if a is None or b is None else a >= b for a, b in zip(left, right)]
+    verdict = _CMP_OPS[op]
+    return [
+        None if (c := sql_compare(a, b)) is None else verdict(c)
+        for a, b in zip(left, right)
+    ]
+
+
+def between_kernel(
+    values: Vector, lows: Vector, highs: Vector, negated: bool,
+    direct: bool,
+) -> Vector:
+    """Mirror of ``Executor._eval_between`` (three-valued)."""
+    out: Vector = []
+    append = out.append
+    if direct:
+        for value, low, high in zip(values, lows, highs):
+            if value is None or low is None or high is None:
+                append(None)
+            else:
+                inside = low <= value <= high
+                append(not inside if negated else inside)
+        return out
+    for value, low, high in zip(values, lows, highs):
+        lower = sql_compare(value, low)
+        upper = sql_compare(value, high)
+        if lower is None or upper is None:
+            append(None)
+        else:
+            inside = lower >= 0 and upper <= 0
+            append(not inside if negated else inside)
+    return out
+
+
+def is_null_kernel(values: Vector, negated: bool) -> Vector:
+    if negated:
+        return [value is not None for value in values]
+    return [value is None for value in values]
+
+
+def in_kernel(
+    values: Vector, option_vectors: List[Vector], negated: bool
+) -> Vector:
+    """Mirror of ``Executor._eval_in`` for literal option lists."""
+    out: Vector = []
+    append = out.append
+    for position, value in enumerate(values):
+        saw_unknown = False
+        verdict: Optional[bool] = None
+        for options in option_vectors:
+            equal = sql_equal(value, options[position])
+            if equal is True:
+                verdict = True
+                break
+            if equal is None:
+                saw_unknown = True
+        if verdict is True:
+            append(False if negated else True)
+        elif saw_unknown:
+            append(None)
+        else:
+            append(True if negated else False)
+    return out
+
+
+def in_set_kernel(values: Vector, members: frozenset, negated: bool) -> Vector:
+    """Same-class fast path: non-NULL literal options, set membership."""
+    if negated:
+        return [None if v is None else v not in members for v in values]
+    return [None if v is None else v in members for v in values]
+
+
+def like_const_kernel(
+    values: Vector,
+    pattern: Any,
+    regex_for: Callable,
+    case_insensitive: bool,
+    negated: bool,
+) -> Vector:
+    """LIKE against a literal pattern: one compile, one C-level loop."""
+    if pattern is None:
+        return [None] * len(values)
+    fullmatch = regex_for(str(pattern), case_insensitive).fullmatch
+    out: Vector = []
+    append = out.append
+    for value in values:
+        if value is None:
+            append(None)
+        else:
+            matched = fullmatch(str(value)) is not None
+            append(not matched if negated else matched)
+    return out
+
+
+def like_kernel(
+    values: Vector,
+    patterns: Vector,
+    regex_for: Callable,
+    case_insensitive: bool,
+    negated: bool,
+) -> Vector:
+    """Mirror of ``Executor._eval_like`` for per-row patterns."""
+    out: Vector = []
+    append = out.append
+    for value, pattern in zip(values, patterns):
+        if value is None or pattern is None:
+            append(None)
+        else:
+            matched = (
+                regex_for(str(pattern), case_insensitive).fullmatch(str(value))
+                is not None
+            )
+            append(not matched if negated else matched)
+    return out
+
+
+# -- arithmetic and text -----------------------------------------------------
+
+
+def arithmetic_kernel(op: str, left: Vector, right: Vector) -> Vector:
+    """``+``/``-``/``*``/``/``/``%`` over provably numeric vectors.
+
+    Division/modulo keep the executor's zero checks as a defence in
+    depth, though the analyzer only admits non-zero literal divisors.
+    """
+    if op == "+":
+        return [None if a is None or b is None else a + b for a, b in zip(left, right)]
+    if op == "-":
+        return [None if a is None or b is None else a - b for a, b in zip(left, right)]
+    if op == "*":
+        return [None if a is None or b is None else a * b for a, b in zip(left, right)]
+    if op == "/":
+        out: Vector = []
+        for a, b in zip(left, right):
+            if a is None or b is None:
+                out.append(None)
+            elif b == 0:
+                raise ExecutionError("division by zero")
+            else:
+                out.append(a / b)
+        return out
+    if op == "%":
+        out = []
+        for a, b in zip(left, right):
+            if a is None or b is None:
+                out.append(None)
+            elif b == 0:
+                raise ExecutionError("modulo by zero")
+            else:
+                out.append(a % b)
+        return out
+    raise ExecutionError(f"unknown operator {op!r}")
+
+
+def concat_kernel(left: Vector, right: Vector) -> Vector:
+    return [
+        None if a is None or b is None else sql_text(a) + sql_text(b)
+        for a, b in zip(left, right)
+    ]
+
+
+def negate_kernel(values: Vector) -> Vector:
+    return [None if value is None else -value for value in values]
+
+
+def scalar_function_kernel(
+    handler: Callable[[Sequence[Any]], Any], arg_vectors: List[Vector], length: int
+) -> Vector:
+    """Element-wise application of a scalar-function handler."""
+    if not arg_vectors:
+        return [handler(()) for _ in range(length)]
+    if len(arg_vectors) == 1:
+        single = arg_vectors[0]
+        return [handler((value,)) for value in single]
+    return [handler(args) for args in zip(*arg_vectors)]
+
+
+# -- normalization -----------------------------------------------------------
+
+
+def normalize_kernel(values: Vector) -> Vector:
+    """Element-wise ``normalize_for_comparison`` (join keys, group keys)."""
+    return [normalize_for_comparison(value) for value in values]

@@ -1,0 +1,616 @@
+"""The vectorized (batch-at-a-time) executor.
+
+Execution model
+---------------
+Where the row executor materializes one :class:`Frame` object per
+surviving row combination, this executor represents the same frame
+stream as a *batch*: per-binding index vectors into shared column
+arrays (:class:`~repro.sqlengine.columnar.columns.ColumnStore`).  A
+scan is a ``range``; a filter is a selection-vector compaction; a hash
+join maps positions through the columnar join index; projections,
+group keys and aggregate arguments are evaluated once per column
+instead of once per row.
+
+The correctness contract is the optimizer's, extended to execution:
+**vectorized and row execution are byte-identical** — same rows, same
+order, same column names, same errors.  Three mechanisms enforce it:
+
+* the static gate (:mod:`.analysis`) only admits SELECT cores whose
+  every expression provably cannot raise, so evaluation order is
+  unobservable;
+* every algorithm mirrors the row executor's emission order — hash
+  join buckets preserve table row order, groups keep first-seen key
+  order, the ORDER BY/DISTINCT/LIMIT pipeline replicates
+  ``Executor._finalize`` including its stable multi-key sort;
+* anything the gate rejects (or the one data-dependent case it cannot
+  decide: a global aggregate over zero rows, whose representative
+  frame semantics depend on emptiness) falls back **per plan node** to
+  the row executor, which keeps exact runtime error behaviour.
+
+Fallback is counted, never silent: ``counters()`` reports vectorized
+vs row-executed nodes and is surfaced through ``engine_report`` /
+``GridSummary`` / the service's ``metrics()``.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional, Sequence
+
+from .. import functions as fn
+from ..ast_nodes import (
+    BetweenOp,
+    BinaryOp,
+    ColumnRef,
+    Conjunction,
+    Expression,
+    FunctionCall,
+    InOp,
+    IsNullOp,
+    JoinKind,
+    LikeOp,
+    Literal,
+    QueryNode,
+    SelectQuery,
+    SetOperation,
+    Star,
+    UnaryOp,
+    is_aggregate_call,
+)
+from ..errors import ExecutionError
+from ..executor import Executor, Result, _apply_limit, _like_regex
+from ..storage import Storage
+from ..values import normalize_for_comparison, sort_key
+from . import kernels
+from .analysis import VectorJoin, VectorSelectPlan, _alias_position, analyze_select
+from .columns import ColumnStore
+
+
+class _Batch:
+    """A frame stream in columnar form.
+
+    ``columns[slot]`` are the column arrays of binding ``slot`` (plan
+    order); ``indexes[slot]`` maps each of the ``length`` batch
+    positions to a row position in that table (``None`` for the
+    NULL-extended side of a LEFT join, flagged by ``nullable[slot]``).
+    """
+
+    __slots__ = ("plan", "columns", "indexes", "nullable", "length")
+
+    def __init__(
+        self,
+        plan: VectorSelectPlan,
+        columns: List[tuple],
+        indexes: List[Sequence[Optional[int]]],
+        nullable: List[bool],
+        length: int,
+    ) -> None:
+        self.plan = plan
+        self.columns = columns
+        self.indexes = indexes
+        self.nullable = nullable
+        self.length = length
+
+    def select(self, positions: List[int]) -> "_Batch":
+        """Compact the batch to the given (ascending) positions."""
+        return _Batch(
+            self.plan,
+            self.columns,
+            [kernels.take(index, positions) for index in self.indexes],
+            list(self.nullable),
+            len(positions),
+        )
+
+
+#: marks "analysis not yet attached" on a plan node
+_UNANALYZED = object()
+
+
+class VectorizedExecutor:
+    """Executes plan trees batch-at-a-time, row-falling-back per node."""
+
+    def __init__(self, storage: Storage, row_executor: Executor) -> None:
+        self.storage = storage
+        self.store = ColumnStore(storage)
+        self._row = row_executor
+        self._lock = threading.Lock()
+        self._counters = {
+            "statements": 0,
+            "vectorized_nodes": 0,
+            "fallback_nodes": 0,
+        }
+
+    # -- public entry point --------------------------------------------------
+    def execute(self, query: QueryNode) -> Result:
+        with self._lock:
+            self._counters["statements"] += 1
+        return self._execute_node(query)
+
+    def counters(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(self._counters)
+
+    def _count(self, key: str) -> None:
+        with self._lock:
+            self._counters[key] += 1
+
+    # -- node dispatch -------------------------------------------------------
+    def _execute_node(self, node: QueryNode) -> Result:
+        if isinstance(node, SetOperation):
+            return self._execute_set_operation(node)
+        return self._execute_select(node)
+
+    def _execute_set_operation(self, node: SetOperation) -> Result:
+        left = self._execute_node(node.left)
+        right = self._execute_node(node.right)
+        # children are dispatched per backend; the combine/order/limit
+        # semantics live in exactly one place, the row executor's
+        return self._row.finish_set_operation(node, left, right)
+
+    def _plan_for(self, select: SelectQuery) -> Optional[VectorSelectPlan]:
+        """Analysis verdict for one SELECT core, cached on the node.
+
+        Plan nodes live in the plan cache and are shared across
+        threads; the annotation is idempotent, and carrying the schema
+        object in the entry pins the verdict to this database's
+        catalog (a programmatically shared AST cannot leak a verdict
+        across schemas).
+        """
+        schema = self.storage.schema
+        entry = getattr(select, "_vector_plan", _UNANALYZED)
+        if entry is not _UNANALYZED and entry[0] is schema:
+            return entry[1]
+        plan = analyze_select(select, schema)
+        select._vector_plan = (schema, plan)
+        return plan
+
+    def _execute_select(self, select: SelectQuery) -> Result:
+        plan = self._plan_for(select)
+        if plan is None:
+            self._count("fallback_nodes")
+            return self._row.execute(select)
+        batch = self._scan(plan)
+        for vjoin in plan.joins:
+            batch = self._join(batch, vjoin)
+        if select.where is not None:
+            batch = self._filter(batch, select.where)
+        if plan.aggregated:
+            result = self._execute_aggregated(select, plan, batch)
+            if result is None:
+                # zero input rows and no GROUP BY: the row executor's
+                # EMPTY representative frame decides whether a bare
+                # column projection raises — a data-dependent verdict
+                # the static gate cannot make
+                self._count("fallback_nodes")
+                return self._row.execute(select)
+        else:
+            result = self._execute_plain(select, plan, batch)
+        self._count("vectorized_nodes")
+        return result
+
+    # -- FROM / JOIN / WHERE pipeline ----------------------------------------
+    def _scan(self, plan: VectorSelectPlan) -> _Batch:
+        columns = self.store.columns(plan.table_names[0])
+        length = len(columns[0]) if columns else 0
+        batch = _Batch(plan, [columns], [range(length)], [False], length)
+        if plan.scan_filter is not None:
+            batch = self._filter(batch, plan.scan_filter)
+        return batch
+
+    def _filter(self, batch: _Batch, predicate: Expression) -> _Batch:
+        positions = kernels.true_positions(self._eval(predicate, batch))
+        if len(positions) == batch.length:
+            return batch
+        return batch.select(positions)
+
+    def _join(self, batch: _Batch, vjoin: VectorJoin) -> _Batch:
+        index = self.store.join_index(vjoin.table_name, vjoin.positions)
+        probes = [
+            kernels.normalize_kernel(self._eval(expr, batch))
+            for expr in vjoin.outer_exprs
+        ]
+        left_kind = vjoin.kind is JoinKind.LEFT
+        buckets: List[Optional[List[int]]] = []
+        if len(probes) == 1:
+            get = index.get
+            for key in probes[0]:
+                buckets.append(None if key is None else get((key,)))
+        else:
+            get = index.get
+            for position in range(batch.length):
+                key = tuple(vector[position] for vector in probes)
+                buckets.append(
+                    None if any(part is None for part in key) else get(key)
+                )
+
+        out_prev: List[int] = []
+        out_rows: List[Optional[int]] = []
+        if not vjoin.residual and not left_kind:
+            for position, bucket in enumerate(buckets):
+                if bucket:
+                    out_prev += [position] * len(bucket)
+                    out_rows += bucket
+        else:
+            mask = None
+            if vjoin.residual:
+                cand_prev: List[int] = []
+                cand_rows: List[Optional[int]] = []
+                for position, bucket in enumerate(buckets):
+                    if bucket:
+                        cand_prev += [position] * len(bucket)
+                        cand_rows += bucket
+                candidate = self._extend(batch, vjoin, cand_prev, cand_rows, False)
+                mask = [True] * candidate.length
+                for term in vjoin.residual:
+                    coerced = kernels.bool3(self._eval(term, candidate))
+                    mask = [m and (v is True) for m, v in zip(mask, coerced)]
+            cursor = 0
+            for position, bucket in enumerate(buckets):
+                matched = False
+                if bucket:
+                    for row in bucket:
+                        keep = mask[cursor] if mask is not None else True
+                        cursor += 1
+                        if keep:
+                            out_prev.append(position)
+                            out_rows.append(row)
+                            matched = True
+                if left_kind and not matched:
+                    out_prev.append(position)
+                    out_rows.append(None)
+        return self._extend(batch, vjoin, out_prev, out_rows, left_kind)
+
+    def _extend(
+        self,
+        batch: _Batch,
+        vjoin: VectorJoin,
+        prev_positions: List[int],
+        new_rows: List[Optional[int]],
+        new_nullable: bool,
+    ) -> _Batch:
+        return _Batch(
+            batch.plan,
+            batch.columns + [self.store.columns(vjoin.table_name)],
+            [kernels.take(index, prev_positions) for index in batch.indexes]
+            + [new_rows],
+            batch.nullable + [new_nullable],
+            len(prev_positions),
+        )
+
+    # -- output construction -------------------------------------------------
+    def _execute_plain(
+        self, select: SelectQuery, plan: VectorSelectPlan, batch: _Batch
+    ) -> Result:
+        names = self._output_names(select, plan, batch.length > 0)
+        columns = self._project_columns(select, plan, batch, None)
+        rows = list(zip(*columns)) if columns else [()] * batch.length
+        return self._finalize(select, plan, names, rows, batch, None)
+
+    def _execute_aggregated(
+        self, select: SelectQuery, plan: VectorSelectPlan, batch: _Batch
+    ) -> Optional[Result]:
+        length = batch.length
+        if not select.group_by and length == 0:
+            return None  # dynamic fallback (see _execute_select)
+        if select.group_by:
+            key_vectors = [
+                kernels.normalize_kernel(self._eval(expr, batch))
+                for expr in select.group_by
+            ]
+            keyed: Dict[tuple, List[int]] = {}
+            order: List[tuple] = []
+            if len(key_vectors) == 1:
+                iterator = ((value,) for value in key_vectors[0])
+            else:
+                iterator = zip(*key_vectors)
+            for position, key in enumerate(iterator):
+                members = keyed.get(key)
+                if members is None:
+                    keyed[key] = [position]
+                    order.append(key)
+                else:
+                    members.append(position)
+            groups = [keyed[key] for key in order]
+        else:
+            groups = [list(range(length))]
+
+        overrides: Dict[int, list] = {}
+        for call in plan.aggregate_calls:
+            overrides[id(call)] = self._aggregate_vector(call, batch, groups)
+
+        representative = batch.select([members[0] for members in groups])
+        if select.having is not None:
+            verdicts = kernels.bool3(
+                self._eval(select.having, representative, overrides)
+            )
+            kept = [g for g, value in enumerate(verdicts) if value is True]
+            if len(kept) != len(groups):
+                groups = [groups[g] for g in kept]
+                representative = batch.select(
+                    [members[0] for members in groups]
+                )
+                overrides = {
+                    key: kernels.take(vector, kept)
+                    for key, vector in overrides.items()
+                }
+        names = self._output_names(select, plan, length > 0)
+        columns = self._project_columns(select, plan, representative, overrides)
+        rows = list(zip(*columns)) if columns else [()] * representative.length
+        return self._finalize(select, plan, names, rows, representative, overrides)
+
+    def _aggregate_vector(
+        self, call: FunctionCall, batch: _Batch, groups: List[List[int]]
+    ) -> list:
+        """One aggregate's value per group (kernel = whole-column arg
+        evaluation + per-group slicing in frame order)."""
+        star = len(call.args) == 1 and isinstance(call.args[0], Star)
+        if call.name == "count" and (star or not call.args):
+            return [
+                fn.aggregate_count([1] * len(members), call.distinct, star=True)
+                for members in groups
+            ]
+        argument_values = self._eval(call.args[0], batch)
+        out = []
+        for members in groups:
+            values = kernels.take(argument_values, members)
+            if call.name == "count":
+                out.append(fn.aggregate_count(values, call.distinct, star=False))
+            elif call.name == "sum":
+                out.append(fn.aggregate_sum(values, call.distinct))
+            elif call.name == "avg":
+                out.append(fn.aggregate_avg(values, call.distinct))
+            elif call.name == "min":
+                out.append(fn.aggregate_min(values, call.distinct))
+            else:
+                out.append(fn.aggregate_max(values, call.distinct))
+        return out
+
+    def _output_names(
+        self, select: SelectQuery, plan: VectorSelectPlan, has_rows: bool
+    ) -> List[str]:
+        """Mirror of ``Executor._output_columns`` (including its
+        empty-stream ``*`` placeholder)."""
+        names: List[str] = []
+        for item in select.projections:
+            if isinstance(item.expr, Star):
+                if has_rows:
+                    for slot, binding in enumerate(plan.bindings):
+                        if (
+                            item.expr.table is not None
+                            and binding.lower() != item.expr.table.lower()
+                        ):
+                            continue
+                        names.extend(plan.tables[slot].column_names)
+                else:
+                    names.append("*")
+                continue
+            if item.alias:
+                names.append(item.alias)
+            elif isinstance(item.expr, ColumnRef):
+                names.append(item.expr.column)
+            elif isinstance(item.expr, FunctionCall):
+                names.append(item.expr.name)
+            else:
+                names.append(f"column{len(names) + 1}")
+        return names
+
+    def _project_columns(
+        self,
+        select: SelectQuery,
+        plan: VectorSelectPlan,
+        batch: _Batch,
+        overrides: Optional[Dict[int, list]],
+    ) -> List[list]:
+        columns: List[list] = []
+        for item in select.projections:
+            if isinstance(item.expr, Star):
+                star = item.expr
+                for slot, binding in enumerate(plan.bindings):
+                    if (
+                        star.table is not None
+                        and binding.lower() != star.table.lower()
+                    ):
+                        continue
+                    for column in batch.columns[slot]:
+                        columns.append(
+                            kernels.gather(
+                                column, batch.indexes[slot], batch.nullable[slot]
+                            )
+                        )
+                continue
+            columns.append(self._eval(item.expr, batch, overrides))
+        return columns
+
+    def _finalize(
+        self,
+        select: SelectQuery,
+        plan: VectorSelectPlan,
+        names: List[str],
+        rows: List[tuple],
+        batch: _Batch,
+        overrides: Optional[Dict[int, list]],
+    ) -> Result:
+        """Mirror of ``Executor._finalize``: order → distinct → limit."""
+        ordered = list(range(len(rows)))
+        if select.order_by:
+            keys_per_item = [
+                self._order_keys(item, select, rows, batch, overrides)
+                for item in select.order_by
+            ]
+            for item_index in range(len(select.order_by) - 1, -1, -1):
+                item = select.order_by[item_index]
+                keys = keys_per_item[item_index]
+                ordered.sort(
+                    key=lambda i: sort_key(keys[i]), reverse=item.descending
+                )
+        output = [rows[i] for i in ordered]
+        if select.distinct:
+            seen = set()
+            unique = []
+            for row in output:
+                key = tuple(normalize_for_comparison(value) for value in row)
+                if key not in seen:
+                    seen.add(key)
+                    unique.append(row)
+            output = unique
+        output = _apply_limit(output, select.limit, select.offset)
+        return Result(names, output)
+
+    def _order_keys(
+        self,
+        item,
+        select: SelectQuery,
+        rows: List[tuple],
+        batch: _Batch,
+        overrides: Optional[Dict[int, list]],
+    ) -> list:
+        """Mirror of ``Executor._order_key``, one vector per item."""
+        expr = item.expr
+        if isinstance(expr, Literal) and isinstance(expr.value, int):
+            position = expr.value - 1  # gate proved 1 <= value <= row width
+            return [row[position] for row in rows]
+        if isinstance(expr, ColumnRef) and expr.table is None:
+            alias_position = _alias_position(select, expr.column)
+            if alias_position is not None:
+                return [row[alias_position] for row in rows]
+        return self._eval(expr, batch, overrides)
+
+    # -- vectorized expression evaluation ------------------------------------
+    def _eval(
+        self,
+        expr: Expression,
+        batch: _Batch,
+        overrides: Optional[Dict[int, list]] = None,
+    ) -> list:
+        if overrides is not None:
+            computed = overrides.get(id(expr))
+            if computed is not None:
+                return computed
+        if isinstance(expr, Literal):
+            return kernels.broadcast(expr.value, batch.length)
+        if isinstance(expr, ColumnRef):
+            slot, position = batch.plan.ref_slots[id(expr)]
+            return kernels.gather(
+                batch.columns[slot][position],
+                batch.indexes[slot],
+                batch.nullable[slot],
+            )
+        if isinstance(expr, Conjunction):
+            return self._eval_conjunction(expr, batch, overrides)
+        if isinstance(expr, UnaryOp):
+            if expr.op == "NOT":
+                return kernels.not_kernel(
+                    kernels.bool3(self._eval(expr.operand, batch, overrides))
+                )
+            return kernels.negate_kernel(self._eval(expr.operand, batch, overrides))
+        if isinstance(expr, BinaryOp):
+            return self._eval_binary(expr, batch, overrides)
+        if isinstance(expr, LikeOp):
+            values = self._eval(expr.expr, batch, overrides)
+            if isinstance(expr.pattern, Literal):
+                return kernels.like_const_kernel(
+                    values,
+                    expr.pattern.value,
+                    _like_regex,
+                    expr.case_insensitive,
+                    expr.negated,
+                )
+            patterns = self._eval(expr.pattern, batch, overrides)
+            return kernels.like_kernel(
+                values, patterns, _like_regex, expr.case_insensitive, expr.negated
+            )
+        if isinstance(expr, BetweenOp):
+            return self._eval_between(expr, batch, overrides)
+        if isinstance(expr, IsNullOp):
+            return kernels.is_null_kernel(
+                self._eval(expr.expr, batch, overrides), expr.negated
+            )
+        if isinstance(expr, InOp):
+            return self._eval_in(expr, batch, overrides)
+        if isinstance(expr, FunctionCall):
+            if is_aggregate_call(expr):
+                raise ExecutionError(
+                    f"aggregate {expr.name}() used outside an aggregation context"
+                )
+            handler = fn.SCALAR_FUNCTIONS.get(expr.name)
+            if handler is None:  # pragma: no cover - gate rejects unknowns
+                raise ExecutionError(f"unknown function {expr.name!r}")
+            argument_vectors = [
+                self._eval(argument, batch, overrides) for argument in expr.args
+            ]
+            return kernels.scalar_function_kernel(
+                handler, argument_vectors, batch.length
+            )
+        raise ExecutionError(  # pragma: no cover - gate rejects these
+            f"unsupported vectorized expression {type(expr).__name__}"
+        )
+
+    def _eval_conjunction(
+        self, expr: Conjunction, batch: _Batch, overrides
+    ) -> list:
+        accumulate = (
+            kernels.and_accumulate if expr.op == "AND" else kernels.or_accumulate
+        )
+        accumulator = kernels.broadcast(expr.op == "AND", batch.length)
+        for term in expr.terms:
+            coerced = kernels.bool3(self._eval(term, batch, overrides))
+            accumulator = accumulate(accumulator, coerced)
+        return accumulator
+
+    def _eval_binary(self, expr: BinaryOp, batch: _Batch, overrides) -> list:
+        classes = batch.plan.classes
+        left = self._eval(expr.left, batch, overrides)
+        right = self._eval(expr.right, batch, overrides)
+        op = expr.op
+        if op == "=" or op == "<>":
+            return kernels.eq_kernel(
+                left,
+                right,
+                classes.get(id(expr.left)),
+                classes.get(id(expr.right)),
+                negated=op == "<>",
+            )
+        if op in ("<", "<=", ">", ">="):
+            return kernels.compare_kernel(
+                op, left, right, classes.get(id(expr.left)), classes.get(id(expr.right))
+            )
+        if op == "||":
+            return kernels.concat_kernel(left, right)
+        return kernels.arithmetic_kernel(op, left, right)
+
+    def _eval_between(self, expr: BetweenOp, batch: _Batch, overrides) -> list:
+        classes = batch.plan.classes
+        non_null = {
+            classes.get(id(part))
+            for part in (expr.expr, expr.low, expr.high)
+        } - {"null"}
+        direct = len(non_null) <= 1 and non_null <= {"number", "text"}
+        return kernels.between_kernel(
+            self._eval(expr.expr, batch, overrides),
+            self._eval(expr.low, batch, overrides),
+            self._eval(expr.high, batch, overrides),
+            expr.negated,
+            direct,
+        )
+
+    def _eval_in(self, expr: InOp, batch: _Batch, overrides) -> list:
+        classes = batch.plan.classes
+        options = expr.options or ()
+        values = self._eval(expr.expr, batch, overrides)
+        value_class = classes.get(id(expr.expr))
+        if (
+            value_class in ("number", "text")
+            and options
+            and all(
+                isinstance(option, Literal)
+                and option.value is not None
+                and classes.get(id(option)) == value_class
+                for option in options
+            )
+        ):
+            members = frozenset(option.value for option in options)
+            return kernels.in_set_kernel(values, members, expr.negated)
+        option_vectors = [
+            self._eval(option, batch, overrides) for option in options
+        ]
+        return kernels.in_kernel(values, option_vectors, expr.negated)

@@ -13,12 +13,18 @@ import time
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
 
 from .catalog import Column, Schema, Table
+from .columnar import VectorizedExecutor
 from .executor import Executor, Result
 from .optimizer import PhysicalPlan, StatsManager, explain_plan, optimize_query
 from .parser import parse_sql
 from .plan_cache import DEFAULT_PLAN_CACHE_SIZE, PlanCache
 from .storage import Storage, TableData
 from .values import SqlType
+
+#: accepted ``engine_mode`` values; "auto" and "vectorized" both route
+#: through the vectorized executor (which falls back per plan node),
+#: "row" pins the classic tuple-at-a-time interpreter.
+ENGINE_MODES = ("row", "vectorized", "auto")
 
 
 class Database:
@@ -38,6 +44,14 @@ class Database:
     planned under, so a mutation re-plans (not just re-parses) on the
     next hit, and the raw parsed AST rides along inside the entry for
     ``optimize=False`` calls.
+
+    ``engine_mode`` selects the execution backend: ``"row"`` is the
+    classic tuple-at-a-time interpreter; ``"vectorized"`` and
+    ``"auto"`` (the default) run each plan node through the columnar
+    batch executor when its every expression is provably vectorizable,
+    falling back node-by-node to the row executor otherwise — results
+    are byte-identical in all modes (see docs/ARCHITECTURE.md
+    § "Vectorized execution").
     """
 
     def __init__(
@@ -47,10 +61,17 @@ class Database:
         plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE,
         plan_cache: Optional[PlanCache] = None,
         optimize: bool = True,
+        engine_mode: str = "auto",
     ) -> None:
+        if engine_mode not in ENGINE_MODES:
+            raise ValueError(
+                f"engine_mode must be one of {ENGINE_MODES}, got {engine_mode!r}"
+            )
         self.schema = schema
         self.storage = Storage(schema, enforce_foreign_keys=enforce_foreign_keys)
         self._executor = Executor(self.storage)
+        self._vectorized = VectorizedExecutor(self.storage, self._executor)
+        self.engine_mode = engine_mode
         self.optimize = optimize
         self.stats = StatsManager(self.storage)
         self._optimizer_lock = threading.Lock()
@@ -59,6 +80,8 @@ class Database:
             "reoptimizations": 0,
             "optimize_seconds": 0.0,
         }
+        self._engine_mode_lock = threading.Lock()
+        self._engine_mode_counters: Dict[str, int] = {"row_statements": 0}
         # Plans are keyed on (schema.name, schema.version, normalized SQL)
         # so a cache shared across schema variants (``plan_cache=``, used
         # by the morph fleets) never serves one version's plan for
@@ -93,7 +116,11 @@ class Database:
 
     # -- querying ---------------------------------------------------------------
     def execute(
-        self, sql: str, cached: bool = True, optimize: Optional[bool] = None
+        self,
+        sql: str,
+        cached: bool = True,
+        optimize: Optional[bool] = None,
+        engine_mode: Optional[str] = None,
     ) -> Result:
         """Parse, optimize and execute a SQL string.
 
@@ -103,17 +130,26 @@ class Database:
         :attr:`Executor.use_join_index`.  ``optimize=False`` is the
         escape hatch executing the raw parsed AST exactly as the
         pre-optimizer engine did (``None`` inherits the database-wide
-        :attr:`optimize` default).
+        :attr:`optimize` default).  ``engine_mode`` overrides the
+        database-wide backend selection for this call (``"row"``,
+        ``"vectorized"`` or ``"auto"``); every mode returns
+        byte-identical results.
         """
+        mode = self._resolve_engine_mode(engine_mode)
         plan = self._plan_for(sql, cached, self._resolve_optimize(optimize))
         root = plan.root if isinstance(plan, PhysicalPlan) else plan
-        return self._executor.execute(root)
+        if mode == "row":
+            with self._engine_mode_lock:
+                self._engine_mode_counters["row_statements"] += 1
+            return self._executor.execute(root)
+        return self._vectorized.execute(root)
 
     def execute_many(
         self,
         statements: Iterable[str],
         cached: bool = True,
         optimize: Optional[bool] = None,
+        engine_mode: Optional[str] = None,
     ) -> List[Result]:
         """Batch entry point: execute statements in order.
 
@@ -121,7 +157,10 @@ class Database:
         makes the harness' gold-vs-predicted pairs and the service's
         ``ask_many`` fast.
         """
-        return [self.execute(sql, cached=cached, optimize=optimize) for sql in statements]
+        return [
+            self.execute(sql, cached=cached, optimize=optimize, engine_mode=engine_mode)
+            for sql in statements
+        ]
 
     def execute_ast(self, query) -> Result:
         return self._executor.execute(query)
@@ -150,6 +189,15 @@ class Database:
     # -- planning ----------------------------------------------------------------
     def _resolve_optimize(self, optimize: Optional[bool]) -> bool:
         return self.optimize if optimize is None else optimize
+
+    def _resolve_engine_mode(self, engine_mode: Optional[str]) -> str:
+        if engine_mode is None:
+            return self.engine_mode
+        if engine_mode not in ENGINE_MODES:
+            raise ValueError(
+                f"engine_mode must be one of {ENGINE_MODES}, got {engine_mode!r}"
+            )
+        return engine_mode
 
     def _plan_for(
         self, sql: str, cached: bool, optimize: bool
@@ -208,6 +256,32 @@ class Database:
             stats_epoch=self.stats.epoch(),
         )
         return counters
+
+    def engine_mode_stats(self) -> Dict[str, Any]:
+        """Execution-backend observability.
+
+        ``row_statements`` counts statements pinned to the row
+        executor (mode ``"row"``); ``vectorized_statements`` counts
+        statements routed through the vectorized executor, whose
+        ``vectorized_nodes`` / ``fallback_nodes`` split shows how many
+        plan nodes actually ran columnar vs fell back to the row
+        interpreter (the per-node contract of
+        docs/ARCHITECTURE.md § "Vectorized execution").
+        """
+        with self._engine_mode_lock:
+            row_statements = self._engine_mode_counters["row_statements"]
+        counters = self._vectorized.counters()
+        return {
+            "mode": self.engine_mode,
+            "row_statements": row_statements,
+            "vectorized_statements": counters["statements"],
+            "vectorized_nodes": counters["vectorized_nodes"],
+            "fallback_nodes": counters["fallback_nodes"],
+        }
+
+    def column_store_stats(self) -> Dict[str, int]:
+        """Columnar cache gauges (lazy builds, cached tables)."""
+        return self._vectorized.store.stats()
 
     def data_epoch(self) -> int:
         """Monotonic mutation counter (see ``Storage.data_epoch``)."""

@@ -215,6 +215,14 @@ class Executor:
     def _execute_set_operation(self, node: SetOperation, outer: Optional[Scope]) -> Result:
         left = self._execute(node.left, outer)
         right = self._execute(node.right, outer)
+        return self.finish_set_operation(node, left, right)
+
+    def finish_set_operation(
+        self, node: SetOperation, left: Result, right: Result
+    ) -> Result:
+        """Combine two child results (shared with the vectorized
+        executor, which dispatches the children per backend but must
+        keep the combine/order/limit semantics in one place)."""
         if left.columns and right.columns and len(left.columns) != len(right.columns):
             raise ExecutionError(
                 "set operation requires matching column counts "
@@ -295,18 +303,10 @@ class Executor:
                 for frame in frames
                 if self._truthy(query.where, Scope(frame, None, outer))
             ]
-        aggregated = bool(query.group_by) or self._uses_aggregates(query)
+        aggregated = bool(query.group_by) or uses_aggregates(query)
         if aggregated:
             return self._execute_aggregated(query, frames, outer)
         return self._execute_plain(query, frames, outer)
-
-    def _uses_aggregates(self, query: SelectQuery) -> bool:
-        for item in query.projections:
-            if contains_aggregate(item.expr):
-                return True
-        if query.having is not None:
-            return True
-        return any(contains_aggregate(item.expr) for item in query.order_by)
 
     # -- FROM/JOIN pipeline -----------------------------------------------------
     def _evaluate_from(self, query: SelectQuery, outer: Optional[Scope]) -> List[Frame]:
@@ -943,6 +943,21 @@ class Executor:
         if expr.default is not None:
             return self._eval(expr.default, scope)
         return None
+
+
+def uses_aggregates(query: SelectQuery) -> bool:
+    """Whether a SELECT core without GROUP BY still aggregates.
+
+    The single source of truth for the aggregated-vs-plain execution
+    split — shared with the vectorized executor's analysis, which must
+    classify exactly as the row path does.
+    """
+    for item in query.projections:
+        if contains_aggregate(item.expr):
+            return True
+    if query.having is not None:
+        return True
+    return any(contains_aggregate(item.expr) for item in query.order_by)
 
 
 def _apply_limit(rows: List[tuple], limit: Optional[int], offset: Optional[int]) -> List[tuple]:

@@ -1,0 +1,241 @@
+"""Unit coverage for the columnar layer: store, kernels, NULL logic.
+
+The differential sweeps (`test_vectorized_differential.py`) pin the
+end-to-end contract; these tests pin the primitives — NULL handling,
+type-class mixing, empty batches, cache invalidation — so a kernel
+regression fails with a readable message instead of a multiset diff.
+"""
+
+import pytest
+
+from repro.sqlengine import Database, Schema, make_column
+from repro.sqlengine.columnar import ColumnStore
+from repro.sqlengine.columnar import kernels
+from repro.sqlengine.errors import TypeMismatchError
+from repro.sqlengine.executor import _like_regex
+
+
+# -- ColumnStore -------------------------------------------------------------
+
+
+class TestColumnStore:
+    def test_transpose_matches_rows(self, toy_db):
+        store = ColumnStore(toy_db.storage)
+        columns = store.columns("team")
+        assert len(columns) == 3
+        assert columns[0] == (1, 2, 3)
+        assert columns[1] == ("Brazil", "Germany", "Uruguay")
+
+    def test_build_is_lazy_and_cached(self, toy_db):
+        store = ColumnStore(toy_db.storage)
+        assert store.stats()["column_builds"] == 0
+        first = store.columns("player")
+        second = store.columns("player")
+        assert first is second
+        assert store.stats()["column_builds"] == 1
+
+    def test_mutation_invalidates(self, toy_db):
+        store = ColumnStore(toy_db.storage)
+        before = store.columns("team")
+        toy_db.insert("team", (4, "Italy", 1898))
+        after = store.columns("team")
+        assert after is not before
+        assert after[1][-1] == "Italy"
+        assert store.stats()["column_builds"] == 2
+
+    def test_empty_table_has_empty_columns(self):
+        schema = Schema("t")
+        schema.create_table("e", [make_column("a", "int"), make_column("b", "text")])
+        store = ColumnStore(Database(schema).storage)
+        assert store.columns("e") == ((), ())
+
+    def test_join_index_positions_in_row_order(self, toy_db):
+        store = ColumnStore(toy_db.storage)
+        position = toy_db.schema.table("player").column_position("team_id")
+        index = store.join_index("player", (position,))
+        assert index[(1,)] == [0, 1]  # Alder, Bruno in insertion order
+        assert index[(2,)] == [2, 3]
+
+    def test_join_index_skips_null_keys(self, toy_db):
+        store = ColumnStore(toy_db.storage)
+        position = toy_db.schema.table("player").column_position("goals")
+        index = store.join_index("player", (position,))
+        assert all(None not in key for key in index)
+        assert (7,) in index and index[(7,)] == [1, 2]
+
+    def test_join_index_invalidates_on_insert(self, toy_db):
+        store = ColumnStore(toy_db.storage)
+        position = toy_db.schema.table("player").column_position("team_id")
+        store.join_index("player", (position,))
+        toy_db.insert("player", (6, 3, "Felix", 2, 1.77))
+        index = store.join_index("player", (position,))
+        assert index[(3,)] == [4, 5]
+        assert store.stats()["index_builds"] == 2
+
+
+# -- gather / take -----------------------------------------------------------
+
+
+class TestGather:
+    def test_identity_range_returns_column(self):
+        column = (10, 20, 30)
+        assert kernels.gather(column, range(3), False) is column
+
+    def test_partial_range_copies(self):
+        assert kernels.gather((10, 20, 30), range(2), False) == [10, 20]
+
+    def test_nullable_positions(self):
+        assert kernels.gather((10, 20), [1, None, 0], True) == [20, None, 10]
+
+    def test_empty(self):
+        assert kernels.gather((), range(0), False) == ()
+        assert kernels.take([1, 2, 3], []) == []
+
+
+# -- boolean coercion and three-valued logic ---------------------------------
+
+
+class TestBool3:
+    def test_passthrough_and_numbers(self):
+        assert kernels.bool3([True, False, None, 1, 0, 2.5]) == [
+            True, False, None, True, False, True,
+        ]
+
+    def test_text_raises_like_the_row_executor(self):
+        with pytest.raises(TypeMismatchError):
+            kernels.bool3(["yes"])
+
+    def test_empty(self):
+        assert kernels.bool3([]) == []
+
+    def test_and_or_not_three_valued(self):
+        left = [True, True, True, False, None]
+        right = [True, False, None, None, None]
+        assert kernels.and_accumulate(left, right) == [True, False, None, False, None]
+        assert kernels.or_accumulate(left, right) == [True, True, True, None, None]
+        assert kernels.not_kernel([True, False, None]) == [False, True, None]
+
+    def test_true_positions_ignores_false_and_unknown(self):
+        assert kernels.true_positions([True, None, False, 1, 0]) == [0, 3]
+
+
+# -- comparisons -------------------------------------------------------------
+
+
+class TestComparisons:
+    def test_eq_same_class_fast_path(self):
+        out = kernels.eq_kernel([1, 2, None], [1, 3, 1], "number", "number")
+        assert out == [True, False, None]
+
+    def test_eq_negated(self):
+        out = kernels.eq_kernel([1, 2, None], [1, 3, 1], "number", "number", negated=True)
+        assert out == [False, True, None]
+
+    def test_eq_mixed_classes_align_like_sql_equal(self):
+        # bool column vs the text literal 'True' (the paper's Listing 1)
+        out = kernels.eq_kernel([True, False, None], ["True"] * 3, "bool", "text")
+        assert out == [True, False, None]
+        # numeric string vs number ('2014' = 2014)
+        out = kernels.eq_kernel(["2014", "x", None], [2014] * 3, "text", "number")
+        assert out == [True, False, None]
+
+    def test_compare_number_fast_path_and_nulls(self):
+        out = kernels.compare_kernel("<", [1, 5, None], [3, 3, 3], "number", "number")
+        assert out == [True, False, None]
+        out = kernels.compare_kernel(">=", [1, 5], [3, 3], "number", "number")
+        assert out == [False, True]
+
+    def test_compare_mixed_class_via_sql_compare(self):
+        out = kernels.compare_kernel("<", ["2", None], [10, 10], "text", "number")
+        assert out == [True, None]
+
+    def test_between_direct_and_generic(self):
+        values, lows, highs = [2, 5, None], [1, 1, 1], [3, 3, 3]
+        direct = kernels.between_kernel(values, lows, highs, False, True)
+        generic = kernels.between_kernel(values, lows, highs, False, False)
+        assert direct == generic == [True, False, None]
+        negated = kernels.between_kernel(values, lows, highs, True, True)
+        assert negated == [False, True, None]
+
+    def test_empty_vectors(self):
+        assert kernels.eq_kernel([], [], "number", "number") == []
+        assert kernels.compare_kernel("<", [], [], "text", "number") == []
+
+
+# -- IN / IS NULL / LIKE -----------------------------------------------------
+
+
+class TestMembership:
+    def test_in_kernel_three_valued(self):
+        values = [1, 4, None, 2]
+        options = [[1] * 4, [None] * 4]
+        # a match wins outright; any miss with a NULL option is UNKNOWN
+        assert kernels.in_kernel(values, options, negated=False) == [
+            True, None, None, None,
+        ]
+        assert kernels.in_kernel(values, options, negated=True) == [
+            False, None, None, None,
+        ]
+        # without NULL options the misses are definite
+        assert kernels.in_kernel([1, 4], [[1, 1], [2, 2]], negated=False) == [
+            True, False,
+        ]
+
+    def test_in_set_fast_path_matches_generic(self):
+        values = [1, 4, None]
+        fast = kernels.in_set_kernel(values, frozenset({1, 2}), False)
+        generic = kernels.in_kernel(values, [[1] * 3, [2] * 3], False)
+        assert fast == generic == [True, False, None]
+
+    def test_is_null(self):
+        assert kernels.is_null_kernel([1, None], False) == [False, True]
+        assert kernels.is_null_kernel([1, None], True) == [True, False]
+
+    def test_like_const_and_vector_agree(self):
+        values = ["Brazil", "brazil", None]
+        const = kernels.like_const_kernel(values, "Bra%", _like_regex, False, False)
+        vector = kernels.like_kernel(values, ["Bra%"] * 3, _like_regex, False, False)
+        assert const == vector == [True, False, None]
+        ilike = kernels.like_const_kernel(values, "bra%", _like_regex, True, False)
+        assert ilike == [True, True, None]
+        negated = kernels.like_const_kernel(values, "Bra%", _like_regex, False, True)
+        assert negated == [False, True, None]
+
+    def test_like_null_pattern(self):
+        assert kernels.like_const_kernel([1, "a"], None, _like_regex, False, False) == [
+            None, None,
+        ]
+
+
+# -- arithmetic / text -------------------------------------------------------
+
+
+class TestArithmetic:
+    def test_null_propagation(self):
+        assert kernels.arithmetic_kernel("+", [1, None], [2, 2]) == [3, None]
+        assert kernels.arithmetic_kernel("*", [2, 3], [None, 4]) == [None, 12]
+
+    def test_division_semantics(self):
+        assert kernels.arithmetic_kernel("/", [7, None], [2, 2]) == [3.5, None]
+        assert kernels.arithmetic_kernel("%", [7], [4]) == [3]
+
+    def test_concat_stringifies_booleans(self):
+        assert kernels.concat_kernel([True, None], ["!", "!"]) == ["true!", None]
+
+    def test_negate(self):
+        assert kernels.negate_kernel([1, -2.5, None]) == [-1, 2.5, None]
+
+    def test_scalar_function_kernel(self):
+        from repro.sqlengine.functions import SCALAR_FUNCTIONS
+
+        upper = SCALAR_FUNCTIONS["upper"]
+        assert kernels.scalar_function_kernel(upper, [["a", None]], 2) == ["A", None]
+        coalesce = SCALAR_FUNCTIONS["coalesce"]
+        assert kernels.scalar_function_kernel(
+            coalesce, [[None, 1], [2, 2]], 2
+        ) == [2, 1]
+
+    def test_normalize_kernel(self):
+        assert kernels.normalize_kernel([True, 2.0, 1.5, "x"]) == [
+            "true", 2, 1.5, "x",
+        ]

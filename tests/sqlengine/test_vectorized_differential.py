@@ -1,0 +1,222 @@
+"""The vectorized executor's correctness contract, enforced differentially.
+
+Four sweeps, mirroring the optimizer's differential suite:
+
+* every distinct benchmark gold query, on every data model, must
+  return identical normalized result multisets vectorized vs. row —
+  and vs. sqlite3 through the bridge;
+* seeded morph chains (6 ≥ the required 5) over the morph base: the
+  rewritten probe workload agrees base-vs-morph, vectorized-vs-row
+  and engine-vs-sqlite;
+* a randomized predicate fuzz that also toggles ``engine_mode``
+  per query;
+* a grid-run property: one evaluation sweep where every engine call
+  picks a random backend must produce byte-identical
+  ``EvaluationResult`` outcomes and ``GridSummary`` accounting to a
+  row-pinned sweep.
+"""
+
+import random
+
+import pytest
+
+from repro.benchmark import build_benchmark
+from repro.evaluation import GridConfig, Harness, engine_report
+from repro.footballdb import VERSIONS, build_universe, load_all
+from repro.footballdb.morph import SchemaMorpher, result_signature
+from repro.sqlengine import sqlite_dialect, sqlite_result, to_sqlite
+from repro.systems import GPT35, Llama2
+
+
+@pytest.fixture(scope="module")
+def universe():
+    return build_universe(seed=2022)
+
+
+@pytest.fixture(scope="module")
+def football(universe):
+    return load_all(universe=universe)
+
+
+@pytest.fixture(scope="module")
+def dataset(universe):
+    return build_benchmark(universe)
+
+
+@pytest.mark.parametrize("version", VERSIONS)
+def test_full_benchmark_gold_vectorized_equals_row_and_sqlite(
+    version, football, dataset
+):
+    database = football[version]
+    sqlite_conn = to_sqlite(database)
+    queries = sorted({example.gold[version] for example in dataset.examples})
+    assert len(queries) > 100  # the sweep must actually cover the benchmark
+    divergences = []
+    for sql in queries:
+        vectorized = result_signature(
+            database.execute(sql, engine_mode="vectorized")
+        )
+        row = result_signature(database.execute(sql, engine_mode="row"))
+        lite = result_signature(sqlite_result(sqlite_conn, sqlite_dialect(sql)))
+        if vectorized != row:
+            divergences.append(("engine_mode", sql))
+        if vectorized != lite:
+            divergences.append(("sqlite", sql))
+    assert not divergences, divergences[:5]
+    stats = database.engine_mode_stats()
+    assert stats["vectorized_nodes"] > 0  # the sweep exercised the new path
+
+
+MORPH_CHAIN_SEEDS = range(6)
+
+
+@pytest.mark.parametrize("chain_seed", MORPH_CHAIN_SEEDS)
+def test_morph_chains_agree_across_engine_modes(
+    chain_seed, morph_base_builder, morph_probes
+):
+    base = morph_base_builder()
+    morph = SchemaMorpher(seed=chain_seed).morph(base, f"vec{chain_seed}", steps=3)
+    morph_sqlite = to_sqlite(morph.database, case_sensitive_like=True)
+    for sql in morph_probes:
+        rewritten = morph.rewrite_sql(sql)
+        base_row = result_signature(base.execute(sql, engine_mode="row"))
+        base_vec = result_signature(base.execute(sql, engine_mode="vectorized"))
+        morph_row = result_signature(
+            morph.database.execute(rewritten, engine_mode="row")
+        )
+        morph_vec = result_signature(
+            morph.database.execute(rewritten, engine_mode="vectorized")
+        )
+        lite = result_signature(sqlite_result(morph_sqlite, rewritten))
+        context = (morph.describe(), sql, rewritten)
+        assert base_vec == base_row, context
+        assert morph_vec == morph_row, context
+        assert morph_vec == base_vec, context
+        assert morph_vec == lite, context
+
+
+def test_randomized_predicates_agree_across_modes(morph_base_builder):
+    """Fuzz the kernel surface: comparisons, IN lists, BETWEEN, NULL
+    logic, arithmetic — with the backend toggled at random per query
+    and both optimizer modes in the mix."""
+    db = morph_base_builder()
+    rng = random.Random(2026)
+    columns = ["year", "home_goals", "away_goals", "home_team_id"]
+    operators = ["=", "<>", "<", "<=", ">", ">="]
+    predicates = []
+    for _ in range(120):
+        column = rng.choice(columns)
+        op = rng.choice(operators)
+        value = rng.randint(0, 2022)
+        predicates.append(f"{column} {op} {value}")
+    predicates += [
+        "1 = 1",
+        "1 = 2",
+        "NULL",
+        "year IN (2014, 2018)",
+        "year NOT IN (2014, NULL)",
+        "year BETWEEN 2014 AND 2018",
+        "home_goals + away_goals > 4",
+        "NOT (year = 2014 OR year = 2018)",
+        "year = 2014 AND 1 = 1",
+        "1 = 2 OR home_goals >= 3",
+        "home_goals IS NULL OR away_goals >= 0",
+    ]
+    for predicate in predicates:
+        for template in (
+            "SELECT match_id FROM match WHERE {p}",
+            "SELECT count(*) FROM match WHERE {p}",
+            "SELECT T2.name FROM match AS T1 JOIN team AS T2 "
+            "ON T1.home_team_id = T2.team_id WHERE {p}",
+        ):
+            sql = template.format(p=predicate)
+            optimize = rng.random() < 0.5
+            vectorized = result_signature(
+                db.execute(sql, optimize=optimize, engine_mode="vectorized")
+            )
+            row = result_signature(
+                db.execute(sql, optimize=optimize, engine_mode="row")
+            )
+            toggled = result_signature(
+                db.execute(
+                    sql,
+                    optimize=optimize,
+                    engine_mode=rng.choice(["row", "vectorized", "auto"]),
+                )
+            )
+            assert vectorized == row == toggled, sql
+
+
+# -- grid property: random per-query backend, identical sweep ----------------
+
+GRID_SYSTEMS = [(GPT35, "v1", 10), (Llama2, "v3", 4)]
+
+
+def test_grid_run_identical_with_random_engine_mode_per_query(
+    universe, dataset
+):
+    """Toggling the backend per engine call inside one grid run must be
+    invisible in the results (fresh databases per sweep so the EX
+    result caches cannot mask a divergence)."""
+    rng = random.Random(77)
+
+    # baseline: every database pinned to the row executor
+    football = load_all(universe=universe)
+    for version in football.versions:
+        football[version].engine_mode = "row"
+    harness = Harness(football, dataset)
+    row_results = [
+        harness.evaluate(system_cls, version, shots=shots, fold=0)
+        for system_cls, version, shots in GRID_SYSTEMS
+    ]
+    row_outcomes = [
+        (r.system, r.version, r.shots, tuple(r.outcomes)) for r in row_results
+    ]
+
+    # candidate: every execute() picks a random backend
+    mixed = load_all(universe=universe)
+    for version in mixed.versions:
+        database = mixed[version]
+        original = database.execute
+
+        def randomized(sql, cached=True, optimize=None, engine_mode=None,
+                       _original=original, _rng=rng):
+            mode = engine_mode or _rng.choice(["row", "vectorized", "auto"])
+            return _original(
+                sql, cached=cached, optimize=optimize, engine_mode=mode
+            )
+
+        database.execute = randomized
+    mixed_harness = Harness(mixed, dataset)
+    mixed_results = [
+        mixed_harness.evaluate(system_cls, version, shots=shots, fold=0)
+        for system_cls, version, shots in GRID_SYSTEMS
+    ]
+    mixed_outcomes = [
+        (r.system, r.version, r.shots, tuple(r.outcomes)) for r in mixed_results
+    ]
+
+    assert mixed_outcomes == row_outcomes
+    # both backends actually ran during the mixed sweep
+    report = engine_report(mixed)["engine_modes"]
+    assert report["row_statements"] > 0
+    assert report["vectorized_statements"] > 0
+    assert report["vectorized_nodes"] > 0
+
+
+def test_grid_summary_reports_engine_mode_split(football, dataset):
+    harness = Harness(football, dataset)
+    results, summary = harness.evaluate_grid(
+        # one tiny config is enough to populate the per-run delta
+        [GridConfig.make(GPT35, "v1", shots=4, fold=0)],
+        max_workers=1,
+    )
+    assert summary.engine is not None
+    modes = summary.engine["engine_modes"]
+    assert set(modes) >= {
+        "row_statements",
+        "vectorized_statements",
+        "vectorized_nodes",
+        "fallback_nodes",
+    }
+    assert "vectorized" in summary.describe()

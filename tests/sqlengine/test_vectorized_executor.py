@@ -1,0 +1,237 @@
+"""Vectorized executor behaviour: mode selection, fallback, parity.
+
+The static gate's promise is that everything it admits is
+byte-identical to row execution and everything it rejects falls back
+per node — including queries whose whole point is to raise.  These
+tests pin the selection rules and the observability counters; the
+exhaustive result equality lives in ``test_vectorized_differential.py``.
+"""
+
+import pytest
+
+from repro.sqlengine import Database, Schema, analyze_select, make_column, parse_sql
+from repro.sqlengine.errors import (
+    CatalogError,
+    EngineError,
+    ExecutionError,
+    TypeMismatchError,
+)
+
+
+def modes(db):
+    return db.engine_mode_stats()
+
+
+class TestModeSelection:
+    def test_invalid_engine_mode_rejected(self, toy_db):
+        with pytest.raises(ValueError):
+            Database(toy_db.schema, engine_mode="turbo")
+        with pytest.raises(ValueError):
+            toy_db.execute("SELECT name FROM team", engine_mode="turbo")
+
+    def test_row_mode_pins_the_row_executor(self, toy_db):
+        toy_db.execute("SELECT name FROM team", engine_mode="row")
+        stats = modes(toy_db)
+        assert stats["row_statements"] == 1
+        assert stats["vectorized_statements"] == 0
+
+    def test_auto_vectorizes_eligible_nodes(self, toy_db):
+        toy_db.execute("SELECT name FROM team WHERE founded > 1900")
+        stats = modes(toy_db)
+        assert stats["vectorized_statements"] == 1
+        assert stats["vectorized_nodes"] == 1
+        assert stats["fallback_nodes"] == 0
+
+    def test_subquery_falls_back_per_node(self, toy_db):
+        toy_db.execute(
+            "SELECT name FROM team WHERE team_id IN "
+            "(SELECT team_id FROM player WHERE goals > 5)"
+        )
+        stats = modes(toy_db)
+        assert stats["fallback_nodes"] == 1
+        assert stats["vectorized_nodes"] == 0
+
+    def test_set_operation_sides_selected_independently(self, toy_db):
+        # left side vectorizable, right side needs a subquery fallback
+        toy_db.execute(
+            "SELECT name FROM team WHERE founded > 1900 "
+            "UNION "
+            "SELECT name FROM player WHERE goals = "
+            "(SELECT max(goals) FROM player)"
+        )
+        stats = modes(toy_db)
+        assert stats["vectorized_nodes"] == 1
+        assert stats["fallback_nodes"] == 1
+
+    def test_case_expression_falls_back(self, toy_db):
+        result = toy_db.execute(
+            "SELECT CASE WHEN founded < 1905 THEN 'old' ELSE 'new' END FROM team"
+        )
+        assert len(result.rows) == 3
+        assert modes(toy_db)["fallback_nodes"] == 1
+
+    def test_text_number_comparison_falls_back(self, toy_db):
+        # name > 5 raises at runtime; the gate must hand it to the row
+        # executor rather than evaluate column-at-a-time
+        with pytest.raises(TypeMismatchError):
+            toy_db.execute("SELECT name FROM team WHERE name > 5")
+        assert modes(toy_db)["fallback_nodes"] == 1
+
+    def test_analyze_select_is_none_for_unknown_table(self, toy_db):
+        select = parse_sql("SELECT x FROM nowhere")
+        assert analyze_select(select, toy_db.schema) is None
+
+
+class TestErrorParity:
+    """Queries that raise must raise identically in every mode."""
+
+    CASES = [
+        "SELECT nope FROM team",
+        "SELECT name FROM team WHERE name > 5",
+        "SELECT name FROM team, player WHERE name = 'x'",  # ambiguous
+        "SELECT goals / (founded - founded) FROM team JOIN player ON player.team_id = team.team_id",
+        "SELECT sum(name) FROM player",
+        "SELECT name FROM team ORDER BY 9",
+        # residual ON term referencing a binding joined *later*: the
+        # row executor resolves against the extended frame only and
+        # raises CatalogError — the gate must not admit the node
+        "SELECT count(*) FROM team AS a "
+        "JOIN player AS b ON b.team_id = a.team_id AND c.team_id = 1 "
+        "JOIN team AS c ON c.team_id = b.team_id",
+    ]
+
+    @pytest.mark.parametrize("sql", CASES)
+    def test_same_error_class_and_message(self, toy_db, sql):
+        errors = {}
+        for mode in ("row", "vectorized"):
+            try:
+                toy_db.execute(sql, engine_mode=mode)
+                errors[mode] = None
+            except EngineError as exc:
+                errors[mode] = (type(exc), str(exc))
+        assert errors["row"] is not None
+        assert errors["row"] == errors["vectorized"]
+
+
+class TestDynamicFallback:
+    def test_global_aggregate_over_zero_rows(self, toy_db):
+        # the representative frame is EMPTY: a bare column projection
+        # raises in the row executor and must here too
+        with pytest.raises(CatalogError):
+            toy_db.execute(
+                "SELECT name, count(*) FROM team WHERE founded > 3000",
+                engine_mode="vectorized",
+            )
+        # pure aggregates over zero rows produce the NULL/0 row
+        result = toy_db.execute(
+            "SELECT count(*), sum(founded) FROM team WHERE founded > 3000",
+            engine_mode="vectorized",
+        )
+        assert result.rows == [(0, None)]
+
+    def test_grouped_aggregate_over_zero_rows_is_vectorized(self, toy_db):
+        result = toy_db.execute(
+            "SELECT founded, count(*) FROM team WHERE founded > 3000 GROUP BY founded"
+        )
+        assert result.rows == []
+        assert modes(toy_db)["vectorized_nodes"] == 1
+
+
+class TestInvalidation:
+    def test_insert_invalidates_columnar_view(self, toy_db):
+        sql = "SELECT count(*) FROM team"
+        assert toy_db.execute(sql, engine_mode="vectorized").rows == [(3,)]
+        toy_db.insert("team", (4, "Italy", 1898))
+        assert toy_db.execute(sql, engine_mode="vectorized").rows == [(4,)]
+        assert toy_db.column_store_stats()["column_builds"] == 2
+
+    def test_failed_insert_rollback_also_invalidates(self, toy_db):
+        sql = "SELECT count(*) FROM player"
+        toy_db.execute(sql, engine_mode="vectorized")
+        with pytest.raises(EngineError):
+            toy_db.insert("player", (99, 42, "Ghost", 1, 1.8))  # FK violation
+        assert toy_db.execute(sql, engine_mode="vectorized").rows == [(5,)]
+
+
+class TestParityDetails:
+    def test_left_join_null_extension(self, toy_db):
+        toy_db.insert("team", (9, "Iceland", 1947))  # team with no players
+        sql = (
+            "SELECT team.name, player.name FROM team "
+            "LEFT JOIN player ON player.team_id = team.team_id "
+            "ORDER BY team.team_id, player.player_id"
+        )
+        row = toy_db.execute(sql, engine_mode="row")
+        vec = toy_db.execute(sql, engine_mode="vectorized")
+        assert row.rows == vec.rows
+        assert ("Iceland", None) in vec.rows
+
+    def test_empty_stream_star_column_naming(self, toy_db):
+        # the row executor names '*' from an EMPTY frame when no row
+        # survives; the quirk is part of the byte-identical contract
+        sql = "SELECT * FROM team WHERE founded > 3000"
+        row = toy_db.execute(sql, engine_mode="row")
+        vec = toy_db.execute(sql, engine_mode="vectorized")
+        assert row.columns == vec.columns == ["*"]
+
+    def test_duplicate_order_keys_stay_stable(self, toy_db):
+        sql = "SELECT name, founded FROM team ORDER BY founded"
+        row = toy_db.execute(sql, engine_mode="row")
+        vec = toy_db.execute(sql, engine_mode="vectorized")
+        assert row.rows == vec.rows  # 1900 tie must keep insertion order
+
+
+class TestJoinShapeParity:
+    """Hash-join planning corners: probe expressions, composite keys,
+    residual terms, LEFT + residual — byte-identical to the row path."""
+
+    CASES = [
+        # arithmetic probe expression
+        "SELECT count(*) FROM player AS T1 JOIN player AS T2 "
+        "ON T2.player_id = T1.player_id + 1",
+        # literal equi key alongside a column pair
+        "SELECT T2.name FROM player AS T1 JOIN team AS T2 "
+        "ON T2.team_id = 2 AND T1.team_id = T2.team_id",
+        # composite multi-pair key
+        "SELECT count(*) FROM player AS T1 JOIN player AS T2 "
+        "ON T1.team_id = T2.team_id AND T1.goals = T2.goals",
+        # residual inequality on top of a hash pair
+        "SELECT count(*) FROM player AS T1 JOIN player AS T2 "
+        "ON T1.team_id = T2.team_id AND T1.player_id < T2.player_id",
+        # LEFT join with a residual condition
+        "SELECT T1.name, T2.name FROM team AS T1 LEFT JOIN player AS T2 "
+        "ON T2.team_id = T1.team_id AND T2.goals > 8 ORDER BY T1.team_id",
+        # scalar-function probe expression
+        "SELECT count(*) FROM team AS T1 JOIN team AS T2 "
+        "ON upper(T1.name) = upper(T2.name)",
+    ]
+
+    @pytest.mark.parametrize("sql", CASES)
+    def test_identical_rows_and_columns(self, toy_db, sql):
+        row = toy_db.execute(sql, engine_mode="row")
+        vec = toy_db.execute(sql, engine_mode="vectorized")
+        assert row.columns == vec.columns
+        assert row.rows == vec.rows
+
+
+class TestObservability:
+    def test_engine_mode_stats_shape(self, toy_db):
+        toy_db.execute("SELECT name FROM team", engine_mode="row")
+        toy_db.execute("SELECT name FROM team")
+        stats = modes(toy_db)
+        assert stats["mode"] == "auto"
+        assert set(stats) == {
+            "mode",
+            "row_statements",
+            "vectorized_statements",
+            "vectorized_nodes",
+            "fallback_nodes",
+        }
+        assert stats["row_statements"] == 1
+        assert stats["vectorized_statements"] == 1
+
+    def test_database_engine_mode_default(self):
+        schema = Schema("m")
+        schema.create_table("t", [make_column("a", "int", primary_key=True)])
+        assert Database(schema).engine_mode == "auto"
+        assert Database(schema, engine_mode="row").engine_mode == "row"
