@@ -2,15 +2,23 @@
 """Full-benchmark verification of seeded schema morphs (CI smoke job).
 
 For every derived morph of the chosen base data model, executes the
-benchmark's rewritten gold queries and checks the normalized result
+domain's rewritten gold queries and checks the normalized result
 multisets are identical to the base schema's — on our engine *and* on
 sqlite3 (booleans stored as their text form, ``ILIKE`` rendered as
 sqlite's case-insensitive ``LIKE``).  Exit code 1 on any divergence.
+
+``--domain football`` (the default) sweeps the paper's benchmark gold
+queries; any other registered domain (``hospital``, ``retail``,
+``flights``) or a seeded random scenario (``random:<seed>``) sweeps its
+generated question pool — the cross-domain conformance surface.
 
 Usage::
 
     PYTHONPATH=src python scripts/verify_morphs.py \
         --seed 2022 --base v1 --count 5 --steps 3 --split test
+    PYTHONPATH=src python scripts/verify_morphs.py \
+        --domain hospital --count 3 --steps 4
+    PYTHONPATH=src python scripts/verify_morphs.py --domain random:91
 """
 
 from __future__ import annotations
@@ -20,9 +28,8 @@ import sqlite3
 import sys
 import time
 
-from repro.benchmark import build_benchmark
-from repro.footballdb import SchemaMorpher, build_universe, load_all
-from repro.footballdb.morph import MorphedModel, result_signature
+from repro.domains import SchemaMorpher, load_domain, load_random_domain
+from repro.domains.morph import MorphedModel, result_signature
 from repro.sqlengine import Database, sqlite_dialect, sqlite_result, to_sqlite
 
 
@@ -65,15 +72,45 @@ def verify(
     return failures
 
 
+def football_fixture(args):
+    """(base database, gold queries) for the paper's benchmark."""
+    from repro.benchmark import build_benchmark
+    from repro.footballdb import build_universe, load_all
+
+    universe = build_universe(seed=2022)
+    football = load_all(universe=universe)
+    dataset = build_benchmark(universe)
+    examples = (
+        dataset.test_examples if args.split == "test" else dataset.examples
+    )
+    queries = sorted({example.gold[args.base] for example in examples})
+    return football[args.base], queries, args.base
+
+
+def domain_fixture(args):
+    """(base database, gold queries) for a registered/random domain."""
+    if args.domain.startswith("random:"):
+        instance = load_random_domain(int(args.domain.split(":", 1)[1]))
+    else:
+        instance = load_domain(args.domain, seed=args.seed)
+    version = instance.base_version
+    return instance[version], instance.gold_queries(version), version
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--seed", type=int, default=2022)
-    parser.add_argument("--base", default="v1", choices=["v1", "v2", "v3"])
+    parser.add_argument(
+        "--domain", default="football",
+        help="registered domain name, or random:<seed> for a fresh scenario",
+    )
+    parser.add_argument("--base", default="v1", choices=["v1", "v2", "v3"],
+                        help="football only: which hand-written model to morph")
     parser.add_argument("--count", type=int, default=5)
     parser.add_argument("--steps", type=int, default=3)
     parser.add_argument(
         "--split", default="test", choices=["test", "full"],
-        help="gold queries to sweep: the 100-question test split or all 400",
+        help="football only: the 100-question test split or all 400",
     )
     parser.add_argument(
         "--optimize", default=True, action=argparse.BooleanOptionalAction,
@@ -88,25 +125,21 @@ def main() -> int:
     args = parser.parse_args()
 
     started = time.perf_counter()
-    universe = build_universe(seed=2022)
-    football = load_all(universe=universe)
-    dataset = build_benchmark(universe)
-    base = football[args.base]
+    if args.domain == "football":
+        base, queries, base_label = football_fixture(args)
+    else:
+        base, queries, base_label = domain_fixture(args)
     base_sqlite = to_sqlite(base)
-    examples = (
-        dataset.test_examples if args.split == "test" else dataset.examples
-    )
-    queries = sorted({example.gold[args.base] for example in examples})
     mode = "optimizer on" if args.optimize else "optimizer off"
     mode += f", engine {args.engine_mode}"
     print(
-        f"verifying {args.count} morphs of {args.base} "
+        f"verifying {args.count} morphs of {args.domain}/{base_label} "
         f"(seed={args.seed}, steps<={args.steps}, {mode}) "
         f"over {len(queries)} gold queries"
     )
 
     morpher = SchemaMorpher(seed=args.seed)
-    morphs = morpher.derive(football[args.base], count=args.count, steps=args.steps)
+    morphs = morpher.derive(base, count=args.count, steps=args.steps)
     failures = 0
     for morph in morphs:
         print(f"  {morph.describe()}")
@@ -120,7 +153,10 @@ def main() -> int:
         )
     elapsed = time.perf_counter() - started
     if failures:
-        print(f"FAILED: {failures} diverging queries ({elapsed:.1f}s)")
+        print(
+            f"FAILED: {failures} diverging queries "
+            f"(domain={args.domain} seed={args.seed}, {elapsed:.1f}s)"
+        )
         return 1
     print(
         f"OK: {args.count} morphs x {len(queries)} queries byte-identical "

@@ -3,6 +3,8 @@
 The package implements, from scratch and fully offline:
 
 * :mod:`repro.sqlengine` — an in-memory relational engine (PostgreSQL stand-in);
+* :mod:`repro.domains` — generated evaluation domains, the domain
+  registry, the schema morpher and the grammar-based query fuzzer;
 * :mod:`repro.footballdb` — the FootballDB dataset in three data models;
 * :mod:`repro.workload` — the real-user question workload and gold SQL;
 * :mod:`repro.nlp` — embedding/clustering/sampling substrate;

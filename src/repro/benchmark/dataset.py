@@ -18,13 +18,13 @@ from __future__ import annotations
 
 import hashlib
 import json
+import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis import analyze_query, classify_hardness, mean_characteristics
 from repro.analysis.characteristics import QueryCharacteristics
 from repro.analysis.hardness import Hardness
-from repro.footballdb import Universe, VERSIONS
 from repro.nlp import diversity_sample, hardness_uniform_sample, train_test_split
 from repro.workload import (
     DeploymentSimulator,
@@ -32,6 +32,14 @@ from repro.workload import (
     QuestionCategory,
     compile_intent,
 )
+
+if TYPE_CHECKING:  # typing only — keeps the module import-free of footballdb
+    from repro.domains import DomainInstance  # noqa: F401
+    from repro.footballdb import Universe  # noqa: F401
+
+#: the paper's three hand-written data models — the default version axis
+#: of datasets built by the football pipeline below
+VERSIONS = ("v1", "v2", "v3")
 
 
 def question_id(question: str) -> str:
@@ -58,11 +66,20 @@ class BenchmarkExample:
 
 @dataclass
 class BenchmarkDataset:
-    """The released benchmark: 400 examples × 3 data models + 1K pool."""
+    """A labeled benchmark: train/test splits plus a larger gold pool.
+
+    For football this is the paper's released benchmark (400 examples ×
+    3 data models + the ≈1K pool); :meth:`from_domain` builds the same
+    artifact for any registered domain.  ``versions`` names the data
+    models every train/test example is labeled for at construction time
+    (morph versions added later via :meth:`add_version` are not
+    appended — they are derived axes, not part of the released core).
+    """
 
     train_examples: List[BenchmarkExample]
     test_examples: List[BenchmarkExample]
-    pool_examples: List[BenchmarkExample]  # the ≈1K v3-labeled gold pool
+    pool_examples: List[BenchmarkExample]  # the larger single-version gold pool
+    versions: Tuple[str, ...] = VERSIONS
 
     @property
     def examples(self) -> List[BenchmarkExample]:
@@ -72,8 +89,14 @@ class BenchmarkDataset:
         pairs = [(e.question, e.gold[version]) for e in self.train_examples]
         return pairs if limit is None else pairs[:limit]
 
-    def pool_pairs(self, version: str = "v3") -> List[Tuple[str, str]]:
-        """The ≈1K pool (used for the paper's 895-sample experiment)."""
+    def pool_pairs(self, version: Optional[str] = None) -> List[Tuple[str, str]]:
+        """The larger pool (used for the paper's 895-sample experiment).
+
+        The pool is labeled for one version only — ``v3`` for football,
+        the base version for generated domains — which is always the
+        *last* entry of :attr:`versions`; ``None`` selects it.
+        """
+        version = version or self.versions[-1]
         return [(e.question, e.gold[version]) for e in self.pool_examples]
 
     def gold_lookup(self, version: str) -> Dict[str, str]:
@@ -119,7 +142,7 @@ class BenchmarkDataset:
             ("test", self.test_examples),
         ):
             report[split_name] = {}
-            for version in VERSIONS:
+            for version in self.versions:
                 queries = [e.gold[version] for e in examples]
                 means = mean_characteristics(queries)
                 means["hardness"] = sum(
@@ -134,6 +157,75 @@ class BenchmarkDataset:
         for example in examples:
             counts[example.hardness(version).value] += 1
         return counts
+
+    # -- domain construction ---------------------------------------------------
+    @classmethod
+    def from_domain(
+        cls,
+        domain: "Union[str, DomainInstance]",
+        seed: int = 2022,
+        test_fraction: float = 0.25,
+    ) -> "BenchmarkDataset":
+        """Build a benchmark for any registered domain.
+
+        ``domain`` is a registry name (loaded at ``seed``) or an
+        already-loaded :class:`~repro.domains.instance.DomainInstance`.
+        ``football`` routes through the paper's Section 6.1 pipeline
+        (:func:`build_benchmark` over the shared universe); generated
+        domains split their question pool deterministically — paraphrase
+        variants of train/test questions land in the pool split, where
+        the harness' gold lookup can still resolve them.
+        """
+        from repro.domains import DomainInstance, load_domain
+
+        if isinstance(domain, str):
+            domain = load_domain(domain, seed=seed)
+        if not isinstance(domain, DomainInstance):
+            raise TypeError(
+                f"from_domain expects a registry name or DomainInstance, "
+                f"got {type(domain).__name__}"
+            )
+        if domain.name == "football":
+            return build_benchmark(domain.universe, seed=seed)
+        if not domain.examples:
+            raise ValueError(f"domain {domain.name!r} has no labeled examples")
+        base_version = domain.base_version
+        core: List[BenchmarkExample] = []
+        pool: List[BenchmarkExample] = []
+        for example in domain.examples:
+            intent = Intent(kind=f"{domain.name}:{example.kind}", slots=example.slots)
+            core.append(
+                BenchmarkExample(
+                    qid=example.qid,
+                    question=example.question,
+                    intent=intent,
+                    category=QuestionCategory.CLEAN,
+                    gold=dict(example.gold),
+                )
+            )
+            for paraphrase in example.paraphrases[1:]:
+                pool.append(
+                    BenchmarkExample(
+                        qid=question_id(paraphrase),
+                        question=paraphrase,
+                        intent=intent,
+                        category=QuestionCategory.CLEAN,
+                        gold={base_version: example.gold[base_version]},
+                    )
+                )
+        rng = random.Random(f"benchmark|{domain.name}|{seed}")
+        rng.shuffle(core)
+        test_size = max(1, round(len(core) * test_fraction))
+        test, train = core[:test_size], core[test_size:]
+        # the pool holds only the paraphrase variants: gold_lookup()
+        # already merges train/test examples, so re-including them here
+        # would double-count questions in every pool statistic
+        return cls(
+            train_examples=train,
+            test_examples=test,
+            pool_examples=pool,
+            versions=tuple(domain.versions),
+        )
 
     # -- serialization --------------------------------------------------------
     def to_json(self) -> str:

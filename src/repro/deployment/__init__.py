@@ -6,17 +6,27 @@ from .labeling import (
     LabelingSuggestion,
     VerifiedPair,
 )
+from .routing import (
+    DomainRouter,
+    RoutedResponse,
+    UnroutableQuestionError,
+    build_lexicon,
+)
 from .service import ServiceResponse, TextToSQLService, percentile
 from .webapp import InteractionLog, WebBackend
 
 __all__ = [
     "AUTO_LABEL_THRESHOLD",
+    "DomainRouter",
     "InteractionLog",
     "LabelingPipeline",
     "LabelingSuggestion",
+    "RoutedResponse",
     "ServiceResponse",
     "TextToSQLService",
+    "UnroutableQuestionError",
     "VerifiedPair",
     "WebBackend",
+    "build_lexicon",
     "percentile",
 ]

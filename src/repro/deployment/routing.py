@@ -1,0 +1,197 @@
+"""Multi-domain service routing (the deployment grows beyond football).
+
+One :class:`DomainRouter` fronts several per-domain
+:class:`~repro.deployment.service.TextToSQLService` instances.  A
+question is either routed explicitly (``ask(question, domain="retail")``)
+or scored against each domain's lexicon — schema identifiers plus
+sampled data values, the same signals schema-linking uses — and
+dispatched to the best match.  Responses carry the chosen domain so the
+web layer can render provenance, and :meth:`metrics` aggregates the
+per-domain service metrics next to the router's own counters.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.sqlengine import Database
+
+from .service import ServiceResponse, TextToSQLService
+
+_TOKEN = re.compile(r"[a-z0-9]+")
+
+#: question words carry no domain signal; keep the lexicons sharp
+_STOPWORDS = frozenset(
+    "a an and are at by does do did for from has have how in is it list of on"
+    " or per show tell the their there to was were what when where which who"
+    " whose many much name number count total average highest lowest most"
+    " more than above over under each all any every".split()
+)
+
+
+def _tokens(text: str) -> Set[str]:
+    out: Set[str] = set()
+    for token in _TOKEN.findall(text.lower()):
+        if token in _STOPWORDS or len(token) <= 1:
+            continue
+        out.add(token)
+        # naive depluralization so "doctors" meets the "doctor" table
+        if len(token) > 3 and token.endswith("s") and not token.endswith("ss"):
+            out.add(token[:-1])
+    return out
+
+
+def build_lexicon(database: Database, value_sample: int = 40) -> Set[str]:
+    """A domain's recognizable vocabulary: identifiers + data values.
+
+    Table and column names are split on underscores (``national_team``
+    contributes ``national`` and ``team``); text columns contribute a
+    deterministic sample of their values' tokens.
+    """
+    lexicon: Set[str] = set()
+    for table in database.schema.tables:
+        lexicon |= _tokens(table.name.replace("_", " "))
+        for column in table.columns:
+            lexicon |= _tokens(column.name.replace("_", " "))
+    for table in database.schema.tables:
+        rows = database.table_data(table.name).rows
+        step = max(1, len(rows) // value_sample)
+        for position, column in enumerate(table.columns):
+            for row in rows[::step][:value_sample]:
+                value = row[position]
+                if isinstance(value, str):
+                    lexicon |= _tokens(value)
+    return lexicon
+
+
+@dataclass(frozen=True)
+class RoutedResponse:
+    """A service response plus where (and why) it was routed."""
+
+    domain: str
+    response: ServiceResponse
+    score: float  # lexicon overlap that won the routing (1.0 if explicit)
+    explicit: bool  # True when the caller named the domain
+
+
+class UnroutableQuestionError(KeyError):
+    """Raised when a question matches no registered domain."""
+
+
+class DomainRouter:
+    """Dispatches questions across per-domain Text-to-SQL services."""
+
+    def __init__(self, default_domain: Optional[str] = None) -> None:
+        self._services: Dict[str, TextToSQLService] = {}
+        self._lexicons: Dict[str, Set[str]] = {}
+        self.default_domain = default_domain
+        self._lock = threading.Lock()
+        self._routed = 0
+        self._explicit = 0
+        self._fallbacks = 0
+        self._per_domain: Dict[str, int] = {}
+
+    # -- registration ---------------------------------------------------------
+    def add_domain(
+        self,
+        name: str,
+        service: TextToSQLService,
+        lexicon: Optional[Iterable[str]] = None,
+    ) -> None:
+        """Register a per-domain service (first one becomes the default).
+
+        The lexicon defaults to :func:`build_lexicon` over the service's
+        database; pass an explicit iterable to override or extend.
+        """
+        if name in self._services:
+            raise ValueError(f"domain {name!r} already routed")
+        self._services[name] = service
+        self._lexicons[name] = (
+            set(lexicon) if lexicon is not None else build_lexicon(service.database)
+        )
+        if self.default_domain is None:
+            self.default_domain = name
+
+    @property
+    def domains(self) -> List[str]:
+        return list(self._services)
+
+    def service(self, name: str) -> TextToSQLService:
+        try:
+            return self._services[name]
+        except KeyError:
+            known = ", ".join(self._services)
+            raise UnroutableQuestionError(
+                f"unknown domain {name!r} (routed: {known})"
+            ) from None
+
+    # -- routing ---------------------------------------------------------------
+    def route(self, question: str) -> Tuple[str, float]:
+        """Best domain for ``question`` and its overlap score.
+
+        Ties break by registration order; a zero-overlap question falls
+        back to :attr:`default_domain`.
+        """
+        if not self._services:
+            raise UnroutableQuestionError("no domains registered")
+        tokens = _tokens(question)
+        best_name, best_score = None, 0.0
+        for name, lexicon in self._lexicons.items():
+            if not tokens:
+                break
+            score = len(tokens & lexicon) / len(tokens)
+            if score > best_score:
+                best_name, best_score = name, score
+        if best_name is None:
+            # a constructor-supplied default may name a domain that was
+            # never registered — fall back to the first registered one
+            if self.default_domain in self._services:
+                return self.default_domain, 0.0
+            return next(iter(self._services)), 0.0
+        return best_name, best_score
+
+    def ask(self, question: str, domain: Optional[str] = None) -> RoutedResponse:
+        """Route and answer one question."""
+        explicit = domain is not None
+        if explicit:
+            service = self.service(domain)
+            score = 1.0
+            name = domain
+        else:
+            name, score = self.route(question)
+            service = self.service(name)
+        response = service.ask(question)
+        with self._lock:
+            self._routed += 1
+            if explicit:
+                self._explicit += 1
+            elif score == 0.0:
+                self._fallbacks += 1
+            self._per_domain[name] = self._per_domain.get(name, 0) + 1
+        return RoutedResponse(name, response, score, explicit)
+
+    def ask_many(
+        self, questions: Sequence[str], domain: Optional[str] = None
+    ) -> List[RoutedResponse]:
+        return [self.ask(question, domain=domain) for question in questions]
+
+    # -- observability -----------------------------------------------------------
+    def metrics(self) -> Dict[str, Any]:
+        """Router counters plus every per-domain service's metrics."""
+        with self._lock:
+            routed = self._routed
+            explicit = self._explicit
+            fallbacks = self._fallbacks
+            per_domain = dict(self._per_domain)
+        return {
+            "questions_routed": routed,
+            "explicit_routes": explicit,
+            "fallback_routes": fallbacks,
+            "questions_per_domain": per_domain,
+            "domains": {
+                name: service.metrics() for name, service in self._services.items()
+            },
+        }

@@ -1,0 +1,120 @@
+"""Multi-domain scenario generation: domains as a robustness grid axis.
+
+The paper reproduces its finding — Text-to-SQL accuracy degrades across
+alternative data models — on a single football database.  This package
+makes *domains themselves* generated artifacts:
+
+* :mod:`spec` — declarative :class:`DomainSpec` (entities, relationships,
+  value generators);
+* :mod:`generator` — spec → catalog-validated schema + referentially
+  consistent seeded data;
+* :mod:`questions` — templated gold SQL with NL paraphrases;
+* :mod:`logs` — synthetic user-query logs (Table 1 analogue);
+* :mod:`instance` / :mod:`registry` — loaded domains behind one
+  registry; FootballDB registers through the same API;
+* :mod:`morph` — the (domain-generic) schema morpher;
+* :mod:`fuzz` — grammar-based differential query fuzzing.
+
+Quickstart::
+
+    from repro.domains import available_domains, load_domain
+
+    hospital = load_domain("hospital", seed=2022)
+    hospital["base"].execute("SELECT count(*) FROM doctor")
+"""
+
+from .naming import IDENTIFIER_STYLES
+from .spec import (
+    DomainSpec,
+    EntitySpec,
+    FieldSpec,
+    Relationship,
+    SpecError,
+    attr,
+    fk,
+    name_field,
+    pk,
+)
+from .generator import build_schema, generate_tables, load_database
+from .instance import DomainInstance
+from .questions import DomainExample, generate_examples, question_id
+from .logs import synthesize_logs
+from .morph import (
+    DEFAULT_OPERATORS,
+    MorphError,
+    MorphOperator,
+    MorphStep,
+    MorphedModel,
+    SchemaMorpher,
+    result_signature,
+    verify_morph,
+)
+from .fuzz import (
+    ENGINE_CONFIGS,
+    FuzzDivergence,
+    FuzzReport,
+    GrammarQueryFuzzer,
+    differential_fuzz,
+)
+from .builtins import BUILTIN_SPECS, FLIGHTS, HOSPITAL, RETAIL, random_domain
+from .registry import (
+    DEFAULT_SEED,
+    DomainRecord,
+    UnknownDomainError,
+    available_domains,
+    get_domain,
+    instance_from_spec,
+    load_domain,
+    load_random_domain,
+    register_domain,
+    register_spec,
+)
+
+__all__ = [
+    "BUILTIN_SPECS",
+    "DEFAULT_OPERATORS",
+    "DEFAULT_SEED",
+    "DomainExample",
+    "DomainInstance",
+    "DomainRecord",
+    "DomainSpec",
+    "ENGINE_CONFIGS",
+    "EntitySpec",
+    "FLIGHTS",
+    "FieldSpec",
+    "FuzzDivergence",
+    "FuzzReport",
+    "GrammarQueryFuzzer",
+    "HOSPITAL",
+    "IDENTIFIER_STYLES",
+    "MorphError",
+    "MorphOperator",
+    "MorphStep",
+    "MorphedModel",
+    "RETAIL",
+    "Relationship",
+    "SchemaMorpher",
+    "SpecError",
+    "UnknownDomainError",
+    "attr",
+    "available_domains",
+    "build_schema",
+    "differential_fuzz",
+    "fk",
+    "generate_examples",
+    "generate_tables",
+    "get_domain",
+    "instance_from_spec",
+    "load_database",
+    "load_domain",
+    "load_random_domain",
+    "name_field",
+    "pk",
+    "question_id",
+    "random_domain",
+    "register_domain",
+    "register_spec",
+    "result_signature",
+    "synthesize_logs",
+    "verify_morph",
+]

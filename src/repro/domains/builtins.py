@@ -1,0 +1,297 @@
+"""Built-in domain specifications and the seeded random-domain generator.
+
+Three hand-curated domains (hospital, retail, flights) mirror the
+database families the robustness literature synthesizes over — each has
+a realistic FK topology (including the multi-parent children that break
+join-path inference) and enough non-key numeric columns that every
+morph operator in :data:`repro.domains.morph.DEFAULT_OPERATORS` stays
+applicable for chains of four and more steps.
+
+:func:`random_domain` composes a fresh, valid :class:`DomainSpec` from
+vocabulary pools — an unlimited supply of scenario shapes for the
+grammar fuzzer and the cross-domain conformance suite.
+
+Row counts are two orders of magnitude below FootballDB's ~100K rows on
+purpose: a loaded domain is a *unit of fuzz input* that must be cheap
+enough to rebuild hundreds of times per CI run.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from .spec import DomainSpec, EntitySpec, attr, fk, name_field, pk
+
+# ---------------------------------------------------------------------------
+# Hand-curated domains
+# ---------------------------------------------------------------------------
+
+HOSPITAL = DomainSpec(
+    name="hospital",
+    title="Hospital operations",
+    description="Departments, physicians, patients and their appointments.",
+    entities=(
+        EntitySpec(
+            "department",
+            (
+                pk("department_id"),
+                name_field(),
+                attr("floor", "int", ("int", 1, 9)),
+                attr("budget", "int", ("int", 200_000, 4_000_000)),
+                attr("head_count", "int", ("int", 4, 60)),
+                attr("specialty", "text", ("choice", (
+                    "cardiology", "oncology", "neurology", "pediatrics",
+                    "radiology", "surgery",
+                ))),
+            ),
+            rows=12,
+            name_prefix="Ward ",
+        ),
+        EntitySpec(
+            "doctor",
+            (
+                pk("doctor_id"),
+                name_field(),
+                fk("department_id", "department"),
+                attr("birth_year", "int", ("year", 1950, 1995)),
+                attr("salary", "int", ("int", 60_000, 260_000)),
+                attr("years_experience", "int", ("int", 1, 40)),
+                attr("board_certified", "bool", ("bool", 0.8)),
+            ),
+            rows=60,
+            name_prefix="Dr. ",
+        ),
+        EntitySpec(
+            "patient",
+            (
+                pk("patient_id"),
+                name_field(),
+                attr("birth_year", "int", ("year", 1930, 2020)),
+                attr("weight_kg", "real", ("real", 3.0, 140.0)),
+                attr("insurance", "text", ("choice", (
+                    "public", "private", "none",
+                ))),
+            ),
+            rows=180,
+        ),
+        EntitySpec(
+            "appointment",
+            (
+                pk("appointment_id"),
+                name_field("reference_code"),
+                fk("doctor_id", "doctor"),
+                fk("patient_id", "patient"),
+                attr("year", "int", ("year", 2015, 2024)),
+                attr("duration_minutes", "int", ("int", 10, 120)),
+                attr("cost", "int", ("int", 40, 900)),
+                attr("follow_up", "bool", ("bool", 0.3)),
+            ),
+            rows=420,
+            name_prefix="APT-",
+            display="appointment",
+        ),
+    ),
+)
+
+RETAIL = DomainSpec(
+    name="retail",
+    title="Retail chain",
+    description="Suppliers, product catalogue, stores and recorded sales.",
+    entities=(
+        EntitySpec(
+            "supplier",
+            (
+                pk("supplier_id"),
+                name_field(),
+                attr("country", "text", ("choice", (
+                    "Germany", "France", "Italy", "Poland", "Spain", "Sweden",
+                ))),
+                attr("rating", "int", ("int", 1, 5)),
+                attr("founded", "int", ("year", 1950, 2015)),
+            ),
+            rows=25,
+            name_prefix="Supply ",
+        ),
+        EntitySpec(
+            "product",
+            (
+                pk("product_id"),
+                name_field(),
+                fk("supplier_id", "supplier"),
+                attr("price", "real", ("real", 0.5, 900.0)),
+                attr("weight_grams", "int", ("int", 10, 20_000)),
+                attr("category", "text", ("choice", (
+                    "grocery", "electronics", "clothing", "toys", "garden",
+                ))),
+                attr("organic", "bool", ("bool", 0.25)),
+            ),
+            rows=140,
+        ),
+        EntitySpec(
+            "store",
+            (
+                pk("store_id"),
+                name_field(),
+                attr("city", "text", ("choice", (
+                    "Zurich", "Berlin", "Vienna", "Milan", "Lyon", "Porto",
+                ))),
+                attr("opened", "int", ("year", 1980, 2022)),
+                attr("square_meters", "int", ("int", 150, 9_000)),
+            ),
+            rows=18,
+            name_prefix="Store ",
+        ),
+        EntitySpec(
+            "sale",
+            (
+                pk("sale_id"),
+                name_field("receipt_code"),
+                fk("product_id", "product"),
+                fk("store_id", "store"),
+                attr("year", "int", ("year", 2018, 2024)),
+                attr("quantity", "int", ("int", 1, 40)),
+                attr("revenue", "int", ("int", 1, 12_000)),
+                attr("discounted", "bool", ("bool", 0.35)),
+            ),
+            rows=500,
+            name_prefix="RCP-",
+            display="sale",
+        ),
+    ),
+)
+
+FLIGHTS = DomainSpec(
+    name="flights",
+    title="Airline network",
+    description="Airlines, airports and scheduled flights with bookings.",
+    entities=(
+        EntitySpec(
+            "airline",
+            (
+                pk("airline_id"),
+                name_field(),
+                attr("founded", "int", ("year", 1920, 2015)),
+                attr("fleet_size", "int", ("int", 4, 900)),
+                attr("alliance", "text", ("choice", (
+                    "Star", "OneWorld", "SkyTeam", "none",
+                ))),
+            ),
+            rows=16,
+            name_prefix="Air ",
+        ),
+        EntitySpec(
+            "airport",
+            (
+                pk("airport_id"),
+                name_field(),
+                attr("country", "text", ("choice", (
+                    "USA", "Brazil", "Japan", "Germany", "Qatar", "Kenya",
+                    "Australia",
+                ))),
+                attr("runways", "int", ("int", 1, 6)),
+                attr("elevation_m", "int", ("int", -5, 4_000)),
+                attr("international", "bool", ("bool", 0.7)),
+            ),
+            rows=40,
+            name_prefix="Port ",
+        ),
+        EntitySpec(
+            "flight",
+            (
+                pk("flight_id"),
+                name_field("flight_number"),
+                fk("airline_id", "airline"),
+                # two FK edges into the same parent — the multi-edge
+                # pattern that breaks single-edge join-path inference
+                fk("origin_id", "airport"),
+                fk("destination_id", "airport"),
+                attr("distance_km", "int", ("int", 150, 15_000)),
+                attr("duration_minutes", "int", ("int", 35, 1_100)),
+                attr("passengers", "int", ("int", 20, 520)),
+                attr("delayed", "bool", ("bool", 0.2)),
+            ),
+            rows=320,
+            name_prefix="FL-",
+            display="flight",
+        ),
+    ),
+)
+
+BUILTIN_SPECS: Tuple[DomainSpec, ...] = (HOSPITAL, RETAIL, FLIGHTS)
+
+
+# ---------------------------------------------------------------------------
+# Seeded random domains
+# ---------------------------------------------------------------------------
+
+_RANDOM_ENTITIES = (
+    "region", "company", "project", "course", "vehicle", "warehouse",
+    "author", "book", "sensor", "reading", "festival", "artist",
+    "league_team", "fixture", "shipment", "port_city", "device", "ticket",
+)
+
+_RANDOM_ATTRS: Tuple[Tuple[str, str, Tuple], ...] = (
+    ("score", "int", ("int", 0, 100)),
+    ("budget", "int", ("int", 1_000, 900_000)),
+    ("capacity", "int", ("int", 5, 5_000)),
+    ("established", "int", ("year", 1900, 2024)),
+    ("rating", "int", ("int", 1, 10)),
+    ("weight", "real", ("real", 0.1, 500.0)),
+    ("length_cm", "int", ("int", 1, 10_000)),
+    ("priority", "int", ("int", 1, 5)),
+    ("grade", "text", ("choice", ("A", "B", "C", "D"))),
+    ("status", "text", ("choice", ("active", "dormant", "retired"))),
+    ("zone", "text", ("choice", ("north", "south", "east", "west"))),
+    ("verified", "bool", ("bool", 0.6)),
+    ("archived", "bool", ("bool", 0.2)),
+)
+
+
+def random_domain(seed: int, entity_count: int = 4) -> DomainSpec:
+    """A fresh, valid domain spec — a pure function of ``seed``.
+
+    The generated topology is parents-first with every non-root entity
+    holding one or two FK edges to earlier entities; each entity keeps
+    at least two non-key integer attributes so ``widen_types`` and
+    ``split_table`` morphs stay applicable, and at least one categorical
+    attribute so filter questions instantiate.
+    """
+    rng = random.Random(f"random-domain|{seed}")
+    entity_count = max(2, min(entity_count, len(_RANDOM_ENTITIES)))
+    chosen = rng.sample(_RANDOM_ENTITIES, entity_count)
+    entities: List[EntitySpec] = []
+    for position, entity_name in enumerate(chosen):
+        fields = [pk(f"{entity_name}_id"), name_field()]
+        if position > 0:
+            parent_count = 1 if position == 1 else rng.choice((1, 1, 2))
+            parents = rng.sample(chosen[:position], min(parent_count, position))
+            for parent in parents:
+                fields.append(fk(f"{parent}_id", parent))
+        int_attrs = [a for a in _RANDOM_ATTRS if a[1] == "int"]
+        other_attrs = [a for a in _RANDOM_ATTRS if a[1] != "int"]
+        picked = rng.sample(int_attrs, 2) + rng.sample(
+            other_attrs, rng.randint(1, 3)
+        )
+        # guarantee one categorical for filter_count questions
+        if not any(a[2][0] == "choice" for a in picked):
+            picked.append(("tier", "text", ("choice", ("gold", "silver", "bronze"))))
+        for attr_name, sql_type, generator in picked:
+            nullable = 0.08 if rng.random() < 0.25 else 0.0
+            fields.append(attr(attr_name, sql_type, generator, nullable=nullable))
+        rows = rng.randint(15, 60) * (1 + position)
+        entities.append(
+            EntitySpec(
+                entity_name,
+                tuple(fields),
+                rows=rows,
+                name_prefix=f"{entity_name[:3].title()} ",
+            )
+        )
+    slug = str(seed).replace("-", "m")  # identifiers can't carry a minus
+    return DomainSpec(
+        name=f"random_{slug}",
+        title=f"Random domain #{seed}",
+        description="Seeded synthetic domain for fuzzing and conformance.",
+        entities=tuple(entities),
+    )

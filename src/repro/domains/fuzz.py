@@ -1,0 +1,507 @@
+"""Grammar-based SQL fuzzing with differential verification.
+
+:class:`GrammarQueryFuzzer` walks the engine's grammar productions
+(SELECT cores with FK-path joins, predicate trees, aggregation with
+GROUP BY/HAVING, IN/EXISTS/scalar subqueries, set operations) and
+instantiates them *schema-aware*: literals are sampled from the actual
+column data so predicates are selective, FK joins follow declared
+edges, and every emitted query is built as an engine AST — parseable
+and type-correct by construction.
+
+:func:`differential_fuzz` then executes each query under every engine
+configuration (row/vectorized × optimizer on/off) and on sqlite3 (via
+:mod:`repro.sqlengine.sqlite_bridge`), asserting normalized result
+multisets agree everywhere.  Generated domains make the input space
+unbounded: every :func:`repro.domains.registry.load_random_domain` seed
+is a fresh database shape to fuzz.
+
+The grammar deliberately stays inside the *shared* semantics of the
+engine and sqlite so a divergence is always a bug, never a dialect
+artifact: ``ILIKE`` only (sqlite's default ``LIKE`` matches its
+semantics), no ``/`` or ``%`` (real vs. integer division), boolean
+columns compared through their text form, and ``LIMIT`` only under a
+total order.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.sqlengine import (
+    BetweenOp,
+    BinaryOp,
+    ColumnRef,
+    Conjunction,
+    Database,
+    EngineError,
+    ExistsOp,
+    Expression,
+    FunctionCall,
+    InOp,
+    IsNullOp,
+    Join,
+    JoinKind,
+    LikeOp,
+    Literal,
+    OrderItem,
+    QueryNode,
+    ScalarSubquery,
+    SelectItem,
+    SelectQuery,
+    SetOperation,
+    SetOperator,
+    SqlType,
+    Star,
+    TableRef,
+    UnaryOp,
+    format_query,
+    sqlite_dialect,
+    sqlite_result,
+    to_sqlite,
+)
+
+from .morph import result_signature
+
+_COMPARISONS = ("=", "<>", "<", "<=", ">", ">=")
+_AGGREGATES = ("count", "sum", "avg", "min", "max")
+
+
+@dataclass(frozen=True)
+class _ColumnInfo:
+    table: str
+    name: str
+    sql_type: SqlType
+    is_key: bool  # PK or FK endpoint — joinable, poor filter target
+
+
+class GrammarQueryFuzzer:
+    """Seeded random query generator over one database's schema + data."""
+
+    def __init__(
+        self,
+        database: Database,
+        seed: int = 0,
+        max_joins: int = 2,
+        max_predicates: int = 3,
+        value_sample: int = 24,
+    ) -> None:
+        self.database = database
+        self.schema = database.schema
+        self.rng = random.Random(f"grammar-fuzz|{self.schema.name}|{seed}")
+        self.max_joins = max_joins
+        self.max_predicates = max_predicates
+        self._columns: Dict[str, List[_ColumnInfo]] = {}
+        self._values: Dict[Tuple[str, str], List[object]] = {}
+        key_endpoints = set()
+        for fk in self.schema.foreign_keys:
+            key_endpoints.add((fk.table.lower(), fk.column.lower()))
+            key_endpoints.add((fk.ref_table.lower(), fk.ref_column.lower()))
+        for table in self.schema.tables:
+            infos = []
+            rows = database.table_data(table.name).rows
+            for position, column in enumerate(table.columns):
+                is_key = column.primary_key or (
+                    (table.name.lower(), column.name.lower()) in key_endpoints
+                )
+                infos.append(
+                    _ColumnInfo(table.name, column.name, column.sql_type, is_key)
+                )
+                sampled = [
+                    row[position]
+                    for row in rows[:: max(1, len(rows) // value_sample)]
+                    if row[position] is not None
+                ]
+                self._values[(table.name.lower(), column.name.lower())] = (
+                    sampled[:value_sample] or [0]
+                )
+            self._columns[table.name.lower()] = infos
+
+    # -- vocabulary -----------------------------------------------------------
+    def _literal_for(self, alias: str, info: _ColumnInfo) -> Literal:
+        values = self._values[(info.table.lower(), info.name.lower())]
+        value = self.rng.choice(values)
+        if info.sql_type is SqlType.BOOLEAN or isinstance(value, bool):
+            # booleans compare through their text form on both engines
+            return Literal(str(bool(value)))
+        return Literal(value)
+
+    def _scope_columns(
+        self, refs: Sequence[TableRef], types: Optional[Tuple[SqlType, ...]] = None
+    ) -> List[Tuple[str, _ColumnInfo]]:
+        out = []
+        for ref in refs:
+            for info in self._columns[ref.table.lower()]:
+                if types is None or info.sql_type in types:
+                    out.append((ref.binding, info))
+        return out
+
+    # -- FROM clause -----------------------------------------------------------
+    def _from_clause(self) -> Tuple[TableRef, List[Join]]:
+        tables = self.schema.tables
+        base = self.rng.choice(tables)
+        alias_counter = 0
+        base_ref = TableRef(base.name, f"T{alias_counter}")
+        refs = [base_ref]
+        joins: List[Join] = []
+        for _ in range(self.rng.randint(0, self.max_joins)):
+            candidates = []
+            for ref in refs:
+                for fk in self.schema.foreign_keys:
+                    if fk.table.lower() == ref.table.lower():
+                        candidates.append((ref, fk, "out"))
+                    if fk.ref_table.lower() == ref.table.lower():
+                        candidates.append((ref, fk, "in"))
+            if not candidates:
+                break
+            ref, fk, direction = self.rng.choice(candidates)
+            alias_counter += 1
+            alias = f"T{alias_counter}"
+            if direction == "out":
+                new_ref = TableRef(fk.ref_table, alias)
+                condition = BinaryOp(
+                    "=",
+                    ColumnRef(fk.column, ref.binding),
+                    ColumnRef(fk.ref_column, alias),
+                )
+            else:
+                new_ref = TableRef(fk.table, alias)
+                condition = BinaryOp(
+                    "=",
+                    ColumnRef(fk.ref_column, ref.binding),
+                    ColumnRef(fk.column, alias),
+                )
+            refs.append(new_ref)
+            joins.append(Join(JoinKind.INNER, new_ref, condition))
+        return base_ref, joins
+
+    # -- predicates -----------------------------------------------------------
+    def _predicate(self, refs: Sequence[TableRef], depth: int = 0) -> Expression:
+        roll = self.rng.random()
+        if depth < 2 and roll < 0.25:
+            op = self.rng.choice(("AND", "OR"))
+            terms = tuple(
+                self._predicate(refs, depth + 1)
+                for _ in range(self.rng.randint(2, 3))
+            )
+            return Conjunction(op, terms)
+        if depth < 2 and roll < 0.30:
+            return UnaryOp("NOT", self._predicate(refs, depth + 1))
+        return self._leaf_predicate(refs)
+
+    def _leaf_predicate(self, refs: Sequence[TableRef]) -> Expression:
+        binding, info = self.rng.choice(self._scope_columns(refs))
+        kind = self.rng.random()
+        column = ColumnRef(info.name, binding)
+        if kind < 0.08:
+            return IsNullOp(column, negated=self.rng.random() < 0.5)
+        if info.sql_type is SqlType.TEXT and kind < 0.30:
+            value = self._literal_for(binding, info).value
+            text = str(value)
+            if len(text) >= 3:
+                start = self.rng.randrange(0, max(1, len(text) - 2))
+                text = text[start : start + self.rng.randint(2, 5)]
+            return LikeOp(
+                column,
+                Literal(f"%{text}%"),
+                case_insensitive=True,  # sqlite's default LIKE == our ILIKE
+                negated=self.rng.random() < 0.2,
+            )
+        if kind < 0.42:
+            options = tuple(
+                self._literal_for(binding, info)
+                for _ in range(self.rng.randint(2, 4))
+            )
+            return InOp(column, options, None, negated=self.rng.random() < 0.25)
+        if info.sql_type in (SqlType.INTEGER, SqlType.REAL) and kind < 0.54:
+            low = self._literal_for(binding, info)
+            high = self._literal_for(binding, info)
+            if isinstance(low.value, (int, float)) and isinstance(
+                high.value, (int, float)
+            ) and low.value > high.value:
+                low, high = high, low
+            return BetweenOp(column, low, high, negated=self.rng.random() < 0.2)
+        if kind < 0.62 and not info.is_key:
+            return self._subquery_predicate(binding, info)
+        op = self.rng.choice(_COMPARISONS)
+        if info.sql_type in (SqlType.TEXT, SqlType.BOOLEAN):
+            op = self.rng.choice(("=", "<>"))
+        return BinaryOp(op, column, self._literal_for(binding, info))
+
+    def _subquery_predicate(self, binding: str, info: _ColumnInfo) -> Expression:
+        column = ColumnRef(info.name, binding)
+        if info.sql_type in (SqlType.INTEGER, SqlType.REAL):
+            inner = SelectQuery(
+                projections=[
+                    SelectItem(
+                        FunctionCall(
+                            self.rng.choice(("avg", "min", "max")),
+                            (ColumnRef(info.name, "S0"),),
+                        )
+                    )
+                ],
+                from_table=TableRef(info.table, "S0"),
+            )
+            op = self.rng.choice((">", "<", ">=", "<="))
+            return BinaryOp(op, column, ScalarSubquery(inner))
+        inner = SelectQuery(
+            projections=[SelectItem(ColumnRef(info.name, "S0"))],
+            from_table=TableRef(info.table, "S0"),
+            limit=None,
+        )
+        return InOp(column, None, inner, negated=self.rng.random() < 0.3)
+
+    # -- SELECT cores -----------------------------------------------------------
+    def _aggregate_core(self) -> SelectQuery:
+        from_table, joins = self._from_clause()
+        refs = [from_table] + [join.table for join in joins]
+        numerics = self._scope_columns(refs, (SqlType.INTEGER, SqlType.REAL))
+        projections: List[SelectItem] = []
+        group_by: List[Expression] = []
+        having: Optional[Expression] = None
+        if self.rng.random() < 0.6:
+            binding, info = self.rng.choice(
+                self._scope_columns(refs, (SqlType.TEXT,))
+                or self._scope_columns(refs)
+            )
+            key = ColumnRef(info.name, binding)
+            group_by.append(key)
+            projections.append(SelectItem(key))
+        name = self.rng.choice(_AGGREGATES)
+        if name == "count":
+            binding, info = self.rng.choice(self._scope_columns(refs))
+            target = Star() if self.rng.random() < 0.6 else ColumnRef(info.name, binding)
+            projections.append(
+                SelectItem(
+                    FunctionCall(
+                        "count",
+                        (target,),
+                        distinct=not isinstance(target, Star)
+                        and self.rng.random() < 0.4,
+                    )
+                )
+            )
+        else:
+            if not numerics:
+                projections.append(SelectItem(FunctionCall("count", (Star(),))))
+            else:
+                binding, info = self.rng.choice(numerics)
+                projections.append(
+                    SelectItem(FunctionCall(name, (ColumnRef(info.name, binding),)))
+                )
+        if group_by and self.rng.random() < 0.4:
+            having = BinaryOp(
+                self.rng.choice((">", ">=")),
+                FunctionCall("count", (Star(),)),
+                Literal(self.rng.randint(1, 4)),
+            )
+        where = (
+            self._predicate(refs) if self.rng.random() < 0.6 else None
+        )
+        return SelectQuery(
+            projections=projections,
+            from_table=from_table,
+            joins=joins,
+            where=where,
+            group_by=group_by,
+            having=having,
+        )
+
+    def _plain_core(self) -> SelectQuery:
+        from_table, joins = self._from_clause()
+        refs = [from_table] + [join.table for join in joins]
+        columns = self._scope_columns(refs)
+        picked = self.rng.sample(columns, min(len(columns), self.rng.randint(1, 3)))
+        projections = [
+            SelectItem(ColumnRef(info.name, binding)) for binding, info in picked
+        ]
+        where = self._predicate(refs) if self.rng.random() < 0.8 else None
+        order_by: List[OrderItem] = []
+        if self.rng.random() < 0.3:
+            binding, info = self.rng.choice(picked)
+            order_by.append(
+                OrderItem(
+                    ColumnRef(info.name, binding),
+                    descending=self.rng.random() < 0.5,
+                )
+            )
+        return SelectQuery(
+            projections=projections,
+            from_table=from_table,
+            joins=joins,
+            where=where,
+            order_by=order_by,
+            distinct=self.rng.random() < 0.25,
+        )
+
+    def _exists_core(self) -> SelectQuery:
+        """A core whose WHERE carries a correlated EXISTS over an FK edge."""
+        fks = self.schema.foreign_keys
+        if not fks:
+            return self._plain_core()
+        fk = self.rng.choice(fks)
+        outer_ref = TableRef(fk.ref_table, "T0")
+        inner = SelectQuery(
+            projections=[SelectItem(Literal(1))],
+            from_table=TableRef(fk.table, "E0"),
+            where=BinaryOp(
+                "=",
+                ColumnRef(fk.column, "E0"),
+                ColumnRef(fk.ref_column, "T0"),
+            ),
+        )
+        outer_columns = [
+            SelectItem(ColumnRef(info.name, "T0"))
+            for info in self.rng.sample(
+                self._columns[fk.ref_table.lower()],
+                min(2, len(self._columns[fk.ref_table.lower()])),
+            )
+        ]
+        exists: Expression = ExistsOp(inner)
+        if self.rng.random() < 0.3:
+            exists = UnaryOp("NOT", exists)
+        if self.rng.random() < 0.5:
+            exists = Conjunction("AND", (exists, self._predicate([outer_ref])))
+        return SelectQuery(
+            projections=outer_columns, from_table=outer_ref, where=exists
+        )
+
+    def _set_operation(self) -> QueryNode:
+        """Two same-shape single-column cores under a set operator."""
+        types = self.rng.choice(((SqlType.INTEGER,), (SqlType.TEXT,)))
+
+        def one_side(alias: str) -> SelectQuery:
+            table = self.rng.choice(self.schema.tables)
+            ref = TableRef(table.name, alias)
+            eligible = [
+                info
+                for info in self._columns[table.name.lower()]
+                if info.sql_type in types
+            ]
+            if not eligible:
+                eligible = [
+                    info
+                    for info in self._columns[table.name.lower()]
+                    if info.sql_type is SqlType.INTEGER
+                ] or list(self._columns[table.name.lower()])
+            info = self.rng.choice(eligible)
+            where = self._predicate([ref]) if self.rng.random() < 0.6 else None
+            return SelectQuery(
+                projections=[SelectItem(ColumnRef(info.name, alias))],
+                from_table=ref,
+                where=where,
+            )
+
+        operator = self.rng.choice(
+            (
+                SetOperator.UNION,
+                SetOperator.UNION_ALL,
+                SetOperator.INTERSECT,
+                SetOperator.EXCEPT,
+            )
+        )
+        return SetOperation(operator, one_side("A0"), one_side("B0"))
+
+    # -- entry points -----------------------------------------------------------
+    def query_ast(self) -> QueryNode:
+        roll = self.rng.random()
+        if roll < 0.40:
+            return self._plain_core()
+        if roll < 0.70:
+            return self._aggregate_core()
+        if roll < 0.85:
+            return self._exists_core()
+        return self._set_operation()
+
+    def query(self) -> str:
+        return format_query(self.query_ast())
+
+    def queries(self, count: int) -> List[str]:
+        return [self.query() for _ in range(count)]
+
+
+# ---------------------------------------------------------------------------
+# Differential execution
+# ---------------------------------------------------------------------------
+
+#: engine configurations every fuzzed query must agree across
+ENGINE_CONFIGS: Tuple[Tuple[str, bool], ...] = (
+    ("row", False),
+    ("row", True),
+    ("vectorized", False),
+    ("vectorized", True),
+)
+
+
+@dataclass(frozen=True)
+class FuzzDivergence:
+    sql: str
+    detail: str
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one differential fuzz run (seed recorded for repro)."""
+
+    domain: str
+    seed: int
+    queries: int = 0
+    divergences: List[FuzzDivergence] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+    def describe(self) -> str:
+        status = "OK" if self.ok else f"{len(self.divergences)} DIVERGENCES"
+        return (
+            f"fuzz[{self.domain} seed={self.seed}] {self.queries} queries: {status}"
+        )
+
+
+def differential_fuzz(
+    database: Database,
+    count: int = 100,
+    seed: int = 0,
+    compare_sqlite: bool = True,
+    configs: Sequence[Tuple[str, bool]] = ENGINE_CONFIGS,
+    fuzzer: Optional[GrammarQueryFuzzer] = None,
+) -> FuzzReport:
+    """Fuzz ``database`` with ``count`` queries; compare every backend.
+
+    For each generated query the result multiset must be identical
+    across all engine ``(engine_mode, optimize)`` configurations and —
+    with ``compare_sqlite`` — equal to stdlib sqlite3's answer on the
+    exported data.  Any :class:`EngineError` is a divergence too: the
+    grammar only emits queries that are valid by construction.
+    """
+    fuzzer = fuzzer or GrammarQueryFuzzer(database, seed=seed)
+    report = FuzzReport(domain=database.schema.name, seed=seed)
+    conn = to_sqlite(database) if compare_sqlite else None
+    for _ in range(count):
+        sql = fuzzer.query()
+        report.queries += 1
+        signatures = {}
+        failure = None
+        for mode, optimize in configs:
+            try:
+                result = database.execute(sql, engine_mode=mode, optimize=optimize)
+                signatures[(mode, optimize)] = result_signature(result)
+            except (EngineError, RecursionError) as exc:
+                failure = f"engine[{mode},opt={optimize}] raised {exc!r}"
+                break
+        if failure is None and len(set(signatures.values())) > 1:
+            failure = f"engine configs disagree: {sorted(signatures)}"
+        if failure is None and conn is not None:
+            try:
+                lite = result_signature(sqlite_result(conn, sqlite_dialect(sql)))
+            except Exception as exc:  # sqlite3 errors carry many types
+                failure = f"sqlite raised {exc!r}"
+            else:
+                first = next(iter(signatures.values()))
+                if lite != first:
+                    failure = "engine != sqlite3"
+        if failure is not None:
+            report.divergences.append(FuzzDivergence(sql, failure))
+    return report

@@ -1,0 +1,108 @@
+"""A loaded domain: databases per data-model version plus its workload.
+
+:class:`DomainInstance` is the generic object the evaluation stack
+passes around — the football-specific :class:`repro.footballdb.FootballDB`
+subclasses it, so every consumer (harness, grid sweeps, service
+routing, morph installation) works identically whether the domain was
+hand-written for the paper or generated from a
+:class:`~repro.domains.spec.DomainSpec`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.sqlengine import Database
+
+#: (version, variant_seed) -> a database with perturbed non-identity data
+VariantLoader = Callable[[str, int], Database]
+
+
+class DomainInstance:
+    """Databases keyed by data-model version, plus the domain workload.
+
+    ``examples`` is the domain's labeled question pool (empty for
+    domains that build their benchmark elsewhere, like football);
+    ``variant_loader`` produces test-suite perturbations — same schema
+    and entity identities, re-drawn facts; ``universe`` carries an
+    optional domain-specific world object (football's ``Universe``).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        databases: Dict[str, Database],
+        examples: Sequence[Any] = (),
+        universe: Any = None,
+        variant_loader: Optional[VariantLoader] = None,
+        spec: Any = None,
+    ) -> None:
+        self.name = name
+        self.databases = dict(databases)
+        self.examples = list(examples)
+        self.universe = universe
+        self.variant_loader = variant_loader
+        self.spec = spec
+
+    # -- version registry ---------------------------------------------------
+    def database(self, version: str) -> Database:
+        return self.databases[version]
+
+    def __getitem__(self, version: str) -> Database:
+        return self.databases[version]
+
+    @property
+    def versions(self) -> List[str]:
+        """Every registered data-model version, built-ins first."""
+        return list(self.databases)
+
+    @property
+    def base_version(self) -> str:
+        return next(iter(self.databases))
+
+    def register(self, version: str, database: Database) -> str:
+        """Add a derived data-model version (e.g. a schema morph)."""
+        if version in self.databases:
+            raise ValueError(f"data model version {version!r} already registered")
+        self.databases[version] = database
+        return version
+
+    # -- workload -------------------------------------------------------------
+    def gold_queries(self, version: str) -> List[str]:
+        """Distinct gold SQL of this domain's examples for one version."""
+        return sorted(
+            {
+                example.gold[version]
+                for example in self.examples
+                if version in example.gold
+            }
+        )
+
+    def variant_database(self, version: str, variant_seed: int) -> Database:
+        """A perturbed copy for test-suite evaluation (if supported)."""
+        if self.variant_loader is None:
+            raise ValueError(
+                f"domain {self.name!r} does not provide a variant loader"
+            )
+        return self.variant_loader(version, variant_seed)
+
+    def set_engine_mode(self, engine_mode: str) -> None:
+        """Pin every registered database to one execution backend."""
+        from repro.sqlengine import ENGINE_MODES
+
+        if engine_mode not in ENGINE_MODES:
+            raise ValueError(
+                f"engine_mode must be one of {ENGINE_MODES}, got {engine_mode!r}"
+            )
+        for database in self.databases.values():
+            database.engine_mode = engine_mode
+
+    def describe(self) -> str:
+        parts = [
+            f"domain {self.name}: versions={', '.join(self.versions)}",
+            f"examples={len(self.examples)}",
+        ]
+        return "; ".join(parts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"DomainInstance({self.name!r}, versions={self.versions})"

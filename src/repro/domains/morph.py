@@ -1,0 +1,1293 @@
+"""Schema morphing: derive unlimited data-model variants from any base.
+
+The paper measures Text-to-SQL robustness across exactly three
+hand-written data models (v1/v2/v3) of one domain.  This module turns
+that 3-point robustness curve into an N-point one — over *any* domain:
+the operators read nothing but the engine catalog and the data, so a
+generated hospital database morphs exactly like FootballDB does.  A
+:class:`SchemaMorpher` applies a seeded chain of composable mutation
+operators to a base schema and emits, for every chain, a
+:class:`MorphedModel` holding
+
+* a valid :class:`~repro.sqlengine.catalog.Schema` (validity is enforced
+  by construction — every morphed schema is rebuilt through the catalog
+  API, which rejects duplicate/invalid names and dangling FK columns);
+* a **data migrator** — the morphed :class:`Database` is repopulated
+  from the base database (itself loaded from the shared ``Universe`` by
+  the existing loaders) with foreign-key enforcement on, in
+  FK-topological order;
+* a **gold-SQL rewriter** — an AST-level, scope-aware rewrite on
+  :mod:`repro.sqlengine.ast_nodes` under which every gold query of the
+  benchmark remains answerable with an execution-equivalent query.
+
+Operator catalogue (each deterministic given the chain's RNG):
+
+=================  ==========================================================
+``rename_tables``   re-render table identifiers (camel / abbreviated styles,
+                    via :data:`repro.domains.naming.IDENTIFIER_STYLES`)
+``rename_columns``  same, for column identifiers (FKs follow)
+``reorder_columns`` lossless column permutation within each table
+``widen_types``     INTEGER -> REAL on non-key columns (lossless for the
+                    engine's EX normalization)
+``split_table``     normalize: vertically partition a wide table into a
+                    PK/FK 1:1 pair (the v1 -> v2 move, generalized)
+``inline_child``    denormalize: fold a total 1:1 child back into its
+                    parent (the v2 -> v1 move, generalized)
+``clone_reroute``   clone a multi-referenced parent and re-route one FK
+                    edge to the copy (the v3 ``national_opponent_team``
+                    move, generalized)
+``drop_fk``         undeclare one foreign key (schema-graph-only morph)
+``declare_fk``      declare an FK for an implicit reference detected from
+                    the data (the v3 bridge-table move, generalized)
+=================  ==========================================================
+
+A morph's **distance** is the number of operators applied.  Rewrites are
+exact for the query surface the gold compiler emits (aliased references,
+explicit projections); ``alias.*`` projections over split tables and
+set-operation ``ORDER BY <column name>`` tails are outside the contract
+(the workload uses neither).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.sqlengine import (
+    BinaryOp,
+    CaseExpr,
+    Column,
+    ColumnRef,
+    Conjunction,
+    Database,
+    Expression,
+    FunctionCall,
+    InOp,
+    ExistsOp,
+    IsNullOp,
+    Join,
+    JoinKind,
+    LikeOp,
+    Literal,
+    OrderItem,
+    QueryNode,
+    Result,
+    ScalarSubquery,
+    Schema,
+    SelectItem,
+    SelectQuery,
+    SetOperation,
+    SqlType,
+    Star,
+    Table,
+    TableRef,
+    BetweenOp,
+    UnaryOp,
+    format_query,
+    normalize_for_comparison,
+    parse_sql,
+)
+
+from . import naming
+
+
+class MorphError(Exception):
+    """Raised when no operator chain can be derived from a base."""
+
+
+# ---------------------------------------------------------------------------
+# Schema helpers
+# ---------------------------------------------------------------------------
+
+
+def _clone_schema(
+    schema: Schema,
+    table_builder: Callable[[Table], Optional[Table]],
+    fk_builder: Callable[[object], Optional[Tuple[str, str, str, str]]],
+    extra_tables: Sequence[Tuple[Optional[str], Table]] = (),
+    extra_fks: Sequence[Tuple[str, str, str, str]] = (),
+) -> Schema:
+    """Rebuild ``schema`` through the catalog API (which validates).
+
+    ``table_builder`` maps each existing table to its replacement (or
+    ``None`` to drop it); ``fk_builder`` maps each existing FK to its
+    replacement tuple (or ``None`` to drop it).  ``extra_tables`` are
+    ``(after_table_name, table)`` pairs inserted right after the named
+    table (``None`` appends at the end); ``extra_fks`` are appended.
+    """
+    out = Schema(schema.name, version=schema.version)
+    ordered: List[Table] = []
+    for table in schema.tables:
+        replacement = table_builder(table)
+        if replacement is not None:
+            ordered.append(replacement)
+        for anchor, extra in extra_tables:
+            if anchor is not None and anchor.lower() == table.name.lower():
+                ordered.append(extra)
+    for anchor, extra in extra_tables:
+        if anchor is None:
+            ordered.append(extra)
+    for table in ordered:
+        out.add_table(table)
+    for fk in schema.foreign_keys:
+        replacement = fk_builder(fk)
+        if replacement is not None:
+            out.add_foreign_key(*replacement)
+    for spec in extra_fks:
+        out.add_foreign_key(*spec)
+    return out
+
+
+def _fk_endpoint_columns(schema: Schema) -> Set[Tuple[str, str]]:
+    """Every (table, column) participating in a declared FK, lowercased."""
+    endpoints: Set[Tuple[str, str]] = set()
+    for fk in schema.foreign_keys:
+        endpoints.add((fk.table.lower(), fk.column.lower()))
+        endpoints.add((fk.ref_table.lower(), fk.ref_column.lower()))
+    return endpoints
+
+
+def _single_pk(table: Table) -> Optional[str]:
+    pks = table.primary_key_columns
+    return pks[0] if len(pks) == 1 else None
+
+
+def _insert_order(schema: Schema) -> List[str]:
+    """Tables in FK-topological order (parents first), creation-order stable."""
+    names = [table.name for table in schema.tables]
+    deps: Dict[str, Set[str]] = {name.lower(): set() for name in names}
+    for fk in schema.foreign_keys:
+        if fk.table.lower() != fk.ref_table.lower():
+            deps[fk.table.lower()].add(fk.ref_table.lower())
+    ordered: List[str] = []
+    placed: Set[str] = set()
+    remaining = list(names)
+    while remaining:
+        progressed = False
+        for name in list(remaining):
+            if deps[name.lower()] <= placed:
+                ordered.append(name)
+                placed.add(name.lower())
+                remaining.remove(name)
+                progressed = True
+        if not progressed:  # FK cycle: fall back to creation order
+            ordered.extend(remaining)
+            break
+    return ordered
+
+
+RowProducer = Callable[[Database], Iterable[tuple]]
+
+
+def _migrate(
+    old_db: Database, new_db: Database, producers: Dict[str, RowProducer]
+) -> None:
+    """Populate ``new_db`` in FK-topological order.
+
+    ``producers`` maps lowercased new-table names to row producers over
+    the old database; tables without a producer copy the same-named old
+    table verbatim.
+    """
+    for name in _insert_order(new_db.schema):
+        producer = producers.get(name.lower())
+        if producer is not None:
+            rows: Iterable[tuple] = producer(old_db)
+        else:
+            rows = old_db.table_data(name).rows
+        new_db.insert_many(name, rows)
+
+
+# ---------------------------------------------------------------------------
+# Scope-aware AST rewriting
+# ---------------------------------------------------------------------------
+
+
+class _Scope:
+    """Alias bindings of one SELECT core, chained to enclosing scopes."""
+
+    __slots__ = ("select", "parent", "refs")
+
+    def __init__(self, select: SelectQuery, parent: Optional["_Scope"]) -> None:
+        self.select = select
+        self.parent = parent
+        self.refs: Dict[str, TableRef] = {}
+        for ref in select.table_refs:
+            self.refs[ref.binding.lower()] = ref
+
+
+@dataclass(frozen=True)
+class _Resolution:
+    scope: _Scope
+    binding: str  # as written (original case)
+    ref: TableRef
+
+    @property
+    def table(self) -> str:
+        return self.ref.table.lower()
+
+
+def _direct_subqueries(expr: Expression):
+    for part in expr.walk():
+        if isinstance(part, InOp) and part.subquery is not None:
+            yield part.subquery
+        elif isinstance(part, ExistsOp):
+            yield part.subquery
+        elif isinstance(part, ScalarSubquery):
+            yield part.subquery
+
+
+def _collect_scopes(
+    node: QueryNode, parent: Optional[_Scope] = None
+) -> List[Tuple[SelectQuery, _Scope]]:
+    """All SELECT cores with their scopes, outer before inner."""
+    pairs: List[Tuple[SelectQuery, _Scope]] = []
+    if isinstance(node, SetOperation):
+        pairs.extend(_collect_scopes(node.left, parent))
+        pairs.extend(_collect_scopes(node.right, parent))
+        return pairs
+    scope = _Scope(node, parent)
+    pairs.append((node, scope))
+    for expr in list(node.iter_expressions()):
+        for sub in _direct_subqueries(expr):
+            pairs.extend(_collect_scopes(sub, scope))
+    return pairs
+
+
+def _resolve(
+    ref: ColumnRef, scope: _Scope, schema: Schema
+) -> Optional[_Resolution]:
+    """Bind a column reference to the table instance that owns it.
+
+    Qualified references follow the alias chain (innermost scope wins);
+    unqualified references search each scope's FROM-order tables for one
+    declaring the column.  Bindings over tables unknown to ``schema``
+    (e.g. freshly injected extension tables) are skipped so repeated
+    resolution passes stay consistent.
+    """
+    if ref.table is not None:
+        wanted = ref.table.lower()
+        current: Optional[_Scope] = scope
+        while current is not None:
+            bound = current.refs.get(wanted)
+            if bound is not None:
+                if not schema.has_table(bound.table):
+                    return None
+                return _Resolution(current, bound.binding, bound)
+            current = current.parent
+        return None
+    current = scope
+    while current is not None:
+        for bound in current.select.table_refs:
+            if not schema.has_table(bound.table):
+                continue
+            if schema.table(bound.table).has_column(ref.column):
+                return _Resolution(current, bound.binding, bound)
+        current = current.parent
+    return None
+
+
+def _map_expr(
+    expr: Expression, col_fn: Callable[[Expression], Expression]
+) -> Expression:
+    """Rebuild an expression tree, applying ``col_fn`` to column/star refs.
+
+    Nested query nodes are preserved by reference — subqueries are
+    rewritten through their own scope pass, not through this rebuilder.
+    """
+    recur = lambda e: _map_expr(e, col_fn)  # noqa: E731
+    if isinstance(expr, (ColumnRef, Star)):
+        return col_fn(expr)
+    if isinstance(expr, Literal):
+        return expr
+    if isinstance(expr, BinaryOp):
+        return BinaryOp(expr.op, recur(expr.left), recur(expr.right))
+    if isinstance(expr, UnaryOp):
+        return UnaryOp(expr.op, recur(expr.operand))
+    if isinstance(expr, Conjunction):
+        return Conjunction(expr.op, tuple(recur(term) for term in expr.terms))
+    if isinstance(expr, LikeOp):
+        return LikeOp(
+            recur(expr.expr), recur(expr.pattern), expr.case_insensitive, expr.negated
+        )
+    if isinstance(expr, BetweenOp):
+        return BetweenOp(
+            recur(expr.expr), recur(expr.low), recur(expr.high), expr.negated
+        )
+    if isinstance(expr, IsNullOp):
+        return IsNullOp(recur(expr.expr), expr.negated)
+    if isinstance(expr, InOp):
+        options = (
+            tuple(recur(option) for option in expr.options)
+            if expr.options is not None
+            else None
+        )
+        return InOp(recur(expr.expr), options, expr.subquery, expr.negated)
+    if isinstance(expr, ExistsOp):
+        return expr
+    if isinstance(expr, ScalarSubquery):
+        return expr
+    if isinstance(expr, FunctionCall):
+        return FunctionCall(
+            expr.name, tuple(recur(arg) for arg in expr.args), expr.distinct
+        )
+    if isinstance(expr, CaseExpr):
+        whens = tuple(
+            (recur(condition), recur(result)) for condition, result in expr.whens
+        )
+        default = recur(expr.default) if expr.default is not None else None
+        return CaseExpr(whens, default)
+    return expr
+
+
+def _apply_exprs(select: SelectQuery, fn: Callable[[Expression], Expression]) -> None:
+    select.projections = [
+        SelectItem(fn(item.expr), item.alias) for item in select.projections
+    ]
+    select.joins = [
+        Join(
+            join.kind,
+            join.table,
+            fn(join.condition) if join.condition is not None else None,
+        )
+        for join in select.joins
+    ]
+    if select.where is not None:
+        select.where = fn(select.where)
+    select.group_by = [fn(expr) for expr in select.group_by]
+    if select.having is not None:
+        select.having = fn(select.having)
+    select.order_by = [
+        OrderItem(fn(item.expr), item.descending) for item in select.order_by
+    ]
+
+
+def _replace_table_refs(
+    select: SelectQuery, replace: Callable[[TableRef], TableRef]
+) -> None:
+    if select.from_table is not None:
+        select.from_table = replace(select.from_table)
+    select.joins = [
+        Join(join.kind, replace(join.table), join.condition) for join in select.joins
+    ]
+
+
+def _all_bindings(pairs: Sequence[Tuple[SelectQuery, _Scope]]) -> Set[str]:
+    return {binding for _, scope in pairs for binding in scope.refs}
+
+
+# ---------------------------------------------------------------------------
+# Morph steps and operators
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MorphStep:
+    """One applied operator: result schema + migrator + query rewriter."""
+
+    operator: str
+    detail: str
+    schema: Schema
+    producers: Dict[str, RowProducer] = field(default_factory=dict, repr=False)
+    rewriter: Optional[Callable[[QueryNode], QueryNode]] = field(
+        default=None, repr=False
+    )
+
+    def migrate(self, old_db: Database, new_db: Database) -> None:
+        _migrate(old_db, new_db, self.producers)
+
+    def rewrite(self, node: QueryNode) -> QueryNode:
+        if self.rewriter is None:
+            return node
+        return self.rewriter(node)
+
+
+class MorphOperator:
+    """Base class: :meth:`plan` returns a step or ``None`` if inapplicable."""
+
+    name = "abstract"
+
+    def plan(
+        self, schema: Schema, database: Database, rng: random.Random
+    ) -> Optional[MorphStep]:
+        raise NotImplementedError
+
+
+def _styled_names(
+    names: Sequence[str], style: str
+) -> Dict[str, str]:
+    """name -> styled name, collision-proofed case-insensitively."""
+    style_fn = naming.IDENTIFIER_STYLES[style]
+    mapping: Dict[str, str] = {}
+    taken: Set[str] = set()
+    for name in names:
+        candidate = style_fn(name)
+        if not candidate or not candidate.isidentifier():
+            candidate = name
+        suffix = 2
+        while candidate.lower() in taken:
+            candidate = f"{style_fn(name)}{suffix}"
+            suffix += 1
+        taken.add(candidate.lower())
+        mapping[name.lower()] = candidate
+    return mapping
+
+
+class RenameTables(MorphOperator):
+    name = "rename_tables"
+
+    def plan(self, schema, database, rng):
+        style = rng.choice(("camel", "abbrev", "pascal"))
+        mapping = _styled_names(schema.table_names, style)
+        if all(mapping[name.lower()] == name for name in schema.table_names):
+            return None
+
+        def build_table(table: Table) -> Table:
+            return Table(mapping[table.name.lower()], table.columns)
+
+        def build_fk(fk):
+            return (
+                mapping[fk.table.lower()],
+                fk.column,
+                mapping[fk.ref_table.lower()],
+                fk.ref_column,
+            )
+
+        new_schema = _clone_schema(schema, build_table, build_fk)
+
+        def rewrite(node: QueryNode) -> QueryNode:
+            pairs = _collect_scopes(node)
+            for select, scope in pairs:
+
+                def col_fn(expr):
+                    if expr.table is None:
+                        return expr
+                    resolution = _resolve(
+                        ColumnRef("_", expr.table), scope, schema
+                    )
+                    if (
+                        resolution is None
+                        or resolution.ref.alias is not None
+                        or resolution.table not in mapping
+                    ):
+                        return expr
+                    new_table = mapping[resolution.table]
+                    if isinstance(expr, Star):
+                        return Star(new_table)
+                    return ColumnRef(expr.column, new_table)
+
+                _apply_exprs(select, lambda e: _map_expr(e, col_fn))
+            for select, _ in pairs:
+                _replace_table_refs(
+                    select,
+                    lambda ref: TableRef(
+                        mapping.get(ref.table.lower(), ref.table), ref.alias
+                    ),
+                )
+            return node
+
+        def producers():
+            reverse = {new.lower(): old for old, new in mapping.items()}
+            return {
+                new.lower(): (
+                    lambda db, old=reverse[new.lower()]: db.table_data(old).rows
+                )
+                for new in mapping.values()
+            }
+
+        return MorphStep(self.name, f"style={style}", new_schema, producers(), rewrite)
+
+
+class RenameColumns(MorphOperator):
+    name = "rename_columns"
+
+    def plan(self, schema, database, rng):
+        style = rng.choice(("camel", "abbrev", "pascal"))
+        per_table: Dict[str, Dict[str, str]] = {}
+        changed = False
+        for table in schema.tables:
+            mapping = _styled_names(table.column_names, style)
+            per_table[table.name.lower()] = mapping
+            if any(mapping[c.lower()] != c for c in table.column_names):
+                changed = True
+        if not changed:
+            return None
+
+        def build_table(table: Table) -> Table:
+            mapping = per_table[table.name.lower()]
+            return Table(
+                table.name,
+                [
+                    Column(mapping[c.name.lower()], c.sql_type, c.primary_key)
+                    for c in table.columns
+                ],
+            )
+
+        def build_fk(fk):
+            return (
+                fk.table,
+                per_table[fk.table.lower()][fk.column.lower()],
+                fk.ref_table,
+                per_table[fk.ref_table.lower()][fk.ref_column.lower()],
+            )
+
+        new_schema = _clone_schema(schema, build_table, build_fk)
+
+        def rewrite(node: QueryNode) -> QueryNode:
+            for select, scope in _collect_scopes(node):
+
+                def col_fn(expr):
+                    if isinstance(expr, Star):
+                        return expr
+                    resolution = _resolve(expr, scope, schema)
+                    if resolution is None:
+                        return expr
+                    mapping = per_table.get(resolution.table)
+                    if mapping is None or expr.column.lower() not in mapping:
+                        return expr
+                    return ColumnRef(mapping[expr.column.lower()], expr.table)
+
+                _apply_exprs(select, lambda e: _map_expr(e, col_fn))
+            return node
+
+        return MorphStep(self.name, f"style={style}", new_schema, {}, rewrite)
+
+
+class ReorderColumns(MorphOperator):
+    name = "reorder_columns"
+
+    def plan(self, schema, database, rng):
+        permutations: Dict[str, List[int]] = {}
+        for table in schema.tables:
+            order = list(range(len(table.columns)))
+            rng.shuffle(order)
+            permutations[table.name.lower()] = order
+        if all(
+            order == sorted(order) for order in permutations.values()
+        ):  # pragma: no cover - astronomically unlikely
+            return None
+
+        def build_table(table: Table) -> Table:
+            order = permutations[table.name.lower()]
+            return Table(table.name, [table.columns[i] for i in order])
+
+        new_schema = _clone_schema(schema, build_table, lambda fk: tuple(
+            (fk.table, fk.column, fk.ref_table, fk.ref_column)
+        ))
+
+        def producer(name: str) -> RowProducer:
+            order = permutations[name.lower()]
+
+            def produce(db: Database) -> Iterable[tuple]:
+                return [
+                    tuple(row[i] for i in order) for row in db.table_data(name).rows
+                ]
+
+            return produce
+
+        producers = {
+            table.name.lower(): producer(table.name) for table in schema.tables
+        }
+        return MorphStep(self.name, "shuffled", new_schema, producers, None)
+
+
+class WidenTypes(MorphOperator):
+    name = "widen_types"
+
+    def plan(self, schema, database, rng):
+        endpoints = _fk_endpoint_columns(schema)
+        eligible = [
+            (table.name, column.name)
+            for table in schema.tables
+            for column in table.columns
+            if column.sql_type is SqlType.INTEGER
+            and not column.primary_key
+            and (table.name.lower(), column.name.lower()) not in endpoints
+        ]
+        if not eligible:
+            return None
+        count = rng.randint(1, min(4, len(eligible)))
+        chosen = set(
+            (t.lower(), c.lower()) for t, c in rng.sample(eligible, count)
+        )
+
+        def build_table(table: Table) -> Table:
+            return Table(
+                table.name,
+                [
+                    Column(
+                        c.name,
+                        SqlType.REAL
+                        if (table.name.lower(), c.name.lower()) in chosen
+                        else c.sql_type,
+                        c.primary_key,
+                    )
+                    for c in table.columns
+                ],
+            )
+
+        new_schema = _clone_schema(schema, build_table, lambda fk: tuple(
+            (fk.table, fk.column, fk.ref_table, fk.ref_column)
+        ))
+        detail = ",".join(sorted(f"{t}.{c}" for t, c in chosen))
+        return MorphStep(self.name, detail, new_schema, {}, None)
+
+
+class SplitTable(MorphOperator):
+    """Normalize: move a column subset into a 1:1 PK/FK extension table."""
+
+    name = "split_table"
+
+    def plan(self, schema, database, rng):
+        fk_targets = {
+            (fk.ref_table.lower(), fk.ref_column.lower())
+            for fk in schema.foreign_keys
+        }
+        candidates = []
+        for table in schema.tables:
+            pk = _single_pk(table)
+            if pk is None:
+                continue
+            movable = [
+                c.name
+                for c in table.columns
+                if not c.primary_key
+                and (table.name.lower(), c.name.lower()) not in fk_targets
+            ]
+            if len(movable) >= 2:
+                candidates.append((table.name, pk, movable))
+        if not candidates:
+            return None
+        target, pk, movable = rng.choice(candidates)
+        count = rng.randint(2, min(4, len(movable)))
+        moved = rng.sample(movable, count)
+        moved_lower = {c.lower() for c in moved}
+        ext_name = f"{target}_detail"
+        suffix = 2
+        while schema.has_table(ext_name):
+            ext_name = f"{target}_detail{suffix}"
+            suffix += 1
+        base_table = schema.table(target)
+
+        def build_table(table: Table) -> Optional[Table]:
+            if table.name.lower() != target.lower():
+                return table
+            return Table(
+                table.name,
+                [c for c in table.columns if c.name.lower() not in moved_lower],
+            )
+
+        ext_columns = [base_table.column(pk)] + [
+            Column(c.name, c.sql_type, False)
+            for c in base_table.columns
+            if c.name.lower() in moved_lower
+        ]
+
+        def build_fk(fk):
+            if fk.table.lower() == target.lower() and fk.column.lower() in moved_lower:
+                return (ext_name, fk.column, fk.ref_table, fk.ref_column)
+            return (fk.table, fk.column, fk.ref_table, fk.ref_column)
+
+        new_schema = _clone_schema(
+            schema,
+            build_table,
+            build_fk,
+            extra_tables=[(target, Table(ext_name, ext_columns))],
+            extra_fks=[(ext_name, pk, target, pk)],
+        )
+
+        keep_positions = [
+            i
+            for i, c in enumerate(base_table.columns)
+            if c.name.lower() not in moved_lower
+        ]
+        ext_positions = [base_table.column_position(pk)] + [
+            i
+            for i, c in enumerate(base_table.columns)
+            if c.name.lower() in moved_lower
+        ]
+
+        def produce_main(db: Database) -> Iterable[tuple]:
+            return [
+                tuple(row[i] for i in keep_positions)
+                for row in db.table_data(target).rows
+            ]
+
+        def produce_ext(db: Database) -> Iterable[tuple]:
+            return [
+                tuple(row[i] for i in ext_positions)
+                for row in db.table_data(target).rows
+            ]
+
+        producers = {target.lower(): produce_main, ext_name.lower(): produce_ext}
+
+        def rewrite(node: QueryNode) -> QueryNode:
+            pairs = _collect_scopes(node)
+            taken = {b.lower() for b in _all_bindings(pairs)}
+            needs: Dict[Tuple[int, str], _Resolution] = {}
+            for select, scope in pairs:
+                for expr in select.iter_expressions():
+                    for part in expr.walk():
+                        if not isinstance(part, ColumnRef):
+                            continue
+                        resolution = _resolve(part, scope, schema)
+                        if (
+                            resolution is not None
+                            and resolution.table == target.lower()
+                            and part.column.lower() in moved_lower
+                        ):
+                            key = (id(resolution.scope.select), resolution.binding)
+                            needs[key] = resolution
+            if not needs:
+                return node
+            fresh: Dict[Tuple[int, str], str] = {}
+            counter = 1
+            for key in needs:
+                while f"m{counter}" in taken:
+                    counter += 1
+                fresh[key] = f"M{counter}"
+                taken.add(f"m{counter}")
+            for select, scope in pairs:
+
+                def col_fn(expr):
+                    if isinstance(expr, Star):
+                        return expr
+                    resolution = _resolve(expr, scope, schema)
+                    if resolution is None:
+                        return expr
+                    if (
+                        resolution.table == target.lower()
+                        and expr.column.lower() in moved_lower
+                    ):
+                        key = (id(resolution.scope.select), resolution.binding)
+                        return ColumnRef(expr.column, fresh[key])
+                    if expr.table is None:
+                        # The extension table duplicates the PK (and moved
+                        # columns) of the split table, so a previously
+                        # unambiguous bare reference can become ambiguous
+                        # once the extension join is in scope — qualify it
+                        # with the binding it resolved to.
+                        return ColumnRef(expr.column, resolution.binding)
+                    return expr
+
+                _apply_exprs(select, lambda e: _map_expr(e, col_fn))
+            by_owner: Dict[int, Dict[str, str]] = {}
+            for (select_id, binding), alias in fresh.items():
+                by_owner.setdefault(select_id, {})[binding.lower()] = (binding, alias)
+            for select, _ in pairs:
+                owner_map = by_owner.get(id(select))
+                if not owner_map:
+                    continue
+
+                def ext_join(binding: str, alias: str) -> Join:
+                    condition = BinaryOp(
+                        "=", ColumnRef(pk, alias), ColumnRef(pk, binding)
+                    )
+                    return Join(JoinKind.INNER, TableRef(ext_name, alias), condition)
+
+                # The extension join must bind immediately after the table
+                # instance it extends: later join conditions may already
+                # reference the fresh alias.
+                rebuilt: List[Join] = []
+                if (
+                    select.from_table is not None
+                    and select.from_table.binding.lower() in owner_map
+                ):
+                    binding, alias = owner_map[select.from_table.binding.lower()]
+                    rebuilt.append(ext_join(binding, alias))
+                for join_item in select.joins:
+                    rebuilt.append(join_item)
+                    if join_item.table.binding.lower() in owner_map:
+                        binding, alias = owner_map[join_item.table.binding.lower()]
+                        rebuilt.append(ext_join(binding, alias))
+                select.joins = rebuilt
+            return node
+
+        detail = f"{target} -> {ext_name}({', '.join(moved)})"
+        return MorphStep(self.name, detail, new_schema, producers, rewrite)
+
+
+class InlineChild(MorphOperator):
+    """Denormalize: fold a total 1:1 child table back into its parent."""
+
+    name = "inline_child"
+
+    def plan(self, schema, database, rng):
+        referenced = {fk.ref_table.lower() for fk in schema.foreign_keys}
+        candidates = []
+        for fk in schema.foreign_keys:
+            child = schema.table(fk.table)
+            child_pk = _single_pk(child)
+            if child_pk is None or child_pk.lower() != fk.column.lower():
+                continue
+            parent = schema.table(fk.ref_table)
+            parent_pk = _single_pk(parent)
+            if parent_pk is None or parent_pk.lower() != fk.ref_column.lower():
+                continue
+            if child.name.lower() == parent.name.lower():
+                continue
+            if child.name.lower() in referenced:
+                continue  # something else points at the child; keep it
+            child_data = database.table_data(child.name)
+            parent_data = database.table_data(parent.name)
+            if len(child_data) != len(parent_data):
+                continue
+            if child_data.column_values(child_pk) != parent_data.column_values(
+                parent_pk
+            ):
+                continue
+            candidates.append((child.name, child_pk, parent.name, parent_pk, fk))
+        if not candidates:
+            return None
+        child_name, child_pk, parent_name, parent_pk, inline_fk = rng.choice(
+            sorted(candidates)
+        )
+        child = schema.table(child_name)
+        parent = schema.table(parent_name)
+        taken = {c.lower() for c in parent.column_names}
+        column_map: Dict[str, str] = {child_pk.lower(): parent_pk}
+        appended: List[Column] = []
+        for c in child.columns:
+            if c.name.lower() == child_pk.lower():
+                continue
+            new_name = c.name
+            if new_name.lower() in taken:
+                new_name = f"{child_name}_{c.name}"
+            suffix = 2
+            while new_name.lower() in taken:
+                new_name = f"{child_name}_{c.name}{suffix}"
+                suffix += 1
+            taken.add(new_name.lower())
+            column_map[c.name.lower()] = new_name
+            appended.append(Column(new_name, c.sql_type, False))
+
+        def build_table(table: Table) -> Optional[Table]:
+            if table.name.lower() == child_name.lower():
+                return None
+            if table.name.lower() == parent_name.lower():
+                return Table(table.name, list(table.columns) + appended)
+            return table
+
+        def build_fk(fk):
+            if fk is inline_fk:
+                return None
+            if fk.table.lower() == child_name.lower():
+                return (
+                    parent_name,
+                    column_map[fk.column.lower()],
+                    fk.ref_table,
+                    fk.ref_column,
+                )
+            return (fk.table, fk.column, fk.ref_table, fk.ref_column)
+
+        new_schema = _clone_schema(schema, build_table, build_fk)
+
+        child_pk_position = child.column_position(child_pk)
+        child_positions = [
+            i
+            for i, c in enumerate(child.columns)
+            if c.name.lower() != child_pk.lower()
+        ]
+        parent_pk_position = parent.column_position(parent_pk)
+
+        def produce_parent(db: Database) -> Iterable[tuple]:
+            by_pk = {
+                normalize_for_comparison(row[child_pk_position]): row
+                for row in db.table_data(child_name).rows
+            }
+            merged = []
+            for row in db.table_data(parent_name).rows:
+                extra = by_pk[normalize_for_comparison(row[parent_pk_position])]
+                merged.append(row + tuple(extra[i] for i in child_positions))
+            return merged
+
+        producers = {parent_name.lower(): produce_parent}
+
+        def rewrite(node: QueryNode) -> QueryNode:
+            pairs = _collect_scopes(node)
+            for select, scope in pairs:
+
+                def col_fn(expr):
+                    if isinstance(expr, Star):
+                        return expr
+                    resolution = _resolve(expr, scope, schema)
+                    if resolution is None or resolution.table != child_name.lower():
+                        return expr
+                    new_column = column_map.get(expr.column.lower(), expr.column)
+                    new_table = expr.table
+                    if new_table is not None and resolution.ref.alias is None:
+                        new_table = parent_name  # unaliased binding renames
+                    return ColumnRef(new_column, new_table)
+
+                _apply_exprs(select, lambda e: _map_expr(e, col_fn))
+            for select, _ in pairs:
+                _replace_table_refs(
+                    select,
+                    lambda ref: TableRef(parent_name, ref.alias)
+                    if ref.table.lower() == child_name.lower()
+                    else ref,
+                )
+            return node
+
+        detail = f"{child_name} -> {parent_name}"
+        return MorphStep(self.name, detail, new_schema, producers, rewrite)
+
+
+class CloneReroute(MorphOperator):
+    """Clone a multi-referenced parent table; re-route one FK to the copy."""
+
+    name = "clone_reroute"
+
+    def plan(self, schema, database, rng):
+        def pk_targeting(fk) -> bool:
+            return _single_pk(schema.table(fk.ref_table)) == fk.ref_column
+
+        multi = [
+            fk
+            for fk in schema.foreign_keys
+            if fk.table.lower() != fk.ref_table.lower()
+            and pk_targeting(fk)
+            and len(schema.foreign_keys_between(fk.table, fk.ref_table)) >= 2
+        ]
+        pool = multi or [
+            fk
+            for fk in schema.foreign_keys
+            if fk.table.lower() != fk.ref_table.lower() and pk_targeting(fk)
+        ]
+        if not pool:
+            return None
+        fk = rng.choice(sorted(pool, key=lambda f: f.describe()))
+        parent = schema.table(fk.ref_table)
+        parent_pk = _single_pk(parent)
+        stem = fk.column[:-3] if fk.column.lower().endswith("_id") else fk.column
+        clone_name = f"{stem}_{parent.name}"
+        suffix = 2
+        while schema.has_table(clone_name):
+            clone_name = f"{stem}_{parent.name}{suffix}"
+            suffix += 1
+
+        def build_fk(existing):
+            if existing is fk:
+                return (fk.table, fk.column, clone_name, fk.ref_column)
+            return (
+                existing.table,
+                existing.column,
+                existing.ref_table,
+                existing.ref_column,
+            )
+
+        new_schema = _clone_schema(
+            schema,
+            lambda table: table,
+            build_fk,
+            extra_tables=[(parent.name, Table(clone_name, parent.columns))],
+        )
+
+        producers = {
+            clone_name.lower(): lambda db: db.table_data(parent.name).rows
+        }
+
+        def rewrite(node: QueryNode) -> QueryNode:
+            for select, scope in _collect_scopes(node):
+                rebind: Set[str] = set()
+                conditions = [
+                    join.condition
+                    for join in select.joins
+                    if join.condition is not None
+                ]
+                if select.where is not None:
+                    conditions.append(select.where)
+                for condition in conditions:
+                    for part in condition.walk():
+                        if not (
+                            isinstance(part, BinaryOp)
+                            and part.op == "="
+                            and isinstance(part.left, ColumnRef)
+                            and isinstance(part.right, ColumnRef)
+                        ):
+                            continue
+                        for pk_side, fk_side in (
+                            (part.left, part.right),
+                            (part.right, part.left),
+                        ):
+                            pk_res = _resolve(pk_side, scope, schema)
+                            fk_res = _resolve(fk_side, scope, schema)
+                            if (
+                                pk_res is not None
+                                and fk_res is not None
+                                and pk_res.scope.select is select
+                                and pk_res.table == parent.name.lower()
+                                and pk_side.column.lower() == parent_pk.lower()
+                                and pk_res.ref.alias is not None
+                                and fk_res.table == fk.table.lower()
+                                and fk_side.column.lower() == fk.column.lower()
+                            ):
+                                rebind.add(pk_res.binding.lower())
+                if rebind:
+                    _replace_table_refs(
+                        select,
+                        lambda ref: TableRef(clone_name, ref.alias)
+                        if ref.alias is not None
+                        and ref.alias.lower() in rebind
+                        and ref.table.lower() == parent.name.lower()
+                        else ref,
+                    )
+            return node
+
+        detail = f"{fk.table}.{fk.column} -> {clone_name}.{fk.ref_column}"
+        return MorphStep(self.name, detail, new_schema, producers, rewrite)
+
+
+class DropForeignKey(MorphOperator):
+    name = "drop_fk"
+
+    def plan(self, schema, database, rng):
+        if not schema.foreign_keys:
+            return None
+        victim = rng.choice(sorted(schema.foreign_keys, key=lambda f: f.describe()))
+
+        def build_fk(fk):
+            if fk is victim:
+                return None
+            return (fk.table, fk.column, fk.ref_table, fk.ref_column)
+
+        new_schema = _clone_schema(schema, lambda table: table, build_fk)
+        return MorphStep(self.name, victim.describe(), new_schema, {}, None)
+
+
+class DeclareForeignKey(MorphOperator):
+    """Declare an implicit reference detected from column names + data."""
+
+    name = "declare_fk"
+
+    def plan(self, schema, database, rng):
+        declared = {
+            (fk.table.lower(), fk.column.lower()) for fk in schema.foreign_keys
+        }
+        candidates = []
+        for parent in schema.tables:
+            pk = _single_pk(parent)
+            if pk is None:
+                continue
+            parent_values = database.table_data(parent.name).column_values(pk)
+            for child in schema.tables:
+                if child.name.lower() == parent.name.lower():
+                    continue
+                if not child.has_column(pk):
+                    continue
+                column = child.column(pk)
+                if column.primary_key:
+                    continue
+                if (child.name.lower(), column.name.lower()) in declared:
+                    continue
+                values = database.table_data(child.name).column_values(column.name)
+                if not values or not (values - {None}) <= parent_values:
+                    continue
+                candidates.append((child.name, column.name, parent.name, pk))
+        if not candidates:
+            return None
+        spec = rng.choice(sorted(candidates))
+        new_schema = _clone_schema(
+            schema,
+            lambda table: table,
+            lambda fk: (fk.table, fk.column, fk.ref_table, fk.ref_column),
+            extra_fks=[spec],
+        )
+        detail = f"{spec[0]}.{spec[1]} -> {spec[2]}.{spec[3]}"
+        return MorphStep(self.name, detail, new_schema, {}, None)
+
+
+DEFAULT_OPERATORS: Tuple[MorphOperator, ...] = (
+    RenameTables(),
+    RenameColumns(),
+    ReorderColumns(),
+    WidenTypes(),
+    SplitTable(),
+    InlineChild(),
+    CloneReroute(),
+    DropForeignKey(),
+    DeclareForeignKey(),
+)
+
+
+# ---------------------------------------------------------------------------
+# Morphed models and the morpher
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class MorphedModel:
+    """One derived data-model version: schema, data and gold rewriter."""
+
+    version: str
+    base_version: str
+    schema: Schema
+    database: Database
+    steps: List[MorphStep]
+
+    @property
+    def distance(self) -> int:
+        """Morph distance: number of operators applied to the base."""
+        return len(self.steps)
+
+    @property
+    def operator_names(self) -> Tuple[str, ...]:
+        return tuple(step.operator for step in self.steps)
+
+    def describe(self) -> str:
+        chain = "; ".join(f"{s.operator}({s.detail})" for s in self.steps)
+        return f"{self.version} (from {self.base_version}, d={self.distance}): {chain}"
+
+    def rewrite_ast(self, node: QueryNode) -> QueryNode:
+        """Rewrite a query AST for this model.  Takes ownership of ``node``
+        (SELECT cores may be mutated in place)."""
+        for step in self.steps:
+            node = step.rewrite(node)
+        return node
+
+    def rewrite_sql(self, sql: str) -> str:
+        """Rewrite gold SQL text into this model's execution-equivalent form."""
+        return format_query(self.rewrite_ast(parse_sql(sql)))
+
+
+class SchemaMorpher:
+    """Derives data-model variants from a base database, deterministically.
+
+    ``SchemaMorpher(seed=s).derive(db, count=n)`` always produces the
+    same ``n`` chains for the same base — morphs are pure functions of
+    ``(seed, base, count, steps)``.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        operators: Optional[Sequence[MorphOperator]] = None,
+    ) -> None:
+        self.seed = seed
+        self.operators: Tuple[MorphOperator, ...] = tuple(
+            operators if operators is not None else DEFAULT_OPERATORS
+        )
+
+    def morph(
+        self,
+        database: Database,
+        name: str,
+        steps: int = 3,
+    ) -> MorphedModel:
+        """Apply one operator chain of up to ``steps`` mutations."""
+        rng = random.Random(f"morph|{self.seed}|{name}")
+        pool = list(self.operators)
+        rng.shuffle(pool)
+        applied: List[MorphStep] = []
+        current = database
+        for operator in pool:
+            if len(applied) >= steps:
+                break
+            step = operator.plan(current.schema, current, rng)
+            if step is None:
+                continue
+            staging = Database(step.schema, plan_cache_size=0)
+            step.migrate(current, staging)
+            applied.append(step)
+            current = staging
+        if not applied:
+            raise MorphError(
+                f"no operator applies to schema "
+                f"{database.schema.name}/{database.schema.version}"
+            )
+        final_schema = current.schema
+        final_schema.version = name
+        final = Database(final_schema)
+        _migrate(current, final, {})
+        return MorphedModel(
+            version=name,
+            base_version=database.schema.version,
+            schema=final_schema,
+            database=final,
+            steps=applied,
+        )
+
+    def derive(
+        self,
+        database: Database,
+        count: int = 5,
+        steps: int = 3,
+        name_prefix: Optional[str] = None,
+    ) -> List[MorphedModel]:
+        """``count`` independent morph chains, named ``<base>~m1`` …"""
+        prefix = name_prefix or (database.schema.version or database.schema.name)
+        return [
+            self.morph(database, f"{prefix}~m{index + 1}", steps=steps)
+            for index in range(count)
+        ]
+
+
+# ---------------------------------------------------------------------------
+# Verification helpers (used by tests, the verify script and CI smoke)
+# ---------------------------------------------------------------------------
+
+
+#: the two storage spellings of SQL booleans this library meets:
+#: the engine's EX normalization emits lowercase text, the sqlite
+#: bridge stores Python's ``str(True)`` capitalization
+_BOOLEAN_TEXT = {"True": "true", "False": "false"}
+
+
+def result_signature(result) -> tuple:
+    """Order-insensitive, type-tolerant signature of a query result.
+
+    Delegates to the engine's EX normalization
+    (:meth:`~repro.sqlengine.executor.Result.normalized_multiset`:
+    integral floats fold to ints, booleans to text) so a widened or
+    re-typed morph compares equal to its base exactly when the EX
+    metric would call them equal.  Boolean *text* additionally folds
+    case (``'True'`` == ``'true'``) so a projected flag column compares
+    equal across the engine and the sqlite bridge's text storage.
+    Accepts any object exposing ``rows`` (e.g. a sqlite3 adapter), not
+    just engine results.
+    """
+    if not isinstance(result, Result):
+        result = Result([], list(result.rows))
+    counts: Dict[tuple, int] = {}
+    for row, count in result.normalized_multiset().items():
+        key = tuple(
+            _BOOLEAN_TEXT.get(value, value) if isinstance(value, str) else value
+            for value in row
+        )
+        counts[key] = counts.get(key, 0) + count
+    return tuple(
+        sorted(
+            counts.items(),
+            key=lambda item: tuple(
+                (value is None, str(type(value)), str(value)) for value in item[0]
+            ),
+        )
+    )
+
+
+def verify_morph(
+    morph: MorphedModel, base: Database, queries: Sequence[str]
+) -> List[Tuple[str, str]]:
+    """Execution-equivalence check of ``morph`` against its base.
+
+    Runs every base-model gold query on ``base`` and its rewrite on the
+    morphed database; returns the ``(base_sql, morphed_sql)`` pairs whose
+    normalized result multisets disagree (empty list = fully equivalent).
+    """
+    mismatches: List[Tuple[str, str]] = []
+    for sql in queries:
+        rewritten = morph.rewrite_sql(sql)
+        expected = result_signature(base.execute(sql))
+        observed = result_signature(morph.database.execute(rewritten))
+        if expected != observed:
+            mismatches.append((sql, rewritten))
+    return mismatches

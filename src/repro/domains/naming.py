@@ -1,0 +1,107 @@
+"""Identifier styles and name vocabulary shared by every domain.
+
+The schema morpher (:mod:`repro.domains.morph`) re-renders table and
+column identifiers in the naming styles observed across real
+deployments; the domain generator (:mod:`repro.domains.generator`)
+draws row-level display names from the small vocabularies below.  All
+base schemas are snake_case; the style functions derive the other
+styles deterministically so a morphed schema is a pure function of its
+seed.
+
+This module deliberately imports nothing from the rest of the library —
+it sits at the bottom of the dependency graph (``repro.footballdb.naming``
+re-exports the style table for backward compatibility).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List
+
+
+def _capitalize(text: str) -> str:
+    return text[:1].upper() + text[1:]
+
+
+_VOWELS = frozenset("aeiou")
+
+
+def camel_identifier(name: str) -> str:
+    """``national_team`` -> ``nationalTeam`` (lowerCamelCase)."""
+    head, *tail = name.split("_")
+    return head + "".join(_capitalize(part) for part in tail)
+
+
+def pascal_identifier(name: str) -> str:
+    """``national_team`` -> ``NationalTeam`` (UpperCamelCase)."""
+    return "".join(_capitalize(part) for part in name.split("_"))
+
+
+def abbreviate_identifier(name: str) -> str:
+    """``national_team`` -> ``ntnl_team`` (DBA-style vowel-dropping).
+
+    Words of up to four characters are kept; longer words keep their
+    first letter plus up to three following consonants — mimicking the
+    terse legacy identifiers (``cust_addr``, ``qty_ordd``) that make
+    schema linking hard for Text-to-SQL systems.
+    """
+    parts = []
+    for part in name.split("_"):
+        if len(part) <= 4:
+            parts.append(part)
+        else:
+            consonants = "".join(ch for ch in part[1:] if ch not in _VOWELS)
+            parts.append(part[0] + consonants[:3])
+    return "_".join(parts)
+
+
+IDENTIFIER_STYLES: Dict[str, Callable[[str], str]] = {
+    "camel": camel_identifier,
+    "pascal": pascal_identifier,
+    "abbrev": abbreviate_identifier,
+}
+
+
+# -- row-level display names ----------------------------------------------------
+#
+# Every generated entity carries one human-readable *name* column (the
+# value NL questions anchor on), drawn from these syllable pools.  The
+# pools are intentionally small — collisions are resolved with numeric
+# suffixes, which keeps names unique per entity.  Names are NOT
+# substring-free (``Orley`` ⊂ ``Yorley``), so gold-SQL name filters
+# must anchor on the whole value (see questions._name_filter).
+
+_NAME_HEADS = [
+    "Al", "Bel", "Cor", "Dan", "El", "Fer", "Gal", "Hart", "Iris", "Jas",
+    "Kel", "Lor", "Mar", "Nor", "Or", "Pel", "Quin", "Ros", "Sil", "Tor",
+    "Ul", "Ver", "Wil", "Xan", "Yor", "Zel",
+]
+
+_NAME_TAILS = [
+    "ba", "dale", "den", "field", "gate", "ham", "kin", "ley", "mont",
+    "nor", "ona", "port", "rick", "son", "stone", "ton", "vale", "wick",
+]
+
+
+def display_name(rng: random.Random) -> str:
+    """A two-syllable proper name, e.g. ``Marton`` or ``Quinvale``."""
+    return rng.choice(_NAME_HEADS) + rng.choice(_NAME_TAILS)
+
+
+def unique_display_names(rng: random.Random, count: int, prefix: str = "") -> List[str]:
+    """``count`` distinct display names (numeric suffixes on collision).
+
+    ``prefix`` (e.g. ``"Dr. "`` or ``"Hotel "``) is prepended to every
+    name so different entities of one domain stay lexically distinct —
+    that keeps cross-entity ``ILIKE`` value filters unambiguous.
+    """
+    seen: Dict[str, int] = {}
+    names: List[str] = []
+    for _ in range(count):
+        name = prefix + display_name(rng)
+        occurrences = seen.get(name, 0)
+        seen[name] = occurrences + 1
+        if occurrences:
+            name = f"{name} {occurrences + 1}"
+        names.append(name)
+    return names

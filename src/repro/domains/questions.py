@@ -1,0 +1,555 @@
+"""Templated gold SQL + NL paraphrases for any domain.
+
+Plays the role the six expert annotators played for FootballDB, but
+domain-agnostically: every :class:`QuestionKind` below instantiates over
+a :class:`~repro.domains.spec.DomainSpec` and its generated data,
+emitting engine ASTs (parseable and executable by construction) plus
+two or three English surface paraphrases per question.
+
+The emitted SQL deliberately stays inside the morph rewriter's exact
+contract (see :mod:`repro.domains.morph`): every column reference is
+alias-qualified, projections are explicit, and set-operation ``ORDER
+BY`` tails are never produced — so a domain's gold queries remain
+execution-equivalent under arbitrary morph chains.  ``LIMIT`` is only
+emitted under a total order (the unique display name breaks ties),
+keeping differential engine-vs-sqlite comparisons deterministic.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.sqlengine import (
+    BinaryOp,
+    ColumnRef,
+    Expression,
+    FunctionCall,
+    Join,
+    JoinKind,
+    LikeOp,
+    Literal,
+    OrderItem,
+    ScalarSubquery,
+    SelectItem,
+    SelectQuery,
+    Star,
+    TableRef,
+    format_query,
+)
+
+from .spec import DomainSpec, EntitySpec, FieldSpec, Relationship
+
+Row = Tuple[object, ...]
+
+
+def question_id(question: str) -> str:
+    """Stable identifier for a question text (blake2s, 8 bytes)."""
+    return hashlib.blake2s(question.encode("utf-8"), digest_size=8).hexdigest()
+
+
+@dataclass
+class DomainExample:
+    """One labeled question: NL text, paraphrases, gold SQL per version."""
+
+    qid: str
+    question: str
+    paraphrases: Tuple[str, ...]
+    kind: str
+    slots: Tuple[Tuple[str, object], ...]
+    gold: Dict[str, str]  # version -> SQL
+
+
+# -- tiny AST DSL ---------------------------------------------------------------
+
+
+def _col(alias: str, column: str) -> ColumnRef:
+    return ColumnRef(column, alias)
+
+
+def _eq(left: Expression, right: Expression) -> BinaryOp:
+    return BinaryOp("=", left, right)
+
+
+def _name_filter(alias: str, column: str, value: str) -> LikeOp:
+    """Name filters use the annotators' ILIKE operator, but *anchored*.
+
+    The football gold queries match ``'%value%'``; generated display
+    names are drawn from a small syllable pool where one name can be a
+    substring of another (``Orley`` ⊂ ``Yorley``), so an unanchored
+    pattern would label the question with rows of unrelated entities.
+    A wildcard-free ILIKE is an exact case-insensitive match on both
+    the engine and sqlite's default ``LIKE``.
+    """
+    return LikeOp(_col(alias, column), Literal(value), case_insensitive=True)
+
+
+def _count_star() -> FunctionCall:
+    return FunctionCall("count", (Star(),))
+
+
+def _agg(name: str, expr: Expression) -> FunctionCall:
+    return FunctionCall(name, (expr,))
+
+
+def _select(
+    projections: Sequence[Expression],
+    from_table: Tuple[str, str],
+    joins: Optional[List[Join]] = None,
+    where: Optional[Expression] = None,
+    group_by: Optional[List[Expression]] = None,
+    having: Optional[Expression] = None,
+    order_by: Optional[List[OrderItem]] = None,
+    limit: Optional[int] = None,
+    distinct: bool = False,
+) -> SelectQuery:
+    return SelectQuery(
+        projections=[SelectItem(p) for p in projections],
+        from_table=TableRef(*from_table),
+        joins=joins or [],
+        where=where,
+        group_by=group_by or [],
+        having=having,
+        order_by=order_by or [],
+        limit=limit,
+        distinct=distinct,
+    )
+
+
+def _join(table: str, alias: str, condition: Expression) -> Join:
+    return Join(JoinKind.INNER, TableRef(table, alias), condition)
+
+
+def _rel_join(spec: DomainSpec, rel: Relationship) -> Tuple[Tuple[str, str], Join]:
+    """``FROM child AS c JOIN parent AS p ON c.fk = p.pk``."""
+    parent_pk = spec.entity(rel.parent).pk_field.name
+    return (
+        (rel.child, "c"),
+        _join(rel.parent, "p", _eq(_col("c", rel.field), _col("p", parent_pk))),
+    )
+
+
+# -- question kinds ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _Instance:
+    kind: str
+    templates: Tuple[str, ...]
+    slots: Dict[str, object]
+    query: SelectQuery
+
+
+def _numeric_attrs(entity: EntitySpec) -> List[FieldSpec]:
+    return [
+        f
+        for f in entity.attr_fields
+        if f.sql_type in ("int", "real") and f.generator[0] != "serial"
+    ]
+
+
+def _categorical_attrs(entity: EntitySpec) -> List[FieldSpec]:
+    return [f for f in entity.attr_fields if f.generator and f.generator[0] == "choice"]
+
+
+class _KindBuilder:
+    """Instantiates every question kind over one domain's spec + data."""
+
+    def __init__(
+        self,
+        spec: DomainSpec,
+        tables: Dict[str, List[Row]],
+        rng: random.Random,
+        per_kind: int,
+    ) -> None:
+        self.spec = spec
+        self.tables = tables
+        self.rng = rng
+        self.per_kind = per_kind
+
+    # -- helpers ------------------------------------------------------------
+    def _column_values(self, entity: EntitySpec, f: FieldSpec) -> List[object]:
+        position = [x.name for x in entity.fields].index(f.name)
+        return [row[position] for row in self.tables[entity.name]]
+
+    def _sample_names(self, entity: EntitySpec, count: int) -> List[str]:
+        values = [
+            v for v in self._column_values(entity, entity.name_attr) if v is not None
+        ]
+        count = min(count, len(values))
+        return self.rng.sample(values, count)
+
+    def _cap(self, instances: List[_Instance]) -> List[_Instance]:
+        if len(instances) <= self.per_kind:
+            return instances
+        return self.rng.sample(instances, self.per_kind)
+
+    # -- kinds --------------------------------------------------------------
+    def count_all(self) -> List[_Instance]:
+        out = []
+        for entity in self.spec.entities:
+            out.append(
+                _Instance(
+                    "count_all",
+                    (
+                        "How many {plural} are there?",
+                        "What is the total number of {plural}?",
+                        "Count all {plural}.",
+                    ),
+                    {"plural": entity.plural_phrase},
+                    _select([_count_star()], (entity.name, "t")),
+                )
+            )
+        return self._cap(out)
+
+    def lookup_attr(self) -> List[_Instance]:
+        out = []
+        for entity in self.spec.entities:
+            attrs = list(entity.attr_fields)
+            if not attrs:
+                continue
+            for value in self._sample_names(entity, 3):
+                f = self.rng.choice(attrs)
+                out.append(
+                    _Instance(
+                        "lookup_attr",
+                        (
+                            "What is the {attr} of {value}?",
+                            "Tell me the {attr} of {value}.",
+                            "{value} — what is its {attr}?",
+                        ),
+                        {"attr": f.phrase, "value": value},
+                        _select(
+                            [_col("t", f.name)],
+                            (entity.name, "t"),
+                            where=_name_filter("t", entity.name_attr.name, value),
+                        ),
+                    )
+                )
+        return self._cap(out)
+
+    def filter_count(self) -> List[_Instance]:
+        out = []
+        for entity in self.spec.entities:
+            for f in _categorical_attrs(entity):
+                choices = f.generator[1]
+                value = self.rng.choice(choices)
+                out.append(
+                    _Instance(
+                        "filter_count",
+                        (
+                            "How many {plural} have {attr} {value}?",
+                            "Number of {plural} whose {attr} is {value}?",
+                        ),
+                        {"plural": entity.plural_phrase, "attr": f.phrase, "value": value},
+                        _select(
+                            [_count_star()],
+                            (entity.name, "t"),
+                            where=_eq(_col("t", f.name), Literal(value)),
+                        ),
+                    )
+                )
+            for f in entity.attr_fields:
+                if f.sql_type != "bool":
+                    continue
+                out.append(
+                    _Instance(
+                        "filter_count",
+                        (
+                            "How many {plural} are {attr}?",
+                            "Count the {plural} that are {attr}.",
+                        ),
+                        {"plural": entity.plural_phrase, "attr": f.phrase},
+                        _select(
+                            [_count_star()],
+                            (entity.name, "t"),
+                            # booleans compare through their text form —
+                            # the football gold queries' house style
+                            where=_eq(_col("t", f.name), Literal("True")),
+                        ),
+                    )
+                )
+        return self._cap(out)
+
+    def extreme_entity(self) -> List[_Instance]:
+        out = []
+        for entity in self.spec.entities:
+            for f in _numeric_attrs(entity):
+                descending = self.rng.random() < 0.5
+                word = "highest" if descending else "lowest"
+                out.append(
+                    _Instance(
+                        "extreme_entity",
+                        (
+                            "Which {singular} has the {word} {attr}?",
+                            "Name the {singular} with the {word} {attr}.",
+                        ),
+                        {
+                            "singular": entity.singular_phrase,
+                            "attr": f.phrase,
+                            "word": word,
+                        },
+                        _select(
+                            [_col("t", entity.name_attr.name)],
+                            (entity.name, "t"),
+                            order_by=[
+                                OrderItem(_col("t", f.name), descending=descending),
+                                # unique name => total order => LIMIT is
+                                # deterministic across engines
+                                OrderItem(_col("t", entity.name_attr.name)),
+                            ],
+                            limit=1,
+                        ),
+                    )
+                )
+        return self._cap(out)
+
+    def avg_attr(self) -> List[_Instance]:
+        out = []
+        for entity in self.spec.entities:
+            for f in _numeric_attrs(entity):
+                out.append(
+                    _Instance(
+                        "avg_attr",
+                        (
+                            "What is the average {attr} of {plural}?",
+                            "Average {attr} across all {plural}?",
+                        ),
+                        {"attr": f.phrase, "plural": entity.plural_phrase},
+                        _select(
+                            [_agg("avg", _col("t", f.name))],
+                            (entity.name, "t"),
+                        ),
+                    )
+                )
+        return self._cap(out)
+
+    def above_average(self) -> List[_Instance]:
+        out = []
+        for entity in self.spec.entities:
+            for f in _numeric_attrs(entity):
+                inner = _select(
+                    [_agg("avg", _col("s", f.name))], (entity.name, "s")
+                )
+                out.append(
+                    _Instance(
+                        "above_average",
+                        (
+                            "Which {plural} have a {attr} above the average?",
+                            "List the {plural} whose {attr} is above average.",
+                        ),
+                        {"plural": entity.plural_phrase, "attr": f.phrase},
+                        _select(
+                            [_col("t", entity.name_attr.name)],
+                            (entity.name, "t"),
+                            where=BinaryOp(
+                                ">", _col("t", f.name), ScalarSubquery(inner)
+                            ),
+                        ),
+                    )
+                )
+        return self._cap(out)
+
+    def children_of(self) -> List[_Instance]:
+        out = []
+        for rel in self.spec.relationships():
+            child = self.spec.entity(rel.child)
+            parent = self.spec.entity(rel.parent)
+            for value in self._sample_names(parent, 2):
+                from_table, joined = _rel_join(self.spec, rel)
+                out.append(
+                    _Instance(
+                        "children_of",
+                        (
+                            "Which {children} belong to {value}?",
+                            "List the {children} of {value}.",
+                        ),
+                        {"children": child.plural_phrase, "value": value},
+                        _select(
+                            [_col("c", child.name_attr.name)],
+                            from_table,
+                            joins=[joined],
+                            where=_name_filter("p", parent.name_attr.name, value),
+                        ),
+                    )
+                )
+        return self._cap(out)
+
+    def group_count(self) -> List[_Instance]:
+        out = []
+        for rel in self.spec.relationships():
+            child = self.spec.entity(rel.child)
+            parent = self.spec.entity(rel.parent)
+            from_table, joined = _rel_join(self.spec, rel)
+            out.append(
+                _Instance(
+                    "group_count",
+                    (
+                        "How many {children} does each {parent} have?",
+                        "Count the {children} per {parent}.",
+                    ),
+                    {
+                        "children": child.plural_phrase,
+                        "parent": parent.singular_phrase,
+                    },
+                    _select(
+                        [_col("p", parent.name_attr.name), _count_star()],
+                        from_table,
+                        joins=[joined],
+                        group_by=[_col("p", parent.name_attr.name)],
+                    ),
+                )
+            )
+        return self._cap(out)
+
+    def top_parent(self) -> List[_Instance]:
+        out = []
+        for rel in self.spec.relationships():
+            child = self.spec.entity(rel.child)
+            parent = self.spec.entity(rel.parent)
+            from_table, joined = _rel_join(self.spec, rel)
+            out.append(
+                _Instance(
+                    "top_parent",
+                    (
+                        "Which {parent} has the most {children}?",
+                        "Name the {parent} with the largest number of {children}.",
+                    ),
+                    {
+                        "parent": parent.singular_phrase,
+                        "children": child.plural_phrase,
+                    },
+                    _select(
+                        [_col("p", parent.name_attr.name)],
+                        from_table,
+                        joins=[joined],
+                        group_by=[_col("p", parent.name_attr.name)],
+                        order_by=[
+                            OrderItem(_count_star(), descending=True),
+                            OrderItem(_col("p", parent.name_attr.name)),
+                        ],
+                        limit=1,
+                    ),
+                )
+            )
+        return self._cap(out)
+
+    def having_threshold(self) -> List[_Instance]:
+        out = []
+        for rel in self.spec.relationships():
+            child = self.spec.entity(rel.child)
+            parent = self.spec.entity(rel.parent)
+            # pick the mean children-per-parent as the cut so the result
+            # is neither empty nor everything
+            threshold = max(1, round(child.rows / max(1, parent.rows)))
+            from_table, joined = _rel_join(self.spec, rel)
+            out.append(
+                _Instance(
+                    "having_threshold",
+                    (
+                        "Which {parents} have more than {n} {children}?",
+                        "List the {parents} with over {n} {children}.",
+                    ),
+                    {
+                        "parents": parent.plural_phrase,
+                        "children": child.plural_phrase,
+                        "n": threshold,
+                    },
+                    _select(
+                        [_col("p", parent.name_attr.name)],
+                        from_table,
+                        joins=[joined],
+                        group_by=[_col("p", parent.name_attr.name)],
+                        having=BinaryOp(">", _count_star(), Literal(threshold)),
+                    ),
+                )
+            )
+        return self._cap(out)
+
+    def sum_by_parent(self) -> List[_Instance]:
+        out = []
+        for rel in self.spec.relationships():
+            child = self.spec.entity(rel.child)
+            parent = self.spec.entity(rel.parent)
+            numeric = [f for f in _numeric_attrs(child) if f.sql_type == "int"]
+            if not numeric:
+                continue
+            f = self.rng.choice(numeric)
+            from_table, joined = _rel_join(self.spec, rel)
+            out.append(
+                _Instance(
+                    "sum_by_parent",
+                    (
+                        "What is the total {attr} of {children} per {parent}?",
+                        "Sum the {attr} of the {children} for each {parent}.",
+                    ),
+                    {
+                        "attr": f.phrase,
+                        "children": child.plural_phrase,
+                        "parent": parent.singular_phrase,
+                    },
+                    _select(
+                        [_col("p", parent.name_attr.name), _agg("sum", _col("c", f.name))],
+                        from_table,
+                        joins=[joined],
+                        group_by=[_col("p", parent.name_attr.name)],
+                    ),
+                )
+            )
+        return self._cap(out)
+
+
+KIND_NAMES: Tuple[str, ...] = (
+    "count_all",
+    "lookup_attr",
+    "filter_count",
+    "extreme_entity",
+    "avg_attr",
+    "above_average",
+    "children_of",
+    "group_count",
+    "top_parent",
+    "having_threshold",
+    "sum_by_parent",
+)
+
+
+def generate_examples(
+    spec: DomainSpec,
+    tables: Dict[str, List[Row]],
+    seed: int,
+    version: str = "base",
+    per_kind: int = 8,
+) -> List[DomainExample]:
+    """The domain's labeled question pool, deterministic in ``(spec, seed)``.
+
+    Each instantiated question carries all surface paraphrases; the
+    first rendered paraphrase is the canonical question text.  Questions
+    deduplicate on their canonical text (two sampled values can
+    collide), keeping qids unique.
+    """
+    rng = random.Random(f"questions|{spec.name}|{seed}")
+    builder = _KindBuilder(spec, tables, rng, per_kind)
+    examples: List[DomainExample] = []
+    seen: set = set()
+    for kind in KIND_NAMES:
+        for instance in getattr(builder, kind)():
+            rendered = tuple(
+                template.format(**instance.slots) for template in instance.templates
+            )
+            if rendered[0] in seen:
+                continue
+            seen.add(rendered[0])
+            examples.append(
+                DomainExample(
+                    qid=question_id(rendered[0]),
+                    question=rendered[0],
+                    paraphrases=rendered,
+                    kind=instance.kind,
+                    slots=tuple(sorted(instance.slots.items())),
+                    gold={version: format_query(instance.query)},
+                )
+            )
+    return examples

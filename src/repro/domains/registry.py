@@ -1,0 +1,158 @@
+"""The domain registry: one name → loader table for every scenario.
+
+Domains register a :class:`DomainRecord` whose ``loader`` materializes
+a :class:`~repro.domains.instance.DomainInstance` from a seed.  The
+built-in generated domains (hospital, retail, flights) register at
+import time; ``football`` registers through the *same* API with a lazy
+loader so the registry never imports the heavyweight FootballDB stack
+until it is actually asked for (which also keeps the package dependency
+graph acyclic: ``repro.footballdb`` builds on
+:mod:`repro.domains.instance`).
+
+Consumers::
+
+    from repro.domains import available_domains, load_domain
+
+    instance = load_domain("hospital", seed=2022)
+    instance["base"].execute(instance.gold_queries("base")[0])
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from . import builtins as _builtins
+from .generator import generate_tables, load_database
+from .instance import DomainInstance
+from .questions import generate_examples
+from .spec import DomainSpec
+
+DEFAULT_SEED = 2022
+
+Loader = Callable[[int], DomainInstance]
+
+
+@dataclass(frozen=True)
+class DomainRecord:
+    """One registered domain."""
+
+    name: str
+    loader: Loader
+    description: str = ""
+    generated: bool = True  # spec-generated vs hand-written (football)
+
+
+_REGISTRY: Dict[str, DomainRecord] = {}
+
+
+class UnknownDomainError(KeyError):
+    """Raised for lookups of a name no domain registered under."""
+
+
+def register_domain(
+    name: str,
+    loader: Loader,
+    description: str = "",
+    generated: bool = True,
+    replace: bool = False,
+) -> DomainRecord:
+    """Register (or, with ``replace=True``, overwrite) a domain loader."""
+    if name in _REGISTRY and not replace:
+        raise ValueError(f"domain {name!r} is already registered")
+    record = DomainRecord(name, loader, description, generated)
+    _REGISTRY[name] = record
+    return record
+
+
+def get_domain(name: str) -> DomainRecord:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise UnknownDomainError(
+            f"unknown domain {name!r} (registered: {known})"
+        ) from None
+
+
+def available_domains(generated_only: bool = False) -> List[str]:
+    """Registered domain names, registration order."""
+    return [
+        name
+        for name, record in _REGISTRY.items()
+        if record.generated or not generated_only
+    ]
+
+
+def load_domain(name: str, seed: int = DEFAULT_SEED) -> DomainInstance:
+    """Materialize one registered domain at ``seed``."""
+    return get_domain(name).loader(seed)
+
+
+# ---------------------------------------------------------------------------
+# Spec-driven loading (used by the built-ins and random domains alike)
+# ---------------------------------------------------------------------------
+
+
+def instance_from_spec(
+    spec: DomainSpec, seed: int = DEFAULT_SEED, version: str = "base"
+) -> DomainInstance:
+    """Load a spec end to end: schema + data + questions + variants."""
+    tables = generate_tables(spec, seed)
+    database = load_database(spec, seed, version=version, tables=tables)
+
+    def variant_loader(wanted_version: str, variant_seed: int):
+        if wanted_version != version:
+            raise ValueError(
+                f"domain {spec.name!r} only perturbs its base version "
+                f"{version!r}, not {wanted_version!r}"
+            )
+        return load_database(
+            spec, seed, version=version, variant_seed=variant_seed
+        )
+
+    return DomainInstance(
+        spec.name,
+        {version: database},
+        examples=generate_examples(spec, tables, seed, version=version),
+        variant_loader=variant_loader,
+        spec=spec,
+    )
+
+
+def register_spec(spec: DomainSpec, description: str = "") -> DomainRecord:
+    """Register a :class:`DomainSpec` under its own name."""
+    return register_domain(
+        spec.name,
+        lambda seed, _spec=spec: instance_from_spec(_spec, seed),
+        description=description or spec.title,
+    )
+
+
+def load_random_domain(seed: int, entity_count: int = 4) -> DomainInstance:
+    """One-off random scenario (not registered): spec and data share ``seed``."""
+    return instance_from_spec(_builtins.random_domain(seed, entity_count), seed)
+
+
+# ---------------------------------------------------------------------------
+# Built-in registrations
+# ---------------------------------------------------------------------------
+
+
+def _load_football(seed: int) -> DomainInstance:
+    # Lazy: repro.footballdb depends on repro.domains.instance, so the
+    # import happens at load time, never at registry import time.
+    from repro.footballdb import load_all
+
+    return load_all(seed=seed)
+
+
+for _spec in _builtins.BUILTIN_SPECS:
+    register_spec(_spec)
+
+register_domain(
+    "football",
+    _load_football,
+    description="The paper's FootballDB (three hand-written data models)",
+    generated=False,
+)

@@ -1,0 +1,234 @@
+"""Declarative domain specifications.
+
+A :class:`DomainSpec` declares one application domain as entities
+(tables-to-be) and relationships (foreign-key fields): the seeded,
+domain-agnostic input from which :mod:`repro.domains.generator` derives
+a catalog-validated schema plus referentially consistent data, and
+:mod:`repro.domains.questions` derives templated gold SQL with NL
+paraphrases.  The paper measures Text-to-SQL robustness on one football
+database; specs make *domains themselves* a grid axis.
+
+Conventions (validated in :meth:`DomainSpec.validate`):
+
+* every entity has exactly one ``pk`` field (an ``int`` surrogate key,
+  first by convention) and exactly one ``name`` field (the ``text``
+  column NL questions anchor on);
+* relationships are ``fk`` fields whose ``ref`` names another entity
+  declared *earlier* — the entity list is therefore already in
+  FK-topological order and cycle-free by construction;
+* all identifiers are snake_case and valid for the engine catalog
+  (the catalog re-validates on schema construction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+FIELD_ROLES = ("pk", "name", "attr", "fk")
+FIELD_TYPES = ("int", "real", "text", "bool")
+
+#: value-generator kinds understood by :mod:`repro.domains.generator`
+GENERATOR_KINDS = ("int", "real", "choice", "bool", "year", "serial")
+
+
+class SpecError(ValueError):
+    """Raised when a domain specification is internally inconsistent."""
+
+
+@dataclass(frozen=True)
+class FieldSpec:
+    """One column of one entity.
+
+    ``generator`` describes how row values are drawn (ignored for
+    ``pk``/``name``/``fk`` roles, whose values are structural):
+
+    ==================  ====================================================
+    ``("int", lo, hi)``    uniform integer in ``[lo, hi]``
+    ``("real", lo, hi)``   uniform real in ``[lo, hi]``, rounded to 2 places
+    ``("choice", (...))``  uniform pick from a category tuple
+    ``("bool", p)``        ``True`` with probability ``p``
+    ``("year", lo, hi)``   alias of ``int`` (reads better in specs)
+    ``("serial",)``        1-based running integer (quasi-identifier)
+    ==================  ====================================================
+    """
+
+    name: str
+    sql_type: str = "int"
+    role: str = "attr"
+    ref: Optional[str] = None  # fk only: the referenced entity
+    generator: Tuple = ()
+    nullable: float = 0.0  # fraction of NULL values (attr fields only)
+    display: Optional[str] = None  # NL phrase; defaults to name with spaces
+
+    @property
+    def phrase(self) -> str:
+        return self.display or self.name.replace("_", " ")
+
+
+def pk(name: str) -> FieldSpec:
+    return FieldSpec(name, "int", role="pk")
+
+
+def name_field(name: str = "name") -> FieldSpec:
+    return FieldSpec(name, "text", role="name")
+
+
+def fk(name: str, ref: str) -> FieldSpec:
+    return FieldSpec(name, "int", role="fk", ref=ref)
+
+
+def attr(
+    name: str,
+    sql_type: str,
+    generator: Tuple,
+    nullable: float = 0.0,
+    display: Optional[str] = None,
+) -> FieldSpec:
+    return FieldSpec(name, sql_type, "attr", None, generator, nullable, display)
+
+
+@dataclass(frozen=True)
+class EntitySpec:
+    """One entity (one base table) with a target row count."""
+
+    name: str
+    fields: Tuple[FieldSpec, ...]
+    rows: int
+    plural: Optional[str] = None
+    display: Optional[str] = None
+    name_prefix: str = ""  # prepended to generated display names
+
+    @property
+    def singular_phrase(self) -> str:
+        return self.display or self.name.replace("_", " ")
+
+    @property
+    def plural_phrase(self) -> str:
+        return self.plural or self.singular_phrase + "s"
+
+    @property
+    def pk_field(self) -> FieldSpec:
+        return next(f for f in self.fields if f.role == "pk")
+
+    @property
+    def name_attr(self) -> FieldSpec:
+        return next(f for f in self.fields if f.role == "name")
+
+    @property
+    def fk_fields(self) -> Tuple[FieldSpec, ...]:
+        return tuple(f for f in self.fields if f.role == "fk")
+
+    @property
+    def attr_fields(self) -> Tuple[FieldSpec, ...]:
+        return tuple(f for f in self.fields if f.role == "attr")
+
+
+@dataclass(frozen=True)
+class Relationship:
+    """One derived FK edge ``child.field -> parent.pk``."""
+
+    child: str
+    field: str
+    parent: str
+
+    def describe(self) -> str:
+        return f"{self.child}.{self.field} -> {self.parent}"
+
+
+@dataclass(frozen=True)
+class DomainSpec:
+    """A whole domain: named entities plus the relationships they declare."""
+
+    name: str
+    title: str
+    entities: Tuple[EntitySpec, ...]
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    # -- lookups ------------------------------------------------------------
+    def entity(self, name: str) -> EntitySpec:
+        for entity in self.entities:
+            if entity.name == name:
+                return entity
+        raise SpecError(f"domain {self.name!r} has no entity {name!r}")
+
+    @property
+    def entity_names(self) -> List[str]:
+        return [entity.name for entity in self.entities]
+
+    def relationships(self) -> List[Relationship]:
+        return [
+            Relationship(entity.name, f.name, f.ref)
+            for entity in self.entities
+            for f in entity.fk_fields
+        ]
+
+    # -- validation ----------------------------------------------------------
+    def validate(self) -> None:
+        if not self.name.isidentifier():
+            raise SpecError(f"invalid domain name {self.name!r}")
+        if not self.entities:
+            raise SpecError(f"domain {self.name!r} declares no entities")
+        seen: Dict[str, int] = {}
+        for position, entity in enumerate(self.entities):
+            if not entity.name.isidentifier():
+                raise SpecError(f"invalid entity name {entity.name!r}")
+            if entity.name in seen:
+                raise SpecError(f"duplicate entity {entity.name!r}")
+            seen[entity.name] = position
+            if entity.rows < 1:
+                raise SpecError(f"entity {entity.name!r} must have rows >= 1")
+            self._validate_entity(entity, seen, position)
+
+    def _validate_entity(
+        self, entity: EntitySpec, seen: Dict[str, int], position: int
+    ) -> None:
+        roles = [f.role for f in entity.fields]
+        if roles.count("pk") != 1:
+            raise SpecError(f"entity {entity.name!r} needs exactly one pk field")
+        if roles.count("name") != 1:
+            raise SpecError(f"entity {entity.name!r} needs exactly one name field")
+        field_names = set()
+        for f in entity.fields:
+            if not f.name.isidentifier():
+                raise SpecError(f"invalid field name {entity.name}.{f.name}")
+            if f.name.lower() in field_names:
+                raise SpecError(f"duplicate field {entity.name}.{f.name}")
+            field_names.add(f.name.lower())
+            if f.role not in FIELD_ROLES:
+                raise SpecError(f"unknown role {f.role!r} on {entity.name}.{f.name}")
+            if f.sql_type not in FIELD_TYPES:
+                raise SpecError(
+                    f"unknown type {f.sql_type!r} on {entity.name}.{f.name}"
+                )
+            if f.role == "fk":
+                if f.ref is None:
+                    raise SpecError(f"fk {entity.name}.{f.name} missing ref")
+                if f.ref not in seen or seen[f.ref] >= position:
+                    raise SpecError(
+                        f"fk {entity.name}.{f.name} references {f.ref!r}, which "
+                        "is not declared earlier (entities must be listed "
+                        "parents-first)"
+                    )
+            if f.role == "attr":
+                if not f.generator or f.generator[0] not in GENERATOR_KINDS:
+                    raise SpecError(
+                        f"attr {entity.name}.{f.name} needs a generator from "
+                        f"{GENERATOR_KINDS}"
+                    )
+                if not 0.0 <= f.nullable < 1.0:
+                    raise SpecError(
+                        f"attr {entity.name}.{f.name} nullable must be in [0, 1)"
+                    )
+
+    def describe(self) -> str:
+        lines = [f"domain {self.name} — {self.title}"]
+        for entity in self.entities:
+            columns = ", ".join(f.name for f in entity.fields)
+            lines.append(f"  {entity.name}({columns}) x{entity.rows}")
+        for relationship in self.relationships():
+            lines.append(f"  FK {relationship.describe()}")
+        return "\n".join(lines)

@@ -1,0 +1,179 @@
+"""Cross-domain robustness sweeps: (domain × morph chain × system × engine mode).
+
+The paper's robustness claim rests on one domain; this module runs the
+same experiment over every registered domain.  For each ``(domain,
+engine_mode)`` cell a fresh instance is loaded through the registry,
+its benchmark built via :meth:`BenchmarkDataset.from_domain`, seeded
+morph chains installed as extra data-model versions, and a full
+(system × version) grid evaluated through the parallel harness.  The
+results aggregate into one cross-domain robustness curve whose x-axis
+is morph distance and whose version labels are ``domain/version``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Type
+
+from repro.benchmark import BenchmarkDataset
+from repro.domains import DomainInstance, SchemaMorpher, load_domain
+from repro.systems import TextToSQLSystem
+
+from .harness import EvaluationResult, Harness
+from .parallel import GridConfig, GridSummary
+
+
+@dataclass(frozen=True)
+class CrossDomainCell:
+    """One evaluated configuration of the cross-domain grid."""
+
+    domain: str
+    version: str
+    distance: int  # morph distance (0 for hand-written/base models)
+    engine_mode: str
+    system: str
+    result: EvaluationResult
+
+    @property
+    def label(self) -> str:
+        return f"{self.domain}/{self.version}"
+
+
+@dataclass
+class CrossDomainReport:
+    """All cells of one sweep plus wall-clock summaries per domain."""
+
+    seed: int
+    cells: List[CrossDomainCell] = field(default_factory=list)
+    summaries: Dict[Tuple[str, str], GridSummary] = field(default_factory=dict)
+    morph_chains: Dict[str, List[str]] = field(default_factory=dict)
+
+    def points(self) -> Dict[str, Dict[str, float]]:
+        """system -> "domain/version" -> mean accuracy (folds averaged)."""
+        sums: Dict[str, Dict[str, List[float]]] = {}
+        for cell in self.cells:
+            sums.setdefault(cell.system, {}).setdefault(cell.label, []).append(
+                cell.result.accuracy
+            )
+        return {
+            system: {
+                label: sum(values) / len(values)
+                for label, values in per_label.items()
+            }
+            for system, per_label in sums.items()
+        }
+
+    def distances(self) -> Dict[str, int]:
+        """"domain/version" -> morph distance (for the robustness curve)."""
+        return {cell.label: cell.distance for cell in self.cells}
+
+    def curve(self, title: str = "Cross-domain EX accuracy vs. morph distance") -> str:
+        """ASCII robustness curve over every ``domain/version`` point."""
+        from .reports import robustness_curve
+
+        return robustness_curve(self.points(), self.distances(), title=title)
+
+    def domain_spreads(self) -> Dict[Tuple[str, str], float]:
+        """(system, domain) -> accuracy spread across that domain's versions."""
+        per: Dict[Tuple[str, str], List[float]] = {}
+        for cell in self.cells:
+            per.setdefault((cell.system, cell.domain), []).append(
+                cell.result.accuracy
+            )
+        return {
+            key: max(values) - min(values) for key, values in per.items()
+        }
+
+
+def sweep_domain(
+    domain: DomainInstance,
+    systems: Sequence[Type[TextToSQLSystem]],
+    seed: int = 2022,
+    morph_count: int = 2,
+    morph_steps: int = 3,
+    engine_mode: str = "auto",
+    shots: int = 8,
+    train_size: int = 40,
+    max_workers: Optional[int] = None,
+    dataset: Optional[BenchmarkDataset] = None,
+) -> Tuple[List[CrossDomainCell], GridSummary, List[str]]:
+    """Evaluate one loaded domain: base versions + seeded morph chains.
+
+    Every database of the instance is pinned to ``engine_mode`` for the
+    sweep.  LLM-style systems (``spec.scale == "large"``) are budgeted
+    with ``shots``, fine-tuned systems with ``train_size`` (capped to
+    the domain's train split).
+    """
+    dataset = dataset or BenchmarkDataset.from_domain(domain, seed=seed)
+    harness = Harness(domain, dataset)
+    distances = {version: 0 for version in domain.versions}
+    morpher = SchemaMorpher(seed=seed)
+    morphs = morpher.derive(
+        domain[domain.base_version], count=morph_count, steps=morph_steps
+    )
+    chains = []
+    for morph in morphs:
+        harness.install_morph(morph)
+        distances[morph.version] = morph.distance
+        chains.append(morph.describe())
+    # after morph installation, so the derived databases are pinned too
+    domain.set_engine_mode(engine_mode)
+    budget = min(train_size, len(dataset.train_examples))
+    configs: List[GridConfig] = []
+    for version in distances:
+        for system_cls in systems:
+            if system_cls.spec.scale == "large":
+                configs.append(GridConfig.make(system_cls, version, shots=shots))
+            else:
+                configs.append(
+                    GridConfig.make(system_cls, version, train_size=budget)
+                )
+    results, summary = harness.evaluate_grid(configs, max_workers=max_workers)
+    cells = [
+        CrossDomainCell(
+            domain=domain.name,
+            version=config.version,
+            distance=distances[config.version],
+            engine_mode=engine_mode,
+            system=result.system,
+            result=result,
+        )
+        for config, result in zip(configs, results)
+    ]
+    return cells, summary, chains
+
+
+def cross_domain_sweep(
+    domains: Sequence[str],
+    systems: Sequence[Type[TextToSQLSystem]],
+    seed: int = 2022,
+    morph_count: int = 2,
+    morph_steps: int = 3,
+    engine_modes: Sequence[str] = ("auto",),
+    max_workers: Optional[int] = None,
+    **budgets,
+) -> CrossDomainReport:
+    """The full grid: every domain × engine mode × system × data model.
+
+    Each ``(domain, engine_mode)`` cell loads a fresh instance so the
+    execution backends never share caches — the engine-mode axis is a
+    genuine re-execution, not a memoized replay.
+    """
+    report = CrossDomainReport(seed=seed)
+    for name in domains:
+        for engine_mode in engine_modes:
+            instance = load_domain(name, seed=seed)
+            cells, summary, chains = sweep_domain(
+                instance,
+                systems,
+                seed=seed,
+                morph_count=morph_count,
+                morph_steps=morph_steps,
+                engine_mode=engine_mode,
+                max_workers=max_workers,
+                **budgets,
+            )
+            report.cells.extend(cells)
+            report.summaries[(name, engine_mode)] = summary
+            report.morph_chains.setdefault(name, chains)
+    return report

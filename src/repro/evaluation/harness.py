@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Type
 
 from repro.benchmark import BenchmarkDataset, BenchmarkExample
-from repro.footballdb import FootballDB, MorphedModel
+from repro.domains import DomainInstance, MorphedModel
 from repro.systems import GoldOracle, Prediction, TextToSQLSystem
 
 from .execution import ExecutionEvaluator
@@ -99,25 +99,34 @@ class EvaluationResult:
 
 
 class Harness:
-    """Runs evaluation configurations over one FootballDB + benchmark.
+    """Runs evaluation configurations over one domain + benchmark.
 
-    ``result_caches`` optionally maps version -> shared EX-result dict;
-    the parallel harness passes one mapping to every worker clone so
-    the expensive gold-query executions are shared fleet-wide.
+    ``domain`` is any :class:`~repro.domains.instance.DomainInstance` —
+    the paper's :class:`~repro.footballdb.FootballDB` or a generated
+    domain from the registry; the attribute keeps its historical
+    ``football`` name as an alias.  ``result_caches`` optionally maps
+    version -> shared EX-result dict; the parallel harness passes one
+    mapping to every worker clone so the expensive gold-query
+    executions are shared fleet-wide.
     """
 
     def __init__(
         self,
-        football: FootballDB,
+        domain: DomainInstance,
         dataset: BenchmarkDataset,
         result_caches: Optional[Dict[str, Dict[str, object]]] = None,
     ) -> None:
-        self.football = football
+        self.domain = domain
         self.dataset = dataset
         self._evaluators: Dict[str, ExecutionEvaluator] = {}
         self._oracles: Dict[str, GoldOracle] = {}
         self._result_caches = result_caches
         self._grid_runner: Optional["ParallelHarness"] = None
+
+    @property
+    def football(self) -> DomainInstance:
+        """Backward-compatible alias for :attr:`domain`."""
+        return self.domain
 
     def evaluator(self, version: str) -> ExecutionEvaluator:
         if version not in self._evaluators:
@@ -127,7 +136,7 @@ class Harness:
                 else None
             )
             self._evaluators[version] = ExecutionEvaluator(
-                self.football[version], cache=shared
+                self.domain[version], cache=shared
             )
         return self._evaluators[version]
 
@@ -140,14 +149,14 @@ class Harness:
     def install_morph(self, morph: "MorphedModel") -> str:
         """Register a morphed data model as an evaluation axis.
 
-        Adds the morph's database to the shared :class:`FootballDB` and
+        Adds the morph's database to the shared domain instance and
         labels the benchmark with rewritten gold SQL, after which the
         morph's version string is a valid ``GridConfig.version`` like
         ``"v1"``/``"v2"``/``"v3"``.  Install morphs *before* launching a
-        grid — the worker clones share this harness's football/dataset
+        grid — the worker clones share this harness's domain/dataset
         objects by reference.
         """
-        self.football.register(morph.version, morph.database)
+        self.domain.register(morph.version, morph.database)
         self.dataset.add_version(morph.version, morph.base_version, morph.rewrite_sql)
         return morph.version
 
@@ -164,7 +173,7 @@ class Harness:
         **system_kwargs,
     ) -> TextToSQLSystem:
         return system_cls(
-            self.football[version], self.oracle(version), fold=fold, **system_kwargs
+            self.domain[version], self.oracle(version), fold=fold, **system_kwargs
         )
 
     def evaluate(
@@ -243,7 +252,7 @@ class Harness:
         from .parallel import ParallelHarness
 
         if self._grid_runner is None:
-            self._grid_runner = ParallelHarness(self.football, self.dataset)
+            self._grid_runner = ParallelHarness(self.domain, self.dataset)
             self._grid_runner.seed_pool(self)
         return self._grid_runner.run(configs, max_workers=max_workers)
 

@@ -48,7 +48,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Type
 
 from repro.benchmark import BenchmarkDataset
-from repro.footballdb import FootballDB
+from repro.domains import DomainInstance
 from repro.systems import TextToSQLSystem
 
 DEFAULT_MAX_WORKERS = 8
@@ -147,7 +147,11 @@ class GridSummary:
         return text
 
 
-def engine_report(football: FootballDB) -> Dict[str, Any]:
+def engine_report(
+    domain: Optional[DomainInstance] = None,
+    *,
+    football: Optional[DomainInstance] = None,
+) -> Dict[str, Any]:
     """Aggregate engine counters over every registered database.
 
     Plan-cache hit/miss/eviction totals, optimizer plan counts and
@@ -159,8 +163,13 @@ def engine_report(football: FootballDB) -> Dict[str, Any]:
     Counters are cumulative since database creation (``GridSummary``
     reports per-run deltas on top); a cache shared across schema
     variants via ``PlanCache.for_scope`` is counted exactly once,
-    keyed on its ``storage_token``.
+    keyed on its ``storage_token``.  ``football=`` is the historical
+    keyword alias of ``domain``.
     """
+    if domain is None:
+        domain = football
+    if domain is None:
+        raise TypeError("engine_report() missing required argument: 'domain'")
     plan_cache = {"size": 0, "hits": 0, "misses": 0, "evictions": 0}
     optimizer = {
         "optimizations": 0,
@@ -175,8 +184,8 @@ def engine_report(football: FootballDB) -> Dict[str, Any]:
         "fallback_nodes": 0,
     }
     seen_caches = set()
-    for version in football.versions:
-        database = football[version]
+    for version in domain.versions:
+        database = domain[version]
         cache = database.plan_cache
         if cache is not None and cache.storage_token not in seen_caches:
             seen_caches.add(cache.storage_token)
@@ -239,11 +248,11 @@ class ParallelHarness:
 
     def __init__(
         self,
-        football: FootballDB,
+        domain: DomainInstance,
         dataset: BenchmarkDataset,
         max_workers: Optional[int] = None,
     ) -> None:
-        self.football = football
+        self.domain = domain
         self.dataset = dataset
         self.max_workers = max_workers
         self._pool: List["Harness"] = []
@@ -253,6 +262,11 @@ class ParallelHarness:
         # executes once fleet-wide (as in the serial seed code), not
         # once per worker.
         self._result_caches: Dict[str, Dict[str, object]] = {}
+
+    @property
+    def football(self) -> DomainInstance:
+        """Backward-compatible alias for :attr:`domain`."""
+        return self.domain
 
     def seed_pool(self, harness: "Harness") -> None:
         """Lend an existing harness (and its warm caches) to the pool."""
@@ -269,7 +283,7 @@ class ParallelHarness:
         with self._pool_lock:
             if self._pool:
                 return self._pool.pop()
-        return Harness(self.football, self.dataset, result_caches=self._result_caches)
+        return Harness(self.domain, self.dataset, result_caches=self._result_caches)
 
     def _checkin(self, harness: "Harness") -> None:
         with self._pool_lock:
@@ -299,7 +313,7 @@ class ParallelHarness:
             finally:
                 self._checkin(harness)
 
-        engine_before = engine_report(self.football)
+        engine_before = engine_report(self.domain)
         start = time.perf_counter()
         if workers <= 1 or len(configs) <= 1:
             results = [evaluate(config) for config in configs]
@@ -312,7 +326,7 @@ class ParallelHarness:
             questions=sum(len(result.outcomes) for result in results),
             wall_seconds=wall,
             workers=workers,
-            engine=engine_report_delta(engine_before, engine_report(self.football)),
+            engine=engine_report_delta(engine_before, engine_report(self.domain)),
         )
         return results, summary
 

@@ -8,9 +8,9 @@ the same data* (paper Table 8, "Multi-Schema ✓").
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, Optional
 
+from repro.domains.instance import DomainInstance
 from repro.sqlengine import Database
 
 from . import schema_v1, schema_v2, schema_v3
@@ -21,36 +21,30 @@ VERSIONS = ("v1", "v2", "v3")
 _MODULES = {"v1": schema_v1, "v2": schema_v2, "v3": schema_v3}
 
 
-@dataclass
-class FootballDB:
+class FootballDB(DomainInstance):
     """The universe plus its materializations.
 
-    Starts with the paper's three hand-written data models; morphed
-    versions (see :mod:`repro.footballdb.morph`) are added via
-    :meth:`register` and are indistinguishable from the built-ins to
-    every downstream consumer (harness, systems, grid sweeps).
+    A :class:`~repro.domains.instance.DomainInstance` (registered in the
+    domain registry as ``"football"``): starts with the paper's three
+    hand-written data models; morphed versions (see
+    :mod:`repro.domains.morph`) are added via :meth:`register` and are
+    indistinguishable from the built-ins to every downstream consumer
+    (harness, systems, grid sweeps).  Test-suite variants re-randomize
+    match events through :mod:`repro.footballdb.perturb`.
     """
 
-    universe: Universe
-    databases: Dict[str, Database]
+    def __init__(self, universe: Universe, databases: Dict[str, Database]) -> None:
+        super().__init__(
+            "football",
+            databases,
+            universe=universe,
+            variant_loader=self._load_variant,
+        )
 
-    def database(self, version: str) -> Database:
-        return self.databases[version]
+    def _load_variant(self, version: str, variant_seed: int) -> Database:
+        from .perturb import perturb_events
 
-    def __getitem__(self, version: str) -> Database:
-        return self.databases[version]
-
-    @property
-    def versions(self) -> List[str]:
-        """Every registered data-model version, built-ins first."""
-        return list(self.databases)
-
-    def register(self, version: str, database: Database) -> str:
-        """Add a derived data-model version (e.g. a schema morph)."""
-        if version in self.databases:
-            raise ValueError(f"data model version {version!r} already registered")
-        self.databases[version] = database
-        return version
+        return load_version(perturb_events(self.universe, variant_seed), version)
 
 
 def build_universe(seed: int = 2022) -> Universe:
@@ -66,7 +60,7 @@ def load_version(universe: Universe, version: str) -> Database:
     return module.load(universe)
 
 
-def load_all(seed: int = 2022, universe: Universe | None = None) -> FootballDB:
+def load_all(seed: int = 2022, universe: Optional[Universe] = None) -> FootballDB:
     """Build the universe once and load every data model from it."""
     if universe is None:
         universe = build_universe(seed)

@@ -118,45 +118,29 @@ def _capitalize(text: str) -> str:
 
 # -- identifier styles ---------------------------------------------------------
 #
-# The schema morpher (:mod:`repro.footballdb.morph`) re-renders table and
-# column identifiers in the naming styles observed across real deployments.
-# The base schemas are snake_case; these functions derive the other styles
-# deterministically so a morphed schema is a pure function of its seed.
+# The identifier-style helpers are domain-generic (the schema morpher in
+# :mod:`repro.domains.morph` uses them for every domain, not just
+# football), so their implementation lives in :mod:`repro.domains.naming`;
+# they are re-exported here for backward compatibility.
 
-_VOWELS = frozenset("aeiou")
+from repro.domains.naming import (  # noqa: E402  (re-export)
+    IDENTIFIER_STYLES,
+    abbreviate_identifier,
+    camel_identifier,
+    pascal_identifier,
+)
 
-
-def camel_identifier(name: str) -> str:
-    """``national_team`` -> ``nationalTeam`` (lowerCamelCase)."""
-    head, *tail = name.split("_")
-    return head + "".join(_capitalize(part) for part in tail)
-
-
-def pascal_identifier(name: str) -> str:
-    """``national_team`` -> ``NationalTeam`` (UpperCamelCase)."""
-    return "".join(_capitalize(part) for part in name.split("_"))
-
-
-def abbreviate_identifier(name: str) -> str:
-    """``national_team`` -> ``ntnl_team`` (DBA-style vowel-dropping).
-
-    Words of up to four characters are kept; longer words keep their
-    first letter plus up to three following consonants — mimicking the
-    terse legacy identifiers (``cust_addr``, ``qty_ordd``) that make
-    schema linking hard for Text-to-SQL systems.
-    """
-    parts = []
-    for part in name.split("_"):
-        if len(part) <= 4:
-            parts.append(part)
-        else:
-            consonants = "".join(ch for ch in part[1:] if ch not in _VOWELS)
-            parts.append(part[0] + consonants[:3])
-    return "_".join(parts)
-
-
-IDENTIFIER_STYLES = {
-    "camel": camel_identifier,
-    "pascal": pascal_identifier,
-    "abbrev": abbreviate_identifier,
-}
+__all__ = [
+    "IDENTIFIER_STYLES",
+    "abbreviate_identifier",
+    "camel_identifier",
+    "city_name",
+    "club_name",
+    "coach_name",
+    "league_name",
+    "nickname",
+    "pascal_identifier",
+    "player_name",
+    "stadium_name",
+    "unique_names",
+]

@@ -1,0 +1,171 @@
+"""Event-perturbed universe variants (distilled test-suite inputs).
+
+A perturbed universe keeps the same world — teams, players, clubs,
+leagues, coaches, stadiums, world cups, squad identities and the
+complete fixture list — but re-randomizes match scores, goal/card
+events, attendance and the squad statistics derived from them.  The
+test-suite evaluator (:mod:`repro.evaluation.test_suite`) loads several
+such variants behind one schema: a predicted query only counts as
+correct if it matches the gold result on *every* variant, which exposes
+coincidental EX matches on the primary database.
+
+This is FootballDB's implementation of the generic
+``DomainInstance.variant_database`` contract; generated domains get the
+equivalent perturbation from
+:func:`repro.domains.generator.generate_tables`'s ``variant_seed``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from .universe import (
+    Match,
+    MatchEvent,
+    SquadMember,
+    Universe,
+    _card_count,
+    _group_goals,
+    _knockout_goals,
+)
+
+
+def perturb_events(universe: Universe, seed: int) -> Universe:
+    """A universe variant with the same world but different match events.
+
+    Shared (by reference — all frozen dataclasses): teams, players,
+    clubs, leagues, coaches, stadiums, world cups, squads' identities
+    and the complete fixture list (pairings, stages, stadiums).
+    Re-randomized: scores (group games freely; knockout games keep the
+    bracket winner winning), goal/card events, attendance, and the
+    squad statistics derived from them.
+    """
+    rng = random.Random(seed)
+    variant = Universe(seed=seed)
+    variant.teams = universe.teams
+    variant.leagues = universe.leagues
+    variant.clubs = universe.clubs
+    variant.coaches = universe.coaches
+    variant.players = universe.players
+    variant.stadiums = universe.stadiums
+    variant.world_cups = universe.world_cups
+    variant.player_club_spells = universe.player_club_spells
+    variant.coach_club_spells = universe.coach_club_spells
+    variant.club_seasons = universe.club_seasons
+    variant.matches = [_rescore(match, rng) for match in universe.matches]
+    variant.squads = list(universe.squads)
+    variant.reindex()
+    _regenerate_events(variant, rng)
+    _rederive_squad_statistics(variant, rng)
+    variant.reindex()
+    return variant
+
+
+def _rescore(match: Match, rng: random.Random) -> Match:
+    if match.stage == "group":
+        home_goals = _group_goals(rng)
+        away_goals = _group_goals(rng)
+    else:
+        # Knockout: preserve the bracket — the home side (the seeded
+        # winner in the generator's scheduling) must still win.
+        home_goals, away_goals = _knockout_goals(rng)
+    return Match(
+        match_id=match.match_id,
+        year=match.year,
+        stage=match.stage,
+        group_name=match.group_name,
+        stadium_id=match.stadium_id,
+        home_team_id=match.home_team_id,
+        away_team_id=match.away_team_id,
+        home_goals=home_goals,
+        away_goals=away_goals,
+        attendance=rng.randrange(18_000, 99_000, 250),
+    )
+
+
+def _regenerate_events(variant: Universe, rng: random.Random) -> None:
+    squads_by_key: Dict[tuple, List[SquadMember]] = {}
+    for member in variant.squads:
+        squads_by_key.setdefault((member.year, member.team_id), []).append(member)
+
+    def scorers(year: int, team_id: int) -> List[int]:
+        members = squads_by_key[(year, team_id)]
+        weighted: List[int] = []
+        for member in members:
+            player = variant.player(member.player_id)
+            weight = {"forward": 6, "midfielder": 3, "defender": 1, "goalkeeper": 0}[
+                player.position
+            ]
+            weighted.extend([member.player_id] * weight)
+        return weighted or [members[0].player_id]
+
+    def any_player(year: int, team_id: int) -> int:
+        return rng.choice(squads_by_key[(year, team_id)]).player_id
+
+    events: List[MatchEvent] = []
+    event_id = 0
+    for match in variant.matches:
+        minutes_used = set()
+
+        def fresh_minute() -> int:
+            while True:
+                minute = rng.randint(1, 90)
+                if minute not in minutes_used:
+                    minutes_used.add(minute)
+                    return minute
+
+        for team_id, opponent_id, goals in (
+            (match.home_team_id, match.away_team_id, match.home_goals),
+            (match.away_team_id, match.home_team_id, match.away_goals),
+        ):
+            pool = scorers(match.year, team_id)
+            for _ in range(goals):
+                event_id += 1
+                roll = rng.random()
+                if roll < 0.04:
+                    event_type, player = "own_goal", any_player(match.year, opponent_id)
+                elif roll < 0.12:
+                    event_type, player = "penalty", rng.choice(pool)
+                else:
+                    event_type, player = "goal", rng.choice(pool)
+                events.append(
+                    MatchEvent(event_id, match.match_id, player, team_id,
+                               fresh_minute(), event_type)
+                )
+        for _ in range(_card_count(rng)):
+            event_id += 1
+            team_id = rng.choice((match.home_team_id, match.away_team_id))
+            events.append(
+                MatchEvent(
+                    event_id, match.match_id, any_player(match.year, team_id),
+                    team_id, fresh_minute(),
+                    "red_card" if rng.random() < 0.07 else "yellow_card",
+                )
+            )
+    variant.events = events
+
+
+def _rederive_squad_statistics(variant: Universe, rng: random.Random) -> None:
+    goals: Dict[tuple, int] = {}
+    for event in variant.events:
+        if event.event_type in ("goal", "penalty"):
+            match = variant.matches[event.match_id - 1]
+            key = (match.year, event.player_id)
+            goals[key] = goals.get(key, 0) + 1
+    games: Dict[tuple, int] = {}
+    for match in variant.matches:
+        for team_id in (match.home_team_id, match.away_team_id):
+            games[(match.year, team_id)] = games.get((match.year, team_id), 0) + 1
+    variant.squads = [
+        SquadMember(
+            year=member.year,
+            team_id=member.team_id,
+            player_id=member.player_id,
+            coach_id=member.coach_id,
+            shirt_number=member.shirt_number,
+            games_played=max(0, games.get((member.year, member.team_id), 0) - rng.randint(0, 3)),
+            goals=goals.get((member.year, member.player_id), 0),
+        )
+        for member in variant.squads
+    ]

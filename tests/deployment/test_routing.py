@@ -1,0 +1,110 @@
+"""Multi-domain service routing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchmark import BenchmarkDataset
+from repro.deployment import (
+    DomainRouter,
+    TextToSQLService,
+    UnroutableQuestionError,
+    build_lexicon,
+)
+from repro.domains import load_domain
+from repro.evaluation import Harness
+from repro.systems import GPT35
+
+
+def _service(name, seed=2022, cache=0):
+    instance = load_domain(name, seed=seed)
+    dataset = BenchmarkDataset.from_domain(instance, seed=seed)
+    harness = Harness(instance, dataset)
+    system = harness.build_system(GPT35, "base")
+    system.fine_tune(dataset.train_pairs("base")[:8])
+    return TextToSQLService(
+        system, instance["base"], response_cache_size=cache
+    )
+
+
+@pytest.fixture(scope="module")
+def router():
+    router = DomainRouter()
+    for name in ("hospital", "retail"):
+        router.add_domain(name, _service(name))
+    return router
+
+
+class TestLexicon:
+    def test_lexicon_contains_identifiers_and_values(self, router):
+        lexicon = build_lexicon(router.service("hospital").database)
+        assert {"doctor", "patient", "department", "salary"} <= lexicon
+        assert any(token.startswith("ward") for token in lexicon)
+
+
+class TestRouting:
+    def test_auto_routes_by_vocabulary(self, router):
+        name, score = router.route("How many doctors are there?")
+        assert name == "hospital" and score > 0
+        name, score = router.route("What is the average price of products?")
+        assert name == "retail" and score > 0
+
+    def test_explicit_domain_wins(self, router):
+        routed = router.ask("How many doctors are there?", domain="retail")
+        assert routed.domain == "retail"
+        assert routed.explicit and routed.score == 1.0
+
+    def test_fallback_to_default_domain(self, router):
+        routed = router.ask("zzz qqq xyzzy?")
+        assert routed.domain == router.default_domain
+        assert routed.score == 0.0 and not routed.explicit
+
+    def test_unregistered_default_falls_back_to_first_registered(self, router):
+        unrouted = DomainRouter(default_domain="football")
+        unrouted.add_domain("hospital", router.service("hospital"))
+        name, score = unrouted.route("zzz qqq xyzzy?")
+        assert name == "hospital" and score == 0.0
+
+    def test_unknown_domain_raises(self, router):
+        with pytest.raises(UnroutableQuestionError, match="unknown domain"):
+            router.ask("anything", domain="bakery")
+
+    def test_empty_router_raises(self):
+        with pytest.raises(UnroutableQuestionError, match="no domains"):
+            DomainRouter().route("hello")
+
+    def test_answers_flow_through(self, router):
+        question = "How many doctors are there?"
+        routed = router.ask(question)
+        assert routed.response.question == question
+        if routed.response.answered:
+            assert routed.response.rows
+
+    def test_ask_many_routes_each(self, router):
+        responses = router.ask_many(
+            ["How many doctors are there?", "Count all products."]
+        )
+        assert [r.domain for r in responses] == ["hospital", "retail"]
+
+
+class TestMetrics:
+    def test_metrics_aggregate_per_domain(self):
+        router = DomainRouter()
+        for name in ("hospital", "retail"):
+            router.add_domain(name, _service(name, cache=16))
+        router.ask("How many doctors are there?")
+        router.ask("Count all products.", domain="retail")
+        metrics = router.metrics()
+        assert metrics["questions_routed"] == 2
+        assert metrics["explicit_routes"] == 1
+        assert set(metrics["domains"]) == {"hospital", "retail"}
+        served = sum(
+            domain_metrics["questions_served"]
+            for domain_metrics in metrics["domains"].values()
+        )
+        assert served == 2
+        assert metrics["questions_per_domain"]["retail"] == 1
+
+    def test_duplicate_domain_rejected(self, router):
+        with pytest.raises(ValueError, match="already routed"):
+            router.add_domain("hospital", router.service("hospital"))

@@ -1,0 +1,22 @@
+"""Domain test fixtures: built-in instances loaded once per session."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.domains import BUILTIN_SPECS, load_domain
+
+BUILTIN_NAMES = tuple(spec.name for spec in BUILTIN_SPECS)
+
+SEED = 2022
+
+
+@pytest.fixture(scope="session")
+def builtin_instances():
+    """name -> loaded DomainInstance for every generated built-in."""
+    return {name: load_domain(name, seed=SEED) for name in BUILTIN_NAMES}
+
+
+@pytest.fixture(scope="session")
+def hospital(builtin_instances):
+    return builtin_instances["hospital"]

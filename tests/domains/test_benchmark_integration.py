@@ -1,0 +1,132 @@
+"""Domains wired end to end: benchmark, harness grids, test suites."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchmark import BenchmarkDataset
+from repro.domains import SchemaMorpher, load_domain
+from repro.evaluation import (
+    GridConfig,
+    Harness,
+    TestSuiteEvaluator,
+    robustness_points,
+    sweep_domain,
+)
+from repro.systems import GPT35, T5Picard
+
+
+@pytest.fixture(scope="module")
+def retail():
+    return load_domain("retail", seed=2022)
+
+
+@pytest.fixture(scope="module")
+def retail_dataset(retail):
+    return BenchmarkDataset.from_domain(retail, seed=2022)
+
+
+class TestFromDomain:
+    def test_split_and_versions(self, retail, retail_dataset):
+        dataset = retail_dataset
+        assert dataset.versions == ("base",)
+        assert dataset.train_examples and dataset.test_examples
+        total = len(dataset.train_examples) + len(dataset.test_examples)
+        assert total == len(retail.examples)
+        # splits are disjoint
+        train_qids = {example.qid for example in dataset.train_examples}
+        test_qids = {example.qid for example in dataset.test_examples}
+        assert not (train_qids & test_qids)
+
+    def test_from_domain_accepts_name(self, retail_dataset):
+        by_name = BenchmarkDataset.from_domain("retail", seed=2022)
+        assert [e.qid for e in by_name.test_examples] == [
+            e.qid for e in retail_dataset.test_examples
+        ]
+
+    def test_pool_holds_only_paraphrases(self, retail, retail_dataset):
+        core_qids = {
+            example.qid
+            for example in retail_dataset.train_examples
+            + retail_dataset.test_examples
+        }
+        assert core_qids.isdisjoint(
+            example.qid for example in retail_dataset.pool_examples
+        )
+        # the default pool_pairs version resolves to the domain base
+        pairs = retail_dataset.pool_pairs()
+        assert pairs and all(sql.startswith("SELECT") for _, sql in pairs)
+
+    def test_paraphrases_resolve_in_gold_lookup(self, retail, retail_dataset):
+        lookup = retail_dataset.gold_lookup("base")
+        example = retail.examples[0]
+        for paraphrase in example.paraphrases:
+            assert lookup[paraphrase] == example.gold["base"]
+
+    def test_table3_uses_domain_versions(self, retail_dataset):
+        report = retail_dataset.table3()
+        assert set(report["train"]) == {"base"}
+
+    def test_bad_domain_type_rejected(self):
+        with pytest.raises(TypeError, match="registry name"):
+            BenchmarkDataset.from_domain(42)
+
+
+class TestDomainHarness:
+    def test_grid_with_morph_axis(self, retail, retail_dataset):
+        harness = Harness(retail, retail_dataset)
+        assert harness.football is retail  # backward-compatible alias
+        morphs = SchemaMorpher(seed=5).derive(retail["base"], count=2, steps=3)
+        versions = ["base"] + harness.install_morphs(morphs)
+        configs = [
+            GridConfig.make(system, version, shots=4)
+            if system is GPT35
+            else GridConfig.make(system, version, train_size=30)
+            for version in versions
+            for system in (GPT35, T5Picard)
+        ]
+        results, summary = harness.evaluate_grid(configs)
+        assert len(results) == len(configs)
+        assert summary.questions == len(configs) * len(retail_dataset.test_examples)
+        points = robustness_points(results)
+        for per_version in points.values():
+            assert set(per_version) == set(versions)
+            for accuracy in per_version.values():
+                assert 0.0 <= accuracy <= 1.0
+
+    def test_sweep_domain_reports_distances(self):
+        domain = load_domain("flights", seed=2022)
+        cells, summary, chains = sweep_domain(
+            domain, [GPT35], seed=2022, morph_count=2, morph_steps=3,
+            engine_mode="row",
+        )
+        assert len(chains) == 2
+        assert {cell.distance for cell in cells} >= {0}
+        morphed = [cell for cell in cells if cell.distance > 0]
+        assert morphed
+        assert all(cell.engine_mode == "row" for cell in cells)
+        assert summary.configs == len(cells)
+
+
+class TestDomainTestSuite:
+    def test_suite_evaluator_for_generated_domain(self, retail):
+        suite = TestSuiteEvaluator.for_domain(retail, variant_seeds=(11, 12))
+        gold = retail.gold_queries("base")[0]
+        verdict = suite.verdict(gold, gold)
+        assert verdict.matches_primary and verdict.matches_suite
+        # a constant query that happens to be wrong everywhere
+        assert not suite.matches("SELECT 1", gold) or (
+            suite.evaluators[0].matches("SELECT 1", gold)
+        )
+
+    def test_suite_catches_coincidental_match(self, retail):
+        """A query tied to perturbable facts must not survive the suite
+        unless it is genuinely equivalent to gold."""
+        suite = TestSuiteEvaluator.for_domain(retail, variant_seeds=(11, 12))
+        primary = retail["base"]
+        gold = "SELECT sum(t.revenue) FROM sale AS t"
+        constant = primary.execute(gold).rows[0][0]
+        coincidental = f"SELECT t.sale_id * 0 + {constant} FROM sale AS t LIMIT 1"
+        verdict = suite.verdict(coincidental, gold)
+        assert verdict.matches_primary
+        assert verdict.false_positive

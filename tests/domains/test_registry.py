@@ -1,0 +1,124 @@
+"""Registry, DomainInstance protocol, and synthetic log generation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.domains import (
+    DomainInstance,
+    UnknownDomainError,
+    available_domains,
+    get_domain,
+    instance_from_spec,
+    load_domain,
+    load_random_domain,
+    random_domain,
+    register_domain,
+    synthesize_logs,
+)
+from repro.workload import QuestionCategory, summarize
+
+
+class TestRegistry:
+    def test_builtins_plus_football_registered(self):
+        names = available_domains()
+        assert names[:3] == ["hospital", "retail", "flights"]
+        assert "football" in names
+        assert available_domains(generated_only=True) == [
+            "hospital", "retail", "flights",
+        ]
+
+    def test_football_record_is_lazy(self):
+        record = get_domain("football")
+        assert not record.generated  # metadata available without loading
+
+    def test_unknown_domain(self):
+        with pytest.raises(UnknownDomainError, match="registered"):
+            load_domain("bakery")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_domain("hospital", lambda seed: None)
+
+    def test_replace_registration(self):
+        record = get_domain("hospital")
+        try:
+            marker = register_domain(
+                "hospital", record.loader, description="x", replace=True
+            )
+            assert get_domain("hospital") is marker
+        finally:
+            register_domain(
+                "hospital",
+                record.loader,
+                description=record.description,
+                replace=True,
+            )
+
+    def test_load_random_domain(self):
+        instance = load_random_domain(17)
+        assert instance.name == "random_17"
+        assert instance.examples
+        assert instance.versions == ["base"]
+
+
+class TestInstanceProtocol:
+    def test_version_registration(self, hospital):
+        instance = instance_from_spec(random_domain(3), seed=1)
+        base = instance["base"]
+        assert instance.database("base") is base
+        assert instance.base_version == "base"
+        instance.register("derived", base)
+        assert instance.versions == ["base", "derived"]
+        with pytest.raises(ValueError, match="already registered"):
+            instance.register("derived", base)
+
+    def test_gold_queries_sorted_distinct(self, hospital):
+        queries = hospital.gold_queries("base")
+        assert queries == sorted(set(queries))
+
+    def test_set_engine_mode(self):
+        instance = instance_from_spec(random_domain(4), seed=1)
+        instance.set_engine_mode("row")
+        assert all(
+            database.engine_mode == "row"
+            for database in instance.databases.values()
+        )
+
+    def test_set_engine_mode_validates(self):
+        instance = instance_from_spec(random_domain(4), seed=1)
+        with pytest.raises(ValueError, match="engine_mode must be one of"):
+            instance.set_engine_mode("rowwise")
+        assert instance["base"].engine_mode == "auto"  # unchanged on error
+
+    def test_variant_loader_missing(self):
+        bare = DomainInstance("bare", {})
+        with pytest.raises(ValueError, match="variant loader"):
+            bare.variant_database("base", 1)
+
+
+class TestSyntheticLogs:
+    def test_log_stream_shape(self, hospital):
+        records = synthesize_logs("hospital", hospital.examples, 400, seed=9)
+        assert len(records) == 400
+        categories = {record.category for record in records}
+        assert QuestionCategory.CLEAN in categories
+        assert QuestionCategory.UNRELATED in categories
+        answerable = [record for record in records if record.intent is not None]
+        assert answerable
+        assert all(
+            record.intent.kind.startswith("hospital:") for record in answerable
+        )
+        stats = summarize(records)
+        assert stats.questions_issued == 400
+        assert 0.5 < stats.generation_rate < 1.0
+
+    def test_log_stream_deterministic(self, hospital):
+        first = synthesize_logs("hospital", hospital.examples, 100, seed=3)
+        second = synthesize_logs("hospital", hospital.examples, 100, seed=3)
+        assert first == second
+        assert first != synthesize_logs("hospital", hospital.examples, 100, seed=4)
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ValueError, match="no examples"):
+            synthesize_logs("empty", [], 10)

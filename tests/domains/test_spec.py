@@ -1,0 +1,106 @@
+"""DomainSpec validation and the seeded random-domain generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.domains import (
+    BUILTIN_SPECS,
+    DomainSpec,
+    EntitySpec,
+    SpecError,
+    attr,
+    fk,
+    name_field,
+    pk,
+    random_domain,
+)
+
+
+def entity(name, fields, rows=5, **kwargs):
+    return EntitySpec(name, tuple(fields), rows=rows, **kwargs)
+
+
+class TestValidation:
+    def test_builtin_specs_are_valid(self):
+        for spec in BUILTIN_SPECS:
+            spec.validate()  # __post_init__ already ran; idempotent
+            assert spec.relationships(), spec.name
+            assert spec.describe().startswith(f"domain {spec.name}")
+
+    def test_duplicate_entity_rejected(self):
+        team = entity("team", [pk("team_id"), name_field()])
+        with pytest.raises(SpecError, match="duplicate entity"):
+            DomainSpec("d", "dup", (team, team))
+
+    def test_fk_must_reference_earlier_entity(self):
+        child = entity(
+            "child", [pk("child_id"), name_field(), fk("parent_id", "parent")]
+        )
+        parent = entity("parent", [pk("parent_id"), name_field()])
+        with pytest.raises(SpecError, match="parents-first"):
+            DomainSpec("d", "order", (child, parent))
+        DomainSpec("d", "order", (parent, child))  # parents-first is fine
+
+    def test_exactly_one_pk_and_name(self):
+        with pytest.raises(SpecError, match="exactly one pk"):
+            DomainSpec("d", "t", (entity("e", [name_field()]),))
+        with pytest.raises(SpecError, match="exactly one name"):
+            DomainSpec("d", "t", (entity("e", [pk("e_id")]),))
+
+    def test_attr_needs_generator(self):
+        bad = entity(
+            "e",
+            [pk("e_id"), name_field(), attr("x", "int", ("nope", 1))],
+        )
+        with pytest.raises(SpecError, match="generator"):
+            DomainSpec("d", "t", (bad,))
+
+    def test_nullable_range_enforced(self):
+        bad = entity(
+            "e",
+            [pk("e_id"), name_field(), attr("x", "int", ("int", 1, 5), nullable=1.0)],
+        )
+        with pytest.raises(SpecError, match="nullable"):
+            DomainSpec("d", "t", (bad,))
+
+    def test_unknown_entity_lookup(self):
+        spec = BUILTIN_SPECS[0]
+        with pytest.raises(SpecError, match="no entity"):
+            spec.entity("nonexistent")
+
+
+class TestRandomDomain:
+    def test_deterministic_in_seed(self):
+        assert random_domain(11) == random_domain(11)
+        assert random_domain(11) != random_domain(12)
+
+    @pytest.mark.parametrize("seed", [0, 7, 91, 2023, -3])
+    def test_generated_spec_is_valid(self, seed):
+        spec = random_domain(seed)
+        spec.validate()
+        assert spec.name.isidentifier()
+        # non-root entities are connected to the graph
+        children = {rel.child for rel in spec.relationships()}
+        assert children == set(spec.entity_names[1:])
+
+    def test_morphability_floor(self):
+        """Every entity keeps >=2 non-key int attrs and a categorical —
+        the surface split_table / widen_types / filter questions need."""
+        for seed in (1, 2, 3):
+            spec = random_domain(seed)
+            for ent in spec.entities:
+                ints = [
+                    f for f in ent.attr_fields
+                    if f.sql_type == "int" and f.generator[0] != "serial"
+                ]
+                assert len(ints) >= 2, (spec.name, ent.name)
+            assert any(
+                f.generator and f.generator[0] == "choice"
+                for ent in spec.entities
+                for f in ent.attr_fields
+            )
+
+    def test_entity_count_bounds(self):
+        assert len(random_domain(5, entity_count=2).entities) == 2
+        assert len(random_domain(5, entity_count=6).entities) == 6

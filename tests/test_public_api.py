@@ -11,6 +11,7 @@ import pytest
 PACKAGES = [
     "repro",
     "repro.sqlengine",
+    "repro.domains",
     "repro.footballdb",
     "repro.workload",
     "repro.nlp",
@@ -58,3 +59,81 @@ def test_all_five_paper_systems_exported():
     assert names == {
         "ValueNet", "T5-Picard", "T5-Picard_Keys", "GPT-3.5", "LLaMA2-70B",
     }
+
+
+class TestFootballDecouplingBackwardCompat:
+    """The footballdb → domain-registry refactor must not move the
+    public surface: historical imports, signatures and aliases hold."""
+
+    def test_footballdb_is_a_domain_instance(self):
+        from repro.domains import DomainInstance
+        from repro.footballdb import FootballDB
+
+        assert issubclass(FootballDB, DomainInstance)
+
+    def test_football_registered_in_domain_registry(self):
+        from repro.domains import available_domains
+
+        assert "football" in available_domains()
+
+    def test_morph_shim_reexports_the_domain_generic_machinery(self):
+        import repro.domains.morph as generic
+        import repro.footballdb.morph as shim
+
+        for name in ("SchemaMorpher", "MorphedModel", "verify_morph",
+                     "result_signature", "DEFAULT_OPERATORS"):
+            assert getattr(shim, name) is getattr(generic, name), name
+
+    def test_identifier_styles_reexported(self):
+        from repro.domains.naming import IDENTIFIER_STYLES as generic
+        from repro.footballdb.naming import IDENTIFIER_STYLES as football
+
+        assert football is generic
+
+    def test_harness_keeps_football_alias(self):
+        import inspect
+
+        from repro.evaluation import Harness
+
+        harness = Harness.__new__(Harness)
+        harness.domain = marker = object()
+        assert harness.football is marker
+        # first parameter is still positional, so Harness(football, dataset)
+        # call sites keep working
+        parameters = list(inspect.signature(Harness.__init__).parameters)
+        assert parameters[1:3] == ["domain", "dataset"]
+
+    def test_benchmark_dataset_default_versions(self):
+        from repro.benchmark import BenchmarkDataset
+
+        dataset = BenchmarkDataset(
+            train_examples=[], test_examples=[], pool_examples=[]
+        )
+        assert dataset.versions == ("v1", "v2", "v3")
+
+    def test_perturb_events_importable_from_both_homes(self):
+        from repro.evaluation import perturb_events  # noqa: F401
+        from repro.footballdb.perturb import perturb_events  # noqa: F401,F811
+
+    def test_no_module_level_footballdb_imports(self):
+        """The refactored modules route through the domain registry: no
+        eager ``repro.footballdb`` imports remain (lazy, inside-function
+        imports for the football-specific paths are fine)."""
+        import inspect
+
+        import repro.benchmark.dataset
+        import repro.evaluation.crossdomain
+        import repro.evaluation.harness
+        import repro.evaluation.parallel
+        import repro.evaluation.test_suite
+
+        for module in (
+            repro.benchmark.dataset,
+            repro.evaluation.crossdomain,
+            repro.evaluation.harness,
+            repro.evaluation.parallel,
+            repro.evaluation.test_suite,
+        ):
+            for line in inspect.getsource(module).splitlines():
+                if line.startswith(("import repro.footballdb", "from repro.footballdb")):
+                    raise AssertionError(f"{module.__name__}: {line.strip()}")
