@@ -79,6 +79,11 @@ CASES = {
         "WHERE T2.home_team_id = T1.team_id AND T2.year = 2014)",
         None,
     ),
+    "order_by_limit": (
+        "SELECT club_id, season_year, position FROM club_league_hist "
+        "ORDER BY position, season_year DESC, club_id LIMIT 10",
+        10,
+    ),
 }
 
 #: cases the perf gate tracks (see scripts/check_bench_regression.py):

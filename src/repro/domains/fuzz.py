@@ -2,7 +2,10 @@
 
 :class:`GrammarQueryFuzzer` walks the engine's grammar productions
 (SELECT cores with FK-path joins, predicate trees, aggregation with
-GROUP BY/HAVING, IN/EXISTS/scalar subqueries, set operations) and
+GROUP BY/HAVING, correlated IN/EXISTS subqueries — the decorrelation
+rewrite's whole input space, NOT IN over NULL-bearing columns
+included — scalar subqueries, ORDER BY + LIMIT under a total order,
+set operations) and
 instantiates them *schema-aware*: literals are sampled from the actual
 column data so predicates are selective, FK joins follow declared
 edges, and every emitted query is built as an engine AST — parseable
@@ -317,8 +320,12 @@ class GrammarQueryFuzzer:
             SelectItem(ColumnRef(info.name, binding)) for binding, info in picked
         ]
         where = self._predicate(refs) if self.rng.random() < 0.8 else None
+        distinct = self.rng.random() < 0.25
         order_by: List[OrderItem] = []
-        if self.rng.random() < 0.3:
+        limit: Optional[int] = None
+        offset: Optional[int] = None
+        roll = self.rng.random()
+        if roll < 0.3:
             binding, info = self.rng.choice(picked)
             order_by.append(
                 OrderItem(
@@ -326,13 +333,45 @@ class GrammarQueryFuzzer:
                     descending=self.rng.random() < 0.5,
                 )
             )
+        elif roll < 0.65 and not distinct:
+            # ORDER BY every binding's full primary key: the sort is a
+            # total order over row combinations, so LIMIT/OFFSET pick a
+            # deterministic window and stay dialect-safe
+            pk_items: Optional[List[OrderItem]] = []
+            for ref in refs:
+                table = self.schema.table(ref.table)
+                if not table.primary_key_columns:
+                    pk_items = None
+                    break
+                pk_items.extend(
+                    OrderItem(
+                        ColumnRef(column, ref.binding),
+                        descending=self.rng.random() < 0.5,
+                    )
+                    for column in table.primary_key_columns
+                )
+            if pk_items:
+                if self.rng.random() < 0.5:
+                    binding, info = self.rng.choice(picked)
+                    order_by.append(
+                        OrderItem(
+                            ColumnRef(info.name, binding),
+                            descending=self.rng.random() < 0.5,
+                        )
+                    )
+                order_by.extend(pk_items)
+                limit = self.rng.randint(1, 12)
+                if self.rng.random() < 0.3:
+                    offset = self.rng.randint(0, 4)
         return SelectQuery(
             projections=projections,
             from_table=from_table,
             joins=joins,
             where=where,
             order_by=order_by,
-            distinct=self.rng.random() < 0.25,
+            distinct=distinct,
+            limit=limit,
+            offset=offset,
         )
 
     def _exists_core(self) -> SelectQuery:
@@ -365,6 +404,70 @@ class GrammarQueryFuzzer:
             exists = Conjunction("AND", (exists, self._predicate([outer_ref])))
         return SelectQuery(
             projections=outer_columns, from_table=outer_ref, where=exists
+        )
+
+    def _correlated_in_core(self) -> SelectQuery:
+        """A core probing a correlated (NOT) IN subquery over an FK edge.
+
+        Probe and inner projection are restricted to INTEGER/TEXT so
+        the comparison semantics are exact on every backend; nullable
+        inner columns are deliberately in scope — NOT IN over a
+        NULL-bearing subquery is the rewrite's hardest 3VL case.
+        """
+        fks = self.schema.foreign_keys
+        if not fks:
+            return self._plain_core()
+        fk = self.rng.choice(fks)
+        exact = (SqlType.INTEGER, SqlType.TEXT)
+        outer_infos = [
+            info
+            for info in self._columns[fk.ref_table.lower()]
+            if info.sql_type in exact
+        ]
+        inner_infos = [
+            info
+            for info in self._columns[fk.table.lower()]
+            if info.sql_type in exact
+        ]
+        if not outer_infos:
+            return self._plain_core()
+        probe_info = self.rng.choice(outer_infos)
+        matching = [
+            info for info in inner_infos if info.sql_type is probe_info.sql_type
+        ]
+        if not matching:
+            return self._plain_core()
+        inner_info = self.rng.choice(matching)
+        outer_ref = TableRef(fk.ref_table, "T0")
+        inner_ref = TableRef(fk.table, "I0")
+        inner_where: Expression = BinaryOp(
+            "=", ColumnRef(fk.column, "I0"), ColumnRef(fk.ref_column, "T0")
+        )
+        if self.rng.random() < 0.4:
+            inner_where = Conjunction(
+                "AND", (inner_where, self._predicate([inner_ref]))
+            )
+        probe: Expression = InOp(
+            ColumnRef(probe_info.name, "T0"),
+            None,
+            SelectQuery(
+                projections=[SelectItem(ColumnRef(inner_info.name, "I0"))],
+                from_table=inner_ref,
+                where=inner_where,
+            ),
+            negated=self.rng.random() < 0.4,
+        )
+        if self.rng.random() < 0.4:
+            probe = Conjunction("AND", (probe, self._predicate([outer_ref])))
+        projections = [
+            SelectItem(ColumnRef(info.name, "T0"))
+            for info in self.rng.sample(
+                self._columns[fk.ref_table.lower()],
+                min(2, len(self._columns[fk.ref_table.lower()])),
+            )
+        ]
+        return SelectQuery(
+            projections=projections, from_table=outer_ref, where=probe
         )
 
     def _set_operation(self) -> QueryNode:
@@ -406,12 +509,14 @@ class GrammarQueryFuzzer:
     # -- entry points -----------------------------------------------------------
     def query_ast(self) -> QueryNode:
         roll = self.rng.random()
-        if roll < 0.40:
+        if roll < 0.36:
             return self._plain_core()
-        if roll < 0.70:
+        if roll < 0.62:
             return self._aggregate_core()
-        if roll < 0.85:
+        if roll < 0.74:
             return self._exists_core()
+        if roll < 0.88:
+            return self._correlated_in_core()
         return self._set_operation()
 
     def query(self) -> str:

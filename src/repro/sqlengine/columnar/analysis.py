@@ -90,6 +90,7 @@ class VectorSelectPlan:
     joins: List[VectorJoin]
     aggregated: bool
     aggregate_calls: List[FunctionCall]
+    semi_joins: Tuple = ()  # optimizer SemiJoinSpec sequence (may be empty)
     classes: Dict[int, str] = field(default_factory=dict)
     ref_slots: Dict[int, Tuple[int, int]] = field(default_factory=dict)
 
@@ -401,6 +402,16 @@ class _Analyzer:
             if refs is None or not refs <= {select.from_table.binding.lower()}:
                 return None
 
+        semi_joins = tuple(getattr(select, "semi_joins", ()) or ())
+        for spec in semi_joins:
+            # probe expressions are evaluated over the outer batch — the
+            # analyzer must prove each never raises (registers ref slots)
+            for expr, _column in spec.keys:
+                if self.value_class(expr) is None:
+                    return None
+            if spec.in_probe is not None and self.value_class(spec.in_probe) is None:
+                return None
+
         if select.where is not None:
             if contains_aggregate(select.where):
                 return None  # row path raises the proper context error
@@ -463,6 +474,7 @@ class _Analyzer:
             joins=joins,
             aggregated=aggregated,
             aggregate_calls=aggregate_calls,
+            semi_joins=semi_joins,
             classes=self.classes,
             ref_slots=self.ref_slots,
         )

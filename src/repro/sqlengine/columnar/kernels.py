@@ -18,11 +18,13 @@ version-checked views (see :mod:`.columns`).
 
 from __future__ import annotations
 
+import heapq
 from typing import Any, Callable, List, Optional, Sequence
 
 from ..errors import ExecutionError, TypeMismatchError
 from ..values import (
     normalize_for_comparison,
+    sort_key,
     sql_compare,
     sql_equal,
     sql_text,
@@ -359,3 +361,51 @@ def scalar_function_kernel(
 def normalize_kernel(values: Vector) -> Vector:
     """Element-wise ``normalize_for_comparison`` (join keys, group keys)."""
     return [normalize_for_comparison(value) for value in values]
+
+
+# -- top-k selection ---------------------------------------------------------
+
+
+class _ReversedKey:
+    """Wraps a sort key so that ``heapq.nsmallest`` orders it descending.
+
+    Only ``<`` (and ``==`` for completeness) is needed: tuple comparison
+    and the heap never use other operators on the wrapped keys.
+    """
+
+    __slots__ = ("key",)
+
+    def __init__(self, key: Any) -> None:
+        self.key = key
+
+    def __lt__(self, other: "_ReversedKey") -> bool:
+        return other.key < self.key
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _ReversedKey) and other.key == self.key
+
+
+def top_k_indices(
+    keys_per_item: Sequence[Sequence[Any]],
+    descending: Sequence[bool],
+    count: int,
+    k: int,
+) -> List[int]:
+    """The first ``k`` row indices under a multi-item ORDER BY.
+
+    Equivalent to the executors' rightmost-first stable multi-pass
+    sort truncated to ``k`` entries: the composite comparison key is
+    the per-item ``sort_key`` (descending items inverted via
+    :class:`_ReversedKey`) with the original index as final tiebreak,
+    which reproduces exactly the stable order — but via a bounded heap
+    instead of a full O(n log n) sort.
+    """
+
+    def composite(index: int) -> tuple:
+        parts = tuple(
+            _ReversedKey(sort_key(keys[index])) if desc else sort_key(keys[index])
+            for keys, desc in zip(keys_per_item, descending)
+        )
+        return parts + (index,)
+
+    return heapq.nsmallest(k, range(count), key=composite)

@@ -60,7 +60,7 @@ from ..ast_nodes import (
 from ..errors import ExecutionError
 from ..executor import Executor, Result, _apply_limit, _like_regex
 from ..storage import Storage
-from ..values import normalize_for_comparison, sort_key
+from ..values import normalize_for_comparison, sort_key, sql_not
 from . import kernels
 from .analysis import VectorJoin, VectorSelectPlan, _alias_position, analyze_select
 from .columns import ColumnStore
@@ -172,6 +172,8 @@ class VectorizedExecutor:
         batch = self._scan(plan)
         for vjoin in plan.joins:
             batch = self._join(batch, vjoin)
+        for spec in plan.semi_joins:
+            batch = self._semi_join(batch, spec)
         if select.where is not None:
             batch = self._filter(batch, select.where)
         if plan.aggregated:
@@ -259,6 +261,53 @@ class VectorizedExecutor:
                     out_prev.append(position)
                     out_rows.append(None)
         return self._extend(batch, vjoin, out_prev, out_rows, left_kind)
+
+    def _semi_join(self, batch: _Batch, spec) -> _Batch:
+        """Filter the batch through a decorrelated EXISTS/IN spec.
+
+        The probe table comes from the row executor's version-cached
+        builder (shared across both engines); the per-position verdict
+        mirrors ``Executor._semi_keep`` exactly.
+        """
+        groups = self._row.semi_join_groups(spec)
+        probes = [
+            kernels.normalize_kernel(self._eval(expr, batch))
+            for expr, _column in spec.keys
+        ]
+        probe_values = None
+        if spec.in_probe is not None:
+            probe_values = self._eval(spec.in_probe, batch)
+        keep: List[int] = []
+        anti = spec.anti
+        get = groups.get
+        for position in range(batch.length):
+            key = tuple(vector[position] for vector in probes)
+            group = None if any(part is None for part in key) else get(key)
+            if probe_values is None:  # EXISTS / NOT EXISTS
+                if (group is not None) != anti:
+                    keep.append(position)
+                continue
+            if group is None:
+                verdict: Optional[bool] = False
+            else:
+                value = probe_values[position]
+                if value is None:
+                    verdict = None
+                else:
+                    normalized = normalize_for_comparison(value)
+                    if normalized in group[2]:
+                        verdict = True
+                    elif group[1]:
+                        verdict = None
+                    else:
+                        verdict = False
+            if anti:
+                verdict = sql_not(verdict)
+            if verdict is True:
+                keep.append(position)
+        if len(keep) == batch.length:
+            return batch
+        return batch.select(keep)
 
     def _extend(
         self,
@@ -437,12 +486,21 @@ class VectorizedExecutor:
                 self._order_keys(item, select, rows, batch, overrides)
                 for item in select.order_by
             ]
-            for item_index in range(len(select.order_by) - 1, -1, -1):
-                item = select.order_by[item_index]
-                keys = keys_per_item[item_index]
-                ordered.sort(
-                    key=lambda i: sort_key(keys[i]), reverse=item.descending
+            top_k = getattr(select, "top_k", None)
+            if top_k is not None:
+                ordered = kernels.top_k_indices(
+                    keys_per_item,
+                    [item.descending for item in select.order_by],
+                    len(rows),
+                    top_k,
                 )
+            else:
+                for item_index in range(len(select.order_by) - 1, -1, -1):
+                    item = select.order_by[item_index]
+                    keys = keys_per_item[item_index]
+                    ordered.sort(
+                        key=lambda i: sort_key(keys[i]), reverse=item.descending
+                    )
         output = [rows[i] for i in ordered]
         if select.distinct:
             seen = set()

@@ -15,6 +15,7 @@ nested-loop evaluation.
 
 from __future__ import annotations
 
+import bisect
 import re
 import threading
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
@@ -297,6 +298,18 @@ class Executor:
     # -- select core ----------------------------------------------------------
     def _execute_select(self, query: SelectQuery, outer: Optional[Scope]) -> Result:
         frames = self._evaluate_from(query, outer)
+        # Optimized plans may carry decorrelated EXISTS/IN conjuncts
+        # (optimizer.SemiJoinSpec).  They filter frames exactly where
+        # the original WHERE conjunct did — between FROM and WHERE.
+        semi_joins = getattr(query, "semi_joins", None)
+        if semi_joins:
+            for spec in semi_joins:
+                groups = self.semi_join_groups(spec)
+                frames = [
+                    frame
+                    for frame in frames
+                    if self._semi_keep(spec, groups, Scope(frame, None, outer))
+                ]
         if query.where is not None:
             frames = [
                 frame
@@ -318,12 +331,11 @@ class Executor:
         # apply later, so only the amount of work changes, never the
         # surviving frame sequence.
         scan_filters = getattr(query, "scan_filters", None)
-        pushed = (
-            scan_filters.get(query.from_table.binding.lower())
-            if scan_filters
-            else None
-        )
-        frames = self._scan(query.from_table, pushed, outer)
+        key = query.from_table.binding.lower()
+        pushed = scan_filters.get(key) if scan_filters else None
+        index_scans = getattr(query, "index_scans", None)
+        index_scan = index_scans.get(key) if index_scans else None
+        frames = self._scan(query.from_table, pushed, outer, index_scan)
         for join in query.joins:
             frames = self._apply_join(frames, join, outer)
         return frames
@@ -333,10 +345,15 @@ class Executor:
         ref: TableRef,
         pushed: Optional[Expression] = None,
         outer: Optional[Scope] = None,
+        index_scan=None,
     ) -> List[Frame]:
         data = self.storage.data(ref.table)
         binding = ref.binding
-        frames = [Frame([(binding, data.table, row)]) for row in data.rows]
+        if index_scan is not None and pushed is not None:
+            rows = self._index_candidates(data, index_scan)
+        else:
+            rows = data.rows
+        frames = [Frame([(binding, data.table, row)]) for row in rows]
         if pushed is not None:
             frames = [
                 frame
@@ -344,6 +361,39 @@ class Executor:
                 if self._truthy(pushed, Scope(frame, None, outer))
             ]
         return frames
+
+    @staticmethod
+    def _index_candidates(data, index_scan) -> List[tuple]:
+        """Candidate rows for an index-servable scan filter, in original
+        row order.
+
+        The candidates are a superset of the rows satisfying the chosen
+        conjunct (over exact/same-class types the index lookup *is* the
+        ``sql_equal``/``sql_compare`` semantics), and the caller then
+        applies the complete pushed filter — so the surviving frame
+        sequence is byte-identical to the full scan's.
+        """
+        position = data.table.column_position(index_scan.column)
+        if index_scan.kind == "hash":
+            key = (normalize_for_comparison(index_scan.values[0]),)
+            # buckets keep rows in insertion order == original row order
+            return data.hash_index(position).get(key, [])
+        keys, positions = data.sorted_index(position)
+        if index_scan.op == "between":
+            low, high = index_scan.values
+            start = bisect.bisect_left(keys, sort_key(low))
+            stop = bisect.bisect_right(keys, sort_key(high))
+        elif index_scan.op == ">":
+            start, stop = bisect.bisect_right(keys, sort_key(index_scan.values[0])), len(keys)
+        elif index_scan.op == ">=":
+            start, stop = bisect.bisect_left(keys, sort_key(index_scan.values[0])), len(keys)
+        elif index_scan.op == "<":
+            start, stop = 0, bisect.bisect_left(keys, sort_key(index_scan.values[0]))
+        else:  # "<="
+            start, stop = 0, bisect.bisect_right(keys, sort_key(index_scan.values[0]))
+        selected = sorted(positions[start:stop])  # restore row order
+        rows = data.rows
+        return [rows[i] for i in selected]
 
     def _apply_join(
         self, frames: List[Frame], join: Join, outer: Optional[Scope]
@@ -574,6 +624,78 @@ class Executor:
                 joined.append(frame.extended(binding, table, None))
         return joined
 
+    # -- decorrelated subqueries -------------------------------------------------
+    def semi_join_groups(self, spec) -> Dict[tuple, list]:
+        """Build (or reuse) the probe table for a decorrelated subquery.
+
+        Maps each normalized correlation key to ``[row count, NULL count
+        of the IN column, set of normalized IN-column values]`` over the
+        inner rows that pass the spec's local filter.  The result is
+        memoized on the spec, stamped with the table's version, so
+        mutations invalidate it and repeated executions reuse it.
+        """
+        data = self.storage.data(spec.table)
+        cache = spec.cache
+        if cache is not None and cache[0] is data and cache[1] == data.version:
+            return cache[2]
+        table = data.table
+        key_positions = [table.column_position(column) for _, column in spec.keys]
+        in_position = (
+            table.column_position(spec.in_column) if spec.in_column else None
+        )
+        groups: Dict[tuple, list] = {}
+        for row in data.rows:
+            if spec.where is not None and not self._truthy(
+                spec.where, Scope(Frame([(spec.binding, table, row)]), None, None)
+            ):
+                continue
+            key = tuple(normalize_for_comparison(row[p]) for p in key_positions)
+            if any(part is None for part in key):
+                continue  # NULL keys never match the equi-correlation
+            group = groups.get(key)
+            if group is None:
+                group = groups[key] = [0, 0, set()]
+            group[0] += 1
+            if in_position is not None:
+                value = row[in_position]
+                if value is None:
+                    group[1] += 1
+                else:
+                    group[2].add(normalize_for_comparison(value))
+        spec.cache = (data, data.version, groups)
+        return groups
+
+    def _semi_keep(self, spec, groups: Dict[tuple, list], scope: Scope) -> bool:
+        """Decide one outer frame under a decorrelated EXISTS/IN, with
+        the same three-valued verdict the original subquery produced."""
+        probe = [
+            normalize_for_comparison(self._eval(expr, scope)) for expr, _ in spec.keys
+        ]
+        group = None
+        if not any(part is None for part in probe):
+            group = groups.get(tuple(probe))
+        if spec.in_probe is None:  # EXISTS / NOT EXISTS
+            return (group is not None) != spec.anti
+        # IN / NOT IN: empty set -> FALSE; NULL probe or NULL-bearing
+        # set without a match -> UNKNOWN; match -> TRUE.
+        if group is None:
+            verdict: Optional[bool] = False
+        else:
+            value = self._eval(spec.in_probe, scope)
+            if value is None:
+                verdict = None
+            else:
+                normalized = normalize_for_comparison(value)
+                if normalized in group[2]:
+                    verdict = True
+                elif group[1]:
+                    verdict = None
+                else:
+                    verdict = False
+        if spec.anti:
+            verdict = sql_not(verdict)
+        return verdict is True
+
     # -- non-aggregated output ---------------------------------------------------
     def _execute_plain(
         self, query: SelectQuery, frames: List[Frame], outer: Optional[Scope]
@@ -681,12 +803,26 @@ class Executor:
                 keys_per_item.append(
                     [self._order_key(item, query, rows[i], scopes[i]) for i in ordered]
                 )
-            for item_index in range(len(query.order_by) - 1, -1, -1):
-                item = query.order_by[item_index]
-                keys = keys_per_item[item_index]
-                ordered.sort(
-                    key=lambda i: sort_key(keys[i]), reverse=item.descending
+            top_k = getattr(query, "top_k", None)
+            if top_k is not None:
+                # ORDER BY ... LIMIT k: a bounded heap selection replaces
+                # the full sort.  Keys were computed for every row above,
+                # so errors surface exactly as they would under the sort.
+                from .columnar.kernels import top_k_indices
+
+                ordered = top_k_indices(
+                    keys_per_item,
+                    [item.descending for item in query.order_by],
+                    len(rows),
+                    top_k,
                 )
+            else:
+                for item_index in range(len(query.order_by) - 1, -1, -1):
+                    item = query.order_by[item_index]
+                    keys = keys_per_item[item_index]
+                    ordered.sort(
+                        key=lambda i: sort_key(keys[i]), reverse=item.descending
+                    )
         output = [rows[i] for i in ordered]
         if query.distinct:
             seen = set()

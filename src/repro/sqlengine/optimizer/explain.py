@@ -80,6 +80,8 @@ def _render_select(select: SelectQuery, lines: List[str], indent: int) -> None:
                 annotation += (
                     f" filter: {format_expression(scan.pushed)} est={scan.est_rows}"
                 )
+            if scan.index is not None:
+                annotation += f" index: {scan.index}"
             lines.append(f"{inner}scan {binding}  [{annotation}]")
         else:
             lines.append(f"{inner}scan {binding}")
@@ -92,6 +94,8 @@ def _render_select(select: SelectQuery, lines: List[str], indent: int) -> None:
             lines.append(
                 _join_line(join, note_by_binding.get(join.table.binding.lower()), inner)
             )
+        for spec in getattr(select, "semi_joins", ()):
+            lines.append(_semi_join_line(spec, inner))
 
     if select.where is not None:
         lines.append(f"{inner}where: {format_expression(select.where)}")
@@ -126,6 +130,27 @@ def _join_line(join: Join, note, inner: str) -> str:
             annotation += f" est out={note.est_rows}"
         text += f"  [{annotation}]"
     return f"{inner}{text}"
+
+
+def _semi_join_line(spec, inner: str) -> str:
+    """One decorrelated EXISTS/IN conjunct as a hash semi/anti-join."""
+    strategy = "anti join" if spec.anti else "semi join"
+    parts = [
+        f"{spec.binding}.{column} = {format_expression(outer)}"
+        for outer, column in spec.keys
+    ]
+    if spec.in_probe is not None:
+        parts.append(
+            f"{format_expression(spec.in_probe)} IN {spec.binding}.{spec.in_column}"
+        )
+    binding = _binding_text(
+        spec.table, spec.binding if spec.binding.lower() != spec.table.lower() else None
+    )
+    text = f"{strategy} {binding} ON {' AND '.join(parts)}"
+    annotation = f"rows={spec.rows}"
+    if spec.where is not None:
+        annotation += f" filter: {format_expression(spec.where)}"
+    return f"{inner}{text}  [{annotation}]"
 
 
 def _binding_text(table: str, alias) -> str:

@@ -27,7 +27,7 @@ never results — the executor does not read them.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..ast_nodes import (
@@ -56,8 +56,12 @@ from ..ast_nodes import (
 from ..catalog import Schema
 from .rewrites import (
     SelectContext,
+    SemiJoinSpec,
     Unplannable,
+    _exact_hash_class,
+    _value_class,
     cannot_raise_predicate,
+    decorrelate_where,
     drop_redundant_distinct,
     fold_expression,
     referenced_bindings,
@@ -70,6 +74,10 @@ DEFAULT_EQ_SELECTIVITY = 0.1
 DEFAULT_RANGE_SELECTIVITY = 1.0 / 3.0
 DEFAULT_LIKE_SELECTIVITY = 0.25
 DEFAULT_SELECTIVITY = 1.0 / 3.0
+
+#: an index scan must be at least this selective to beat the plain
+#: in-memory scan (probing + position re-sorting has overhead)
+INDEX_SCAN_SELECTIVITY = 0.25
 
 
 # ---------------------------------------------------------------------------
@@ -86,6 +94,28 @@ class ScanNote:
     rows: int
     pushed: Optional[Expression]
     est_rows: int
+    #: "column (hash)" / "column (sorted)" when an index scan was chosen
+    index: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class IndexScan:
+    """A secondary-index access path for the FROM-table scan.
+
+    The executor fetches candidate rows from the named index instead of
+    scanning the full table, then applies the *complete* pushed filter
+    to the candidates — the index only ever narrows the rows the
+    (provably non-raising) filter evaluates, so results are identical
+    to the full scan by construction.
+    """
+
+    binding: str
+    table: str
+    column: str
+    kind: str  # "hash" | "sorted"
+    op: str  # "=", "<", "<=", ">", ">=", "between"
+    values: Tuple[object, ...]
+    selectivity: float
 
 
 @dataclass(frozen=True)
@@ -120,6 +150,12 @@ class PlannedSelect(SelectQuery):
     """
 
     scan_filters: Dict[str, Expression] = field(default_factory=dict)
+    #: decorrelated EXISTS/IN conjuncts, applied between FROM and WHERE
+    semi_joins: Tuple[SemiJoinSpec, ...] = ()
+    #: binding (lowercase) -> index access path for the FROM scan
+    index_scans: Dict[str, IndexScan] = field(default_factory=dict)
+    #: ORDER BY + LIMIT: only the first ``top_k`` sorted rows are needed
+    top_k: Optional[int] = None
     notes: Optional[SelectNotes] = None
 
 
@@ -375,6 +411,102 @@ def push_predicates(
         distinct=select.distinct,
     )
     return rewritten, scan_filters, pushed_count
+
+
+# ---------------------------------------------------------------------------
+# Index-scan access-path selection
+# ---------------------------------------------------------------------------
+
+_FLIPPED_OPS = {"=": "=", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+
+def _index_candidate(
+    term: Expression, binding: str, context: SelectContext
+) -> Optional[Tuple[str, str, str, Tuple[object, ...]]]:
+    """``(column, kind, op, values)`` when ``term`` is index-servable.
+
+    Equality terms use the hash index and require *exact* hash types on
+    both sides (the hash key normalization must agree with
+    ``sql_equal`` — {int, text, bool}, never REAL).  Range/BETWEEN
+    terms use the sorted index and require both sides in the same
+    ``sql_compare``-total class ("number" or "text"), where
+    ``sort_key`` order coincides with ``sql_compare`` order.
+    """
+    if isinstance(term, BinaryOp) and term.op in _FLIPPED_OPS:
+        for column_side, value_side, op in (
+            (term.left, term.right, term.op),
+            (term.right, term.left, _FLIPPED_OPS[term.op]),
+        ):
+            if not isinstance(column_side, ColumnRef):
+                continue
+            if not isinstance(value_side, Literal):
+                continue
+            if referenced_bindings(column_side, context) != {binding}:
+                continue
+            if op == "=":
+                column_class = _exact_hash_class(column_side, context)
+                if column_class in (None, "null"):
+                    continue
+                if _exact_hash_class(value_side, context) != column_class:
+                    continue
+                return column_side.column, "hash", "=", (value_side.value,)
+            column_class = _value_class(column_side, context)
+            if column_class not in ("number", "text"):
+                continue
+            if _value_class(value_side, context) != column_class:
+                continue
+            return column_side.column, "sorted", op, (value_side.value,)
+    if (
+        isinstance(term, BetweenOp)
+        and not term.negated
+        and isinstance(term.expr, ColumnRef)
+        and isinstance(term.low, Literal)
+        and isinstance(term.high, Literal)
+        and referenced_bindings(term.expr, context) == {binding}
+    ):
+        column_class = _value_class(term.expr, context)
+        if column_class in ("number", "text") and all(
+            _value_class(bound, context) == column_class
+            for bound in (term.low, term.high)
+        ):
+            return term.expr.column, "sorted", "between", (
+                term.low.value,
+                term.high.value,
+            )
+    return None
+
+
+def choose_index_scan(
+    pushed: Expression,
+    binding: str,
+    context: SelectContext,
+    estimator: Estimator,
+) -> Optional[IndexScan]:
+    """Pick the most selective index-servable conjunct of the pushed
+    scan filter, or None when no conjunct beats the plain scan."""
+    table = context.table(binding)
+    if table is None:
+        return None
+    best: Optional[IndexScan] = None
+    for term in _conjuncts(pushed):
+        candidate = _index_candidate(term, binding, context)
+        if candidate is None:
+            continue
+        selectivity = estimator.predicate_selectivity(term, binding)
+        if selectivity > INDEX_SCAN_SELECTIVITY:
+            continue
+        if best is None or selectivity < best.selectivity:
+            column, kind, op, values = candidate
+            best = IndexScan(
+                binding=binding,
+                table=table.name,
+                column=column,
+                kind=kind,
+                op=op,
+                values=values,
+                selectivity=selectivity,
+            )
+    return best
 
 
 # ---------------------------------------------------------------------------
@@ -727,6 +859,17 @@ class Planner:
             else:
                 joins.append(join)
 
+        # 1b. decorrelate eligible EXISTS/IN conjuncts into hash
+        # semi/anti-joins (before subquery recursion: a decorrelated
+        # subquery is decomposed into the spec and never planned as a
+        # nested select)
+        semi_specs: List[SemiJoinSpec] = []
+        if where is not None and select.from_table is not None:
+            decorrelated = decorrelate_where(where, context, self.schema)
+            if decorrelated is not None:
+                where, semi_specs, labels = decorrelated
+                rewrites.extend(labels)
+
         # 2. recurse into subqueries wherever they appear
         current = SelectQuery(
             projections=[
@@ -798,6 +941,35 @@ class Planner:
                 for join in current.joins
             ]
 
+        # 6. secondary-index access path for the FROM-table scan
+        index_scans: Dict[str, IndexScan] = {}
+        if current.from_table is not None:
+            scan_key = current.from_table.binding.lower()
+            pushed = scan_filters.get(scan_key)
+            if pushed is not None:
+                chosen = choose_index_scan(pushed, scan_key, context, estimator)
+                if chosen is not None:
+                    index_scans[scan_key] = chosen
+                    rewrites.append(f"index-scan({chosen.column})")
+                    if scan_note is not None:
+                        scan_note = replace(
+                            scan_note, index=f"{chosen.column} ({chosen.kind})"
+                        )
+
+        # 7. semi-join cardinality annotations for EXPLAIN
+        for spec in semi_specs:
+            spec.rows = self.stats.table_stats(spec.table).row_count
+
+        # 8. ORDER BY … LIMIT k: only the first k sorted rows are ever
+        # output, so the executor may heap-select instead of fully
+        # sorting.  DISTINCT bails (it dedups after the sort, so the
+        # full order is needed); sort keys are still computed for every
+        # row, preserving error behaviour exactly.
+        top_k: Optional[int] = None
+        if current.order_by and current.limit is not None and not current.distinct:
+            top_k = (current.offset or 0) + current.limit
+            rewrites.append(f"top-k({top_k})")
+
         applied.extend(rewrites)
         planned = PlannedSelect(
             projections=current.projections,
@@ -811,6 +983,9 @@ class Planner:
             offset=current.offset,
             distinct=current.distinct,
             scan_filters=scan_filters,
+            semi_joins=tuple(semi_specs),
+            index_scans=index_scans,
+            top_k=top_k,
             notes=SelectNotes(
                 scan=scan_note,
                 joins=tuple(join_notes),

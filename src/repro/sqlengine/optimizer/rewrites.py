@@ -27,7 +27,7 @@ rebuilt with :func:`dataclasses.replace`.
 
 from __future__ import annotations
 
-from dataclasses import replace
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..ast_nodes import (
@@ -53,7 +53,7 @@ from ..ast_nodes import (
 )
 from ..catalog import Schema, Table
 from ..errors import CatalogError
-from ..values import TYPE_CLASSES, sql_compare, sql_equal, sql_not, sql_text
+from ..values import SqlType, TYPE_CLASSES, sql_compare, sql_equal, sql_not, sql_text
 
 
 class Unplannable(Exception):
@@ -678,3 +678,282 @@ def drop_redundant_distinct(
         distinct=False,
     )
     return rebuilt
+
+
+# ---------------------------------------------------------------------------
+# Correlated-subquery decorrelation
+# ---------------------------------------------------------------------------
+#
+# A correlated EXISTS / IN conjunct re-executes its subquery once per
+# outer row — O(outer × inner).  When the correlation is a conjunction
+# of simple equalities over exactly-hashable types, the same 3VL
+# verdict can be computed per outer row from a hash table built once
+# over the inner table: a *hash semi/anti-join*.  Eligibility is
+# deliberately conservative:
+#
+# * the inner query is a single-table SELECT core — no joins, grouping,
+#   aggregates, HAVING or LIMIT/OFFSET; DISTINCT and statically-safe
+#   ORDER BY are semantics-free in EXISTS/IN position and are removed
+#   by :func:`simplify_subquery` first (keeping its rewrite labels);
+# * every inner WHERE conjunct is either local to the inner binding and
+#   provably non-raising, or a correlation equality
+#   ``inner_column = outer_expr`` whose sides both have an *exact* hash
+#   type ({int, text, bool} — REAL is excluded because
+#   ``normalize_for_comparison`` rounds floats while ``sql_equal``
+#   compares them exactly);
+# * removing the conjunct leaves every remaining WHERE conjunct
+#   provably non-raising, so the change in how often each one is
+#   evaluated (the semi-join filters frames *before* WHERE) can never
+#   make a runtime error appear or vanish.
+
+_EXACT_HASH_TYPES = {
+    SqlType.INTEGER: "int",
+    SqlType.TEXT: "text",
+    SqlType.BOOLEAN: "bool",
+}
+
+
+@dataclass
+class SemiJoinSpec:
+    """One decorrelated EXISTS/IN conjunct as a hash semi/anti-join.
+
+    The executor builds ``groups`` over the inner ``table`` once per
+    data version — ``{normalized key: [match count, NULL count,
+    normalized IN values]}`` — and keeps an outer frame iff the 3VL
+    verdict of the original conjunct is TRUE (see
+    ``Executor._semi_keep``).
+    """
+
+    table: str
+    binding: str
+    #: correlation equalities as (outer probe expression, inner column)
+    keys: Tuple[Tuple[Expression, str], ...]
+    #: inner-only residual predicate (provably non-raising), or None
+    where: Optional[Expression]
+    anti: bool
+    #: the IN value expression + projected inner column (None for EXISTS)
+    in_probe: Optional[Expression] = None
+    in_column: Optional[str] = None
+    #: inner table cardinality at plan time (EXPLAIN annotation only)
+    rows: int = 0
+    label: str = "exists"
+    #: runtime group cache: (TableData, version, groups) — version-checked
+    cache: Optional[tuple] = field(default=None, compare=False, repr=False)
+
+
+def _conjunction_terms(expr: Optional[Expression]) -> List[Expression]:
+    if expr is None:
+        return []
+    if isinstance(expr, Conjunction) and expr.op == "AND":
+        terms: List[Expression] = []
+        for term in expr.terms:
+            terms.extend(_conjunction_terms(term))
+        return terms
+    return [expr]
+
+
+def _rebuild_conjunction(terms: Sequence[Expression]) -> Optional[Expression]:
+    if not terms:
+        return None
+    if len(terms) == 1:
+        return terms[0]
+    return Conjunction("AND", tuple(terms))
+
+
+def _exact_hash_class(expr: Expression, context: SelectContext) -> Optional[str]:
+    """Hash-key type of ``expr``: "int", "text", "bool", "null" or None.
+
+    ``None`` means the value is not provably hash-exact — either its
+    type is unknown, or it is a REAL/float whose
+    ``normalize_for_comparison`` rounding diverges from ``sql_equal``.
+    """
+    if isinstance(expr, Literal):
+        value = expr.value
+        if value is None:
+            return "null"
+        if isinstance(value, bool):
+            return "bool"
+        if isinstance(value, int):
+            return "int"
+        if isinstance(value, str):
+            return "text"
+        return None
+    if isinstance(expr, ColumnRef):
+        refs = referenced_bindings(expr, context)
+        if not refs:
+            return None
+        (binding,) = refs
+        table = context.table(binding)
+        column = table.column(expr.column) if table is not None else None
+        if column is None:
+            return None
+        return _EXACT_HASH_TYPES.get(column.sql_type)
+    return None
+
+
+def _mentions_inner_scope(expr: Expression, inner_key: str, inner_table: Table) -> bool:
+    """True when any part of ``expr`` could resolve inside the subquery."""
+    if contains_subquery(expr):
+        return True
+    for node in expr.walk():
+        if isinstance(node, Star):
+            return True
+        if not isinstance(node, ColumnRef):
+            continue
+        if node.table is not None:
+            if node.table.lower() == inner_key:
+                return True
+        elif inner_table.has_column(node.column):
+            return True  # unqualified: the inner scope would shadow the outer
+    return False
+
+
+def _correlation_pair(
+    term: Expression,
+    inner_key: str,
+    inner_table: Table,
+    inner_context: SelectContext,
+    outer_context: SelectContext,
+) -> Optional[Tuple[Expression, str]]:
+    """Match ``inner_column = outer_expr`` (either side order)."""
+    if not (isinstance(term, BinaryOp) and term.op == "="):
+        return None
+    for inner_side, outer_side in ((term.left, term.right), (term.right, term.left)):
+        if not isinstance(inner_side, ColumnRef):
+            continue
+        if referenced_bindings(inner_side, inner_context) != {inner_key}:
+            continue
+        inner_class = _exact_hash_class(inner_side, inner_context)
+        if inner_class in (None, "null"):
+            continue
+        if _mentions_inner_scope(outer_side, inner_key, inner_table):
+            continue
+        outer_class = _exact_hash_class(outer_side, outer_context)
+        if outer_class is None:
+            continue
+        if outer_class not in ("null", inner_class):
+            continue
+        return outer_side, inner_side.column
+    return None
+
+
+def try_decorrelate(
+    term: Expression, context: SelectContext, schema: Schema
+) -> Optional[Tuple[SemiJoinSpec, List[str]]]:
+    """Turn one WHERE conjunct into a :class:`SemiJoinSpec`, or bail.
+
+    Returns ``(spec, rewrite labels)`` — the labels include whatever
+    :func:`simplify_subquery` applied to the inner select on the way.
+    """
+    anti = False
+    expr = term
+    while isinstance(expr, UnaryOp) and expr.op == "NOT":
+        # NOT flips TRUE/FALSE and fixes UNKNOWN, exactly like the
+        # executor's sql_not — a parity flip of the anti flag.
+        anti = not anti
+        expr = expr.operand
+    if isinstance(expr, ExistsOp):
+        subquery, in_probe = expr.subquery, None
+        anti = anti != expr.negated
+    elif isinstance(expr, InOp) and expr.subquery is not None and not expr.options:
+        subquery, in_probe = expr.subquery, expr.expr
+        anti = anti != expr.negated
+    else:
+        return None
+    if not isinstance(subquery, SelectQuery):
+        return None  # set operations stay correlated
+    if (
+        subquery.from_table is None
+        or subquery.joins
+        or subquery.group_by
+        or subquery.having is not None
+        or subquery.limit is not None
+        or subquery.offset is not None
+    ):
+        return None
+    role = "exists" if in_probe is None else "in"
+    inner, labels = simplify_subquery(subquery, schema, role)
+    if inner.order_by:
+        return None  # ORDER BY not statically droppable — stays correlated
+    try:
+        inner_context = SelectContext(inner, schema)
+    except Unplannable:
+        return None
+    inner_key = inner.from_table.binding.lower()
+    inner_table = inner_context.table(inner_key)
+    if inner_table is None:
+        return None
+    in_column: Optional[str] = None
+    if in_probe is not None:
+        if len(inner.projections) != 1:
+            return None
+        projection = inner.projections[0].expr
+        if not isinstance(projection, ColumnRef):
+            return None
+        if referenced_bindings(projection, inner_context) != {inner_key}:
+            return None
+        inner_class = _exact_hash_class(projection, inner_context)
+        probe_class = _exact_hash_class(in_probe, context)
+        if inner_class in (None, "null") or probe_class is None:
+            return None
+        if probe_class not in ("null", inner_class):
+            return None
+        in_column = projection.column
+    elif not _projections_prunable(inner, inner_context):
+        return None  # projection could raise (or resolves outward) — bail
+    keys: List[Tuple[Expression, str]] = []
+    local: List[Expression] = []
+    for conjunct in _conjunction_terms(inner.where):
+        refs = referenced_bindings(conjunct, inner_context)
+        if refs is not None and cannot_raise_predicate(conjunct, inner_context):
+            local.append(conjunct)
+            continue
+        pair = _correlation_pair(
+            conjunct, inner_key, inner_table, inner_context, context
+        )
+        if pair is None:
+            return None
+        keys.append(pair)
+    spec = SemiJoinSpec(
+        table=inner_table.name,
+        binding=inner.from_table.binding,
+        keys=tuple(keys),
+        where=_rebuild_conjunction(local),
+        anti=anti,
+        in_probe=in_probe,
+        in_column=in_column,
+        label=role,
+    )
+    shape = "in" if in_probe is not None else "exists"
+    labels = list(labels)
+    labels.append(f"decorrelate-{'not-' if anti else ''}{shape}")
+    return spec, labels
+
+
+def decorrelate_where(
+    where: Optional[Expression], context: SelectContext, schema: Schema
+) -> Optional[Tuple[Optional[Expression], List[SemiJoinSpec], List[str]]]:
+    """Decorrelate every eligible top-level WHERE conjunct.
+
+    Returns ``(residual where, specs, labels)`` or ``None`` when
+    nothing was decorrelated.  All-or-nothing on safety: if any
+    *residual* conjunct could raise, the rewrite is abandoned so the
+    original short-circuit evaluation (and its errors) is preserved.
+    """
+    if where is None:
+        return None
+    residual: List[Expression] = []
+    specs: List[SemiJoinSpec] = []
+    labels: List[str] = []
+    for term in _conjunction_terms(where):
+        attempt = try_decorrelate(term, context, schema)
+        if attempt is None:
+            residual.append(term)
+        else:
+            specs.append(attempt[0])
+            labels.extend(attempt[1])
+    if not specs:
+        return None
+    if not all(cannot_raise_predicate(term, context) for term in residual):
+        return None
+    return _rebuild_conjunction(residual), specs, labels

@@ -12,7 +12,7 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from .catalog import Schema, Table
 from .errors import CatalogError, ConstraintError
-from .values import coerce, normalize_for_comparison
+from .values import coerce, normalize_for_comparison, sort_key
 
 
 class TableData:
@@ -34,6 +34,13 @@ class TableData:
         self._value_sets: Dict[int, Set[Any]] = {}
         # key-column positions -> {normalized key: rows}, built on demand
         self._join_indexes: Dict[Tuple[int, ...], Dict[tuple, List[tuple]]] = {}
+        # column position -> (version, sort keys, row positions); unlike
+        # the incrementally-maintained join indexes, sorted indexes are
+        # version-stamped and rebuilt wholesale — rollback_last shifts
+        # the position space, so incremental maintenance is unsafe
+        self._sorted_indexes: Dict[int, Tuple[int, list, list]] = {}
+        #: observability: full sorted-index (re)builds, for staleness tests
+        self.sorted_index_builds = 0
         # serializes cold index builds when grid workers share a table
         self._index_lock = threading.Lock()
 
@@ -120,6 +127,43 @@ class TableData:
                             index.setdefault(key, []).append(row)
                     self._join_indexes[positions] = index
         return index
+
+    def hash_index(self, position: int) -> Dict[tuple, List[tuple]]:
+        """Secondary hash index on one column: ``{(normalized value,):
+        rows}``.  A view over :meth:`join_index`, so it shares the
+        incremental maintenance (always fresh) and each bucket keeps
+        rows in insertion order — an equality index scan therefore
+        yields candidates in original row order.
+        """
+        return self.join_index((position,))
+
+    def sorted_index(self, position: int) -> Tuple[list, list]:
+        """Secondary sorted index on one column for range scans.
+
+        Returns ``(keys, positions)`` — parallel lists sorted by
+        :func:`~repro.sqlengine.values.sort_key` over the column's
+        non-NULL values (NULL never satisfies a range predicate, so
+        NULL rows are never candidates).  The entry is stamped with
+        :attr:`version` and rebuilt from scratch whenever the row set
+        has changed since, so a stale index is never consulted.
+        """
+        entry = self._sorted_indexes.get(position)
+        if entry is not None and entry[0] == self.version:
+            return entry[1], entry[2]
+        with self._index_lock:
+            entry = self._sorted_indexes.get(position)
+            if entry is not None and entry[0] == self.version:
+                return entry[1], entry[2]
+            pairs = sorted(
+                (sort_key(row[position]), index)
+                for index, row in enumerate(self.rows)
+                if row[position] is not None
+            )
+            keys = [pair[0] for pair in pairs]
+            positions = [pair[1] for pair in pairs]
+            self.sorted_index_builds += 1
+            self._sorted_indexes[position] = (self.version, keys, positions)
+        return keys, positions
 
     def column_values(self, column: str) -> Set[Any]:
         """The set of values present in ``column`` (cached)."""

@@ -1,0 +1,167 @@
+"""Decorrelation semantics: golden plans and 3VL edge cases.
+
+Two layers of pinning:
+
+* golden ``EXPLAIN`` strings, one per rewrite shape (EXISTS / NOT
+  EXISTS / IN / NOT IN, correlated and uncorrelated) — the semi/anti
+  join rendering is part of the public plan surface;
+* targeted NOT-IN-with-NULL cases asserted against stdlib sqlite3 on
+  both engine modes and both optimizer settings, because the rewrite's
+  hardest obligation is preserving three-valued logic: ``x NOT IN
+  (subquery)`` is UNKNOWN — never TRUE — whenever the subquery result
+  contains a NULL and no match, and an empty subquery keeps NOT IN
+  vacuously TRUE even for a NULL probe.
+"""
+
+import itertools
+import textwrap
+
+import pytest
+
+from repro.sqlengine import sqlite_dialect, sqlite_result, to_sqlite
+
+ENGINE_CONFIGS = tuple(itertools.product(("row", "vectorized"), (False, True)))
+
+
+def expected(text: str) -> str:
+    return textwrap.dedent(text).strip("\n")
+
+
+class TestGoldenDecorrelationPlans:
+    def test_correlated_not_exists_becomes_anti_join(self, toy_db):
+        sql = (
+            "SELECT name FROM team AS t WHERE NOT EXISTS "
+            "(SELECT 1 FROM player AS p WHERE p.team_id = t.team_id "
+            "AND p.goals > 10)"
+        )
+        assert toy_db.explain(sql) == expected(
+            """
+            plan for: SELECT name FROM team AS t WHERE NOT EXISTS (SELECT 1 FROM player AS p WHERE p.team_id = t.team_id AND p.goals > 10)
+            select
+              scan team AS t  [rows=3]
+              anti join player AS p ON p.team_id = t.team_id  [rows=5 filter: p.goals > 10]
+              project: name
+            rewrites: decorrelate-not-exists
+            stats epoch: 8
+            """
+        )
+
+    def test_uncorrelated_in_becomes_semi_join(self, toy_db):
+        sql = (
+            "SELECT name FROM team AS t WHERE t.team_id IN "
+            "(SELECT p.team_id FROM player AS p WHERE p.goals > 5)"
+        )
+        assert toy_db.explain(sql) == expected(
+            """
+            plan for: SELECT name FROM team AS t WHERE t.team_id IN (SELECT p.team_id FROM player AS p WHERE p.goals > 5)
+            select
+              scan team AS t  [rows=3]
+              semi join player AS p ON t.team_id IN p.team_id  [rows=5 filter: p.goals > 5]
+              project: name
+            rewrites: decorrelate-in
+            stats epoch: 8
+            """
+        )
+
+    def test_not_in_becomes_anti_join(self, toy_db):
+        sql = (
+            "SELECT name FROM player WHERE goals NOT IN "
+            "(SELECT goals FROM player AS s WHERE s.team_id = 3)"
+        )
+        assert toy_db.explain(sql) == expected(
+            """
+            plan for: SELECT name FROM player WHERE goals NOT IN (SELECT goals FROM player AS s WHERE s.team_id = 3)
+            select
+              scan player  [rows=5]
+              anti join player AS s ON goals IN s.goals  [rows=5 filter: s.team_id = 3]
+              project: name
+            rewrites: decorrelate-not-in
+            stats epoch: 8
+            """
+        )
+
+    def test_correlated_in_keeps_key_and_probe(self, toy_db):
+        sql = (
+            "SELECT name FROM team AS t WHERE t.founded IN "
+            "(SELECT p.goals FROM player AS p WHERE p.team_id = t.team_id)"
+        )
+        plan = toy_db.explain(sql)
+        assert "semi join player AS p ON p.team_id = t.team_id" in plan
+        assert "t.founded IN p.goals" in plan
+        assert "decorrelate-in" in plan
+
+    def test_subquery_limit_blocks_decorrelation(self, toy_db):
+        """LIMIT changes the subquery's multiset — the rewrite must bail
+        and leave the subquery to the per-row evaluator."""
+        sql = (
+            "SELECT name FROM team WHERE team_id IN "
+            "(SELECT team_id FROM player ORDER BY team_id LIMIT 3)"
+        )
+        plan = toy_db.explain(sql)
+        assert "decorrelate" not in plan
+        assert "in subquery:" in plan
+
+    def test_real_typed_probe_blocks_decorrelation(self, toy_db):
+        """REAL is outside the exact hash classes (float normalization
+        rounds), so a height probe must not be hashed."""
+        sql = (
+            "SELECT name FROM player WHERE height IN "
+            "(SELECT height FROM player AS s WHERE s.goals = 7)"
+        )
+        assert "decorrelate" not in toy_db.explain(sql)
+
+
+class TestNotInNullSemantics:
+    """The rewrite must preserve 3VL verdicts bit-for-bit; sqlite3 is
+    the external referee on every engine configuration."""
+
+    CASES = (
+        # Emilio's goals are NULL: the subquery result carries a NULL,
+        # so NOT IN can never be TRUE — zero rows, not "all but team 3"
+        "SELECT name FROM player WHERE goals NOT IN "
+        "(SELECT goals FROM player AS s WHERE s.team_id = 3)",
+        # NULL-free subquery: ordinary anti-join semantics
+        "SELECT name FROM player WHERE goals NOT IN "
+        "(SELECT goals FROM player AS s WHERE s.team_id = 3 "
+        "AND s.goals IS NOT NULL) ORDER BY player_id",
+        # NULL probe against a non-empty subquery: UNKNOWN, row dropped
+        "SELECT name FROM player WHERE goals IN "
+        "(SELECT goals FROM player AS s WHERE s.team_id = 1) "
+        "ORDER BY player_id",
+        # empty subquery: NOT IN is vacuously TRUE for every probe,
+        # including the NULL one
+        "SELECT name FROM player WHERE goals NOT IN "
+        "(SELECT goals FROM player AS s WHERE s.team_id = 99) "
+        "ORDER BY player_id",
+        # correlated NOT EXISTS with a NULL-valued local filter column
+        "SELECT name FROM team AS t WHERE NOT EXISTS "
+        "(SELECT 1 FROM player AS p WHERE p.team_id = t.team_id "
+        "AND p.goals > 10) ORDER BY team_id",
+    )
+
+    @pytest.mark.parametrize("sql", CASES)
+    def test_matches_sqlite_on_every_config(self, toy_db, sql):
+        conn = to_sqlite(toy_db)
+        reference = sqlite_result(conn, sqlite_dialect(sql)).rows
+        for mode, optimize in ENGINE_CONFIGS:
+            got = toy_db.execute(sql, engine_mode=mode, optimize=optimize).rows
+            assert got == reference, (mode, optimize)
+
+    def test_null_bearing_not_in_returns_zero_rows(self, toy_db):
+        result = toy_db.execute(
+            "SELECT name FROM player WHERE goals NOT IN "
+            "(SELECT goals FROM player AS s WHERE s.team_id = 3)"
+        )
+        assert result.rows == []
+
+    def test_group_cache_invalidates_on_mutation(self, toy_db):
+        """The memoized semi-join probe table is version-stamped: a new
+        inner row must change the verdicts on the next execution."""
+        sql = (
+            "SELECT name FROM team AS t WHERE EXISTS "
+            "(SELECT 1 FROM player AS p WHERE p.team_id = t.team_id "
+            "AND p.goals > 20) ORDER BY team_id"
+        )
+        assert toy_db.execute(sql, optimize=True).rows == []
+        toy_db.insert("player", (6, 2, "Falko", 30, 1.77))
+        assert toy_db.execute(sql, optimize=True).rows == [("Germany",)]

@@ -56,16 +56,11 @@ class TestGoldenPlans:
             plan for: SELECT name FROM team AS t WHERE EXISTS (SELECT p.name FROM player AS p WHERE p.team_id = t.team_id) ORDER BY name LIMIT 2
             select
               scan team AS t  [rows=3]
-              where: EXISTS (SELECT 1 FROM player AS p WHERE p.team_id = t.team_id)
+              semi join player AS p ON p.team_id = t.team_id  [rows=5]
               order by: name
               limit 2
               project: name
-              exists subquery:
-                select
-                  scan player AS p  [rows=5]
-                  where: p.team_id = t.team_id
-                  project: 1
-            rewrites: prune-exists-projection
+            rewrites: prune-exists-projection, decorrelate-exists, top-k(2)
             stats epoch: 8
             """
         )

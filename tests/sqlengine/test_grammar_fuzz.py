@@ -7,7 +7,7 @@ under every engine configuration — row vs vectorized × optimizer on/off
 messages carry the (domain, seed) pair so a divergence reproduces with
 one ``load_random_domain``/``differential_fuzz`` call.
 
-Together the cases below push >600 queries through the differential
+Together the cases below push >800 queries through the differential
 harness on every CI run (the engine's own gold-query differentials are
 in test_differential_sqlite.py / test_optimizer_differential.py).
 """
@@ -30,27 +30,31 @@ BUILTIN_CASES = (
     ("retail", 202),
     ("flights", 303),
 )
+BUILTIN_DOMAIN_SEED = 2022
 RANDOM_SEEDS = (7, 91)
-QUERIES_PER_CASE = 110
+QUERIES_PER_CASE = 150
 
 
-def _assert_clean(report):
+def _assert_clean(report, domain_seed):
+    """On divergence, print the full (domain seed, fuzz seed, sql)
+    repro triple — regenerating the domain from its seed and re-running
+    the fuzzer reproduces the exact failing query."""
     detail = [
         f"{divergence.detail}\n  {divergence.sql}"
         for divergence in report.divergences[:5]
     ]
     assert report.ok, (
-        f"repro: domain={report.domain} seed={report.seed} — "
-        + "; ".join(detail)
+        f"repro: domain={report.domain} domain_seed={domain_seed} "
+        f"fuzz_seed={report.seed} — " + "; ".join(detail)
     )
 
 
 @pytest.mark.parametrize("name,seed", BUILTIN_CASES, ids=[c[0] for c in BUILTIN_CASES])
 def test_builtin_domain_differential_fuzz(name, seed):
-    database = load_domain(name, seed=2022)["base"]
+    database = load_domain(name, seed=BUILTIN_DOMAIN_SEED)["base"]
     report = differential_fuzz(database, count=QUERIES_PER_CASE, seed=seed)
     assert report.queries == QUERIES_PER_CASE
-    _assert_clean(report)
+    _assert_clean(report, BUILTIN_DOMAIN_SEED)
 
 
 @pytest.mark.parametrize("seed", RANDOM_SEEDS)
@@ -58,7 +62,7 @@ def test_random_domain_differential_fuzz(seed):
     """Every random-domain seed is a fresh database shape to fuzz."""
     instance = load_random_domain(seed)
     report = differential_fuzz(instance["base"], count=QUERIES_PER_CASE, seed=seed)
-    _assert_clean(report)
+    _assert_clean(report, seed)
 
 
 def test_morphed_domain_differential_fuzz():
@@ -67,7 +71,7 @@ def test_morphed_domain_differential_fuzz():
     instance = load_random_domain(13)
     morph = SchemaMorpher(seed=13).derive(instance["base"], count=1, steps=3)[0]
     report = differential_fuzz(morph.database, count=80, seed=13)
-    _assert_clean(report)
+    _assert_clean(report, 13)
 
 
 def test_fuzzer_is_deterministic():
@@ -79,9 +83,32 @@ def test_fuzzer_is_deterministic():
 
 
 def test_fuzzer_covers_grammar_surface():
-    """The generator exercises joins, aggregation, subqueries and set
-    operations — not just flat scans."""
+    """The generator exercises joins, aggregation, subqueries (the
+    correlated and negated IN shapes included), ORDER BY + LIMIT
+    windows and set operations — not just flat scans."""
     database = load_domain("hospital", seed=2022)["base"]
     corpus = " ".join(GrammarQueryFuzzer(database, seed=8).queries(200))
-    for token in ("JOIN", "GROUP BY", "EXISTS", "UNION", "ILIKE", "BETWEEN", "IN ("):
+    for token in (
+        "JOIN",
+        "GROUP BY",
+        "EXISTS",
+        "UNION",
+        "ILIKE",
+        "BETWEEN",
+        "IN (",
+        "NOT IN",
+        "LIMIT",
+        "OFFSET",
+    ):
         assert token in corpus, token
+
+
+def test_fuzzer_generates_correlated_in_subqueries():
+    """The correlated-IN production emits probes whose subquery WHERE
+    references the outer binding — decorrelation's input shape."""
+    database = load_domain("hospital", seed=2022)["base"]
+    queries = GrammarQueryFuzzer(database, seed=8).queries(200)
+    correlated = [
+        sql for sql in queries if "IN (" in sql and "= T0." in sql and " I0" in sql
+    ]
+    assert len(correlated) >= 10

@@ -43,13 +43,26 @@ class TestModeSelection:
         assert stats["fallback_nodes"] == 0
 
     def test_subquery_falls_back_per_node(self, toy_db):
+        # scalar subqueries stay subqueries (only EXISTS/IN decorrelate),
+        # so the select core still needs the row executor
+        toy_db.execute(
+            "SELECT name FROM player WHERE goals = "
+            "(SELECT max(goals) FROM player)"
+        )
+        stats = modes(toy_db)
+        assert stats["fallback_nodes"] == 1
+        assert stats["vectorized_nodes"] == 0
+
+    def test_decorrelated_in_subquery_vectorizes(self, toy_db):
+        # the optimizer turns this IN into a semi join, so the
+        # vectorized engine no longer needs a row fallback for it
         toy_db.execute(
             "SELECT name FROM team WHERE team_id IN "
             "(SELECT team_id FROM player WHERE goals > 5)"
         )
         stats = modes(toy_db)
-        assert stats["fallback_nodes"] == 1
-        assert stats["vectorized_nodes"] == 0
+        assert stats["fallback_nodes"] == 0
+        assert stats["vectorized_nodes"] == 1
 
     def test_set_operation_sides_selected_independently(self, toy_db):
         # left side vectorizable, right side needs a subquery fallback
