@@ -1,0 +1,215 @@
+#!/usr/bin/env python
+"""Open-loop serving-tier load benchmark → BENCH_serving.json.
+
+Builds the async serving tier over real generated domains, replays a
+:func:`repro.domains.logs.synthesize_logs` question stream (repeats,
+misspellings, off-topic noise — deployment-shaped traffic) as an
+**open-loop Poisson** arrival process at a sweep of offered rates, and
+records per-rate p50/p95/p99 wall latency, achieved QPS, coalescing
+and shed rate, plus the *max sustainable QPS* — the highest offered
+rate whose shed rate stayed within 1% and whose p99 met the SLO.
+
+The artifact follows the BENCH_engine.json conventions: one entry per
+``cases`` key, a ``tracked_metrics`` list naming the lower-is-better
+metrics the CI ``perf-gate`` compares across merge-base and PR head
+via ``scripts/check_bench_regression.py``.  Only latency metrics are
+tracked (the gate flags increases; QPS and shed rate are reported but
+not gated).  A reference copy generated on the development machine is
+committed at ``benchmarks/BENCH_serving.json``.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_serving.py \
+        --domains hospital,retail,flights --rates 25,50,100,200 \
+        --duration 8 --output BENCH_serving.json
+
+    # CI smoke: tiny sweep, seconds not minutes
+    PYTHONPATH=src python scripts/bench_serving.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import platform
+import sys
+import time
+
+from repro.serving import (
+    AsyncTextToSQLService,
+    DomainSpec,
+    QuotaPolicy,
+    max_sustainable_qps,
+    poisson_arrivals,
+    question_stream,
+    run_open_loop,
+)
+
+#: the perf gate compares these (lower is better) across merge-base/PR
+TRACKED_METRICS = ("p50_ms", "p99_ms")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--domains",
+        default="hospital,retail,flights",
+        help="comma-separated generated domains to serve",
+    )
+    parser.add_argument(
+        "--workers",
+        default="thread",
+        choices=["thread", "process"],
+        help="shard worker kind (process = one interpreter per shard)",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=0, help="shard count (default: one per domain)"
+    )
+    parser.add_argument(
+        "--rates",
+        default="25,50,100,200,400",
+        help="comma-separated offered QPS sweep",
+    )
+    parser.add_argument(
+        "--duration", type=float, default=8.0, help="seconds per offered rate"
+    )
+    parser.add_argument(
+        "--stream-size", type=int, default=300, help="distinct log records replayed"
+    )
+    parser.add_argument(
+        "--tenants", type=int, default=4, help="round-robin tenant count"
+    )
+    parser.add_argument(
+        "--quota-rate",
+        type=float,
+        default=0.0,
+        help="per-tenant token-bucket refill QPS (0 disables quotas: "
+        "shedding then measures queue capacity, not tenant limits)",
+    )
+    parser.add_argument("--max-batch", type=int, default=16)
+    parser.add_argument("--max-pending", type=int, default=512)
+    parser.add_argument(
+        "--p99-slo-ms",
+        type=float,
+        default=500.0,
+        help="p99 bound a rate must meet to count as sustained",
+    )
+    parser.add_argument("--seed", type=int, default=2022)
+    parser.add_argument("--train", type=int, default=8)
+    parser.add_argument("--output", default="BENCH_serving.json")
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny sweep for CI: 2 rates x 2 seconds, one domain",
+    )
+    args = parser.parse_args()
+
+    if args.smoke:
+        args.domains = "hospital"
+        args.rates = "20,60"
+        args.duration = 2.0
+        args.stream_size = 80
+
+    domains = [name.strip() for name in args.domains.split(",") if name.strip()]
+    rates = [float(rate) for rate in args.rates.split(",") if rate.strip()]
+    shard_count = args.shards or len(domains)
+
+    started = time.perf_counter()
+    specs = [
+        DomainSpec(domain=name, seed=args.seed, train=args.train, response_cache_size=256)
+        for name in domains
+    ]
+    quota = (
+        QuotaPolicy(rate=args.quota_rate, burst=max(args.quota_rate, 1.0))
+        if args.quota_rate > 0
+        else None
+    )
+    serving = AsyncTextToSQLService.from_specs(
+        specs,
+        shard_count=shard_count,
+        workers=args.workers,
+        max_batch=args.max_batch,
+        max_pending=args.max_pending,
+        quota=quota,
+    )
+    traffic = question_stream(domains, size=args.stream_size, seed=args.seed)
+    tenants = [f"tenant-{index}" for index in range(args.tenants)]
+    print(
+        f"serving {len(domains)} domain(s) on {shard_count} {args.workers} "
+        f"shard(s); {len(traffic)} log records; rates {rates} QPS "
+        f"x {args.duration:.0f}s",
+        flush=True,
+    )
+
+    async def sweep():
+        reports = []
+        async with serving:
+            # warm-up: populate plan/response caches so the measured
+            # rates see steady-state behaviour, not first-touch parsing
+            warm = poisson_arrivals(
+                min(rates), min(2.0, args.duration), seed=args.seed + 999
+            )
+            await run_open_loop(serving, traffic, warm, tenants=tenants)
+            for index, rate in enumerate(rates):
+                arrivals = poisson_arrivals(
+                    rate, args.duration, seed=args.seed + index
+                )
+                report = await run_open_loop(
+                    serving, traffic, arrivals, tenants=tenants, offered_qps=rate
+                )
+                reports.append(report)
+                print(
+                    f"  rate {rate:7.1f} QPS: achieved {report.achieved_qps:7.1f}, "
+                    f"p50 {report.p50_seconds * 1000:7.2f} ms, "
+                    f"p99 {report.p99_seconds * 1000:7.2f} ms, "
+                    f"shed {report.shed_rate:6.2%}, "
+                    f"coalesced {report.coalesced}",
+                    flush=True,
+                )
+        return reports
+
+    reports = asyncio.run(sweep())
+    serving.close()
+
+    slo_seconds = args.p99_slo_ms / 1000.0
+    sustainable = max_sustainable_qps(reports, p99_slo_seconds=slo_seconds)
+    # keyed by the NOMINAL rate: case names must be identical across
+    # merge-base and PR runs for the gate's shared-case matching
+    cases = {
+        f"open_loop_r{rate:g}_{args.workers}": report.as_case()
+        for rate, report in zip(rates, reports)
+    }
+    artifact = {
+        "benchmark": "serving-open-loop",
+        "domains": domains,
+        "workers": args.workers,
+        "shards": shard_count,
+        "max_batch": args.max_batch,
+        "max_pending": args.max_pending,
+        "quota_rate_qps": args.quota_rate,
+        "duration_per_rate_seconds": args.duration,
+        "stream_size": len(traffic),
+        "tenants": args.tenants,
+        "seed": args.seed,
+        "python": platform.python_version(),
+        "max_sustainable_qps": sustainable,
+        "p99_slo_ms": args.p99_slo_ms,
+        "cases": cases,
+        "tracked_metrics": list(TRACKED_METRICS),
+        "final_metrics": serving.metrics(),
+        "wall_seconds": round(time.perf_counter() - started, 2),
+    }
+    with open(args.output, "w") as handle:
+        json.dump(artifact, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(
+        f"max sustainable QPS (shed<=1%, p99<={args.p99_slo_ms:.0f}ms): "
+        f"{sustainable:.1f}\nwrote {args.output} "
+        f"({time.perf_counter() - started:.1f}s total)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

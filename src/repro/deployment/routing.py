@@ -98,35 +98,54 @@ class DomainRouter:
     def add_domain(
         self,
         name: str,
-        service: TextToSQLService,
+        service: Optional[TextToSQLService],
         lexicon: Optional[Iterable[str]] = None,
     ) -> None:
         """Register a per-domain service (first one becomes the default).
 
         The lexicon defaults to :func:`build_lexicon` over the service's
         database; pass an explicit iterable to override or extend.
+        ``service=None`` registers a *remote* domain — routable by
+        lexicon but served elsewhere (the async serving tier dispatches
+        these to shard workers); a remote domain must therefore supply
+        its lexicon explicitly.
         """
-        if name in self._services:
-            raise ValueError(f"domain {name!r} already routed")
-        self._services[name] = service
-        self._lexicons[name] = (
-            set(lexicon) if lexicon is not None else build_lexicon(service.database)
-        )
-        if self.default_domain is None:
-            self.default_domain = name
+        if service is None and lexicon is None:
+            raise ValueError(
+                f"domain {name!r} has no local service; an explicit lexicon "
+                "is required to route it"
+            )
+        if lexicon is not None:
+            tokens = set(lexicon)
+        else:
+            tokens = build_lexicon(service.database)
+        with self._lock:
+            if name in self._services:
+                raise ValueError(f"domain {name!r} already routed")
+            self._services[name] = service
+            self._lexicons[name] = tokens
+            if self.default_domain is None:
+                self.default_domain = name
 
     @property
     def domains(self) -> List[str]:
-        return list(self._services)
+        with self._lock:
+            return list(self._services)
 
     def service(self, name: str) -> TextToSQLService:
-        try:
-            return self._services[name]
-        except KeyError:
-            known = ", ".join(self._services)
+        with self._lock:
+            known = list(self._services)
+            found = name in self._services
+            service = self._services.get(name)
+        if not found:
             raise UnroutableQuestionError(
-                f"unknown domain {name!r} (routed: {known})"
-            ) from None
+                f"unknown domain {name!r} (routed: {', '.join(known)})"
+            )
+        if service is None:
+            raise UnroutableQuestionError(
+                f"domain {name!r} is routed remotely (no in-process service)"
+            )
+        return service
 
     # -- routing ---------------------------------------------------------------
     def route(self, question: str) -> Tuple[str, float]:
@@ -135,11 +154,21 @@ class DomainRouter:
         Ties break by registration order; a zero-overlap question falls
         back to :attr:`default_domain`.
         """
-        if not self._services:
-            raise UnroutableQuestionError("no domains registered")
+        # snapshot under the lock: scoring while another thread registers
+        # a domain would otherwise die mid-iteration ("dictionary changed
+        # size during iteration")
+        with self._lock:
+            if not self._services:
+                raise UnroutableQuestionError("no domains registered")
+            lexicons = list(self._lexicons.items())
+            default = (
+                self.default_domain
+                if self.default_domain in self._services
+                else lexicons[0][0]
+            )
         tokens = _tokens(question)
         best_name, best_score = None, 0.0
-        for name, lexicon in self._lexicons.items():
+        for name, lexicon in lexicons:
             if not tokens:
                 break
             score = len(tokens & lexicon) / len(tokens)
@@ -148,9 +177,7 @@ class DomainRouter:
         if best_name is None:
             # a constructor-supplied default may name a domain that was
             # never registered — fall back to the first registered one
-            if self.default_domain in self._services:
-                return self.default_domain, 0.0
-            return next(iter(self._services)), 0.0
+            return default, 0.0
         return best_name, best_score
 
     def ask(self, question: str, domain: Optional[str] = None) -> RoutedResponse:
@@ -186,12 +213,15 @@ class DomainRouter:
             explicit = self._explicit
             fallbacks = self._fallbacks
             per_domain = dict(self._per_domain)
+            services = dict(self._services)
         return {
             "questions_routed": routed,
             "explicit_routes": explicit,
             "fallback_routes": fallbacks,
             "questions_per_domain": per_domain,
             "domains": {
-                name: service.metrics() for name, service in self._services.items()
+                name: service.metrics()
+                for name, service in services.items()
+                if service is not None
             },
         }

@@ -65,8 +65,11 @@ class TextToSQLService:
     database's mutation epoch (``Database.data_epoch``, bumped by any
     insert or rollback) against the epoch the cache was filled under
     and drops all entries on mismatch, so stale rows are never served
-    after a write.  :meth:`clear_response_cache` remains available for
-    manual resets.
+    after a write.  Inserts are stamped with the epoch observed *before*
+    prediction and rejected if the database (or a concurrent
+    invalidation) moved past it — a mid-request mutation can therefore
+    never pin a pre-mutation answer into a freshly-stamped cache.
+    :meth:`clear_response_cache` remains available for manual resets.
 
     Latency percentiles are computed over a sliding window of the most
     recent ``latency_window`` responses, so a long-running service
@@ -95,18 +98,20 @@ class TextToSQLService:
         self._questions_answered = 0
         self._cache_epoch = database.data_epoch()
         self._cache_invalidations = 0
+        self._cache_stale_rejections = 0
         # guards the counters and latency log under concurrent ask()
         self._metrics_lock = threading.Lock()
 
     def ask(self, question: str) -> ServiceResponse:
+        observed_epoch: Optional[int] = None
         if self.response_cache is not None:
-            self._invalidate_if_mutated()
+            observed_epoch = self._invalidate_if_mutated()
             cached = self.response_cache.get(question)
             if cached is not None:
                 return self._record(replace(cached, from_cache=True, latency_seconds=0.0))
         response = self._answer(question)
         if self.response_cache is not None and response.answered:
-            self.response_cache.put(question, response)
+            self._cache_insert(question, response, observed_epoch)
         return self._record(response)
 
     def ask_many(self, questions: Iterable[str]) -> List[ServiceResponse]:
@@ -117,6 +122,97 @@ class TextToSQLService:
         batches amortize both parse and prediction work.
         """
         return [self.ask(question) for question in questions]
+
+    def ask_batch(self, questions: Sequence[str]) -> List[ServiceResponse]:
+        """Coalesced batch serving: the path the async tier dispatches to.
+
+        Differs from :meth:`ask_many` in two ways that matter at high
+        request rates: repeated questions within the batch share one
+        prediction (they are answered once and fanned out), and every
+        predicted SQL of the batch executes through one
+        ``Database.execute_many`` call so plan-cache-warm statements run
+        back to back.  On any execution error the batch falls back to
+        per-statement execution so one poison query cannot fail its
+        neighbours.  Responses come back in question order and counters
+        advance exactly as if each question had gone through :meth:`ask`.
+        """
+        questions = list(questions)
+        observed_epoch: Optional[int] = None
+        if self.response_cache is not None:
+            observed_epoch = self._invalidate_if_mutated()
+        responses: Dict[int, ServiceResponse] = {}
+        distinct: Dict[str, List[int]] = {}
+        for index, question in enumerate(questions):
+            if self.response_cache is not None:
+                cached = self.response_cache.get(question)
+                if cached is not None:
+                    responses[index] = replace(
+                        cached, from_cache=True, latency_seconds=0.0
+                    )
+                    continue
+            distinct.setdefault(question, []).append(index)
+        executable: List[Tuple[str, Prediction]] = []
+        for question, indexes in distinct.items():
+            prediction: Prediction = self.system.predict(question)
+            if prediction.sql is None:
+                failed = ServiceResponse(
+                    question=question,
+                    predicted_sql=None,
+                    columns=(),
+                    rows=(),
+                    error=prediction.failure or "no SQL generated",
+                    latency_seconds=prediction.latency_seconds,
+                )
+                for index in indexes:
+                    responses[index] = failed
+            else:
+                executable.append((question, prediction))
+        for (question, prediction), result_or_error in zip(
+            executable, self._execute_batch([p.sql for _, p in executable])
+        ):
+            if isinstance(result_or_error, EngineError):
+                response = ServiceResponse(
+                    question=question,
+                    predicted_sql=prediction.sql,
+                    columns=(),
+                    rows=(),
+                    error=f"execution failed: {result_or_error}",
+                    latency_seconds=prediction.latency_seconds,
+                )
+            else:
+                response = ServiceResponse(
+                    question=question,
+                    predicted_sql=prediction.sql,
+                    columns=tuple(result_or_error.columns),
+                    rows=tuple(result_or_error.rows[: self.max_rows]),
+                    error=None,
+                    latency_seconds=prediction.latency_seconds,
+                )
+                if self.response_cache is not None:
+                    self._cache_insert(question, response, observed_epoch)
+            for index in distinct[question]:
+                responses[index] = response
+        return [self._record(responses[index]) for index in range(len(questions))]
+
+    def _execute_batch(self, sqls: List[str]) -> List[Any]:
+        """Execute ``sqls``, one Result (or EngineError) per statement.
+
+        The happy path is a single ``execute_many`` call; if any
+        statement raises, the batch re-runs statement by statement (the
+        plan cache makes the redo cheap) so errors stay isolated.
+        """
+        if not sqls:
+            return []
+        try:
+            return list(self.database.execute_many(sqls))
+        except EngineError:
+            out: List[Any] = []
+            for sql in sqls:
+                try:
+                    out.append(self.database.execute(sql))
+                except EngineError as exc:
+                    out.append(exc)
+            return out
 
     def _answer(self, question: str) -> ServiceResponse:
         prediction: Prediction = self.system.predict(question)
@@ -157,21 +253,49 @@ class TextToSQLService:
             self._latencies.append(response.latency_seconds)
         return response
 
-    def _invalidate_if_mutated(self) -> None:
+    def _invalidate_if_mutated(self) -> int:
         """Drop cached responses when the database changed underneath us.
 
         The clear happens inside the lock, *before* the new epoch is
         published: any thread that later observes a matching epoch is
         therefore guaranteed (lock ordering) the stale entries are
         already gone — there is no window to serve pre-mutation rows.
+
+        Returns the epoch this request observed; :meth:`_cache_insert`
+        uses it to reject answers computed against data that has since
+        mutated.
         """
         epoch = self.database.data_epoch()
         with self._metrics_lock:
-            if epoch == self._cache_epoch:
-                return
-            self.response_cache.clear()
-            self._cache_epoch = epoch
-            self._cache_invalidations += 1
+            # strictly newer only: a lagging thread whose read predates a
+            # concurrent invalidation must not clear fresh entries again
+            if epoch > self._cache_epoch:
+                self.response_cache.clear()
+                self._cache_epoch = epoch
+                self._cache_invalidations += 1
+            return epoch
+
+    def _cache_insert(
+        self, question: str, response: ServiceResponse, observed_epoch: Optional[int]
+    ) -> None:
+        """Insert iff no mutation happened since ``observed_epoch``.
+
+        Closes the TOCTOU between the epoch check at admission and the
+        insert after prediction: a request that raced a mutation (or a
+        concurrent invalidation by another thread) would otherwise pin
+        its pre-mutation answer into a cache already stamped with the
+        *new* epoch, where nothing would ever evict it.  Both
+        comparisons happen under the lock that orders invalidations,
+        so a rejected insert can never resurrect stale rows.
+        """
+        with self._metrics_lock:
+            if (
+                observed_epoch == self._cache_epoch
+                and observed_epoch == self.database.data_epoch()
+            ):
+                self.response_cache.put(question, response)
+            else:
+                self._cache_stale_rejections += 1
 
     def clear_response_cache(self) -> None:
         """Drop all cached responses (manual reset; mutation-driven
@@ -192,12 +316,14 @@ class TextToSQLService:
             served = self._questions_served
             answered = self._questions_answered
             invalidations = self._cache_invalidations
+            stale_rejections = self._cache_stale_rejections
         count = len(latencies)
         cache_stats = (
             self.response_cache.stats() if self.response_cache is not None else None
         )
         if cache_stats is not None:
             cache_stats["invalidations"] = invalidations
+            cache_stats["stale_insert_rejections"] = stale_rejections
         return {
             "questions_served": served,
             "questions_answered": answered,

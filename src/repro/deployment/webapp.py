@@ -10,6 +10,7 @@ need.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -49,18 +50,23 @@ class WebBackend:
     def __init__(self, service: TextToSQLService) -> None:
         self.service = service
         self._logs: List[InteractionLog] = []
+        # orders log-id allocation: `len + 1` then `append` is a
+        # read-modify-write that hands out duplicate ids under
+        # concurrent /ask without it
+        self._log_lock = threading.Lock()
 
     # -- routes ---------------------------------------------------------------
     def ask(self, question: str) -> Dict[str, object]:
         """POST /ask"""
         response: ServiceResponse = self.service.ask(question)
-        log = InteractionLog(
-            log_id=len(self._logs) + 1,
-            question=question,
-            predicted_sql=response.predicted_sql,
-            error=response.error,
-        )
-        self._logs.append(log)
+        with self._log_lock:
+            log = InteractionLog(
+                log_id=len(self._logs) + 1,
+                question=question,
+                predicted_sql=response.predicted_sql,
+                error=response.error,
+            )
+            self._logs.append(log)
         return {
             "log_id": log.log_id,
             "sql": response.predicted_sql,
@@ -84,7 +90,9 @@ class WebBackend:
 
     def logs(self) -> List[LogRecord]:
         """GET /logs"""
-        return [log.as_record() for log in self._logs]
+        with self._log_lock:
+            snapshot = list(self._logs)
+        return [log.as_record() for log in snapshot]
 
     def statistics(self) -> Table1Stats:
         """The deployment's Table 1 aggregation."""

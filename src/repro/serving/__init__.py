@@ -1,0 +1,52 @@
+"""Asyncio serving tier: sharded workers, single-flight, backpressure.
+
+The scale-out layer over :mod:`repro.deployment`: one event loop
+admits (token-bucket quotas), routes (``DomainRouter`` lexicons),
+coalesces (single-flight on in-flight identical questions) and batches
+requests onto per-domain shard workers — threads or processes.  See
+``docs/ARCHITECTURE.md`` ("Serving tier") and
+``scripts/bench_serving.py`` for the open-loop load benchmark.
+"""
+
+from .loadgen import (
+    LoadReport,
+    max_sustainable_qps,
+    poisson_arrivals,
+    question_stream,
+    run_open_loop,
+    summarize,
+)
+from .quota import QuotaPolicy, TokenBucket
+from .service import (
+    DEFAULT_TENANT,
+    AsyncTextToSQLService,
+    Overloaded,
+    ServingResponse,
+)
+from .shards import (
+    DomainSpec,
+    ProcessShard,
+    ThreadShard,
+    assign_shards,
+    build_service,
+)
+
+__all__ = [
+    "AsyncTextToSQLService",
+    "DEFAULT_TENANT",
+    "DomainSpec",
+    "LoadReport",
+    "Overloaded",
+    "ProcessShard",
+    "QuotaPolicy",
+    "ServingResponse",
+    "ThreadShard",
+    "TokenBucket",
+    "assign_shards",
+    "build_service",
+    "max_sustainable_qps",
+    "poisson_arrivals",
+    "question_stream",
+    "run_open_loop",
+    "summarize",
+]

@@ -1,0 +1,207 @@
+"""Open-loop Poisson load generation for the serving tier.
+
+*Open loop* means arrival times are fixed up front (a Poisson process:
+exponential inter-arrival gaps at the offered rate) and every request
+fires at its scheduled instant **regardless of how many are still in
+flight**.  A closed-loop generator — issue, await, issue — caps the
+offered load at the service's own throughput and hides queueing
+collapse entirely (the coordinated-omission trap); the open loop is
+what exposes p99 growth and shedding as the offered rate crosses
+capacity.
+
+Question streams come from :func:`repro.domains.logs.synthesize_logs`,
+so the traffic has the deployment's shape: repeated questions (which
+exercise single-flight and the response cache), misspellings, and
+unanswerable noise — not a uniform shuffle of distinct queries.
+
+``scripts/bench_serving.py`` drives these helpers to produce the
+committed ``benchmarks/BENCH_serving.json`` artifact.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.deployment import percentile
+
+from .service import AsyncTextToSQLService, ServingResponse
+
+
+def poisson_arrivals(
+    rate_qps: float, duration_seconds: float, seed: int = 0
+) -> List[float]:
+    """Arrival offsets (seconds from t0) of a Poisson process.
+
+    Exponential inter-arrival gaps with mean ``1/rate_qps``, truncated
+    at ``duration_seconds``.  Deterministic per seed.
+    """
+    if rate_qps <= 0:
+        raise ValueError(f"rate must be positive, got {rate_qps}")
+    if duration_seconds <= 0:
+        raise ValueError(f"duration must be positive, got {duration_seconds}")
+    rng = random.Random(seed)
+    offsets: List[float] = []
+    clock = 0.0
+    while True:
+        clock += rng.expovariate(rate_qps)
+        if clock >= duration_seconds:
+            return offsets
+        offsets.append(clock)
+
+
+def question_stream(
+    domains: Sequence[str], size: int, seed: int = 0
+) -> List[Tuple[str, str]]:
+    """``size`` ``(domain, question)`` pairs of deployment-shaped traffic.
+
+    Each domain contributes a :func:`synthesize_logs` stream (repeats,
+    misspellings and off-topic noise included); streams are interleaved
+    by a seeded shuffle so consecutive requests hop across domains the
+    way multi-tenant traffic does.
+    """
+    from repro.domains import load_domain
+    from repro.domains.logs import synthesize_logs
+
+    if not domains:
+        raise ValueError("at least one domain is required")
+    per_domain = -(-size // len(domains))  # ceil
+    pairs: List[Tuple[str, str]] = []
+    for domain in domains:
+        instance = load_domain(domain, seed=seed or 2022)
+        records = synthesize_logs(domain, instance.examples, per_domain, seed=seed)
+        pairs.extend((domain, record.question) for record in records)
+    random.Random(seed).shuffle(pairs)
+    return pairs[:size]
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """What one open-loop run measured."""
+
+    offered_qps: float
+    duration_seconds: float  # wall clock, first fire to last completion
+    requests: int
+    completed: int
+    shed: int
+    errors: int
+    timeouts: int
+    coalesced: int
+    achieved_qps: float  # completions / wall clock
+    shed_rate: float
+    p50_seconds: float
+    p95_seconds: float
+    p99_seconds: float
+    mean_seconds: float
+
+    def as_case(self) -> Dict[str, Any]:
+        """The BENCH_serving.json case payload (times in ms)."""
+        return {
+            "offered_qps": round(self.offered_qps, 3),
+            "achieved_qps": round(self.achieved_qps, 3),
+            "requests": self.requests,
+            "completed": self.completed,
+            "shed_rate": round(self.shed_rate, 5),
+            "coalesced": self.coalesced,
+            "errors": self.errors,
+            "timeouts": self.timeouts,
+            "p50_ms": round(self.p50_seconds * 1000.0, 4),
+            "p95_ms": round(self.p95_seconds * 1000.0, 4),
+            "p99_ms": round(self.p99_seconds * 1000.0, 4),
+            "mean_ms": round(self.mean_seconds * 1000.0, 4),
+        }
+
+
+def summarize(
+    responses: Sequence[ServingResponse],
+    offered_qps: float,
+    wall_seconds: float,
+) -> LoadReport:
+    """Aggregate one run's responses into a :class:`LoadReport`."""
+    completed = [r for r in responses if r.status == "ok"]
+    latencies = sorted(r.latency_seconds for r in completed)
+    count = len(latencies)
+    shed = sum(1 for r in responses if r.status == "overloaded")
+    return LoadReport(
+        offered_qps=offered_qps,
+        duration_seconds=wall_seconds,
+        requests=len(responses),
+        completed=count,
+        shed=shed,
+        errors=sum(1 for r in responses if r.status == "error"),
+        timeouts=sum(1 for r in responses if r.status == "timeout"),
+        coalesced=sum(1 for r in responses if r.coalesced),
+        achieved_qps=count / wall_seconds if wall_seconds else 0.0,
+        shed_rate=shed / len(responses) if responses else 0.0,
+        p50_seconds=percentile(latencies, 0.50),
+        p95_seconds=percentile(latencies, 0.95),
+        p99_seconds=percentile(latencies, 0.99),
+        mean_seconds=sum(latencies) / count if count else 0.0,
+    )
+
+
+async def run_open_loop(
+    serving: AsyncTextToSQLService,
+    traffic: Sequence[Tuple[str, str]],
+    arrivals: Sequence[float],
+    tenants: Sequence[str] = ("default",),
+    explicit_domain: bool = False,
+    offered_qps: Optional[float] = None,
+) -> LoadReport:
+    """Fire ``traffic`` at the scheduled ``arrivals``, open loop.
+
+    Requests beyond ``len(traffic)`` wrap around the stream; tenants
+    round-robin over ``tenants``.  ``explicit_domain=True`` bypasses
+    lexicon routing and dispatches each question to its known domain
+    (isolates serving cost from routing cost).
+    """
+    if not traffic:
+        raise ValueError("traffic stream is empty")
+    await serving.start()
+    loop = asyncio.get_running_loop()
+    start = loop.time()
+
+    async def fire(offset: float, index: int) -> ServingResponse:
+        delay = offset - (loop.time() - start)
+        if delay > 0:
+            await asyncio.sleep(delay)
+        domain, question = traffic[index % len(traffic)]
+        return await serving.ask(
+            question,
+            tenant=tenants[index % len(tenants)],
+            domain=domain if explicit_domain else None,
+        )
+
+    tasks = [
+        asyncio.ensure_future(fire(offset, index))
+        for index, offset in enumerate(arrivals)
+    ]
+    responses = list(await asyncio.gather(*tasks))
+    wall = loop.time() - start
+    if offered_qps is None:
+        # derive from the schedule when the caller has no nominal rate
+        offered_qps = len(arrivals) / max(arrivals[-1], 1e-9) if arrivals else 0.0
+    return summarize(responses, offered_qps=offered_qps, wall_seconds=wall)
+
+
+def max_sustainable_qps(
+    reports: Sequence[LoadReport],
+    max_shed_rate: float = 0.01,
+    p99_slo_seconds: Optional[float] = None,
+) -> float:
+    """Highest offered rate that stayed within the SLO.
+
+    A rate *sustains* when its shed rate is at most ``max_shed_rate``
+    and (if given) its p99 stays under ``p99_slo_seconds``.  Returns
+    0.0 when no measured rate qualified.
+    """
+    best = 0.0
+    for report in reports:
+        if report.shed_rate > max_shed_rate:
+            continue
+        if p99_slo_seconds is not None and report.p99_seconds > p99_slo_seconds:
+            continue
+        best = max(best, report.offered_qps)
+    return best

@@ -1,0 +1,116 @@
+"""Admission control: per-tenant token buckets.
+
+The serving tier sheds load *before* it queues — an over-quota tenant
+gets a typed :class:`~repro.serving.service.Overloaded` response
+immediately instead of a slot in a queue that will only grow.  Buckets
+refill continuously (``rate`` tokens/second up to ``burst``), so a
+tenant that pauses earns credit back without any background task.
+
+The clock is injectable: tests drive a fake monotonic clock and every
+admission decision becomes deterministic.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Optional, Tuple
+
+Clock = Callable[[], float]
+
+
+class TokenBucket:
+    """Continuous-refill token bucket (thread-safe, lock per bucket)."""
+
+    def __init__(
+        self, rate: float, burst: float, clock: Clock = time.monotonic
+    ) -> None:
+        if rate < 0:
+            raise ValueError(f"refill rate must be >= 0, got {rate}")
+        if burst <= 0:
+            raise ValueError(f"burst capacity must be positive, got {burst}")
+        self.rate = float(rate)
+        self.capacity = float(burst)
+        self._tokens = float(burst)
+        self._clock = clock
+        self._updated = clock()
+        self._lock = threading.Lock()
+
+    def _refill(self, now: float) -> None:
+        if now > self._updated:
+            self._tokens = min(
+                self.capacity, self._tokens + (now - self._updated) * self.rate
+            )
+        self._updated = now
+
+    def try_acquire(self, tokens: float = 1.0) -> bool:
+        """Take ``tokens`` if available; never blocks."""
+        with self._lock:
+            self._refill(self._clock())
+            if self._tokens >= tokens:
+                self._tokens -= tokens
+                return True
+            return False
+
+    def retry_after(self, tokens: float = 1.0) -> float:
+        """Seconds until ``tokens`` will have accrued (0 if available now)."""
+        with self._lock:
+            self._refill(self._clock())
+            deficit = tokens - self._tokens
+            if deficit <= 0:
+                return 0.0
+            if self.rate == 0:
+                return float("inf")
+            return deficit / self.rate
+
+    @property
+    def tokens(self) -> float:
+        with self._lock:
+            self._refill(self._clock())
+            return self._tokens
+
+
+class QuotaPolicy:
+    """Per-tenant buckets, created on first sight.
+
+    ``rate``/``burst`` are the defaults for unknown tenants; named
+    tenants can be pinned to their own limits via ``overrides`` (e.g.
+    a partner tenant with a higher ceiling, or an abusive one clamped
+    down).  ``admit`` is the single entry point the serving tier calls.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        overrides: Optional[Dict[str, Tuple[float, float]]] = None,
+        clock: Clock = time.monotonic,
+    ) -> None:
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._overrides = dict(overrides or {})
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._lock = threading.Lock()
+
+    def bucket(self, tenant: str) -> TokenBucket:
+        with self._lock:
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                rate, burst = self._overrides.get(tenant, (self.rate, self.burst))
+                bucket = TokenBucket(rate, burst, clock=self._clock)
+                self._buckets[tenant] = bucket
+            return bucket
+
+    def admit(self, tenant: str, tokens: float = 1.0) -> Tuple[bool, float]:
+        """(admitted, retry_after_seconds) for one request by ``tenant``."""
+        bucket = self.bucket(tenant)
+        if bucket.try_acquire(tokens):
+            return True, 0.0
+        return False, bucket.retry_after(tokens)
+
+    def tenants(self) -> Dict[str, float]:
+        """tenant -> remaining tokens (observability)."""
+        with self._lock:
+            buckets = dict(self._buckets)
+        return {tenant: bucket.tokens for tenant, bucket in buckets.items()}

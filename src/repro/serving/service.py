@@ -1,0 +1,499 @@
+"""The asyncio serving tier: sharded, coalescing, load-shedding.
+
+:class:`AsyncTextToSQLService` is the front end the "millions of
+users" north star asks for.  One event loop owns admission, routing
+and batching; the per-domain services run behind it on shard workers
+(threads or processes, see :mod:`repro.serving.shards`).  The request
+path is:
+
+1. **Admission** — per-tenant token buckets
+   (:class:`~repro.serving.quota.QuotaPolicy`).  Over quota, or with
+   the global pending ceiling reached, the request is *shed* with a
+   typed :class:`Overloaded` response carrying ``retry_after`` —
+   never queued, never hung.
+2. **Routing** — :class:`~repro.deployment.routing.DomainRouter`
+   lexicon dispatch (or an explicit ``domain=``).  The router runs in
+   the front end even when the databases live in worker processes:
+   shards export their routing lexicons at startup.
+3. **Single-flight** — identical in-flight ``(domain, question)``
+   pairs coalesce onto one future; only the first arrival reaches a
+   worker, every waiter gets the same
+   :class:`~repro.deployment.service.ServiceResponse` (the async
+   analogue of the response cache, covering the window *before* the
+   cache is filled).
+4. **Batching** — a per-shard dispatcher drains its queue up to
+   ``max_batch`` requests and ships them as one
+   :meth:`~repro.deployment.service.TextToSQLService.ask_batch` call,
+   which executes the batch's SQL through one ``execute_many``.
+
+All mutable state is owned by the event loop; ``metrics()`` reads are
+safe from any thread.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.deployment import (
+    DomainRouter,
+    ServiceResponse,
+    UnroutableQuestionError,
+    percentile,
+)
+
+from .quota import QuotaPolicy
+from .shards import DomainSpec, ProcessShard, ThreadShard, assign_shards, build_service
+
+DEFAULT_TENANT = "default"
+
+
+@dataclass(frozen=True)
+class ServingResponse:
+    """What the async tier returns for one request."""
+
+    question: str
+    tenant: str
+    domain: Optional[str]
+    status: str  # "ok" | "overloaded" | "timeout" | "error"
+    response: Optional[ServiceResponse] = None
+    latency_seconds: float = 0.0  # wall clock, admission -> completion
+    coalesced: bool = False  # rode another request's in-flight future
+    retry_after: Optional[float] = None
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    @property
+    def shed(self) -> bool:
+        return self.status == "overloaded"
+
+    @property
+    def answered(self) -> bool:
+        return self.response is not None and self.response.answered
+
+
+@dataclass(frozen=True)
+class Overloaded(ServingResponse):
+    """Typed shed response: admission control refused the request.
+
+    ``reason`` is ``"tenant_quota"`` (token bucket empty) or
+    ``"queue_full"`` (global pending ceiling reached); ``retry_after``
+    tells the client when trying again can succeed.
+    """
+
+    status: str = "overloaded"
+    reason: str = "tenant_quota"
+
+
+class _Pending:
+    """One enqueued request: (routing key, the future its askers await)."""
+
+    __slots__ = ("domain", "question", "future")
+
+    def __init__(self, domain: str, question: str, future: "asyncio.Future") -> None:
+        self.domain = domain
+        self.question = question
+        self.future = future
+
+
+class AsyncTextToSQLService:
+    """Asyncio front end over sharded per-domain Text-to-SQL services."""
+
+    def __init__(
+        self,
+        shards: Sequence[Any],
+        router: Optional[DomainRouter] = None,
+        *,
+        max_batch: int = 16,
+        max_pending: int = 256,
+        quota: Optional[QuotaPolicy] = None,
+        single_flight: bool = True,
+        request_timeout: Optional[float] = None,
+        latency_window: int = 8192,
+    ) -> None:
+        if max_batch <= 0:
+            raise ValueError(f"max_batch must be positive, got {max_batch}")
+        if max_pending <= 0:
+            raise ValueError(f"max_pending must be positive, got {max_pending}")
+        self._shards = list(shards)
+        self._domain_shard: Dict[str, int] = {}
+        for index, shard in enumerate(self._shards):
+            for domain in shard.domains:
+                if domain in self._domain_shard:
+                    raise ValueError(f"domain {domain!r} assigned to two shards")
+                self._domain_shard[domain] = index
+        if router is None:
+            router = DomainRouter()
+            for shard in self._shards:
+                lexicons = shard.lexicons()
+                for domain in shard.domains:
+                    # thread shards keep an in-process service reachable
+                    # through the router; process shards register
+                    # lexicon-only (remote) domains
+                    service = (
+                        shard.service(domain) if hasattr(shard, "service") else None
+                    )
+                    router.add_domain(domain, service, lexicon=lexicons[domain])
+        self.router = router
+        self.max_batch = max_batch
+        self.max_pending = max_pending
+        self.quota = quota
+        self.single_flight = single_flight
+        self.request_timeout = request_timeout
+        # -- event-loop-owned state --------------------------------------
+        self._queues: List["asyncio.Queue[_Pending]"] = []
+        self._dispatchers: List["asyncio.Task"] = []
+        self._inflight: Dict[Tuple[str, str], "asyncio.Future"] = {}
+        self._pending = 0
+        self._started = False
+        # -- counters ----------------------------------------------------
+        self._admitted = 0
+        self._completed = 0
+        self._coalesced = 0
+        self._shed_quota = 0
+        self._shed_queue = 0
+        self._timeouts = 0
+        self._errors = 0
+        self._batches = 0
+        self._batched_questions = 0
+        self._max_batch_size = 0
+        self._per_domain: Dict[str, int] = {}
+        self._latencies: Deque[float] = deque(maxlen=latency_window)
+
+    # -- construction ------------------------------------------------------
+    @classmethod
+    def from_router(
+        cls, router: DomainRouter, shard_count: int = 1, **kwargs
+    ) -> "AsyncTextToSQLService":
+        """Shard an existing (thread-based) router's services."""
+        assignment = assign_shards(router.domains, shard_count)
+        shards = [
+            ThreadShard({domain: router.service(domain) for domain in group})
+            for group in assignment
+        ]
+        return cls(shards, router=router, **kwargs)
+
+    @classmethod
+    def from_specs(
+        cls,
+        specs: Sequence[DomainSpec],
+        shard_count: int = 1,
+        workers: str = "thread",
+        **kwargs,
+    ) -> "AsyncTextToSQLService":
+        """Build shards from picklable recipes (see :class:`DomainSpec`).
+
+        ``workers="thread"`` keeps every service in-process behind
+        per-shard worker threads; ``workers="process"`` gives each shard
+        a dedicated worker process with its own interpreter and GIL —
+        the deployment shape, and what ``scripts/bench_serving.py``
+        measures.
+        """
+        if workers not in ("thread", "process"):
+            raise ValueError(
+                f"workers must be 'thread' or 'process', got {workers!r}"
+            )
+        by_domain = {spec.domain: spec for spec in specs}
+        if len(by_domain) != len(specs):
+            raise ValueError("duplicate domain in specs")
+        assignment = assign_shards([spec.domain for spec in specs], shard_count)
+        if workers == "process":
+            shards: List[Any] = [
+                ProcessShard([by_domain[domain] for domain in group])
+                for group in assignment
+            ]
+        else:
+            shards = [
+                ThreadShard(
+                    {domain: build_service(by_domain[domain]) for domain in group}
+                )
+                for group in assignment
+            ]
+        return cls(shards, **kwargs)
+
+    # -- lifecycle ---------------------------------------------------------
+    async def start(self) -> None:
+        """Spin up one dispatcher task per shard (idempotent)."""
+        if self._started:
+            return
+        loop = asyncio.get_running_loop()
+        self._queues = [asyncio.Queue() for _ in self._shards]
+        self._dispatchers = [
+            loop.create_task(self._dispatch(index), name=f"serving-dispatch-{index}")
+            for index in range(len(self._shards))
+        ]
+        self._started = True
+
+    async def stop(self) -> None:
+        """Cancel dispatchers and fail whatever was still queued."""
+        for task in self._dispatchers:
+            task.cancel()
+        if self._dispatchers:
+            await asyncio.gather(*self._dispatchers, return_exceptions=True)
+        self._dispatchers = []
+        for queue in self._queues:
+            while True:
+                try:
+                    item = queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                self._resolve(item, error=RuntimeError("serving tier stopped"))
+        self._queues = []
+        self._started = False
+
+    def close(self) -> None:
+        """Shut down shard workers (call after :meth:`stop`)."""
+        for shard in self._shards:
+            shard.close()
+
+    async def __aenter__(self) -> "AsyncTextToSQLService":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+        self.close()
+
+    # -- serving -----------------------------------------------------------
+    async def ask(
+        self,
+        question: str,
+        tenant: str = DEFAULT_TENANT,
+        domain: Optional[str] = None,
+    ) -> ServingResponse:
+        """Serve one question; resolves to a typed response, never hangs.
+
+        Raises :class:`UnroutableQuestionError` only for an explicitly
+        named unknown domain (caller error); every load condition comes
+        back as a response (``overloaded`` / ``timeout`` / ``error``).
+        """
+        await self.start()
+        start = time.perf_counter()
+        if self.quota is not None:
+            admitted, retry_after = self.quota.admit(tenant)
+            if not admitted:
+                self._shed_quota += 1
+                return Overloaded(
+                    question=question,
+                    tenant=tenant,
+                    domain=domain,
+                    reason="tenant_quota",
+                    retry_after=retry_after,
+                )
+        if domain is not None:
+            if domain not in self._domain_shard:
+                known = ", ".join(sorted(self._domain_shard))
+                raise UnroutableQuestionError(
+                    f"unknown domain {domain!r} (served: {known})"
+                )
+            name = domain
+        else:
+            name, _score = self.router.route(question)
+        self._admitted += 1
+        self._per_domain[name] = self._per_domain.get(name, 0) + 1
+        key = (name, question)
+        if self.single_flight:
+            existing = self._inflight.get(key)
+            if existing is not None:
+                self._coalesced += 1
+                return await self._await_outcome(
+                    existing, question, tenant, name, start, coalesced=True
+                )
+        if self._pending >= self.max_pending:
+            self._shed_queue += 1
+            return Overloaded(
+                question=question,
+                tenant=tenant,
+                domain=name,
+                reason="queue_full",
+                retry_after=None,
+            )
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future" = loop.create_future()
+        if self.single_flight:
+            self._inflight[key] = future
+        self._pending += 1
+        self._queues[self._domain_shard[name]].put_nowait(
+            _Pending(name, question, future)
+        )
+        return await self._await_outcome(
+            future, question, tenant, name, start, coalesced=False
+        )
+
+    async def ask_many(
+        self,
+        questions: Sequence[str],
+        tenant: str = DEFAULT_TENANT,
+        domain: Optional[str] = None,
+    ) -> List[ServingResponse]:
+        """Serve a burst concurrently; responses in question order."""
+        return list(
+            await asyncio.gather(
+                *(self.ask(question, tenant=tenant, domain=domain) for question in questions)
+            )
+        )
+
+    async def _await_outcome(
+        self,
+        future: "asyncio.Future",
+        question: str,
+        tenant: str,
+        domain: str,
+        start: float,
+        coalesced: bool,
+    ) -> ServingResponse:
+        try:
+            if self.request_timeout is not None:
+                # shield: a timed-out waiter must not cancel the shared
+                # single-flight future other requests are riding on
+                response = await asyncio.wait_for(
+                    asyncio.shield(future), self.request_timeout
+                )
+            else:
+                response = await future
+        except asyncio.TimeoutError:
+            self._timeouts += 1
+            return ServingResponse(
+                question=question,
+                tenant=tenant,
+                domain=domain,
+                status="timeout",
+                latency_seconds=time.perf_counter() - start,
+                coalesced=coalesced,
+            )
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # worker/shard failure: typed, not raised
+            self._errors += 1
+            return ServingResponse(
+                question=question,
+                tenant=tenant,
+                domain=domain,
+                status="error",
+                latency_seconds=time.perf_counter() - start,
+                coalesced=coalesced,
+                error=str(exc),
+            )
+        elapsed = time.perf_counter() - start
+        self._completed += 1
+        self._latencies.append(elapsed)
+        return ServingResponse(
+            question=question,
+            tenant=tenant,
+            domain=domain,
+            status="ok",
+            response=response,
+            latency_seconds=elapsed,
+            coalesced=coalesced,
+        )
+
+    # -- dispatch ----------------------------------------------------------
+    async def _dispatch(self, shard_index: int) -> None:
+        """Drain one shard's queue into ask_batch calls, forever."""
+        queue = self._queues[shard_index]
+        shard = self._shards[shard_index]
+        while True:
+            first = await queue.get()
+            batch = [first]
+            while len(batch) < self.max_batch:
+                try:
+                    batch.append(queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            groups: Dict[str, List[_Pending]] = {}
+            for item in batch:
+                groups.setdefault(item.domain, []).append(item)
+            for domain, items in groups.items():
+                questions = [item.question for item in items]
+                self._batches += 1
+                self._batched_questions += len(questions)
+                self._max_batch_size = max(self._max_batch_size, len(questions))
+                try:
+                    responses = await asyncio.wrap_future(
+                        shard.submit_batch(domain, questions)
+                    )
+                except asyncio.CancelledError:
+                    for item in items:
+                        self._resolve(
+                            item, error=RuntimeError("serving tier stopped")
+                        )
+                    raise
+                except Exception as exc:
+                    for item in items:
+                        self._resolve(item, error=exc)
+                    continue
+                for item, response in zip(items, responses):
+                    self._resolve(item, response=response)
+
+    def _resolve(
+        self,
+        item: _Pending,
+        response: Optional[ServiceResponse] = None,
+        error: Optional[BaseException] = None,
+    ) -> None:
+        self._pending -= 1
+        self._inflight.pop((item.domain, item.question), None)
+        if item.future.done():
+            return
+        if error is not None:
+            item.future.set_exception(error)
+        else:
+            item.future.set_result(response)
+
+    # -- observability -----------------------------------------------------
+    def metrics(self, include_shards: bool = False) -> Dict[str, Any]:
+        """Front-end counters, wall-latency percentiles, batch shape.
+
+        ``include_shards=True`` adds every shard's per-domain service
+        metrics (a worker round-trip for process shards — keep it off
+        on the hot path).
+        """
+        latencies = sorted(self._latencies)
+        count = len(latencies)
+        shed = self._shed_quota + self._shed_queue
+        requests = self._admitted + shed
+        out: Dict[str, Any] = {
+            "requests": requests,
+            "admitted": self._admitted,
+            "completed": self._completed,
+            "coalesced": self._coalesced,
+            "shed": {
+                "tenant_quota": self._shed_quota,
+                "queue_full": self._shed_queue,
+                "total": shed,
+            },
+            "shed_rate": shed / requests if requests else 0.0,
+            "timeouts": self._timeouts,
+            "errors": self._errors,
+            "pending": self._pending,
+            "inflight_keys": len(self._inflight),
+            "batches": self._batches,
+            "batched_questions": self._batched_questions,
+            "mean_batch_size": (
+                self._batched_questions / self._batches if self._batches else 0.0
+            ),
+            "max_batch_size": self._max_batch_size,
+            "questions_per_domain": dict(self._per_domain),
+            "shard_count": len(self._shards),
+            "domains": {
+                domain: index for domain, index in sorted(self._domain_shard.items())
+            },
+            "wall_latency": {
+                "count": count,
+                "mean_seconds": sum(latencies) / count if count else 0.0,
+                "p50_seconds": percentile(latencies, 0.50),
+                "p95_seconds": percentile(latencies, 0.95),
+                "p99_seconds": percentile(latencies, 0.99),
+            },
+        }
+        if self.quota is not None:
+            out["tenants"] = self.quota.tenants()
+        if include_shards:
+            out["shards"] = [shard.metrics() for shard in self._shards]
+        return out

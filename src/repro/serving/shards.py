@@ -1,0 +1,192 @@
+"""Shard workers: where the per-domain services actually run.
+
+A *shard* owns a disjoint subset of the registered domains and
+serializes their batches through one worker — either a dedicated
+thread in this process (:class:`ThreadShard`) or a dedicated worker
+process (:class:`ProcessShard`, its own interpreter and GIL).  Both
+expose the same surface to the async front end:
+
+* ``submit_batch(domain, questions)`` — a concurrent Future of one
+  :class:`~repro.deployment.service.ServiceResponse` per question,
+  answered through :meth:`TextToSQLService.ask_batch` (single
+  ``execute_many`` per batch);
+* ``lexicons()`` — domain → routing vocabulary, so the front end can
+  run :class:`~repro.deployment.routing.DomainRouter` dispatch without
+  holding the databases;
+* ``metrics()`` — per-domain service metrics.
+
+Process shards are built from :class:`DomainSpec` — a picklable recipe
+(domain name, seed, system, train size) the worker initializer turns
+into live services on its side of the fork.  Nothing heavier than
+strings and ints ever crosses the process boundary on the way in, and
+``ServiceResponse`` (plain tuples) on the way out.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.deployment import TextToSQLService, build_lexicon
+
+DEFAULT_SYSTEM = "GPT-3.5"
+
+
+@dataclass(frozen=True)
+class DomainSpec:
+    """Picklable recipe for one per-domain service."""
+
+    domain: str
+    seed: int = 2022
+    system: str = DEFAULT_SYSTEM  # a TextToSQLSystem.spec.name
+    train: int = 8  # training pairs / few-shot pool size
+    response_cache_size: int = 256
+    max_rows: int = 100
+    engine_mode: str = "auto"
+
+
+def _system_class(name: str):
+    from repro.systems import ALL_SYSTEMS
+
+    by_name = {cls.spec.name: cls for cls in ALL_SYSTEMS}
+    try:
+        return by_name[name]
+    except KeyError:
+        known = ", ".join(sorted(by_name))
+        raise ValueError(f"unknown system {name!r} (available: {known})") from None
+
+
+def build_service(spec: DomainSpec) -> TextToSQLService:
+    """Materialize one spec into a live per-domain service."""
+    from repro.benchmark import BenchmarkDataset
+    from repro.domains import load_domain
+    from repro.evaluation import Harness
+
+    instance = load_domain(spec.domain, seed=spec.seed)
+    dataset = BenchmarkDataset.from_domain(instance, seed=spec.seed)
+    harness = Harness(instance, dataset)
+    version = instance.base_version
+    system = harness.build_system(_system_class(spec.system), version)
+    system.fine_tune(dataset.train_pairs(version)[: spec.train])
+    database = instance[version]
+    database.engine_mode = spec.engine_mode
+    return TextToSQLService(
+        system,
+        database,
+        max_rows=spec.max_rows,
+        response_cache_size=spec.response_cache_size,
+    )
+
+
+def assign_shards(domains: Sequence[str], shard_count: int) -> List[List[str]]:
+    """Round-robin domains over ``shard_count`` shards, registration order.
+
+    Deterministic (no hashing), and never returns empty shards: the
+    effective shard count is capped at the domain count.
+    """
+    if shard_count <= 0:
+        raise ValueError(f"shard count must be positive, got {shard_count}")
+    count = min(shard_count, len(domains)) or 1
+    shards: List[List[str]] = [[] for _ in range(count)]
+    for index, domain in enumerate(domains):
+        shards[index % count].append(domain)
+    return shards
+
+
+class ThreadShard:
+    """Services live in-process; one worker thread serializes batches."""
+
+    def __init__(self, services: Dict[str, TextToSQLService]) -> None:
+        self._services = dict(services)
+        self._pool = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="serving-shard"
+        )
+
+    @property
+    def domains(self) -> List[str]:
+        return list(self._services)
+
+    def service(self, domain: str) -> TextToSQLService:
+        return self._services[domain]
+
+    def submit_batch(self, domain: str, questions: Sequence[str]) -> "Future":
+        return self._pool.submit(self._services[domain].ask_batch, list(questions))
+
+    def lexicons(self) -> Dict[str, Set[str]]:
+        return {
+            domain: build_lexicon(service.database)
+            for domain, service in self._services.items()
+        }
+
+    def metrics(self) -> Dict[str, Any]:
+        return {
+            domain: service.metrics()
+            for domain, service in self._services.items()
+        }
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=False, cancel_futures=True)
+
+
+# -- process-shard worker side -------------------------------------------------
+# Module-level state: each ProcessShard worker process builds its
+# services once in the initializer; the entry points below close over
+# nothing, so everything submitted to the pool pickles trivially.
+
+_WORKER_SERVICES: Dict[str, TextToSQLService] = {}
+
+
+def _init_worker(specs: Tuple[DomainSpec, ...]) -> None:
+    for spec in specs:
+        _WORKER_SERVICES[spec.domain] = build_service(spec)
+
+
+def _worker_ask_batch(domain: str, questions: List[str]):
+    return _WORKER_SERVICES[domain].ask_batch(questions)
+
+
+def _worker_lexicons() -> Dict[str, Set[str]]:
+    return {
+        domain: build_lexicon(service.database)
+        for domain, service in _WORKER_SERVICES.items()
+    }
+
+
+def _worker_metrics() -> Dict[str, Any]:
+    return {
+        domain: service.metrics() for domain, service in _WORKER_SERVICES.items()
+    }
+
+
+class ProcessShard:
+    """Services live in one dedicated worker process (its own GIL).
+
+    The pool has exactly one worker, so a shard's batches serialize in
+    submission order — the same execution model as :class:`ThreadShard`,
+    scaled out to real CPU parallelism across shards.
+    """
+
+    def __init__(self, specs: Sequence[DomainSpec]) -> None:
+        self._specs = tuple(specs)
+        self._pool = ProcessPoolExecutor(
+            max_workers=1,
+            initializer=_init_worker,
+            initargs=(self._specs,),
+        )
+
+    @property
+    def domains(self) -> List[str]:
+        return [spec.domain for spec in self._specs]
+
+    def submit_batch(self, domain: str, questions: Sequence[str]) -> "Future":
+        return self._pool.submit(_worker_ask_batch, domain, list(questions))
+
+    def lexicons(self) -> Dict[str, Set[str]]:
+        return self._pool.submit(_worker_lexicons).result()
+
+    def metrics(self) -> Dict[str, Any]:
+        return self._pool.submit(_worker_metrics).result()
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=False, cancel_futures=True)

@@ -480,6 +480,9 @@ class VectorizedExecutor:
         overrides: Optional[Dict[int, list]],
     ) -> Result:
         """Mirror of ``Executor._finalize``: order → distinct → limit."""
+        if select.limit == 0:
+            # LIMIT 0 short-circuit, mirroring the row executor.
+            return Result(names, [])
         ordered = list(range(len(rows)))
         if select.order_by:
             keys_per_item = [

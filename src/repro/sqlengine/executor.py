@@ -796,6 +796,11 @@ class Executor:
         rows: List[tuple],
         scopes: List[Scope],
     ) -> Result:
+        if query.limit == 0:
+            # LIMIT 0 emits no rows no matter the ordering or offset;
+            # skip sorting/dedup entirely (sqlite likewise never
+            # evaluates ORDER BY keys for rows it will not emit).
+            return Result(columns, [])
         ordered = list(range(len(rows)))
         if query.order_by:
             keys_per_item = []

@@ -967,7 +967,10 @@ class Planner:
         # row, preserving error behaviour exactly.
         top_k: Optional[int] = None
         if current.order_by and current.limit is not None and not current.distinct:
-            top_k = (current.offset or 0) + current.limit
+            # LIMIT 0 can never emit a row regardless of OFFSET: plan a
+            # zero-row selection (the executors short-circuit on it)
+            # instead of a size-`offset` heap whose output is discarded.
+            top_k = 0 if current.limit == 0 else (current.offset or 0) + current.limit
             rewrites.append(f"top-k({top_k})")
 
         applied.extend(rewrites)

@@ -1,0 +1,327 @@
+"""Concurrency regression suite for the thread-based service path.
+
+Three classes of bug this file locks down (ISSUE 7 satellites):
+
+* counter / sliding-window exactness under concurrent ``ask_many``
+  (every read-modify-write must hold ``_metrics_lock``);
+* the response-cache staleness TOCTOU — a ``data_epoch`` bump between
+  the epoch check at admission and the cache insert after prediction
+  used to pin a pre-mutation answer into a cache stamped with the new
+  epoch, where nothing would ever evict it;
+* ``WebBackend`` log-id allocation (``len + 1`` then ``append``) handing
+  out duplicate ids under concurrent ``/ask``.
+
+All services here run on tiny private databases with stub systems, so
+every assertion is deterministic and fast.
+"""
+
+import sys
+import threading
+
+import pytest
+
+from repro.deployment import DomainRouter, TextToSQLService, WebBackend, percentile
+from repro.sqlengine import Database, Schema, make_column
+from repro.systems import Prediction
+
+
+def _database(name="conc", teams=(("Brazil",), ("Chile",))):
+    schema = Schema(name)
+    schema.create_table(
+        "team",
+        [
+            make_column("team_id", "int", primary_key=True),
+            make_column("name", "text"),
+        ],
+    )
+    database = Database(schema)
+    for index, (team,) in enumerate(teams, start=1):
+        database.insert("team", (index, team))
+    return database
+
+
+class StubSystem:
+    """Thread-safe deterministic stand-in for a Text-to-SQL system."""
+
+    def __init__(self, answers):
+        self.answers = dict(answers)
+        self._lock = threading.Lock()
+        self.predictions = 0
+
+    def predict(self, question):
+        with self._lock:
+            self.predictions += 1
+        sql = self.answers.get(question)
+        if sql is None:
+            return Prediction(sql=None, failure="no_candidate", latency_seconds=0.1)
+        return Prediction(sql=sql, latency_seconds=0.5)
+
+
+GOOD = "list the teams"
+BAD = "unanswerable gibberish zzz?"
+GOOD_SQL = "SELECT name FROM team ORDER BY team_id"
+
+
+def _service(cache=32, latency_window=TextToSQLService.DEFAULT_LATENCY_WINDOW):
+    return TextToSQLService(
+        StubSystem({GOOD: GOOD_SQL}),
+        _database(),
+        response_cache_size=cache,
+        latency_window=latency_window,
+    )
+
+
+def _hammer(worker, threads=8):
+    """Run ``worker`` across ``threads`` barrier-synchronized threads."""
+    barrier = threading.Barrier(threads)
+    errors = []
+
+    def run(index):
+        try:
+            barrier.wait()
+            worker(index)
+        except BaseException as exc:  # noqa: BLE001 - reraised below
+            errors.append(exc)
+
+    pool = [threading.Thread(target=run, args=(i,)) for i in range(threads)]
+    for thread in pool:
+        thread.start()
+    for thread in pool:
+        thread.join()
+    if errors:
+        raise errors[0]
+
+
+@pytest.fixture()
+def fast_switching():
+    """Shrink the GIL switch interval so RMW races interleave reliably."""
+    previous = sys.getswitchinterval()
+    sys.setswitchinterval(1e-6)
+    yield
+    sys.setswitchinterval(previous)
+
+
+class TestCounterExactness:
+    THREADS = 8
+    PER_THREAD = 50
+
+    def test_concurrent_ask_many_counters_exact(self, fast_switching):
+        service = _service(cache=0)
+        batch = [GOOD, BAD, GOOD] * (self.PER_THREAD // 3) + [GOOD]
+        _hammer(lambda _: service.ask_many(batch), threads=self.THREADS)
+        total = self.THREADS * len(batch)
+        answered = self.THREADS * sum(1 for q in batch if q == GOOD)
+        metrics = service.metrics()
+        assert metrics["questions_served"] == total
+        assert metrics["questions_answered"] == answered
+        assert metrics["latency_window_size"] == total
+
+    def test_concurrent_ask_batch_counters_exact(self, fast_switching):
+        service = _service(cache=0)
+        batch = [GOOD, BAD, GOOD, GOOD]
+        _hammer(lambda _: service.ask_batch(batch), threads=self.THREADS)
+        metrics = service.metrics()
+        assert metrics["questions_served"] == self.THREADS * len(batch)
+        assert metrics["questions_answered"] == self.THREADS * 3
+
+    def test_window_eviction_boundary_under_load(self, fast_switching):
+        window = 64
+        service = _service(cache=0, latency_window=window)
+        _hammer(lambda _: service.ask_many([GOOD] * 32), threads=4)
+        metrics = service.metrics()
+        assert metrics["questions_served"] == 128
+        assert metrics["latency_window_size"] == window  # evicted down to window
+        # the window now holds only full-prediction latencies (0.5s each)
+        assert metrics["p50_latency_seconds"] == pytest.approx(0.5)
+
+    def test_metrics_observed_concurrently_with_inflight_requests(
+        self, fast_switching
+    ):
+        service = _service(cache=8)
+        snapshots = []
+
+        def observe(index):
+            if index == 0:
+                for _ in range(200):
+                    snapshots.append(service.metrics())
+            else:
+                service.ask_many([GOOD, BAD] * 25)
+
+        _hammer(observe, threads=5)
+        served = [snap["questions_served"] for snap in snapshots]
+        assert served == sorted(served)  # monotone under concurrent asks
+        for snap in snapshots:
+            assert snap["questions_answered"] <= snap["questions_served"]
+            assert 0.0 <= snap["answer_rate"] <= 1.0
+
+
+class TestWebBackendLogIds:
+    def test_concurrent_ask_allocates_unique_log_ids(self, fast_switching):
+        backend = WebBackend(_service(cache=0))
+        per_thread, threads = 250, 8
+        _hammer(
+            lambda _: [backend.ask(GOOD) for _ in range(per_thread)],
+            threads=threads,
+        )
+        records = backend.logs()
+        ids = [record.log_id for record in records]
+        assert len(records) == per_thread * threads
+        assert sorted(ids) == list(range(1, per_thread * threads + 1))
+
+
+class TestRouterRegistrationRace:
+    def test_route_while_registering_domains(self):
+        router = DomainRouter()
+        router.add_domain("seed", _service(), lexicon=["team", "teams"])
+        stop = threading.Event()
+        errors = []
+
+        def register():
+            try:
+                for index in range(300):
+                    router.add_domain(
+                        f"extra{index}", _service(), lexicon=[f"tok{index}"]
+                    )
+            finally:
+                stop.set()
+
+        def route():
+            try:
+                while not stop.is_set():
+                    router.route("list the teams")
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        writer = threading.Thread(target=register)
+        reader = threading.Thread(target=route)
+        reader.start()
+        writer.start()
+        writer.join()
+        reader.join()
+        assert not errors  # pre-fix: dict changed size during iteration
+        assert len(router.domains) == 301
+
+    def test_remote_domain_requires_lexicon(self):
+        router = DomainRouter()
+        with pytest.raises(ValueError, match="explicit lexicon"):
+            router.add_domain("remote", None)
+
+    def test_remote_domain_routes_but_has_no_local_service(self):
+        from repro.deployment import UnroutableQuestionError
+
+        router = DomainRouter()
+        router.add_domain("remote", None, lexicon=["team", "teams"])
+        name, score = router.route("list the teams")
+        assert name == "remote" and score > 0
+        with pytest.raises(UnroutableQuestionError, match="routed remotely"):
+            router.service("remote")
+
+
+class _MutateAfterReadDatabase:
+    """Delegating wrapper whose first target execution simulates the race.
+
+    ``execute`` computes its result (the *read*), signals the test, then
+    blocks until released — modelling a request whose answer was
+    computed against pre-mutation data but whose cache insert happens
+    after both a mutation and a concurrent invalidation.
+    """
+
+    def __init__(self, database, target_sql):
+        self._database = database
+        self._target = target_sql
+        self.read_done = threading.Event()
+        self.release = threading.Event()
+        self._tripped = False
+
+    def __getattr__(self, name):
+        return getattr(self._database, name)
+
+    def execute(self, sql, **kwargs):
+        result = self._database.execute(sql, **kwargs)
+        if sql == self._target and not self._tripped:
+            self._tripped = True
+            self.read_done.set()
+            assert self.release.wait(timeout=30), "test deadlock"
+        return result
+
+
+class TestCacheStalenessTOCTOU:
+    def test_mid_request_mutation_cannot_pin_stale_answer(self):
+        """Regression (fails pre-fix): the slow request's insert used to
+        land *after* the fresh request's invalidation-and-refill, pinning
+        Brazil-only rows into an epoch-current cache forever."""
+        database = _MutateAfterReadDatabase(
+            _database(teams=(("Brazil",),)), GOOD_SQL
+        )
+        service = TextToSQLService(
+            StubSystem({GOOD: GOOD_SQL}), database, response_cache_size=8
+        )
+
+        slow_response = []
+        slow = threading.Thread(
+            target=lambda: slow_response.append(service.ask(GOOD))
+        )
+        slow.start()
+        assert database.read_done.wait(timeout=30)
+
+        # the mutation lands while the slow request is still in flight …
+        database.insert("team", (2, "Chile"))
+        # … and a fresh request invalidates, re-executes and re-fills
+        fresh = service.ask(GOOD)
+        assert fresh.rows == (("Brazil",), ("Chile",))
+
+        # now the slow request completes and tries to insert its answer
+        database.release.set()
+        slow.join()
+        assert slow_response[0].rows == (("Brazil",),)  # computed pre-mutation
+
+        cached = service.ask(GOOD)
+        assert cached.rows == (("Brazil",), ("Chile",))  # stale pin rejected
+        stats = service.metrics()["response_cache"]
+        assert stats["stale_insert_rejections"] == 1
+
+    def test_single_request_mid_mutation_not_cached(self):
+        """Even without a concurrent invalidation, an answer computed
+        against a superseded epoch must not enter the cache."""
+        database = _MutateAfterReadDatabase(
+            _database(teams=(("Brazil",),)), GOOD_SQL
+        )
+        service = TextToSQLService(
+            StubSystem({GOOD: GOOD_SQL}), database, response_cache_size=8
+        )
+        slow_response = []
+        slow = threading.Thread(
+            target=lambda: slow_response.append(service.ask(GOOD))
+        )
+        slow.start()
+        assert database.read_done.wait(timeout=30)
+        database.insert("team", (2, "Chile"))
+        database.release.set()
+        slow.join()
+        assert slow_response[0].rows == (("Brazil",),)
+        follow_up = service.ask(GOOD)
+        assert not follow_up.from_cache
+        assert follow_up.rows == (("Brazil",), ("Chile",))
+
+
+class TestPercentileEdgeCases:
+    def test_empty_window(self):
+        assert percentile([], 0.5) == 0.0
+        assert percentile([], 0.99) == 0.0
+
+    def test_single_sample_every_fraction(self):
+        for fraction in (0.0, 0.5, 0.99, 1.0):
+            assert percentile([7.5], fraction) == 7.5
+
+    def test_two_samples_interpolate(self):
+        assert percentile([1.0, 3.0], 0.5) == pytest.approx(2.0)
+
+    def test_window_eviction_boundary(self):
+        """Percentiles reflect only the surviving window after eviction."""
+        service = _service(cache=0, latency_window=4)
+        service.ask_many([BAD] * 10)  # 0.1s latencies fill and overflow …
+        service.ask_many([GOOD] * 4)  # … then 0.5s latencies evict them all
+        metrics = service.metrics()
+        assert metrics["latency_window_size"] == 4
+        assert metrics["p50_latency_seconds"] == pytest.approx(0.5)
+        assert metrics["mean_latency_seconds"] == pytest.approx(0.5)

@@ -1,0 +1,172 @@
+"""Load-generator tests: schedules, summaries and one open-loop run."""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.deployment import TextToSQLService
+from repro.serving import (
+    AsyncTextToSQLService,
+    LoadReport,
+    ThreadShard,
+    max_sustainable_qps,
+    poisson_arrivals,
+    question_stream,
+    run_open_loop,
+    summarize,
+)
+from repro.serving.service import ServingResponse
+from repro.sqlengine import Database, Schema, make_column
+from repro.systems import Prediction
+
+
+class TestPoissonArrivals:
+    def test_deterministic_per_seed(self):
+        assert poisson_arrivals(50, 2.0, seed=7) == poisson_arrivals(50, 2.0, seed=7)
+        assert poisson_arrivals(50, 2.0, seed=7) != poisson_arrivals(50, 2.0, seed=8)
+
+    def test_rate_and_bounds(self):
+        arrivals = poisson_arrivals(100, 10.0, seed=1)
+        assert all(0 < offset < 10.0 for offset in arrivals)
+        assert sorted(arrivals) == arrivals
+        # ~1000 expected; Poisson σ≈32, so ±5σ is a safe deterministic band
+        assert 840 < len(arrivals) < 1160
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            poisson_arrivals(0, 1.0)
+        with pytest.raises(ValueError):
+            poisson_arrivals(10, 0)
+
+
+class TestQuestionStream:
+    def test_shape_and_determinism(self):
+        stream = question_stream(["hospital", "retail"], size=40, seed=3)
+        assert len(stream) == 40
+        assert {domain for domain, _ in stream} == {"hospital", "retail"}
+        assert stream == question_stream(["hospital", "retail"], size=40, seed=3)
+
+    def test_requires_domains(self):
+        with pytest.raises(ValueError):
+            question_stream([], size=10)
+
+
+def _response(status="ok", latency=0.01, coalesced=False):
+    return ServingResponse(
+        question="q",
+        tenant="t",
+        domain="d",
+        status=status,
+        latency_seconds=latency,
+        coalesced=coalesced,
+    )
+
+
+class TestSummarize:
+    def test_counts_and_percentiles(self):
+        responses = [
+            _response(latency=0.010),
+            _response(latency=0.020),
+            _response(status="overloaded"),
+            _response(status="error"),
+            _response(status="timeout"),
+            _response(latency=0.030, coalesced=True),
+        ]
+        report = summarize(responses, offered_qps=10.0, wall_seconds=2.0)
+        assert report.requests == 6
+        assert report.completed == 3
+        assert report.shed == 1 and report.errors == 1 and report.timeouts == 1
+        assert report.coalesced == 1
+        assert report.shed_rate == pytest.approx(1 / 6)
+        assert report.achieved_qps == pytest.approx(1.5)
+        assert report.p50_seconds == pytest.approx(0.020)
+        case = report.as_case()
+        assert case["p50_ms"] == pytest.approx(20.0)
+        assert case["offered_qps"] == 10.0
+
+
+class TestMaxSustainableQps:
+    def _report(self, qps, shed_rate=0.0, p99=0.01):
+        return LoadReport(
+            offered_qps=qps,
+            duration_seconds=1.0,
+            requests=100,
+            completed=100,
+            shed=0,
+            errors=0,
+            timeouts=0,
+            coalesced=0,
+            achieved_qps=qps,
+            shed_rate=shed_rate,
+            p50_seconds=p99 / 2,
+            p95_seconds=p99,
+            p99_seconds=p99,
+            mean_seconds=p99 / 2,
+        )
+
+    def test_shed_gate(self):
+        reports = [
+            self._report(50),
+            self._report(100),
+            self._report(200, shed_rate=0.05),
+        ]
+        assert max_sustainable_qps(reports) == 100
+
+    def test_p99_slo_gate(self):
+        reports = [self._report(50, p99=0.01), self._report(100, p99=0.9)]
+        assert max_sustainable_qps(reports, p99_slo_seconds=0.5) == 50
+        assert max_sustainable_qps(reports) == 100  # no SLO: shed only
+
+    def test_no_rate_qualifies(self):
+        assert max_sustainable_qps([self._report(50, shed_rate=1.0)]) == 0.0
+
+
+class TestOpenLoopRun:
+    def test_open_loop_over_stub_tier(self):
+        schema = Schema("lg")
+        schema.create_table(
+            "team",
+            [
+                make_column("team_id", "int", primary_key=True),
+                make_column("name", "text"),
+            ],
+        )
+        database = Database(schema)
+        database.insert("team", (1, "Brazil"))
+
+        class Stub:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self.predictions = 0
+
+            def predict(self, question):
+                with self._lock:
+                    self.predictions += 1
+                return Prediction(sql="SELECT name FROM team", latency_seconds=0.01)
+
+        service = TextToSQLService(Stub(), database)
+        serving = AsyncTextToSQLService([ThreadShard({"teams": service})])
+        traffic = [("teams", f"q{i}") for i in range(5)]
+        arrivals = poisson_arrivals(200, 0.5, seed=11)
+
+        async def scenario():
+            async with serving:
+                return await run_open_loop(
+                    serving,
+                    traffic,
+                    arrivals,
+                    tenants=("a", "b"),
+                    explicit_domain=True,
+                    offered_qps=200.0,
+                )
+
+        report = asyncio.run(scenario())
+        serving.close()
+        assert report.offered_qps == 200.0
+        assert report.requests == len(arrivals)
+        # single-flight coalesces wrapped-around repeats; every request
+        # still completes
+        assert report.completed == len(arrivals)
+        assert report.shed == 0
+        assert report.p99_seconds >= report.p50_seconds >= 0.0

@@ -1,0 +1,86 @@
+"""Deterministic admission-control tests (fake monotonic clock)."""
+
+import pytest
+
+from repro.serving import QuotaPolicy, TokenBucket
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=3.0, clock=clock)
+        assert [bucket.try_acquire() for _ in range(4)] == [True, True, True, False]
+        clock.advance(0.5)  # one token accrues
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_refill_caps_at_capacity(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=2.0, clock=clock)
+        clock.advance(100.0)
+        assert bucket.tokens == 2.0
+
+    def test_retry_after(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=1.0, clock=clock)
+        assert bucket.retry_after() == 0.0
+        assert bucket.try_acquire()
+        assert bucket.retry_after() == pytest.approx(0.5)
+        clock.advance(0.25)
+        assert bucket.retry_after() == pytest.approx(0.25)
+
+    def test_zero_rate_never_refills(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=0.0, burst=1.0, clock=clock)
+        assert bucket.try_acquire()
+        assert bucket.retry_after() == float("inf")
+        clock.advance(1e9)
+        assert not bucket.try_acquire()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=-1.0, burst=1.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0.0)
+
+
+class TestQuotaPolicy:
+    def test_tenants_are_isolated(self):
+        clock = FakeClock()
+        policy = QuotaPolicy(rate=1.0, burst=1.0, clock=clock)
+        assert policy.admit("alice") == (True, 0.0)
+        admitted, retry_after = policy.admit("alice")
+        assert not admitted
+        assert retry_after == pytest.approx(1.0)
+        # bob has his own (full) bucket
+        assert policy.admit("bob") == (True, 0.0)
+
+    def test_overrides(self):
+        clock = FakeClock()
+        policy = QuotaPolicy(
+            rate=1.0, burst=1.0, overrides={"partner": (1.0, 3.0)}, clock=clock
+        )
+        assert [policy.admit("partner")[0] for _ in range(4)] == [
+            True,
+            True,
+            True,
+            False,
+        ]
+        assert [policy.admit("anon")[0] for _ in range(2)] == [True, False]
+
+    def test_tenants_snapshot(self):
+        clock = FakeClock()
+        policy = QuotaPolicy(rate=1.0, burst=2.0, clock=clock)
+        policy.admit("alice")
+        assert policy.tenants() == {"alice": pytest.approx(1.0)}

@@ -1,0 +1,348 @@
+"""Async serving-tier tests: single-flight, backpressure, batching.
+
+Everything here runs on stub systems over tiny private databases, so
+the assertions are exact: prediction counts, shed reasons and batch
+shapes are all deterministic.  ``asyncio.run`` drives each scenario
+(no event-loop plugin needed).
+"""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.deployment import TextToSQLService, UnroutableQuestionError
+from repro.serving import (
+    AsyncTextToSQLService,
+    DomainSpec,
+    Overloaded,
+    QuotaPolicy,
+    ThreadShard,
+    assign_shards,
+)
+from repro.serving.shards import _system_class
+from repro.sqlengine import Database, Schema, make_column
+from repro.systems import Prediction
+
+
+def _database(name="srv", table="team", rows=(("Brazil",), ("Chile",))):
+    schema = Schema(name)
+    schema.create_table(
+        table,
+        [
+            make_column(f"{table}_id", "int", primary_key=True),
+            make_column("name", "text"),
+        ],
+    )
+    database = Database(schema)
+    for index, (value,) in enumerate(rows, start=1):
+        database.insert(table, (index, value))
+    return database
+
+
+class StubSystem:
+    """Deterministic stand-in; optionally gated or exploding."""
+
+    def __init__(self, answers, gate=None, boom=False):
+        self.answers = dict(answers)
+        self.gate = gate  # threading.Event every predict waits on
+        self.boom = boom
+        self._lock = threading.Lock()
+        self.predictions = 0
+
+    def predict(self, question):
+        if self.gate is not None:
+            self.gate.wait(timeout=30)
+        if self.boom:
+            raise RuntimeError("model exploded")
+        with self._lock:
+            self.predictions += 1
+        sql = self.answers.get(question)
+        if sql is None:
+            return Prediction(sql=None, failure="no_candidate", latency_seconds=0.1)
+        return Prediction(sql=sql, latency_seconds=0.5)
+
+
+TEAMS = "list the teams"
+TEAMS_SQL = "SELECT name FROM team ORDER BY team_id"
+
+
+def _serving(system=None, cache=0, **kwargs):
+    system = system or StubSystem({TEAMS: TEAMS_SQL})
+    service = TextToSQLService(system, _database(), response_cache_size=cache)
+    return AsyncTextToSQLService([ThreadShard({"teams": service})], **kwargs), system
+
+
+class TestAssignShards:
+    def test_round_robin(self):
+        assert assign_shards(["a", "b", "c", "d", "e"], 2) == [
+            ["a", "c", "e"],
+            ["b", "d"],
+        ]
+
+    def test_capped_at_domain_count(self):
+        assert assign_shards(["a", "b"], 8) == [["a"], ["b"]]
+
+    def test_positive_count_required(self):
+        with pytest.raises(ValueError):
+            assign_shards(["a"], 0)
+
+    def test_unknown_system_name(self):
+        with pytest.raises(ValueError, match="unknown system"):
+            _system_class("not-a-system")
+
+
+class TestSingleFlight:
+    def test_identical_concurrent_questions_predict_once(self):
+        # the ISSUE acceptance test: N identical concurrent questions,
+        # exactly one underlying prediction.  Response cache is OFF, so
+        # coalescing is the only thing that can explain the count.
+        serving, system = _serving(cache=0)
+
+        async def scenario():
+            async with serving:
+                return await serving.ask_many([TEAMS] * 8)
+
+        responses = asyncio.run(scenario())
+        assert [r.status for r in responses] == ["ok"] * 8
+        assert system.predictions == 1
+        assert sum(r.coalesced for r in responses) == 7
+        first = responses[0].response
+        assert all(r.response.rows == first.rows for r in responses)
+        assert serving.metrics()["coalesced"] == 7
+
+    def test_inflight_key_released_after_completion(self):
+        serving, system = _serving(cache=0)
+
+        async def scenario():
+            async with serving:
+                await serving.ask(TEAMS)
+                await serving.ask(TEAMS)
+
+        asyncio.run(scenario())
+        # sequential asks must not coalesce: the key is popped on resolve
+        assert system.predictions == 2
+        assert serving.metrics()["inflight_keys"] == 0
+
+    def test_single_flight_can_be_disabled(self):
+        serving, system = _serving(cache=0, single_flight=False)
+
+        async def scenario():
+            async with serving:
+                return await serving.ask_many([TEAMS] * 4)
+
+        responses = asyncio.run(scenario())
+        assert all(r.status == "ok" for r in responses)
+        assert not any(r.coalesced for r in responses)
+        # the batch layer still dedups identical questions downstream
+        assert system.predictions == 1
+
+
+class TestBackpressure:
+    def test_tenant_quota_sheds_typed_overloaded(self):
+        clock_now = [0.0]
+        quota = QuotaPolicy(rate=1.0, burst=2.0, clock=lambda: clock_now[0])
+        serving, system = _serving(quota=quota)
+
+        async def scenario():
+            async with serving:
+                first = await serving.ask(TEAMS, tenant="alice")
+                second = await serving.ask(TEAMS, tenant="alice")
+                shed = await serving.ask(TEAMS, tenant="alice")
+                other = await serving.ask(TEAMS, tenant="bob")
+                return first, second, shed, other
+
+        first, second, shed, other = asyncio.run(scenario())
+        assert first.status == second.status == "ok"
+        assert isinstance(shed, Overloaded)
+        assert shed.reason == "tenant_quota"
+        assert shed.retry_after == pytest.approx(1.0)
+        assert shed.response is None
+        assert other.status == "ok"  # bob is not throttled by alice
+        metrics = serving.metrics()
+        assert metrics["shed"] == {"tenant_quota": 1, "queue_full": 0, "total": 1}
+        assert metrics["shed_rate"] == pytest.approx(1 / 4)
+
+    def test_queue_full_sheds_instead_of_hanging(self):
+        gate = threading.Event()
+        answers = {f"q{i}": TEAMS_SQL for i in range(3)}
+        serving, system = _serving(
+            system=StubSystem(answers, gate=gate), max_pending=2
+        )
+
+        async def scenario():
+            async with serving:
+                blocked = [
+                    asyncio.create_task(serving.ask(f"q{i}", domain="teams"))
+                    for i in range(2)
+                ]
+                await asyncio.sleep(0)  # let both enqueue against the gated worker
+                shed = await serving.ask("q2", domain="teams")
+                assert isinstance(shed, Overloaded)
+                assert shed.reason == "queue_full"
+                gate.set()
+                done = await asyncio.gather(*blocked)
+                return shed, done
+
+        shed, done = asyncio.run(scenario())
+        assert [r.status for r in done] == ["ok", "ok"]
+        assert serving.metrics()["shed"]["queue_full"] == 1
+        assert serving.metrics()["pending"] == 0
+
+    def test_request_timeout_is_typed_not_hung(self):
+        gate = threading.Event()
+        serving, system = _serving(
+            system=StubSystem({TEAMS: TEAMS_SQL}, gate=gate), request_timeout=0.05
+        )
+
+        async def scenario():
+            async with serving:
+                response = await serving.ask(TEAMS)
+                gate.set()  # unblock the worker before teardown
+                await asyncio.sleep(0.05)
+                return response
+
+        response = asyncio.run(scenario())
+        assert response.status == "timeout"
+        assert serving.metrics()["timeouts"] == 1
+
+
+class TestBatching:
+    def test_queued_requests_coalesce_into_one_batch(self):
+        gate = threading.Event()
+        answers = {f"q{i}": TEAMS_SQL for i in range(4)}
+        serving, system = _serving(system=StubSystem(answers, gate=gate), max_batch=8)
+
+        async def scenario():
+            async with serving:
+                head = asyncio.create_task(serving.ask("q0", domain="teams"))
+                await asyncio.sleep(0)  # q0 dispatched; worker gated
+                rest = [
+                    asyncio.create_task(serving.ask(f"q{i}", domain="teams"))
+                    for i in range(1, 4)
+                ]
+                await asyncio.sleep(0)  # q1..q3 pile up in the shard queue
+                gate.set()
+                return await asyncio.gather(head, *rest)
+
+        responses = asyncio.run(scenario())
+        assert [r.status for r in responses] == ["ok"] * 4
+        metrics = serving.metrics()
+        assert metrics["max_batch_size"] == 3  # q1..q3 shipped as one ask_batch
+        assert metrics["batched_questions"] == 4
+
+    def test_worker_failure_is_typed_error(self):
+        serving, system = _serving(system=StubSystem({}, boom=True))
+
+        async def scenario():
+            async with serving:
+                return await serving.ask(TEAMS)
+
+        response = asyncio.run(scenario())
+        assert response.status == "error"
+        assert "model exploded" in response.error
+        assert serving.metrics()["errors"] == 1
+
+
+class TestRoutingIntegration:
+    def _two_domain_serving(self, **kwargs):
+        teams = TextToSQLService(StubSystem({TEAMS: TEAMS_SQL}), _database())
+        planets = TextToSQLService(
+            StubSystem({"list the planets": "SELECT name FROM planet"}),
+            _database(name="astro", table="planet", rows=(("Mars",), ("Venus",))),
+        )
+        shard_a = ThreadShard({"teams": teams})
+        shard_b = ThreadShard({"planets": planets})
+        return AsyncTextToSQLService([shard_a, shard_b], **kwargs)
+
+    def test_lexicon_routing_across_shards(self):
+        serving = self._two_domain_serving()
+
+        async def scenario():
+            async with serving:
+                team = await serving.ask(TEAMS)
+                planet = await serving.ask("list the planets")
+                return team, planet
+
+        team, planet = asyncio.run(scenario())
+        assert team.domain == "teams" and team.response.rows == (("Brazil",), ("Chile",))
+        assert planet.domain == "planets" and planet.response.rows == (
+            ("Mars",),
+            ("Venus",),
+        )
+        per_domain = serving.metrics()["questions_per_domain"]
+        assert per_domain == {"teams": 1, "planets": 1}
+
+    def test_explicit_unknown_domain_raises(self):
+        serving = self._two_domain_serving()
+
+        async def scenario():
+            async with serving:
+                with pytest.raises(UnroutableQuestionError):
+                    await serving.ask(TEAMS, domain="nope")
+
+        asyncio.run(scenario())
+
+    def test_duplicate_domain_across_shards_rejected(self):
+        service = TextToSQLService(StubSystem({}), _database())
+        with pytest.raises(ValueError, match="two shards"):
+            AsyncTextToSQLService(
+                [ThreadShard({"teams": service}), ThreadShard({"teams": service})]
+            )
+
+    def test_from_router_shards_existing_services(self):
+        from repro.deployment import DomainRouter
+
+        router = DomainRouter()
+        router.add_domain(
+            "teams", TextToSQLService(StubSystem({TEAMS: TEAMS_SQL}), _database())
+        )
+        router.add_domain(
+            "planets",
+            TextToSQLService(
+                StubSystem({"list the planets": "SELECT name FROM planet"}),
+                _database(name="astro", table="planet", rows=(("Mars",),)),
+            ),
+        )
+        serving = AsyncTextToSQLService.from_router(router, shard_count=2)
+        assert serving.metrics()["shard_count"] == 2
+
+        async def scenario():
+            async with serving:
+                return await serving.ask(TEAMS)
+
+        assert asyncio.run(scenario()).status == "ok"
+
+    def test_constructor_validation(self):
+        service = TextToSQLService(StubSystem({}), _database())
+        with pytest.raises(ValueError):
+            AsyncTextToSQLService([ThreadShard({"teams": service})], max_batch=0)
+        with pytest.raises(ValueError):
+            AsyncTextToSQLService([ThreadShard({"teams": service})], max_pending=0)
+        with pytest.raises(ValueError, match="workers"):
+            AsyncTextToSQLService.from_specs(
+                [DomainSpec(domain="football")], workers="fiber"
+            )
+
+
+class TestRealDomainSmoke:
+    """One end-to-end pass over a real registered domain (thread shards)."""
+
+    def test_football_thread_shard(self):
+        serving = AsyncTextToSQLService.from_specs(
+            [DomainSpec(domain="football", train=2, response_cache_size=16)],
+            shard_count=1,
+            workers="thread",
+        )
+
+        async def scenario():
+            async with serving:
+                return await serving.ask_many(
+                    ["how many teams are there", "how many teams are there"]
+                )
+
+        responses = asyncio.run(scenario())
+        serving.close()
+        assert all(r.status == "ok" for r in responses)
+        assert responses[0].domain == "football"
+        assert serving.metrics()["completed"] == 2

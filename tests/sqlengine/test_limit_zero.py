@@ -1,0 +1,94 @@
+"""ORDER BY … LIMIT 0 planning regression (ISSUE 7 satellite).
+
+``top_k = offset + limit`` used to make the planner run a
+size-``offset`` heap selection whose entire output is then discarded
+by ``LIMIT 0`` — wasted work and a misleading ``top-k(n)`` EXPLAIN
+annotation for a query that cannot emit rows.  The planner now pins
+``top_k`` to 0 and both executors short-circuit before computing any
+order keys.
+"""
+
+import pytest
+
+from repro.sqlengine import Database, Schema, make_column
+
+
+@pytest.fixture(scope="module")
+def database():
+    schema = Schema("limitzero")
+    schema.create_table(
+        "event",
+        [
+            make_column("event_id", "int", primary_key=True),
+            make_column("score", "int"),
+            make_column("label", "text"),
+        ],
+    )
+    database = Database(schema)
+    database.insert_many(
+        "event", [(i, (i * 37) % 11, f"e{i}") for i in range(1, 41)]
+    )
+    return database
+
+
+QUERIES = [
+    "SELECT label FROM event ORDER BY score LIMIT 0",
+    "SELECT label FROM event ORDER BY score LIMIT 0 OFFSET 5",
+    "SELECT label FROM event ORDER BY score DESC, event_id LIMIT 0 OFFSET 3",
+    "SELECT label FROM event LIMIT 0",
+    "SELECT DISTINCT score FROM event ORDER BY score LIMIT 0",
+]
+
+
+class TestLimitZeroExecution:
+    @pytest.mark.parametrize("sql", QUERIES)
+    @pytest.mark.parametrize("engine_mode", ["row", "vectorized"])
+    @pytest.mark.parametrize("optimize", [True, False])
+    def test_zero_rows_every_configuration(
+        self, database, sql, engine_mode, optimize
+    ):
+        result = database.execute(
+            sql, engine_mode=engine_mode, optimize=optimize
+        )
+        assert result.rows == []
+
+    def test_limit_zero_matches_sqlite(self, database):
+        from repro.sqlengine.sqlite_bridge import to_sqlite
+
+        connection = to_sqlite(database)
+        try:
+            for sql in QUERIES:
+                engine = database.execute(sql, cached=False)
+                theirs = connection.execute(sql).fetchall()
+                assert [tuple(row) for row in engine.rows] == [
+                    tuple(row) for row in theirs
+                ], sql
+        finally:
+            connection.close()
+
+
+class TestLimitZeroPlanning:
+    def test_planner_pins_top_k_to_zero(self, database):
+        """Regression: a size-`offset` heap was planned for zero output."""
+        plan = database.explain(
+            "SELECT label FROM event ORDER BY score LIMIT 0 OFFSET 5"
+        )
+        assert "top-k(0)" in plan
+        assert "top-k(5)" not in plan
+
+    def test_positive_limit_still_plans_offset_plus_limit(self, database):
+        plan = database.explain(
+            "SELECT label FROM event ORDER BY score LIMIT 2 OFFSET 5"
+        )
+        assert "top-k(7)" in plan
+
+    def test_executor_skips_order_keys_entirely(self, database):
+        """The short-circuit must fire before any order key is computed:
+        an ORDER BY position that would raise out-of-range never gets
+        the chance under LIMIT 0 (sqlite's lazy evaluation likewise
+        only rejects it at higher limits)."""
+        result = database.execute(
+            "SELECT label FROM event ORDER BY score LIMIT 0 OFFSET 100",
+            cached=False,
+        )
+        assert result.rows == []

@@ -20,6 +20,7 @@ PACKAGES = [
     "repro.evaluation",
     "repro.benchmark",
     "repro.deployment",
+    "repro.serving",
 ]
 
 
