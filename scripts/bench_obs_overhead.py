@@ -1,0 +1,215 @@
+#!/usr/bin/env python
+"""Telemetry overhead benchmark → BENCH_obs.json (and a pass/fail gate).
+
+Replays a :func:`repro.serving.question_stream` log stream through one
+per-domain :class:`TextToSQLService` twice — once bare, once with the
+full observability stack enabled (``MetricsRegistry`` bound through
+``bind_service``, latency histogram attached, ``Tracer`` at a 100%
+sample rate threaded through service *and* database) — and compares
+per-request wall latency.  The configurations alternate round by round
+on the same warmed service pair so both see identical questions, plan
+caches and machine state; per-config p50/p99 are reported over the
+pooled rounds, while the *gated* statistic is the **median of the
+per-round p99s** — a single scheduler hiccup inflates one round's
+tail, not the median of six.
+
+The script **fails (exit 1)** when the instrumented gated p99 exceeds
+the bare one by more than ``--threshold`` percent (default 5) *and*
+more than ``--min-ms`` absolute (default 0.2 ms — sub-floor deltas are
+scheduler jitter, not instrumentation cost).  CI runs this as the
+``obs-smoke`` job; a reference artifact generated on the development
+machine is committed at ``benchmarks/BENCH_obs.json``.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_obs_overhead.py \
+        --domain hospital --requests 400 --rounds 6 --output BENCH_obs.json
+
+    # CI smoke: seconds, not minutes
+    PYTHONPATH=src python scripts/bench_obs_overhead.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+
+from repro.obs import MetricsRegistry, Tracer, bind_service, percentile
+from repro.serving import DomainSpec, question_stream
+from repro.serving.shards import build_service
+
+
+def _build(domain: str, seed: int, train: int, instrumented: bool):
+    """One warmed service; optionally with registry + tracer attached."""
+    service = build_service(
+        DomainSpec(domain=domain, seed=seed, train=train, response_cache_size=256)
+    )
+    registry = tracer = None
+    if instrumented:
+        registry = MetricsRegistry()
+        tracer = Tracer(sample_rate=1.0, registry=registry)
+        bind_service(registry, service)
+        service.tracer = tracer
+        service.database.tracer = tracer
+    return service, registry, tracer
+
+
+def _measure_round(service, questions) -> list:
+    latencies = []
+    clock = time.perf_counter
+    for _domain, question in questions:
+        started = clock()
+        service.ask(question)
+        latencies.append(clock() - started)
+    return latencies
+
+
+def _summary(latencies: list) -> dict:
+    ordered = sorted(latencies)
+    return {
+        "requests": len(ordered),
+        "p50_ms": round(percentile(ordered, 0.50) * 1000.0, 4),
+        "p95_ms": round(percentile(ordered, 0.95) * 1000.0, 4),
+        "p99_ms": round(percentile(ordered, 0.99) * 1000.0, 4),
+        "mean_ms": round(sum(ordered) / len(ordered) * 1000.0, 4)
+        if ordered
+        else 0.0,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--domain", default="hospital")
+    parser.add_argument(
+        "--requests", type=int, default=400, help="log records replayed per round"
+    )
+    parser.add_argument(
+        "--rounds",
+        type=int,
+        default=6,
+        help="alternating measurement rounds per configuration",
+    )
+    parser.add_argument("--train", type=int, default=8)
+    parser.add_argument("--seed", type=int, default=2022)
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=5.0,
+        help="max tolerated instrumented-vs-bare p99 regression, percent",
+    )
+    parser.add_argument(
+        "--min-ms",
+        type=float,
+        default=0.2,
+        help="absolute p99 delta floor below which the gate never fires",
+    )
+    parser.add_argument("--output", default="BENCH_obs.json")
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny run for CI: fewer requests and rounds",
+    )
+    args = parser.parse_args()
+
+    if args.smoke:
+        args.requests = 120
+        args.rounds = 4
+
+    started = time.perf_counter()
+    bare, _, _ = _build(args.domain, args.seed, args.train, instrumented=False)
+    instrumented, registry, tracer = _build(
+        args.domain, args.seed, args.train, instrumented=True
+    )
+    questions = question_stream([args.domain], size=args.requests, seed=args.seed)
+    print(
+        f"domain {args.domain}: {len(questions)} questions x {args.rounds} "
+        f"round(s) per configuration",
+        flush=True,
+    )
+
+    # warm both services (plan + response caches) before measuring
+    _measure_round(bare, questions)
+    _measure_round(instrumented, questions)
+
+    pooled = {"disabled": [], "enabled": []}
+    round_p99s = {"disabled": [], "enabled": []}
+    for index in range(args.rounds):
+        # alternate configs so drift (thermal, page cache) hits both
+        order = (
+            [("disabled", bare), ("enabled", instrumented)]
+            if index % 2 == 0
+            else [("enabled", instrumented), ("disabled", bare)]
+        )
+        for name, service in order:
+            latencies = _measure_round(service, questions)
+            pooled[name].extend(latencies)
+            round_p99s[name].append(
+                percentile(sorted(latencies), 0.99) * 1000.0
+            )
+
+    cases = {name: _summary(latencies) for name, latencies in pooled.items()}
+    for name in sorted(cases):
+        cases[name]["median_round_p99_ms"] = round(
+            percentile(sorted(round_p99s[name]), 0.5), 4
+        )
+        case = cases[name]
+        print(
+            f"  {name:9s} p50 {case['p50_ms']:7.3f} ms  "
+            f"p99 {case['p99_ms']:7.3f} ms  "
+            f"median round p99 {case['median_round_p99_ms']:7.3f} ms",
+            flush=True,
+        )
+
+    base_p99 = cases["disabled"]["median_round_p99_ms"]
+    inst_p99 = cases["enabled"]["median_round_p99_ms"]
+    delta_ms = inst_p99 - base_p99
+    overhead_pct = (delta_ms / base_p99 * 100.0) if base_p99 > 0 else 0.0
+
+    snapshot = registry.snapshot()
+    artifact = {
+        "benchmark": "obs-overhead",
+        "domain": args.domain,
+        "requests_per_round": len(questions),
+        "rounds": args.rounds,
+        "seed": args.seed,
+        "python": platform.python_version(),
+        "cases": cases,
+        "tracked_metrics": [],
+        "p99_overhead_pct": round(overhead_pct, 2),
+        "p99_overhead_ms": round(delta_ms, 4),
+        "threshold_pct": args.threshold,
+        "min_ms": args.min_ms,
+        "traces_recorded": len(tracer.store),
+        "metric_families": len(snapshot),
+        "wall_seconds": round(time.perf_counter() - started, 2),
+    }
+    with open(args.output, "w") as handle:
+        json.dump(artifact, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    # sanity: the instrumented service actually recorded everything
+    served = snapshot["service_questions_served"]["samples"][0]["value"]
+    expected = len(questions) * (args.rounds + 1)  # rounds + warm-up
+    if served != expected:
+        print(f"FAIL: registry saw {served} requests, expected {expected}")
+        return 1
+
+    print(
+        f"p99 overhead: {delta_ms:+.3f} ms ({overhead_pct:+.2f}%) "
+        f"[threshold {args.threshold:.1f}% and {args.min_ms:.2f} ms]\n"
+        f"wrote {args.output} ({time.perf_counter() - started:.1f}s total)"
+    )
+    if overhead_pct > args.threshold and delta_ms > args.min_ms:
+        print(
+            f"FAIL: instrumentation-enabled p99 regressed "
+            f"{overhead_pct:.2f}% > {args.threshold:.1f}%"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,8 +19,12 @@ from collections import deque
 from dataclasses import dataclass, replace
 from typing import Any, Deque, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.obs.metrics import percentile
+from repro.obs.tracing import NOOP_SPAN
 from repro.sqlengine import Database, EngineError, LRUCache
 from repro.systems import Prediction, TextToSQLSystem
+
+__all__ = ["ServiceResponse", "TextToSQLService", "percentile"]
 
 
 @dataclass(frozen=True)
@@ -38,19 +42,6 @@ class ServiceResponse:
     @property
     def answered(self) -> bool:
         return self.predicted_sql is not None and self.error is None
-
-
-def percentile(sorted_values: Sequence[float], fraction: float) -> float:
-    """Linear-interpolation percentile over pre-sorted values."""
-    if not sorted_values:
-        return 0.0
-    if len(sorted_values) == 1:
-        return sorted_values[0]
-    rank = fraction * (len(sorted_values) - 1)
-    low = int(rank)
-    high = min(low + 1, len(sorted_values) - 1)
-    weight = rank - low
-    return sorted_values[low] * (1.0 - weight) + sorted_values[high] * weight
 
 
 class TextToSQLService:
@@ -86,10 +77,18 @@ class TextToSQLService:
         max_rows: int = 100,
         response_cache_size: int = 0,
         latency_window: int = DEFAULT_LATENCY_WINDOW,
+        tracer: Optional[Any] = None,
     ) -> None:
         self.system = system
         self.database = database
         self.max_rows = max_rows
+        # Optional repro.obs.Tracer: when set, ask/ask_batch emit
+        # service.* spans (prediction, cache verdicts) that nest under
+        # the caller's span and over the database's db.* spans.
+        self.tracer = tracer
+        # Optional registry-backed latency histogram, attached by
+        # repro.obs.bind_service; observed alongside the sliding window.
+        self._latency_hist: Optional[Any] = None
         self.response_cache: Optional[LRUCache] = (
             LRUCache(response_cache_size) if response_cache_size else None
         )
@@ -102,17 +101,30 @@ class TextToSQLService:
         # guards the counters and latency log under concurrent ask()
         self._metrics_lock = threading.Lock()
 
+    def _span(self, name: str, **labels: Any):
+        """A tracer span when tracing is on, the shared no-op otherwise
+        (keeps the disabled path to one attribute read per call site)."""
+        tracer = self.tracer
+        if tracer is None:
+            return NOOP_SPAN
+        return tracer.span(name, **labels)
+
     def ask(self, question: str) -> ServiceResponse:
-        observed_epoch: Optional[int] = None
-        if self.response_cache is not None:
-            observed_epoch = self._invalidate_if_mutated()
-            cached = self.response_cache.get(question)
-            if cached is not None:
-                return self._record(replace(cached, from_cache=True, latency_seconds=0.0))
-        response = self._answer(question)
-        if self.response_cache is not None and response.answered:
-            self._cache_insert(question, response, observed_epoch)
-        return self._record(response)
+        with self._span("service.ask") as span:
+            observed_epoch: Optional[int] = None
+            if self.response_cache is not None:
+                observed_epoch = self._invalidate_if_mutated()
+                cached = self.response_cache.get(question)
+                if cached is not None:
+                    span.set_label("from_cache", True)
+                    return self._record(
+                        replace(cached, from_cache=True, latency_seconds=0.0)
+                    )
+            response = self._answer(question)
+            if self.response_cache is not None and response.answered:
+                self._cache_insert(question, response, observed_epoch)
+            span.set_label("answered", response.answered)
+            return self._record(response)
 
     def ask_many(self, questions: Iterable[str]) -> List[ServiceResponse]:
         """Batched serving: one response per question, in order.
@@ -137,6 +149,10 @@ class TextToSQLService:
         advance exactly as if each question had gone through :meth:`ask`.
         """
         questions = list(questions)
+        with self._span("service.ask_batch", questions=len(questions)) as batch_span:
+            return self._ask_batch(questions, batch_span)
+
+    def _ask_batch(self, questions: List[str], batch_span) -> List[ServiceResponse]:
         observed_epoch: Optional[int] = None
         if self.response_cache is not None:
             observed_epoch = self._invalidate_if_mutated()
@@ -151,9 +167,12 @@ class TextToSQLService:
                     )
                     continue
             distinct.setdefault(question, []).append(index)
+        batch_span.set_label("distinct", len(distinct))
         executable: List[Tuple[str, Prediction]] = []
         for question, indexes in distinct.items():
-            prediction: Prediction = self.system.predict(question)
+            with self._span("service.predict") as span:
+                prediction: Prediction = self.system.predict(question)
+                span.set_label("ok", prediction.sql is not None)
             if prediction.sql is None:
                 failed = ServiceResponse(
                     question=question,
@@ -215,7 +234,9 @@ class TextToSQLService:
             return out
 
     def _answer(self, question: str) -> ServiceResponse:
-        prediction: Prediction = self.system.predict(question)
+        with self._span("service.predict") as span:
+            prediction: Prediction = self.system.predict(question)
+            span.set_label("ok", prediction.sql is not None)
         if prediction.sql is None:
             return ServiceResponse(
                 question=question,
@@ -251,6 +272,9 @@ class TextToSQLService:
             if response.answered:
                 self._questions_answered += 1
             self._latencies.append(response.latency_seconds)
+        hist = self._latency_hist
+        if hist is not None:
+            hist.observe(response.latency_seconds)
         return response
 
     def _invalidate_if_mutated(self) -> int:
@@ -304,6 +328,28 @@ class TextToSQLService:
             self.response_cache.clear()
 
     # -- observability -------------------------------------------------------
+    def counter_stats(self) -> Dict[str, Any]:
+        """Flat numeric counters for registry pull collectors.
+
+        Unlike :meth:`metrics` this never sorts the latency window (the
+        registry histogram covers latency), so scraping stays cheap.
+        """
+        with self._metrics_lock:
+            served = self._questions_served
+            answered = self._questions_answered
+            invalidations = self._cache_invalidations
+            stale_rejections = self._cache_stale_rejections
+        stats: Dict[str, Any] = {
+            "questions_served": served,
+            "questions_answered": answered,
+            "answer_rate": answered / served if served else 0.0,
+            "cache_invalidations": invalidations,
+            "cache_stale_insert_rejections": stale_rejections,
+        }
+        if self.response_cache is not None:
+            stats["response_cache"] = self.response_cache.stats()
+        return stats
+
     def metrics(self) -> Dict[str, Any]:
         """Service-level counters and latency percentiles.
 

@@ -45,10 +45,35 @@ class InteractionLog:
 
 
 class WebBackend:
-    """The deployment's application object."""
+    """The deployment's application object.
 
-    def __init__(self, service: TextToSQLService) -> None:
+    ``registry`` (a :class:`repro.obs.MetricsRegistry`) adds the
+    operational routes: ``GET /metrics`` (Prometheus text exposition)
+    and ``GET /metrics.json`` (the structured snapshot).  ``tracer``
+    (a :class:`repro.obs.Tracer`) adds ``GET /trace/<id>`` serving
+    stored request traces re-nested as span trees, plus ``GET /traces``
+    listing stored ids.  When a registry is given the service is bound
+    into it automatically, so one scrape covers service + engine
+    counters.
+    """
+
+    def __init__(
+        self,
+        service: TextToSQLService,
+        registry=None,
+        tracer=None,
+    ) -> None:
         self.service = service
+        self.registry = registry
+        self.tracer = tracer
+        if registry is not None:
+            from repro.obs import bind_service
+
+            bind_service(registry, service)
+        if tracer is not None and service.tracer is None:
+            service.tracer = tracer
+            if service.database.tracer is None:
+                service.database.tracer = tracer
         self._logs: List[InteractionLog] = []
         # orders log-id allocation: `len + 1` then `append` is a
         # read-modify-write that hands out duplicate ids under
@@ -97,6 +122,33 @@ class WebBackend:
     def statistics(self) -> Table1Stats:
         """The deployment's Table 1 aggregation."""
         return summarize(self.logs())
+
+    def metrics_text(self) -> str:
+        """GET /metrics — Prometheus 0.0.4 text exposition."""
+        if self.registry is None:
+            raise RuntimeError("no MetricsRegistry configured")
+        return self.registry.render()
+
+    def metrics_json(self) -> Dict[str, object]:
+        """GET /metrics.json — the registry's structured snapshot."""
+        if self.registry is None:
+            raise RuntimeError("no MetricsRegistry configured")
+        return self.registry.snapshot()
+
+    def traces(self) -> List[str]:
+        """GET /traces — ids of the stored (most recent) traces."""
+        if self.tracer is None:
+            raise RuntimeError("no Tracer configured")
+        return self.tracer.store.trace_ids()
+
+    def trace(self, trace_id: str) -> List[Dict[str, object]]:
+        """GET /trace/<id> — one trace re-nested as a span tree."""
+        if self.tracer is None:
+            raise RuntimeError("no Tracer configured")
+        tree = self.tracer.store.tree(trace_id)
+        if tree is None:
+            raise KeyError(f"unknown trace id {trace_id}")
+        return tree
 
     # -- internals ----------------------------------------------------------------
     def _log(self, log_id: int) -> InteractionLog:

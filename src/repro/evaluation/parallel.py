@@ -161,43 +161,51 @@ def engine_report(
     interpreter) — the numbers `GridSummary.engine` and the service's
     ``metrics()`` expose so end-to-end cache health is observable.
     Counters are cumulative since database creation (``GridSummary``
-    reports per-run deltas on top); a cache shared across schema
-    variants via ``PlanCache.for_scope`` is counted exactly once,
-    keyed on its ``storage_token``.  ``football=`` is the historical
-    keyword alias of ``domain``.
+    reports per-run deltas on top).  Aggregation goes through an
+    ephemeral :class:`repro.obs.MetricsRegistry`: every database is
+    bound via :func:`repro.obs.bind_database`, whose identity-keyed
+    collector registration is what guarantees a cache shared across
+    schema variants via ``PlanCache.for_scope`` is counted exactly
+    once (keyed on its ``storage_token``) and a database bound twice
+    is a no-op — the double counting that merging raw dicts invited.
+    ``football=`` is the historical keyword alias of ``domain``.
     """
     if domain is None:
         domain = football
     if domain is None:
         raise TypeError("engine_report() missing required argument: 'domain'")
-    plan_cache = {"size": 0, "hits": 0, "misses": 0, "evictions": 0}
+    from repro.obs import MetricsRegistry, bind_database
+
+    registry = MetricsRegistry()
+    for version in domain.versions:
+        bind_database(registry, domain[version])
+    snapshot = registry.snapshot()
+
+    def total(family: str, integer: bool = True) -> Any:
+        entry = snapshot.get(family)
+        if entry is None:
+            return 0 if integer else 0.0
+        value = sum(sample["value"] for sample in entry["samples"])
+        return int(value) if integer else value
+
+    plan_cache = {
+        "size": total("engine_plan_cache_size"),
+        "hits": total("engine_plan_cache_hits"),
+        "misses": total("engine_plan_cache_misses"),
+        "evictions": total("engine_plan_cache_evictions"),
+    }
     optimizer = {
-        "optimizations": 0,
-        "reoptimizations": 0,
-        "optimize_seconds": 0.0,
-        "stats_builds": 0,
+        "optimizations": total("engine_optimizer_optimizations"),
+        "reoptimizations": total("engine_optimizer_reoptimizations"),
+        "optimize_seconds": total("engine_optimizer_optimize_seconds", integer=False),
+        "stats_builds": total("engine_optimizer_stats_builds"),
     }
     engine_modes = {
-        "row_statements": 0,
-        "vectorized_statements": 0,
-        "vectorized_nodes": 0,
-        "fallback_nodes": 0,
+        "row_statements": total("engine_mode_row_statements"),
+        "vectorized_statements": total("engine_mode_vectorized_statements"),
+        "vectorized_nodes": total("engine_mode_vectorized_nodes"),
+        "fallback_nodes": total("engine_mode_fallback_nodes"),
     }
-    seen_caches = set()
-    for version in domain.versions:
-        database = domain[version]
-        cache = database.plan_cache
-        if cache is not None and cache.storage_token not in seen_caches:
-            seen_caches.add(cache.storage_token)
-            cache_stats = cache.stats()
-            for key in ("size", "hits", "misses", "evictions"):
-                plan_cache[key] += cache_stats[key]
-        optimizer_stats = database.optimizer_stats()
-        for key in optimizer:
-            optimizer[key] += optimizer_stats[key]
-        mode_stats = database.engine_mode_stats()
-        for key in engine_modes:
-            engine_modes[key] += mode_stats[key]
     lookups = plan_cache["hits"] + plan_cache["misses"]
     plan_cache["hit_rate"] = plan_cache["hits"] / lookups if lookups else 0.0
     return {

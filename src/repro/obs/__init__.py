@@ -1,0 +1,53 @@
+"""Unified observability layer: metrics, tracing, execution profiling.
+
+Three pillars, one import:
+
+* :class:`MetricsRegistry` — thread-safe counters, gauges and
+  fixed-bucket histograms with Prometheus text exposition and JSON
+  snapshots; callback collectors pull the engine's and services'
+  existing counters in, so one ``snapshot()`` sees the whole stack.
+* :class:`Tracer` — nested request spans with injectable clocks and
+  seeded head sampling, stored in a bounded :class:`TraceStore` the
+  web app serves at ``/trace/<id>``.
+* :class:`ExecProfile` — per-operator wall-time/row-count collection
+  inside both executors, rendered by ``Database.explain_analyze``.
+
+See docs/ARCHITECTURE.md § "Observability".
+"""
+
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+    dict_collector,
+    flatten_numeric,
+    percentile,
+)
+from .profile import ExecProfile, OpStat, render_analyze
+from .tracing import NOOP_SPAN, Span, TraceStore, Tracer
+from .wiring import bind_database, bind_service, bind_serving
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "ExecProfile",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "NOOP_SPAN",
+    "OpStat",
+    "Span",
+    "TraceStore",
+    "Tracer",
+    "bind_database",
+    "bind_service",
+    "bind_serving",
+    "dict_collector",
+    "flatten_numeric",
+    "percentile",
+    "render_analyze",
+]

@@ -1,0 +1,490 @@
+"""Thread-safe metrics primitives and the process-wide registry.
+
+One :class:`MetricsRegistry` is the single pane of glass the serving
+stack reports through: counters (monotonic), gauges (point-in-time)
+and fixed-bucket histograms (latency distributions), each optionally
+labeled, plus *callback collectors* that pull numbers out of
+components which keep their own counters (plan cache, optimizer,
+response cache, shard services).  A single :meth:`MetricsRegistry.snapshot`
+therefore captures serving, deployment and engine state in one JSON
+document, and :meth:`MetricsRegistry.render` emits the same data in
+the Prometheus text exposition format (stable ordering — the format
+is golden-tested).
+
+Design notes
+------------
+* Every mutation takes a per-instrument lock, so counter totals and
+  histogram bucket sums are exact under free-running threads (the
+  concurrency tests hammer this with a tiny switch interval).
+* Histograms use fixed upper bounds (cumulative, Prometheus style)
+  instead of the sliding-window value lists the services used to
+  keep: constant memory, mergeable across workers, and quantiles come
+  from linear interpolation within the winning bucket.
+* Instrument creation is idempotent: asking for an existing name with
+  the same kind and label names returns the same family, so several
+  components can share ``service_requests_total`` without ceremony.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+LabelPairs = Tuple[Tuple[str, str], ...]
+
+#: default latency buckets (seconds): 100µs .. 10s, roughly log-spaced
+DEFAULT_LATENCY_BUCKETS = (
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+
+def percentile(sorted_values: Sequence[float], fraction: float) -> float:
+    """Linear-interpolation percentile over pre-sorted values.
+
+    The single implementation behind every ``p50/p95/p99`` readout in
+    the repo (``repro.deployment`` and ``repro.serving`` re-export it
+    for backward compatibility).
+    """
+    if not sorted_values:
+        return 0.0
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    rank = fraction * (len(sorted_values) - 1)
+    low = int(rank)
+    high = min(low + 1, len(sorted_values) - 1)
+    weight = rank - low
+    return sorted_values[low] * (1.0 - weight) + sorted_values[high] * weight
+
+
+def _label_pairs(labels: Dict[str, str]) -> LabelPairs:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _format_value(value: float) -> str:
+    """Prometheus-style number formatting: integral values lose the dot."""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float) and value.is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _format_labels(pairs: LabelPairs) -> str:
+    if not pairs:
+        return ""
+    body = ",".join(f'{key}="{value}"' for key, value in pairs)
+    return "{" + body + "}"
+
+
+class Counter:
+    """A monotonically increasing count (one labeled child)."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up, got {amount}")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A value that can go up and down (one labeled child)."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """Fixed-bucket histogram (one labeled child).
+
+    ``bounds`` are inclusive upper bounds; an implicit ``+Inf`` bucket
+    catches the tail.  ``observe`` is O(log buckets); the cumulative
+    counts, total sum and observation count are all exact under
+    concurrency (single lock per child).
+    """
+
+    __slots__ = ("bounds", "_lock", "_counts", "_sum", "_count")
+
+    def __init__(self, bounds: Sequence[float]) -> None:
+        ordered = tuple(float(bound) for bound in bounds)
+        if not ordered:
+            raise ValueError("histogram needs at least one bucket bound")
+        if list(ordered) != sorted(set(ordered)):
+            raise ValueError(f"bucket bounds must be strictly increasing: {bounds}")
+        self.bounds = ordered
+        self._lock = threading.Lock()
+        self._counts = [0] * (len(ordered) + 1)  # + the +Inf bucket
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        position = bisect.bisect_left(self.bounds, value)
+        with self._lock:
+            self._counts[position] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def buckets(self) -> List[Tuple[float, int]]:
+        """Cumulative (upper_bound, count) pairs, ending at +Inf."""
+        with self._lock:
+            counts = list(self._counts)
+        cumulative = 0
+        out: List[Tuple[float, int]] = []
+        for bound, count in zip(self.bounds, counts):
+            cumulative += count
+            out.append((bound, cumulative))
+        out.append((float("inf"), cumulative + counts[-1]))
+        return out
+
+    def quantile(self, fraction: float) -> float:
+        """Estimated quantile: linear interpolation inside the winning
+        bucket (0 for an empty histogram; the last finite bound for
+        observations beyond it — a histogram cannot see further)."""
+        with self._lock:
+            counts = list(self._counts)
+            total = self._count
+        if total == 0:
+            return 0.0
+        rank = fraction * total
+        cumulative = 0
+        lower = 0.0
+        for position, bound in enumerate(self.bounds):
+            count = counts[position]
+            if cumulative + count >= rank and count:
+                within = (rank - cumulative) / count
+                return lower + (bound - lower) * within
+            cumulative += count
+            lower = bound
+        return self.bounds[-1]
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricFamily:
+    """One named metric and its labeled children."""
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help_text: str,
+        labelnames: Tuple[str, ...],
+        buckets: Optional[Sequence[float]] = None,
+    ) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        self.labelnames = labelnames
+        self._buckets = tuple(buckets) if buckets is not None else None
+        self._lock = threading.Lock()
+        self._children: Dict[LabelPairs, Any] = {}
+        if not labelnames:
+            self._children[()] = self._make_child()
+
+    def _make_child(self):
+        if self.kind == "histogram":
+            return Histogram(self._buckets or DEFAULT_LATENCY_BUCKETS)
+        return _KINDS[self.kind]()
+
+    def labels(self, **labels: str):
+        """The child for one label combination (created on first use)."""
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                f"{self.name} expects labels {self.labelnames}, got {tuple(labels)}"
+            )
+        key = _label_pairs(labels)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = self._children[key] = self._make_child()
+        return child
+
+    def children(self) -> List[Tuple[LabelPairs, Any]]:
+        with self._lock:
+            return sorted(self._children.items())
+
+    # -- unlabeled convenience: the family proxies its single child ------
+    def _single(self):
+        if self.labelnames:
+            raise ValueError(f"{self.name} is labeled; use .labels(...)")
+        return self._children[()]
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._single().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._single().dec(amount)
+
+    def set(self, value: float) -> None:
+        self._single().set(value)
+
+    def observe(self, value: float) -> None:
+        self._single().observe(value)
+
+    @property
+    def value(self) -> float:
+        return self._single().value
+
+    @property
+    def count(self) -> int:
+        return self._single().count
+
+    @property
+    def sum(self) -> float:
+        return self._single().sum
+
+    def buckets(self) -> List[Tuple[float, int]]:
+        return self._single().buckets()
+
+    def quantile(self, fraction: float) -> float:
+        return self._single().quantile(fraction)
+
+
+class MetricsRegistry:
+    """Process-wide metric store: instruments + callback collectors."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._families: Dict[str, MetricFamily] = {}
+        self._callbacks: List[Callable[[], Iterable[Tuple[str, Dict[str, str], float]]]] = []
+        self._callback_keys: set = set()
+
+    # -- instrument constructors -------------------------------------------
+    def _family(
+        self,
+        name: str,
+        kind: str,
+        help_text: str,
+        labelnames: Sequence[str],
+        buckets: Optional[Sequence[float]] = None,
+    ) -> MetricFamily:
+        labelnames = tuple(labelnames)
+        with self._lock:
+            family = self._families.get(name)
+            if family is not None:
+                if family.kind != kind or family.labelnames != labelnames:
+                    raise ValueError(
+                        f"metric {name!r} already registered as {family.kind}"
+                        f"{family.labelnames}, requested {kind}{labelnames}"
+                    )
+                return family
+            family = MetricFamily(name, kind, help_text, labelnames, buckets)
+            self._families[name] = family
+            return family
+
+    def counter(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> MetricFamily:
+        return self._family(name, "counter", help, labelnames)
+
+    def gauge(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> MetricFamily:
+        return self._family(name, "gauge", help, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> MetricFamily:
+        return self._family(name, "histogram", help, labelnames, buckets)
+
+    # -- callback collectors ------------------------------------------------
+    def register_callback(
+        self,
+        callback: Callable[[], Iterable[Tuple[str, Dict[str, str], float]]],
+        key: Optional[Any] = None,
+    ) -> bool:
+        """Register a pull collector: ``callback()`` yields
+        ``(metric_name, labels, value)`` triples at snapshot time.
+
+        ``key`` deduplicates: binding the same underlying component
+        twice (two services sharing a database, a shard listed under
+        two views) is a no-op, which is what makes registry-based
+        aggregation safe against double counting.  Returns whether the
+        callback was actually added.
+        """
+        with self._lock:
+            if key is not None:
+                if key in self._callback_keys:
+                    return False
+                self._callback_keys.add(key)
+            self._callbacks.append(callback)
+            return True
+
+    def _collect_callbacks(self) -> Dict[str, List[Tuple[LabelPairs, float]]]:
+        with self._lock:
+            callbacks = list(self._callbacks)
+        collected: Dict[str, List[Tuple[LabelPairs, float]]] = {}
+        for callback in callbacks:
+            for name, labels, value in callback():
+                collected.setdefault(name, []).append((_label_pairs(labels), value))
+        for samples in collected.values():
+            samples.sort(key=lambda sample: sample[0])
+        return collected
+
+    # -- output -------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """Everything the registry knows, as one JSON-safe document."""
+        out: Dict[str, Any] = {}
+        with self._lock:
+            families = sorted(self._families.items())
+        for name, family in families:
+            samples: List[Dict[str, Any]] = []
+            for pairs, child in family.children():
+                entry: Dict[str, Any] = {"labels": dict(pairs)}
+                if family.kind == "histogram":
+                    entry["count"] = child.count
+                    entry["sum"] = child.sum
+                    entry["buckets"] = [
+                        {"le": bound if bound != float("inf") else "+Inf", "count": count}
+                        for bound, count in child.buckets()
+                    ]
+                else:
+                    entry["value"] = child.value
+                samples.append(entry)
+            out[name] = {"kind": family.kind, "help": family.help, "samples": samples}
+        for name, samples in sorted(self._collect_callbacks().items()):
+            sample_dicts = [
+                {"labels": dict(pairs), "value": value} for pairs, value in samples
+            ]
+            entry = out.get(name)
+            if entry is None:
+                out[name] = {"kind": "gauge", "help": "", "samples": sample_dicts}
+            else:
+                entry["samples"].extend(sample_dicts)
+        return out
+
+    def render(self) -> str:
+        """Prometheus text exposition (version 0.0.4), stable ordering."""
+        lines: List[str] = []
+        with self._lock:
+            families = dict(self._families)
+        collected = self._collect_callbacks()
+        for name in sorted(set(families) | set(collected)):
+            family = families.get(name)
+            if family is not None:
+                if family.help:
+                    lines.append(f"# HELP {name} {family.help}")
+                lines.append(f"# TYPE {name} {family.kind}")
+                for pairs, child in family.children():
+                    if family.kind == "histogram":
+                        for bound, count in child.buckets():
+                            le = "+Inf" if bound == float("inf") else _format_value(bound)
+                            bucket_pairs = pairs + (("le", le),)
+                            lines.append(
+                                f"{name}_bucket{_format_labels(bucket_pairs)} {count}"
+                            )
+                        lines.append(
+                            f"{name}_sum{_format_labels(pairs)} {_format_value(child.sum)}"
+                        )
+                        lines.append(
+                            f"{name}_count{_format_labels(pairs)} {child.count}"
+                        )
+                    else:
+                        lines.append(
+                            f"{name}{_format_labels(pairs)} {_format_value(child.value)}"
+                        )
+            if name in collected:
+                if family is None:
+                    lines.append(f"# TYPE {name} gauge")
+                for pairs, value in collected[name]:
+                    lines.append(f"{name}{_format_labels(pairs)} {_format_value(value)}")
+        return "\n".join(lines) + "\n"
+
+
+def flatten_numeric(prefix: str, mapping: Dict[str, Any]) -> Dict[str, float]:
+    """Flatten a nested stats dict to ``prefix_key_subkey -> number``.
+
+    Non-numeric leaves are skipped (booleans count as 0/1); this is the
+    adapter that turns the repo's existing ``*_stats()`` dictionaries
+    into registry samples without rewriting their producers.
+    """
+    out: Dict[str, float] = {}
+    for key, value in mapping.items():
+        name = f"{prefix}_{key}" if prefix else str(key)
+        if isinstance(value, dict):
+            out.update(flatten_numeric(name, value))
+        elif isinstance(value, bool):
+            out[name] = 1.0 if value else 0.0
+        elif isinstance(value, (int, float)):
+            out[name] = value
+    return out
+
+
+def dict_collector(
+    prefix: str,
+    source: Callable[[], Dict[str, Any]],
+    labels: Optional[Dict[str, str]] = None,
+) -> Callable[[], Iterable[Tuple[str, Dict[str, str], float]]]:
+    """A registry callback exposing a dict-returning stats function."""
+    fixed = dict(labels or {})
+
+    def collect() -> Iterable[Tuple[str, Dict[str, str], float]]:
+        return [
+            (name, fixed, value)
+            for name, value in sorted(flatten_numeric(prefix, source()).items())
+        ]
+
+    return collect

@@ -1,0 +1,109 @@
+"""Per-operator execution profiling: the substrate of EXPLAIN ANALYZE.
+
+Both executors (row and vectorized) carry optional instrumentation: a
+thread-local :class:`ExecProfile` that, when installed, records one
+:class:`OpStat` — operator name, output row count, wall time — per
+pipeline stage (scan, each join, semi-join, filter, aggregate/project,
+finalize).  When no profile is installed the instrumented sites cost
+one thread-local read per stage, which is what keeps the always-on
+path inside the overhead budget.
+
+``Database.explain_analyze`` installs a profile on both executors,
+runs the statement, and renders the operator table alongside the
+regular ``EXPLAIN`` plan.  The clock is injectable so golden tests pin
+the full rendering, timings included.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+Clock = Callable[[], float]
+
+
+@dataclass
+class OpStat:
+    """One executed operator: what ran, how long, how many rows out."""
+
+    depth: int
+    engine: str  # "row" | "vectorized"
+    op: str  # e.g. "scan team", "hash join player", "filter"
+    rows: int
+    seconds: float
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "depth": self.depth,
+            "engine": self.engine,
+            "op": self.op,
+            "rows": self.rows,
+            "time_ms": self.seconds * 1000.0,
+        }
+
+
+class ExecProfile:
+    """Collects operator stats for one statement execution.
+
+    Installed per thread (``Executor.set_profile`` /
+    ``VectorizedExecutor.set_profile``), so concurrent statements on
+    other threads never interleave records.  ``depth`` tracks subquery
+    nesting: the row executor pushes on entering a nested SELECT so a
+    correlated subquery's operators indent under their parent.
+    """
+
+    __slots__ = ("clock", "ops", "depth")
+
+    def __init__(self, clock: Clock = time.perf_counter) -> None:
+        self.clock = clock
+        self.ops: List[OpStat] = []
+        self.depth = 0
+
+    def record(self, engine: str, op: str, rows: int, started: float) -> None:
+        self.ops.append(
+            OpStat(self.depth, engine, op, rows, self.clock() - started)
+        )
+
+    def total_seconds(self) -> float:
+        return sum(op.seconds for op in self.ops)
+
+    def as_dicts(self) -> List[Dict[str, Any]]:
+        return [op.as_dict() for op in self.ops]
+
+
+def render_analyze(
+    explain_text: str,
+    profile: ExecProfile,
+    engine_mode: str,
+    result_rows: int,
+    total_seconds: Optional[float] = None,
+) -> str:
+    """EXPLAIN ANALYZE rendering: the plan, then the operator table.
+
+    The operator table is stable given a deterministic clock (golden
+    tests inject one); each line shows the operator (indented by
+    subquery depth), its actual output rows and its wall time.
+    ``total_seconds`` is the statement's measured wall time — operator
+    times nest (a filter's time includes its correlated subqueries'),
+    so summing them would double count; when not provided the sum is
+    used as a best-effort stand-in.
+    """
+    if total_seconds is None:
+        total_seconds = profile.total_seconds()
+    lines = [explain_text]
+    lines.append(f"-- analyze (engine={engine_mode}) --")
+    width = max(
+        [len("  " * op.depth + f"{op.op} [{op.engine}]") for op in profile.ops]
+        + [len("total")]
+    )
+    for op in profile.ops:
+        label = "  " * op.depth + f"{op.op} [{op.engine}]"
+        lines.append(
+            f"{label:<{width}}  rows={op.rows:<8d} time={op.seconds * 1000.0:.3f}ms"
+        )
+    lines.append(
+        f"{'total':<{width}}  rows={result_rows:<8d} "
+        f"time={total_seconds * 1000.0:.3f}ms"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,310 @@
+"""Structured request tracing: nested spans with injectable clocks.
+
+A :class:`Tracer` produces *spans* — named, labeled intervals — that
+nest through a ``contextvars`` context, so one request's path through
+admission → routing → batching → prediction → execution reads as a
+tree no matter how many components touched it.  Finished traces land
+in a bounded :class:`TraceStore` keyed by trace id (the ``/trace/<id>``
+route in :mod:`repro.deployment.webapp` serves them).
+
+Determinism and overhead are both first-class:
+
+* the clock is injectable (tests drive a fake monotonic clock and
+  span durations become exact);
+* ids are sequential (``t-000001`` / ``s-000001``) — reproducible in
+  tests, cheap in production;
+* *head sampling* decides once per trace, from a seeded RNG, whether
+  the whole tree is recorded; unsampled traces cost one RNG draw and
+  return a shared no-op span, which is what keeps tracing within the
+  serving overhead budget (``scripts/bench_obs_overhead.py`` gates
+  it).
+
+``contextvars`` propagate within one thread and across ``await``
+boundaries of a single task.  Crossing an executor boundary (shard
+worker threads) is explicit: capture ``tracer.current_span()`` on the
+near side and pass it as ``parent=`` on the far side.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import itertools
+import random
+import threading
+import time
+from collections import OrderedDict
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+Clock = Callable[[], float]
+
+_current_span: "contextvars.ContextVar[Optional[Span]]" = contextvars.ContextVar(
+    "repro_obs_current_span", default=None
+)
+
+
+class Span:
+    """One timed, labeled interval in a trace (context manager)."""
+
+    __slots__ = (
+        "tracer",
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "name",
+        "labels",
+        "start",
+        "end",
+        "status",
+        "_token",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        trace_id: str,
+        span_id: str,
+        parent_id: Optional[str],
+        name: str,
+        labels: Dict[str, Any],
+    ) -> None:
+        self.tracer = tracer
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.labels = labels
+        self.start = tracer.clock()
+        self.end: Optional[float] = None
+        self.status = "ok"
+        self._token: Optional[contextvars.Token] = None
+
+    @property
+    def recording(self) -> bool:
+        return True
+
+    def set_label(self, key: str, value: Any) -> None:
+        self.labels[key] = value
+
+    @property
+    def duration(self) -> float:
+        return (self.end - self.start) if self.end is not None else 0.0
+
+    def finish(self, status: Optional[str] = None) -> None:
+        if self.end is not None:
+            return
+        self.end = self.tracer.clock()
+        if status is not None:
+            self.status = status
+        self.tracer._finish(self)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "labels": dict(self.labels),
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "status": self.status,
+        }
+
+    # -- context manager ----------------------------------------------------
+    def __enter__(self) -> "Span":
+        self._token = _current_span.set(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._token is not None:
+            _current_span.reset(self._token)
+            self._token = None
+        self.finish("error" if exc_type is not None else None)
+
+
+class _NoopSpan:
+    """Shared span stand-in for unsampled traces: absorbs everything."""
+
+    __slots__ = ()
+
+    trace_id = None
+    span_id = None
+    parent_id = None
+    recording = False
+    duration = 0.0
+
+    def set_label(self, key: str, value: Any) -> None:
+        pass
+
+    def finish(self, status: Optional[str] = None) -> None:
+        pass
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class TraceStore:
+    """Bounded LRU of finished traces: trace id → list of span dicts.
+
+    Spans are appended in *finish* order (children before parents —
+    the order a depth-first walk unwinds); readers re-nest via
+    ``parent_id``.  The store holds the most recent ``capacity``
+    traces and is safe to read from any thread.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._traces: "OrderedDict[str, List[Dict[str, Any]]]" = OrderedDict()
+
+    def add(self, span: Span) -> None:
+        with self._lock:
+            spans = self._traces.get(span.trace_id)
+            if spans is None:
+                spans = self._traces[span.trace_id] = []
+                while len(self._traces) > self.capacity:
+                    self._traces.popitem(last=False)
+            spans.append(span.as_dict())
+
+    def get(self, trace_id: str) -> Optional[List[Dict[str, Any]]]:
+        with self._lock:
+            spans = self._traces.get(trace_id)
+            return list(spans) if spans is not None else None
+
+    def trace_ids(self) -> List[str]:
+        with self._lock:
+            return list(self._traces)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._traces)
+
+    def tree(self, trace_id: str) -> Optional[List[Dict[str, Any]]]:
+        """The trace re-nested: roots with ``children`` lists, ordered
+        by span start time."""
+        spans = self.get(trace_id)
+        if spans is None:
+            return None
+        by_id: Dict[str, Dict[str, Any]] = {}
+        for span in spans:
+            entry = dict(span)
+            entry["children"] = []
+            by_id[entry["span_id"]] = entry
+        roots: List[Dict[str, Any]] = []
+        for entry in by_id.values():
+            parent = by_id.get(entry["parent_id"]) if entry["parent_id"] else None
+            if parent is not None:
+                parent["children"].append(entry)
+            else:
+                roots.append(entry)
+        def sort_tree(entries: List[Dict[str, Any]]) -> None:
+            entries.sort(key=lambda entry: (entry["start"], entry["span_id"]))
+            for entry in entries:
+                sort_tree(entry["children"])
+        sort_tree(roots)
+        return roots
+
+
+class Tracer:
+    """Produces spans; owns the sampling decision and the store."""
+
+    def __init__(
+        self,
+        clock: Clock = time.perf_counter,
+        sample_rate: float = 1.0,
+        seed: int = 0,
+        store: Optional[TraceStore] = None,
+        registry: Optional[Any] = None,
+    ) -> None:
+        if not 0.0 <= sample_rate <= 1.0:
+            raise ValueError(f"sample_rate must be in [0, 1], got {sample_rate}")
+        self.clock = clock
+        self.sample_rate = sample_rate
+        self.store = store if store is not None else TraceStore()
+        self._rng = random.Random(seed)
+        self._rng_lock = threading.Lock()
+        self._trace_ids = itertools.count(1)
+        self._span_ids = itertools.count(1)
+        self._sampled = 0
+        self._dropped = 0
+        self._counter_lock = threading.Lock()
+        if registry is not None:
+            self._trace_counter = registry.counter(
+                "obs_traces_total",
+                "head-sampling decisions by verdict",
+                labelnames=("verdict",),
+            )
+            self._span_counter = registry.counter(
+                "obs_spans_total", "spans finished and recorded"
+            )
+        else:
+            self._trace_counter = None
+            self._span_counter = None
+
+    # -- span construction ---------------------------------------------------
+    def current_span(self):
+        """The active span in this context (None outside any trace)."""
+        return _current_span.get()
+
+    def span(self, name: str, parent: Optional[Any] = None, **labels: Any):
+        """A child span of ``parent`` (default: the context's current
+        span), or a new sampled-or-not root when there is neither."""
+        if parent is None:
+            parent = _current_span.get()
+        if parent is None:
+            return self.start_trace(name, **labels)
+        if not getattr(parent, "recording", False):
+            return NOOP_SPAN
+        return Span(
+            self,
+            parent.trace_id,
+            f"s-{next(self._span_ids):06d}",
+            parent.span_id,
+            name,
+            labels,
+        )
+
+    def start_trace(self, name: str, **labels: Any):
+        """Begin a new trace; the head-sampling decision happens here."""
+        with self._rng_lock:
+            sampled = (
+                self.sample_rate >= 1.0 or self._rng.random() < self.sample_rate
+            )
+        if not sampled:
+            with self._counter_lock:
+                self._dropped += 1
+            if self._trace_counter is not None:
+                self._trace_counter.labels(verdict="dropped").inc()
+            return NOOP_SPAN
+        with self._counter_lock:
+            self._sampled += 1
+        if self._trace_counter is not None:
+            self._trace_counter.labels(verdict="sampled").inc()
+        trace_id = f"t-{next(self._trace_ids):06d}"
+        return Span(
+            self, trace_id, f"s-{next(self._span_ids):06d}", None, name, labels
+        )
+
+    def _finish(self, span: Span) -> None:
+        if self._span_counter is not None:
+            self._span_counter.inc()
+        self.store.add(span)
+
+    # -- observability -------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        with self._counter_lock:
+            sampled, dropped = self._sampled, self._dropped
+        return {
+            "sample_rate": self.sample_rate,
+            "sampled_traces": sampled,
+            "dropped_traces": dropped,
+            "stored_traces": len(self.store),
+        }

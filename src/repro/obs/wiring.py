@@ -1,0 +1,124 @@
+"""Bind existing component counters into a :class:`MetricsRegistry`.
+
+The engine and serving layers each keep their own counters (plan
+cache, optimizer, column store, engine-mode split, response cache,
+quota/shedding).  These helpers register pull collectors for them so
+one ``registry.snapshot()`` / ``registry.render()`` captures the whole
+stack.  Every bind is *deduplicated by identity*: binding the same
+database (or a plan cache shared across schema variants) twice is a
+no-op, which is what makes registry-based aggregation immune to the
+double counting that merging raw dicts invited.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from .metrics import DEFAULT_LATENCY_BUCKETS, MetricsRegistry, dict_collector
+
+
+def bind_database(
+    registry: MetricsRegistry,
+    database: Any,
+    labels: Optional[Dict[str, str]] = None,
+) -> None:
+    """Expose one database's engine counters through the registry.
+
+    Families: ``engine_plan_cache_*`` (deduplicated per underlying
+    cache, so schema variants sharing a cache via ``for_scope`` count
+    it once), ``engine_optimizer_*``, ``engine_mode_*`` and
+    ``engine_column_store_*`` (per database).
+    """
+    labels = dict(labels or {})
+    labels.setdefault("schema", database.schema.name)
+    labels.setdefault("version", database.schema.version)
+    cache = database.plan_cache
+    if cache is not None:
+        # shared caches are keyed by their storage token, not the view
+        cache_labels = {"schema": labels["schema"]}
+        registry.register_callback(
+            dict_collector("engine_plan_cache", cache.stats, cache_labels),
+            key=("plan_cache", cache.storage_token),
+        )
+    registry.register_callback(
+        dict_collector("engine_optimizer", database.optimizer_stats, labels),
+        key=("optimizer", id(database)),
+    )
+    registry.register_callback(
+        dict_collector("engine_mode", database.engine_mode_stats, labels),
+        key=("engine_mode", id(database)),
+    )
+    registry.register_callback(
+        dict_collector("engine_column_store", database.column_store_stats, labels),
+        key=("column_store", id(database)),
+    )
+
+
+def bind_service(
+    registry: MetricsRegistry,
+    service: Any,
+    labels: Optional[Dict[str, str]] = None,
+) -> None:
+    """Expose a :class:`TextToSQLService`'s counters and its database.
+
+    Also attaches a registry-backed latency *histogram* to the service
+    (fixed buckets, constant memory) — the modern replacement for the
+    sliding-window percentile list, which stays only for the legacy
+    ``metrics()`` keys.
+    """
+    labels = dict(labels or {})
+    registry.register_callback(
+        dict_collector("service", service.counter_stats, labels),
+        key=("service", id(service)),
+    )
+    family = registry.histogram(
+        "service_latency_seconds",
+        "per-question serving latency (cache hits at 0)",
+        labelnames=tuple(sorted(labels)),
+        buckets=DEFAULT_LATENCY_BUCKETS,
+    )
+    service._latency_hist = family.labels(**labels) if labels else family
+    bind_database(registry, service.database, labels=labels or None)
+
+
+def bind_serving(
+    registry: MetricsRegistry,
+    serving: Any,
+    labels: Optional[Dict[str, str]] = None,
+) -> None:
+    """Expose the async front end's admission/shedding/batching counters."""
+    labels = dict(labels or {})
+
+    def front_end_stats() -> Dict[str, Any]:
+        metrics = serving.metrics()
+        # per-domain counts and shard maps are label-shaped, not gauges
+        return {
+            key: value
+            for key, value in metrics.items()
+            if key not in ("questions_per_domain", "domains", "tenants", "shards")
+        }
+
+    registry.register_callback(
+        dict_collector("serving", front_end_stats, labels),
+        key=("serving", id(serving)),
+    )
+    family = registry.histogram(
+        "serving_wall_latency_seconds",
+        "admission-to-completion wall latency",
+        labelnames=tuple(sorted(labels)),
+        buckets=DEFAULT_LATENCY_BUCKETS,
+    )
+    serving._latency_hist = family.labels(**labels) if labels else family
+
+    def per_domain() -> Dict[str, Any]:
+        return serving.metrics().get("questions_per_domain", {})
+
+    def per_domain_samples():
+        return [
+            ("serving_questions_per_domain", {**labels, "domain": domain}, count)
+            for domain, count in sorted(per_domain().items())
+        ]
+
+    registry.register_callback(
+        per_domain_samples, key=("serving_domains", id(serving))
+    )

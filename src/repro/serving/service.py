@@ -44,6 +44,7 @@ from repro.deployment import (
     UnroutableQuestionError,
     percentile,
 )
+from repro.obs.tracing import NOOP_SPAN
 
 from .quota import QuotaPolicy
 from .shards import DomainSpec, ProcessShard, ThreadShard, assign_shards, build_service
@@ -116,6 +117,7 @@ class AsyncTextToSQLService:
         single_flight: bool = True,
         request_timeout: Optional[float] = None,
         latency_window: int = 8192,
+        tracer: Optional[Any] = None,
     ) -> None:
         if max_batch <= 0:
             raise ValueError(f"max_batch must be positive, got {max_batch}")
@@ -146,6 +148,12 @@ class AsyncTextToSQLService:
         self.quota = quota
         self.single_flight = single_flight
         self.request_timeout = request_timeout
+        # Optional repro.obs.Tracer: serving.ask spans with
+        # admission/route/queued children, labeled per tenant+domain.
+        self.tracer = tracer
+        # Optional registry-backed wall-latency histogram, attached by
+        # repro.obs.bind_serving.
+        self._latency_hist: Optional[Any] = None
         # -- event-loop-owned state --------------------------------------
         self._queues: List["asyncio.Queue[_Pending]"] = []
         self._dispatchers: List["asyncio.Task"] = []
@@ -261,6 +269,13 @@ class AsyncTextToSQLService:
         self.close()
 
     # -- serving -----------------------------------------------------------
+    def _span(self, name: str, **labels: Any):
+        """A tracer span when tracing is on, the shared no-op otherwise."""
+        tracer = self.tracer
+        if tracer is None:
+            return NOOP_SPAN
+        return tracer.span(name, **labels)
+
     async def ask(
         self,
         question: str,
@@ -273,12 +288,27 @@ class AsyncTextToSQLService:
         named unknown domain (caller error); every load condition comes
         back as a response (``overloaded`` / ``timeout`` / ``error``).
         """
+        with self._span("serving.ask", tenant=tenant) as span:
+            response = await self._ask(question, tenant, domain, span)
+            span.set_label("status", response.status)
+            if response.domain is not None:
+                span.set_label("domain", response.domain)
+            return response
+
+    async def _ask(
+        self,
+        question: str,
+        tenant: str,
+        domain: Optional[str],
+        span,
+    ) -> ServingResponse:
         await self.start()
         start = time.perf_counter()
         if self.quota is not None:
             admitted, retry_after = self.quota.admit(tenant)
             if not admitted:
                 self._shed_quota += 1
+                span.set_label("shed", "tenant_quota")
                 return Overloaded(
                     question=question,
                     tenant=tenant,
@@ -294,7 +324,9 @@ class AsyncTextToSQLService:
                 )
             name = domain
         else:
-            name, _score = self.router.route(question)
+            with self._span("serving.route") as route_span:
+                name, _score = self.router.route(question)
+                route_span.set_label("domain", name)
         self._admitted += 1
         self._per_domain[name] = self._per_domain.get(name, 0) + 1
         key = (name, question)
@@ -302,11 +334,14 @@ class AsyncTextToSQLService:
             existing = self._inflight.get(key)
             if existing is not None:
                 self._coalesced += 1
-                return await self._await_outcome(
-                    existing, question, tenant, name, start, coalesced=True
-                )
+                span.set_label("coalesced", True)
+                with self._span("serving.queued", domain=name):
+                    return await self._await_outcome(
+                        existing, question, tenant, name, start, coalesced=True
+                    )
         if self._pending >= self.max_pending:
             self._shed_queue += 1
+            span.set_label("shed", "queue_full")
             return Overloaded(
                 question=question,
                 tenant=tenant,
@@ -322,9 +357,10 @@ class AsyncTextToSQLService:
         self._queues[self._domain_shard[name]].put_nowait(
             _Pending(name, question, future)
         )
-        return await self._await_outcome(
-            future, question, tenant, name, start, coalesced=False
-        )
+        with self._span("serving.queued", domain=name):
+            return await self._await_outcome(
+                future, question, tenant, name, start, coalesced=False
+            )
 
     async def ask_many(
         self,
@@ -383,6 +419,9 @@ class AsyncTextToSQLService:
         elapsed = time.perf_counter() - start
         self._completed += 1
         self._latencies.append(elapsed)
+        hist = self._latency_hist
+        if hist is not None:
+            hist.observe(elapsed)
         return ServingResponse(
             question=question,
             tenant=tenant,
@@ -415,9 +454,18 @@ class AsyncTextToSQLService:
                 self._batched_questions += len(questions)
                 self._max_batch_size = max(self._max_batch_size, len(questions))
                 try:
-                    responses = await asyncio.wrap_future(
-                        shard.submit_batch(domain, questions)
-                    )
+                    # batch spans are their own traces: the dispatcher
+                    # task has no request context, and one batch serves
+                    # many requests
+                    with self._span(
+                        "serving.batch",
+                        domain=domain,
+                        shard=shard_index,
+                        size=len(questions),
+                    ):
+                        responses = await asyncio.wrap_future(
+                            shard.submit_batch(domain, questions)
+                        )
                 except asyncio.CancelledError:
                     for item in items:
                         self._resolve(

@@ -114,11 +114,21 @@ class VectorizedExecutor:
         self.store = ColumnStore(storage)
         self._row = row_executor
         self._lock = threading.Lock()
+        self._local = threading.local()
         self._counters = {
             "statements": 0,
             "vectorized_nodes": 0,
             "fallback_nodes": 0,
         }
+
+    # -- profiling (EXPLAIN ANALYZE substrate) -------------------------------
+    def set_profile(self, profile) -> None:
+        """Install (or clear, with None) a per-operator collector for
+        this thread's executions (see :mod:`repro.obs.profile`)."""
+        self._local.profile = profile
+
+    def _prof(self):
+        return getattr(self._local, "profile", None)
 
     # -- public entry point --------------------------------------------------
     def execute(self, query: QueryNode) -> Result:
@@ -169,13 +179,34 @@ class VectorizedExecutor:
         if plan is None:
             self._count("fallback_nodes")
             return self._row.execute(select)
+        prof = self._prof()
+        started = prof.clock() if prof is not None else 0.0
         batch = self._scan(plan)
+        if prof is not None:
+            prof.record(
+                "vectorized", f"scan {plan.table_names[0]}", batch.length, started
+            )
         for vjoin in plan.joins:
+            started = prof.clock() if prof is not None else 0.0
             batch = self._join(batch, vjoin)
+            if prof is not None:
+                kind = "left join" if vjoin.kind is JoinKind.LEFT else "hash join"
+                prof.record(
+                    "vectorized", f"{kind} {vjoin.table_name}", batch.length, started
+                )
         for spec in plan.semi_joins:
+            started = prof.clock() if prof is not None else 0.0
             batch = self._semi_join(batch, spec)
+            if prof is not None:
+                kind = "anti join" if spec.anti else "semi join"
+                prof.record(
+                    "vectorized", f"{kind} {spec.table}", batch.length, started
+                )
         if select.where is not None:
+            started = prof.clock() if prof is not None else 0.0
             batch = self._filter(batch, select.where)
+            if prof is not None:
+                prof.record("vectorized", "filter", batch.length, started)
         if plan.aggregated:
             result = self._execute_aggregated(select, plan, batch)
             if result is None:
@@ -330,9 +361,13 @@ class VectorizedExecutor:
     def _execute_plain(
         self, select: SelectQuery, plan: VectorSelectPlan, batch: _Batch
     ) -> Result:
+        prof = self._prof()
+        started = prof.clock() if prof is not None else 0.0
         names = self._output_names(select, plan, batch.length > 0)
         columns = self._project_columns(select, plan, batch, None)
         rows = list(zip(*columns)) if columns else [()] * batch.length
+        if prof is not None:
+            prof.record("vectorized", "project", len(rows), started)
         return self._finalize(select, plan, names, rows, batch, None)
 
     def _execute_aggregated(
@@ -341,6 +376,8 @@ class VectorizedExecutor:
         length = batch.length
         if not select.group_by and length == 0:
             return None  # dynamic fallback (see _execute_select)
+        prof = self._prof()
+        started = prof.clock() if prof is not None else 0.0
         if select.group_by:
             key_vectors = [
                 kernels.normalize_kernel(self._eval(expr, batch))
@@ -385,6 +422,8 @@ class VectorizedExecutor:
         names = self._output_names(select, plan, length > 0)
         columns = self._project_columns(select, plan, representative, overrides)
         rows = list(zip(*columns)) if columns else [()] * representative.length
+        if prof is not None:
+            prof.record("vectorized", "aggregate", len(rows), started)
         return self._finalize(select, plan, names, rows, representative, overrides)
 
     def _aggregate_vector(
@@ -480,8 +519,12 @@ class VectorizedExecutor:
         overrides: Optional[Dict[int, list]],
     ) -> Result:
         """Mirror of ``Executor._finalize``: order → distinct → limit."""
+        prof = self._prof()
+        started = prof.clock() if prof is not None else 0.0
         if select.limit == 0:
             # LIMIT 0 short-circuit, mirroring the row executor.
+            if prof is not None:
+                prof.record("vectorized", "finalize", 0, started)
             return Result(names, [])
         ordered = list(range(len(rows)))
         if select.order_by:
@@ -515,6 +558,8 @@ class VectorizedExecutor:
                     unique.append(row)
             output = unique
         output = _apply_limit(output, select.limit, select.offset)
+        if prof is not None:
+            prof.record("vectorized", "finalize", len(output), started)
         return Result(names, output)
 
     def _order_keys(

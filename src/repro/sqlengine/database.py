@@ -62,12 +62,16 @@ class Database:
         plan_cache: Optional[PlanCache] = None,
         optimize: bool = True,
         engine_mode: str = "auto",
+        tracer: Optional[Any] = None,
     ) -> None:
         if engine_mode not in ENGINE_MODES:
             raise ValueError(
                 f"engine_mode must be one of {ENGINE_MODES}, got {engine_mode!r}"
             )
         self.schema = schema
+        # Optional repro.obs.Tracer: when set, execute() emits db.plan /
+        # db.run spans under the caller's current span (or a new trace).
+        self.tracer = tracer
         self.storage = Storage(schema, enforce_foreign_keys=enforce_foreign_keys)
         self._executor = Executor(self.storage)
         self._vectorized = VectorizedExecutor(self.storage, self._executor)
@@ -136,8 +140,27 @@ class Database:
         byte-identical results.
         """
         mode = self._resolve_engine_mode(engine_mode)
-        plan = self._plan_for(sql, cached, self._resolve_optimize(optimize))
-        root = plan.root if isinstance(plan, PhysicalPlan) else plan
+        tracer = self.tracer
+        if tracer is None:
+            plan = self._plan_for(sql, cached, self._resolve_optimize(optimize))
+            root = plan.root if isinstance(plan, PhysicalPlan) else plan
+            return self._run_plan(root, mode)
+        with tracer.span(
+            "db.execute", schema=self.schema.name, mode=mode, sql=sql[:120]
+        ):
+            with tracer.span("db.plan") as plan_span:
+                hits_before = self.plan_cache.hits
+                plan = self._plan_for(sql, cached, self._resolve_optimize(optimize))
+                root = plan.root if isinstance(plan, PhysicalPlan) else plan
+                plan_span.set_label(
+                    "cached", cached and self.plan_cache.hits > hits_before
+                )
+            with tracer.span("db.run") as run_span:
+                result = self._run_plan(root, mode)
+                run_span.set_label("rows", len(result.rows))
+            return result
+
+    def _run_plan(self, root, mode: str) -> Result:
         if mode == "row":
             with self._engine_mode_lock:
                 self._engine_mode_counters["row_statements"] += 1
@@ -185,6 +208,65 @@ class Database:
                 root=ast, source=ast, stats_epoch=self.stats.epoch(), rewrites=()
             )
         return explain_plan(plan, sql=sql)
+
+    def profile_execute(
+        self,
+        sql: str,
+        optimize: Optional[bool] = None,
+        engine_mode: Optional[str] = None,
+        clock=None,
+    ):
+        """Execute ``sql`` with per-operator instrumentation.
+
+        Returns ``(result, profile, total_seconds)`` where ``profile``
+        is a :class:`repro.obs.ExecProfile` holding one record per
+        executed operator (scan, each join, filter, aggregate/project,
+        finalize) with output row counts and wall times.  The profile
+        is installed thread-locally on *both* executors, so vectorized
+        plans that fall back per node attribute the row-executed
+        operators to the row engine.  ``clock`` is injectable for
+        deterministic tests.
+        """
+        from repro.obs.profile import ExecProfile
+
+        mode = self._resolve_engine_mode(engine_mode)
+        plan = self._plan_for(sql, cached=True, optimize=self._resolve_optimize(optimize))
+        root = plan.root if isinstance(plan, PhysicalPlan) else plan
+        profile = ExecProfile(clock) if clock is not None else ExecProfile()
+        self._executor.set_profile(profile)
+        self._vectorized.set_profile(profile)
+        started = profile.clock()
+        try:
+            result = self._run_plan(root, mode)
+        finally:
+            total = profile.clock() - started
+            self._executor.set_profile(None)
+            self._vectorized.set_profile(None)
+        return result, profile, total
+
+    def explain_analyze(
+        self,
+        sql: str,
+        optimize: Optional[bool] = None,
+        engine_mode: Optional[str] = None,
+        clock=None,
+    ) -> str:
+        """EXPLAIN ANALYZE: the plan rendering plus measured execution.
+
+        Runs the statement through :meth:`profile_execute` and appends
+        the per-operator table (actual rows and wall time, indented by
+        subquery depth) to the regular :meth:`explain` output.  With an
+        injectable ``clock`` the full rendering is deterministic, which
+        is how the golden tests pin it for both executors.
+        """
+        from repro.obs.profile import render_analyze
+
+        explain_text = self.explain(sql, optimize=optimize)
+        result, profile, total = self.profile_execute(
+            sql, optimize=optimize, engine_mode=engine_mode, clock=clock
+        )
+        mode = self._resolve_engine_mode(engine_mode)
+        return render_analyze(explain_text, profile, mode, len(result.rows), total)
 
     # -- planning ----------------------------------------------------------------
     def _resolve_optimize(self, optimize: Optional[bool]) -> bool:

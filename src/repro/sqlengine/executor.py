@@ -180,6 +180,15 @@ class Executor:
             self._local.subquery_cache = cache
         return cache
 
+    # -- profiling (EXPLAIN ANALYZE substrate) -------------------------------
+    def set_profile(self, profile) -> None:
+        """Install (or clear, with None) a per-operator collector for
+        this thread's executions (see :mod:`repro.obs.profile`)."""
+        self._local.profile = profile
+
+    def _prof(self):
+        return getattr(self._local, "profile", None)
+
     # -- public entry point -------------------------------------------------
     def execute(self, query: QueryNode) -> Result:
         self._local.subquery_cache = {}
@@ -193,19 +202,26 @@ class Executor:
         must be evaluated per outer row (marked by a ``None`` cache
         entry).
         """
-        key = id(query)
-        cached = self._subquery_cache.get(key, _CACHE_MISS)
-        if cached is None:
-            return self._execute(query, scope)  # known correlated
-        if cached is not _CACHE_MISS:
-            return cached
+        prof = self._prof()
+        if prof is not None:
+            prof.depth += 1
         try:
-            result = self._execute(query, outer=None)
-        except CatalogError:
-            self._subquery_cache[key] = None
-            return self._execute(query, scope)
-        self._subquery_cache[key] = result
-        return result
+            key = id(query)
+            cached = self._subquery_cache.get(key, _CACHE_MISS)
+            if cached is None:
+                return self._execute(query, scope)  # known correlated
+            if cached is not _CACHE_MISS:
+                return cached
+            try:
+                result = self._execute(query, outer=None)
+            except CatalogError:
+                self._subquery_cache[key] = None
+                return self._execute(query, scope)
+            self._subquery_cache[key] = result
+            return result
+        finally:
+            if prof is not None:
+                prof.depth -= 1
 
     def _execute(self, query: QueryNode, outer: Optional[Scope]) -> Result:
         if isinstance(query, SetOperation):
@@ -297,6 +313,7 @@ class Executor:
 
     # -- select core ----------------------------------------------------------
     def _execute_select(self, query: SelectQuery, outer: Optional[Scope]) -> Result:
+        prof = self._prof()
         frames = self._evaluate_from(query, outer)
         # Optimized plans may carry decorrelated EXISTS/IN conjuncts
         # (optimizer.SemiJoinSpec).  They filter frames exactly where
@@ -304,18 +321,25 @@ class Executor:
         semi_joins = getattr(query, "semi_joins", None)
         if semi_joins:
             for spec in semi_joins:
+                started = prof.clock() if prof is not None else 0.0
                 groups = self.semi_join_groups(spec)
                 frames = [
                     frame
                     for frame in frames
                     if self._semi_keep(spec, groups, Scope(frame, None, outer))
                 ]
+                if prof is not None:
+                    kind = "anti join" if spec.anti else "semi join"
+                    prof.record("row", f"{kind} {spec.table}", len(frames), started)
         if query.where is not None:
+            started = prof.clock() if prof is not None else 0.0
             frames = [
                 frame
                 for frame in frames
                 if self._truthy(query.where, Scope(frame, None, outer))
             ]
+            if prof is not None:
+                prof.record("row", "filter", len(frames), started)
         aggregated = bool(query.group_by) or uses_aggregates(query)
         if aggregated:
             return self._execute_aggregated(query, frames, outer)
@@ -330,15 +354,41 @@ class Executor:
         # filter keeps rows under the same _truthy test WHERE would
         # apply later, so only the amount of work changes, never the
         # surviving frame sequence.
+        prof = self._prof()
         scan_filters = getattr(query, "scan_filters", None)
         key = query.from_table.binding.lower()
         pushed = scan_filters.get(key) if scan_filters else None
         index_scans = getattr(query, "index_scans", None)
         index_scan = index_scans.get(key) if index_scans else None
+        started = prof.clock() if prof is not None else 0.0
         frames = self._scan(query.from_table, pushed, outer, index_scan)
+        if prof is not None:
+            prof.record("row", f"scan {query.from_table.table}", len(frames), started)
         for join in query.joins:
+            if prof is not None:
+                label = self._join_label(frames, join)
+                started = prof.clock()
             frames = self._apply_join(frames, join, outer)
+            if prof is not None:
+                prof.record("row", label, len(frames), started)
         return frames
+
+    def _join_label(self, frames: List[Frame], join: Join) -> str:
+        """Human-readable strategy label for EXPLAIN ANALYZE output;
+        mirrors the dispatch in :meth:`_apply_join`."""
+        table_name = join.table.table
+        if join.kind is JoinKind.CROSS or join.condition is None:
+            return f"cross join {table_name}"
+        if join.kind is JoinKind.LEFT:
+            return f"left join {table_name}"
+        if frames:
+            data = self.storage.data(table_name)
+            equi_pairs, _ = self._split_equi_condition(
+                join.condition, frames[0], join.table.binding, data.table
+            )
+            if equi_pairs:
+                return f"hash join {table_name}"
+        return f"loop join {table_name}"
 
     def _scan(
         self,
@@ -700,6 +750,8 @@ class Executor:
     def _execute_plain(
         self, query: SelectQuery, frames: List[Frame], outer: Optional[Scope]
     ) -> Result:
+        prof = self._prof()
+        started = prof.clock() if prof is not None else 0.0
         columns = self._output_columns(query, frames)
         rows: List[tuple] = []
         scopes: List[Scope] = []
@@ -707,12 +759,16 @@ class Executor:
             scope = Scope(frame, None, outer)
             rows.append(self._project(query.projections, scope))
             scopes.append(scope)
+        if prof is not None:
+            prof.record("row", "project", len(rows), started)
         return self._finalize(query, columns, rows, scopes)
 
     # -- aggregated output ---------------------------------------------------------
     def _execute_aggregated(
         self, query: SelectQuery, frames: List[Frame], outer: Optional[Scope]
     ) -> Result:
+        prof = self._prof()
+        started = prof.clock() if prof is not None else 0.0
         groups: List[Tuple[Frame, List[Frame]]] = []
         if query.group_by:
             keyed: Dict[tuple, List[Frame]] = {}
@@ -740,6 +796,8 @@ class Executor:
                 continue
             rows.append(self._project(query.projections, scope))
             scopes.append(scope)
+        if prof is not None:
+            prof.record("row", "aggregate", len(rows), started)
         return self._finalize(query, columns, rows, scopes)
 
     # -- shared output plumbing ------------------------------------------------------
@@ -796,10 +854,14 @@ class Executor:
         rows: List[tuple],
         scopes: List[Scope],
     ) -> Result:
+        prof = self._prof()
+        started = prof.clock() if prof is not None else 0.0
         if query.limit == 0:
             # LIMIT 0 emits no rows no matter the ordering or offset;
             # skip sorting/dedup entirely (sqlite likewise never
             # evaluates ORDER BY keys for rows it will not emit).
+            if prof is not None:
+                prof.record("row", "finalize", 0, started)
             return Result(columns, [])
         ordered = list(range(len(rows)))
         if query.order_by:
@@ -839,6 +901,8 @@ class Executor:
                     unique.append(row)
             output = unique
         output = _apply_limit(output, query.limit, query.offset)
+        if prof is not None:
+            prof.record("row", "finalize", len(output), started)
         return Result(columns, output)
 
     def _order_key(

@@ -1,0 +1,243 @@
+"""MetricsRegistry unit behaviour, exposition goldens, concurrency."""
+
+from __future__ import annotations
+
+import math
+import sys
+import threading
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_LATENCY_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    dict_collector,
+    flatten_numeric,
+    percentile,
+)
+
+
+class TestCounterGauge:
+    def test_counter_increments(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("requests_total", "requests")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_counter_rejects_negative(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("requests_total")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("pending")
+        gauge.set(10)
+        gauge.dec(3)
+        gauge.inc()
+        assert gauge.value == 8
+
+    def test_labeled_children_are_independent(self):
+        registry = MetricsRegistry()
+        family = registry.counter("shed_total", labelnames=("reason",))
+        family.labels(reason="quota").inc(2)
+        family.labels(reason="queue").inc()
+        values = {
+            dict(pairs)["reason"]: child.value
+            for pairs, child in family.children()
+        }
+        assert values == {"quota": 2, "queue": 1}
+
+    def test_unlabeled_ops_on_labeled_family_raise(self):
+        registry = MetricsRegistry()
+        family = registry.counter("shed_total", labelnames=("reason",))
+        with pytest.raises(ValueError):
+            family.inc()
+
+    def test_same_name_same_kind_is_idempotent(self):
+        registry = MetricsRegistry()
+        first = registry.counter("x_total")
+        assert registry.counter("x_total") is first
+
+    def test_same_name_different_kind_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total")
+        with pytest.raises(ValueError):
+            registry.gauge("x_total")
+
+
+class TestHistogram:
+    def test_bucket_counts_are_cumulative(self):
+        hist = Histogram(bounds=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.0, 1.5, 3.0, 100.0):
+            hist.observe(value)
+        assert hist.buckets() == [
+            (1.0, 2),  # 0.5, 1.0 (inclusive upper bound)
+            (2.0, 3),
+            (4.0, 4),
+            (math.inf, 5),
+        ]
+        assert hist.count == 5
+        assert hist.sum == pytest.approx(106.0)
+
+    def test_quantile_interpolates_within_bucket(self):
+        hist = Histogram(bounds=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 1.5, 1.5):
+            hist.observe(value)
+        # p50 lands inside the (1, 2] bucket
+        assert 1.0 <= hist.quantile(0.5) <= 2.0
+
+    def test_quantile_empty_is_zero(self):
+        assert Histogram(bounds=(1.0,)).quantile(0.99) == 0.0
+
+    def test_quantile_clamps_to_last_finite_bound(self):
+        hist = Histogram(bounds=(1.0, 2.0))
+        hist.observe(50.0)
+        assert hist.quantile(0.99) == 2.0
+
+    def test_bounds_must_increase(self):
+        with pytest.raises(ValueError):
+            Histogram(bounds=(1.0, 1.0))
+
+    def test_default_latency_buckets_sorted(self):
+        assert list(DEFAULT_LATENCY_BUCKETS) == sorted(DEFAULT_LATENCY_BUCKETS)
+
+
+class TestExpositionGolden:
+    """The Prometheus text format is an interface: golden-pinned."""
+
+    def test_render_golden(self):
+        registry = MetricsRegistry()
+        registry.counter("requests_total", "served requests").inc(3)
+        shed = registry.counter("shed_total", "shed requests", labelnames=("reason",))
+        shed.labels(reason="quota").inc(2)
+        registry.gauge("pending", "queued requests").set(7)
+        hist = registry.histogram(
+            "latency_seconds", "request latency", buckets=(0.1, 1.0)
+        )
+        hist.observe(0.05)
+        hist.observe(0.5)
+        hist.observe(5.0)
+        assert registry.render() == (
+            "# HELP latency_seconds request latency\n"
+            "# TYPE latency_seconds histogram\n"
+            'latency_seconds_bucket{le="0.1"} 1\n'
+            'latency_seconds_bucket{le="1"} 2\n'
+            'latency_seconds_bucket{le="+Inf"} 3\n'
+            "latency_seconds_sum 5.55\n"
+            "latency_seconds_count 3\n"
+            "# HELP pending queued requests\n"
+            "# TYPE pending gauge\n"
+            "pending 7\n"
+            "# HELP requests_total served requests\n"
+            "# TYPE requests_total counter\n"
+            "requests_total 3\n"
+            "# HELP shed_total shed requests\n"
+            "# TYPE shed_total counter\n"
+            'shed_total{reason="quota"} 2\n'
+        )
+
+    def test_callback_samples_render(self):
+        registry = MetricsRegistry()
+        registry.register_callback(
+            lambda: [("engine_hits", {"schema": "toy"}, 12)], key="k"
+        )
+        text = registry.render()
+        assert 'engine_hits{schema="toy"} 12\n' in text
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("a_total").inc()
+        hist = registry.histogram("h_seconds", buckets=(1.0,))
+        hist.observe(0.5)
+        snapshot = registry.snapshot()
+        assert snapshot["a_total"]["kind"] == "counter"
+        assert snapshot["a_total"]["samples"][0]["value"] == 1
+        sample = snapshot["h_seconds"]["samples"][0]
+        assert sample["count"] == 1
+        assert sample["buckets"][0] == {"le": 1.0, "count": 1}
+
+
+class TestCallbacks:
+    def test_callback_key_dedup(self):
+        registry = MetricsRegistry()
+        calls = []
+
+        def collector():
+            calls.append(1)
+            return [("x", {}, 1)]
+
+        assert registry.register_callback(collector, key="same") is True
+        assert registry.register_callback(collector, key="same") is False
+        registry.snapshot()
+        assert len(calls) == 1
+
+    def test_dict_collector_flattens_nested(self):
+        source = {"hits": 3, "inner": {"misses": 2, "label": "text"}, "on": True}
+        samples = dict_collector("cache", lambda: source, {"schema": "s"})()
+        assert ("cache_hits", {"schema": "s"}, 3) in samples
+        assert ("cache_inner_misses", {"schema": "s"}, 2) in samples
+        assert ("cache_on", {"schema": "s"}, 1) in samples
+        assert not any(name == "cache_inner_label" for name, _, _ in samples)
+
+    def test_flatten_numeric_skips_non_numeric(self):
+        flat = flatten_numeric("p", {"a": 1, "b": "no", "c": {"d": 2.5}})
+        assert flat == {"p_a": 1, "p_c_d": 2.5}
+
+
+class TestPercentile:
+    """The single shared implementation (satellite: dedup)."""
+
+    def test_reexported_everywhere(self):
+        from repro.deployment import percentile as deployment_percentile
+        from repro.deployment.service import percentile as service_percentile
+        from repro.obs.metrics import percentile as obs_percentile
+
+        assert deployment_percentile is obs_percentile
+        assert service_percentile is obs_percentile
+
+    def test_interpolation(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 0.5) == 2.5
+        assert percentile([], 0.5) == 0.0
+        assert percentile([7.0], 0.99) == 7.0
+
+
+class TestConcurrency:
+    """Exact totals under a hostile switch interval."""
+
+    def test_counter_and_histogram_exact_under_contention(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hammer_total")
+        family = registry.counter("hammer_labeled_total", labelnames=("worker",))
+        hist = registry.histogram("hammer_seconds", buckets=(0.5,))
+        threads, per_thread = 8, 2000
+        old_interval = sys.getswitchinterval()
+        sys.setswitchinterval(1e-6)
+        try:
+            def work(index: int) -> None:
+                child = family.labels(worker=str(index % 2))
+                for i in range(per_thread):
+                    counter.inc()
+                    child.inc()
+                    hist.observe(0.25 if i % 2 else 0.75)
+
+            pool = [
+                threading.Thread(target=work, args=(index,))
+                for index in range(threads)
+            ]
+            for thread in pool:
+                thread.start()
+            for thread in pool:
+                thread.join()
+        finally:
+            sys.setswitchinterval(old_interval)
+        total = threads * per_thread
+        assert counter.value == total
+        assert sum(child.value for _, child in family.children()) == total
+        assert hist.count == total
+        # bucket sums must match exactly: half below 0.5, half above
+        assert hist.buckets()[0][1] == total // 2
+        assert hist.buckets()[-1][1] == total

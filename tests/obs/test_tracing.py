@@ -1,0 +1,179 @@
+"""Tracer behaviour: nesting, determinism, sampling, the store."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs import NOOP_SPAN, MetricsRegistry, TraceStore, Tracer
+
+
+class FakeClock:
+    """Monotonic fake: every read advances by ``step`` seconds."""
+
+    def __init__(self, step: float = 1.0) -> None:
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        self.now += self.step
+        return self.now
+
+
+class TestSpans:
+    def test_nesting_and_ordering_with_fake_clock(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("root") as root:
+            with tracer.span("child-a") as a:
+                pass
+            with tracer.span("child-b") as b:
+                pass
+        assert root.trace_id == a.trace_id == b.trace_id == "t-000001"
+        assert a.parent_id == root.span_id
+        assert b.parent_id == root.span_id
+        # fake clock ticks once per read: start/end stamps are exact
+        assert (root.start, a.start, a.end, b.start, b.end, root.end) == (
+            1.0, 2.0, 3.0, 4.0, 5.0, 6.0,
+        )
+        assert a.duration == 1.0
+        assert root.duration == 5.0
+
+    def test_ids_are_sequential(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("first"):
+            pass
+        with tracer.span("second") as second:
+            pass
+        assert second.trace_id == "t-000002"
+        assert second.span_id == "s-000002"
+
+    def test_current_span_follows_context(self):
+        tracer = Tracer(clock=FakeClock())
+        assert tracer.current_span() is None
+        with tracer.span("outer") as outer:
+            assert tracer.current_span() is outer
+            with tracer.span("inner") as inner:
+                assert tracer.current_span() is inner
+            assert tracer.current_span() is outer
+        assert tracer.current_span() is None
+
+    def test_exception_marks_error_status(self):
+        tracer = Tracer(clock=FakeClock())
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom") as span:
+                raise RuntimeError("nope")
+        assert span.status == "error"
+        assert span.end is not None
+
+    def test_explicit_parent_crosses_thread(self):
+        """Executor-boundary pattern: pass parent= explicitly."""
+        tracer = Tracer(clock=FakeClock())
+        seen = {}
+
+        with tracer.span("root") as root:
+            def worker():
+                # contextvars don't cross threads: without parent= this
+                # would start a fresh trace
+                with tracer.span("remote", parent=root) as span:
+                    seen["span"] = span
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        assert seen["span"].trace_id == root.trace_id
+        assert seen["span"].parent_id == root.span_id
+
+    def test_finish_is_idempotent(self):
+        tracer = Tracer(clock=FakeClock())
+        span = tracer.span("once")
+        span.finish()
+        end = span.end
+        span.finish("error")
+        assert span.end == end
+        assert span.status == "ok"
+
+    def test_labels(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("labeled", tenant="acme") as span:
+            span.set_label("rows", 7)
+        assert span.labels == {"tenant": "acme", "rows": 7}
+
+
+class TestSampling:
+    def test_rate_zero_drops_everything(self):
+        tracer = Tracer(clock=FakeClock(), sample_rate=0.0)
+        span = tracer.span("dropped")
+        assert span is NOOP_SPAN
+        assert not span.recording
+        # children of an unsampled root are absorbed too
+        with span:
+            child = tracer.span("child", parent=span)
+        assert child is NOOP_SPAN
+        assert tracer.stats()["dropped_traces"] == 1
+        assert len(tracer.store) == 0
+
+    def test_seeded_sampling_is_deterministic(self):
+        def verdicts(seed: int):
+            tracer = Tracer(clock=FakeClock(), sample_rate=0.5, seed=seed)
+            return [tracer.span("s") is not NOOP_SPAN for _ in range(32)]
+
+        assert verdicts(7) == verdicts(7)
+        mixed = verdicts(7)
+        assert any(mixed) and not all(mixed)
+
+    def test_registry_counters(self):
+        registry = MetricsRegistry()
+        tracer = Tracer(clock=FakeClock(), sample_rate=1.0, registry=registry)
+        with tracer.span("a"):
+            pass
+        snapshot = registry.snapshot()
+        samples = snapshot["obs_traces_total"]["samples"]
+        assert samples == [{"labels": {"verdict": "sampled"}, "value": 1}]
+        assert snapshot["obs_spans_total"]["samples"][0]["value"] == 1
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer(sample_rate=1.5)
+
+
+class TestTraceStore:
+    def test_tree_renests_spans(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("root") as root:
+            with tracer.span("a"):
+                with tracer.span("a1"):
+                    pass
+            with tracer.span("b"):
+                pass
+        tree = tracer.store.tree(root.trace_id)
+        assert len(tree) == 1
+        top = tree[0]
+        assert top["name"] == "root"
+        assert [child["name"] for child in top["children"]] == ["a", "b"]
+        assert [g["name"] for g in top["children"][0]["children"]] == ["a1"]
+
+    def test_capacity_evicts_oldest(self):
+        store = TraceStore(capacity=2)
+        tracer = Tracer(clock=FakeClock(), store=store)
+        ids = []
+        for index in range(3):
+            with tracer.span(f"t{index}") as span:
+                pass
+            ids.append(span.trace_id)
+        assert store.get(ids[0]) is None
+        assert store.get(ids[1]) is not None
+        assert store.get(ids[2]) is not None
+        assert store.trace_ids() == ids[1:]
+
+    def test_get_returns_span_dicts(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("root", tenant="t1") as root:
+            pass
+        spans = tracer.store.get(root.trace_id)
+        assert spans[0]["name"] == "root"
+        assert spans[0]["labels"] == {"tenant": "t1"}
+        assert spans[0]["duration"] == 1.0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            TraceStore(capacity=0)

@@ -1,0 +1,191 @@
+"""One registry sees the whole stack; webapp operational routes."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.deployment import WebBackend
+from repro.obs import MetricsRegistry, Tracer, bind_database, bind_serving, bind_service
+from repro.serving import AsyncTextToSQLService
+from repro.serving.shards import DomainSpec, build_service
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        self.now += 0.001
+        return self.now
+
+
+@pytest.fixture()
+def service():
+    return build_service(
+        DomainSpec("hospital", train=4, response_cache_size=16)
+    )
+
+
+class TestBindDatabase:
+    def test_engine_families_present(self, toy_db):
+        registry = MetricsRegistry()
+        bind_database(registry, toy_db)
+        toy_db.execute("SELECT name FROM team")
+        snapshot = registry.snapshot()
+        for family in (
+            "engine_plan_cache_hits",
+            "engine_plan_cache_misses",
+            "engine_optimizer_optimizations",
+            "engine_mode_vectorized_statements",
+            "engine_column_store_tables_cached",
+        ):
+            assert family in snapshot, family
+        statements = snapshot["engine_mode_vectorized_statements"]["samples"]
+        assert statements == [{"labels": {"schema": "toy", "version": ""}, "value": 1}]
+
+    def test_double_bind_is_noop(self, toy_db):
+        registry = MetricsRegistry()
+        bind_database(registry, toy_db)
+        bind_database(registry, toy_db)
+        toy_db.execute("SELECT name FROM team")
+        samples = registry.snapshot()["engine_plan_cache_misses"]["samples"]
+        assert len(samples) == 1
+
+    def test_shared_plan_cache_counted_once(self):
+        from repro.sqlengine import Database, PlanCache, Schema, make_column
+
+        schema_a = Schema("shared", "v1")
+        schema_a.create_table("t", [make_column("id", "int", primary_key=True)])
+        schema_b = Schema("shared", "v2")
+        schema_b.create_table("t", [make_column("id", "int", primary_key=True)])
+        cache = PlanCache(32)
+        db_a = Database(schema_a, plan_cache=cache)
+        db_b = Database(schema_b, plan_cache=cache)
+        db_a.execute("SELECT id FROM t")
+        db_b.execute("SELECT id FROM t")
+        registry = MetricsRegistry()
+        bind_database(registry, db_a)
+        bind_database(registry, db_b)
+        samples = registry.snapshot()["engine_plan_cache_misses"]["samples"]
+        # one sample (the shared storage), not one per view
+        assert len(samples) == 1
+        assert samples[0]["value"] == 2
+
+
+class TestBindService:
+    def test_one_snapshot_covers_service_and_engine(self, service):
+        registry = MetricsRegistry()
+        bind_service(registry, service)
+        service.ask("How many patients are there?")
+        snapshot = registry.snapshot()
+        assert snapshot["service_questions_served"]["samples"][0]["value"] == 1
+        assert "engine_plan_cache_misses" in snapshot
+        assert "service_response_cache_hits" in snapshot
+        # histogram attached and observing
+        assert snapshot["service_latency_seconds"]["samples"][0]["count"] == 1
+
+    def test_render_includes_service_and_engine(self, service):
+        registry = MetricsRegistry()
+        bind_service(registry, service)
+        service.ask("How many patients are there?")
+        text = registry.render()
+        assert "service_questions_served 1" in text
+        assert "engine_plan_cache_misses" in text
+        assert text.endswith("\n")
+
+
+class TestBindServing:
+    def test_serving_counters_and_domains(self):
+        registry = MetricsRegistry()
+
+        async def drive():
+            serving = AsyncTextToSQLService.from_specs(
+                [DomainSpec("hospital", train=4)], shard_count=1
+            )
+            bind_serving(registry, serving)
+            async with serving:
+                await serving.ask("How many patients are there?")
+            serving.close()
+
+        asyncio.run(drive())
+        snapshot = registry.snapshot()
+        assert snapshot["serving_admitted"]["samples"][0]["value"] == 1
+        assert snapshot["serving_completed"]["samples"][0]["value"] == 1
+        domain_samples = snapshot["serving_questions_per_domain"]["samples"]
+        assert domain_samples == [{"labels": {"domain": "hospital"}, "value": 1}]
+        assert snapshot["serving_wall_latency_seconds"]["samples"][0]["count"] == 1
+
+
+class TestServingTracing:
+    def test_ask_produces_span_tree(self):
+        tracer = Tracer(clock=FakeClock())
+
+        async def drive():
+            serving = AsyncTextToSQLService.from_specs(
+                [DomainSpec("hospital", train=4)], shard_count=1, tracer=tracer
+            )
+            async with serving:
+                return await serving.ask(
+                    "How many patients are there?", tenant="acme"
+                )
+
+        response = asyncio.run(drive())
+        assert response.ok
+        trees = [tracer.store.tree(tid) for tid in tracer.store.trace_ids()]
+        ask_tree = next(t for t in trees if t[0]["name"] == "serving.ask")
+        root = ask_tree[0]
+        assert root["labels"]["tenant"] == "acme"
+        assert root["labels"]["status"] == "ok"
+        assert root["labels"]["domain"] == "hospital"
+        children = [child["name"] for child in root["children"]]
+        assert children == ["serving.route", "serving.queued"]
+        # the dispatcher's batch span is its own trace
+        batch_roots = [t[0]["name"] for t in trees]
+        assert "serving.batch" in batch_roots
+
+
+class TestWebBackend:
+    def test_metrics_routes(self, service):
+        registry = MetricsRegistry()
+        app = WebBackend(service, registry=registry)
+        app.ask("How many patients are there?")
+        text = app.metrics_text()
+        assert "service_questions_served 1" in text
+        assert "engine_plan_cache_misses" in text
+        snapshot = app.metrics_json()
+        assert snapshot["service_questions_served"]["samples"][0]["value"] == 1
+
+    def test_trace_routes(self, service):
+        registry = MetricsRegistry()
+        tracer = Tracer(clock=FakeClock(), registry=registry)
+        app = WebBackend(service, registry=registry, tracer=tracer)
+        app.ask("How many patients are there?")
+        ids = app.traces()
+        assert ids
+        tree = app.trace(ids[0])
+        assert tree[0]["name"] == "service.ask"
+        names = {span["name"] for span in tracer.store.get(ids[0])}
+        assert "service.predict" in names
+        assert "db.execute" in names
+
+    def test_unknown_trace_raises(self, service):
+        app = WebBackend(
+            service, registry=MetricsRegistry(), tracer=Tracer(clock=FakeClock())
+        )
+        with pytest.raises(KeyError):
+            app.trace("t-999999")
+
+    def test_routes_require_configuration(self, service):
+        app = WebBackend(service)
+        with pytest.raises(RuntimeError):
+            app.metrics_text()
+        with pytest.raises(RuntimeError):
+            app.traces()
+
+    def test_legacy_routes_unchanged(self, service):
+        app = WebBackend(service)
+        out = app.ask("How many patients are there?")
+        assert set(out) >= {"log_id", "sql", "columns", "rows", "error"}
+        assert app.statistics() is not None

@@ -1,0 +1,171 @@
+"""EXPLAIN ANALYZE goldens: per-operator rows and (fake-clock) times.
+
+The rendering is an interface — operators, row counts, subquery
+indentation and the timing column are all pinned, on both executors.
+A fake clock that advances 1ms per read makes every ``time=`` field
+exact: each operator reads the clock twice (start, stop), so a leaf
+operator shows 1.000ms and a parent accumulates its children's reads.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+class FakeClock:
+    def __init__(self, step: float = 0.001) -> None:
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        self.now += self.step
+        return self.now
+
+
+AGGREGATE_SQL = (
+    "SELECT t.name, COUNT(*) AS players FROM player AS p "
+    "JOIN team AS t ON p.team_id = t.team_id "
+    "WHERE p.goals > 1 GROUP BY t.name ORDER BY t.name"
+)
+
+AGGREGATE_PLAN = """\
+plan for: SELECT t.name, COUNT(*) AS players FROM player AS p JOIN team AS t ON p.team_id = t.team_id WHERE p.goals > 1 GROUP BY t.name ORDER BY t.name
+select
+  scan team AS t  [rows=3]
+  hash join player AS p ON p.team_id = t.team_id AND p.goals > 1  [rows=5 est out=5]
+  group by: t.name
+  order by: t.name
+  project: t.name, count(*) AS players
+rewrites: pushdown(1), join-reorder
+stats epoch: 8
+"""
+
+VECTORIZED_ANALYZE = AGGREGATE_PLAN + """\
+-- analyze (engine=auto) --
+scan team [vectorized]         rows=3        time=1.000ms
+hash join player [vectorized]  rows=3        time=1.000ms
+aggregate [vectorized]         rows=2        time=1.000ms
+finalize [vectorized]          rows=2        time=1.000ms
+total                          rows=2        time=9.000ms"""
+
+ROW_ANALYZE = AGGREGATE_PLAN + """\
+-- analyze (engine=row) --
+scan team [row]         rows=3        time=1.000ms
+hash join player [row]  rows=3        time=1.000ms
+aggregate [row]         rows=2        time=1.000ms
+finalize [row]          rows=2        time=1.000ms
+total                   rows=2        time=9.000ms"""
+
+SUBQUERY_ANALYZE = """\
+plan for: SELECT name FROM player WHERE goals > (SELECT AVG(goals) FROM player)
+select
+  scan player  [rows=5]
+  where: goals > (SELECT avg(goals) FROM player)
+  project: name
+  scalar subquery:
+    select
+      scan player  [rows=5]
+      project: avg(goals)
+rewrites: none
+stats epoch: 8
+-- analyze (engine=row) --
+scan player [row]    rows=5        time=1.000ms
+  scan player [row]  rows=5        time=1.000ms
+  aggregate [row]    rows=1        time=1.000ms
+  finalize [row]     rows=1        time=1.000ms
+filter [row]         rows=3        time=7.000ms
+project [row]        rows=3        time=1.000ms
+finalize [row]       rows=3        time=1.000ms
+total                rows=3        time=15.000ms"""
+
+
+class TestExplainAnalyzeGolden:
+    def test_vectorized_engine(self, toy_db):
+        rendered = toy_db.explain_analyze(AGGREGATE_SQL, clock=FakeClock())
+        assert rendered == VECTORIZED_ANALYZE
+
+    def test_row_engine(self, toy_db):
+        rendered = toy_db.explain_analyze(
+            AGGREGATE_SQL, engine_mode="row", clock=FakeClock()
+        )
+        assert rendered == ROW_ANALYZE
+
+    def test_subquery_operators_indent(self, toy_db):
+        """A correlated-free scalar subquery's operators show one level
+        deeper than the enclosing filter that triggered them."""
+        rendered = toy_db.explain_analyze(
+            "SELECT name FROM player WHERE goals > (SELECT AVG(goals) FROM player)",
+            engine_mode="row",
+            clock=FakeClock(),
+        )
+        assert rendered == SUBQUERY_ANALYZE
+
+
+class TestProfileExecute:
+    def test_results_match_plain_execute(self, toy_db):
+        expected = toy_db.execute(AGGREGATE_SQL)
+        result, profile, total = toy_db.profile_execute(AGGREGATE_SQL)
+        assert result.rows == expected.rows
+        assert result.columns == expected.columns
+        assert [op.op for op in profile.ops] == [
+            "scan team", "hash join player", "aggregate", "finalize",
+        ]
+        assert all(op.engine == "vectorized" for op in profile.ops)
+        assert total >= max(op.seconds for op in profile.ops) > 0.0
+
+    def test_profile_uninstalled_afterwards(self, toy_db):
+        toy_db.profile_execute("SELECT name FROM team")
+        assert toy_db._executor._prof() is None
+        assert toy_db._vectorized._prof() is None
+        # a later plain execute records nothing anywhere
+        toy_db.execute("SELECT name FROM team")
+
+    def test_row_fallback_attributed_to_row_engine(self, toy_db):
+        """A node the vectorized gate rejects shows row-engine
+        operators inside an engine_mode=auto analysis."""
+        result, profile, _total = toy_db.profile_execute(
+            "SELECT name FROM player WHERE goals > (SELECT AVG(goals) FROM player)"
+        )
+        assert {op.engine for op in profile.ops} == {"row"}
+        assert len(result.rows) == 3
+
+    def test_as_dicts_shape(self, toy_db):
+        _result, profile, _total = toy_db.profile_execute("SELECT name FROM team")
+        entry = profile.as_dicts()[0]
+        assert set(entry) == {"depth", "engine", "op", "rows", "time_ms"}
+
+
+class TestOperatorLabels:
+    def test_left_join_label(self, toy_db):
+        _result, profile, _ = toy_db.profile_execute(
+            "SELECT t.name, p.name FROM team AS t "
+            "LEFT JOIN player AS p ON p.team_id = t.team_id"
+        )
+        assert any(op.op == "left join player" for op in profile.ops)
+
+    def test_loop_join_label_row_engine(self, toy_db):
+        _result, profile, _ = toy_db.profile_execute(
+            "SELECT t.name, p.name FROM team AS t "
+            "JOIN player AS p ON p.team_id < t.team_id",
+            engine_mode="row",
+        )
+        assert any(op.op == "loop join player" for op in profile.ops)
+
+    def test_cross_join_label_row_engine(self, toy_db):
+        _result, profile, _ = toy_db.profile_execute(
+            "SELECT COUNT(*) FROM team CROSS JOIN player",
+            engine_mode="row",
+        )
+        assert any(op.op.startswith("cross join") for op in profile.ops)
+
+
+class TestExplainAnalyzeMatchesExplain:
+    def test_prefix_is_plain_explain(self, toy_db):
+        rendered = toy_db.explain_analyze(AGGREGATE_SQL, clock=FakeClock())
+        assert rendered.startswith(toy_db.explain(AGGREGATE_SQL))
+
+    def test_bad_sql_raises_like_explain(self, toy_db):
+        from repro.sqlengine import EngineError
+
+        with pytest.raises(EngineError):
+            toy_db.explain_analyze("SELECT FROM WHERE")

@@ -21,6 +21,7 @@ PACKAGES = [
     "repro.benchmark",
     "repro.deployment",
     "repro.serving",
+    "repro.obs",
 ]
 
 
