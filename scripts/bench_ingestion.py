@@ -1,0 +1,296 @@
+#!/usr/bin/env python
+"""Process-grid speedup + robustness-under-ingestion → BENCH_ingestion.json.
+
+Two measurements in one artifact:
+
+1. **Grid speedup** — the same (system × version × fold) grid over
+   each domain, evaluated three ways from identical recipes: a serial
+   loop, the thread-pooled :class:`ParallelHarness`, and the
+   multiprocess :class:`ProcessGridExecutor`.  Byte-identity of all
+   three result sets is *asserted*, not assumed; wall clocks land in
+   ``grid_<domain>_{serial,thread,process}`` cases.  The process pool
+   only beats the thread pool when real cores exist — ``cpu_count`` is
+   recorded, and ``--require-speedup`` (the nightly setting) fails the
+   run if the process/thread ratio is under 2× on a ≥4-core machine.
+   On fewer cores the numbers are reported honestly and not enforced.
+
+2. **Ingestion-rate curve** — :func:`repro.evaluation.replay_rate_sweep`
+   replays the seeded user-log stream into live databases at a sweep
+   of rates while the grid evaluates against epoch-pinned snapshots;
+   per-rate EX accuracy and latency percentiles land in
+   ``ingest_r<rate>`` cases (the robustness-vs-ingestion-rate curve).
+
+The artifact follows the BENCH_engine.json conventions: a ``cases``
+dict plus ``tracked_metrics`` naming the lower-is-better metrics the
+CI ``perf-gate`` compares across merge-base and PR head via
+``scripts/check_bench_regression.py``.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_ingestion.py \
+        --domains hospital,retail,flights --rates 50,200,800 \
+        --output BENCH_ingestion.json
+
+    # CI smoke: one domain, 2 process workers, short replay
+    PYTHONPATH=src python scripts/bench_ingestion.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+from repro.evaluation import (
+    GridConfig,
+    HarnessRecipe,
+    ParallelHarness,
+    ProcessGridExecutor,
+    ReplayConfig,
+    build_harness,
+    replay_rate_sweep,
+)
+from repro.systems import GPT35, T5Picard
+
+#: the perf gate compares these (lower is better) across merge-base/PR
+TRACKED_METRICS = ("grid_wall_ms", "latency_p99_ms")
+
+
+def fingerprint(result):
+    return (
+        result.system,
+        result.version,
+        result.train_size,
+        result.shots,
+        result.fold,
+        tuple(result.outcomes),
+    )
+
+
+def build_grid(harness, shots: int, train: int, folds: int):
+    configs = []
+    for version in harness.domain.versions:
+        for fold in range(folds):
+            configs.append(GridConfig.make(GPT35, version, shots=shots, fold=fold))
+        configs.append(GridConfig.make(T5Picard, version, train_size=train))
+    return configs
+
+
+def bench_grid(recipe: HarnessRecipe, args) -> dict:
+    """Serial vs thread vs process on one domain; asserts byte-identity."""
+    cases = {}
+
+    serial_harness = build_harness(recipe)
+    grid = build_grid(serial_harness, args.shots, args.train, args.folds)
+    start = time.perf_counter()
+    serial = [
+        serial_harness.evaluate(
+            c.system_cls, c.version,
+            train_size=c.train_size, shots=c.shots, fold=c.fold,
+        )
+        for c in grid
+    ]
+    serial_ms = (time.perf_counter() - start) * 1000
+    cases[f"grid_{recipe.domain}_serial"] = {
+        "grid_wall_ms": round(serial_ms, 3),
+        "configs": len(grid),
+        "questions": sum(len(r.outcomes) for r in serial),
+        "workers": 1,
+    }
+
+    thread_harness = build_harness(recipe)
+    runner = ParallelHarness(thread_harness.domain, thread_harness.dataset)
+    runner.seed_pool(thread_harness)
+    thread_results, thread_summary = runner.run(grid, max_workers=args.workers)
+    cases[f"grid_{recipe.domain}_thread"] = {
+        "grid_wall_ms": round(thread_summary.wall_seconds * 1000, 3),
+        "configs": thread_summary.configs,
+        "questions": thread_summary.questions,
+        "workers": thread_summary.workers,
+    }
+
+    with ProcessGridExecutor(recipe, max_workers=args.workers) as executor:
+        process_results, process_summary = executor.run(grid)
+        # second run on the warm pool: steady-state cost without the
+        # per-worker harness build
+        warm_results, warm_summary = executor.run(grid)
+    cases[f"grid_{recipe.domain}_process"] = {
+        "grid_wall_ms": round(process_summary.wall_seconds * 1000, 3),
+        "configs": process_summary.configs,
+        "questions": process_summary.questions,
+        "workers": process_summary.workers,
+    }
+    cases[f"grid_{recipe.domain}_process_warm"] = {
+        "grid_wall_ms": round(warm_summary.wall_seconds * 1000, 3),
+        "configs": warm_summary.configs,
+        "questions": warm_summary.questions,
+        "workers": warm_summary.workers,
+    }
+
+    expected = [fingerprint(r) for r in serial]
+    for label, results in (
+        ("thread", thread_results),
+        ("process", process_results),
+        ("process_warm", warm_results),
+    ):
+        if [fingerprint(r) for r in results] != expected:
+            raise SystemExit(
+                f"FATAL: {label} grid results diverged from serial on "
+                f"{recipe.domain} — determinism contract broken"
+            )
+
+    speedup = (
+        thread_summary.wall_seconds / warm_summary.wall_seconds
+        if warm_summary.wall_seconds > 0
+        else 0.0
+    )
+    print(
+        f"  {recipe.domain}: serial {serial_ms:8.1f} ms, "
+        f"thread {thread_summary.wall_seconds * 1000:8.1f} ms, "
+        f"process {process_summary.wall_seconds * 1000:8.1f} ms "
+        f"(warm {warm_summary.wall_seconds * 1000:8.1f} ms, "
+        f"{speedup:.2f}x vs thread); byte-identical: yes",
+        flush=True,
+    )
+    return {"cases": cases, "speedup_vs_thread": round(speedup, 3)}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--domains", default="hospital,retail,flights",
+        help="comma-separated generated domains",
+    )
+    parser.add_argument("--workers", type=int, default=0,
+                        help="pool width (default: min(8, cpus))")
+    parser.add_argument("--morphs", type=int, default=2)
+    parser.add_argument("--morph-steps", type=int, default=2)
+    parser.add_argument("--folds", type=int, default=2)
+    parser.add_argument("--shots", type=int, default=8)
+    parser.add_argument("--train", type=int, default=24)
+    parser.add_argument("--rates", default="50,200,800",
+                        help="ingestion rates (events/s/domain) to sweep")
+    parser.add_argument("--batch-size", type=int, default=8)
+    parser.add_argument("--max-events", type=int, default=400)
+    parser.add_argument("--rounds", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=2022)
+    parser.add_argument("--output", default="BENCH_ingestion.json")
+    parser.add_argument(
+        "--require-speedup", type=float, default=0.0,
+        help="fail unless process beats thread by this factor "
+        "(enforced only on >=4-core machines; nightly passes 2.0)",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="CI smoke: one domain, 2 process workers, short replay",
+    )
+    args = parser.parse_args()
+
+    if args.smoke:
+        args.domains = "hospital"
+        args.workers = 2
+        args.morphs = 1
+        args.folds = 1
+        args.rates = "200"
+        args.max_events = 80
+        args.rounds = 2
+
+    domains = [name.strip() for name in args.domains.split(",") if name.strip()]
+    rates = [float(rate) for rate in args.rates.split(",") if rate.strip()]
+    cpus = os.cpu_count() or 1
+    if not args.workers:
+        args.workers = min(8, cpus)
+
+    started = time.perf_counter()
+    cases: dict = {}
+    speedups: dict = {}
+
+    print(f"grid speedup ({args.workers} workers, {cpus} cpus):", flush=True)
+    for name in domains:
+        recipe = HarnessRecipe(
+            domain=name, seed=args.seed,
+            morph_count=args.morphs, morph_steps=args.morph_steps,
+        )
+        outcome = bench_grid(recipe, args)
+        cases.update(outcome["cases"])
+        speedups[name] = outcome["speedup_vs_thread"]
+
+    print(f"ingestion sweep (rates {rates}):", flush=True)
+    sweep = replay_rate_sweep(
+        rates,
+        ReplayConfig(
+            domains=tuple(domains),
+            systems=("GPT-3.5",),
+            seed=args.seed,
+            batch_size=args.batch_size,
+            max_events=args.max_events,
+            rounds=args.rounds,
+            shots=args.shots,
+            train_size=args.train,
+        ),
+    )
+    for rate, point in zip(rates, sweep["points"]):
+        cases[f"ingest_r{rate:g}"] = point
+        print(
+            f"  rate {rate:7.1f}: achieved {point['rate_achieved']:8.1f}, "
+            f"accuracy {point['accuracy_mean']:.3f} "
+            f"(min {point['accuracy_min']:.3f}), "
+            f"p99 {point['latency_p99_ms']:.1f} ms, "
+            f"rows {point['rows_inserted']}",
+            flush=True,
+        )
+
+    artifact = {
+        "benchmark": "ingestion-and-process-grid",
+        "domains": domains,
+        "workers": args.workers,
+        "cpu_count": cpus,
+        "python": platform.python_version(),
+        "seed": args.seed,
+        "grid": {
+            "morphs": args.morphs,
+            "morph_steps": args.morph_steps,
+            "folds": args.folds,
+            "shots": args.shots,
+            "train": args.train,
+        },
+        "replay": {
+            "rates": rates,
+            "batch_size": args.batch_size,
+            "max_events": args.max_events,
+            "rounds": args.rounds,
+        },
+        "speedup_process_vs_thread": speedups,
+        "byte_identical": True,  # asserted per domain above, or we exited
+        "cases": cases,
+        "tracked_metrics": list(TRACKED_METRICS),
+        "wall_seconds": round(time.perf_counter() - started, 2),
+    }
+    with open(args.output, "w") as handle:
+        json.dump(artifact, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.output} in {artifact['wall_seconds']}s", flush=True)
+
+    if args.require_speedup:
+        if cpus < 4:
+            print(
+                f"speedup floor not enforced: only {cpus} cpu(s) — the "
+                "process pool cannot beat threads without real cores"
+            )
+        else:
+            worst = min(speedups.values())
+            if worst < args.require_speedup:
+                print(
+                    f"FAIL: process/thread speedup {worst:.2f}x below the "
+                    f"{args.require_speedup:.1f}x floor on {cpus} cores"
+                )
+                return 1
+            print(f"speedup floor met: worst domain {worst:.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -35,7 +35,13 @@ from .spec import (
     name_field,
     pk,
 )
-from .generator import build_schema, generate_tables, load_database
+from .generator import (
+    build_schema,
+    generate_growth_rows,
+    generate_tables,
+    growable_entities,
+    load_database,
+)
 from .instance import DomainInstance
 from .questions import DomainExample, generate_examples, question_id
 from .logs import synthesize_logs
@@ -102,8 +108,10 @@ __all__ = [
     "differential_fuzz",
     "fk",
     "generate_examples",
+    "generate_growth_rows",
     "generate_tables",
     "get_domain",
+    "growable_entities",
     "instance_from_spec",
     "load_database",
     "load_domain",

@@ -141,3 +141,55 @@ def load_database(
 def entity_row_counts(spec: DomainSpec) -> Dict[str, int]:
     """Declared row targets (handy for stats and docs)."""
     return {entity.name: entity.rows for entity in spec.entities}
+
+
+def growable_entities(spec: DomainSpec) -> List[str]:
+    """Entities safe to grow without breaking FK closure: the ones no
+    relationship references as a parent (leaf/fact entities).  Falls
+    back to every entity when the spec has no relationships."""
+    parents = {relationship.parent for relationship in spec.relationships()}
+    leaves = [e.name for e in spec.entities if e.name not in parents]
+    return leaves or [e.name for e in spec.entities]
+
+
+def generate_growth_rows(
+    spec: DomainSpec,
+    seed: int,
+    entity_name: str,
+    start_pk: int,
+    count: int,
+) -> List[Row]:
+    """``count`` new FK-closed rows for one entity, PKs from ``start_pk``.
+
+    The ingestion replay driver's row source: deterministic in
+    ``(spec, seed, entity, start_pk, count)``, with FK values drawn
+    from the entity's *initial* parent key ranges (``1..parent.rows``)
+    so growth rows always reference rows that exist — inserting them
+    into a live database with FK enforcement on never rolls back,
+    which keeps every insert exactly one version bump (the whole-batch
+    epoch arithmetic in :mod:`repro.evaluation.ingestion` relies on
+    this).  Display names get a ``"G<pk>"`` suffix stream disjoint
+    from :mod:`repro.domains.naming`'s base names, so name collisions
+    cannot occur.
+    """
+    entity = spec.entity(entity_name)
+    rng = random.Random(f"growth|{spec.name}|{seed}|{entity_name}|{start_pk}")
+    parent_sizes = {e.name: e.rows for e in spec.entities}
+    rows: List[Row] = []
+    for offset in range(count):
+        serial = start_pk + offset
+        row: List[object] = []
+        for f in entity.fields:
+            if f.role == "pk":
+                row.append(serial)
+            elif f.role == "name":
+                prefix = entity.name_prefix or entity.name.title()
+                row.append(f"{prefix} G{serial}")
+            elif f.role == "fk":
+                row.append(rng.randint(1, parent_sizes[f.ref]))
+            elif f.nullable and rng.random() < f.nullable:
+                row.append(None)
+            else:
+                row.append(_draw_value(f, rng, serial))
+        rows.append(tuple(row))
+    return rows

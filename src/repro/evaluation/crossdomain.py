@@ -8,6 +8,14 @@ morph chains installed as extra data-model versions, and a full
 (system × version) grid evaluated through the parallel harness.  The
 results aggregate into one cross-domain robustness curve whose x-axis
 is morph distance and whose version labels are ``domain/version``.
+
+Concurrency contract: ``cross_domain_sweep`` is called from one
+thread; intra-cell parallelism comes from the thread-pooled harness it
+delegates to.  Everything it builds (instances, morphs, harnesses) is
+a live handle local to one cell and is dropped when the cell finishes
+— nothing here is shared across threads or pickled to workers.  A
+cell is a pure function of ``(domain, seed, morph chain, engine
+mode)``, so sweeps are reproducible run to run.
 """
 
 from __future__ import annotations

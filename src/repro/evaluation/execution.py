@@ -11,6 +11,16 @@ differences).
 Results are cached per SQL text: across systems and train sizes most
 predictions are the gold query itself, so caching makes the full
 Table 5/6 sweeps tractable.
+
+Concurrency contract: the cache dict may be handed to several
+evaluators (``ParallelHarness`` shares one per version across its
+whole clone fleet) — entries are pure memoization keyed on exact SQL
+text against one frozen database state, so a racing double-compute is
+wasted work, never a wrong verdict.  The cache is valid only for the
+``data_epoch`` it was filled under: evaluation against a new snapshot
+(see ``src/repro/evaluation/ingestion.py``) must use a fresh
+evaluator.  Evaluators hold live ``Database`` handles and are never
+pickled.
 """
 
 from __future__ import annotations

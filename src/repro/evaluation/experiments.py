@@ -4,6 +4,13 @@ Each function takes a :class:`repro.evaluation.harness.Harness` and
 returns plain data structures (dicts keyed by the paper's row/column
 labels) so the benchmark scripts and EXPERIMENTS.md generation share
 one source of truth.
+
+Concurrency contract: these functions drive one live harness from the
+calling thread (fan-out happens inside ``evaluate_grid``); they keep
+no module-level mutable state.  The figures' best-config memo hangs
+off the harness instance itself — a module dict keyed on
+``id(harness)`` was a bug (id reuse after GC, and forked workers
+inheriting the parent's cache); see ``_best_config_results``.
 """
 
 from __future__ import annotations
@@ -115,18 +122,23 @@ def table7(
 # -- Figures 7 and 8 --------------------------------------------------------------------
 
 
-_BEST_CONFIG_CACHE: Dict[Tuple[int, Tuple[str, ...]], Dict[str, List[EvaluationResult]]] = {}
-
-
 def _best_config_results(harness: Harness, versions: Sequence[str]) -> Dict[str, List[EvaluationResult]]:
     """Max-budget run of every system per version (the figures' setting).
 
-    Memoized per harness: Figures 7 and 8 (and Table 7 consumers) share
-    the same expensive sweep.
+    Memoized *on the harness instance*: Figures 7 and 8 (and Table 7
+    consumers) share the same expensive sweep.  A module-level dict
+    keyed on ``id(harness)`` — the historical implementation — served
+    a *different* harness's results whenever the original was
+    garbage-collected and CPython reused its id, and under ``fork``
+    every worker inherited (and grew) the parent's dict.  Hanging the
+    memo off the instance ties its lifetime to the harness and keeps
+    it out of shared module state.
     """
-    cache_key = (id(harness), tuple(versions))
-    if cache_key in _BEST_CONFIG_CACHE:
-        return _BEST_CONFIG_CACHE[cache_key]
+    cache_key = tuple(versions)
+    memo: Dict[Tuple[str, ...], Dict[str, List[EvaluationResult]]]
+    memo = getattr(harness, "_best_config_cache", None) or {}
+    if cache_key in memo:
+        return memo[cache_key]
     per_version: Dict[str, List[EvaluationResult]] = {}
     for version in versions:
         rows: List[EvaluationResult] = []
@@ -135,7 +147,8 @@ def _best_config_results(harness: Harness, versions: Sequence[str]) -> Dict[str,
         rows.append(harness.evaluate(GPT35, version, shots=30, fold=0))
         rows.append(harness.evaluate(Llama2, version, shots=8, fold=0))
         per_version[version] = rows
-    _BEST_CONFIG_CACHE[cache_key] = per_version
+    memo[cache_key] = per_version
+    harness._best_config_cache = memo
     return per_version
 
 

@@ -5,6 +5,16 @@ and per-version EX evaluators; :meth:`Harness.evaluate` runs one
 configuration end to end and returns per-question outcomes, so the
 Table 5/6 sweeps, Figure 7/8 breakdowns and the Table 7 latency
 aggregation all reuse the same machinery.
+
+Concurrency contract: a ``Harness`` is a **live handle** — it holds
+databases (with their locks), mutable evaluator/oracle caches, and
+per-instance memos.  It is single-thread-use: concurrent callers must
+each own a clone (``ParallelHarness`` checks clones out of a pool),
+and it is never pickled — process workers rebuild one from a
+:class:`~repro.evaluation.procpool.HarnessRecipe` instead.  The only
+randomness in :meth:`Harness.evaluate` is seeded purely by the
+configuration (``random.Random(10_000 + 97*fold + shots)``), which is
+what makes every parallel tier byte-identical to the serial loop.
 """
 
 from __future__ import annotations

@@ -1,0 +1,437 @@
+"""Continuous evaluation under ingestion: robustness vs. write rate.
+
+Every grid result so far was measured against frozen databases.  This
+module opens the scenario the paper's deployment actually lives in:
+user traffic keeps arriving *while* new facts are ingested.  A seeded
+multi-domain user-log stream (:func:`repro.domains.synthesize_logs`
+over :mod:`repro.workload.logs` records) is replayed into live
+databases by paced ingestor threads — each replayed log event queues
+one seeded, FK-closed growth row
+(:func:`repro.domains.generate_growth_rows`), flushed in fixed-size
+``insert_many`` batches — while the evaluation loop keeps sweeping a
+(system × version) grid and reporting EX accuracy and latency
+percentiles per round.
+
+Consistency model (the ``data_epoch`` pinning contract):
+
+* every evaluation round pins one :meth:`Database.snapshot` per
+  domain — a row-set copy captured atomically under the storage
+  mutation lock — and evaluates **every** cell of that round against
+  it, so all cells of a round observe the same frozen ``data_epoch``;
+* ``insert_many`` holds the same lock for the whole batch and the
+  driver only ever flushes *full* batches, so a snapshot's epoch
+  delta from the freshly-loaded base is always a whole multiple of
+  ``ReplayConfig.batch_size`` — a torn (mid-batch) epoch is
+  structurally impossible, and ``IngestionRound.epoch`` makes the
+  invariant testable with a fake clock (see
+  ``tests/evaluation/test_ingestion.py``);
+* growth rows are FK-valid and PK-fresh by construction, so no insert
+  ever rolls back and the epoch delta equals exactly the rows
+  ingested.
+
+Thread/process-safety contract: the driver, its ingestor threads and
+the per-round grid all run in *this* process — snapshots are live
+handles (they hold locks) and are never pickled.  True multiprocess
+parallelism for static grids lives in
+:mod:`repro.evaluation.procpool`; here the grid is the thread-pooled
+:class:`~repro.evaluation.parallel.ParallelHarness` via a fresh
+per-round :class:`Harness` (fresh EX caches — mandatory, because a
+result memoized against epoch N would be wrong at epoch N+k).
+
+The clock and sleep functions are injectable, so tests replay
+deterministically on a fake clock; :func:`repro.obs.bind_ingestion`
+exposes the driver's counters and ``tracer=`` spans the replay
+batches and evaluation rounds.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time
+from contextlib import nullcontext
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Type
+
+from repro.benchmark import BenchmarkDataset
+from repro.domains import (
+    DomainInstance,
+    generate_growth_rows,
+    growable_entities,
+    load_domain,
+    synthesize_logs,
+)
+from repro.systems import ALL_SYSTEMS, TextToSQLSystem
+
+from .harness import EvaluationResult, Harness
+from .parallel import GridConfig
+
+
+def _system_classes(names: Sequence[str]) -> List[Type[TextToSQLSystem]]:
+    by_name = {cls.spec.name: cls for cls in ALL_SYSTEMS}
+    try:
+        return [by_name[name] for name in names]
+    except KeyError as exc:
+        known = ", ".join(sorted(by_name))
+        raise ValueError(f"unknown system {exc} (available: {known})") from None
+
+
+@dataclass(frozen=True)
+class ReplayConfig:
+    """One continuous-evaluation run: which domains, how fast, how long.
+
+    ``rate`` is log events per second per domain; each event queues one
+    growth row, flushed every ``batch_size`` events in one atomic
+    ``insert_many``.  ``rounds`` evaluation rounds run concurrently
+    with the replay; each round snapshots every domain and evaluates a
+    (system × base version) grid against the pinned copy.
+    """
+
+    domains: Tuple[str, ...] = ("hospital",)
+    systems: Tuple[str, ...] = ("GPT-3.5",)
+    seed: int = 2022
+    rate: float = 50.0  # log events / second / domain
+    batch_size: int = 8  # growth rows per atomic insert_many
+    max_events: int = 400  # replay length per domain
+    rounds: int = 3
+    shots: int = 8  # budget for spec.scale == "large" systems
+    train_size: int = 24  # budget for fine-tuned systems
+    engine_mode: str = "auto"
+    grid_workers: int = 1  # thread workers per evaluation round
+
+
+@dataclass(frozen=True)
+class IngestionRound:
+    """One (round, domain) cell of the report."""
+
+    round_index: int
+    domain: str
+    epoch: int  # pinned data_epoch every cell of the round saw
+    rows_ingested: int  # epoch delta from the freshly-loaded base
+    accuracy: float  # mean EX accuracy over the round's grid cells
+    latency_p50: float
+    latency_p95: float
+    latency_p99: float
+    cells: int
+    wall_seconds: float
+
+
+@dataclass
+class IngestionReport:
+    """Everything one :meth:`IngestionReplayDriver.run` produced."""
+
+    config: ReplayConfig
+    rounds: List[IngestionRound] = field(default_factory=list)
+    events_replayed: int = 0
+    rows_inserted: int = 0
+    wall_seconds: float = 0.0
+
+    @property
+    def achieved_rate(self) -> float:
+        """Replayed events per second per domain, over the whole run."""
+        domains = max(1, len(self.config.domains))
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.events_replayed / self.wall_seconds / domains
+
+    def accuracy_curve(self) -> List[Tuple[int, float]]:
+        """(rows ingested, accuracy) points, replay order."""
+        return [(r.rows_ingested, r.accuracy) for r in self.rounds]
+
+    def summary(self) -> Dict[str, Any]:
+        """JSON-shaped digest (the bench artifact's per-rate record)."""
+        accuracies = [r.accuracy for r in self.rounds]
+        return {
+            "rate_target": self.config.rate,
+            "rate_achieved": round(self.achieved_rate, 2),
+            "events_replayed": self.events_replayed,
+            "rows_inserted": self.rows_inserted,
+            "rounds": len(self.rounds),
+            "accuracy_mean": (
+                round(sum(accuracies) / len(accuracies), 4) if accuracies else 0.0
+            ),
+            "accuracy_min": round(min(accuracies), 4) if accuracies else 0.0,
+            "latency_p50_ms": round(
+                max((r.latency_p50 for r in self.rounds), default=0.0) * 1000, 3
+            ),
+            "latency_p99_ms": round(
+                max((r.latency_p99 for r in self.rounds), default=0.0) * 1000, 3
+            ),
+        }
+
+
+class _DomainState:
+    """Live per-domain replay state (one ingestor thread owns writes)."""
+
+    def __init__(self, instance: DomainInstance, config: ReplayConfig) -> None:
+        self.instance = instance
+        self.database = instance[instance.base_version]
+        self.dataset = BenchmarkDataset.from_domain(instance, seed=config.seed)
+        self.base_epoch = self.database.data_epoch()
+        if instance.spec is None:
+            raise ValueError(
+                f"domain {instance.name!r} has no spec; ingestion replay "
+                "needs a generated domain to draw growth rows from"
+            )
+        self.entities = growable_entities(instance.spec)
+        self.next_pk = {
+            name: instance.spec.entity(name).rows + 1 for name in self.entities
+        }
+        self.logs = synthesize_logs(
+            instance.name, instance.examples, config.max_events, seed=config.seed
+        )
+        self.events = 0
+        self.rows = 0
+        self.pending: List[Tuple[str, tuple]] = []
+
+
+class IngestionReplayDriver:
+    """Replays user logs into live databases while the grid evaluates.
+
+    ``clock``/``sleep`` default to real time and are injectable for
+    deterministic tests.  ``tracer`` (optional) spans every flushed
+    batch and every evaluation round; :meth:`stats` feeds
+    :func:`repro.obs.bind_ingestion`.
+    """
+
+    def __init__(
+        self,
+        config: ReplayConfig,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+        tracer: Optional[Any] = None,
+    ) -> None:
+        if config.rate <= 0:
+            raise ValueError(f"rate must be positive, got {config.rate}")
+        if config.batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {config.batch_size}")
+        self.config = config
+        self._clock = clock
+        self._sleep = sleep
+        self._tracer = tracer
+        self._stop = threading.Event()
+        self._states: List[_DomainState] = []
+        self._stats_lock = threading.Lock()
+        self._stats: Dict[str, float] = {
+            "events_replayed": 0,
+            "rows_inserted": 0,
+            "batches_flushed": 0,
+            "snapshots_taken": 0,
+            "rounds_completed": 0,
+        }
+
+    # -- observability --------------------------------------------------------
+    def stats(self) -> Dict[str, float]:
+        with self._stats_lock:
+            return dict(self._stats)
+
+    def _bump(self, key: str, amount: float = 1) -> None:
+        with self._stats_lock:
+            self._stats[key] += amount
+
+    def _span(self, name: str, **labels: Any):
+        if self._tracer is None:
+            return nullcontext()
+        return self._tracer.span(name, **labels)
+
+    # -- write side -----------------------------------------------------------
+    def _replay_event(self, state: _DomainState) -> None:
+        """One log event: queue one growth row, flush on a full batch.
+
+        The log record itself is what paces and shapes the stream (its
+        synthesis is the seeded user-traffic model); the durable effect
+        of replaying it is one new fact row in the domain, assigned
+        round-robin over the growable (leaf) entities.
+        """
+        record = state.logs[state.events % len(state.logs)]
+        entity = state.entities[record.log_id % len(state.entities)]
+        row = generate_growth_rows(
+            state.instance.spec,
+            self.config.seed,
+            entity,
+            state.next_pk[entity],
+            1,
+        )[0]
+        state.next_pk[entity] += 1
+        state.pending.append((entity, row))
+        state.events += 1
+        self._bump("events_replayed")
+        if len(state.pending) >= self.config.batch_size:
+            self._flush(state)
+
+    def _flush(self, state: _DomainState) -> None:
+        """Insert the pending batch atomically.
+
+        Rows may target different entities, but every table of a
+        domain shares one :class:`Storage`, so one storage-wide
+        critical section covers the whole event batch: the mutation
+        lock is re-entrant (the nested ``insert_many`` re-acquisitions
+        are free) and a concurrent snapshot sees none-or-all of the
+        flush — exactly ``batch_size`` rows, never a torn prefix.
+        """
+        storage = state.database.storage
+        by_entity: Dict[str, List[tuple]] = {}
+        for entity, row in state.pending:
+            by_entity.setdefault(entity, []).append(row)
+        with self._span("ingestion.flush", domain=state.instance.name,
+                        rows=len(state.pending)):
+            with storage._mutation_lock:
+                for entity, rows in by_entity.items():
+                    state.database.insert_many(entity, rows)
+        flushed = len(state.pending)
+        state.rows += flushed
+        state.pending.clear()
+        self._bump("rows_inserted", flushed)
+        self._bump("batches_flushed")
+
+    def _ingest_loop(self, state: _DomainState) -> None:
+        interval = 1.0 / self.config.rate
+        next_deadline = self._clock()
+        while not self._stop.is_set() and state.events < self.config.max_events:
+            now = self._clock()
+            if now < next_deadline:
+                self._sleep(min(interval, next_deadline - now))
+                continue
+            next_deadline += interval
+            self._replay_event(state)
+        # leftover partial batch is deliberately dropped: only full
+        # batches ever reach the database (the torn-epoch invariant)
+
+    # -- read side ------------------------------------------------------------
+    def _evaluate_round(
+        self, round_index: int, state: _DomainState
+    ) -> IngestionRound:
+        snapshot = state.database.snapshot()
+        self._bump("snapshots_taken")
+        epoch = snapshot.data_epoch()
+        shadow = DomainInstance(
+            name=state.instance.name,
+            databases={
+                **state.instance.databases,
+                state.instance.base_version: snapshot,
+            },
+            examples=state.instance.examples,
+            universe=state.instance.universe,
+            variant_loader=state.instance.variant_loader,
+            spec=state.instance.spec,
+        )
+        # fresh harness per round: EX-result caches memoize against one
+        # epoch and must not leak across snapshots
+        harness = Harness(shadow, state.dataset)
+        budget = min(self.config.train_size, len(state.dataset.train_examples))
+        configs = []
+        for system_cls in _system_classes(self.config.systems):
+            if system_cls.spec.scale == "large":
+                configs.append(
+                    GridConfig.make(
+                        system_cls, shadow.base_version, shots=self.config.shots
+                    )
+                )
+            else:
+                configs.append(
+                    GridConfig.make(
+                        system_cls, shadow.base_version, train_size=budget
+                    )
+                )
+        start = time.perf_counter()
+        results, _ = harness.evaluate_grid(
+            configs, max_workers=self.config.grid_workers
+        )
+        wall = time.perf_counter() - start
+        return self._round_record(round_index, state, epoch, results, wall)
+
+    def _round_record(
+        self,
+        round_index: int,
+        state: _DomainState,
+        epoch: int,
+        results: Sequence[EvaluationResult],
+        wall: float,
+    ) -> IngestionRound:
+        from repro.obs import percentile
+
+        latencies = sorted(
+            outcome.latency_seconds
+            for result in results
+            for outcome in result.outcomes
+        )
+        accuracies = [result.accuracy for result in results]
+        return IngestionRound(
+            round_index=round_index,
+            domain=state.instance.name,
+            epoch=epoch,
+            rows_ingested=epoch - state.base_epoch,
+            accuracy=sum(accuracies) / len(accuracies) if accuracies else 0.0,
+            latency_p50=percentile(latencies, 0.50),
+            latency_p95=percentile(latencies, 0.95),
+            latency_p99=percentile(latencies, 0.99),
+            cells=len(results),
+            wall_seconds=wall,
+        )
+
+    # -- orchestration --------------------------------------------------------
+    def run(self) -> IngestionReport:
+        """Replay + evaluate; returns the full report.
+
+        Ingestor threads (one per domain) pace the log replay; the
+        calling thread runs the evaluation rounds against epoch-pinned
+        snapshots while writes continue underneath.
+        """
+        config = self.config
+        self._states = [
+            _DomainState(load_domain(name, seed=config.seed), config)
+            for name in config.domains
+        ]
+        for state in self._states:
+            state.instance.set_engine_mode(config.engine_mode)
+        report = IngestionReport(config=config)
+        threads = [
+            threading.Thread(
+                target=self._ingest_loop, args=(state,), daemon=True,
+                name=f"ingest-{state.instance.name}",
+            )
+            for state in self._states
+        ]
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        try:
+            for round_index in range(config.rounds):
+                for state in self._states:
+                    with self._span(
+                        "ingestion.round",
+                        round=round_index,
+                        domain=state.instance.name,
+                    ):
+                        report.rounds.append(
+                            self._evaluate_round(round_index, state)
+                        )
+                    self._bump("rounds_completed")
+        finally:
+            self._stop.set()
+            for thread in threads:
+                thread.join(timeout=30)
+        report.wall_seconds = time.perf_counter() - start
+        report.events_replayed = int(self.stats()["events_replayed"])
+        report.rows_inserted = int(self.stats()["rows_inserted"])
+        return report
+
+
+def replay_rate_sweep(
+    rates: Sequence[float],
+    base_config: Optional[ReplayConfig] = None,
+    **overrides: Any,
+) -> Dict[str, Any]:
+    """Run the driver once per ingestion rate; JSON-shaped curve.
+
+    The bench artifact's payload: one :meth:`IngestionReport.summary`
+    per rate, so robustness (EX accuracy) and latency percentiles are
+    reported *as a function of ingestion rate*.
+    """
+    base = base_config or ReplayConfig()
+    points = []
+    for rate in rates:
+        config = dataclasses.replace(base, rate=rate, **overrides)
+        report = IngestionReplayDriver(config).run()
+        points.append(report.summary())
+    return {"points": points}

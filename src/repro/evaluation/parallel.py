@@ -33,8 +33,11 @@ same configs in a plain loop, regardless of worker count.
 A note on the GIL: the grid work is pure-Python CPU-bound, so on
 standard CPython the thread pool provides structure and shared-cache
 concurrency rather than a large wall-clock win; free-threaded builds
-(PEP 703) parallelize it fully, and the deterministic, shared-nothing
-worker design is exactly what a future process-pool backend needs.
+(PEP 703) parallelize it fully.  The process tier
+(``src/repro/evaluation/procpool.py``) escapes the GIL on standard
+builds by shipping picklable recipes instead of these live handles —
+nothing in this module (harness clones, databases, shared caches)
+ever crosses a process boundary.
 """
 
 from __future__ import annotations

@@ -1,0 +1,277 @@
+"""Multiprocess grid evaluation: real CPU parallelism for the sweep.
+
+:class:`ParallelHarness` fans grid cells over threads, which on
+standard CPython only overlaps the (tiny) I/O slices of a pure-Python
+CPU-bound workload — the cross-domain sweep is GIL-bound.  This module
+moves the same grid to a ``ProcessPoolExecutor`` without ever pickling
+a live :class:`~repro.sqlengine.database.Database` (databases hold
+``threading`` locks and megabytes of rows; they are *live handles*,
+not messages).
+
+Process-safety contract (what crosses the pickle boundary):
+
+* **In** — a :class:`HarnessRecipe` (frozen dataclass of strings and
+  ints: domain name, seed, morph chain parameters, engine mode) passed
+  once to the worker initializer, and per-cell
+  :class:`~repro.evaluation.parallel.GridConfig` entries (system
+  *classes* pickle by reference, kwargs are ints/strings).  This is
+  the same recipe-not-handle pattern as
+  :class:`repro.serving.shards.DomainSpec`.
+* **Out** — :class:`~repro.evaluation.harness.EvaluationResult` /
+  ``QuestionOutcome``: plain dataclasses of primitives.
+* **Never** — databases, harnesses, evaluators, oracles, systems,
+  locks, or any object holding them.
+
+Each worker process rebuilds its whole evaluation stack once in the
+pool initializer (:func:`build_harness`): registry domain → benchmark
+dataset → seeded morph chains → :class:`Harness`, stored in the
+module-global ``_WORKER_HARNESS``.  Because every stage is a pure
+function of the recipe (domain generation seeds per entity,
+``SchemaMorpher`` chains are functions of ``(seed, base, count,
+steps)``, and ``Harness.evaluate``'s only randomness is ``Random(10_000
++ 97*fold + shots)``), a worker-built harness evaluates any grid cell
+to **byte-identical** :class:`EvaluationResult` fingerprints as the
+serial parent — regardless of which worker runs which cell, in what
+order, or how many workers exist.  ``tests/evaluation/test_procpool.py``
+locks this with a serial vs thread vs process equality test.
+
+On platforms whose default start method is ``fork`` (Linux), pass
+``inherit_from=harness`` to share the parent's already-built databases
+copy-on-write instead of rebuilding per worker — page sharing gives
+the "shared read-only columnar snapshot" for free.  Only safe while
+the parent's databases are quiescent at pool-creation time (forking
+duplicates held locks); the portable recipe rebuild is the default.
+
+``GridSummary.engine`` is ``None`` for process runs: engine counters
+live in worker-local databases, and summing them into the parent's
+would double-count against the parent's own report.  Fleet-wide
+counters are instead exposed via :meth:`ProcessGridExecutor.stats`
+(bound to the metrics registry by :func:`repro.obs.bind_process_grid`).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .harness import EvaluationResult, Harness
+from .parallel import GridConfig, GridSummary, default_worker_count
+
+
+@dataclass(frozen=True)
+class HarnessRecipe:
+    """Picklable recipe for one evaluation harness.
+
+    Strings and ints only — the worker initializer turns it into a
+    live :class:`Harness` on its side of the process boundary.  Two
+    harnesses built from equal recipes evaluate any
+    :class:`GridConfig` identically (see module docstring).
+    """
+
+    domain: str
+    seed: int = 2022
+    morph_count: int = 0
+    morph_steps: int = 3
+    engine_mode: str = "auto"
+    test_fraction: float = 0.25
+
+    def describe(self) -> str:
+        return (
+            f"{self.domain}/seed={self.seed}/morphs={self.morph_count}"
+            f"x{self.morph_steps}/{self.engine_mode}"
+        )
+
+
+def build_harness(recipe: HarnessRecipe) -> Harness:
+    """Materialize a recipe into a live harness (registry domain +
+    benchmark + installed morph chains, engine mode pinned).
+
+    Mirrors :func:`repro.evaluation.crossdomain.sweep_domain` setup
+    exactly, so a worker-side harness exposes the same version axis
+    (``base`` + ``<base>~m1`` …) as a parent that ran ``sweep_domain``
+    with the same parameters.
+    """
+    from repro.benchmark import BenchmarkDataset
+    from repro.domains import SchemaMorpher, load_domain
+
+    instance = load_domain(recipe.domain, seed=recipe.seed)
+    dataset = BenchmarkDataset.from_domain(
+        instance, seed=recipe.seed, test_fraction=recipe.test_fraction
+    )
+    harness = Harness(instance, dataset)
+    if recipe.morph_count:
+        morpher = SchemaMorpher(seed=recipe.seed)
+        harness.install_morphs(
+            morpher.derive(
+                instance[instance.base_version],
+                count=recipe.morph_count,
+                steps=recipe.morph_steps,
+            )
+        )
+    instance.set_engine_mode(recipe.engine_mode)
+    return harness
+
+
+def grid_versions(recipe: HarnessRecipe) -> List[str]:
+    """The version axis a recipe-built harness exposes (``base`` +
+    morph versions).  Builds one throwaway harness in this process to
+    enumerate it — call once per sweep, not per cell."""
+    return list(build_harness(recipe).domain.versions)
+
+
+# -- worker side ---------------------------------------------------------------
+# Module-level state, mirroring serving/shards.py: the pool initializer
+# builds (or inherits) one harness per worker process; the evaluate
+# entry point closes over nothing, so submitted work pickles trivially.
+
+_WORKER_HARNESS: Optional[Harness] = None
+
+# Set in the *parent* before pool creation when inherit_from= is used;
+# fork-started workers see it through copy-on-write page sharing.
+_PARENT_HARNESS: Optional[Harness] = None
+
+
+def _init_worker(recipe: Optional[HarnessRecipe]) -> None:
+    global _WORKER_HARNESS
+    if recipe is None:
+        if _PARENT_HARNESS is None:
+            raise RuntimeError(
+                "process worker started without a recipe and without a "
+                "fork-inherited parent harness"
+            )
+        _WORKER_HARNESS = _PARENT_HARNESS
+    else:
+        _WORKER_HARNESS = build_harness(recipe)
+
+
+def _worker_evaluate(config: GridConfig) -> EvaluationResult:
+    assert _WORKER_HARNESS is not None, "worker initializer did not run"
+    return _WORKER_HARNESS.evaluate(
+        config.system_cls,
+        config.version,
+        train_size=config.train_size,
+        shots=config.shots,
+        fold=config.fold,
+        **dict(config.system_kwargs),
+    )
+
+
+class ProcessGridExecutor:
+    """Fans a configuration grid across worker *processes*.
+
+    The worker pool is lazy (first :meth:`run`) and persistent across
+    runs, so consecutive sweeps reuse warm worker-side caches exactly
+    like the thread pool's clone pool does.  Results come back in
+    input order and are byte-identical to the serial harness (see
+    module docstring); ``GridSummary.engine`` is ``None`` because the
+    engine counters live worker-side.
+
+    ``inherit_from`` (fork platforms only) shares the parent harness's
+    databases with workers copy-on-write instead of rebuilding them
+    from the recipe — cheaper startup, one shared read-only snapshot.
+    """
+
+    def __init__(
+        self,
+        recipe: Optional[HarnessRecipe] = None,
+        max_workers: Optional[int] = None,
+        inherit_from: Optional[Harness] = None,
+        mp_context: Optional[str] = None,
+    ) -> None:
+        if recipe is None and inherit_from is None:
+            raise ValueError("need a HarnessRecipe or an inherit_from harness")
+        self.recipe = recipe
+        self.max_workers = max_workers
+        self._inherit_from = inherit_from
+        context = multiprocessing.get_context(mp_context)
+        if inherit_from is not None and context.get_start_method() != "fork":
+            raise ValueError(
+                "inherit_from= requires the fork start method; pass a "
+                "recipe for spawn/forkserver platforms"
+            )
+        self._context = context
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._workers = 0
+        # fleet counters for the metrics registry (bind_process_grid)
+        self._stats: Dict[str, float] = {
+            "runs": 0,
+            "cells_completed": 0,
+            "questions_evaluated": 0,
+            "wall_seconds_total": 0.0,
+        }
+
+    def _ensure_pool(self, configs: int) -> ProcessPoolExecutor:
+        if self._pool is None:
+            global _PARENT_HARNESS
+            self._workers = self.max_workers or default_worker_count(configs)
+            initarg: Optional[HarnessRecipe] = self.recipe
+            if self._inherit_from is not None:
+                initarg = None
+                _PARENT_HARNESS = self._inherit_from
+            try:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self._workers,
+                    mp_context=self._context,
+                    initializer=_init_worker,
+                    initargs=(initarg,),
+                )
+            finally:
+                # workers have forked (lazily per-submit at worst); the
+                # parent-global is only needed at fork time, but fork is
+                # lazy in ProcessPoolExecutor, so keep it referenced for
+                # the executor's lifetime instead of clearing here.
+                pass
+        return self._pool
+
+    def run(
+        self, configs: Sequence[GridConfig]
+    ) -> Tuple[List[EvaluationResult], GridSummary]:
+        """Evaluate every config; results in input order."""
+        pool = self._ensure_pool(len(configs))
+        start = time.perf_counter()
+        chunksize = max(1, len(configs) // (self._workers * 4) or 1)
+        results = list(pool.map(_worker_evaluate, configs, chunksize=chunksize))
+        wall = time.perf_counter() - start
+        summary = GridSummary(
+            configs=len(configs),
+            questions=sum(len(result.outcomes) for result in results),
+            wall_seconds=wall,
+            workers=self._workers,
+            engine=None,
+        )
+        self._stats["runs"] += 1
+        self._stats["cells_completed"] += summary.configs
+        self._stats["questions_evaluated"] += summary.questions
+        self._stats["wall_seconds_total"] += wall
+        return results, summary
+
+    def stats(self) -> Dict[str, float]:
+        """Fleet counters (for :func:`repro.obs.bind_process_grid`)."""
+        return dict(self._stats, workers=self._workers)
+
+    def close(self) -> None:
+        global _PARENT_HARNESS
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+        if self._inherit_from is not None and _PARENT_HARNESS is self._inherit_from:
+            _PARENT_HARNESS = None
+
+    def __enter__(self) -> "ProcessGridExecutor":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+def evaluate_grid_in_processes(
+    recipe: HarnessRecipe,
+    configs: Sequence[GridConfig],
+    max_workers: Optional[int] = None,
+) -> Tuple[List[EvaluationResult], GridSummary]:
+    """One-shot convenience wrapper around :class:`ProcessGridExecutor`."""
+    with ProcessGridExecutor(recipe, max_workers=max_workers) as executor:
+        return executor.run(configs)

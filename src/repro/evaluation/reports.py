@@ -3,6 +3,10 @@
 Every benchmark prints through these so the regenerated artifacts look
 like the paper's rows/series and are directly comparable in
 EXPERIMENTS.md.
+
+Concurrency contract: every function here is a pure formatter over
+the plain data it is passed — no module state, no handles — and is
+safe to call from any thread or process.
 """
 
 from __future__ import annotations

@@ -19,6 +19,14 @@ Variants come from the domain's
 contract: FootballDB re-randomizes match events
 (:mod:`repro.footballdb.perturb`), generated domains re-draw attribute
 values and FK assignments (:mod:`repro.domains.generator`).
+
+Concurrency contract: a ``TestSuiteEvaluator`` holds live ``Database``
+handles (primary + variants) and a mutable result cache — one thread
+at a time, never pickled.  Variants are pure functions of
+``(domain, variant seed)``, so a process worker can rebuild an
+identical suite from those scalars, the same
+recipes-not-handles rule the grid tiers follow
+(``src/repro/evaluation/procpool.py``).
 """
 
 from __future__ import annotations

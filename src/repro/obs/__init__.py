@@ -28,7 +28,13 @@ from .metrics import (
 )
 from .profile import ExecProfile, OpStat, render_analyze
 from .tracing import NOOP_SPAN, Span, TraceStore, Tracer
-from .wiring import bind_database, bind_service, bind_serving
+from .wiring import (
+    bind_database,
+    bind_ingestion,
+    bind_process_grid,
+    bind_service,
+    bind_serving,
+)
 
 __all__ = [
     "Counter",
@@ -44,6 +50,8 @@ __all__ = [
     "TraceStore",
     "Tracer",
     "bind_database",
+    "bind_ingestion",
+    "bind_process_grid",
     "bind_service",
     "bind_serving",
     "dict_collector",

@@ -81,6 +81,40 @@ def bind_service(
     bind_database(registry, service.database, labels=labels or None)
 
 
+def bind_process_grid(
+    registry: MetricsRegistry,
+    executor: Any,
+    labels: Optional[Dict[str, str]] = None,
+) -> None:
+    """Expose a :class:`~repro.evaluation.procpool.ProcessGridExecutor`.
+
+    Families: ``process_grid_*`` — fleet-level run/cell/question
+    counters and cumulative wall time.  Worker-side engine counters
+    live in the worker processes and are deliberately not pulled
+    across the pickle boundary (see the procpool module docstring).
+    """
+    registry.register_callback(
+        dict_collector("process_grid", executor.stats, dict(labels or {})),
+        key=("process_grid", id(executor)),
+    )
+
+
+def bind_ingestion(
+    registry: MetricsRegistry,
+    driver: Any,
+    labels: Optional[Dict[str, str]] = None,
+) -> None:
+    """Expose an :class:`~repro.evaluation.ingestion.IngestionReplayDriver`.
+
+    Families: ``ingestion_*`` — events replayed, rows inserted,
+    batches flushed, snapshots taken, evaluation rounds completed.
+    """
+    registry.register_callback(
+        dict_collector("ingestion", driver.stats, dict(labels or {})),
+        key=("ingestion", id(driver)),
+    )
+
+
 def bind_serving(
     registry: MetricsRegistry,
     serving: Any,

@@ -369,6 +369,48 @@ class Database:
         """Monotonic mutation counter (see ``Storage.data_epoch``)."""
         return self.storage.data_epoch()
 
+    def snapshot(self) -> "Database":
+        """An epoch-pinned, point-in-time copy of this database.
+
+        The returned database wraps :meth:`Storage.snapshot` — a
+        row-set copy captured atomically under the storage mutation
+        lock — so its ``data_epoch()`` is frozen at the capture point
+        and every read against it is consistent even while *this*
+        database keeps ingesting on other threads (``insert_many``
+        batches are all-or-nothing from the snapshot's point of view).
+        The snapshot carries its own executors, statistics and plan
+        cache (cold; same capacity) and inherits ``engine_mode`` /
+        ``optimize``; nothing is shared with the parent except the
+        schema object and the immutable row tuples, so evaluating
+        against it never races parent mutations.  This is the read
+        surface the continuous-evaluation-under-ingestion driver
+        (:mod:`repro.evaluation.ingestion`) pins every grid cell to.
+        """
+        clone = Database.__new__(Database)
+        clone.schema = self.schema
+        clone.tracer = self.tracer
+        clone.storage = self.storage.snapshot()
+        clone._executor = Executor(clone.storage)
+        clone._vectorized = VectorizedExecutor(clone.storage, clone._executor)
+        clone.engine_mode = self.engine_mode
+        clone.optimize = self.optimize
+        clone.stats = StatsManager(clone.storage)
+        clone._optimizer_lock = threading.Lock()
+        clone._optimizer_counters = {
+            "optimizations": 0,
+            "reoptimizations": 0,
+            "optimize_seconds": 0.0,
+        }
+        clone._engine_mode_lock = threading.Lock()
+        clone._engine_mode_counters = {"row_statements": 0}
+        capacity = self.plan_cache.capacity if self.plan_cache is not None else 0
+        clone.plan_cache = (
+            PlanCache(capacity, scope=(self.schema.name, self.schema.version))
+            if capacity
+            else None
+        )
+        return clone
+
     def plan_cache_stats(self) -> Dict[str, Any]:
         """Hit/miss/eviction counters (zeros when the cache is disabled)."""
         if self.plan_cache is None:

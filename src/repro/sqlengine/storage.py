@@ -3,6 +3,15 @@
 Rows are plain tuples in table-column order.  The store maintains
 per-column value sets lazily so that foreign-key checks during the bulk
 FootballDB load stay O(1) per row.
+
+Concurrency contract: mutations (:meth:`Storage.insert` /
+:meth:`Storage.insert_many`) serialize under one storage-wide mutation
+lock, and ``insert_many`` holds it for the whole batch — so observers
+that also take the lock (:meth:`Storage.snapshot`, the continuous
+ingestion scenario's epoch pinning) see either none or all of a batch,
+never a torn prefix.  Readers that bypass the lock (the executors) are
+only safe against a *quiescent* store; concurrent evaluation against a
+mutating database must go through :meth:`Storage.snapshot`.
 """
 
 from __future__ import annotations
@@ -182,6 +191,9 @@ class Storage:
     def __init__(self, schema: Schema, enforce_foreign_keys: bool = True) -> None:
         self.schema = schema
         self.enforce_foreign_keys = enforce_foreign_keys
+        # Serializes mutations and snapshot capture.  RLock: insert_many
+        # holds it across the batch while insert re-acquires per row.
+        self._mutation_lock = threading.RLock()
         self._tables: Dict[str, TableData] = {
             table.name.lower(): TableData(table) for table in schema.tables
         }
@@ -203,29 +215,39 @@ class Storage:
             raise CatalogError(f"no table named {table_name!r}") from None
 
     def insert(self, table_name: str, row: Sequence[Any]) -> tuple:
-        data = self.data(table_name)
-        typed = data.insert(row)
-        if self.enforce_foreign_keys:
-            for position, ref_table, ref_column in self._fk_checks.get(
-                table_name.lower(), ()
-            ):
-                value = typed[position]
-                if value is None:
-                    continue
-                if value not in self._tables[ref_table].column_values(ref_column):
-                    data.rollback_last()
-                    raise ConstraintError(
-                        f"FK violation: {table_name}.{data.table.columns[position].name}"
-                        f"={value!r} not present in {ref_table}.{ref_column}"
-                    )
-        return typed
+        with self._mutation_lock:
+            data = self.data(table_name)
+            typed = data.insert(row)
+            if self.enforce_foreign_keys:
+                for position, ref_table, ref_column in self._fk_checks.get(
+                    table_name.lower(), ()
+                ):
+                    value = typed[position]
+                    if value is None:
+                        continue
+                    if value not in self._tables[ref_table].column_values(ref_column):
+                        data.rollback_last()
+                        raise ConstraintError(
+                            f"FK violation: {table_name}.{data.table.columns[position].name}"
+                            f"={value!r} not present in {ref_table}.{ref_column}"
+                        )
+            return typed
 
     def insert_many(self, table_name: str, rows: Iterable[Sequence[Any]]) -> int:
-        count = 0
-        for row in rows:
-            self.insert(table_name, row)
-            count += 1
-        return count
+        """Insert a batch atomically with respect to :meth:`snapshot`.
+
+        The mutation lock is held across the whole batch, so a
+        concurrent snapshot (and therefore every epoch-pinned reader)
+        observes either none or all of these rows — the ingestion
+        drivers rely on this to keep ``data_epoch`` jumps whole-batch
+        sized, never torn.
+        """
+        with self._mutation_lock:
+            count = 0
+            for row in rows:
+                self.insert(table_name, row)
+                count += 1
+            return count
 
     def row_count(self, table_name: Optional[str] = None) -> int:
         if table_name is not None:
@@ -242,3 +264,26 @@ class Storage:
         invalidated when it moves.
         """
         return sum(data.version for data in self._tables.values())
+
+    def snapshot(self) -> "Storage":
+        """A consistent point-in-time copy of every table's rows.
+
+        Captured under the mutation lock, so the copy reflects one
+        single ``data_epoch`` — a batch in flight on another thread is
+        either fully visible or not at all (``insert_many`` holds the
+        same lock for its whole batch).  Row tuples are immutable and
+        shared by reference; only the per-table row *lists* (and the
+        PK sets, so the snapshot stays insertable) are copied.  All
+        lazily-built caches (value sets, join/sorted indexes) start
+        cold — they rebuild on demand against the frozen row set.
+        """
+        with self._mutation_lock:
+            clone = Storage(
+                self.schema, enforce_foreign_keys=self.enforce_foreign_keys
+            )
+            for name, data in self._tables.items():
+                copy = clone._tables[name]
+                copy.rows = list(data.rows)
+                copy.version = data.version
+                copy._pk_seen = set(data._pk_seen)
+            return clone

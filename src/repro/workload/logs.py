@@ -1,4 +1,14 @@
-"""Deployment log records and the Table 1 statistics."""
+"""Deployment log records and the Table 1 statistics.
+
+Concurrency contract: ``LogRecord`` is a frozen dataclass of scalars —
+picklable, hashable, safe to share or ship across process boundaries.
+Log synthesis (here and in :mod:`repro.domains.logs`) is a pure
+function of its seed, so the serving load generator and the ingestion
+replay driver (``src/repro/evaluation/ingestion.py``) can regenerate
+an identical stream in any process instead of transferring it; the
+statistics helpers below are pure functions over the records they are
+given.
+"""
 
 from __future__ import annotations
 

@@ -1,0 +1,62 @@
+"""Regression: the figures' best-config memo must live on the harness.
+
+The historical implementation memoized ``_best_config_results`` in a
+module-level dict keyed on ``id(harness)``.  Two failure modes: after
+the original harness was garbage-collected, CPython could hand its id
+to a *new* harness, which then silently received the old harness's
+results; and forked grid workers inherited (and grew) the parent's
+dict.  The memo now hangs off the harness instance.
+"""
+
+import repro.evaluation.experiments as experiments
+from repro.evaluation.experiments import _best_config_results
+from repro.evaluation.harness import EvaluationResult
+
+
+class CountingHarness:
+    """Just enough surface for ``_best_config_results``."""
+
+    def __init__(self) -> None:
+        self.calls = 0
+
+    def evaluate(self, system_cls, version, **kwargs):
+        self.calls += 1
+        return EvaluationResult(
+            system=system_cls.spec.name,
+            version=version,
+            train_size=kwargs.get("train_size") or 0,
+            shots=kwargs.get("shots"),
+            fold=kwargs.get("fold", 0),
+        )
+
+
+def test_no_module_level_cache_remains():
+    assert not hasattr(experiments, "_BEST_CONFIG_CACHE")
+
+
+def test_memoized_per_instance_not_per_id():
+    first = CountingHarness()
+    once = _best_config_results(first, ("base",))
+    evaluations = first.calls
+    assert evaluations > 0
+    # second call on the same instance: served from the instance memo
+    assert _best_config_results(first, ("base",)) is once
+    assert first.calls == evaluations
+
+    # a distinct harness — even one reusing the first's id after GC —
+    # must evaluate for itself, never inherit another's results
+    del first
+    second = CountingHarness()
+    theirs = _best_config_results(second, ("base",))
+    assert second.calls == evaluations
+    assert theirs is not once
+
+
+def test_distinct_version_axes_memoize_separately():
+    harness = CountingHarness()
+    base_only = _best_config_results(harness, ("base",))
+    per_axis = harness.calls
+    both = _best_config_results(harness, ("base", "other"))
+    assert harness.calls == per_axis * 3  # ("base","other") re-ran both versions
+    assert set(base_only) == {"base"}
+    assert set(both) == {"base", "other"}

@@ -1,0 +1,161 @@
+"""Process-pool grid evaluation: byte-identity, recipes, counters.
+
+Process workers rebuild the whole evaluation stack from a
+:class:`HarnessRecipe`, so these tests lock the core promise: the same
+grid evaluated serially, through the thread pool, and through the
+process pool produces byte-identical ``EvaluationResult`` fingerprints
+and identical deterministic ``GridSummary`` fields.  A cheap generated
+domain (hospital) keeps the worker start-up affordable.
+"""
+
+import multiprocessing
+import pickle
+
+import pytest
+
+from repro.evaluation import (
+    GridConfig,
+    Harness,
+    HarnessRecipe,
+    ParallelHarness,
+    ProcessGridExecutor,
+    build_harness,
+    evaluate_grid_in_processes,
+)
+from repro.systems import GPT35, T5Picard
+
+
+def outcome_fingerprint(result):
+    """Everything observable about one configuration's outcomes."""
+    return (
+        result.system,
+        result.version,
+        result.train_size,
+        result.shots,
+        result.fold,
+        tuple(result.outcomes),
+    )
+
+RECIPE = HarnessRecipe(domain="hospital", seed=2022, morph_count=1, morph_steps=2)
+
+
+@pytest.fixture(scope="module")
+def recipe_harness():
+    return build_harness(RECIPE)
+
+
+@pytest.fixture(scope="module")
+def grid(recipe_harness):
+    configs = []
+    for version in recipe_harness.domain.versions:
+        configs.append(GridConfig.make(GPT35, version, shots=4, fold=0))
+        configs.append(GridConfig.make(GPT35, version, shots=4, fold=1))
+        configs.append(GridConfig.make(T5Picard, version, train_size=16))
+    return configs
+
+
+@pytest.fixture(scope="module")
+def serial_results(recipe_harness, grid):
+    return [
+        recipe_harness.evaluate(
+            config.system_cls,
+            config.version,
+            train_size=config.train_size,
+            shots=config.shots,
+            fold=config.fold,
+        )
+        for config in grid
+    ]
+
+
+@pytest.fixture(scope="module")
+def process_run(grid):
+    with ProcessGridExecutor(RECIPE, max_workers=2) as executor:
+        results, summary = executor.run(grid)
+        stats = executor.stats()
+    return results, summary, stats
+
+
+def test_recipe_is_picklable_and_frozen():
+    clone = pickle.loads(pickle.dumps(RECIPE))
+    assert clone == RECIPE
+    with pytest.raises(Exception):
+        clone.domain = "retail"
+
+
+def test_recipe_rebuild_is_deterministic(recipe_harness):
+    again = build_harness(RECIPE)
+    assert again.domain.versions == recipe_harness.domain.versions
+    for version in again.domain.versions:
+        assert (
+            again.domain[version].data_epoch()
+            == recipe_harness.domain[version].data_epoch()
+        )
+
+
+def test_process_pool_matches_serial(serial_results, process_run):
+    results, _, _ = process_run
+    assert [outcome_fingerprint(r) for r in results] == [
+        outcome_fingerprint(r) for r in serial_results
+    ]
+
+
+def test_process_pool_matches_thread_pool(grid, process_run):
+    # a fresh recipe-built harness on this side, thread-pooled
+    harness = build_harness(RECIPE)
+    runner = ParallelHarness(harness.domain, harness.dataset)
+    runner.seed_pool(harness)
+    thread_results, thread_summary = runner.run(grid, max_workers=3)
+    process_results, process_summary, _ = process_run
+    assert [outcome_fingerprint(r) for r in process_results] == [
+        outcome_fingerprint(r) for r in thread_results
+    ]
+    # deterministic summary fields agree; wall-clock naturally differs
+    assert process_summary.configs == thread_summary.configs
+    assert process_summary.questions == thread_summary.questions
+
+
+def test_summary_and_stats(process_run, grid):
+    _, summary, stats = process_run
+    assert summary.configs == len(grid)
+    assert summary.workers == 2
+    assert summary.engine is None  # worker-local counters stay worker-side
+    assert stats["runs"] == 1
+    assert stats["cells_completed"] == len(grid)
+    assert stats["questions_evaluated"] == summary.questions
+    assert stats["wall_seconds_total"] > 0
+
+
+def test_one_shot_wrapper(grid, serial_results):
+    results, summary = evaluate_grid_in_processes(
+        RECIPE, grid[:2], max_workers=2
+    )
+    assert [outcome_fingerprint(r) for r in results] == [
+        outcome_fingerprint(r) for r in serial_results[:2]
+    ]
+    assert summary.configs == 2
+
+
+def test_executor_requires_recipe_or_parent():
+    with pytest.raises(ValueError):
+        ProcessGridExecutor()
+
+
+@pytest.mark.skipif(
+    multiprocessing.get_start_method() != "fork",
+    reason="inherit_from needs fork copy-on-write",
+)
+def test_fork_inherit_mode(recipe_harness, grid, serial_results):
+    with ProcessGridExecutor(inherit_from=recipe_harness, max_workers=2) as ex:
+        results, summary = ex.run(grid)
+    assert [outcome_fingerprint(r) for r in results] == [
+        outcome_fingerprint(r) for r in serial_results
+    ]
+    assert summary.configs == len(grid)
+
+
+def test_grid_config_pickles_by_reference():
+    config = GridConfig.make(GPT35, "base", shots=4, fold=1)
+    clone = pickle.loads(pickle.dumps(config))
+    assert clone.system_cls is GPT35
+    assert clone == config
